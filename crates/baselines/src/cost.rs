@@ -1,0 +1,80 @@
+//! AWS instance pricing and iso-cost normalization (paper §6.3).
+//!
+//! The paper compares throughput **per dollar**: CPU numbers come from a
+//! `c4.8xlarge` ($1.591/h), GPU numbers from a `p3.2xlarge` ($3.06/h), and
+//! DP-HLS from an `f1.2xlarge` ($1.650/h); all throughputs are scaled to the
+//! F1 instance's cost before comparison.
+
+/// An AWS EC2 instance type with its on-demand price.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instance {
+    /// Instance name.
+    pub name: &'static str,
+    /// On-demand price in USD per hour (paper §6.3 values).
+    pub usd_per_hour: f64,
+}
+
+/// The FPGA instance DP-HLS runs on.
+pub const F1_2XLARGE: Instance = Instance {
+    name: "f1.2xlarge",
+    usd_per_hour: 1.650,
+};
+
+/// The CPU baseline instance (36-core, 60 GB).
+pub const C4_8XLARGE: Instance = Instance {
+    name: "c4.8xlarge",
+    usd_per_hour: 1.591,
+};
+
+/// The GPU baseline instance (NVIDIA Tesla V100).
+pub const P3_2XLARGE: Instance = Instance {
+    name: "p3.2xlarge",
+    usd_per_hour: 3.06,
+};
+
+/// Scales a throughput measured on `from` to what the same dollar buys on
+/// `to` — the paper's iso-cost normalization.
+///
+/// # Example
+///
+/// ```
+/// use dphls_baselines::cost::{iso_cost, F1_2XLARGE, P3_2XLARGE};
+/// // A GPU throughput of 3.06e5 aln/s costs $3.06/h; at the F1's $1.65/h
+/// // the same dollar buys 1.65e5 aln/s.
+/// let t = iso_cost(3.06e5, P3_2XLARGE, F1_2XLARGE);
+/// assert!((t - 1.65e5).abs() < 1.0);
+/// ```
+pub fn iso_cost(throughput: f64, from: Instance, to: Instance) -> f64 {
+    throughput * to.usd_per_hour / from.usd_per_hour
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_prices() {
+        assert_eq!(F1_2XLARGE.usd_per_hour, 1.650);
+        assert_eq!(C4_8XLARGE.usd_per_hour, 1.591);
+        assert_eq!(P3_2XLARGE.usd_per_hour, 3.06);
+    }
+
+    #[test]
+    fn cpu_to_f1_is_nearly_identity() {
+        // $1.591 vs $1.650: within 4%, the paper treats them as comparable.
+        let t = iso_cost(1e6, C4_8XLARGE, F1_2XLARGE);
+        assert!((t / 1e6 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn gpu_normalization_shrinks() {
+        let t = iso_cost(1e6, P3_2XLARGE, F1_2XLARGE);
+        assert!(t < 0.6e6);
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let t = iso_cost(iso_cost(5e5, P3_2XLARGE, F1_2XLARGE), F1_2XLARGE, P3_2XLARGE);
+        assert!((t - 5e5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,27 @@
+//! Baselines for the DP-HLS comparison experiments (paper §6.3):
+//!
+//! * [`software`] — an independent, multi-threaded Rust implementation of
+//!   every comparable kernel (the SeqAn3 / minimap2 / EMBOSS stand-in),
+//!   **measured live** on this machine;
+//! * [`rtl`] — cycle models of the hand-written RTL accelerators (GACT, BSW,
+//!   SquiggleFilter) sharing the systolic engine but with the overlapped
+//!   schedule the paper credits for their 7.7–16.8 % edge;
+//! * [`hls`] — the Vitis Genomics Library Smith-Waterman baseline (§7.5);
+//! * [`heuristics`] — adaptive banding and X-Drop pruning (paper §2.2.4's
+//!   adaptive variants, implemented as the framework's future-work
+//!   extension and ablated against the fixed band);
+//! * [`published`] — the paper's published CPU/GPU baseline ratios
+//!   (unrunnable offline: V100 GPUs, 36-core Xeon boxes), recorded with
+//!   provenance for the paper-calibrated columns of Fig 6;
+//! * [`cost`] — AWS pricing and iso-cost normalization.
+
+pub mod cost;
+pub mod heuristics;
+pub mod hls;
+pub mod published;
+pub mod rtl;
+pub mod software;
+
+pub use cost::{iso_cost, Instance, C4_8XLARGE, F1_2XLARGE, P3_2XLARGE};
+pub use published::{PublishedBaseline, CPU_BASELINES, GPU_BASELINES, HLS_BASELINE_SPEEDUP};
+pub use rtl::{rtl_device, rtl_resources, RtlDesign};

@@ -1,0 +1,118 @@
+//! Published baseline throughputs (paper Fig 6 and §7.5), recorded as
+//! constants with provenance.
+//!
+//! The CPU/GPU baselines run on software and hardware we cannot execute
+//! offline (SeqAn3 and minimap2 on a 36-core c4.8xlarge, EMBOSS Water under
+//! GNU parallel, GASAL2 and CUDASW++ 4.0 on a V100). Per the substitution
+//! rule, their **iso-cost throughputs are derived from the paper's published
+//! speedup ratios** and DP-HLS Table 2 throughputs; our own measured Rust
+//! CPU baseline (`crate::software`) is reported alongside so both a
+//! paper-calibrated and a live-measured comparison appear in Fig 6's
+//! regeneration.
+
+/// One published baseline data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishedBaseline {
+    /// Baseline tool name.
+    pub tool: &'static str,
+    /// Hardware it ran on (paper §6.3).
+    pub platform: &'static str,
+    /// DP-HLS kernel it is compared against (Table 1 id).
+    pub kernel_id: u8,
+    /// Paper-reported DP-HLS speedup over this baseline (Fig 6 labels).
+    pub paper_speedup: f64,
+    /// Paper-reported DP-HLS throughput for that kernel (Table 2 /
+    /// Fig 6B's no-traceback variant for CUDASW++), alignments/s.
+    pub dphls_aln_per_sec: f64,
+}
+
+impl PublishedBaseline {
+    /// The baseline's implied iso-cost throughput (alignments/s at F1 cost).
+    pub fn baseline_aln_per_sec(&self) -> f64 {
+        self.dphls_aln_per_sec / self.paper_speedup
+    }
+}
+
+/// Fig 6A — CPU baselines: SeqAn3 for kernels #1–4, 6, 7, 11, 12; minimap2
+/// for #5; EMBOSS Water for #15.
+pub const CPU_BASELINES: [PublishedBaseline; 10] = [
+    PublishedBaseline { tool: "SeqAn3", platform: "c4.8xlarge (32 threads)", kernel_id: 1, paper_speedup: 2.0, dphls_aln_per_sec: 3.51e6 },
+    PublishedBaseline { tool: "SeqAn3", platform: "c4.8xlarge (32 threads)", kernel_id: 2, paper_speedup: 1.6, dphls_aln_per_sec: 2.85e6 },
+    PublishedBaseline { tool: "SeqAn3", platform: "c4.8xlarge (32 threads)", kernel_id: 3, paper_speedup: 1.9, dphls_aln_per_sec: 3.43e6 },
+    PublishedBaseline { tool: "SeqAn3", platform: "c4.8xlarge (32 threads)", kernel_id: 4, paper_speedup: 1.5, dphls_aln_per_sec: 2.71e6 },
+    PublishedBaseline { tool: "minimap2", platform: "c4.8xlarge (32 threads)", kernel_id: 5, paper_speedup: 12.0, dphls_aln_per_sec: 1.06e6 },
+    PublishedBaseline { tool: "SeqAn3", platform: "c4.8xlarge (32 threads)", kernel_id: 6, paper_speedup: 1.5, dphls_aln_per_sec: 2.73e6 },
+    PublishedBaseline { tool: "SeqAn3", platform: "c4.8xlarge (32 threads)", kernel_id: 7, paper_speedup: 1.9, dphls_aln_per_sec: 3.34e6 },
+    PublishedBaseline { tool: "SeqAn3", platform: "c4.8xlarge (32 threads)", kernel_id: 11, paper_speedup: 1.3, dphls_aln_per_sec: 2.25e6 },
+    PublishedBaseline { tool: "SeqAn3", platform: "c4.8xlarge (32 threads)", kernel_id: 12, paper_speedup: 2.7, dphls_aln_per_sec: 4.77e6 },
+    PublishedBaseline { tool: "EMBOSS Water", platform: "c4.8xlarge (32 jobs)", kernel_id: 15, paper_speedup: 32.0, dphls_aln_per_sec: 9.33e5 },
+];
+
+/// Fig 6B — GPU baselines (iso-cost, V100 p3.2xlarge): GASAL2 for #2, #4,
+/// #12; CUDASW++ 4.0 for #15 with traceback disabled on both sides.
+pub const GPU_BASELINES: [PublishedBaseline; 4] = [
+    PublishedBaseline { tool: "GASAL2 (GLOBAL)", platform: "p3.2xlarge (V100)", kernel_id: 2, paper_speedup: 5.8, dphls_aln_per_sec: 2.85e6 },
+    PublishedBaseline { tool: "GASAL2 (LOCAL)", platform: "p3.2xlarge (V100)", kernel_id: 4, paper_speedup: 7.6, dphls_aln_per_sec: 2.71e6 },
+    PublishedBaseline { tool: "GASAL2 (BSW)", platform: "p3.2xlarge (V100)", kernel_id: 12, paper_speedup: 17.7, dphls_aln_per_sec: 4.77e6 },
+    // #15 without traceback: the paper disables DP-HLS traceback to match
+    // CUDASW++; its throughput rises above the Table 2 (with-TB) figure.
+    PublishedBaseline { tool: "CUDASW++ 4.0", platform: "p3.2xlarge (V100)", kernel_id: 15, paper_speedup: 1.41, dphls_aln_per_sec: 1.25e6 },
+];
+
+/// §7.5 — the Vitis Genomics Library Smith-Waterman HLS baseline: DP-HLS
+/// kernel #3 achieves 32.6 % higher throughput.
+pub const HLS_BASELINE_SPEEDUP: f64 = 1.326;
+
+/// §7.5 baseline configuration: `NPE = 32, NB = 32, NK = 1`, 333 MHz target.
+pub const HLS_BASELINE_CONFIG: (usize, usize, usize, f64) = (32, 32, 1, 333.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_speedup_range_matches_abstract() {
+        // The abstract quotes 1.3x–32x over CPU/GPU baselines.
+        let min = CPU_BASELINES
+            .iter()
+            .map(|b| b.paper_speedup)
+            .fold(f64::INFINITY, f64::min);
+        let max = CPU_BASELINES
+            .iter()
+            .map(|b| b.paper_speedup)
+            .fold(0.0, f64::max);
+        assert_eq!(min, 1.3);
+        assert_eq!(max, 32.0);
+    }
+
+    #[test]
+    fn baseline_throughputs_are_consistent() {
+        for b in CPU_BASELINES.iter().chain(GPU_BASELINES.iter()) {
+            let t = b.baseline_aln_per_sec();
+            assert!(t > 0.0 && t < b.dphls_aln_per_sec);
+            assert!((t * b.paper_speedup - b.dphls_aln_per_sec).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn seqan_baselines_show_minor_variability() {
+        // §7.4: "the baseline throughput shows minor variability across
+        // these kernels as SeqAn3 uses the same underlying implementation."
+        let seqan: Vec<f64> = CPU_BASELINES
+            .iter()
+            .filter(|b| b.tool == "SeqAn3")
+            .map(|b| b.baseline_aln_per_sec())
+            .collect();
+        let max = seqan.iter().cloned().fold(0.0, f64::max);
+        let min = seqan.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 2.0, "SeqAn3 spread {max}/{min}");
+    }
+
+    #[test]
+    fn gpu_kernels_match_fig6b() {
+        let ids: Vec<u8> = GPU_BASELINES.iter().map(|b| b.kernel_id).collect();
+        assert_eq!(ids, vec![2, 4, 12, 15]);
+        assert_eq!(HLS_BASELINE_CONFIG.0, 32);
+        assert!(HLS_BASELINE_SPEEDUP > 1.3);
+    }
+}

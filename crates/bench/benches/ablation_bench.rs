@@ -1,0 +1,47 @@
+//! Criterion bench of the DESIGN.md ablations: band-width pruning (cells
+//! actually computed) and the schedule/traceback/reduction design points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dphls_bench::experiments::ablation;
+use dphls_core::{Banding, KernelConfig};
+use dphls_kernels::{BandedGlobalLinear, LinearParams};
+use dphls_seq::gen::ReadSimulator;
+use dphls_systolic::run_systolic;
+use std::time::Duration;
+
+fn bench_band_widths(c: &mut Criterion) {
+    let params = LinearParams::<i16>::dna();
+    let mut sim = ReadSimulator::new(0xAB);
+    let (r, mut q) = sim.read_pair(256, 0.2);
+    q.truncate(256);
+    let (q, r) = (q.into_vec(), r.into_vec());
+    let mut g = c.benchmark_group("band_width");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+    for hw in [8usize, 32, 128] {
+        let cfg = KernelConfig {
+            banding: Banding::Fixed { half_width: hw },
+            ..KernelConfig::new(32, 1, 1)
+        };
+        g.bench_with_input(BenchmarkId::new("banded_nw", hw), &hw, |b, _| {
+            b.iter(|| run_systolic::<BandedGlobalLinear>(&params, &q, &r, &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_suites(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_suites");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("schedule_all_kernels", |b| {
+        b.iter(ablation::schedule_ablation)
+    });
+    g.bench_function("band_sweep", |b| b.iter(ablation::band_sweep));
+    g.finish();
+}
+
+criterion_group!(benches, bench_band_widths, bench_ablation_suites);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench of the CPU software baselines (the measured column of
+//! Fig 6A): per-kernel single-alignment cost of the SeqAn3/minimap2/EMBOSS
+//! stand-ins.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dphls_baselines::software;
+use dphls_kernels::{AffineParams, LinearParams, ProteinParams, TwoPieceParams};
+use dphls_seq::gen::{ProteinSampler, ReadSimulator};
+use std::time::Duration;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut sim = ReadSimulator::new(3);
+    let (r, mut q) = sim.read_pair(256, 0.3);
+    q.truncate(256);
+    let (q, r) = (q.into_vec(), r.into_vec());
+    let mut prot = ProteinSampler::new(3);
+    let (pq, pr) = prot.homolog_pair(256, 0.6);
+    let (pq, pr) = (pq.into_vec(), pr.into_vec());
+
+    let lin = LinearParams::<i32>::dna();
+    let aff = AffineParams::<i32>::dna();
+    let two = TwoPieceParams::<i32>::dna();
+    let blos = ProteinParams::<i32>::blosum62();
+
+    let mut g = c.benchmark_group("cpu_baselines");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(256 * 256));
+    g.bench_function("nw_256", |b| b.iter(|| software::nw_score(&q, &r, &lin)));
+    g.bench_function("sw_256", |b| b.iter(|| software::sw_score(&q, &r, &lin)));
+    g.bench_function("semi_global_256", |b| {
+        b.iter(|| software::semi_global_score(&q, &r, &lin))
+    });
+    g.bench_function("overlap_256", |b| {
+        b.iter(|| software::overlap_score(&q, &r, &lin))
+    });
+    g.bench_function("affine_global_256", |b| {
+        b.iter(|| software::affine_global_score(&q, &r, &aff))
+    });
+    g.bench_function("affine_local_256", |b| {
+        b.iter(|| software::affine_local_score(&q, &r, &aff))
+    });
+    g.bench_function("two_piece_256", |b| {
+        b.iter(|| software::two_piece_global_score(&q, &r, &two))
+    });
+    g.bench_function("banded_nw_256_w32", |b| {
+        b.iter(|| software::banded_nw_score(&q, &r, &lin, 32))
+    });
+    g.bench_function("banded_affine_local_256_w32", |b| {
+        b.iter(|| software::banded_affine_local_score(&q, &r, &aff, 32))
+    });
+    g.bench_function("protein_sw_256", |b| {
+        b.iter(|| software::protein_sw_score(&pq, &pr, &blos))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches of the two DP engines (reference matrix-fill vs the
+//! cycle-level systolic simulator) on representative kernels — the
+//! simulation-cost ablation of DESIGN.md §4.5, measured properly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dphls_core::{run_reference, Banding, KernelConfig};
+use dphls_kernels::{Dtw, GlobalAffine, GlobalLinear, LinearParams, NoParams};
+use dphls_seq::gen::{ComplexSignalGenerator, ReadSimulator};
+use dphls_systolic::run_systolic;
+use std::time::Duration;
+
+fn dna_pair(len: usize) -> (Vec<dphls_seq::Base>, Vec<dphls_seq::Base>) {
+    let mut sim = ReadSimulator::new(42);
+    let (r, mut q) = sim.read_pair(len, 0.25);
+    q.truncate(len);
+    (q.into_vec(), r.into_vec())
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engines");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for len in [64usize, 256] {
+        let (q, r) = dna_pair(len);
+        let params = LinearParams::<i16>::dna();
+        let cells = (len * len) as u64;
+        g.throughput(Throughput::Elements(cells));
+        g.bench_with_input(BenchmarkId::new("reference_nw", len), &len, |b, _| {
+            b.iter(|| run_reference::<GlobalLinear>(&params, &q, &r, Banding::None))
+        });
+        let cfg = KernelConfig::new(32.min(len), 1, 1).with_max_lengths(len, len);
+        g.bench_with_input(BenchmarkId::new("systolic_nw", len), &len, |b, _| {
+            b.iter(|| run_systolic::<GlobalLinear>(&params, &q, &r, &cfg).unwrap())
+        });
+    }
+
+    // Affine (3 layers) and DTW (fixed point) engine costs.
+    {
+        let (q, r) = dna_pair(128);
+        let params = dphls_kernels::AffineParams::<i16>::dna();
+        let cfg = KernelConfig::new(32, 1, 1).with_max_lengths(128, 160);
+        g.bench_function("systolic_affine_128", |b| {
+            b.iter(|| run_systolic::<GlobalAffine<i16>>(&params, &q, &r, &cfg).unwrap())
+        });
+    }
+    {
+        let mut gen = ComplexSignalGenerator::new(7);
+        let (a, bsig) = gen.warped_pair(128, 0.2);
+        let (a, bsig) = (a.into_vec(), bsig.into_vec());
+        let cfg = KernelConfig::new(32, 1, 1).with_max_lengths(256, 256);
+        g.bench_function("systolic_dtw_128", |b| {
+            b.iter(|| run_systolic::<Dtw>(&NoParams, &a, &bsig, &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

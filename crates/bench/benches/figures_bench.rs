@@ -1,0 +1,25 @@
+//! Criterion bench regenerating every **figure** experiment (Fig 3–6, §7.5,
+//! and the tiling study): each benchmark executes the corresponding
+//! experiment driver end-to-end, so `cargo bench` exercises the exact code
+//! that reproduces each figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dphls_bench::experiments::{fig3, fig4, fig5, fig6, sec75, tiling};
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("fig3_scaling", |b| b.iter(fig3::run));
+    g.bench_function("fig4_rtl_baselines", |b| b.iter(fig4::run));
+    g.bench_function("fig5_npe_sweep", |b| b.iter(fig5::run));
+    g.bench_function("fig6_iso_cost_calibrated", |b| b.iter(|| fig6::run(0)));
+    g.bench_function("sec75_hls_baseline", |b| b.iter(sec75::run));
+    g.bench_function("tiling_long_reads", |b| b.iter(tiling::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench regenerating **Table 2**: one benchmark per kernel runs
+//! the full synthesize→co-simulate pipeline at the paper's optimal
+//! configuration. The printed table itself comes from
+//! `cargo run -p dphls-bench --bin table2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dphls_bench::harness::collect_cases;
+use dphls_kernels::registry::WorkloadSpec;
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let cases = collect_cases(&WorkloadSpec {
+        pairs: 2,
+        len: 128,
+        ..WorkloadSpec::default()
+    });
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    for case in &cases {
+        g.bench_with_input(
+            BenchmarkId::new("kernel", case.info.meta.id.0),
+            case,
+            |b, case| b.iter(|| case.run_table2()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

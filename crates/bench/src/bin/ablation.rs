@@ -1,0 +1,7 @@
+//! Runs the design-choice ablations from DESIGN.md §4.
+
+use dphls_bench::experiments::ablation;
+
+fn main() {
+    print!("{}", ablation::render_all());
+}

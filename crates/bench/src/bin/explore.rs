@@ -1,0 +1,9 @@
+//! Automates the paper's §6.2 configuration search: find the
+//! throughput-maximizing (NPE, NB, NK) per kernel on the modeled device and
+//! compare against Table 2's reported optima.
+
+use dphls_bench::experiments::explore;
+
+fn main() {
+    println!("{}", explore::render(&explore::run()));
+}

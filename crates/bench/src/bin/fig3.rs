@@ -1,0 +1,10 @@
+//! Regenerates Fig 3: NPE / NB scaling of Global Linear (#1) and DTW (#9),
+//! throughput and resource utilization.
+
+use dphls_bench::experiments::fig3;
+
+fn main() {
+    let (k1, k9) = fig3::run();
+    println!("{}", fig3::render(&k1));
+    println!("{}", fig3::render(&k9));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig 4: DP-HLS kernels #2/#12/#14 vs the GACT / BSW /
+//! SquiggleFilter RTL baselines (throughput and resources).
+
+use dphls_bench::experiments::fig4;
+
+fn main() {
+    let rows = fig4::run();
+    println!("{}", fig4::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig 5: NPE scaling of Global Affine (#2) vs GACT.
+
+use dphls_bench::experiments::fig5;
+
+fn main() {
+    println!("{}", fig5::render(&fig5::run()));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig 6: iso-cost comparison against CPU (A) and GPU (B)
+//! baselines, with both paper-calibrated and live-measured baseline columns.
+
+use dphls_bench::experiments::fig6;
+
+fn main() {
+    let (cpu, gpu) = fig6::run(200);
+    println!("{}", fig6::render("Fig 6A — CPU baselines (iso-cost)", &cpu));
+    println!("{}", fig6::render("Fig 6B — GPU baselines (iso-cost)", &gpu));
+}

@@ -1,0 +1,8 @@
+//! The §7.6 productivity proxy: front-end kernel LoC vs shared framework.
+
+use dphls_bench::experiments::productivity;
+
+fn main() {
+    let (kernels, backend) = productivity::run();
+    println!("{}", productivity::render(&kernels, &backend));
+}

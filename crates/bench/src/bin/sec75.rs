@@ -1,0 +1,8 @@
+//! Regenerates the §7.5 comparison: kernel #3 vs the Vitis Genomics Library
+//! Smith-Waterman HLS baseline.
+
+use dphls_bench::experiments::sec75;
+
+fn main() {
+    println!("{}", sec75::render(&sec75::run()));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 2 (all 15 kernels): resource utilization, optimal
+//! configuration, frequency, and throughput, with paper reference columns.
+
+use dphls_bench::experiments::table2;
+
+fn main() {
+    let rows = table2::run();
+    println!("{}", table2::render(&rows));
+    let ratios: Vec<f64> = rows.iter().map(|r| r.throughput_ratio()).collect();
+    println!(
+        "geomean modeled/paper throughput ratio: {:.2}x over {} kernels",
+        dphls_util::geomean(&ratios),
+        rows.len()
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the long-read tiling study (§6.2/§7.3): kernel #2 with
+//! GACT-style tiling up to 10 kb reads.
+
+use dphls_bench::experiments::tiling;
+
+fn main() {
+    println!("{}", tiling::render(&tiling::run()));
+}

@@ -1,0 +1,15 @@
+//! One module per paper table/figure (the per-experiment index of
+//! DESIGN.md): each `run()` returns structured rows and each `render()`
+//! produces the printable table the corresponding `cargo run -p dphls-bench
+//! --bin <experiment>` binary emits.
+
+pub mod ablation;
+pub mod explore;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod productivity;
+pub mod sec75;
+pub mod table2;
+pub mod tiling;

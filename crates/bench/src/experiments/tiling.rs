@@ -1,0 +1,186 @@
+//! **Long-read tiling** (paper §6.2, §7.3, contribution #5): kernel #2 with
+//! GACT-style tiling aligns full-length reads on a 256-wide device kernel.
+//! The paper's claims reproduced here:
+//!
+//! 1. tiling lets a fixed-size kernel align arbitrarily long reads;
+//! 2. the stitched score tracks the full (untiled) global score;
+//! 3. "the relative throughput of the Global Affine kernel versus GACT
+//!    remained consistent for long alignments, as both approaches use the
+//!    same number of tiles."
+
+use dphls_core::{run_reference, Banding, KernelConfig};
+use dphls_host::tiling::{tiled_global_affine, TilingConfig};
+use dphls_kernels::{AffineParams, GlobalAffine};
+use dphls_seq::gen::ReadSimulator;
+use dphls_systolic::{
+    alignment_cycles, effective_cycles_per_alignment, run_systolic, CycleModelParams,
+    KernelCycleInfo,
+};
+use dphls_util::{sci, Table};
+
+/// One tiled-alignment sample.
+#[derive(Debug, Clone, Copy)]
+pub struct TilingRow {
+    /// Read length (bases).
+    pub read_len: usize,
+    /// Tiles executed.
+    pub tiles: usize,
+    /// Stitched affine score.
+    pub tiled_score: i64,
+    /// Full (untiled) global affine score, when feasible to compute.
+    pub full_score: Option<i64>,
+    /// Modeled DP-HLS reads/second through the tiling pipeline.
+    pub dphls_reads_per_sec: f64,
+    /// Modeled GACT reads/second (overlapped schedule, same tiles).
+    pub gact_reads_per_sec: f64,
+}
+
+/// Read lengths swept (up to the paper's 10 kb PacBio reads).
+pub const READ_LENGTHS: [usize; 4] = [512, 1_024, 2_048, 10_000];
+
+/// Error rate used for the long reads (the paper's 30 % is used for the
+/// dataset; a gentler 15 % keeps the optimal path within the tile band so
+/// score-fidelity is measurable).
+pub const ERROR_RATE: f64 = 0.15;
+
+/// Reproduces the tiling experiment.
+pub fn run() -> Vec<TilingRow> {
+    let tiling = TilingConfig::paper_default();
+    let params = AffineParams::<i32>::dna();
+    let mut sim = ReadSimulator::new(0x7117);
+    READ_LENGTHS
+        .iter()
+        .map(|&len| {
+            let (reference, read) = sim.read_pair(len, ERROR_RATE);
+            let tiled = tiled_global_affine(
+                read.as_slice(),
+                reference.as_slice(),
+                &params,
+                tiling,
+                32,
+            )
+            .expect("tiling succeeds");
+            let full_score = if len <= 2_048 {
+                Some(
+                    run_reference::<GlobalAffine<i32>>(
+                        &params,
+                        read.as_slice(),
+                        reference.as_slice(),
+                        Banding::None,
+                    )
+                    .best_score as i64,
+                )
+            } else {
+                None
+            };
+            // Per-tile device cycles from a representative full tile.
+            let cfg = KernelConfig::new(32, 1, 1).with_max_lengths(tiling.tile, tiling.tile);
+            let t = tiling.tile.min(read.len()).min(reference.len());
+            let tile_run = run_systolic::<GlobalAffine<i32>>(
+                &params,
+                &read.as_slice()[..t],
+                &reference.as_slice()[..t],
+                &cfg,
+            )
+            .expect("tile run");
+            let kinfo = KernelCycleInfo {
+                sym_bits: 2,
+                has_walk: true,
+                ii: 1,
+            };
+            let reads_per_sec = |sched: &CycleModelParams| {
+                let b = alignment_cycles(&tile_run.stats, &kinfo, sched);
+                let cycles = effective_cycles_per_alignment(&b, &cfg) * tiled.tiles as u64;
+                250.0e6 / cycles as f64
+            };
+            TilingRow {
+                read_len: len,
+                tiles: tiled.tiles,
+                tiled_score: tiled.score,
+                full_score,
+                dphls_reads_per_sec: reads_per_sec(&CycleModelParams::dphls()),
+                gact_reads_per_sec: reads_per_sec(&CycleModelParams::rtl_overlapped()),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[TilingRow]) -> Table {
+    let mut t = Table::new(
+        [
+            "read len", "tiles", "tiled score", "full score", "DP-HLS reads/s", "GACT reads/s",
+            "rel",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    t.title("Long reads via GACT-style tiling of kernel #2 (tile 256, overlap 32)");
+    for r in rows {
+        t.row(vec![
+            r.read_len.to_string(),
+            r.tiles.to_string(),
+            r.tiled_score.to_string(),
+            r.full_score.map_or("-".into(), |s| s.to_string()),
+            sci(r.dphls_reads_per_sec),
+            sci(r.gact_reads_per_sec),
+            format!("{:.3}", r.dphls_reads_per_sec / r.gact_reads_per_sec),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_grow_with_read_length() {
+        let rows = run();
+        for w in rows.windows(2) {
+            assert!(w[1].tiles > w[0].tiles);
+        }
+        // 10 kb read at 256-tile/32-overlap: on the order of 10000/224 tiles.
+        let long = rows.last().unwrap();
+        assert!(long.tiles >= 40 && long.tiles <= 70, "tiles {}", long.tiles);
+    }
+
+    #[test]
+    fn tiled_score_tracks_full_score() {
+        for r in run() {
+            if let Some(full) = r.full_score {
+                assert!(r.tiled_score <= full);
+                // Within a small absolute slack of the optimum.
+                let slack = (full - r.tiled_score).abs();
+                assert!(
+                    slack as f64 <= 0.1 * (r.read_len as f64),
+                    "len {}: tiled {} vs full {full}",
+                    r.read_len,
+                    r.tiled_score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relative_throughput_consistent_across_lengths() {
+        // §7.3: "The relative throughput ... remained consistent for long
+        // alignments, as both approaches use the same number of tiles."
+        let rows = run();
+        let ratios: Vec<f64> = rows
+            .iter()
+            .map(|r| r.dphls_reads_per_sec / r.gact_reads_per_sec)
+            .collect();
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 1.05, "ratio drift {min:.3}..{max:.3}");
+        assert!(ratios.iter().all(|&x| x < 1.0)); // GACT stays ahead
+    }
+
+    #[test]
+    fn render_includes_ten_kb_row() {
+        let s = render(&run()).to_string();
+        assert!(s.contains("10000"));
+    }
+}

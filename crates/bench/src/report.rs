@@ -1,0 +1,196 @@
+//! Machine-readable experiment reports: every experiment's rows serialized
+//! to JSON so downstream tooling (plotting, regression tracking) can consume
+//! the reproduction without scraping tables.
+//!
+//! `cargo run -p dphls-bench --bin all_experiments -- --json out.json`
+//! writes the full report.
+
+use crate::experiments::{ablation, fig3, fig4, fig5, fig6, sec75, table2, tiling};
+use serde::Serialize;
+
+/// One Table 2 row, serialized.
+#[derive(Debug, Serialize)]
+pub struct Table2Json {
+    /// Kernel id.
+    pub id: u8,
+    /// Kernel name.
+    pub name: String,
+    /// Modeled block utilization `[LUT, FF, BRAM, DSP]`.
+    pub util: [f64; 4],
+    /// Paper utilization.
+    pub paper_util: [f64; 4],
+    /// `(NPE, NB, NK)`.
+    pub config: (usize, usize, usize),
+    /// Modeled fmax (MHz).
+    pub freq_mhz: f64,
+    /// Modeled throughput (aln/s).
+    pub aln_per_sec: f64,
+    /// Paper throughput (aln/s).
+    pub paper_aln_per_sec: f64,
+}
+
+/// A generic x/y scaling point.
+#[derive(Debug, Serialize)]
+pub struct PointJson {
+    /// Swept value.
+    pub x: usize,
+    /// Throughput (aln/s).
+    pub throughput_aps: f64,
+    /// Device utilization `[LUT, FF, BRAM, DSP]`.
+    pub util: [f64; 4],
+}
+
+/// One baseline comparison entry.
+#[derive(Debug, Serialize)]
+pub struct ComparisonJson {
+    /// Kernel id.
+    pub kernel_id: u8,
+    /// Baseline name.
+    pub baseline: String,
+    /// DP-HLS throughput (aln/s).
+    pub dphls_aps: f64,
+    /// Baseline throughput (aln/s).
+    pub baseline_aps: f64,
+    /// Modeled speedup or margin.
+    pub modeled: f64,
+    /// Paper value.
+    pub paper: f64,
+}
+
+/// The complete serialized report.
+#[derive(Debug, Serialize)]
+pub struct FullReport {
+    /// Table 2 rows.
+    pub table2: Vec<Table2Json>,
+    /// Fig 3 NPE sweeps, keyed by kernel id.
+    pub fig3_npe: Vec<(u8, Vec<PointJson>)>,
+    /// Fig 3 NB sweeps, keyed by kernel id.
+    pub fig3_nb: Vec<(u8, Vec<PointJson>)>,
+    /// Fig 4 RTL margins.
+    pub fig4: Vec<ComparisonJson>,
+    /// Fig 5 points (#2 vs GACT).
+    pub fig5: Vec<ComparisonJson>,
+    /// Fig 6 CPU + GPU speedups.
+    pub fig6: Vec<ComparisonJson>,
+    /// §7.5 HLS baseline speedup (modeled, paper).
+    pub sec75: (f64, f64),
+    /// Tiling rows: (read_len, tiles, tiled_score, dphls/gact ratio).
+    pub tiling: Vec<(usize, usize, i64, f64)>,
+    /// Schedule-ablation gaps per kernel.
+    pub schedule_gap: Vec<(u8, f64)>,
+}
+
+/// Runs every experiment and assembles the JSON report.
+pub fn build(measure_pairs: usize) -> FullReport {
+    let t2 = table2::run();
+    let (k1, k9) = fig3::run();
+    let f4 = fig4::run();
+    let f5 = fig5::run();
+    let (cpu, gpu) = fig6::run(measure_pairs);
+    let s75 = sec75::run();
+    let til = tiling::run();
+    let sched = ablation::schedule_ablation();
+
+    let point = |p: &fig3::ScalePoint| PointJson {
+        x: p.x,
+        throughput_aps: p.throughput_aps,
+        util: p.util,
+    };
+    FullReport {
+        table2: t2
+            .iter()
+            .map(|r| Table2Json {
+                id: r.id,
+                name: r.name.to_string(),
+                util: r.util,
+                paper_util: r.paper_util,
+                config: r.config,
+                freq_mhz: r.freq_mhz,
+                aln_per_sec: r.aln_per_sec,
+                paper_aln_per_sec: r.paper_aln_per_sec,
+            })
+            .collect(),
+        fig3_npe: vec![
+            (k1.id, k1.npe_sweep.iter().map(point).collect()),
+            (k9.id, k9.npe_sweep.iter().map(point).collect()),
+        ],
+        fig3_nb: vec![
+            (k1.id, k1.nb_sweep.iter().map(point).collect()),
+            (k9.id, k9.nb_sweep.iter().map(point).collect()),
+        ],
+        fig4: f4
+            .iter()
+            .map(|r| ComparisonJson {
+                kernel_id: r.kernel_id,
+                baseline: r.design.name().to_string(),
+                dphls_aps: r.dphls_aps,
+                baseline_aps: r.rtl_aps,
+                modeled: r.modeled_margin(),
+                paper: r.paper_margin,
+            })
+            .collect(),
+        fig5: f5
+            .iter()
+            .map(|p| ComparisonJson {
+                kernel_id: 2,
+                baseline: format!("GACT@NPE{}", p.npe),
+                dphls_aps: p.dphls_aps,
+                baseline_aps: p.gact_aps,
+                modeled: p.dphls_aps / p.gact_aps,
+                paper: 1.0 - 0.077,
+            })
+            .collect(),
+        fig6: cpu
+            .iter()
+            .chain(gpu.iter())
+            .map(|r| ComparisonJson {
+                kernel_id: r.kernel_id,
+                baseline: r.tool.to_string(),
+                dphls_aps: r.dphls_aps,
+                baseline_aps: r.baseline_paper_aps,
+                modeled: r.modeled_speedup,
+                paper: r.paper_speedup,
+            })
+            .collect(),
+        sec75: (s75.modeled_speedup(), s75.paper_speedup),
+        tiling: til
+            .iter()
+            .map(|r| {
+                (
+                    r.read_len,
+                    r.tiles,
+                    r.tiled_score,
+                    r.dphls_reads_per_sec / r.gact_reads_per_sec,
+                )
+            })
+            .collect(),
+        schedule_gap: sched.iter().map(|g| (g.id, g.gap())).collect(),
+    }
+}
+
+/// Serializes the report to pretty JSON.
+///
+/// # Panics
+///
+/// Panics if serialization fails (plain data; cannot fail in practice).
+pub fn to_json(report: &FullReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serialization")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_builds_and_serializes() {
+        let r = build(0);
+        assert_eq!(r.table2.len(), 15);
+        assert_eq!(r.fig4.len(), 3);
+        assert_eq!(r.fig6.len(), 14);
+        assert_eq!(r.schedule_gap.len(), 15);
+        let json = to_json(&r);
+        assert!(json.contains("\"table2\""));
+        assert!(json.contains("\"sec75\""));
+        assert!(json.len() > 2_000);
+    }
+}

@@ -1,0 +1,270 @@
+//! Alignment paths produced by traceback.
+
+use crate::traceback::TbMove;
+use std::fmt;
+
+/// One step of an alignment path, in forward (top-left → bottom-right) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlnOp {
+    /// Both sequences advance (match or substitution) — CIGAR `M`.
+    Diag,
+    /// Query advances, reference gaps — CIGAR `I`.
+    Up,
+    /// Reference advances, query gaps — CIGAR `D`.
+    Left,
+}
+
+impl AlnOp {
+    /// The CIGAR opcode character.
+    pub fn cigar_char(self) -> char {
+        match self {
+            AlnOp::Diag => 'M',
+            AlnOp::Up => 'I',
+            AlnOp::Left => 'D',
+        }
+    }
+
+    /// How many query symbols this op consumes.
+    pub fn query_step(self) -> usize {
+        match self {
+            AlnOp::Diag | AlnOp::Up => 1,
+            AlnOp::Left => 0,
+        }
+    }
+
+    /// How many reference symbols this op consumes.
+    pub fn ref_step(self) -> usize {
+        match self {
+            AlnOp::Diag | AlnOp::Left => 1,
+            AlnOp::Up => 0,
+        }
+    }
+}
+
+impl TryFrom<TbMove> for AlnOp {
+    type Error = ();
+    fn try_from(m: TbMove) -> Result<AlnOp, ()> {
+        match m {
+            TbMove::Diag => Ok(AlnOp::Diag),
+            TbMove::Up => Ok(AlnOp::Up),
+            TbMove::Left => Ok(AlnOp::Left),
+            TbMove::Stop => Err(()),
+        }
+    }
+}
+
+/// A complete alignment path.
+///
+/// `start` is the top-left-most matrix cell **preceding** the first op (so a
+/// global alignment has `start == (0, 0)`), and `end` is the bottom-right
+/// cell where the traceback began. Cell coordinates are `(i, j)` with `i`
+/// indexing the query (rows) and `j` the reference (columns), 1-based for
+/// interior cells.
+///
+/// # Example
+///
+/// ```
+/// use dphls_core::{AlnOp, Alignment};
+/// let aln = Alignment::new(vec![AlnOp::Diag, AlnOp::Diag, AlnOp::Left], (0, 0), (2, 3));
+/// assert_eq!(aln.cigar(), "2M1D");
+/// assert_eq!(aln.query_span(), 2);
+/// assert_eq!(aln.ref_span(), 3);
+/// assert!(aln.is_consistent());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    ops: Vec<AlnOp>,
+    start: (usize, usize),
+    end: (usize, usize),
+}
+
+impl Alignment {
+    /// Creates an alignment from forward-ordered ops and its anchor cells.
+    pub fn new(ops: Vec<AlnOp>, start: (usize, usize), end: (usize, usize)) -> Self {
+        Self { ops, start, end }
+    }
+
+    /// The path ops in forward order.
+    pub fn ops(&self) -> &[AlnOp] {
+        &self.ops
+    }
+
+    /// The cell preceding the first op (top anchor).
+    pub fn start(&self) -> (usize, usize) {
+        self.start
+    }
+
+    /// The cell of the last op (bottom anchor, where traceback started).
+    pub fn end(&self) -> (usize, usize) {
+        self.end
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the path is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Query symbols consumed.
+    pub fn query_span(&self) -> usize {
+        self.ops.iter().map(|o| o.query_step()).sum()
+    }
+
+    /// Reference symbols consumed.
+    pub fn ref_span(&self) -> usize {
+        self.ops.iter().map(|o| o.ref_step()).sum()
+    }
+
+    /// Run-length-encoded CIGAR string (`M`/`I`/`D`).
+    pub fn cigar(&self) -> String {
+        let mut out = String::new();
+        let mut it = self.ops.iter().peekable();
+        while let Some(&op) = it.next() {
+            let mut run = 1usize;
+            while it.peek() == Some(&&op) {
+                it.next();
+                run += 1;
+            }
+            out.push_str(&run.to_string());
+            out.push(op.cigar_char());
+        }
+        out
+    }
+
+    /// Counts of (diag, up, left) ops.
+    pub fn op_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for op in &self.ops {
+            match op {
+                AlnOp::Diag => c.0 += 1,
+                AlnOp::Up => c.1 += 1,
+                AlnOp::Left => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Structural validation: the spans implied by the ops must connect
+    /// `start` to `end` exactly.
+    pub fn is_consistent(&self) -> bool {
+        self.start.0 + self.query_span() == self.end.0
+            && self.start.1 + self.ref_span() == self.end.1
+    }
+
+    /// Fraction of diagonal ops whose symbols match, given the two
+    /// sequences. Returns `None` for an empty path or out-of-bounds anchors.
+    pub fn identity<T: PartialEq>(&self, query: &[T], reference: &[T]) -> Option<f64> {
+        if self.ops.is_empty() || self.end.0 > query.len() || self.end.1 > reference.len() {
+            return None;
+        }
+        let (mut i, mut j) = self.start;
+        let mut matches = 0usize;
+        let mut diags = 0usize;
+        for op in &self.ops {
+            match op {
+                AlnOp::Diag => {
+                    diags += 1;
+                    if query[i] == reference[j] {
+                        matches += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                AlnOp::Up => i += 1,
+                AlnOp::Left => j += 1,
+            }
+        }
+        if diags == 0 {
+            None
+        } else {
+            Some(matches as f64 / diags as f64)
+        }
+    }
+}
+
+impl fmt::Display for Alignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@({},{})..({},{})",
+            self.cigar(),
+            self.start.0,
+            self.start.1,
+            self.end.0,
+            self.end.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Alignment {
+        Alignment::new(
+            vec![AlnOp::Diag, AlnOp::Diag, AlnOp::Up, AlnOp::Left, AlnOp::Diag],
+            (0, 0),
+            (4, 4),
+        )
+    }
+
+    #[test]
+    fn cigar_run_length_encodes() {
+        assert_eq!(sample().cigar(), "2M1I1D1M");
+        assert_eq!(Alignment::new(vec![], (0, 0), (0, 0)).cigar(), "");
+    }
+
+    #[test]
+    fn spans_count_consumption() {
+        let a = sample();
+        assert_eq!(a.query_span(), 4); // 3 diag + 1 up
+        assert_eq!(a.ref_span(), 4); // 3 diag + 1 left
+        assert!(a.is_consistent());
+    }
+
+    #[test]
+    fn inconsistent_anchor_detected() {
+        let a = Alignment::new(vec![AlnOp::Diag], (0, 0), (2, 1));
+        assert!(!a.is_consistent());
+    }
+
+    #[test]
+    fn op_counts() {
+        assert_eq!(sample().op_counts(), (3, 1, 1));
+    }
+
+    #[test]
+    fn identity_counts_matching_diags() {
+        // query  = A C G
+        // ref    = A T G
+        let a = Alignment::new(vec![AlnOp::Diag, AlnOp::Diag, AlnOp::Diag], (0, 0), (3, 3));
+        let q = ['A', 'C', 'G'];
+        let r = ['A', 'T', 'G'];
+        assert_eq!(a.identity(&q, &r), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn identity_none_for_gap_only() {
+        let a = Alignment::new(vec![AlnOp::Left], (0, 0), (0, 1));
+        assert_eq!(a.identity(&['A'], &['A']), None);
+    }
+
+    #[test]
+    fn tbmove_conversion() {
+        assert_eq!(AlnOp::try_from(TbMove::Diag), Ok(AlnOp::Diag));
+        assert_eq!(AlnOp::try_from(TbMove::Up), Ok(AlnOp::Up));
+        assert_eq!(AlnOp::try_from(TbMove::Left), Ok(AlnOp::Left));
+        assert!(AlnOp::try_from(TbMove::Stop).is_err());
+    }
+
+    #[test]
+    fn display_includes_anchors() {
+        let s = sample().to_string();
+        assert!(s.contains("(0,0)"));
+        assert!(s.contains("(4,4)"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Operator-count instrumentation for the FPGA resource model.
+//!
+//! The `dphls-fpga` crate estimates LUT/FF/DSP usage from the *structure* of
+//! each kernel's PE function, the way HLS synthesis would. Rather than asking
+//! kernel authors to declare their operator mix (which would drift from the
+//! code), the mix is **measured**: the kernel's real `pe()` is executed once
+//! with [`CountingScore`], a [`Score`] wrapper that increments thread-local
+//! counters on every arithmetic operation and tracks the longest dependency
+//! chain (a critical-path proxy for the frequency model).
+
+use crate::score::Score;
+use std::cell::RefCell;
+use std::fmt;
+
+/// Operator counts for one PE-function invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Saturating adders (`add` + `sub`).
+    pub adds: u64,
+    /// Multipliers (DSP candidates).
+    pub muls: u64,
+    /// Comparator+mux pairs (`max_with` / `min_with`).
+    pub cmps: u64,
+    /// Longest dependency chain through the recurrence, in weighted levels
+    /// (add/cmp = 1 level, mul = 3 levels).
+    pub depth: u32,
+}
+
+impl OpCounts {
+    /// Total counted operators.
+    pub fn total(&self) -> u64 {
+        self.adds + self.muls + self.cmps
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "adds={} muls={} cmps={} depth={}",
+            self.adds, self.muls, self.cmps, self.depth
+        )
+    }
+}
+
+thread_local! {
+    static COUNTER: RefCell<OpCounts> = RefCell::new(OpCounts::default());
+}
+
+fn record(f: impl FnOnce(&mut OpCounts)) {
+    COUNTER.with(|c| f(&mut c.borrow_mut()));
+}
+
+/// Resets the thread-local counter and runs `f`, returning its result plus
+/// the operators counted during the call.
+///
+/// # Example
+///
+/// ```
+/// use dphls_core::instrument::{count_ops, CountingScore};
+/// use dphls_core::Score;
+/// let (_, counts) = count_ops(|| {
+///     let a = CountingScore::wrap(1i32);
+///     let b = CountingScore::wrap(2i32);
+///     a.add(b).max_with(CountingScore::wrap(0)).0
+/// });
+/// assert_eq!(counts.adds, 1);
+/// assert_eq!(counts.cmps, 1);
+/// assert_eq!(counts.depth, 2); // add feeding a comparator
+/// ```
+pub fn count_ops<T>(f: impl FnOnce() -> T) -> (T, OpCounts) {
+    COUNTER.with(|c| *c.borrow_mut() = OpCounts::default());
+    let out = f();
+    let counts = COUNTER.with(|c| *c.borrow());
+    (out, counts)
+}
+
+/// A [`Score`] wrapper that counts operators and tracks dependency depth.
+///
+/// Each value carries the length of the operator chain that produced it;
+/// binary operations take `max(depth_lhs, depth_rhs) + cost`, and the
+/// thread-local counter remembers the maximum depth ever produced.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct CountingScore<S> {
+    value: S,
+    depth: u32,
+}
+
+impl<S: Score> CountingScore<S> {
+    /// Wraps a value with zero depth (an input register).
+    pub fn wrap(value: S) -> Self {
+        Self { value, depth: 0 }
+    }
+
+    /// The wrapped value.
+    pub fn value(self) -> S {
+        self.value
+    }
+
+    fn derived(value: S, depth: u32) -> Self {
+        record(|c| c.depth = c.depth.max(depth));
+        Self { value, depth }
+    }
+}
+
+impl<S: Score> Score for CountingScore<S> {
+    const BITS: u32 = S::BITS;
+
+    fn zero() -> Self {
+        Self::wrap(S::zero())
+    }
+    fn neg_inf() -> Self {
+        Self::wrap(S::neg_inf())
+    }
+    fn pos_inf() -> Self {
+        Self::wrap(S::pos_inf())
+    }
+    fn from_i32(v: i32) -> Self {
+        Self::wrap(S::from_i32(v))
+    }
+    fn from_f64(v: f64) -> Self {
+        Self::wrap(S::from_f64(v))
+    }
+    fn to_f64(self) -> f64 {
+        self.value.to_f64()
+    }
+    fn add(self, rhs: Self) -> Self {
+        record(|c| c.adds += 1);
+        Self::derived(self.value.add(rhs.value), self.depth.max(rhs.depth) + 1)
+    }
+    fn sub(self, rhs: Self) -> Self {
+        record(|c| c.adds += 1);
+        Self::derived(self.value.sub(rhs.value), self.depth.max(rhs.depth) + 1)
+    }
+    fn mul(self, rhs: Self) -> Self {
+        record(|c| c.muls += 1);
+        Self::derived(self.value.mul(rhs.value), self.depth.max(rhs.depth) + 3)
+    }
+    fn max_with(self, rhs: Self) -> (Self, bool) {
+        record(|c| c.cmps += 1);
+        let (v, rhs_won) = self.value.max_with(rhs.value);
+        (
+            Self::derived(v, self.depth.max(rhs.depth) + 1),
+            rhs_won,
+        )
+    }
+    fn min_with(self, rhs: Self) -> (Self, bool) {
+        record(|c| c.cmps += 1);
+        let (v, rhs_won) = self.value.min_with(rhs.value);
+        (
+            Self::derived(v, self.depth.max(rhs.depth) + 1),
+            rhs_won,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::{argmax, argmin};
+
+    type C = CountingScore<i32>;
+
+    #[test]
+    fn counts_adds_and_muls() {
+        let (_, c) = count_ops(|| {
+            let a = C::from_i32(2);
+            let b = C::from_i32(3);
+            let s = a.add(b); // 1 add, depth 1
+            let p = s.mul(b); // 1 mul, depth 4
+            p.sub(a) // 1 add, depth 5
+        });
+        assert_eq!(c.adds, 2);
+        assert_eq!(c.muls, 1);
+        assert_eq!(c.cmps, 0);
+        assert_eq!(c.depth, 5);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn depth_takes_longest_path() {
+        let (_, c) = count_ops(|| {
+            let a = C::from_i32(1);
+            let deep = a.add(a).add(a).add(a); // depth 3
+            let shallow = a.add(a); // depth 1
+            deep.max_with(shallow).0 // depth 4
+        });
+        assert_eq!(c.depth, 4);
+        assert_eq!(c.cmps, 1);
+    }
+
+    #[test]
+    fn values_stay_correct_under_counting() {
+        let ((v, tag), c) = count_ops(|| {
+            argmax([
+                (C::from_i32(3), 0u8),
+                (C::from_i32(9), 1),
+                (C::from_i32(5), 2),
+            ])
+        });
+        assert_eq!(v.value(), 9);
+        assert_eq!(tag, 1);
+        assert_eq!(c.cmps, 2);
+    }
+
+    #[test]
+    fn argmin_counts_too() {
+        let ((v, _), c) = count_ops(|| argmin([(C::from_i32(3), 0u8), (C::from_i32(1), 1)]));
+        assert_eq!(v.value(), 1);
+        assert_eq!(c.cmps, 1);
+    }
+
+    #[test]
+    fn counter_resets_between_measurements() {
+        let (_, c1) = count_ops(|| C::from_i32(1).add(C::from_i32(2)));
+        let (_, c2) = count_ops(|| C::from_i32(1));
+        assert_eq!(c1.adds, 1);
+        assert_eq!(c2.adds, 0);
+        assert_eq!(c2.depth, 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let c = OpCounts {
+            adds: 1,
+            muls: 2,
+            cmps: 3,
+            depth: 4,
+        };
+        assert_eq!(c.to_string(), "adds=1 muls=2 cmps=3 depth=4");
+    }
+
+    #[test]
+    fn counting_preserves_sentinels() {
+        assert_eq!(C::neg_inf().value(), <i32 as Score>::neg_inf());
+        assert_eq!(C::pos_inf().value(), <i32 as Score>::pos_inf());
+        assert_eq!(C::zero().value(), 0);
+        assert_eq!(C::from_f64(2.0).value(), 2);
+    }
+}

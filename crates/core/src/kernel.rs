@@ -1,0 +1,272 @@
+//! The [`KernelSpec`] trait — the front-end contract every 2-D DP kernel
+//! implements (paper §4).
+
+use crate::score::Score;
+use crate::traceback::{TbMove, TbPtr, TbState, TracebackSpec};
+use dphls_seq::Symbol;
+use std::fmt;
+
+/// Maximum number of scoring layers any kernel may use.
+///
+/// The paper's deepest kernel is the two-piece affine family
+/// (#5, #13) with `N_LAYERS = 5` (H, I, D, I', D').
+pub const MAX_LAYERS: usize = 5;
+
+/// The per-cell score vector: one value per scoring layer (`N_LAYERS` values
+/// stored per DP-matrix cell, paper §4 step 2).
+///
+/// Layer 0 is always the primary (`H`) layer whose value is reported as the
+/// cell score; additional layers carry gap-state values (`I`, `D`, …).
+///
+/// # Example
+///
+/// ```
+/// use dphls_core::LayerVec;
+/// let mut v = LayerVec::splat(3, -1i32);
+/// v.set(0, 7);
+/// assert_eq!(v.get(0), 7);
+/// assert_eq!(v.get(2), -1);
+/// assert_eq!(v.len(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+pub struct LayerVec<S> {
+    vals: [S; MAX_LAYERS],
+    len: usize,
+}
+
+impl<S: Score> LayerVec<S> {
+    /// Creates a vector of `len` layers, all set to `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or exceeds [`MAX_LAYERS`].
+    pub fn splat(len: usize, fill: S) -> Self {
+        assert!(len >= 1 && len <= MAX_LAYERS, "layer count must be 1..=5");
+        Self {
+            vals: [fill; MAX_LAYERS],
+            len,
+        }
+    }
+
+    /// Creates from a slice (length = layer count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is empty or longer than [`MAX_LAYERS`].
+    pub fn from_slice(vals: &[S]) -> Self {
+        let mut v = Self::splat(vals.len(), vals[0]);
+        for (i, &x) in vals.iter().enumerate() {
+            v.vals[i] = x;
+        }
+        v
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false (layer vectors are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Value of layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> S {
+        assert!(i < self.len, "layer index out of range");
+        self.vals[i]
+    }
+
+    /// Sets layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, v: S) {
+        assert!(i < self.len, "layer index out of range");
+        self.vals[i] = v;
+    }
+
+    /// The primary (H) layer value.
+    pub fn primary(&self) -> S {
+        self.vals[0]
+    }
+
+    /// View of the live layers.
+    pub fn as_slice(&self) -> &[S] {
+        &self.vals[..self.len]
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for LayerVec<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.vals[..self.len].iter()).finish()
+    }
+}
+
+/// Whether a kernel searches for the maximum or minimum cell score
+/// (paper §2.2.2d: DTW replaces `max` with `min`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Higher scores are better (alignment kernels).
+    Maximize,
+    /// Lower scores are better (DTW-family kernels).
+    Minimize,
+}
+
+impl Objective {
+    /// Whether `a` is strictly better than `b` under this objective.
+    pub fn better<S: Score>(self, a: S, b: S) -> bool {
+        match self {
+            Objective::Maximize => a > b,
+            Objective::Minimize => a < b,
+        }
+    }
+
+    /// The worst possible value (the identity of the objective's reduction).
+    pub fn worst<S: Score>(self) -> S {
+        match self {
+            Objective::Maximize => S::neg_inf(),
+            Objective::Minimize => S::pos_inf(),
+        }
+    }
+}
+
+/// Table 1 kernel identity (1..=15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelId(pub u8);
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Static description of a kernel: everything the back-end and the resource
+/// model need besides the recurrence itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelMeta {
+    /// Table 1 index.
+    pub id: KernelId,
+    /// Human-readable name, e.g. `"Global Linear (Needleman-Wunsch)"`.
+    pub name: &'static str,
+    /// `N_LAYERS`: values stored per DP cell (paper §4 step 2).
+    pub n_layers: usize,
+    /// Width of the stored traceback pointer in bits (`tb_t`).
+    pub tb_bits: u32,
+    /// Max or min objective.
+    pub objective: Objective,
+    /// Traceback strategy (best-cell rule + walk kind).
+    pub traceback: TracebackSpec,
+}
+
+/// A 2-D DP kernel specification — the DP-HLS front-end contract.
+///
+/// Implementations are zero-sized types; all state lives in `Params`
+/// (the paper's `ScoringParams`, set at runtime by the host).
+///
+/// The back-end promises `pe` is called exactly once per in-band cell, with
+/// neighbor vectors already populated (out-of-band or out-of-matrix
+/// neighbors carry `objective.worst()` in every layer, so recurrences never
+/// select them).
+pub trait KernelSpec {
+    /// The sequence symbol type (`char_t`).
+    type Sym: Symbol;
+    /// The score type (`type_t`).
+    type Score: Score;
+    /// Runtime scoring parameters (`ScoringParams`).
+    type Params: Clone + Send + Sync + 'static;
+
+    /// Static kernel description.
+    fn meta() -> KernelMeta;
+
+    /// Score of boundary cell `(0, j)`, `j ∈ 0..=R` (paper Listing 4).
+    fn init_row(params: &Self::Params, j: usize) -> LayerVec<Self::Score>;
+
+    /// Score of boundary cell `(i, 0)`, `i ∈ 1..=Q`.
+    fn init_col(params: &Self::Params, i: usize) -> LayerVec<Self::Score>;
+
+    /// The PE function (paper Listings 5–6): computes the score vector and
+    /// traceback pointer of cell `(i, j)` from its three neighbors and the
+    /// local query/reference symbols.
+    fn pe(
+        params: &Self::Params,
+        q: Self::Sym,
+        r: Self::Sym,
+        diag: &LayerVec<Self::Score>,
+        up: &LayerVec<Self::Score>,
+        left: &LayerVec<Self::Score>,
+    ) -> (LayerVec<Self::Score>, TbPtr);
+
+    /// The traceback FSM transition (paper Listing 7): maps the current
+    /// state and the stored pointer of the current cell to the next state
+    /// and the move to perform.
+    ///
+    /// Kernels without traceback may leave the default (stop immediately).
+    fn tb_step(_state: TbState, _ptr: TbPtr) -> (TbState, TbMove) {
+        (TbState(0), TbMove::Stop)
+    }
+
+    /// The FSM start state (defaults to `MM` = state 0).
+    fn tb_start_state() -> TbState {
+        TbState(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_vec_accessors() {
+        let mut v = LayerVec::splat(5, 0i16);
+        for i in 0..5 {
+            v.set(i, i as i16);
+        }
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.primary(), 0);
+        assert_eq!(LayerVec::from_slice(&[7i16, 8]).get(1), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=5")]
+    fn layer_vec_rejects_zero_layers() {
+        LayerVec::<i16>::splat(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=5")]
+    fn layer_vec_rejects_six_layers() {
+        LayerVec::<i16>::splat(6, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn layer_vec_get_bounds() {
+        LayerVec::<i16>::splat(2, 0).get(2);
+    }
+
+    #[test]
+    fn objective_better() {
+        assert!(Objective::Maximize.better(3i32, 2));
+        assert!(!Objective::Maximize.better(2i32, 2));
+        assert!(Objective::Minimize.better(1i32, 2));
+        assert_eq!(Objective::Maximize.worst::<i32>(), <i32 as Score>::neg_inf());
+        assert_eq!(Objective::Minimize.worst::<i32>(), <i32 as Score>::pos_inf());
+    }
+
+    #[test]
+    fn kernel_id_displays_like_paper() {
+        assert_eq!(KernelId(7).to_string(), "#7");
+    }
+
+    #[test]
+    fn layer_vec_debug_lists_values() {
+        let v = LayerVec::from_slice(&[1i16, 2]);
+        assert_eq!(format!("{v:?}"), "[1, 2]");
+    }
+}

@@ -1,0 +1,271 @@
+//! The score value abstraction (`type_t` in the paper's front-end).
+//!
+//! DP-HLS lets each kernel pick the precision of its scores (paper §4
+//! step 1: "custom data types of variable precision for scoring"); kernels in
+//! this reproduction are generic over a [`Score`] type so that the same
+//! recurrence runs with
+//!
+//! * a plain integer (`i16`/`i32`) for the alignment kernels,
+//! * a fixed-point [`dphls_fixed::ApFixed`] for DTW and Viterbi, and
+//! * an instrumented [`crate::CountingScore`] wrapper that counts operators
+//!   for the FPGA resource model (`dphls-fpga`).
+//!
+//! All arithmetic **saturates**: DP recurrences routinely add penalties to
+//! "−∞" sentinels, and on the FPGA the corresponding `ap_int` datapaths are
+//! sized to never wrap in the representable range.
+
+use dphls_fixed::ApFixed;
+use std::fmt;
+
+/// A value that can flow through a DP recurrence.
+///
+/// Kernels must compute **only** through these methods (not through native
+/// `+`/`max`), so that the instrumented wrapper sees every operator the
+/// synthesized datapath would contain.
+pub trait Score:
+    Copy + fmt::Debug + PartialEq + PartialOrd + Send + Sync + 'static
+{
+    /// Datapath width in bits (drives LUT/FF/DSP estimates).
+    const BITS: u32;
+
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The "−∞" sentinel: worse than any reachable score under `max`,
+    /// and far enough from the representable minimum that subtracting
+    /// penalties cannot wrap it past a real score.
+    fn neg_inf() -> Self;
+    /// The "+∞" sentinel (for `min`-objective kernels such as DTW).
+    fn pos_inf() -> Self;
+    /// Converts a small integer parameter.
+    fn from_i32(v: i32) -> Self;
+    /// Converts a float parameter (used by fixed-point kernels).
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64` for reporting.
+    fn to_f64(self) -> f64;
+    /// Saturating addition (one hardware adder).
+    fn add(self, rhs: Self) -> Self;
+    /// Saturating subtraction (one hardware adder).
+    fn sub(self, rhs: Self) -> Self;
+    /// Saturating multiplication (one hardware multiplier / DSP tile group).
+    fn mul(self, rhs: Self) -> Self;
+    /// Returns `(max(self, rhs), rhs_won)` — one comparator plus one mux.
+    fn max_with(self, rhs: Self) -> (Self, bool);
+    /// Returns `(min(self, rhs), rhs_won)` — one comparator plus one mux.
+    fn min_with(self, rhs: Self) -> (Self, bool);
+}
+
+macro_rules! impl_score_int {
+    ($t:ty, $bits:expr) => {
+        impl Score for $t {
+            const BITS: u32 = $bits;
+
+            fn zero() -> Self {
+                0
+            }
+            fn neg_inf() -> Self {
+                // Half the range: headroom so sentinel - penalty never wraps.
+                <$t>::MIN / 2
+            }
+            fn pos_inf() -> Self {
+                <$t>::MAX / 2
+            }
+            fn from_i32(v: i32) -> Self {
+                v as $t
+            }
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            fn add(self, rhs: Self) -> Self {
+                self.saturating_add(rhs)
+            }
+            fn sub(self, rhs: Self) -> Self {
+                self.saturating_sub(rhs)
+            }
+            fn mul(self, rhs: Self) -> Self {
+                self.saturating_mul(rhs)
+            }
+            fn max_with(self, rhs: Self) -> (Self, bool) {
+                if rhs > self {
+                    (rhs, true)
+                } else {
+                    (self, false)
+                }
+            }
+            fn min_with(self, rhs: Self) -> (Self, bool) {
+                if rhs < self {
+                    (rhs, true)
+                } else {
+                    (self, false)
+                }
+            }
+        }
+    };
+}
+
+impl_score_int!(i16, 16);
+impl_score_int!(i32, 32);
+impl_score_int!(i64, 64);
+
+impl<const W: u32, const I: u32> Score for ApFixed<W, I> {
+    const BITS: u32 = W;
+
+    fn zero() -> Self {
+        ApFixed::ZERO
+    }
+    fn neg_inf() -> Self {
+        ApFixed::from_raw(ApFixed::<W, I>::MIN.raw() / 2)
+    }
+    fn pos_inf() -> Self {
+        ApFixed::from_raw(ApFixed::<W, I>::MAX.raw() / 2)
+    }
+    fn from_i32(v: i32) -> Self {
+        ApFixed::from_int(v as i64)
+    }
+    fn from_f64(v: f64) -> Self {
+        ApFixed::from_f64(v)
+    }
+    fn to_f64(self) -> f64 {
+        ApFixed::to_f64(self)
+    }
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+    fn sub(self, rhs: Self) -> Self {
+        self.saturating_sub(rhs)
+    }
+    fn mul(self, rhs: Self) -> Self {
+        self.saturating_mul(rhs)
+    }
+    fn max_with(self, rhs: Self) -> (Self, bool) {
+        if rhs > self {
+            (rhs, true)
+        } else {
+            (self, false)
+        }
+    }
+    fn min_with(self, rhs: Self) -> (Self, bool) {
+        if rhs < self {
+            (rhs, true)
+        } else {
+            (self, false)
+        }
+    }
+}
+
+/// Reduces candidates to the best (value, tag) pair under `max`, in order —
+/// the paper's Listing 6 pattern ("find max cell score and traceback
+/// pointer"). Later candidates win ties only if strictly greater.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+///
+/// # Example
+///
+/// ```
+/// use dphls_core::score::argmax;
+/// let (v, tag) = argmax([(3i32, 'a'), (5, 'b'), (5, 'c')]);
+/// assert_eq!((v, tag), (5, 'b'));
+/// ```
+pub fn argmax<S: Score, T: Copy>(candidates: impl IntoIterator<Item = (S, T)>) -> (S, T) {
+    let mut it = candidates.into_iter();
+    let (mut best, mut tag) = it.next().expect("argmax requires at least one candidate");
+    for (v, t) in it {
+        let (m, rhs_won) = best.max_with(v);
+        best = m;
+        if rhs_won {
+            tag = t;
+        }
+    }
+    (best, tag)
+}
+
+/// Like [`argmax`] but under `min` (DTW-family kernels).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn argmin<S: Score, T: Copy>(candidates: impl IntoIterator<Item = (S, T)>) -> (S, T) {
+    let mut it = candidates.into_iter();
+    let (mut best, mut tag) = it.next().expect("argmin requires at least one candidate");
+    for (v, t) in it {
+        let (m, rhs_won) = best.min_with(v);
+        best = m;
+        if rhs_won {
+            tag = t;
+        }
+    }
+    (best, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_sentinels_have_headroom() {
+        let ni = <i16 as Score>::neg_inf();
+        // subtracting a large penalty must not wrap past real scores
+        let drifted = ni.sub(10_000);
+        assert!(drifted < 0);
+        assert!(drifted <= ni);
+        let pi = <i16 as Score>::pos_inf();
+        assert!(pi.add(10_000) >= pi);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let big = i16::MAX;
+        assert_eq!(Score::add(big, 10), i16::MAX);
+        assert_eq!(Score::sub(i16::MIN, 10), i16::MIN);
+    }
+
+    #[test]
+    fn max_with_reports_winner() {
+        assert_eq!(3i32.max_with(5), (5, true));
+        assert_eq!(5i32.max_with(3), (5, false));
+        assert_eq!(5i32.max_with(5), (5, false)); // ties keep lhs
+        assert_eq!(3i32.min_with(5), (3, false));
+        assert_eq!(5i32.min_with(3), (3, true));
+    }
+
+    #[test]
+    fn argmax_first_wins_ties() {
+        let (v, t) = argmax([(1i16, 0u8), (4, 1), (4, 2), (2, 3)]);
+        assert_eq!((v, t), (4, 1));
+    }
+
+    #[test]
+    fn argmin_basic() {
+        let (v, t) = argmin([(9i32, 'x'), (2, 'y'), (2, 'z')]);
+        assert_eq!((v, t), (2, 'y'));
+    }
+
+    #[test]
+    fn fixed_point_score_ops() {
+        type F = ApFixed<32, 16>;
+        let a = <F as Score>::from_f64(1.5);
+        let b = <F as Score>::from_f64(2.0);
+        assert_eq!(Score::add(a, b).to_f64(), 3.5);
+        assert_eq!(Score::mul(a, b).to_f64(), 3.0);
+        assert!(<F as Score>::neg_inf() < <F as Score>::zero());
+        assert!(<F as Score>::pos_inf() > b);
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(<i32 as Score>::from_i32(-7), -7);
+        assert_eq!(<i16 as Score>::from_f64(3.0), 3);
+        assert_eq!(Score::to_f64(42i64), 42.0);
+    }
+
+    #[test]
+    fn bits_constants() {
+        assert_eq!(<i16 as Score>::BITS, 16);
+        assert_eq!(<i32 as Score>::BITS, 32);
+        assert_eq!(<ApFixed<32, 26> as Score>::BITS, 32);
+    }
+}

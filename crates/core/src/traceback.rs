@@ -1,0 +1,200 @@
+//! Traceback pointers, FSM states, and strategies (paper §2.2.3 and §4
+//! steps 4–5).
+//!
+//! The traceback stage of a 2-D DP kernel is a finite state machine: the
+//! current state plus the stored pointer of the current cell determine the
+//! next state and which neighbor the path moves to (paper Listing 7). The
+//! four classic strategies — global, local, semi-global, overlap — differ in
+//! where the walk *starts* and *stops*; [`TracebackSpec`] captures both.
+
+use std::fmt;
+
+/// A stored traceback pointer (`tb_t` in the paper, an `ap_uint<W>`).
+///
+/// The low 2 bits conventionally carry the direction
+/// ([`TbPtr::DIAG`]/[`TbPtr::UP`]/[`TbPtr::LEFT`]/[`TbPtr::END`]); kernels
+/// with multiple scoring layers pack additional state bits above them (e.g.
+/// the Global Affine kernel stores gap-open/extend flags in bits 2–3, needing
+/// the 4-bit `tb_t` the paper quotes for kernel #2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TbPtr(pub u8);
+
+impl TbPtr {
+    /// Move diagonally (consume one query and one reference symbol).
+    pub const DIAG: TbPtr = TbPtr(0);
+    /// Move up (consume one query symbol; gap in the reference).
+    pub const UP: TbPtr = TbPtr(1);
+    /// Move left (consume one reference symbol; gap in the query).
+    pub const LEFT: TbPtr = TbPtr(2);
+    /// End of path (local alignment reached a zero-score cell).
+    pub const END: TbPtr = TbPtr(3);
+
+    /// The direction field (low 2 bits).
+    pub fn direction(self) -> TbPtr {
+        TbPtr(self.0 & 0b11)
+    }
+
+    /// Extra kernel-defined bits above the direction field.
+    pub fn flags(self) -> u8 {
+        self.0 >> 2
+    }
+
+    /// Builds a pointer from a direction and kernel-defined flag bits.
+    pub fn with_flags(direction: TbPtr, flags: u8) -> TbPtr {
+        TbPtr((direction.0 & 0b11) | (flags << 2))
+    }
+}
+
+impl fmt::Display for TbPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = match self.direction() {
+            TbPtr::DIAG => "DIAG",
+            TbPtr::UP => "UP",
+            TbPtr::LEFT => "LEFT",
+            _ => "END",
+        };
+        if self.flags() != 0 {
+            write!(f, "{d}+{:#x}", self.flags())
+        } else {
+            write!(f, "{d}")
+        }
+    }
+}
+
+/// A traceback FSM state (`TB_STATE` in the paper). Kernels enumerate their
+/// own states; `TbState(0)` is the conventional start state (`MM`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TbState(pub u8);
+
+/// One step of the traceback walk, as decided by the kernel FSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TbMove {
+    /// Consume one query and one reference symbol (match/mismatch).
+    Diag,
+    /// Consume one query symbol (gap in the reference).
+    Up,
+    /// Consume one reference symbol (gap in the query).
+    Left,
+    /// Terminate the walk (local alignments).
+    Stop,
+}
+
+/// Where the best cell (the traceback start / reported score) is searched
+/// for, matching the reduction predicates of paper §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BestCellRule {
+    /// The bottom-right corner (global alignment).
+    BottomRight,
+    /// Anywhere in the matrix (local alignment).
+    AllCells,
+    /// The last row only (semi-global, sDTW).
+    LastRow,
+    /// The last row or the last column (overlap alignment).
+    LastRowOrCol,
+}
+
+/// The walk variant: determines boundary behaviour and stop condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WalkKind {
+    /// Bottom-right → top-left; continues along boundaries to the origin.
+    Global,
+    /// Best cell → first `END` pointer (zero-score cell).
+    Local,
+    /// Last-row best → top row; follows the left boundary up if reached.
+    SemiGlobal,
+    /// Last row/col best → top row or left column.
+    Overlap,
+}
+
+/// The complete traceback strategy of a kernel: best-cell rule plus optional
+/// walk (kernels #10, #12, #14 skip the walk — the paper's "no-traceback
+/// option").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TracebackSpec {
+    /// Where the reported best score lives.
+    pub best: BestCellRule,
+    /// The walk to perform, or `None` for score-only kernels.
+    pub walk: Option<WalkKind>,
+}
+
+impl TracebackSpec {
+    /// Global alignment: score at bottom-right, walk to the origin.
+    pub const fn global() -> Self {
+        Self {
+            best: BestCellRule::BottomRight,
+            walk: Some(WalkKind::Global),
+        }
+    }
+
+    /// Local alignment: max anywhere, walk until a zero-score cell.
+    pub const fn local() -> Self {
+        Self {
+            best: BestCellRule::AllCells,
+            walk: Some(WalkKind::Local),
+        }
+    }
+
+    /// Semi-global alignment: last-row max, walk to the top row.
+    pub const fn semi_global() -> Self {
+        Self {
+            best: BestCellRule::LastRow,
+            walk: Some(WalkKind::SemiGlobal),
+        }
+    }
+
+    /// Overlap alignment: last row/col max, walk to top row or left column.
+    pub const fn overlap() -> Self {
+        Self {
+            best: BestCellRule::LastRowOrCol,
+            walk: Some(WalkKind::Overlap),
+        }
+    }
+
+    /// Score only, no walk (paper's no-traceback option).
+    pub const fn score_only(best: BestCellRule) -> Self {
+        Self { best, walk: None }
+    }
+
+    /// Whether this kernel performs a traceback walk (and therefore needs
+    /// traceback memory on the device).
+    pub const fn has_walk(&self) -> bool {
+        self.walk.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_constants_fit_two_bits() {
+        for p in [TbPtr::DIAG, TbPtr::UP, TbPtr::LEFT, TbPtr::END] {
+            assert!(p.0 <= 3);
+            assert_eq!(p.direction(), p);
+            assert_eq!(p.flags(), 0);
+        }
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let p = TbPtr::with_flags(TbPtr::UP, 0b101);
+        assert_eq!(p.direction(), TbPtr::UP);
+        assert_eq!(p.flags(), 0b101);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(TbPtr::DIAG.to_string(), "DIAG");
+        assert_eq!(TbPtr::with_flags(TbPtr::LEFT, 1).to_string(), "LEFT+0x1");
+    }
+
+    #[test]
+    fn spec_constructors_are_consistent() {
+        assert_eq!(TracebackSpec::global().best, BestCellRule::BottomRight);
+        assert_eq!(TracebackSpec::local().walk, Some(WalkKind::Local));
+        assert_eq!(TracebackSpec::semi_global().best, BestCellRule::LastRow);
+        assert_eq!(TracebackSpec::overlap().best, BestCellRule::LastRowOrCol);
+        assert!(!TracebackSpec::score_only(BestCellRule::AllCells).has_walk());
+        assert!(TracebackSpec::global().has_walk());
+    }
+}

@@ -1,0 +1,234 @@
+//! Integration tests of the reference engine's traceback strategies using a
+//! deliberately tiny toy kernel, so every boundary rule of §2.2.3 (global /
+//! local / semi-global / overlap walks) is pinned down independently of the
+//! production kernels.
+
+use dphls_core::score::argmax;
+use dphls_core::{
+    run_reference, run_reference_full, Banding, KernelId, KernelMeta, KernelSpec, LayerVec,
+    Objective, Score, TbMove, TbPtr, TbState, TracebackSpec,
+};
+use dphls_seq::Base;
+
+/// A unit-cost match/mismatch kernel whose traceback spec is chosen by a
+/// const parameter: 0 global, 1 local, 2 semi-global, 3 overlap.
+struct Toy<const MODE: u8>;
+
+impl<const MODE: u8> KernelSpec for Toy<MODE> {
+    type Sym = Base;
+    type Score = i32;
+    type Params = ();
+
+    fn meta() -> KernelMeta {
+        let traceback = match MODE {
+            0 => TracebackSpec::global(),
+            1 => TracebackSpec::local(),
+            2 => TracebackSpec::semi_global(),
+            _ => TracebackSpec::overlap(),
+        };
+        KernelMeta {
+            id: KernelId(100 + MODE),
+            name: "toy",
+            n_layers: 1,
+            tb_bits: 2,
+            objective: Objective::Maximize,
+            traceback,
+        }
+    }
+
+    fn init_row(_: &(), j: usize) -> LayerVec<i32> {
+        // Global charges the boundary; the free-start modes don't.
+        let v = match MODE {
+            0 => -(j as i32),
+            2 => 0, // semi-global: free reference start
+            _ => 0,
+        };
+        LayerVec::splat(1, v)
+    }
+
+    fn init_col(_: &(), i: usize) -> LayerVec<i32> {
+        let v = match MODE {
+            0 | 2 => -(i as i32), // query end-to-end modes charge the column
+            _ => 0,
+        };
+        LayerVec::splat(1, v)
+    }
+
+    fn pe(
+        _: &(),
+        q: Base,
+        r: Base,
+        diag: &LayerVec<i32>,
+        up: &LayerVec<i32>,
+        left: &LayerVec<i32>,
+    ) -> (LayerVec<i32>, TbPtr) {
+        let sub = if q == r { 1 } else { -1 };
+        let mat = diag.primary().add(sub);
+        let del = up.primary().add(-1);
+        let ins = left.primary().add(-1);
+        let (best, ptr) = if MODE == 1 {
+            argmax([
+                (0i32, TbPtr::END),
+                (mat, TbPtr::DIAG),
+                (del, TbPtr::UP),
+                (ins, TbPtr::LEFT),
+            ])
+        } else {
+            argmax([(mat, TbPtr::DIAG), (del, TbPtr::UP), (ins, TbPtr::LEFT)])
+        };
+        (LayerVec::splat(1, best), ptr)
+    }
+
+    fn tb_step(s: TbState, ptr: TbPtr) -> (TbState, TbMove) {
+        let mv = match ptr.direction() {
+            TbPtr::DIAG => TbMove::Diag,
+            TbPtr::UP => TbMove::Up,
+            TbPtr::LEFT => TbMove::Left,
+            _ => TbMove::Stop,
+        };
+        (s, mv)
+    }
+}
+
+fn dna(s: &str) -> Vec<Base> {
+    s.chars().map(|c| Base::from_char(c).unwrap()).collect()
+}
+
+#[test]
+fn global_walk_always_reaches_origin_and_corner() {
+    let q = dna("ACG");
+    let r = dna("AGGT");
+    let out = run_reference::<Toy<0>>(&(), &q, &r, Banding::None);
+    let aln = out.alignment.unwrap();
+    assert_eq!(aln.start(), (0, 0));
+    assert_eq!(aln.end(), (3, 4));
+    assert_eq!(out.best_cell, (3, 4));
+    assert!(aln.is_consistent());
+}
+
+#[test]
+fn global_walk_covers_degenerate_single_symbol() {
+    let q = dna("A");
+    let r = dna("TTTT");
+    let out = run_reference::<Toy<0>>(&(), &q, &r, Banding::None);
+    let aln = out.alignment.unwrap();
+    assert_eq!(aln.query_span(), 1);
+    assert_eq!(aln.ref_span(), 4);
+}
+
+#[test]
+fn local_walk_stops_at_zero_cell_not_boundary() {
+    // Match block in the middle; the local path must cover exactly it.
+    let q = dna("TTACGTT");
+    let r = dna("GGACGGG");
+    let out = run_reference::<Toy<1>>(&(), &q, &r, Banding::None);
+    assert_eq!(out.best_score, 3); // "ACG"
+    let aln = out.alignment.unwrap();
+    assert_eq!(aln.cigar(), "3M");
+    // Anchors interior, not on the matrix boundary.
+    let (si, sj) = aln.start();
+    assert!(si > 0 && sj > 0);
+}
+
+#[test]
+fn local_walk_empty_when_nothing_matches() {
+    let q = dna("AAA");
+    let r = dna("CCC");
+    let out = run_reference::<Toy<1>>(&(), &q, &r, Banding::None);
+    assert_eq!(out.best_score, 0);
+    let aln = out.alignment.unwrap();
+    // Best-cell tie-break picks the first interior cell; its END pointer
+    // stops the walk immediately: an empty path.
+    assert!(aln.is_empty());
+    assert!(aln.is_consistent());
+}
+
+#[test]
+fn semi_global_pins_query_ends_only() {
+    let q = dna("CGT");
+    let r = dna("AACGTAA");
+    let out = run_reference::<Toy<2>>(&(), &q, &r, Banding::None);
+    assert_eq!(out.best_score, 3);
+    assert_eq!(out.best_cell.0, 3); // last row
+    let aln = out.alignment.unwrap();
+    assert_eq!(aln.query_span(), 3); // query end-to-end
+    assert_eq!(aln.start().0, 0); // walk climbed to the top row
+    assert_eq!(aln.ref_span(), 3); // reference consumed only partially
+    assert_eq!(aln.start().1, 2); // starting inside the reference
+}
+
+#[test]
+fn semi_global_climbs_left_boundary_when_query_overhangs() {
+    // Query longer than reference: the path must still consume the whole
+    // query, using Up moves along the left boundary.
+    let q = dna("TTACG");
+    let r = dna("ACG");
+    let out = run_reference::<Toy<2>>(&(), &q, &r, Banding::None);
+    let aln = out.alignment.unwrap();
+    assert_eq!(aln.query_span(), 5);
+    assert_eq!(aln.start(), (0, 0));
+}
+
+#[test]
+fn overlap_anchors_on_opposite_boundaries() {
+    // Suffix of q overlaps prefix of r.
+    let q = dna("TTTACGT");
+    let r = dna("ACGTCCC");
+    let out = run_reference::<Toy<3>>(&(), &q, &r, Banding::None);
+    assert_eq!(out.best_score, 4);
+    let aln = out.alignment.unwrap();
+    // Starts on a boundary (free start) and ends on last row or column.
+    let (si, sj) = aln.start();
+    assert!(si == 0 || sj == 0, "start {:?}", aln.start());
+    let (ei, ej) = aln.end();
+    assert!(ei == q.len() || ej == r.len(), "end {:?}", aln.end());
+    assert_eq!(aln.cigar(), "4M");
+}
+
+#[test]
+fn overlap_best_cell_rule_scans_last_row_and_col_only() {
+    // The best interior value is a long match block NOT touching the last
+    // row/col; overlap must ignore it in favor of a boundary cell.
+    let q = dna("ACGTAAAAA");
+    let r = dna("ACGTCCCCC");
+    let out = run_reference::<Toy<3>>(&(), &q, &r, Banding::None);
+    let (i, j) = out.best_cell;
+    assert!(i == q.len() || j == r.len(), "best cell {:?}", out.best_cell);
+}
+
+#[test]
+fn matrix_accessors_expose_fill_and_pointers() {
+    let q = dna("AC");
+    let r = dna("AC");
+    let (_, m) = run_reference_full::<Toy<0>>(&(), &q, &r, Banding::None);
+    assert_eq!(m.query_len(), 2);
+    assert_eq!(m.ref_len(), 2);
+    assert_eq!(m.score(0, 0), 0);
+    assert_eq!(m.score(2, 2), 2);
+    assert_eq!(m.tb(1, 1), TbPtr::DIAG);
+    assert_eq!(m.cell(1, 1).len(), 1);
+}
+
+#[test]
+#[should_panic(expected = "interior")]
+fn tb_accessor_rejects_boundary() {
+    let q = dna("AC");
+    let (_, m) = run_reference_full::<Toy<0>>(&(), &q, &q, Banding::None);
+    m.tb(0, 1);
+}
+
+#[test]
+#[should_panic(expected = "non-empty")]
+fn empty_sequences_panic() {
+    run_reference::<Toy<0>>(&(), &[], &dna("A"), Banding::None);
+}
+
+#[test]
+fn banded_global_with_asymmetric_lengths() {
+    // Band must cover |q.len - r.len| for the corner to be reachable.
+    let q = dna("ACGTACGT");
+    let r = dna("ACGT");
+    let out = run_reference::<Toy<0>>(&(), &q, &r, Banding::Fixed { half_width: 4 });
+    let full = run_reference::<Toy<0>>(&(), &q, &r, Banding::None);
+    assert_eq!(out.best_score, full.best_score);
+}

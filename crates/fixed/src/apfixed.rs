@@ -1,0 +1,365 @@
+//! Compile-time-width signed fixed-point, mirroring Vitis HLS `ap_fixed<W, I>`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Signed fixed-point number with `W` total bits, `I` integer bits (including
+/// the sign bit), and `W - I` fraction bits, stored in a saturating `i64`.
+///
+/// Semantics follow the Vitis HLS defaults that DP-HLS relies on:
+/// * overflow **saturates** to the representable min/max (HLS `AP_SAT`) —
+///   DP recurrences add penalties to sentinel values and must not wrap;
+/// * conversion from `f64` rounds to nearest; multiplication truncates the
+///   extra fraction bits toward negative infinity (HLS `AP_TRN`).
+///
+/// # Panics
+///
+/// Constructing any value panics (via a const assertion at first use) if
+/// `W == 0`, `W > 63`, or `I > W`.
+///
+/// # Example
+///
+/// ```
+/// use dphls_fixed::ApFixed;
+/// type Q16 = ApFixed<32, 16>; // 16 fraction bits
+/// let x = Q16::from_f64(-0.5);
+/// assert_eq!((x + x).to_f64(), -1.0);
+/// assert!(Q16::MAX > Q16::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ApFixed<const W: u32, const I: u32> {
+    raw: i64,
+}
+
+impl<const W: u32, const I: u32> ApFixed<W, I> {
+    const VALID: () = assert!(W >= 1 && W <= 63 && I <= W, "ApFixed requires 1 <= W <= 63 and I <= W");
+
+    /// Number of fraction bits.
+    pub const FRAC_BITS: u32 = W - I;
+    /// Total bit width (feeds the FPGA resource model).
+    pub const WIDTH: u32 = W;
+
+    /// Zero.
+    pub const ZERO: Self = Self { raw: 0 };
+    /// Largest representable value.
+    pub const MAX: Self = Self {
+        raw: (1i64 << (W - 1)) - 1,
+    };
+    /// Smallest (most negative) representable value.
+    pub const MIN: Self = Self {
+        raw: -(1i64 << (W - 1)),
+    };
+
+    /// Builds a value from its raw two's-complement integer representation
+    /// (the value is `raw / 2^FRAC_BITS`), saturating if out of range.
+    pub fn from_raw(raw: i64) -> Self {
+        #[allow(clippy::let_unit_value)]
+        let _ = Self::VALID;
+        Self {
+            raw: raw.clamp(Self::MIN.raw, Self::MAX.raw),
+        }
+    }
+
+    /// Raw two's-complement representation.
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Converts from `f64`, rounding to nearest and saturating.
+    pub fn from_f64(x: f64) -> Self {
+        #[allow(clippy::let_unit_value)]
+        let _ = Self::VALID;
+        if x.is_nan() {
+            return Self::ZERO;
+        }
+        let scaled = x * (1u64 << Self::FRAC_BITS) as f64;
+        if scaled >= Self::MAX.raw as f64 {
+            Self::MAX
+        } else if scaled <= Self::MIN.raw as f64 {
+            Self::MIN
+        } else {
+            Self { raw: scaled.round() as i64 }
+        }
+    }
+
+    /// Converts from an integer, saturating.
+    pub fn from_int(x: i64) -> Self {
+        Self::from_raw(x.saturating_mul(1 << Self::FRAC_BITS))
+    }
+
+    /// Converts to `f64` exactly (every representable value fits in f64 for W ≤ 63... 53;
+    /// for wider widths the nearest f64 is returned).
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 / (1u64 << Self::FRAC_BITS) as f64
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Self::from_raw(self.raw.saturating_add(rhs.raw))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self::from_raw(self.raw.saturating_sub(rhs.raw))
+    }
+
+    /// Saturating multiplication (truncates extra fraction bits toward -inf,
+    /// matching the HLS `AP_TRN` default).
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        let wide = (self.raw as i128) * (rhs.raw as i128);
+        let shifted = wide >> Self::FRAC_BITS;
+        let clamped = shifted.clamp(Self::MIN.raw as i128, Self::MAX.raw as i128);
+        Self { raw: clamped as i64 }
+    }
+
+    /// Division (truncating). Division by zero saturates to MAX/MIN by sign,
+    /// mirroring the "garbage but defined" HLS behaviour in a safe way.
+    pub fn saturating_div(self, rhs: Self) -> Self {
+        if rhs.raw == 0 {
+            return if self.raw >= 0 { Self::MAX } else { Self::MIN };
+        }
+        let wide = ((self.raw as i128) << Self::FRAC_BITS) / rhs.raw as i128;
+        let clamped = wide.clamp(Self::MIN.raw as i128, Self::MAX.raw as i128);
+        Self { raw: clamped as i64 }
+    }
+
+    /// Absolute value, saturating (|MIN| -> MAX).
+    pub fn abs(self) -> Self {
+        if self.raw < 0 {
+            Self::ZERO.saturating_sub(self)
+        } else {
+            self
+        }
+    }
+
+    /// Larger of two values.
+    pub fn max(self, other: Self) -> Self {
+        if self.raw >= other.raw {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Smaller of two values.
+    pub fn min(self, other: Self) -> Self {
+        if self.raw <= other.raw {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl<const W: u32, const I: u32> Add for ApFixed<W, I> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl<const W: u32, const I: u32> Sub for ApFixed<W, I> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl<const W: u32, const I: u32> Mul for ApFixed<W, I> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl<const W: u32, const I: u32> Div for ApFixed<W, I> {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        self.saturating_div(rhs)
+    }
+}
+
+impl<const W: u32, const I: u32> Neg for ApFixed<W, I> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::ZERO.saturating_sub(self)
+    }
+}
+
+impl<const W: u32, const I: u32> PartialOrd for ApFixed<W, I> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const W: u32, const I: u32> Ord for ApFixed<W, I> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+
+impl<const W: u32, const I: u32> fmt::Debug for ApFixed<W, I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ApFixed<{W},{I}>({})", self.to_f64())
+    }
+}
+
+impl<const W: u32, const I: u32> fmt::Display for ApFixed<W, I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl<const W: u32, const I: u32> From<i32> for ApFixed<W, I> {
+    fn from(x: i32) -> Self {
+        Self::from_int(x as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q26 = ApFixed<32, 26>; // the paper's DTW signal type
+    type Q8 = ApFixed<16, 8>;
+
+    #[test]
+    fn roundtrip_f64() {
+        for x in [-3.5, -0.015625, 0.0, 0.25, 1.0, 100.75] {
+            assert_eq!(Q26::from_f64(x).to_f64(), x);
+        }
+    }
+
+    #[test]
+    fn rounding_to_nearest() {
+        // Q8 has 8 fraction bits: resolution 1/256.
+        let x = Q8::from_f64(0.001); // nearest multiple of 1/256 is 0
+        assert_eq!(x.to_f64(), 0.0);
+        let y = Q8::from_f64(0.003); // 0.00390625/2 < 0.003 -> rounds to 1/256
+        assert_eq!(y.to_f64(), 1.0 / 256.0);
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        let big = Q8::MAX;
+        assert_eq!(big + Q8::from_f64(10.0), Q8::MAX);
+        assert_eq!(Q8::MIN - Q8::from_f64(10.0), Q8::MIN);
+    }
+
+    #[test]
+    fn mul_truncates_toward_neg_inf() {
+        // 0.75 * 0.0039 in Q8: exact = 0.0029..., truncated to 0 fraction steps.
+        let a = Q8::from_f64(0.75);
+        let tiny = Q8::from_raw(1); // 1/256
+        assert_eq!((a * tiny).raw(), 0);
+        // Negative case truncates toward -inf: -0.75 * 1/256 = -0.0029 -> -1/256.
+        let na = Q8::from_f64(-0.75);
+        assert_eq!((na * tiny).raw(), -1);
+    }
+
+    #[test]
+    fn mul_basic() {
+        let a = Q8::from_f64(1.5);
+        let b = Q8::from_f64(-2.0);
+        assert_eq!((a * b).to_f64(), -3.0);
+    }
+
+    #[test]
+    fn div_basic_and_by_zero() {
+        let a = Q8::from_f64(3.0);
+        let b = Q8::from_f64(2.0);
+        assert_eq!((a / b).to_f64(), 1.5);
+        assert_eq!(a / Q8::ZERO, Q8::MAX);
+        assert_eq!((-a) / Q8::ZERO, Q8::MIN);
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        let a = Q8::from_f64(-4.25);
+        assert_eq!((-a).to_f64(), 4.25);
+        assert_eq!(a.abs().to_f64(), 4.25);
+        assert_eq!(Q8::MIN.abs(), Q8::MAX); // saturating |MIN|
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(Q8::from_f64(-1.0) < Q8::ZERO);
+        assert!(Q8::from_f64(2.5) > Q8::from_f64(2.25));
+        assert_eq!(Q8::from_f64(1.0).max(Q8::from_f64(2.0)).to_f64(), 2.0);
+        assert_eq!(Q8::from_f64(1.0).min(Q8::from_f64(2.0)).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn from_int_saturates() {
+        assert_eq!(Q8::from_int(1000), Q8::MAX); // 1000 > 127.99
+        assert_eq!(Q8::from_int(-1000), Q8::MIN);
+        assert_eq!(Q8::from_int(5).to_f64(), 5.0);
+    }
+
+    #[test]
+    fn nan_maps_to_zero() {
+        assert_eq!(Q8::from_f64(f64::NAN), Q8::ZERO);
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        assert_eq!(Q8::MAX.to_f64(), 127.99609375);
+        assert_eq!(Q8::MIN.to_f64(), -128.0);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let a = Q8::from_f64(1.5);
+        assert_eq!(format!("{a}"), "1.5");
+        assert!(format!("{a:?}").contains("ApFixed<16,8>"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    type Q16 = ApFixed<32, 16>;
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in -30000.0f64..30000.0, b in -30000.0f64..30000.0) {
+            let (x, y) = (Q16::from_f64(a), Q16::from_f64(b));
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn add_matches_f64_when_in_range(a in -10000.0f64..10000.0, b in -10000.0f64..10000.0) {
+            let sum = (Q16::from_f64(a) + Q16::from_f64(b)).to_f64();
+            let expect = Q16::from_f64(a).to_f64() + Q16::from_f64(b).to_f64();
+            prop_assert!((sum - expect).abs() < 1e-9);
+        }
+
+        #[test]
+        fn raw_roundtrip(r in -(1i64 << 31)..(1i64 << 31) - 1) {
+            prop_assert_eq!(Q16::from_raw(r).raw(), r);
+        }
+
+        #[test]
+        fn ordering_matches_f64(a in -30000.0f64..30000.0, b in -30000.0f64..30000.0) {
+            let (x, y) = (Q16::from_f64(a), Q16::from_f64(b));
+            if x < y { prop_assert!(x.to_f64() < y.to_f64() + 1e-9); }
+        }
+
+        #[test]
+        fn mul_error_within_one_ulp(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let exact = Q16::from_f64(a).to_f64() * Q16::from_f64(b).to_f64();
+            let got = (Q16::from_f64(a) * Q16::from_f64(b)).to_f64();
+            // truncation loses at most one fraction step (2^-16)
+            prop_assert!((exact - got).abs() <= 1.0 / 65536.0 + 1e-12);
+        }
+
+        #[test]
+        fn saturation_is_idempotent(a in proptest::num::f64::NORMAL) {
+            let x = Q16::from_f64(a);
+            prop_assert!(x <= Q16::MAX && x >= Q16::MIN);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Runtime-width integers mirroring Vitis HLS `ap_int<W>` / `ap_uint<W>`.
+//!
+//! DP-HLS uses these for sequence symbols (`ap_uint<2>` for DNA bases,
+//! Listing 1) and traceback pointers (`ap_uint<2>` / `ap_uint<4>`, §4 step 5).
+//! The width is a runtime field rather than a const generic because the
+//! traceback-memory model sizes BRAM banks from widths chosen per kernel at
+//! configuration time.
+
+use std::fmt;
+
+/// Unsigned integer truncated to `width` bits (1..=64), wrapping like the HLS
+/// `ap_uint<W>` default.
+///
+/// # Example
+///
+/// ```
+/// use dphls_fixed::ApUInt;
+/// let base = ApUInt::new(2, 3); // ap_uint<2> holding 0b11 (base 'T')
+/// assert_eq!(base.value(), 3);
+/// assert_eq!(base.wrapping_add(1).value(), 0); // wraps at 2 bits
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ApUInt {
+    width: u32,
+    value: u64,
+}
+
+impl ApUInt {
+    /// Creates a `width`-bit unsigned value; the input is truncated to fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(width: u32, value: u64) -> Self {
+        assert!((1..=64).contains(&width), "ApUInt width must be 1..=64");
+        Self {
+            width,
+            value: value & Self::mask(width),
+        }
+    }
+
+    fn mask(width: u32) -> u64 {
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// The stored value.
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// The declared bit width.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Largest representable value for this width.
+    pub fn max_value(self) -> u64 {
+        Self::mask(self.width)
+    }
+
+    /// Addition with wrap-around at the declared width.
+    pub fn wrapping_add(self, rhs: u64) -> Self {
+        Self::new(self.width, self.value.wrapping_add(rhs))
+    }
+
+    /// Extracts bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(self, i: u32) -> bool {
+        assert!(i < self.width, "bit index out of width");
+        (self.value >> i) & 1 == 1
+    }
+
+    /// Extracts the inclusive bit range `[lo, hi]`, like HLS `x.range(hi, lo)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi >= width`.
+    pub fn range(self, hi: u32, lo: u32) -> u64 {
+        assert!(lo <= hi && hi < self.width, "invalid bit range");
+        (self.value >> lo) & Self::mask(hi - lo + 1)
+    }
+}
+
+impl fmt::Display for ApUInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}u{}", self.value, self.width)
+    }
+}
+
+/// Signed integer held in `width` bits (1..=64) with two's-complement
+/// wrap-around, mirroring HLS `ap_int<W>`.
+///
+/// # Example
+///
+/// ```
+/// use dphls_fixed::ApInt;
+/// let x = ApInt::new(4, -8);          // ap_int<4> minimum
+/// assert_eq!(x.value(), -8);
+/// assert_eq!(x.wrapping_add(-1).value(), 7); // wraps to +7
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ApInt {
+    width: u32,
+    value: i64,
+}
+
+impl ApInt {
+    /// Creates a `width`-bit signed value; the input is truncated and
+    /// sign-extended to fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(width: u32, value: i64) -> Self {
+        assert!((1..=64).contains(&width), "ApInt width must be 1..=64");
+        Self {
+            width,
+            value: Self::sext(width, value as u64),
+        }
+    }
+
+    fn sext(width: u32, bits: u64) -> i64 {
+        if width == 64 {
+            return bits as i64;
+        }
+        let shift = 64 - width;
+        ((bits << shift) as i64) >> shift
+    }
+
+    /// The stored (sign-extended) value.
+    pub fn value(self) -> i64 {
+        self.value
+    }
+
+    /// The declared bit width.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Largest representable value for this width.
+    pub fn max_value(self) -> i64 {
+        if self.width == 64 {
+            i64::MAX
+        } else {
+            (1i64 << (self.width - 1)) - 1
+        }
+    }
+
+    /// Smallest representable value for this width.
+    pub fn min_value(self) -> i64 {
+        if self.width == 64 {
+            i64::MIN
+        } else {
+            -(1i64 << (self.width - 1))
+        }
+    }
+
+    /// Addition with two's-complement wrap at the declared width.
+    pub fn wrapping_add(self, rhs: i64) -> Self {
+        Self::new(self.width, self.value.wrapping_add(rhs))
+    }
+
+    /// Saturating addition at the declared width.
+    pub fn saturating_add(self, rhs: i64) -> Self {
+        let sum = (self.value as i128) + (rhs as i128);
+        let clamped = sum.clamp(self.min_value() as i128, self.max_value() as i128);
+        Self::new(self.width, clamped as i64)
+    }
+}
+
+impl fmt::Display for ApInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}i{}", self.value, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apuint_truncates_on_construction() {
+        assert_eq!(ApUInt::new(2, 7).value(), 3);
+        assert_eq!(ApUInt::new(8, 0x1FF).value(), 0xFF);
+        assert_eq!(ApUInt::new(64, u64::MAX).value(), u64::MAX);
+    }
+
+    #[test]
+    fn apuint_wraps_on_add() {
+        let x = ApUInt::new(3, 7);
+        assert_eq!(x.wrapping_add(1).value(), 0);
+        assert_eq!(x.wrapping_add(2).value(), 1);
+    }
+
+    #[test]
+    fn apuint_bit_and_range() {
+        let x = ApUInt::new(8, 0b1011_0110);
+        assert!(x.bit(1));
+        assert!(!x.bit(0));
+        assert_eq!(x.range(5, 2), 0b1101);
+        assert_eq!(x.range(7, 0), 0b1011_0110);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn apuint_zero_width_panics() {
+        ApUInt::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn apuint_bad_range_panics() {
+        ApUInt::new(4, 0).range(4, 0);
+    }
+
+    #[test]
+    fn apint_sign_extends() {
+        assert_eq!(ApInt::new(4, 0b1111).value(), -1);
+        assert_eq!(ApInt::new(4, 7).value(), 7);
+        assert_eq!(ApInt::new(4, 8).value(), -8); // 0b1000 is -8 in 4 bits
+        assert_eq!(ApInt::new(64, -5).value(), -5);
+    }
+
+    #[test]
+    fn apint_wrapping_add() {
+        let x = ApInt::new(4, 7);
+        assert_eq!(x.wrapping_add(1).value(), -8);
+        let y = ApInt::new(4, -8);
+        assert_eq!(y.wrapping_add(-1).value(), 7);
+    }
+
+    #[test]
+    fn apint_saturating_add() {
+        let x = ApInt::new(4, 7);
+        assert_eq!(x.saturating_add(5).value(), 7);
+        let y = ApInt::new(4, -8);
+        assert_eq!(y.saturating_add(-5).value(), -8);
+        assert_eq!(ApInt::new(4, 2).saturating_add(3).value(), 5);
+    }
+
+    #[test]
+    fn apint_bounds() {
+        let x = ApInt::new(4, 0);
+        assert_eq!(x.max_value(), 7);
+        assert_eq!(x.min_value(), -8);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(ApUInt::new(2, 3).to_string(), "3u2");
+        assert_eq!(ApInt::new(4, -2).to_string(), "-2i4");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn apuint_value_below_bound(width in 1u32..=63, v in any::<u64>()) {
+            let x = ApUInt::new(width, v);
+            prop_assert!(x.value() <= x.max_value());
+        }
+
+        #[test]
+        fn apint_within_bounds(width in 1u32..=63, v in any::<i64>()) {
+            let x = ApInt::new(width, v);
+            prop_assert!(x.value() >= x.min_value() && x.value() <= x.max_value());
+        }
+
+        #[test]
+        fn apint_roundtrips_in_range(width in 2u32..=63, v in any::<i64>()) {
+            let probe = ApInt::new(width, 0);
+            let clamped = v.clamp(probe.min_value(), probe.max_value());
+            prop_assert_eq!(ApInt::new(width, clamped).value(), clamped);
+        }
+
+        #[test]
+        fn apuint_range_composes(v in any::<u64>()) {
+            let x = ApUInt::new(16, v);
+            let hi = x.range(15, 8);
+            let lo = x.range(7, 0);
+            prop_assert_eq!((hi << 8) | lo, x.value());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Arbitrary-precision numeric types standing in for the Vitis HLS
+//! `ap_int<W>` / `ap_uint<W>` / `ap_fixed<W, I>` types that DP-HLS kernels use
+//! for scores, traceback pointers, and signal samples (paper §4, step 1).
+//!
+//! On an FPGA these types exist to let the synthesizer build datapaths of
+//! exactly the required width; in this reproduction they serve two purposes:
+//!
+//! 1. **Functional fidelity** — kernels like DTW (#9) and Viterbi (#10)
+//!    compute in fixed point (`ap_fixed<32, 26>` in the paper's Listing 1);
+//!    [`ApFixed`] reproduces that arithmetic (saturating, truncating-toward-
+//!    negative-infinity on multiply) so scores match what the hardware
+//!    computes rather than what `f64` would.
+//! 2. **Resource modeling** — the bit-widths declared here feed the
+//!    `dphls-fpga` structural model (adder LUTs ∝ width, DSPs ∝ multiplier
+//!    tile count).
+//!
+//! # Example
+//!
+//! ```
+//! use dphls_fixed::ApFixed;
+//! // ap_fixed<32, 26>: 26 integer bits, 6 fraction bits.
+//! type Sig = ApFixed<32, 26>;
+//! let a = Sig::from_f64(1.5);
+//! let b = Sig::from_f64(2.25);
+//! assert_eq!((a + b).to_f64(), 3.75);
+//! assert_eq!((a * b).to_f64(), 3.375);
+//! ```
+
+pub mod apfixed;
+pub mod apint;
+
+pub use apfixed::ApFixed;
+pub use apint::{ApInt, ApUInt};

@@ -1,0 +1,138 @@
+//! FPGA device catalog.
+//!
+//! The paper deploys on AWS EC2 F1 (`f1.2xlarge`), whose FPGA is a Xilinx
+//! Virtex UltraScale+ `xcvu9p-flgb2104-2-i`. Table 2 reports utilization as
+//! percentages of this device's resources.
+
+/// Resource capacity of an FPGA part.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaDevice {
+    /// Part name.
+    pub name: &'static str,
+    /// 6-input LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// 36 Kb block RAMs.
+    pub bram36: u64,
+    /// DSP48E2 slices.
+    pub dsps: u64,
+    /// Fraction of the device available to user kernels (the AWS F1 shell
+    /// and routing margin reserve the rest).
+    pub usable_fraction: f64,
+}
+
+/// The AWS EC2 F1 FPGA: `xcvu9p-flgb2104-2-i` (paper §6.2).
+pub const XCVU9P: FpgaDevice = FpgaDevice {
+    name: "xcvu9p-flgb2104-2-i (AWS EC2 F1)",
+    luts: 1_182_240,
+    ffs: 2_364_480,
+    bram36: 2_160,
+    dsps: 6_840,
+    usable_fraction: 0.85,
+};
+
+/// Absolute resource counts (one block, or an aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// 6-input LUTs.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// 36 Kb block RAMs.
+    pub bram36: u64,
+    /// DSP48E2 slices.
+    pub dsp: u64,
+}
+
+impl Resources {
+    /// Element-wise sum.
+    pub fn plus(self, other: Resources) -> Resources {
+        Resources {
+            lut: self.lut + other.lut,
+            ff: self.ff + other.ff,
+            bram36: self.bram36 + other.bram36,
+            dsp: self.dsp + other.dsp,
+        }
+    }
+
+    /// Element-wise scaling (replicating a block `n` times).
+    pub fn times(self, n: u64) -> Resources {
+        Resources {
+            lut: self.lut * n,
+            ff: self.ff * n,
+            bram36: self.bram36 * n,
+            dsp: self.dsp * n,
+        }
+    }
+
+    /// Utilization fractions `[LUT, FF, BRAM, DSP]` on a device.
+    pub fn utilization(self, dev: &FpgaDevice) -> [f64; 4] {
+        [
+            self.lut as f64 / dev.luts as f64,
+            self.ff as f64 / dev.ffs as f64,
+            self.bram36 as f64 / dev.bram36 as f64,
+            self.dsp as f64 / dev.dsps as f64,
+        ]
+    }
+
+    /// Whether this aggregate fits in the device's usable fraction.
+    pub fn fits(self, dev: &FpgaDevice) -> bool {
+        self.utilization(dev)
+            .iter()
+            .all(|&u| u <= dev.usable_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vu9p_capacities() {
+        assert_eq!(XCVU9P.bram36, 2160);
+        assert_eq!(XCVU9P.dsps, 6840);
+        assert!(XCVU9P.luts > 1_000_000);
+        assert!(XCVU9P.usable_fraction > 0.5 && XCVU9P.usable_fraction < 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources {
+            lut: 100,
+            ff: 200,
+            bram36: 3,
+            dsp: 4,
+        };
+        let b = a.times(2).plus(a);
+        assert_eq!(b.lut, 300);
+        assert_eq!(b.dsp, 12);
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let r = Resources {
+            lut: 118_224, // exactly 10% of the xcvu9p
+            ff: 0,
+            bram36: 216,
+            dsp: 0,
+        };
+        let u = r.utilization(&XCVU9P);
+        assert!((u[0] - 0.1).abs() < 1e-9);
+        assert!((u[2] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_respects_usable_fraction() {
+        let ok = Resources {
+            dsp: (XCVU9P.dsps as f64 * 0.7) as u64,
+            ..Resources::default()
+        };
+        assert!(ok.fits(&XCVU9P));
+        let too_big = Resources {
+            dsp: (XCVU9P.dsps as f64 * 0.9) as u64,
+            ..Resources::default()
+        };
+        assert!(!too_big.fits(&XCVU9P));
+    }
+}

@@ -1,0 +1,136 @@
+//! The synthesis-flow façade, mirroring the paper's Fig 2A pipeline:
+//! C-simulation → C-synthesis → co-simulation → implementation.
+//!
+//! In the reproduction each stage maps to an executable model:
+//!
+//! | Paper stage        | Here |
+//! |--------------------|------|
+//! | C-simulation       | `dphls_core::run_reference` (functional check) |
+//! | C-synthesis        | [`synthesize`]: II + fmax + block resources |
+//! | Co-simulation      | `dphls_systolic::Device::run` (cycle counts) |
+//! | Implementation     | [`SynthesisReport::device_utilization`] (post-"route" totals) |
+
+use crate::device::{FpgaDevice, Resources, XCVU9P};
+use crate::frequency::{achieved_fmax_mhz, derive_ii};
+use crate::resources::{estimate_block, estimate_device, KernelProfile};
+use dphls_core::KernelConfig;
+use dphls_systolic::KernelCycleInfo;
+
+/// Output of "synthesizing" a kernel configuration onto the virtual device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisReport {
+    /// Wavefront initiation interval.
+    pub ii: u32,
+    /// Achieved clock frequency (MHz).
+    pub fmax_mhz: f64,
+    /// Resources of a single block (Table 2 granularity).
+    pub block: Resources,
+    /// Resources of the full `NB × NK` deployment.
+    pub device_total: Resources,
+    /// Block utilization fractions `[LUT, FF, BRAM, DSP]` on the target.
+    pub block_utilization: [f64; 4],
+    /// Whether the full deployment fits the usable device.
+    pub fits: bool,
+}
+
+impl SynthesisReport {
+    /// Device-level utilization fractions.
+    pub fn device_utilization(&self, dev: &FpgaDevice) -> [f64; 4] {
+        self.device_total.utilization(dev)
+    }
+
+    /// The cycle-model inputs implied by this synthesis result.
+    pub fn cycle_info(&self, sym_bits: u32, has_walk: bool) -> KernelCycleInfo {
+        KernelCycleInfo {
+            sym_bits,
+            has_walk,
+            ii: self.ii,
+        }
+    }
+}
+
+/// Synthesizes a kernel profile at a configuration onto the AWS F1 device.
+pub fn synthesize(
+    profile: &KernelProfile,
+    config: &KernelConfig,
+    ii_hint: Option<u32>,
+) -> SynthesisReport {
+    synthesize_on(profile, config, ii_hint, &XCVU9P)
+}
+
+/// Synthesizes onto an explicit device.
+pub fn synthesize_on(
+    profile: &KernelProfile,
+    config: &KernelConfig,
+    ii_hint: Option<u32>,
+    device: &FpgaDevice,
+) -> SynthesisReport {
+    let ii = derive_ii(&profile.op_counts, ii_hint);
+    let fmax_mhz = achieved_fmax_mhz(
+        &profile.op_counts,
+        ii,
+        profile.score_bits,
+        profile.n_layers,
+        config.target_freq_mhz,
+    );
+    let block = estimate_block(profile, config);
+    let device_total = estimate_device(profile, config);
+    SynthesisReport {
+        ii,
+        fmax_mhz,
+        block,
+        block_utilization: block.utilization(device),
+        fits: device_total.fits(device),
+        device_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_core::{OpCounts, WalkKind};
+
+    fn profile() -> KernelProfile {
+        KernelProfile {
+            op_counts: OpCounts {
+                adds: 3,
+                muls: 0,
+                cmps: 2,
+                depth: 3,
+            },
+            score_bits: 16,
+            sym_bits: 2,
+            tb_bits: 2,
+            n_layers: 1,
+            walk: Some(WalkKind::Global),
+            param_table_bits: 48,
+        }
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let cfg = KernelConfig::new(32, 16, 4);
+        let rep = synthesize(&profile(), &cfg, None);
+        assert_eq!(rep.ii, 1);
+        assert_eq!(rep.fmax_mhz, 250.0);
+        assert!(rep.fits);
+        assert!(rep.device_total.lut >= rep.block.lut * 64);
+        let ci = rep.cycle_info(2, true);
+        assert_eq!(ci.ii, 1);
+        assert!(ci.has_walk);
+    }
+
+    #[test]
+    fn oversized_deployment_does_not_fit() {
+        let cfg = KernelConfig::new(32, 128, 16);
+        let rep = synthesize(&profile(), &cfg, None);
+        assert!(!rep.fits);
+    }
+
+    #[test]
+    fn ii_hint_propagates() {
+        let cfg = KernelConfig::new(16, 1, 1);
+        let rep = synthesize(&profile(), &cfg, Some(4));
+        assert_eq!(rep.ii, 4);
+    }
+}

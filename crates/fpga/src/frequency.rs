@@ -1,0 +1,145 @@
+//! Timing model: initiation interval (II) and achievable clock frequency.
+//!
+//! Vitis HLS pipelines the wavefront loop at `II = 1` when the PE recurrence
+//! fits in one stage; deeper recurrences (multiplier chains, many stacked
+//! comparators) either raise the II (paper §5.1: "for complex PE functions
+//! ... HLS finds the minimum possible II") or lower the achievable clock
+//! (paper §7.1: "the complexity of the scoring equations also impacts clock
+//! frequency"). Both effects are derived here from the instrumented
+//! dependency depth of the real PE code.
+
+use dphls_core::OpCounts;
+
+/// Logic levels Vitis HLS comfortably fits in one pipeline stage at the
+/// 250 MHz F1 target (calibrated so kernel #8's ~44-level sum-of-pairs chain
+/// yields the paper's II = 4).
+const LEVELS_PER_STAGE: u32 = 12;
+
+/// Derives the wavefront initiation interval from the measured dependency
+/// depth, unless the kernel pins it (`ii_hint`).
+///
+/// # Example
+///
+/// ```
+/// use dphls_core::OpCounts;
+/// use dphls_fpga::frequency::derive_ii;
+/// let shallow = OpCounts { adds: 3, muls: 0, cmps: 2, depth: 3 };
+/// assert_eq!(derive_ii(&shallow, None), 1);
+/// let deep = OpCounts { adds: 13, muls: 30, cmps: 2, depth: 44 };
+/// assert_eq!(derive_ii(&deep, None), 4); // kernel #8's paper-stated II
+/// ```
+pub fn derive_ii(op_counts: &OpCounts, ii_hint: Option<u32>) -> u32 {
+    ii_hint.unwrap_or_else(|| op_counts.depth.div_ceil(LEVELS_PER_STAGE).max(1))
+}
+
+/// Structural frequency ceiling in MHz: starts at the 250 MHz F1 clock and
+/// degrades with per-stage complexity (depth beyond what one stage absorbs,
+/// wide datapaths, many layers). The result is snapped down to the discrete
+/// clock steps Vitis typically closes at.
+pub fn structural_fmax_mhz(
+    op_counts: &OpCounts,
+    ii: u32,
+    score_bits: u32,
+    n_layers: usize,
+) -> f64 {
+    let per_stage_depth = op_counts.depth.div_ceil(ii.max(1));
+    let penalty_points = per_stage_depth as f64
+        + if op_counts.muls > 0 { 2.0 } else { 0.0 }
+        + (score_bits as f64 / 16.0 - 1.0)
+        + (n_layers as f64 - 1.0);
+    let raw = 250.0 / (1.0 + 0.05 * (penalty_points - 8.0).max(0.0));
+    snap_down(raw)
+}
+
+/// Achieved frequency: the lower of the synthesis target and the structural
+/// ceiling (the paper sets a 250 MHz target, then reports the achieved
+/// maximum per kernel in Table 2).
+pub fn achieved_fmax_mhz(
+    op_counts: &OpCounts,
+    ii: u32,
+    score_bits: u32,
+    n_layers: usize,
+    target_mhz: f64,
+) -> f64 {
+    target_mhz.min(structural_fmax_mhz(op_counts, ii, score_bits, n_layers))
+}
+
+/// The discrete frequency steps observed across Table 2.
+const FREQ_STEPS: [f64; 6] = [250.0, 200.0, 166.7, 150.0, 125.0, 100.0];
+
+fn snap_down(mhz: f64) -> f64 {
+    for &f in &FREQ_STEPS {
+        if mhz >= f {
+            return f;
+        }
+    }
+    *FREQ_STEPS.last().expect("non-empty table")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(depth: u32, muls: u64) -> OpCounts {
+        OpCounts {
+            adds: 4,
+            muls,
+            cmps: 3,
+            depth,
+        }
+    }
+
+    #[test]
+    fn ii_hint_wins() {
+        assert_eq!(derive_ii(&ops(44, 30), Some(4)), 4);
+        assert_eq!(derive_ii(&ops(3, 0), Some(2)), 2);
+    }
+
+    #[test]
+    fn ii_grows_with_depth() {
+        assert_eq!(derive_ii(&ops(1, 0), None), 1);
+        assert_eq!(derive_ii(&ops(12, 0), None), 1);
+        assert_eq!(derive_ii(&ops(13, 0), None), 2);
+        assert_eq!(derive_ii(&ops(44, 30), None), 4);
+    }
+
+    #[test]
+    fn simple_kernels_hit_target() {
+        // Kernel #1-like: shallow, no muls, 16-bit.
+        let f = achieved_fmax_mhz(&ops(3, 0), 1, 16, 1, 250.0);
+        assert_eq!(f, 250.0);
+    }
+
+    #[test]
+    fn complex_kernels_degrade() {
+        // Kernel #8-like: deep + muls + wide.
+        let f = structural_fmax_mhz(&ops(44, 30), 4, 32, 1);
+        assert!(f < 250.0, "fmax {f}");
+        // And never below the lowest step.
+        assert!(f >= 100.0);
+    }
+
+    #[test]
+    fn target_caps_achieved() {
+        let f = achieved_fmax_mhz(&ops(3, 0), 1, 16, 1, 150.0);
+        assert_eq!(f, 150.0);
+    }
+
+    #[test]
+    fn snapping_is_monotone() {
+        let mut last = f64::INFINITY;
+        for d in [1u32, 8, 16, 24, 40, 64, 96] {
+            let f = structural_fmax_mhz(&ops(d, 0), 1, 32, 3);
+            assert!(f <= last, "non-monotone at depth {d}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn snap_down_steps() {
+        assert_eq!(snap_down(251.0), 250.0);
+        assert_eq!(snap_down(249.0), 200.0);
+        assert_eq!(snap_down(170.0), 166.7);
+        assert_eq!(snap_down(40.0), 100.0);
+    }
+}

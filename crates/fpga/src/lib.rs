@@ -1,0 +1,44 @@
+//! The virtual FPGA: resource and timing models standing in for the Vitis
+//! HLS / Vivado synthesis flow the paper runs on AWS EC2 F1 (§6.2).
+//!
+//! No synthesis tool is reachable from a pure-Rust build, so Table 2's
+//! resource/frequency columns are reproduced **structurally**: the
+//! instrumented operator counts of each kernel's real PE function
+//! ([`dphls_core::instrument`]) drive LUT/FF/DSP estimates, the traceback
+//! memory geometry drives BRAM (with the BRAM→LUTRAM conversion the paper
+//! observes at `NPE = 64`), and the dependency depth drives the initiation
+//! interval and clock model. Constants are calibrated once against Table 2's
+//! kernel #1 row and held fixed everywhere; residuals are tabulated in
+//! EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```
+//! use dphls_fpga::{synthesize, KernelProfile, XCVU9P};
+//! use dphls_core::{KernelConfig, OpCounts, WalkKind};
+//!
+//! let profile = KernelProfile {
+//!     op_counts: OpCounts { adds: 3, muls: 0, cmps: 2, depth: 3 },
+//!     score_bits: 16,
+//!     sym_bits: 2,
+//!     tb_bits: 2,
+//!     n_layers: 1,
+//!     walk: Some(WalkKind::Global),
+//!     param_table_bits: 48,
+//! };
+//! let report = synthesize(&profile, &KernelConfig::new(32, 16, 4), None);
+//! assert_eq!(report.ii, 1);
+//! assert!(report.fits);
+//! println!("block LUTs: {} ({:.2}%)", report.block.lut,
+//!          100.0 * report.block_utilization[0]);
+//! ```
+
+pub mod device;
+pub mod flow;
+pub mod frequency;
+pub mod resources;
+
+pub use device::{FpgaDevice, Resources, XCVU9P};
+pub use flow::{synthesize, synthesize_on, SynthesisReport};
+pub use frequency::{achieved_fmax_mhz, derive_ii, structural_fmax_mhz};
+pub use resources::{estimate_block, estimate_device, max_nb, KernelProfile};

@@ -1,0 +1,388 @@
+//! The structural resource model: LUT/FF/BRAM/DSP estimates for one
+//! synthesized block, driven by the kernel's *measured* PE operator counts
+//! (`dphls_core::instrument`) and the block geometry.
+//!
+//! The model mirrors how the real design consumes resources (paper §7.1):
+//!
+//! * **LUT/FF** scale with the adder/comparator widths in each PE, times
+//!   `NPE` (the linear systolic array), plus per-block control;
+//! * **DSP** comes from multipliers in the PE recurrence (profile alignment
+//!   and DTW), plus a fixed couple of DSPs that precompute traceback start
+//!   addresses (which is why even add-only kernels show ~2 DSPs);
+//! * **BRAM** is dominated by the banked traceback memory (bank count =
+//!   `NPE`, depth = chunks × wavefronts, width = `tb_bits`), plus I/O
+//!   buffers, wide `ScoringParams` tables replicated per PE (kernel #15's
+//!   20×20 matrix), and the preserved-row buffer;
+//! * shallow traceback banks are converted to **LUTRAM** (the paper observes
+//!   exactly this at `NPE = 64`, §7.2), moving bits from BRAM to LUT.
+//!
+//! Constants were calibrated once against Table 2's kernel #1 row and are
+//! held fixed for every other kernel and experiment; residuals are reported
+//! in EXPERIMENTS.md.
+
+use crate::device::Resources;
+use dphls_core::{Banding, KernelConfig, OpCounts, WalkKind};
+
+/// Everything the resource/frequency models need to know about a kernel —
+/// the structural profile the harness builds from the kernel registry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Measured PE operator counts.
+    pub op_counts: OpCounts,
+    /// Score datapath width (bits).
+    pub score_bits: u32,
+    /// Symbol storage width (bits).
+    pub sym_bits: u32,
+    /// Traceback pointer width (bits, 0 when no traceback).
+    pub tb_bits: u32,
+    /// Scoring layers per cell.
+    pub n_layers: usize,
+    /// The traceback walk kind, if any.
+    pub walk: Option<WalkKind>,
+    /// `ScoringParams` storage footprint (bits).
+    pub param_table_bits: u32,
+}
+
+// ---- calibrated constants (fit once on Table 2 kernel #1; see module doc) --
+
+/// LUTs per adder bit.
+const LUT_PER_ADD_BIT: u64 = 1;
+/// LUTs per comparator+mux bit.
+const LUT_PER_CMP_BIT: u64 = 2;
+/// Fixed per-PE control LUTs (wavefront index tracking, symbol compare).
+const LUT_PE_FIXED: u64 = 30;
+/// FFs per operator output bit (pipeline staging, two-deep).
+const FF_PER_OP_BIT: u64 = 2;
+/// FFs per stored layer bit (DP memory buffer holds two wavefronts).
+const FF_PER_LAYER_BIT: u64 = 2;
+/// Fixed per-PE FFs.
+const FF_PE_FIXED: u64 = 40;
+/// Per-block control LUTs (chunk/wavefront FSM, arbiter port).
+const LUT_BLOCK_FIXED: u64 = 1_300;
+/// Per-block control FFs.
+const FF_BLOCK_FIXED: u64 = 1_500;
+/// Per-block interface BRAM18s (input/output buffering behind the arbiter).
+const BRAM_BLOCK_FIXED: u64 = 10;
+/// A traceback bank at or below this many bits becomes LUTRAM.
+const LUTRAM_THRESHOLD_BITS: u64 = 4_096;
+/// LUTs consumed per 64 bits of LUTRAM (one RAM64X1D per 64-bit column).
+const LUT_PER_LUTRAM_WORD: u64 = 1;
+/// Params tables larger than this are stored in BRAM per PE (smaller ones
+/// synthesize to LUT ROMs).
+const PARAM_BRAM_THRESHOLD_BITS: u32 = 2_048;
+
+/// DSP48 slices per multiplier of the given operand width.
+pub fn dsp_per_mult(score_bits: u32) -> u64 {
+    score_bits.div_ceil(18) as u64
+}
+
+/// BRAM18 units needed for one memory bank of `depth` entries × `width`
+/// bits, honoring the BRAM18 depth/width aspect configurations
+/// (16K×1 … 512×36).
+pub fn bram18_for_bank(depth: u64, width: u32) -> u64 {
+    if depth == 0 || width == 0 {
+        return 0;
+    }
+    let max_depth_at_width: u64 = match width {
+        1 => 16_384,
+        2 => 8_192,
+        3..=4 => 4_096,
+        5..=9 => 2_048,
+        10..=18 => 1_024,
+        _ => 512,
+    };
+    if width <= 36 {
+        depth.div_ceil(max_depth_at_width)
+    } else {
+        // Wider than one BRAM18 port: split the width, then the depth.
+        (width as u64).div_ceil(36) * depth.div_ceil(512)
+    }
+}
+
+/// Resource estimate for one block of `config.npe` PEs.
+///
+/// Matches the granularity of Table 2 ("utilization ... for a single block
+/// for 32 PEs").
+pub fn estimate_block(profile: &KernelProfile, config: &KernelConfig) -> Resources {
+    let npe = config.npe as u64;
+    let ops = &profile.op_counts;
+    let sb = profile.score_bits as u64;
+
+    // Datapath per PE.
+    let lut_pe = ops.adds * sb * LUT_PER_ADD_BIT
+        + ops.cmps * sb * LUT_PER_CMP_BIT
+        + profile.sym_bits as u64
+        + LUT_PE_FIXED;
+    let ff_pe = (ops.adds + ops.cmps + ops.muls) * sb * FF_PER_OP_BIT
+        + profile.n_layers as u64 * sb * FF_PER_LAYER_BIT
+        + FF_PE_FIXED;
+    let dsp_pe = ops.muls * dsp_per_mult(profile.score_bits);
+
+    let mut lut = lut_pe * npe + LUT_BLOCK_FIXED;
+    let mut ff = ff_pe * npe + FF_BLOCK_FIXED;
+    let mut dsp = dsp_pe * npe;
+    let mut bram18: u64 = BRAM_BLOCK_FIXED;
+
+    // Traceback start-address precompute (paper §7.1/§7.2: DSPs outside the
+    // PEs): global walks need the full chunk/wavefront address arithmetic.
+    dsp += match profile.walk {
+        Some(WalkKind::Global) => 2,
+        Some(_) | None => 1,
+    };
+
+    // Banded kernels add band-boundary address logic per PE (paper §7.1:
+    // "banding kernels have slightly elevated logic usage").
+    if let Banding::Fixed { .. } = config.banding {
+        lut += 24 * npe;
+        ff += 16 * npe;
+    }
+
+    // Traceback memory: NPE banks, coalesced (paper §5.2).
+    if profile.walk.is_some() && profile.tb_bits > 0 {
+        let chunks = config.max_query.div_ceil(config.npe) as u64;
+        let depth = chunks * (config.max_ref as u64 + npe - 1);
+        let bank_bits = depth * profile.tb_bits as u64;
+        if bank_bits <= LUTRAM_THRESHOLD_BITS {
+            // Shallow banks become LUTRAM (observed at NPE = 64, §7.2).
+            lut += npe * bank_bits.div_ceil(64) * LUT_PER_LUTRAM_WORD;
+        } else {
+            bram18 += npe * bram18_for_bank(depth, profile.tb_bits);
+        }
+    }
+
+    // Sequence buffers (local query/reference) are fully partitioned into
+    // registers for parallel PE access.
+    ff += (config.max_query as u64 + config.max_ref as u64) * profile.sym_bits as u64 / 8;
+
+    // Preserved row score buffer: MAX_R × N_LAYERS × score bits.
+    let row_bits = config.max_ref as u64 * profile.n_layers as u64 * sb;
+    bram18 += bram18_for_bank(config.max_ref as u64, (profile.n_layers as u64 * sb) as u32)
+        .min(row_bits.div_ceil(18_432).max(1));
+
+    // Wide ScoringParams tables replicate per PE for parallel access
+    // (kernel #15's BLOSUM matrix drives its BRAM, §7.1).
+    if profile.param_table_bits > PARAM_BRAM_THRESHOLD_BITS {
+        bram18 += npe * (profile.param_table_bits as u64).div_ceil(18_432);
+    }
+
+    Resources {
+        lut,
+        ff,
+        bram36: bram18.div_ceil(2),
+        dsp,
+    }
+}
+
+/// Device-level aggregate: `NB × NK` blocks plus per-channel arbiter logic.
+pub fn estimate_device(profile: &KernelProfile, config: &KernelConfig) -> Resources {
+    let block = estimate_block(profile, config);
+    let arbiters = Resources {
+        lut: 2_000,
+        ff: 2_500,
+        bram36: 4,
+        dsp: 0,
+    };
+    block
+        .times(config.total_blocks() as u64)
+        .plus(arbiters.times(config.nk as u64))
+}
+
+/// The largest `NB` (at fixed `NPE`, `NK`) whose aggregate still fits the
+/// device — the paper's "NB capped at 24 as it reached maximum DSP
+/// availability" analysis for DTW (§7.2).
+pub fn max_nb(
+    profile: &KernelProfile,
+    base: &KernelConfig,
+    device: &crate::device::FpgaDevice,
+) -> usize {
+    let mut nb = 0usize;
+    loop {
+        let candidate = KernelConfig { nb: nb + 1, ..*base };
+        if !estimate_device(profile, &candidate).fits(device) || nb + 1 > 4096 {
+            return nb;
+        }
+        nb += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::XCVU9P;
+    use dphls_core::WalkKind;
+
+    fn linear_profile() -> KernelProfile {
+        // Kernel #1-like: 3 adds, 2 cmps, no muls, 16-bit scores, 2-bit tb.
+        KernelProfile {
+            op_counts: OpCounts {
+                adds: 3,
+                muls: 0,
+                cmps: 2,
+                depth: 3,
+            },
+            score_bits: 16,
+            sym_bits: 2,
+            tb_bits: 2,
+            n_layers: 1,
+            walk: Some(WalkKind::Global),
+            param_table_bits: 48,
+        }
+    }
+
+    fn profile_kernel_profile() -> KernelProfile {
+        // Kernel #8-like: 30 muls on 32-bit scores.
+        KernelProfile {
+            op_counts: OpCounts {
+                adds: 13,
+                muls: 30,
+                cmps: 2,
+                depth: 44,
+            },
+            score_bits: 32,
+            sym_bits: 80,
+            tb_bits: 2,
+            n_layers: 1,
+            walk: Some(WalkKind::Global),
+            param_table_bits: 832,
+        }
+    }
+
+    fn cfg32() -> KernelConfig {
+        KernelConfig::new(32, 1, 1)
+    }
+
+    #[test]
+    fn kernel1_block_lands_near_table2() {
+        // Table 2 row #1 (32-PE block): LUT 0.72%, FF 0.42%, BRAM 1.78%,
+        // DSP 0.029% of xcvu9p. The model must land within 2.5x on every
+        // column (absolute synthesis numbers are tool noise; the trend
+        // matters).
+        let r = estimate_block(&linear_profile(), &cfg32());
+        let u = r.utilization(&XCVU9P);
+        let paper = [0.0072, 0.0042, 0.0178, 0.00029];
+        for (i, (&got, &want)) in u.iter().zip(paper.iter()).enumerate() {
+            let ratio = got / want;
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "column {i}: got {got:.5}, paper {want:.5}, ratio {ratio:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn dsp_follows_multipliers() {
+        let lin = estimate_block(&linear_profile(), &cfg32());
+        let prof = estimate_block(&profile_kernel_profile(), &cfg32());
+        // Add-only kernel: just the TB-address DSPs.
+        assert_eq!(lin.dsp, 2);
+        // 30 muls x 2 DSP x 32 PEs + 2 = 1922 — Table 2's 28.11% (1923).
+        assert_eq!(prof.dsp, 30 * 2 * 32 + 2);
+    }
+
+    #[test]
+    fn lut_ff_scale_linearly_with_npe() {
+        // Use a no-traceback profile so the BRAM->LUTRAM conversion at high
+        // NPE does not perturb the datapath LUT count.
+        let mut p = linear_profile();
+        p.walk = None;
+        p.tb_bits = 0;
+        let r16 = estimate_block(&p, &KernelConfig::new(16, 1, 1));
+        let r64 = estimate_block(&p, &KernelConfig::new(64, 1, 1));
+        let lut_ratio = (r64.lut - LUT_BLOCK_FIXED) as f64 / (r16.lut - LUT_BLOCK_FIXED) as f64;
+        assert!((lut_ratio - 4.0).abs() < 0.5, "ratio {lut_ratio}");
+    }
+
+    #[test]
+    fn lutram_conversion_at_high_npe() {
+        // NPE = 64 with 2-bit pointers: banks shrink below the threshold and
+        // convert to LUTRAM, dropping BRAM (paper §7.2 / Fig 3B).
+        let p = linear_profile();
+        let r32 = estimate_block(&p, &KernelConfig::new(32, 1, 1));
+        let r64 = estimate_block(&p, &KernelConfig::new(64, 1, 1));
+        assert!(
+            r64.bram36 < r32.bram36,
+            "bram {} !< {}",
+            r64.bram36,
+            r32.bram36
+        );
+    }
+
+    #[test]
+    fn wide_pointers_use_more_bram() {
+        // 7-bit two-piece pointers vs 2-bit linear pointers (paper §7.1).
+        let mut p = linear_profile();
+        let narrow = estimate_block(&p, &cfg32());
+        p.tb_bits = 7;
+        let wide = estimate_block(&p, &cfg32());
+        assert!(wide.bram36 > narrow.bram36);
+    }
+
+    #[test]
+    fn no_walk_skips_tb_bram() {
+        let mut p = linear_profile();
+        p.walk = None;
+        p.tb_bits = 0;
+        let r = estimate_block(&p, &cfg32());
+        let with_tb = estimate_block(&linear_profile(), &cfg32());
+        assert!(r.bram36 < with_tb.bram36);
+        assert_eq!(r.dsp, 1);
+    }
+
+    #[test]
+    fn protein_matrix_replicates_per_pe() {
+        let mut p = linear_profile();
+        p.param_table_bits = 6_416; // BLOSUM62 + gap
+        let r = estimate_block(&p, &cfg32());
+        let base = estimate_block(&linear_profile(), &cfg32());
+        assert!(r.bram36 >= base.bram36 + 16); // one BRAM18 per PE
+    }
+
+    #[test]
+    fn banding_adds_logic() {
+        let p = linear_profile();
+        let plain = estimate_block(&p, &cfg32());
+        let banded = estimate_block(&p, &cfg32().with_banding(16));
+        assert!(banded.lut > plain.lut);
+        assert!(banded.ff > plain.ff);
+    }
+
+    #[test]
+    fn device_estimate_scales_with_blocks() {
+        let p = linear_profile();
+        let cfg = KernelConfig::new(32, 4, 2);
+        let dev = estimate_device(&p, &cfg);
+        let block = estimate_block(&p, &cfg);
+        assert!(dev.lut >= block.lut * 8);
+        assert_eq!(dev.dsp, block.dsp * 8);
+    }
+
+    #[test]
+    fn max_nb_is_finite_and_positive() {
+        let p = profile_kernel_profile();
+        let base = KernelConfig::new(32, 1, 1);
+        let cap = max_nb(&p, &base, &XCVU9P);
+        // DSP-heavy kernel: the cap lands in the single-digit-to-tens range
+        // (the paper's DTW NB cap analysis).
+        assert!(cap > 0 && cap < 64, "cap {cap}");
+    }
+
+    #[test]
+    fn bram18_bank_aspect_ratios() {
+        assert_eq!(bram18_for_bank(2048, 2), 1);
+        assert_eq!(bram18_for_bank(8192, 2), 1);
+        assert_eq!(bram18_for_bank(8193, 2), 2);
+        assert_eq!(bram18_for_bank(2296, 7), 2); // the #5 case: depth > 2048 at 7 bits
+        assert_eq!(bram18_for_bank(512, 36), 1);
+        assert_eq!(bram18_for_bank(0, 4), 0);
+        // 72-bit wide: split into two 36-bit halves.
+        assert_eq!(bram18_for_bank(512, 72), 2);
+    }
+
+    #[test]
+    fn dsp_per_mult_widths() {
+        assert_eq!(dsp_per_mult(16), 1);
+        assert_eq!(dsp_per_mult(18), 1);
+        assert_eq!(dsp_per_mult(32), 2);
+        assert_eq!(dsp_per_mult(64), 4);
+    }
+}

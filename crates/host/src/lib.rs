@@ -1,0 +1,27 @@
+//! Host-side runtime for the DP-HLS reproduction (paper §4 step 6):
+//! batching work across the device's `NK` channels with host threads
+//! ([`scheduler`]) and aligning arbitrarily long reads on a fixed-size
+//! device kernel with GACT-style tiling ([`tiling`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dphls_host::tiling::{tiled_global_affine, TilingConfig};
+//! use dphls_kernels::AffineParams;
+//! use dphls_seq::gen::ReadSimulator;
+//!
+//! // A 1,000-base read aligned on a 128-wide device kernel.
+//! let mut sim = ReadSimulator::new(1);
+//! let (reference, read) = sim.read_pair(1000, 0.1);
+//! let params = AffineParams::<i32>::dna();
+//! let cfg = TilingConfig { tile: 128, overlap: 32 };
+//! let out = tiled_global_affine(read.as_slice(), reference.as_slice(), &params, cfg, 32)?;
+//! assert_eq!(out.alignment.ref_span(), reference.len());
+//! # Ok::<(), dphls_host::tiling::TilingError>(())
+//! ```
+
+pub mod scheduler;
+pub mod tiling;
+
+pub use scheduler::{run_batched, ScheduleReport};
+pub use tiling::{score_path_affine, tiled_global_affine, TiledAlignment, TilingConfig, TilingError};

@@ -1,0 +1,355 @@
+//! GACT-style tiling for long-read alignment (paper §6.2, §7.3, and
+//! contribution #5: "recently proposed tiling heuristics \[11\] are compatible
+//! with DP-HLS and can be used for performing both short and long sequence
+//! alignments on the FPGA").
+//!
+//! The device kernel supports fixed maximum lengths; the host aligns
+//! arbitrarily long sequences by sliding a `tile × tile` global-affine
+//! alignment (kernel #2) along the pair: each tile is aligned on the
+//! device, only the first `tile − overlap` of its path is **committed**, and
+//! the next tile starts at the committed endpoint — Darwin's GACT heuristic.
+
+use dphls_core::{AlnOp, Alignment, KernelConfig};
+use dphls_kernels::{AffineParams, GlobalAffine};
+use dphls_seq::Base;
+use dphls_systolic::{run_systolic, SystolicError};
+use std::fmt;
+
+/// Tiling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingConfig {
+    /// Tile edge length (the device's `MAX_QUERY_LENGTH` /
+    /// `MAX_REFERENCE_LENGTH`).
+    pub tile: usize,
+    /// Overlap retained between consecutive tiles (GACT's O).
+    pub overlap: usize,
+}
+
+impl TilingConfig {
+    /// The paper's long-read setting: 256-wide tiles with a 32-column
+    /// overlap.
+    pub fn paper_default() -> Self {
+        Self {
+            tile: 256,
+            overlap: 32,
+        }
+    }
+
+    /// Validates `overlap < tile` and non-zero tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::BadConfig`] when violated.
+    pub fn validate(&self) -> Result<(), TilingError> {
+        if self.tile == 0 || self.overlap >= self.tile {
+            return Err(TilingError::BadConfig {
+                tile: self.tile,
+                overlap: self.overlap,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Errors from the tiling driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TilingError {
+    /// Overlap must be smaller than the tile.
+    BadConfig {
+        /// Configured tile size.
+        tile: usize,
+        /// Configured overlap.
+        overlap: usize,
+    },
+    /// A device-level failure inside a tile.
+    Device(SystolicError),
+    /// A tile produced an empty committed segment (pathological inputs).
+    NoProgress {
+        /// Query offset where the driver stalled.
+        at_query: usize,
+        /// Reference offset where the driver stalled.
+        at_ref: usize,
+    },
+}
+
+impl fmt::Display for TilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TilingError::BadConfig { tile, overlap } => {
+                write!(f, "tiling requires overlap ({overlap}) < tile ({tile}) and tile > 0")
+            }
+            TilingError::Device(e) => write!(f, "tile alignment failed: {e}"),
+            TilingError::NoProgress { at_query, at_ref } => {
+                write!(f, "tiling made no progress at query {at_query}, reference {at_ref}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TilingError {}
+
+impl From<SystolicError> for TilingError {
+    fn from(e: SystolicError) -> Self {
+        TilingError::Device(e)
+    }
+}
+
+/// A stitched long alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledAlignment {
+    /// The stitched global path covering both full sequences.
+    pub alignment: Alignment,
+    /// The affine score of the stitched path, recomputed end-to-end.
+    pub score: i64,
+    /// Number of device tiles executed.
+    pub tiles: usize,
+}
+
+/// Scores an alignment path under the affine model (used to report the
+/// stitched score and to validate tiling against full alignments).
+pub fn score_path_affine(
+    q: &[Base],
+    r: &[Base],
+    aln: &Alignment,
+    p: &AffineParams<i32>,
+) -> i64 {
+    let (mut i, mut j) = aln.start();
+    let mut score = 0i64;
+    #[derive(PartialEq, Clone, Copy)]
+    enum GapState {
+        None,
+        Up,
+        Left,
+    }
+    let mut state = GapState::None;
+    for op in aln.ops() {
+        match op {
+            AlnOp::Diag => {
+                score += if q[i] == r[j] {
+                    p.match_score as i64
+                } else {
+                    p.mismatch as i64
+                };
+                i += 1;
+                j += 1;
+                state = GapState::None;
+            }
+            AlnOp::Up => {
+                score += if state == GapState::Up {
+                    p.gap_extend as i64
+                } else {
+                    p.gap_open as i64
+                };
+                i += 1;
+                state = GapState::Up;
+            }
+            AlnOp::Left => {
+                score += if state == GapState::Left {
+                    p.gap_extend as i64
+                } else {
+                    p.gap_open as i64
+                };
+                j += 1;
+                state = GapState::Left;
+            }
+        }
+    }
+    score
+}
+
+/// Aligns a long pair with GACT-style tiling of the Global Affine kernel
+/// (#2) on the modeled device.
+///
+/// # Errors
+///
+/// Returns [`TilingError`] on invalid configuration, device failures, or
+/// lack of progress.
+pub fn tiled_global_affine(
+    query: &[Base],
+    reference: &[Base],
+    params: &AffineParams<i32>,
+    tiling: TilingConfig,
+    npe: usize,
+) -> Result<TiledAlignment, TilingError> {
+    tiling.validate()?;
+    if query.is_empty() || reference.is_empty() {
+        return Err(TilingError::Device(SystolicError::EmptySequence));
+    }
+    let device_cfg = KernelConfig::new(npe.min(tiling.tile), 1, 1)
+        .with_max_lengths(tiling.tile, tiling.tile);
+
+    let mut qi = 0usize; // committed query offset
+    let mut rj = 0usize; // committed reference offset
+    let mut ops: Vec<AlnOp> = Vec::with_capacity(query.len() + reference.len());
+    let mut tiles = 0usize;
+
+    while qi < query.len() || rj < reference.len() {
+        // Degenerate tails: one sequence exhausted → straight gap run.
+        if qi >= query.len() {
+            ops.extend(std::iter::repeat_n(AlnOp::Left, reference.len() - rj));
+            rj = reference.len();
+            break;
+        }
+        if rj >= reference.len() {
+            ops.extend(std::iter::repeat_n(AlnOp::Up, query.len() - qi));
+            qi = query.len();
+            break;
+        }
+        let q_tile = &query[qi..(qi + tiling.tile).min(query.len())];
+        let r_tile = &reference[rj..(rj + tiling.tile).min(reference.len())];
+        let run = run_systolic::<GlobalAffine<i32>>(params, q_tile, r_tile, &device_cfg)?;
+        tiles += 1;
+        let aln = run
+            .output
+            .alignment
+            .expect("global affine kernel always produces a path");
+        let last_tile = q_tile.len() < tiling.tile && r_tile.len() < tiling.tile;
+        let commit_limit = tiling.tile - tiling.overlap;
+        let mut committed = 0usize;
+        let (mut dq, mut dr) = (0usize, 0usize);
+        for op in aln.ops() {
+            if !last_tile && (dq >= commit_limit || dr >= commit_limit) {
+                break;
+            }
+            dq += op.query_step();
+            dr += op.ref_step();
+            ops.push(*op);
+            committed += 1;
+        }
+        if committed == 0 {
+            return Err(TilingError::NoProgress {
+                at_query: qi,
+                at_ref: rj,
+            });
+        }
+        qi += dq;
+        rj += dr;
+        if last_tile {
+            break;
+        }
+    }
+
+    let alignment = Alignment::new(ops, (0, 0), (qi, rj));
+    debug_assert!(alignment.is_consistent());
+    let score = score_path_affine(query, reference, &alignment, params);
+    Ok(TiledAlignment {
+        alignment,
+        score,
+        tiles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_core::{run_reference, Banding};
+    use dphls_seq::gen::{ErrorModel, ReadSimulator};
+    use dphls_seq::DnaSeq;
+
+    fn long_pair(len: usize, err: f64) -> (DnaSeq, DnaSeq) {
+        let mut sim = ReadSimulator::new(77).error_model(ErrorModel::PACBIO_CLR);
+        let (reference, read) = sim.read_pair(len, err);
+        (read, reference)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TilingConfig { tile: 0, overlap: 0 }.validate().is_err());
+        assert!(TilingConfig { tile: 64, overlap: 64 }.validate().is_err());
+        assert!(TilingConfig { tile: 64, overlap: 16 }.validate().is_ok());
+        assert_eq!(TilingConfig::paper_default().tile, 256);
+    }
+
+    #[test]
+    fn tiled_path_covers_both_sequences() {
+        let (q, r) = long_pair(700, 0.15);
+        let p = AffineParams::<i32>::dna();
+        let out = tiled_global_affine(
+            q.as_slice(),
+            r.as_slice(),
+            &p,
+            TilingConfig { tile: 128, overlap: 32 },
+            32,
+        )
+        .unwrap();
+        assert_eq!(out.alignment.query_span(), q.len());
+        assert_eq!(out.alignment.ref_span(), r.len());
+        assert!(out.alignment.is_consistent());
+        assert!(out.tiles >= 5, "tiles {}", out.tiles);
+    }
+
+    #[test]
+    fn tiling_matches_full_alignment_score_on_clean_reads() {
+        // Low error: the optimal path stays near the diagonal, so GACT
+        // tiling recovers the exact global score.
+        let (q, r) = long_pair(600, 0.05);
+        let p = AffineParams::<i32>::dna();
+        let tiled = tiled_global_affine(
+            q.as_slice(),
+            r.as_slice(),
+            &p,
+            TilingConfig { tile: 128, overlap: 32 },
+            32,
+        )
+        .unwrap();
+        let full = run_reference::<GlobalAffine<i32>>(&p, q.as_slice(), r.as_slice(), Banding::None);
+        let full_score = full.best_score as i64;
+        assert!(
+            tiled.score >= full_score - 10,
+            "tiled {} vs full {full_score}",
+            tiled.score
+        );
+        assert!(tiled.score <= full_score);
+    }
+
+    #[test]
+    fn tiling_handles_length_mismatch_tails() {
+        let q: DnaSeq = "ACGTACGTACGT".parse().unwrap();
+        let r: DnaSeq = "ACGTACGT".parse().unwrap();
+        let p = AffineParams::<i32>::dna();
+        let out = tiled_global_affine(
+            q.as_slice(),
+            r.as_slice(),
+            &p,
+            TilingConfig { tile: 16, overlap: 4 },
+            8,
+        )
+        .unwrap();
+        assert_eq!(out.alignment.query_span(), 12);
+        assert_eq!(out.alignment.ref_span(), 8);
+    }
+
+    #[test]
+    fn score_path_affine_known_case() {
+        // 4M with one mismatch + 2-gap: 3*2 - 3 + (-5 -1) = -3... built by hand:
+        // q = ACGT, r = ACAT -> 4M: A(+2) C(+2) G/A(-3) T(+2) = 3
+        let q: DnaSeq = "ACGT".parse().unwrap();
+        let r: DnaSeq = "ACAT".parse().unwrap();
+        let aln = Alignment::new(vec![AlnOp::Diag; 4], (0, 0), (4, 4));
+        let p = AffineParams::<i32>::dna();
+        assert_eq!(score_path_affine(q.as_slice(), r.as_slice(), &aln, &p), 3);
+        // Gap run: open then extend.
+        let q2: DnaSeq = "AC".parse().unwrap();
+        let r2: DnaSeq = "ACGG".parse().unwrap();
+        let aln2 = Alignment::new(
+            vec![AlnOp::Diag, AlnOp::Diag, AlnOp::Left, AlnOp::Left],
+            (0, 0),
+            (2, 4),
+        );
+        assert_eq!(
+            score_path_affine(q2.as_slice(), r2.as_slice(), &aln2, &p),
+            2 + 2 - 5 - 1
+        );
+    }
+
+    #[test]
+    fn more_tiles_for_longer_reads() {
+        let p = AffineParams::<i32>::dna();
+        let cfg = TilingConfig { tile: 128, overlap: 32 };
+        let (q1, r1) = long_pair(400, 0.1);
+        let (q2, r2) = long_pair(1200, 0.1);
+        let t1 = tiled_global_affine(q1.as_slice(), r1.as_slice(), &p, cfg, 32).unwrap();
+        let t2 = tiled_global_affine(q2.as_slice(), r2.as_slice(), &p, cfg, 32).unwrap();
+        assert!(t2.tiles > t1.tiles);
+    }
+}

@@ -1,0 +1,251 @@
+//! Dynamic Time Warping kernels: DTW over complex signals (#9) and
+//! semi-global DTW over integer squiggles (#14, the SquiggleFilter
+//! comparand).
+//!
+//! Both are **min**-objective kernels (paper §2.2.2d): the recurrence
+//! replaces `max` with `min` and the boundary uses `+∞` instead of gap
+//! ramps. The substitution "score" is a distance computed from the symbols
+//! themselves — squared Euclidean distance between complex samples for #9
+//! (two multipliers per PE, which is why DTW's DSP usage scales with NPE in
+//! Fig 3E), absolute difference for #14.
+
+use crate::params::NoParams;
+use dphls_core::score::argmin;
+use dphls_core::{
+    BestCellRule, KernelId, KernelMeta, KernelSpec, LayerVec, Objective, Score, TbMove, TbPtr,
+    TbState, TracebackSpec,
+};
+use dphls_seq::Complex;
+use std::marker::PhantomData;
+
+/// The paper's fixed-point signal score type (`ap_fixed<32,26>`, Listing 1).
+pub type DtwScore = dphls_fixed::ApFixed<32, 26>;
+
+/// Kernel #9 — Dynamic Time Warping over complex-valued signals
+/// (basecalling workloads): `S(i,j) = dist(Qᵢ, Rⱼ) + min(S(i−1,j),
+/// S(i−1,j−1), S(i,j−1))` with a global warping path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dtw<S = DtwScore>(PhantomData<S>);
+
+impl<S: Score> KernelSpec for Dtw<S> {
+    type Sym = Complex;
+    type Score = S;
+    type Params = NoParams;
+
+    fn meta() -> KernelMeta {
+        KernelMeta {
+            id: KernelId(9),
+            name: "Dynamic Time Warping (DTW)",
+            n_layers: 1,
+            tb_bits: 2,
+            objective: Objective::Minimize,
+            traceback: TracebackSpec::global(),
+        }
+    }
+
+    fn init_row(_: &NoParams, j: usize) -> LayerVec<S> {
+        // S(0,0) = 0, S(0,j>0) = +inf: the path must start at the origin.
+        LayerVec::splat(1, if j == 0 { S::zero() } else { S::pos_inf() })
+    }
+
+    fn init_col(_: &NoParams, _i: usize) -> LayerVec<S> {
+        LayerVec::splat(1, S::pos_inf())
+    }
+
+    fn pe(
+        _: &NoParams,
+        q: Complex,
+        r: Complex,
+        diag: &LayerVec<S>,
+        up: &LayerVec<S>,
+        left: &LayerVec<S>,
+    ) -> (LayerVec<S>, TbPtr) {
+        // Squared Euclidean distance, computed in the score datapath.
+        let dr = S::from_f64(q.re.to_f64()).sub(S::from_f64(r.re.to_f64()));
+        let di = S::from_f64(q.im.to_f64()).sub(S::from_f64(r.im.to_f64()));
+        let dist = dr.mul(dr).add(di.mul(di));
+        let (m, ptr) = argmin([
+            (diag.primary(), TbPtr::DIAG),
+            (up.primary(), TbPtr::UP),
+            (left.primary(), TbPtr::LEFT),
+        ]);
+        (LayerVec::splat(1, dist.add(m)), ptr)
+    }
+
+    fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
+        let mv = match ptr.direction() {
+            TbPtr::DIAG => TbMove::Diag,
+            TbPtr::UP => TbMove::Up,
+            TbPtr::LEFT => TbMove::Left,
+            _ => TbMove::Stop,
+        };
+        (state, mv)
+    }
+}
+
+/// Kernel #14 — semi-global DTW over integer signals (SquiggleFilter /
+/// RawHash): the query squiggle aligns end-to-end starting anywhere along
+/// the reference (free first row), the result is the minimum last-row cost,
+/// and — matching SquiggleFilter — no traceback is performed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sdtw<S = i32>(PhantomData<S>);
+
+impl<S: Score> KernelSpec for Sdtw<S> {
+    type Sym = i16;
+    type Score = S;
+    type Params = NoParams;
+
+    fn meta() -> KernelMeta {
+        KernelMeta {
+            id: KernelId(14),
+            name: "Semi-global DTW (sDTW)",
+            n_layers: 1,
+            tb_bits: 0,
+            objective: Objective::Minimize,
+            traceback: TracebackSpec::score_only(BestCellRule::LastRow),
+        }
+    }
+
+    fn init_row(_: &NoParams, _j: usize) -> LayerVec<S> {
+        // Free start anywhere along the reference.
+        LayerVec::splat(1, S::zero())
+    }
+
+    fn init_col(_: &NoParams, _i: usize) -> LayerVec<S> {
+        LayerVec::splat(1, S::pos_inf())
+    }
+
+    fn pe(
+        _: &NoParams,
+        q: i16,
+        r: i16,
+        diag: &LayerVec<S>,
+        up: &LayerVec<S>,
+        left: &LayerVec<S>,
+    ) -> (LayerVec<S>, TbPtr) {
+        // |q - r| in the score datapath (one subtract + one compare).
+        let diff = S::from_i32(q as i32).sub(S::from_i32(r as i32));
+        let (dist, _) = diff.max_with(S::zero().sub(diff));
+        let (m, _) = argmin([
+            (diag.primary(), 0u8),
+            (up.primary(), 1),
+            (left.primary(), 2),
+        ]);
+        (LayerVec::splat(1, dist.add(m)), TbPtr::END)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_core::{run_reference, Banding};
+    use dphls_seq::gen::{ComplexSignalGenerator, SquiggleSimulator};
+    use dphls_seq::{ComplexSeq, DnaSeq, SignalSeq};
+
+    fn csig(vals: &[(f64, f64)]) -> ComplexSeq {
+        ComplexSeq::new(vals.iter().map(|&(a, b)| Complex::from_f64(a, b)).collect())
+    }
+
+    #[test]
+    fn identical_signals_have_zero_distance() {
+        let s = csig(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5), (3.0, -1.0)]);
+        let out = run_reference::<Dtw>(&NoParams, s.as_slice(), s.as_slice(), Banding::None);
+        assert_eq!(out.best_score.to_f64(), 0.0);
+        // The warping path of identical signals is the main diagonal.
+        assert_eq!(out.alignment.unwrap().cigar(), "4M");
+    }
+
+    #[test]
+    fn dtw_known_small_case() {
+        // 1-D signals embedded as complex with im = 0:
+        // a = [0, 1, 2], b = [0, 2]. Squared distances:
+        //   d(0,0)=0 d(0,2)=4 / d(1,0)=1 d(1,2)=1 / d(2,0)=4 d(2,2)=0
+        // Optimal: (0,0)->(1,1)->(2,2)... DTW cost = 0 + 1 + 0 = 1.
+        let a = csig(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = csig(&[(0.0, 0.0), (2.0, 0.0)]);
+        let out = run_reference::<Dtw>(&NoParams, a.as_slice(), b.as_slice(), Banding::None);
+        assert_eq!(out.best_score.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn dtw_absorbs_time_warp_cheaply() {
+        let mut g = ComplexSignalGenerator::new(7);
+        let (a, b) = g.warped_pair(64, 0.25);
+        let warped = run_reference::<Dtw>(&NoParams, a.as_slice(), b.as_slice(), Banding::None);
+        // Compare against an unrelated signal of the same length.
+        let c = ComplexSignalGenerator::new(999).signal(b.len());
+        let unrelated = run_reference::<Dtw>(&NoParams, a.as_slice(), c.as_slice(), Banding::None);
+        assert!(
+            warped.best_score.to_f64() < unrelated.best_score.to_f64(),
+            "warped {} !< unrelated {}",
+            warped.best_score.to_f64(),
+            unrelated.best_score.to_f64()
+        );
+    }
+
+    #[test]
+    fn dtw_path_is_monotone_and_consistent() {
+        let mut g = ComplexSignalGenerator::new(3);
+        let (a, b) = g.warped_pair(32, 0.3);
+        let out = run_reference::<Dtw>(&NoParams, a.as_slice(), b.as_slice(), Banding::None);
+        let aln = out.alignment.unwrap();
+        assert!(aln.is_consistent());
+        assert_eq!(aln.start(), (0, 0));
+        assert_eq!(aln.end(), (a.len(), b.len()));
+    }
+
+    #[test]
+    fn sdtw_finds_embedded_squiggle() {
+        // Reference: levels of a 64-base template; query: noisy squiggle of
+        // a 16-base window. The min last-row cost must be far below that of
+        // a random query of equal length.
+        let dna: DnaSeq = {
+            let mut g = dphls_seq::gen::GenomeGenerator::new(11);
+            g.generate(64)
+        };
+        let reference = SquiggleSimulator::reference_levels(&dna);
+        let window = dna.window(20, 16);
+        let mut sim = SquiggleSimulator::new(5).dwell(1, 1).noise(3);
+        let query = sim.squiggle(&window);
+        let hit = run_reference::<Sdtw>(&NoParams, query.as_slice(), reference.as_slice(), Banding::None);
+
+        let other: SignalSeq = SignalSeq::new(vec![100i16; query.len()]);
+        let miss = run_reference::<Sdtw>(&NoParams, other.as_slice(), reference.as_slice(), Banding::None);
+        assert!(hit.best_score < miss.best_score / 10);
+        assert!(hit.alignment.is_none());
+        // Best cell must be on the last row.
+        assert_eq!(hit.best_cell.0, query.len());
+    }
+
+    #[test]
+    fn sdtw_zero_for_constant_equal_signals() {
+        let q = SignalSeq::new(vec![500i16; 8]);
+        let r = SignalSeq::new(vec![500i16; 32]);
+        let out = run_reference::<Sdtw>(&NoParams, q.as_slice(), r.as_slice(), Banding::None);
+        assert_eq!(out.best_score, 0);
+    }
+
+    #[test]
+    fn sdtw_abs_distance() {
+        // Single-sample signals: cost = |q - r|.
+        let q = SignalSeq::new(vec![10i16]);
+        let r = SignalSeq::new(vec![3i16]);
+        let out = run_reference::<Sdtw>(&NoParams, q.as_slice(), r.as_slice(), Banding::None);
+        assert_eq!(out.best_score, 7);
+        let out2 = run_reference::<Sdtw>(&NoParams, r.as_slice(), q.as_slice(), Banding::None);
+        assert_eq!(out2.best_score, 7);
+    }
+
+    #[test]
+    fn metas() {
+        assert_eq!(Dtw::<DtwScore>::meta().id, KernelId(9));
+        assert_eq!(Dtw::<DtwScore>::meta().objective, Objective::Minimize);
+        assert!(Dtw::<DtwScore>::meta().traceback.has_walk());
+        assert_eq!(Sdtw::<i32>::meta().id, KernelId(14));
+        assert!(!Sdtw::<i32>::meta().traceback.has_walk());
+        assert_eq!(
+            Sdtw::<i32>::meta().traceback.best,
+            BestCellRule::LastRow
+        );
+    }
+}

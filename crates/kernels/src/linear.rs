@@ -1,0 +1,369 @@
+//! Linear-gap-penalty kernels: Global Linear / Needleman-Wunsch (#1),
+//! Local Linear / Smith-Waterman (#3), Overlap (#6), Semi-global (#7), and
+//! Banded Global Linear (#11).
+//!
+//! These five kernels share one PE recurrence (paper Fig 1, top-left) and
+//! differ only in initialization, traceback strategy, and banding — exactly
+//! the "Modifications in DP-HLS" column of Table 1.
+
+use crate::params::LinearParams;
+use dphls_core::score::argmax;
+use dphls_core::{
+    KernelId, KernelMeta, KernelSpec, LayerVec, Objective, Score, TbMove, TbPtr,
+    TbState, TracebackSpec,
+};
+use dphls_seq::Base;
+use std::marker::PhantomData;
+
+/// Shared PE recurrence for the linear family: one layer, three candidates.
+/// `clamp_zero` adds the Smith-Waterman `max(…, 0)` with an `END` pointer
+/// (paper Listing 6).
+fn linear_pe<S: Score>(
+    p: &LinearParams<S>,
+    q: Base,
+    r: Base,
+    diag: &LayerVec<S>,
+    up: &LayerVec<S>,
+    left: &LayerVec<S>,
+    clamp_zero: bool,
+) -> (LayerVec<S>, TbPtr) {
+    let sub = if q == r { p.match_score } else { p.mismatch };
+    let mat = diag.primary().add(sub);
+    let del = up.primary().add(p.gap);
+    let ins = left.primary().add(p.gap);
+    let (best, ptr) = if clamp_zero {
+        argmax([
+            (S::zero(), TbPtr::END),
+            (mat, TbPtr::DIAG),
+            (del, TbPtr::UP),
+            (ins, TbPtr::LEFT),
+        ])
+    } else {
+        argmax([(mat, TbPtr::DIAG), (del, TbPtr::UP), (ins, TbPtr::LEFT)])
+    };
+    (LayerVec::splat(1, best), ptr)
+}
+
+/// Shared single-state traceback FSM (paper Listing 7).
+fn linear_tb(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
+    let mv = match ptr.direction() {
+        TbPtr::DIAG => TbMove::Diag,
+        TbPtr::UP => TbMove::Up,
+        TbPtr::LEFT => TbMove::Left,
+        _ => TbMove::Stop,
+    };
+    (state, mv)
+}
+
+/// Boundary scores that accumulate the gap penalty (`j × gap`), paper
+/// Listing 4.
+fn gap_ramp<S: Score>(gap: S, k: usize) -> LayerVec<S> {
+    LayerVec::splat(1, S::from_f64(gap.to_f64() * k as f64))
+}
+
+/// Zero boundary (local / overlap / semi-global free ends).
+fn zero_init<S: Score>() -> LayerVec<S> {
+    LayerVec::splat(1, S::zero())
+}
+
+macro_rules! linear_kernel {
+    (
+        $(#[$doc:meta])*
+        $name:ident, id: $id:expr, kname: $kname:expr,
+        clamp: $clamp:expr, tb: $tbspec:expr,
+        init_row: $init_row:expr, init_col: $init_col:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $name<S = i16>(PhantomData<S>);
+
+        impl<S: Score> KernelSpec for $name<S> {
+            type Sym = Base;
+            type Score = S;
+            type Params = LinearParams<S>;
+
+            fn meta() -> KernelMeta {
+                KernelMeta {
+                    id: KernelId($id),
+                    name: $kname,
+                    n_layers: 1,
+                    tb_bits: 2,
+                    objective: Objective::Maximize,
+                    traceback: $tbspec,
+                }
+            }
+
+            fn init_row(params: &Self::Params, j: usize) -> LayerVec<S> {
+                let f: fn(&LinearParams<S>, usize) -> LayerVec<S> = $init_row;
+                f(params, j)
+            }
+
+            fn init_col(params: &Self::Params, i: usize) -> LayerVec<S> {
+                let f: fn(&LinearParams<S>, usize) -> LayerVec<S> = $init_col;
+                f(params, i)
+            }
+
+            fn pe(
+                params: &Self::Params,
+                q: Base,
+                r: Base,
+                diag: &LayerVec<S>,
+                up: &LayerVec<S>,
+                left: &LayerVec<S>,
+            ) -> (LayerVec<S>, TbPtr) {
+                linear_pe(params, q, r, diag, up, left, $clamp)
+            }
+
+            fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
+                linear_tb(state, ptr)
+            }
+        }
+    };
+}
+
+linear_kernel!(
+    /// Kernel #1 — Global Linear alignment (Needleman-Wunsch), the paper's
+    /// baseline kernel: gap-ramp initialization, global traceback.
+    GlobalLinear, id: 1, kname: "Global Linear (Needleman-Wunsch)",
+    clamp: false, tb: TracebackSpec::global(),
+    init_row: |p, j| gap_ramp(p.gap, j),
+    init_col: |p, i| gap_ramp(p.gap, i)
+);
+
+linear_kernel!(
+    /// Kernel #3 — Local Linear alignment (Smith-Waterman): zero
+    /// initialization, scores clamped at zero, traceback from the global
+    /// maximum to the first zero-score cell.
+    LocalLinear, id: 3, kname: "Local Linear (Smith-Waterman)",
+    clamp: true, tb: TracebackSpec::local(),
+    init_row: |_, _| zero_init(),
+    init_col: |_, _| zero_init()
+);
+
+linear_kernel!(
+    /// Kernel #6 — Overlap alignment (suffix–prefix matching for genome
+    /// assembly): free initialization, best cell in the last row or column,
+    /// traceback to the top row or leftmost column.
+    Overlap, id: 6, kname: "Overlap Alignment",
+    clamp: false, tb: TracebackSpec::overlap(),
+    init_row: |_, _| zero_init(),
+    init_col: |_, _| zero_init()
+);
+
+linear_kernel!(
+    /// Kernel #7 — Semi-global alignment (short-read mapping): the query
+    /// aligns end-to-end against a reference substring; free reference ends,
+    /// gap-ramped query start.
+    SemiGlobal, id: 7, kname: "Semi-global Alignment",
+    clamp: false, tb: TracebackSpec::semi_global(),
+    init_row: |_, _| zero_init(),
+    init_col: |p, i| gap_ramp(p.gap, i)
+);
+
+linear_kernel!(
+    /// Kernel #11 — Banded Global Linear alignment: identical recurrence to
+    /// #1; the fixed band is applied by the engines from
+    /// [`dphls_core::KernelConfig::banding`] (paper §4 step 6's `BANDING` /
+    /// `BANDWIDTH` macros).
+    BandedGlobalLinear, id: 11, kname: "Banded Global Linear",
+    clamp: false, tb: TracebackSpec::global(),
+    init_row: |p, j| gap_ramp(p.gap, j),
+    init_col: |p, i| gap_ramp(p.gap, i)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_core::{run_reference, run_reference_full, Banding, BestCellRule};
+    use dphls_seq::DnaSeq;
+
+    fn dna(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn nw_identical_sequences_score_full_match() {
+        let p = LinearParams::<i16>::unit();
+        let s = dna("ACGTACGT");
+        let out = run_reference::<GlobalLinear>(&p, s.as_slice(), s.as_slice(), Banding::None);
+        assert_eq!(out.best_score, 8);
+        assert_eq!(out.best_cell, (8, 8));
+        let aln = out.alignment.unwrap();
+        assert_eq!(aln.cigar(), "8M");
+        assert!(aln.is_consistent());
+    }
+
+    #[test]
+    fn nw_fig1_example() {
+        // The paper's Fig 1 walkthrough: ACTG vs ACTC with +1/-1/-1
+        // fills H(4,4) = 2 (3 matches, 1 mismatch at the end... the figure
+        // shows bottom-right = 2).
+        let p = LinearParams::<i16>::unit();
+        let out = run_reference::<GlobalLinear>(
+            &p,
+            dna("ACTG").as_slice(),
+            dna("ACTC").as_slice(),
+            Banding::None,
+        );
+        assert_eq!(out.best_score, 2);
+    }
+
+    #[test]
+    fn nw_known_matrix_values() {
+        let p = LinearParams::<i16>::unit();
+        let (_, m) = run_reference_full::<GlobalLinear>(
+            &p,
+            dna("ACTG").as_slice(),
+            dna("ACTC").as_slice(),
+            Banding::None,
+        );
+        // Boundary ramp
+        assert_eq!(m.score(0, 0), 0);
+        assert_eq!(m.score(0, 4), -4);
+        assert_eq!(m.score(4, 0), -4);
+        // First row of fills from Fig 1: 1, 0, -1, -2
+        assert_eq!(m.score(1, 1), 1);
+        assert_eq!(m.score(1, 2), 0);
+        assert_eq!(m.score(2, 2), 2);
+        assert_eq!(m.score(3, 3), 3);
+        assert_eq!(m.score(4, 4), 2);
+    }
+
+    #[test]
+    fn nw_is_symmetric_in_score() {
+        let p = LinearParams::<i16>::dna();
+        let a = dna("ACGTTGCA");
+        let b = dna("AGGTTGA");
+        let s1 = run_reference::<GlobalLinear>(&p, a.as_slice(), b.as_slice(), Banding::None);
+        let s2 = run_reference::<GlobalLinear>(&p, b.as_slice(), a.as_slice(), Banding::None);
+        assert_eq!(s1.best_score, s2.best_score);
+    }
+
+    #[test]
+    fn sw_score_is_non_negative_and_finds_motif() {
+        let p = LinearParams::<i16>::dna();
+        // Common motif "GATTACA" embedded in junk on both sides.
+        let a = dna("CCCCGATTACACCCC");
+        let b = dna("TTTTTGATTACATTTTT");
+        let out = run_reference::<LocalLinear>(&p, a.as_slice(), b.as_slice(), Banding::None);
+        assert_eq!(out.best_score, 14); // 7 matches x 2
+        let aln = out.alignment.unwrap();
+        assert_eq!(aln.cigar(), "7M");
+        assert_eq!(aln.identity(a.as_slice(), b.as_slice()), Some(1.0));
+    }
+
+    #[test]
+    fn sw_unrelated_sequences_score_zero_floor() {
+        let p = LinearParams::<i16>::dna();
+        let out = run_reference::<LocalLinear>(
+            &p,
+            dna("AAAA").as_slice(),
+            dna("CCCC").as_slice(),
+            Banding::None,
+        );
+        assert_eq!(out.best_score, 0);
+    }
+
+    #[test]
+    fn overlap_finds_suffix_prefix() {
+        let p = LinearParams::<i16>::dna();
+        // suffix of a = prefix of b = "ACGTACGT"
+        let a = dna("TTTTACGTACGT");
+        let b = dna("ACGTACGTGGGG");
+        let out = run_reference::<Overlap>(&p, a.as_slice(), b.as_slice(), Banding::None);
+        assert_eq!(out.best_score, 16); // 8 matches x 2
+        let aln = out.alignment.unwrap();
+        // Path must start on a boundary (free start) and end on last row/col.
+        let (si, sj) = aln.start();
+        assert!(si == 0 || sj == 0);
+        let (ei, ej) = aln.end();
+        assert!(ei == a.len() || ej == b.len());
+    }
+
+    #[test]
+    fn semi_global_aligns_query_end_to_end() {
+        let p = LinearParams::<i16>::dna();
+        let q = dna("ACGTAC");
+        let r = dna("TTTTTACGTACTTTTT");
+        let out = run_reference::<SemiGlobal>(&p, q.as_slice(), r.as_slice(), Banding::None);
+        assert_eq!(out.best_score, 12); // 6 matches
+        let aln = out.alignment.unwrap();
+        assert_eq!(aln.query_span(), q.len()); // end-to-end in the query
+        assert_eq!(aln.start().0, 0);
+        assert_eq!(aln.end().0, q.len());
+    }
+
+    #[test]
+    fn banded_equals_unbanded_when_band_covers_matrix() {
+        let p = LinearParams::<i16>::dna();
+        let a = dna("ACGTTGCATG");
+        let b = dna("ACGATGCTTG");
+        let full = run_reference::<GlobalLinear>(&p, a.as_slice(), b.as_slice(), Banding::None);
+        let banded = run_reference::<BandedGlobalLinear>(
+            &p,
+            a.as_slice(),
+            b.as_slice(),
+            Banding::Fixed { half_width: 10 },
+        );
+        assert_eq!(full.best_score, banded.best_score);
+        assert_eq!(full.alignment, banded.alignment);
+    }
+
+    #[test]
+    fn narrow_band_computes_fewer_cells() {
+        let p = LinearParams::<i16>::dna();
+        let a = dna("ACGTTGCATGACGTTGCATG");
+        let b = dna("ACGTTGCATGACGTTGCATG");
+        let full = run_reference::<BandedGlobalLinear>(&p, a.as_slice(), b.as_slice(), Banding::None);
+        let banded = run_reference::<BandedGlobalLinear>(
+            &p,
+            a.as_slice(),
+            b.as_slice(),
+            Banding::Fixed { half_width: 2 },
+        );
+        assert!(banded.cells_computed < full.cells_computed);
+        // Identical sequences stay on the diagonal: same score.
+        assert_eq!(banded.best_score, full.best_score);
+    }
+
+    #[test]
+    fn gap_ramp_matches_listing4() {
+        let p = LinearParams::<i16>::dna();
+        let v = GlobalLinear::<i16>::init_row(&p, 5);
+        assert_eq!(v.primary(), -10); // 5 * gap(-2)
+        assert_eq!(GlobalLinear::<i16>::init_col(&p, 0).primary(), 0);
+    }
+
+    #[test]
+    fn metas_are_distinct_and_correct() {
+        assert_eq!(GlobalLinear::<i16>::meta().id, KernelId(1));
+        assert_eq!(LocalLinear::<i16>::meta().id, KernelId(3));
+        assert_eq!(Overlap::<i16>::meta().id, KernelId(6));
+        assert_eq!(SemiGlobal::<i16>::meta().id, KernelId(7));
+        assert_eq!(BandedGlobalLinear::<i16>::meta().id, KernelId(11));
+        assert_eq!(
+            LocalLinear::<i16>::meta().traceback.best,
+            BestCellRule::AllCells
+        );
+        assert_eq!(
+            SemiGlobal::<i16>::meta().traceback.best,
+            BestCellRule::LastRow
+        );
+        for m in [GlobalLinear::<i16>::meta(), LocalLinear::<i16>::meta()] {
+            assert_eq!(m.n_layers, 1);
+            assert_eq!(m.tb_bits, 2);
+        }
+    }
+
+    #[test]
+    fn deletion_appears_in_global_cigar() {
+        let p = LinearParams::<i16>::dna();
+        let q = dna("ACGTACGT");
+        let r = dna("ACGTTACGT"); // one extra T in the reference
+        let out = run_reference::<GlobalLinear>(&p, q.as_slice(), r.as_slice(), Banding::None);
+        let aln = out.alignment.unwrap();
+        assert_eq!(aln.query_span(), 8);
+        assert_eq!(aln.ref_span(), 9);
+        assert!(aln.cigar().contains('D'), "cigar {}", aln.cigar());
+    }
+}

@@ -1,0 +1,428 @@
+//! `ScoringParams` structs shared by the 15 kernels (paper §4 step 1.3).
+//!
+//! Every params struct is generic over the [`Score`] type so the same kernel
+//! can run with a concrete score (`i16`, `ApFixed`, …) or with the
+//! instrumented [`CountingScore`] used by the FPGA resource model; the
+//! [`ToCounting`] trait performs that mapping.
+
+use dphls_core::{CountingScore, Score};
+
+/// Maps a params struct from score type `S` to `CountingScore<S>` so the
+/// kernel's PE function can be executed under instrumentation.
+pub trait ToCounting<S: Score> {
+    /// The counting-typed mirror of this struct.
+    type Counted;
+    /// Wraps every score-typed field.
+    fn to_counting(&self) -> Self::Counted;
+}
+
+/// Linear gap penalty parameters (kernels #1, #3, #6, #7, #11; paper
+/// Listing 2 left). `gap` is the (negative) score added per gap symbol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearParams<S> {
+    /// Score added for a symbol match.
+    pub match_score: S,
+    /// Score added for a substitution.
+    pub mismatch: S,
+    /// Score added per gap symbol (negative).
+    pub gap: S,
+}
+
+impl<S: Score> LinearParams<S> {
+    /// The classic `+1 / −1 / −1` scheme of the paper's Fig 1 walkthrough.
+    pub fn unit() -> Self {
+        Self {
+            match_score: S::from_i32(1),
+            mismatch: S::from_i32(-1),
+            gap: S::from_i32(-1),
+        }
+    }
+
+    /// A common DNA scheme (`+2 / −3 / −2`) used by the workloads.
+    pub fn dna() -> Self {
+        Self {
+            match_score: S::from_i32(2),
+            mismatch: S::from_i32(-3),
+            gap: S::from_i32(-2),
+        }
+    }
+}
+
+impl<S: Score> ToCounting<S> for LinearParams<S> {
+    type Counted = LinearParams<CountingScore<S>>;
+    fn to_counting(&self) -> Self::Counted {
+        LinearParams {
+            match_score: CountingScore::wrap(self.match_score),
+            mismatch: CountingScore::wrap(self.mismatch),
+            gap: CountingScore::wrap(self.gap),
+        }
+    }
+}
+
+/// Affine gap penalty parameters (kernels #2, #4, #12): opening a gap costs
+/// `gap_open`, each further symbol `gap_extend` (both negative, applied as in
+/// Gotoh's recurrence — `gap_open` is charged on the H→I/D transition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineParams<S> {
+    /// Score added for a symbol match.
+    pub match_score: S,
+    /// Score added for a substitution.
+    pub mismatch: S,
+    /// Score added when opening a gap (negative, includes first symbol).
+    pub gap_open: S,
+    /// Score added per gap extension symbol (negative).
+    pub gap_extend: S,
+}
+
+impl<S: Score> AffineParams<S> {
+    /// A common DNA affine scheme (`+2 / −3 / −5 / −1`).
+    pub fn dna() -> Self {
+        Self {
+            match_score: S::from_i32(2),
+            mismatch: S::from_i32(-3),
+            gap_open: S::from_i32(-5),
+            gap_extend: S::from_i32(-1),
+        }
+    }
+}
+
+impl<S: Score> ToCounting<S> for AffineParams<S> {
+    type Counted = AffineParams<CountingScore<S>>;
+    fn to_counting(&self) -> Self::Counted {
+        AffineParams {
+            match_score: CountingScore::wrap(self.match_score),
+            mismatch: CountingScore::wrap(self.mismatch),
+            gap_open: CountingScore::wrap(self.gap_open),
+            gap_extend: CountingScore::wrap(self.gap_extend),
+        }
+    }
+}
+
+/// Two-piece affine gap parameters (kernels #5, #13; minimap2-style): the
+/// effective gap cost is the **better** of two affine functions, letting long
+/// gaps pay the cheaper second slope (paper §2.2.2b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPieceParams<S> {
+    /// Score added for a symbol match.
+    pub match_score: S,
+    /// Score added for a substitution.
+    pub mismatch: S,
+    /// First-piece gap open (negative, steeper slope for short gaps).
+    pub gap_open1: S,
+    /// First-piece gap extend (negative).
+    pub gap_extend1: S,
+    /// Second-piece gap open (negative, higher open cost).
+    pub gap_open2: S,
+    /// Second-piece gap extend (negative, shallower slope for long gaps).
+    pub gap_extend2: S,
+}
+
+impl<S: Score> TwoPieceParams<S> {
+    /// minimap2-like defaults (`+2/−4`, piece 1 `−4/−2`, piece 2 `−24/−1`).
+    pub fn dna() -> Self {
+        Self {
+            match_score: S::from_i32(2),
+            mismatch: S::from_i32(-4),
+            gap_open1: S::from_i32(-4),
+            gap_extend1: S::from_i32(-2),
+            gap_open2: S::from_i32(-24),
+            gap_extend2: S::from_i32(-1),
+        }
+    }
+}
+
+impl<S: Score> ToCounting<S> for TwoPieceParams<S> {
+    type Counted = TwoPieceParams<CountingScore<S>>;
+    fn to_counting(&self) -> Self::Counted {
+        TwoPieceParams {
+            match_score: CountingScore::wrap(self.match_score),
+            mismatch: CountingScore::wrap(self.mismatch),
+            gap_open1: CountingScore::wrap(self.gap_open1),
+            gap_extend1: CountingScore::wrap(self.gap_extend1),
+            gap_open2: CountingScore::wrap(self.gap_open2),
+            gap_extend2: CountingScore::wrap(self.gap_extend2),
+        }
+    }
+}
+
+/// Profile-alignment parameters (kernel #8): a 5×5 sum-of-pairs substitution
+/// matrix over {A, C, G, T, gap} plus a linear gap score per profile column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileParams<S> {
+    /// Sum-of-pairs substitution matrix over {A, C, G, T, −}.
+    pub sub: [[S; 5]; 5],
+    /// Score added per gapped column (negative), already scaled by depth.
+    pub gap: S,
+}
+
+impl<S: Score> ProfileParams<S> {
+    /// Default sum-of-pairs scheme: match +2, mismatch −1, base↔gap −2,
+    /// gap↔gap 0, with a column gap penalty for `depth` sequences.
+    pub fn dna(depth: u32) -> Self {
+        let m = |a: usize, b: usize| -> i32 {
+            match (a, b) {
+                (4, 4) => 0,
+                (4, _) | (_, 4) => -2,
+                _ if a == b => 2,
+                _ => -1,
+            }
+        };
+        let mut sub = [[S::zero(); 5]; 5];
+        for (a, row) in sub.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
+                *cell = S::from_i32(m(a, b));
+            }
+        }
+        Self {
+            sub,
+            // Aligning a column against a gap costs −2 per sequence pair.
+            gap: S::from_i32(-2 * depth as i32 * depth as i32),
+        }
+    }
+}
+
+impl<S: Score> ToCounting<S> for ProfileParams<S> {
+    type Counted = ProfileParams<CountingScore<S>>;
+    fn to_counting(&self) -> Self::Counted {
+        let mut sub = [[CountingScore::wrap(S::zero()); 5]; 5];
+        for a in 0..5 {
+            for b in 0..5 {
+                sub[a][b] = CountingScore::wrap(self.sub[a][b]);
+            }
+        }
+        ProfileParams {
+            sub,
+            gap: CountingScore::wrap(self.gap),
+        }
+    }
+}
+
+/// Pair-HMM Viterbi parameters in log space (kernel #10; paper Listing 2
+/// right): transition log-probabilities derived from gap-open (δ) and
+/// gap-extend (ε) plus a 5×5 emission matrix for the match state and a flat
+/// insert-emission probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViterbiParams<S> {
+    /// `log δ` — M→I / M→J transition.
+    pub log_delta: S,
+    /// `log ε` — I→I / J→J transition.
+    pub log_epsilon: S,
+    /// `log (1 − 2δ)` — M→M transition.
+    pub log_one_minus_2delta: S,
+    /// `log (1 − ε)` — I→M / J→M transition.
+    pub log_one_minus_epsilon: S,
+    /// `log q` — emission probability in the insert states (flat ¼).
+    pub log_q: S,
+    /// Match-state emission log-probabilities over {A, C, G, T, −} pairs.
+    pub emission: [[S; 5]; 5],
+}
+
+impl<S: Score> ViterbiParams<S> {
+    /// A standard PairHMM parameterization (δ = 0.1, ε = 0.3, 90 % match
+    /// emission concentrated on the diagonal).
+    pub fn pair_hmm() -> Self {
+        let delta: f64 = 0.1;
+        let epsilon: f64 = 0.3;
+        let p_match = 0.9f64; // P(x,x) in the M state
+        let p_sub = (1.0 - p_match) / 3.0;
+        let mut emission = [[S::zero(); 5]; 5];
+        for (a, row) in emission.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
+                let p = if a == 4 || b == 4 {
+                    1e-6 // padding symbol: effectively never emitted in M
+                } else if a == b {
+                    p_match / 4.0
+                } else {
+                    p_sub / 4.0
+                };
+                *cell = S::from_f64(p.ln());
+            }
+        }
+        Self {
+            log_delta: S::from_f64(delta.ln()),
+            log_epsilon: S::from_f64(epsilon.ln()),
+            log_one_minus_2delta: S::from_f64((1.0 - 2.0 * delta).ln()),
+            log_one_minus_epsilon: S::from_f64((1.0 - epsilon).ln()),
+            log_q: S::from_f64(0.25f64.ln()),
+            emission,
+        }
+    }
+}
+
+impl<S: Score> ToCounting<S> for ViterbiParams<S> {
+    type Counted = ViterbiParams<CountingScore<S>>;
+    fn to_counting(&self) -> Self::Counted {
+        let mut emission = [[CountingScore::wrap(S::zero()); 5]; 5];
+        for a in 0..5 {
+            for b in 0..5 {
+                emission[a][b] = CountingScore::wrap(self.emission[a][b]);
+            }
+        }
+        ViterbiParams {
+            log_delta: CountingScore::wrap(self.log_delta),
+            log_epsilon: CountingScore::wrap(self.log_epsilon),
+            log_one_minus_2delta: CountingScore::wrap(self.log_one_minus_2delta),
+            log_one_minus_epsilon: CountingScore::wrap(self.log_one_minus_epsilon),
+            log_q: CountingScore::wrap(self.log_q),
+            emission,
+        }
+    }
+}
+
+/// Parameters for kernels whose recurrence needs no runtime constants
+/// (DTW #9 and sDTW #14: the "score" is a distance computed from the
+/// symbols themselves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoParams;
+
+impl<S: Score> ToCounting<S> for NoParams {
+    type Counted = NoParams;
+    fn to_counting(&self) -> NoParams {
+        NoParams
+    }
+}
+
+/// Protein substitution parameters (kernel #15): a 20×20 matrix plus linear
+/// gap, the 400-entry `ScoringParams` whose BRAM the paper calls out in §7.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProteinParams<S> {
+    /// Substitution matrix indexed by [`dphls_seq::alphabet::AMINO_ORDER`].
+    pub matrix: [[S; 20]; 20],
+    /// Score added per gap symbol (negative).
+    pub gap: S,
+}
+
+/// The BLOSUM62 substitution matrix in `AMINO_ORDER`
+/// (A R N D C Q E G H I L K M F P S T W Y V) — the standard matrix of
+/// BLASTp/EMBOSS Water, the baselines for kernel #15.
+pub const BLOSUM62: [[i8; 20]; 20] = [
+    [4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0],
+    [-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3],
+    [-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3],
+    [-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3],
+    [0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1],
+    [-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2],
+    [-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2],
+    [0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3],
+    [-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3],
+    [-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3],
+    [-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1],
+    [-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2],
+    [-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1],
+    [-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1],
+    [-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2],
+    [1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2],
+    [0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0],
+    [-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3],
+    [-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1],
+    [0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4],
+];
+
+impl<S: Score> ProteinParams<S> {
+    /// BLOSUM62 with gap −6 (EMBOSS Water-like linear gap).
+    pub fn blosum62() -> Self {
+        let mut matrix = [[S::zero(); 20]; 20];
+        for (a, row) in matrix.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
+                *cell = S::from_i32(BLOSUM62[a][b] as i32);
+            }
+        }
+        Self {
+            matrix,
+            gap: S::from_i32(-6),
+        }
+    }
+}
+
+impl<S: Score> ToCounting<S> for ProteinParams<S> {
+    type Counted = ProteinParams<CountingScore<S>>;
+    fn to_counting(&self) -> Self::Counted {
+        let mut matrix = [[CountingScore::wrap(S::zero()); 20]; 20];
+        for a in 0..20 {
+            for b in 0..20 {
+                matrix[a][b] = CountingScore::wrap(self.matrix[a][b]);
+            }
+        }
+        ProteinParams {
+            matrix,
+            gap: CountingScore::wrap(self.gap),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_defaults() {
+        let p = LinearParams::<i16>::unit();
+        assert_eq!(p.match_score, 1);
+        assert_eq!(p.gap, -1);
+        let d = LinearParams::<i32>::dna();
+        assert!(d.mismatch < 0);
+    }
+
+    #[test]
+    fn affine_open_worse_than_extend() {
+        let p = AffineParams::<i16>::dna();
+        assert!(p.gap_open < p.gap_extend);
+    }
+
+    #[test]
+    fn two_piece_slopes_cross() {
+        let p = TwoPieceParams::<i32>::dna();
+        // Piece 1 is cheaper for short gaps, piece 2 for long gaps.
+        let cost1 = |k: i32| p.gap_open1 + (k - 1) * p.gap_extend1;
+        let cost2 = |k: i32| p.gap_open2 + (k - 1) * p.gap_extend2;
+        assert!(cost1(1) > cost2(1));
+        assert!(cost1(100) < cost2(100));
+    }
+
+    #[test]
+    fn blosum62_is_symmetric_with_positive_diagonal() {
+        for a in 0..20 {
+            assert!(BLOSUM62[a][a] > 0, "diagonal {a}");
+            for b in 0..20 {
+                assert_eq!(BLOSUM62[a][b], BLOSUM62[b][a], "asym at {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn blosum62_known_entries() {
+        // W-W = 11, the largest; A-A = 4; W-A = -3.
+        assert_eq!(BLOSUM62[17][17], 11);
+        assert_eq!(BLOSUM62[0][0], 4);
+        assert_eq!(BLOSUM62[17][0], -3);
+    }
+
+    type LogFixed = dphls_fixed::ApFixed<32, 16>;
+
+    #[test]
+    fn viterbi_logs_are_negative() {
+        let p = ViterbiParams::<LogFixed>::pair_hmm();
+        assert!(p.log_delta.to_f64() < 0.0);
+        assert!(p.log_epsilon.to_f64() < 0.0);
+        assert!(p.log_one_minus_2delta.to_f64() < 0.0);
+        // match emission more likely than substitution
+        assert!(p.emission[0][0] > p.emission[0][1]);
+    }
+
+    #[test]
+    fn profile_params_shape() {
+        let p = ProfileParams::<i32>::dna(4);
+        assert_eq!(p.sub[0][0], 2);
+        assert_eq!(p.sub[4][4], 0);
+        assert_eq!(p.sub[0][4], -2);
+        assert_eq!(p.gap, -32); // -2 * 4 * 4
+    }
+
+    #[test]
+    fn counting_wrap_preserves_values() {
+        let p = LinearParams::<i16>::dna();
+        let c = p.to_counting();
+        assert_eq!(c.match_score.value(), p.match_score);
+        assert_eq!(c.gap.value(), p.gap);
+    }
+}

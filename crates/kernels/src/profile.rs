@@ -1,0 +1,186 @@
+//! Kernel #8 — Profile Alignment (multiple-sequence-alignment workloads,
+//! CLUSTALW/MUSCLE progressive alignment steps).
+//!
+//! Symbols are profile columns (5-tuples of nucleotide/gap frequencies,
+//! §2.2.1) and the substitution score is computed **dynamically** per cell by
+//! sum-of-pairs scoring (§2.2.2a): `SP(c₁, c₂) = Σₐ Σᵦ c₁[a]·M[a][b]·c₂[b]` —
+//! a 5×5 matrix–vector product plus a dot product per cell. Those ~30
+//! multiplies per PE are exactly why kernel #8 tops the DSP column of
+//! Table 2 and needs `II = 4`.
+
+use crate::params::ProfileParams;
+use dphls_core::score::argmax;
+use dphls_core::{
+    KernelId, KernelMeta, KernelSpec, LayerVec, Objective, Score, TbMove, TbPtr, TbState,
+    TracebackSpec,
+};
+use dphls_seq::{ProfileColumn, PROFILE_DEPTH};
+use std::marker::PhantomData;
+
+/// Kernel #8 — global profile–profile alignment with linear column gaps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfileAlign<S = i32>(PhantomData<S>);
+
+/// Sum-of-pairs score between two profile columns through the score
+/// datapath: `c₁ᵀ · M · c₂`.
+fn sum_of_pairs<S: Score>(p: &ProfileParams<S>, c1: &ProfileColumn, c2: &ProfileColumn) -> S {
+    let mut total = S::zero();
+    for a in 0..PROFILE_DEPTH {
+        // inner = Σ_b M[a][b] * c2[b]   (matrix-vector row)
+        let mut inner = S::zero();
+        for b in 0..PROFILE_DEPTH {
+            inner = inner.add(p.sub[a][b].mul(S::from_i32(c2.count(b) as i32)));
+        }
+        // total += c1[a] * inner        (dot product)
+        total = total.add(S::from_i32(c1.count(a) as i32).mul(inner));
+    }
+    total
+}
+
+impl<S: Score> KernelSpec for ProfileAlign<S> {
+    type Sym = ProfileColumn;
+    type Score = S;
+    type Params = ProfileParams<S>;
+
+    fn meta() -> KernelMeta {
+        KernelMeta {
+            id: KernelId(8),
+            name: "Profile Alignment",
+            n_layers: 1,
+            tb_bits: 2,
+            objective: Objective::Maximize,
+            traceback: TracebackSpec::global(),
+        }
+    }
+
+    fn init_row(params: &Self::Params, j: usize) -> LayerVec<S> {
+        LayerVec::splat(1, S::from_f64(params.gap.to_f64() * j as f64))
+    }
+
+    fn init_col(params: &Self::Params, i: usize) -> LayerVec<S> {
+        LayerVec::splat(1, S::from_f64(params.gap.to_f64() * i as f64))
+    }
+
+    fn pe(
+        params: &Self::Params,
+        q: ProfileColumn,
+        r: ProfileColumn,
+        diag: &LayerVec<S>,
+        up: &LayerVec<S>,
+        left: &LayerVec<S>,
+    ) -> (LayerVec<S>, TbPtr) {
+        let sp = sum_of_pairs(params, &q, &r);
+        let mat = diag.primary().add(sp);
+        let del = up.primary().add(params.gap);
+        let ins = left.primary().add(params.gap);
+        let (best, ptr) = argmax([(mat, TbPtr::DIAG), (del, TbPtr::UP), (ins, TbPtr::LEFT)]);
+        (LayerVec::splat(1, best), ptr)
+    }
+
+    fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
+        let mv = match ptr.direction() {
+            TbPtr::DIAG => TbMove::Diag,
+            TbPtr::UP => TbMove::Up,
+            TbPtr::LEFT => TbMove::Left,
+            _ => TbMove::Stop,
+        };
+        (state, mv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::GlobalLinear;
+    use crate::params::LinearParams;
+    use dphls_core::{run_reference, Banding};
+    use dphls_seq::gen::ProfileBuilder;
+    use dphls_seq::{DnaSeq, ProfileSeq};
+
+    fn params_depth1() -> ProfileParams<i32> {
+        ProfileParams::dna(1)
+    }
+
+    #[test]
+    fn sum_of_pairs_counts_pairwise_scores() {
+        let p = params_depth1();
+        // Unanimous A column vs unanimous A column, depth 2:
+        // SP = 2*2*match = 8.
+        let a2 = ProfileColumn::new([2, 0, 0, 0, 0]);
+        assert_eq!(sum_of_pairs(&p, &a2, &a2), 8);
+        // A vs C (depth 1): one mismatch pair.
+        let a = ProfileColumn::new([1, 0, 0, 0, 0]);
+        let c = ProfileColumn::new([0, 1, 0, 0, 0]);
+        assert_eq!(sum_of_pairs(&p, &a, &c), -1);
+        // A vs gap: -2.
+        let g = ProfileColumn::new([0, 0, 0, 0, 1]);
+        assert_eq!(sum_of_pairs(&p, &a, &g), -2);
+        // gap vs gap: 0.
+        assert_eq!(sum_of_pairs(&p, &g, &g), 0);
+    }
+
+    #[test]
+    fn degenerate_profiles_reduce_to_pairwise_alignment() {
+        // Depth-1 profiles of plain sequences must give the same score as
+        // Global Linear with (match=2, mismatch=-1, gap=-2).
+        let q: DnaSeq = "ACGTTACG".parse().unwrap();
+        let r: DnaSeq = "ACGATACG".parse().unwrap();
+        let pq = ProfileBuilder::degenerate(&q);
+        let pr = ProfileBuilder::degenerate(&r);
+        let prof = run_reference::<ProfileAlign>(
+            &params_depth1(),
+            pq.as_slice(),
+            pr.as_slice(),
+            Banding::None,
+        );
+        let lin = run_reference::<GlobalLinear<i32>>(
+            &LinearParams::<i32> {
+                match_score: 2,
+                mismatch: -1,
+                gap: -2,
+            },
+            q.as_slice(),
+            r.as_slice(),
+            Banding::None,
+        );
+        assert_eq!(prof.best_score, lin.best_score);
+        assert_eq!(
+            prof.alignment.unwrap().cigar(),
+            lin.alignment.unwrap().cigar()
+        );
+    }
+
+    #[test]
+    fn related_profiles_score_higher_than_unrelated() {
+        let mut b = ProfileBuilder::new(42);
+        let base = b.profile(48, 4, 0.05);
+        // A "related" profile: same builder seed region family.
+        let related = base.clone();
+        let unrelated = ProfileBuilder::new(777).profile(48, 4, 0.05);
+        let p = ProfileParams::<i32>::dna(4);
+        let same = run_reference::<ProfileAlign>(&p, base.as_slice(), related.as_slice(), Banding::None);
+        let diff =
+            run_reference::<ProfileAlign>(&p, base.as_slice(), unrelated.as_slice(), Banding::None);
+        assert!(same.best_score > diff.best_score);
+    }
+
+    #[test]
+    fn global_walk_spans_both_profiles() {
+        let mut b = ProfileBuilder::new(9);
+        let (x, y): (ProfileSeq, ProfileSeq) = b.profile_pair(20, 3, 0.2);
+        let p = ProfileParams::<i32>::dna(3);
+        let out = run_reference::<ProfileAlign>(&p, x.as_slice(), y.as_slice(), Banding::None);
+        let aln = out.alignment.unwrap();
+        assert_eq!(aln.start(), (0, 0));
+        assert_eq!(aln.end(), (20, 20));
+        assert!(aln.is_consistent());
+    }
+
+    #[test]
+    fn meta() {
+        let m = ProfileAlign::<i32>::meta();
+        assert_eq!(m.id, KernelId(8));
+        assert_eq!(m.n_layers, 1);
+        assert!(m.traceback.has_walk());
+    }
+}

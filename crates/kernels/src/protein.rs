@@ -1,0 +1,150 @@
+//! Kernel #15 — Local Linear alignment of protein sequences (EMBOSS Water /
+//! BLASTp / DIAMOND workloads).
+//!
+//! Structurally a Smith-Waterman with a 20-letter alphabet and a full 20×20
+//! substitution matrix (BLOSUM62) in `ScoringParams` — the 400-entry table
+//! whose on-device storage the paper credits for kernel #15's higher BRAM
+//! usage (§7.1).
+
+use crate::params::ProteinParams;
+use dphls_core::score::argmax;
+use dphls_core::{
+    KernelId, KernelMeta, KernelSpec, LayerVec, Objective, Score, TbMove, TbPtr, TbState,
+    TracebackSpec,
+};
+use dphls_seq::AminoAcid;
+use std::marker::PhantomData;
+
+/// Kernel #15 — protein Smith-Waterman with a substitution matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProteinLocal<S = i16>(PhantomData<S>);
+
+impl<S: Score> KernelSpec for ProteinLocal<S> {
+    type Sym = AminoAcid;
+    type Score = S;
+    type Params = ProteinParams<S>;
+
+    fn meta() -> KernelMeta {
+        KernelMeta {
+            id: KernelId(15),
+            name: "Protein Local Linear (SW + BLOSUM62)",
+            n_layers: 1,
+            tb_bits: 2,
+            objective: Objective::Maximize,
+            traceback: TracebackSpec::local(),
+        }
+    }
+
+    fn init_row(_: &Self::Params, _j: usize) -> LayerVec<S> {
+        LayerVec::splat(1, S::zero())
+    }
+
+    fn init_col(_: &Self::Params, _i: usize) -> LayerVec<S> {
+        LayerVec::splat(1, S::zero())
+    }
+
+    fn pe(
+        params: &Self::Params,
+        q: AminoAcid,
+        r: AminoAcid,
+        diag: &LayerVec<S>,
+        up: &LayerVec<S>,
+        left: &LayerVec<S>,
+    ) -> (LayerVec<S>, TbPtr) {
+        let sub = params.matrix[q.index()][r.index()];
+        let mat = diag.primary().add(sub);
+        let del = up.primary().add(params.gap);
+        let ins = left.primary().add(params.gap);
+        let (best, ptr) = argmax([
+            (S::zero(), TbPtr::END),
+            (mat, TbPtr::DIAG),
+            (del, TbPtr::UP),
+            (ins, TbPtr::LEFT),
+        ]);
+        (LayerVec::splat(1, best), ptr)
+    }
+
+    fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
+        let mv = match ptr.direction() {
+            TbPtr::DIAG => TbMove::Diag,
+            TbPtr::UP => TbMove::Up,
+            TbPtr::LEFT => TbMove::Left,
+            _ => TbMove::Stop,
+        };
+        (state, mv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_core::{run_reference, Banding};
+    use dphls_seq::gen::ProteinSampler;
+    use dphls_seq::ProteinSeq;
+
+    fn prot(s: &str) -> ProteinSeq {
+        s.parse().unwrap()
+    }
+
+    fn params() -> ProteinParams<i16> {
+        ProteinParams::blosum62()
+    }
+
+    #[test]
+    fn identical_peptide_scores_blosum_diagonal_sum() {
+        // W(11) + W(11) + K(5) + V(4) = 31
+        let s = prot("WWKV");
+        let out = run_reference::<ProteinLocal>(&params(), s.as_slice(), s.as_slice(), Banding::None);
+        assert_eq!(out.best_score, 31);
+        assert_eq!(out.alignment.unwrap().cigar(), "4M");
+    }
+
+    #[test]
+    fn finds_conserved_motif_in_junk() {
+        // The motif "WWWW" dominates (11 each).
+        let q = prot("AAAAWWWWAAAA");
+        let r = prot("GGGGWWWWGGGG");
+        let out = run_reference::<ProteinLocal>(&params(), q.as_slice(), r.as_slice(), Banding::None);
+        assert!(out.best_score >= 44);
+        let aln = out.alignment.unwrap();
+        assert!(aln.cigar().contains('M'));
+        assert!(aln.identity(q.as_slice(), r.as_slice()).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn score_is_non_negative() {
+        let mut s = ProteinSampler::new(4);
+        let a = s.sample(60);
+        let b = s.sample(60);
+        let out = run_reference::<ProteinLocal>(&params(), a.as_slice(), b.as_slice(), Banding::None);
+        assert!(out.best_score >= 0);
+    }
+
+    #[test]
+    fn homologs_score_higher_than_random() {
+        let mut s = ProteinSampler::new(5);
+        let (q, hom) = s.homolog_pair(120, 0.8);
+        let rnd = ProteinSampler::new(777).sample(hom.len());
+        let hit = run_reference::<ProteinLocal>(&params(), q.as_slice(), hom.as_slice(), Banding::None);
+        let miss = run_reference::<ProteinLocal>(&params(), q.as_slice(), rnd.as_slice(), Banding::None);
+        assert!(hit.best_score > 2 * miss.best_score);
+    }
+
+    #[test]
+    fn similar_amino_acids_substitute_positively() {
+        // I/V score +3 in BLOSUM62 — a local alignment across an I->V
+        // substitution keeps extending.
+        let q = prot("KKKIKKK");
+        let r = prot("KKKVKKK");
+        let out = run_reference::<ProteinLocal>(&params(), q.as_slice(), r.as_slice(), Banding::None);
+        assert_eq!(out.alignment.unwrap().cigar(), "7M");
+    }
+
+    #[test]
+    fn meta() {
+        let m = ProteinLocal::<i16>::meta();
+        assert_eq!(m.id, KernelId(15));
+        assert_eq!(m.tb_bits, 2);
+        assert!(m.traceback.has_walk());
+    }
+}

@@ -1,0 +1,563 @@
+//! Kernel registry: a uniform way for the experiment harness to enumerate
+//! all 15 kernels, with their default parameters, Table 2 configurations,
+//! paper-reported reference numbers, measured PE operator counts, and
+//! representative workloads.
+//!
+//! Kernels are statically typed ([`KernelSpec`] is not object-safe by
+//! design — the back-end monomorphizes per kernel like HLS elaborates per
+//! C++ template instantiation), so enumeration uses a visitor with a generic
+//! `visit` method: the registry instantiates each kernel type and hands it
+//! to the visitor together with its [`CaseInfo`].
+
+use crate::affine::{BandedLocalAffine, GlobalAffine, LocalAffine};
+use crate::dtw::{Dtw, DtwScore, Sdtw};
+use crate::linear::{BandedGlobalLinear, GlobalLinear, LocalLinear, Overlap, SemiGlobal};
+use crate::params::{
+    AffineParams, LinearParams, NoParams, ProfileParams, ProteinParams, ToCounting,
+    TwoPieceParams, ViterbiParams,
+};
+use crate::profile::ProfileAlign;
+use crate::protein::ProteinLocal;
+use crate::two_piece::{BandedGlobalTwoPiece, GlobalTwoPiece};
+use crate::viterbi::{Viterbi, ViterbiScore};
+use dphls_core::instrument::count_ops;
+use dphls_core::{
+    CountingScore, KernelConfig, KernelMeta, KernelSpec, LayerVec, OpCounts, Score,
+};
+use dphls_seq::gen::{ComplexSignalGenerator, ProfileBuilder, ProteinSampler, ReadSimulator,
+    SquiggleSimulator};
+use dphls_seq::{Base, Complex, ProfileColumn, Symbol};
+
+/// Paper-reported Table 2 reference values for one kernel (used only for
+/// paper-vs-measured comparisons in EXPERIMENTS.md; never fed back into the
+/// models).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperTable2 {
+    /// Reported maximum frequency (MHz).
+    pub freq_mhz: f64,
+    /// Reported throughput (alignments/second) at the optimal config.
+    pub aln_per_sec: f64,
+    /// Reported resource utilization for one 32-PE block, as fractions of
+    /// the device (LUT, FF, BRAM, DSP).
+    pub util: [f64; 4],
+}
+
+/// Everything the harness needs to know about a kernel besides the
+/// recurrence itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseInfo {
+    /// The kernel's static metadata.
+    pub meta: KernelMeta,
+    /// Symbol storage width in bits.
+    pub sym_bits: u32,
+    /// Score datapath width in bits.
+    pub score_bits: u32,
+    /// Measured operator counts of one PE-function invocation.
+    pub op_counts: OpCounts,
+    /// The paper's throughput-optimal `(NPE, NB, NK)` configuration
+    /// (Table 2), including default banding for #11–#13.
+    pub table2_config: KernelConfig,
+    /// Paper-stated initiation-interval override (kernel #8: II = 4).
+    pub ii_hint: Option<u32>,
+    /// Storage footprint of `ScoringParams` on the device in bits (e.g. the
+    /// 20×20 BLOSUM matrix of kernel #15), feeding the BRAM model.
+    pub param_table_bits: u32,
+    /// Paper-reported reference values.
+    pub paper: PaperTable2,
+}
+
+/// A visitor over statically-typed kernels.
+pub trait KernelVisitor {
+    /// Called once per kernel with its info, default parameters, and a
+    /// deterministic workload of `(query, reference)` symbol pairs.
+    fn visit<K: KernelSpec>(
+        &mut self,
+        info: &CaseInfo,
+        params: &K::Params,
+        workload: &[(Vec<K::Sym>, Vec<K::Sym>)],
+    );
+}
+
+/// Workload sizing shared across kernels (§6.1's dataset shape).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Number of sequence pairs.
+    pub pairs: usize,
+    /// Target sequence length (the paper's 256 for short kernels).
+    pub len: usize,
+    /// DNA read error rate (the paper's 0.30).
+    pub error_rate: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0xD9E5,
+            pairs: 20,
+            len: 256,
+            error_rate: 0.30,
+        }
+    }
+}
+
+/// All Table 1 kernel ids in order.
+pub const ALL_KERNEL_IDS: [u8; 15] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+
+/// Measures the operator counts of one PE invocation of kernel `K`.
+pub fn measure_pe<K: KernelSpec>(params: &K::Params, q: K::Sym, r: K::Sym) -> OpCounts {
+    let z = LayerVec::splat(K::meta().n_layers, K::Score::zero());
+    let (_, counts) = count_ops(|| K::pe(params, q, r, &z, &z, &z));
+    counts
+}
+
+fn info<K: KernelSpec>(
+    op_counts: OpCounts,
+    table2_config: KernelConfig,
+    ii_hint: Option<u32>,
+    paper: PaperTable2,
+) -> CaseInfo {
+    let param_table_bits = match K::meta().id.0 {
+        1 | 3 | 6 | 7 | 11 => 3 * 16,       // LinearParams
+        2 | 4 | 12 => 4 * 16,               // AffineParams
+        5 | 13 => 6 * 16,                   // TwoPieceParams
+        8 => 26 * 32,                       // 5x5 sum-of-pairs matrix + gap
+        9 | 14 => 0,                        // NoParams
+        10 => 30 * 32,                      // 5x5 emission + 5 scalars
+        15 => 401 * 16,                     // BLOSUM62 + gap
+        _ => 0,
+    };
+    CaseInfo {
+        meta: K::meta(),
+        sym_bits: K::Sym::BITS,
+        score_bits: K::Score::BITS,
+        op_counts,
+        table2_config,
+        ii_hint,
+        param_table_bits,
+        paper,
+    }
+}
+
+fn paper(freq: f64, thr: f64, lut: f64, ff: f64, bram: f64, dsp: f64) -> PaperTable2 {
+    PaperTable2 {
+        freq_mhz: freq,
+        aln_per_sec: thr,
+        util: [lut / 100.0, ff / 100.0, bram / 100.0, dsp / 100.0],
+    }
+}
+
+fn dna_pairs(wl: &WorkloadSpec, salt: u64) -> Vec<(Vec<Base>, Vec<Base>)> {
+    let mut sim = ReadSimulator::new(wl.seed ^ salt);
+    sim.read_pairs(wl.pairs, wl.len, wl.error_rate)
+        .into_iter()
+        .map(|(reference, mut read)| {
+            read.truncate(wl.len);
+            (read.into_vec(), reference.into_vec())
+        })
+        .collect()
+}
+
+/// Default band half-width for the banded kernels (#11–#13): generous enough
+/// to cover 30 %-error indel drift at 256 bp.
+pub const DEFAULT_BAND: usize = 32;
+
+// Per-kernel drivers. The counting instantiation reuses the same generic
+// kernel type with `CountingScore<S>` substituted for `S`, so the measured
+// operator mix is the real recurrence, not a hand-maintained estimate.
+
+fn k01<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = GlobalLinear<i16>;
+    type KC = GlobalLinear<CountingScore<i16>>;
+    let params = LinearParams::<i16>::dna();
+    let counts = measure_pe::<KC>(&params.to_counting(), Base::A, Base::C);
+    let cfg = KernelConfig::new(64, 16, 4);
+    let pap = paper(250.0, 3.51e6, 0.72, 0.42, 1.78, 0.029);
+    let ci = info::<K>(counts, cfg, None, pap);
+    v.visit::<K>(&ci, &params, &dna_pairs(wl, 1));
+}
+
+fn k02<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = GlobalAffine<i16>;
+    type KC = GlobalAffine<CountingScore<i16>>;
+    let params = AffineParams::<i16>::dna();
+    let counts = measure_pe::<KC>(&params.to_counting(), Base::A, Base::C);
+    let cfg = KernelConfig::new(32, 16, 4);
+    let pap = paper(250.0, 2.85e6, 1.30, 0.517, 1.78, 0.029);
+    let ci = info::<K>(counts, cfg, None, pap);
+    v.visit::<K>(&ci, &params, &dna_pairs(wl, 2));
+}
+
+fn k03<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = LocalLinear<i16>;
+    type KC = LocalLinear<CountingScore<i16>>;
+    let params = LinearParams::<i16>::dna();
+    let counts = measure_pe::<KC>(&params.to_counting(), Base::A, Base::C);
+    let cfg = KernelConfig::new(32, 16, 5);
+    let pap = paper(250.0, 3.43e6, 0.95, 0.63, 1.67, 0.014);
+    let ci = info::<K>(counts, cfg, None, pap);
+    v.visit::<K>(&ci, &params, &dna_pairs(wl, 3));
+}
+
+fn k04<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = LocalAffine<i16>;
+    type KC = LocalAffine<CountingScore<i16>>;
+    let params = AffineParams::<i16>::dna();
+    let counts = measure_pe::<KC>(&params.to_counting(), Base::A, Base::C);
+    let cfg = KernelConfig::new(32, 16, 4);
+    let pap = paper(250.0, 2.71e6, 1.60, 0.75, 1.67, 0.014);
+    let ci = info::<K>(counts, cfg, None, pap);
+    v.visit::<K>(&ci, &params, &dna_pairs(wl, 4));
+}
+
+fn k05<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = GlobalTwoPiece<i16>;
+    type KC = GlobalTwoPiece<CountingScore<i16>>;
+    let params = TwoPieceParams::<i16>::dna();
+    let counts = measure_pe::<KC>(&params.to_counting(), Base::A, Base::C);
+    let cfg = KernelConfig::new(32, 8, 5).with_target_freq(150.0);
+    let pap = paper(150.0, 1.06e6, 2.03, 0.65, 2.67, 0.029);
+    let ci = info::<K>(counts, cfg, None, pap);
+    v.visit::<K>(&ci, &params, &dna_pairs(wl, 5));
+}
+
+fn k06<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = Overlap<i16>;
+    type KC = Overlap<CountingScore<i16>>;
+    let params = LinearParams::<i16>::dna();
+    let counts = measure_pe::<KC>(&params.to_counting(), Base::A, Base::C);
+    let cfg = KernelConfig::new(32, 16, 4);
+    let pap = paper(250.0, 2.73e6, 0.98, 0.66, 1.67, 0.014);
+    let ci = info::<K>(counts, cfg, None, pap);
+    v.visit::<K>(&ci, &params, &dna_pairs(wl, 6));
+}
+
+fn k07<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = SemiGlobal<i16>;
+    type KC = SemiGlobal<CountingScore<i16>>;
+    let params = LinearParams::<i16>::dna();
+    let counts = measure_pe::<KC>(&params.to_counting(), Base::A, Base::C);
+    let cfg = KernelConfig::new(32, 16, 4);
+    let pap = paper(250.0, 3.34e6, 1.17, 0.67, 0.83, 0.014);
+    let ci = info::<K>(counts, cfg, None, pap);
+    v.visit::<K>(&ci, &params, &dna_pairs(wl, 7));
+}
+
+fn k08<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = ProfileAlign<i32>;
+    type KC = ProfileAlign<CountingScore<i32>>;
+    const DEPTH: usize = 4;
+    let params = ProfileParams::<i32>::dna(DEPTH as u32);
+    let sample = ProfileColumn::new([1, 1, 1, 1, 0]);
+    let counts = measure_pe::<KC>(&params.to_counting(), sample, sample);
+    let cfg = KernelConfig::new(16, 1, 5).with_target_freq(166.7);
+    let pap = paper(166.7, 3.70e4, 3.66, 2.56, 2.56, 28.11);
+    let ci = info::<K>(counts, cfg, Some(4), pap);
+    let mut b = ProfileBuilder::new(wl.seed ^ 8);
+    let workload: Vec<_> = (0..wl.pairs)
+        .map(|_| {
+            let (x, y) = b.profile_pair(wl.len, DEPTH, 0.2);
+            (x.into_vec(), y.into_vec())
+        })
+        .collect();
+    v.visit::<K>(&ci, &params, &workload);
+}
+
+fn k09<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = Dtw<DtwScore>;
+    type KC = Dtw<CountingScore<DtwScore>>;
+    let params = NoParams;
+    let (a, b) = (Complex::from_f64(1.5, -0.5), Complex::from_f64(0.25, 1.0));
+    let counts = measure_pe::<KC>(&params, a, b);
+    let cfg = KernelConfig::new(64, 4, 3).with_target_freq(200.0);
+    let pap = paper(200.0, 2.31e5, 1.62, 1.55, 1.88, 2.84);
+    let ci = info::<K>(counts, cfg, None, pap);
+    let mut g = ComplexSignalGenerator::new(wl.seed ^ 9);
+    let workload: Vec<_> = (0..wl.pairs)
+        .map(|_| {
+            let (x, mut y) = g.warped_pair(wl.len, 0.2);
+            y.truncate(wl.len);
+            (x.into_vec(), y.into_vec())
+        })
+        .collect();
+    v.visit::<K>(&ci, &params, &workload);
+}
+
+fn k10<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = Viterbi<ViterbiScore>;
+    type KC = Viterbi<CountingScore<ViterbiScore>>;
+    let params = ViterbiParams::<ViterbiScore>::pair_hmm();
+    let counts = measure_pe::<KC>(&params.to_counting(), Base::A, Base::C);
+    let cfg = KernelConfig::new(16, 4, 7).with_target_freq(125.0);
+    let pap = paper(125.0, 4.90e5, 3.78, 1.69, 1.67, 0.014);
+    let ci = info::<K>(counts, cfg, None, pap);
+    v.visit::<K>(&ci, &params, &dna_pairs(wl, 10));
+}
+
+fn k11<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = BandedGlobalLinear<i16>;
+    type KC = BandedGlobalLinear<CountingScore<i16>>;
+    let params = LinearParams::<i16>::dna();
+    let counts = measure_pe::<KC>(&params.to_counting(), Base::A, Base::C);
+    let cfg = KernelConfig::new(64, 8, 7)
+        .with_target_freq(166.7)
+        .with_banding(DEFAULT_BAND);
+    let pap = paper(166.7, 2.25e6, 1.02, 0.40, 0.94, 0.029);
+    let ci = info::<K>(counts, cfg, None, pap);
+    v.visit::<K>(&ci, &params, &dna_pairs(wl, 11));
+}
+
+fn k12<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = BandedLocalAffine<i16>;
+    type KC = BandedLocalAffine<CountingScore<i16>>;
+    let params = AffineParams::<i16>::dna();
+    let counts = measure_pe::<KC>(&params.to_counting(), Base::A, Base::C);
+    let cfg = KernelConfig::new(16, 16, 7)
+        .with_target_freq(200.0)
+        .with_banding(DEFAULT_BAND);
+    let pap = paper(200.0, 4.77e6, 1.44, 0.70, 0.57, 0.014);
+    let ci = info::<K>(counts, cfg, None, pap);
+    v.visit::<K>(&ci, &params, &dna_pairs(wl, 12));
+}
+
+fn k13<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = BandedGlobalTwoPiece<i16>;
+    type KC = BandedGlobalTwoPiece<CountingScore<i16>>;
+    let params = TwoPieceParams::<i16>::dna();
+    let counts = measure_pe::<KC>(&params.to_counting(), Base::A, Base::C);
+    let cfg = KernelConfig::new(16, 8, 7)
+        .with_target_freq(125.0)
+        .with_banding(DEFAULT_BAND);
+    let pap = paper(125.0, 1.24e6, 2.25, 0.69, 1.83, 0.029);
+    let ci = info::<K>(counts, cfg, None, pap);
+    v.visit::<K>(&ci, &params, &dna_pairs(wl, 13));
+}
+
+fn k14<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = Sdtw<i32>;
+    type KC = Sdtw<CountingScore<i32>>;
+    let params = NoParams;
+    let counts = measure_pe::<KC>(&params, 400i16, 530i16);
+    let cfg = KernelConfig::new(32, 16, 5);
+    let pap = paper(250.0, 5.16e6, 1.22, 0.76, 0.57, 0.014);
+    let ci = info::<K>(counts, cfg, None, pap);
+    // Squiggle workload: reference = per-base levels of a len-base template,
+    // query = noisy squiggle of a sub-window, truncated to len samples.
+    let mut genome = dphls_seq::gen::GenomeGenerator::new(wl.seed ^ 14);
+    let template = genome.generate(wl.len.max(16));
+    let mut sim = SquiggleSimulator::new(wl.seed ^ 0x41);
+    let reference = SquiggleSimulator::reference_levels(&template);
+    let workload: Vec<_> = (0..wl.pairs)
+        .map(|_| {
+            let wlen = (wl.len / 8).max(2).min(template.len());
+            let start = (wl.seed as usize + 7) % (template.len() - wlen + 1);
+            let window = template.window(start, wlen);
+            let mut query = sim.squiggle(&window);
+            query.truncate(wl.len);
+            (query.into_vec(), reference.clone().into_vec())
+        })
+        .collect();
+    v.visit::<K>(&ci, &params, &workload);
+}
+
+fn k15<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    type K = ProteinLocal<i16>;
+    type KC = ProteinLocal<CountingScore<i16>>;
+    let params = ProteinParams::<i16>::blosum62();
+    let counts = measure_pe::<KC>(
+        &params.to_counting(),
+        dphls_seq::AminoAcid::from_char('W').unwrap(),
+        dphls_seq::AminoAcid::from_char('V').unwrap(),
+    );
+    let cfg = KernelConfig::new(32, 8, 5).with_target_freq(200.0);
+    let pap = paper(200.0, 9.33e5, 1.47, 0.95, 2.56, 0.014);
+    let ci = info::<K>(counts, cfg, None, pap);
+    let mut s = ProteinSampler::new(wl.seed ^ 15);
+    let workload: Vec<_> = s
+        .homolog_pairs(wl.pairs, wl.len, 0.6)
+        .into_iter()
+        .map(|(q, mut t)| {
+            t.truncate(wl.len);
+            (q.into_vec(), t.into_vec())
+        })
+        .collect();
+    v.visit::<K>(&ci, &params, &workload);
+}
+
+/// Visits one kernel by Table 1 id.
+///
+/// # Panics
+///
+/// Panics if `id` is not in `1..=15`.
+pub fn visit_kernel<V: KernelVisitor>(id: u8, v: &mut V, wl: &WorkloadSpec) {
+    match id {
+        1 => k01(v, wl),
+        2 => k02(v, wl),
+        3 => k03(v, wl),
+        4 => k04(v, wl),
+        5 => k05(v, wl),
+        6 => k06(v, wl),
+        7 => k07(v, wl),
+        8 => k08(v, wl),
+        9 => k09(v, wl),
+        10 => k10(v, wl),
+        11 => k11(v, wl),
+        12 => k12(v, wl),
+        13 => k13(v, wl),
+        14 => k14(v, wl),
+        15 => k15(v, wl),
+        _ => panic!("unknown kernel id {id}; Table 1 defines #1..#15"),
+    }
+}
+
+/// Visits all 15 kernels in Table 1 order.
+pub fn visit_all<V: KernelVisitor>(v: &mut V, wl: &WorkloadSpec) {
+    for id in ALL_KERNEL_IDS {
+        visit_kernel(id, v, wl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Collector {
+        infos: Vec<CaseInfo>,
+        workload_sizes: Vec<usize>,
+    }
+
+    impl KernelVisitor for Collector {
+        fn visit<K: KernelSpec>(
+            &mut self,
+            info: &CaseInfo,
+            _params: &K::Params,
+            workload: &[(Vec<K::Sym>, Vec<K::Sym>)],
+        ) {
+            self.infos.push(*info);
+            self.workload_sizes.push(workload.len());
+        }
+    }
+
+    fn collect() -> Collector {
+        let mut c = Collector::default();
+        let wl = WorkloadSpec {
+            pairs: 3,
+            len: 64,
+            ..WorkloadSpec::default()
+        };
+        visit_all(&mut c, &wl);
+        c
+    }
+
+    #[test]
+    fn all_fifteen_kernels_enumerate() {
+        let c = collect();
+        assert_eq!(c.infos.len(), 15);
+        let ids: Vec<u8> = c.infos.iter().map(|i| i.meta.id.0).collect();
+        assert_eq!(ids, ALL_KERNEL_IDS.to_vec());
+        assert!(c.workload_sizes.iter().all(|&n| n == 3));
+    }
+
+    #[test]
+    fn table2_configs_match_paper() {
+        let c = collect();
+        let cfg = |id: u8| c.infos[(id - 1) as usize].table2_config;
+        assert_eq!((cfg(1).npe, cfg(1).nb, cfg(1).nk), (64, 16, 4));
+        assert_eq!((cfg(8).npe, cfg(8).nb, cfg(8).nk), (16, 1, 5));
+        assert_eq!((cfg(12).npe, cfg(12).nb, cfg(12).nk), (16, 16, 7));
+        assert_eq!(cfg(5).target_freq_mhz, 150.0);
+        assert_eq!(cfg(9).target_freq_mhz, 200.0);
+    }
+
+    #[test]
+    fn profile_kernel_is_dsp_dominant() {
+        let c = collect();
+        let profile = &c.infos[7]; // #8
+        // 5x5 matrix-vector + dot product: 30 multiplies.
+        assert_eq!(profile.op_counts.muls, 30);
+        // More multipliers than any other kernel.
+        for other in c.infos.iter().filter(|i| i.meta.id.0 != 8) {
+            assert!(profile.op_counts.muls > other.op_counts.muls);
+        }
+    }
+
+    #[test]
+    fn dtw_uses_two_multipliers() {
+        let c = collect();
+        let dtw = &c.infos[8]; // #9
+        assert_eq!(dtw.op_counts.muls, 2);
+        // Linear alignment kernels use none.
+        assert_eq!(c.infos[0].op_counts.muls, 0);
+    }
+
+    #[test]
+    fn affine_kernels_use_more_ops_than_linear() {
+        let c = collect();
+        let lin = c.infos[0].op_counts.total(); // #1
+        let aff = c.infos[1].op_counts.total(); // #2
+        let two = c.infos[4].op_counts.total(); // #5
+        assert!(aff > lin);
+        assert!(two > aff);
+    }
+
+    #[test]
+    fn banded_kernels_carry_band_config() {
+        let c = collect();
+        for id in [11usize, 12, 13] {
+            match c.infos[id - 1].table2_config.banding {
+                dphls_core::Banding::Fixed { half_width } => {
+                    assert_eq!(half_width, DEFAULT_BAND)
+                }
+                _ => panic!("kernel #{id} must default to fixed banding"),
+            }
+        }
+        assert_eq!(c.infos[0].table2_config.banding, dphls_core::Banding::None);
+    }
+
+    #[test]
+    fn ii_hint_only_for_profile_kernel() {
+        let c = collect();
+        for i in &c.infos {
+            if i.meta.id.0 == 8 {
+                assert_eq!(i.ii_hint, Some(4));
+            } else {
+                assert_eq!(i.ii_hint, None);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_numbers_are_plausible() {
+        let c = collect();
+        for i in &c.infos {
+            assert!(i.paper.freq_mhz >= 125.0 && i.paper.freq_mhz <= 250.0);
+            assert!(i.paper.aln_per_sec > 1e4);
+            for u in i.paper.util {
+                assert!((0.0..0.5).contains(&u));
+            }
+        }
+        // #14 has the highest paper throughput.
+        let t14 = c.infos[13].paper.aln_per_sec;
+        assert!(c.infos.iter().all(|i| i.paper.aln_per_sec <= t14));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel id")]
+    fn unknown_id_panics() {
+        let mut c = Collector::default();
+        visit_kernel(16, &mut c, &WorkloadSpec::default());
+    }
+
+    #[test]
+    fn score_and_symbol_bits() {
+        let c = collect();
+        assert_eq!(c.infos[0].sym_bits, 2); // DNA
+        assert_eq!(c.infos[8].sym_bits, 64); // complex
+        assert_eq!(c.infos[7].sym_bits, 80); // profile column
+        assert_eq!(c.infos[14].sym_bits, 5); // amino acid
+        assert_eq!(c.infos[0].score_bits, 16);
+        assert_eq!(c.infos[4].score_bits, 16);
+    }
+}

@@ -1,0 +1,290 @@
+//! Two-piece affine gap kernels (minimap2-style): Global Two-piece Affine
+//! (#5) and Banded Global Two-piece Affine (#13).
+//!
+//! Five scoring layers per cell (`N_LAYERS = 5`): `H`, plus two affine gap
+//! pairs `(I₁, D₁)` and `(I₂, D₂)` with different open/extend slopes; the
+//! effective gap cost is the better of the two pieces, approximating a
+//! concave gap function (paper §2.2.2b). The traceback pointer needs 7 bits
+//! (3-bit source + 4 open flags), matching the "at least 7 bits per pointer"
+//! the paper quotes for BRAM sizing of kernels #5/#13 (§7.1).
+
+use crate::params::TwoPieceParams;
+use dphls_core::score::argmax;
+use dphls_core::{
+    KernelId, KernelMeta, KernelSpec, LayerVec, Objective, Score, TbMove, TbPtr, TbState,
+    TracebackSpec,
+};
+use dphls_seq::Base;
+use std::marker::PhantomData;
+
+// Layer indices.
+const H: usize = 0;
+const I1: usize = 1;
+const D1: usize = 2;
+const I2: usize = 3;
+const D2: usize = 4;
+
+// Pointer encoding: bits 0..=2 = source of H (0 diag, 1 I1, 2 D1, 3 I2,
+// 4 D2); bits 3..=6 = open flags for I1, D1, I2, D2.
+const SRC_MASK: u8 = 0b111;
+const OPEN_I1: u8 = 1 << 3;
+const OPEN_D1: u8 = 1 << 4;
+const OPEN_I2: u8 = 1 << 5;
+const OPEN_D2: u8 = 1 << 6;
+
+// FSM states (paper Listing 3 right: MM, INS, DEL, LONG_INS, LONG_DEL).
+const MM: TbState = TbState(0);
+const INS1: TbState = TbState(1);
+const DEL1: TbState = TbState(2);
+const INS2: TbState = TbState(3);
+const DEL2: TbState = TbState(4);
+
+fn pe_impl<S: Score>(
+    p: &TwoPieceParams<S>,
+    q: Base,
+    r: Base,
+    diag: &LayerVec<S>,
+    up: &LayerVec<S>,
+    left: &LayerVec<S>,
+) -> (LayerVec<S>, TbPtr) {
+    let gap_layer = |h_src: S, gap_src: S, open: S, ext: S| -> (S, bool) {
+        let from_open = h_src.add(open);
+        let from_ext = gap_src.add(ext);
+        from_ext.max_with(from_open)
+    };
+    let (i1, i1_open) = gap_layer(up.get(H), up.get(I1), p.gap_open1, p.gap_extend1);
+    let (d1, d1_open) = gap_layer(left.get(H), left.get(D1), p.gap_open1, p.gap_extend1);
+    let (i2, i2_open) = gap_layer(up.get(H), up.get(I2), p.gap_open2, p.gap_extend2);
+    let (d2, d2_open) = gap_layer(left.get(H), left.get(D2), p.gap_open2, p.gap_extend2);
+    let sub = if q == r { p.match_score } else { p.mismatch };
+    let mat = diag.get(H).add(sub);
+    let (h, src) = argmax([(mat, 0u8), (i1, 1), (d1, 2), (i2, 3), (d2, 4)]);
+    let flags = (i1_open as u8 * OPEN_I1)
+        | (d1_open as u8 * OPEN_D1)
+        | (i2_open as u8 * OPEN_I2)
+        | (d2_open as u8 * OPEN_D2);
+    (
+        LayerVec::from_slice(&[h, i1, d1, i2, d2]),
+        TbPtr(src | flags),
+    )
+}
+
+fn tb_impl(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
+    let gap_move = |open_flag: u8, cont: TbState, mv: TbMove| -> (TbState, TbMove) {
+        if ptr.0 & open_flag != 0 {
+            (MM, mv)
+        } else {
+            (cont, mv)
+        }
+    };
+    match state {
+        s if s == INS1 => gap_move(OPEN_I1, INS1, TbMove::Up),
+        s if s == DEL1 => gap_move(OPEN_D1, DEL1, TbMove::Left),
+        s if s == INS2 => gap_move(OPEN_I2, INS2, TbMove::Up),
+        s if s == DEL2 => gap_move(OPEN_D2, DEL2, TbMove::Left),
+        _ => match ptr.0 & SRC_MASK {
+            0 => (MM, TbMove::Diag),
+            1 => gap_move(OPEN_I1, INS1, TbMove::Up),
+            2 => gap_move(OPEN_D1, DEL1, TbMove::Left),
+            3 => gap_move(OPEN_I2, INS2, TbMove::Up),
+            4 => gap_move(OPEN_D2, DEL2, TbMove::Left),
+            _ => (MM, TbMove::Stop),
+        },
+    }
+}
+
+/// Boundary: a leading gap of length `k` pays the better of the two affine
+/// pieces; the matching gap layers carry their own piece's cost.
+fn two_piece_ramp<S: Score>(p: &TwoPieceParams<S>, k: usize, vertical: bool) -> LayerVec<S> {
+    if k == 0 {
+        return LayerVec::from_slice(&[
+            S::zero(),
+            S::neg_inf(),
+            S::neg_inf(),
+            S::neg_inf(),
+            S::neg_inf(),
+        ]);
+    }
+    let km1 = (k - 1) as f64;
+    let c1 = S::from_f64(p.gap_open1.to_f64() + km1 * p.gap_extend1.to_f64());
+    let c2 = S::from_f64(p.gap_open2.to_f64() + km1 * p.gap_extend2.to_f64());
+    let (h, _) = c1.max_with(c2);
+    let ni = S::neg_inf();
+    if vertical {
+        LayerVec::from_slice(&[h, c1, ni, c2, ni])
+    } else {
+        LayerVec::from_slice(&[h, ni, c1, ni, c2])
+    }
+}
+
+macro_rules! two_piece_kernel {
+    ($(#[$doc:meta])* $name:ident, id: $id:expr, kname: $kname:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $name<S = i32>(PhantomData<S>);
+
+        impl<S: Score> KernelSpec for $name<S> {
+            type Sym = Base;
+            type Score = S;
+            type Params = TwoPieceParams<S>;
+
+            fn meta() -> KernelMeta {
+                KernelMeta {
+                    id: KernelId($id),
+                    name: $kname,
+                    n_layers: 5,
+                    tb_bits: 7,
+                    objective: Objective::Maximize,
+                    traceback: TracebackSpec::global(),
+                }
+            }
+
+            fn init_row(params: &Self::Params, j: usize) -> LayerVec<S> {
+                two_piece_ramp(params, j, false)
+            }
+
+            fn init_col(params: &Self::Params, i: usize) -> LayerVec<S> {
+                two_piece_ramp(params, i, true)
+            }
+
+            fn pe(
+                params: &Self::Params,
+                q: Base,
+                r: Base,
+                diag: &LayerVec<S>,
+                up: &LayerVec<S>,
+                left: &LayerVec<S>,
+            ) -> (LayerVec<S>, TbPtr) {
+                pe_impl(params, q, r, diag, up, left)
+            }
+
+            fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
+                tb_impl(state, ptr)
+            }
+        }
+    };
+}
+
+two_piece_kernel!(
+    /// Kernel #5 — Global Two-piece Affine alignment (minimap2's long-read
+    /// gap model).
+    GlobalTwoPiece, id: 5, kname: "Global Two-piece Affine"
+);
+
+two_piece_kernel!(
+    /// Kernel #13 — Banded Global Two-piece Affine alignment; the band comes
+    /// from [`dphls_core::KernelConfig::banding`].
+    BandedGlobalTwoPiece, id: 13, kname: "Banded Global Two-piece Affine"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::GlobalAffine;
+    use crate::params::AffineParams;
+    use dphls_core::{run_reference, Banding};
+    use dphls_seq::DnaSeq;
+
+    fn dna(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn p() -> TwoPieceParams<i32> {
+        TwoPieceParams::dna()
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let s = dna("ACGTACGTAC");
+        let out = run_reference::<GlobalTwoPiece>(&p(), s.as_slice(), s.as_slice(), Banding::None);
+        assert_eq!(out.best_score, 20);
+        assert_eq!(out.alignment.unwrap().cigar(), "10M");
+    }
+
+    #[test]
+    fn short_gap_uses_piece_one() {
+        // 2-base gap: piece1 = -4 -2 = -6, piece2 = -24 -1 = -25.
+        let q = dna("ACGTACGT");
+        let r = dna("ACGTGGACGT");
+        let out = run_reference::<GlobalTwoPiece>(&p(), q.as_slice(), r.as_slice(), Banding::None);
+        assert_eq!(out.best_score, 16 - 6);
+        assert_eq!(out.alignment.unwrap().cigar(), "4M2D4M");
+    }
+
+    #[test]
+    fn long_gap_switches_to_piece_two() {
+        // 40-base gap: piece1 = -4 - 39*2 = -82; piece2 = -24 - 39 = -63.
+        let q = dna("ACGTACGT");
+        let mut r_str = String::from("ACGT");
+        r_str.push_str(&"G".repeat(40));
+        r_str.push_str("ACGT");
+        let r = dna(&r_str);
+        let out = run_reference::<GlobalTwoPiece>(&p(), q.as_slice(), r.as_slice(), Banding::None);
+        assert_eq!(out.best_score, 16 - 63);
+        let aln = out.alignment.unwrap();
+        assert_eq!(aln.cigar(), "4M40D4M");
+        assert!(aln.is_consistent());
+    }
+
+    #[test]
+    fn two_piece_never_worse_than_single_affine_piece_one() {
+        // With the same piece-1 parameters, adding the second piece can only
+        // help (gap cost = max of the two pieces).
+        let pa = AffineParams::<i32> {
+            match_score: 2,
+            mismatch: -4,
+            gap_open: -4,
+            gap_extend: -2,
+        };
+        for (qs, rs) in [
+            ("ACGTACGTACGT", "ACGTACGT"),
+            ("ACGT", "ACGTGGGGGGGGGGGGGGGGACGT"),
+            ("ACCGTTACGGTA", "ATCGTTAGGGTA"),
+        ] {
+            let q = dna(qs);
+            let r = dna(rs);
+            let two = run_reference::<GlobalTwoPiece>(&p(), q.as_slice(), r.as_slice(), Banding::None);
+            let one = run_reference::<GlobalAffine<i32>>(&pa, q.as_slice(), r.as_slice(), Banding::None);
+            assert!(
+                two.best_score >= one.best_score,
+                "{qs} vs {rs}: {} < {}",
+                two.best_score,
+                one.best_score
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_ramp_takes_better_piece() {
+        let pp = p();
+        // k=2: piece1 = -6, piece2 = -25 -> H = -6
+        assert_eq!(GlobalTwoPiece::<i32>::init_row(&pp, 2).get(H), -6);
+        // k=30: piece1 = -4-58 = -62, piece2 = -24-29 = -53 -> H = -53
+        assert_eq!(GlobalTwoPiece::<i32>::init_row(&pp, 30).get(H), -53);
+        assert_eq!(GlobalTwoPiece::<i32>::init_row(&pp, 0).get(H), 0);
+    }
+
+    #[test]
+    fn fsm_long_gap_states() {
+        // Entering a long (piece-2) insertion from MM stays in INS2 until an
+        // open flag appears.
+        let ptr_ext = TbPtr(3); // src = I2, no open flags
+        assert_eq!(tb_impl(MM, ptr_ext), (INS2, TbMove::Up));
+        assert_eq!(tb_impl(INS2, ptr_ext), (INS2, TbMove::Up));
+        let ptr_open = TbPtr(3 | OPEN_I2);
+        assert_eq!(tb_impl(INS2, ptr_open), (MM, TbMove::Up));
+        // Piece-2 deletion mirror.
+        assert_eq!(tb_impl(DEL2, TbPtr(0)), (DEL2, TbMove::Left));
+        assert_eq!(tb_impl(DEL2, TbPtr(OPEN_D2)), (MM, TbMove::Left));
+        // Diag keeps MM.
+        assert_eq!(tb_impl(MM, TbPtr(0)), (MM, TbMove::Diag));
+    }
+
+    #[test]
+    fn metas() {
+        assert_eq!(GlobalTwoPiece::<i32>::meta().id, KernelId(5));
+        assert_eq!(GlobalTwoPiece::<i32>::meta().n_layers, 5);
+        assert_eq!(GlobalTwoPiece::<i32>::meta().tb_bits, 7);
+        assert_eq!(BandedGlobalTwoPiece::<i32>::meta().id, KernelId(13));
+    }
+}

@@ -1,0 +1,205 @@
+//! Kernel #10 — the Viterbi algorithm over a PairHMM (remote homology
+//! search, gene prediction; HMMER/AUGUSTUS workloads).
+//!
+//! Three scoring layers per cell track the most probable path ending in the
+//! match (`VM`), insert (`VI`), and delete (`VJ`) hidden states. The paper's
+//! recurrence multiplies probabilities (Fig 1); we compute in **log space**
+//! with the fixed-point score type, turning the products into saturating adds
+//! — the standard hardware formulation (and the reason the paper's Listing 2
+//! stores `log_mu`/`log_lambda`). No traceback (paper Table 1).
+
+use crate::params::ViterbiParams;
+use dphls_core::score::argmax;
+use dphls_core::{
+    BestCellRule, KernelId, KernelMeta, KernelSpec, LayerVec, Objective, Score, TracebackSpec,
+};
+use dphls_seq::Base;
+use std::marker::PhantomData;
+
+/// Default fixed-point type for log-probabilities: `ap_fixed<32,16>`
+/// (16 integer bits for magnitudes down to −32768, 16 fraction bits).
+pub type ViterbiScore = dphls_fixed::ApFixed<32, 16>;
+
+const VM: usize = 0;
+const VI: usize = 1;
+const VJ: usize = 2;
+
+/// Kernel #10 — PairHMM Viterbi in log space.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Viterbi<S = ViterbiScore>(PhantomData<S>);
+
+impl<S: Score> KernelSpec for Viterbi<S> {
+    type Sym = Base;
+    type Score = S;
+    type Params = ViterbiParams<S>;
+
+    fn meta() -> KernelMeta {
+        KernelMeta {
+            id: KernelId(10),
+            name: "Viterbi (PairHMM)",
+            n_layers: 3,
+            tb_bits: 0,
+            objective: Objective::Maximize,
+            traceback: TracebackSpec::score_only(BestCellRule::BottomRight),
+        }
+    }
+
+    fn init_row(params: &Self::Params, j: usize) -> LayerVec<S> {
+        if j == 0 {
+            // log P(start) = 0; gap states unreachable at the origin.
+            return LayerVec::from_slice(&[S::zero(), S::neg_inf(), S::neg_inf()]);
+        }
+        // Leading run of j J-state emissions: δ · ε^{j−1} · q^j.
+        let lp = params.log_delta.to_f64()
+            + (j - 1) as f64 * params.log_epsilon.to_f64()
+            + j as f64 * params.log_q.to_f64();
+        LayerVec::from_slice(&[S::neg_inf(), S::neg_inf(), S::from_f64(lp)])
+    }
+
+    fn init_col(params: &Self::Params, i: usize) -> LayerVec<S> {
+        let lp = params.log_delta.to_f64()
+            + (i - 1) as f64 * params.log_epsilon.to_f64()
+            + i as f64 * params.log_q.to_f64();
+        LayerVec::from_slice(&[S::neg_inf(), S::from_f64(lp), S::neg_inf()])
+    }
+
+    fn pe(
+        params: &Self::Params,
+        q: Base,
+        r: Base,
+        diag: &LayerVec<S>,
+        up: &LayerVec<S>,
+        left: &LayerVec<S>,
+    ) -> (LayerVec<S>, dphls_core::TbPtr) {
+        // VM(i,j) = P(xᵢ,yⱼ) · max((1−2δ)·VM, (1−ε)·VI, (1−ε)·VJ) at (i−1,j−1)
+        let e_m = params.emission[q.code() as usize][r.code() as usize];
+        let (m_best, _) = argmax([
+            (diag.get(VM).add(params.log_one_minus_2delta), 0u8),
+            (diag.get(VI).add(params.log_one_minus_epsilon), 1),
+            (diag.get(VJ).add(params.log_one_minus_epsilon), 2),
+        ]);
+        let vm = e_m.add(m_best);
+        // VI(i,j) = Q(xᵢ) · max(δ·VM, ε·VI) at (i−1,j)
+        let (i_best, _) = argmax([
+            (up.get(VM).add(params.log_delta), 0u8),
+            (up.get(VI).add(params.log_epsilon), 1),
+        ]);
+        let vi = params.log_q.add(i_best);
+        // VJ(i,j) = Q(yⱼ) · max(δ·VM, ε·VJ) at (i,j−1)
+        let (j_best, _) = argmax([
+            (left.get(VM).add(params.log_delta), 0u8),
+            (left.get(VJ).add(params.log_epsilon), 1),
+        ]);
+        let vj = params.log_q.add(j_best);
+        (
+            LayerVec::from_slice(&[vm, vi, vj]),
+            dphls_core::TbPtr::END,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_core::{run_reference, Banding};
+    use dphls_seq::DnaSeq;
+
+    fn dna(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn params() -> ViterbiParams<ViterbiScore> {
+        ViterbiParams::pair_hmm()
+    }
+
+    /// Direct probability-space Viterbi over f64, the independent reference
+    /// for the log-space fixed-point kernel.
+    fn viterbi_f64(q: &[Base], r: &[Base]) -> f64 {
+        let delta = 0.1f64;
+        let epsilon = 0.3f64;
+        let p_match = 0.9f64;
+        let p_sub = (1.0 - p_match) / 3.0;
+        let em = |a: Base, b: Base| if a == b { p_match / 4.0 } else { p_sub / 4.0 };
+        let qp = 0.25f64;
+        let (n, m) = (q.len(), r.len());
+        let mut vm = vec![vec![0.0f64; m + 1]; n + 1];
+        let mut vi = vec![vec![0.0f64; m + 1]; n + 1];
+        let mut vj = vec![vec![0.0f64; m + 1]; n + 1];
+        vm[0][0] = 1.0;
+        for j in 1..=m {
+            vj[0][j] = delta * epsilon.powi(j as i32 - 1) * qp.powi(j as i32);
+        }
+        for i in 1..=n {
+            vi[i][0] = delta * epsilon.powi(i as i32 - 1) * qp.powi(i as i32);
+        }
+        for i in 1..=n {
+            for j in 1..=m {
+                let mbest = ((1.0 - 2.0 * delta) * vm[i - 1][j - 1])
+                    .max((1.0 - epsilon) * vi[i - 1][j - 1])
+                    .max((1.0 - epsilon) * vj[i - 1][j - 1]);
+                vm[i][j] = em(q[i - 1], r[j - 1]) * mbest;
+                vi[i][j] = qp * (delta * vm[i - 1][j]).max(epsilon * vi[i - 1][j]);
+                vj[i][j] = qp * (delta * vm[i][j - 1]).max(epsilon * vj[i][j - 1]);
+            }
+        }
+        vm[n][m]
+    }
+
+    #[test]
+    fn log_space_matches_direct_probability() {
+        for (qs, rs) in [
+            ("ACGT", "ACGT"),
+            ("ACGTACGT", "ACTTACGT"),
+            ("AACCGGTT", "ACGT"),
+            ("ACGTA", "TGCAT"),
+        ] {
+            let q = dna(qs);
+            let r = dna(rs);
+            let out = run_reference::<Viterbi>(&params(), q.as_slice(), r.as_slice(), Banding::None);
+            let direct = viterbi_f64(q.as_slice(), r.as_slice());
+            let log_direct = direct.ln();
+            let got = out.best_score.to_f64();
+            assert!(
+                (got - log_direct).abs() < 0.05,
+                "{qs}/{rs}: log-space {got} vs direct {log_direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn matching_pair_more_probable_than_mismatching() {
+        let a = dna("ACGTACGTACGT");
+        let b = dna("ACGTACGTACGT");
+        let c = dna("TTTTGGGGCCCC");
+        let same = run_reference::<Viterbi>(&params(), a.as_slice(), b.as_slice(), Banding::None);
+        let diff = run_reference::<Viterbi>(&params(), a.as_slice(), c.as_slice(), Banding::None);
+        assert!(same.best_score > diff.best_score);
+    }
+
+    #[test]
+    fn no_alignment_returned() {
+        let a = dna("ACGT");
+        let out = run_reference::<Viterbi>(&params(), a.as_slice(), a.as_slice(), Banding::None);
+        assert!(out.alignment.is_none());
+        assert_eq!(out.best_cell, (4, 4));
+    }
+
+    #[test]
+    fn log_probability_is_negative_and_decreases_with_length() {
+        let a = dna("ACGTACGT");
+        let b = dna("ACGTACGTACGTACGT");
+        let short = run_reference::<Viterbi>(&params(), a.as_slice(), a.as_slice(), Banding::None);
+        let long = run_reference::<Viterbi>(&params(), b.as_slice(), b.as_slice(), Banding::None);
+        assert!(short.best_score.to_f64() < 0.0);
+        assert!(long.best_score < short.best_score);
+    }
+
+    #[test]
+    fn meta() {
+        let m = Viterbi::<ViterbiScore>::meta();
+        assert_eq!(m.id, KernelId(10));
+        assert_eq!(m.n_layers, 3);
+        assert!(!m.traceback.has_walk());
+        assert_eq!(m.traceback.best, BestCellRule::BottomRight);
+    }
+}

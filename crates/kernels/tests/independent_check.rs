@@ -1,0 +1,269 @@
+//! Independent cross-validation: kernels checked against *textbook
+//! formulations written from scratch in this file* (plain f64/i64 matrices,
+//! no shared code with the kernel specs or engines). This closes the loop
+//! that differential engine tests cannot: if a recurrence were encoded
+//! wrongly in the kernel, both engines would agree on the wrong answer —
+//! these tests would not.
+
+use dphls_core::{run_reference, Banding};
+use dphls_kernels::{
+    AffineParams, Dtw, GlobalAffine, GlobalLinear, LinearParams, LocalLinear, NoParams,
+    ProfileAlign, ProfileParams, Sdtw,
+};
+use dphls_seq::gen::{ComplexSignalGenerator, ReadSimulator};
+use dphls_seq::{Base, Complex, ProfileColumn};
+use proptest::prelude::*;
+
+fn dna_strategy(max_len: usize) -> impl Strategy<Value = Vec<Base>> {
+    proptest::collection::vec((0u8..4).prop_map(Base::from_code), 1..max_len)
+}
+
+/// Textbook Needleman-Wunsch, written directly from the recurrence in the
+/// paper's Fig 1 (no shared code with dphls-kernels).
+fn textbook_nw(q: &[Base], r: &[Base], ma: i64, mi: i64, gap: i64) -> i64 {
+    let (n, m) = (q.len(), r.len());
+    let mut h = vec![vec![0i64; m + 1]; n + 1];
+    for (j, row0) in h[0].iter_mut().enumerate() {
+        *row0 = j as i64 * gap;
+    }
+    for i in 1..=n {
+        h[i][0] = i as i64 * gap;
+        for j in 1..=m {
+            let s = if q[i - 1] == r[j - 1] { ma } else { mi };
+            h[i][j] = (h[i - 1][j - 1] + s)
+                .max(h[i - 1][j] + gap)
+                .max(h[i][j - 1] + gap);
+        }
+    }
+    h[n][m]
+}
+
+/// Textbook Smith-Waterman.
+fn textbook_sw(q: &[Base], r: &[Base], ma: i64, mi: i64, gap: i64) -> i64 {
+    let (n, m) = (q.len(), r.len());
+    let mut h = vec![vec![0i64; m + 1]; n + 1];
+    let mut best = 0;
+    for i in 1..=n {
+        for j in 1..=m {
+            let s = if q[i - 1] == r[j - 1] { ma } else { mi };
+            h[i][j] = 0i64
+                .max(h[i - 1][j - 1] + s)
+                .max(h[i - 1][j] + gap)
+                .max(h[i][j - 1] + gap);
+            best = best.max(h[i][j]);
+        }
+    }
+    best
+}
+
+/// Textbook Gotoh global affine (three explicit matrices).
+fn textbook_gotoh(q: &[Base], r: &[Base], ma: i64, mi: i64, open: i64, ext: i64) -> i64 {
+    let (n, m) = (q.len(), r.len());
+    const NEG: i64 = i64::MIN / 4;
+    let mut h = vec![vec![NEG; m + 1]; n + 1];
+    let mut e = vec![vec![NEG; m + 1]; n + 1]; // vertical (query gap run)
+    let mut f = vec![vec![NEG; m + 1]; n + 1]; // horizontal
+    h[0][0] = 0;
+    for j in 1..=m {
+        h[0][j] = open + (j as i64 - 1) * ext;
+        f[0][j] = h[0][j];
+    }
+    for i in 1..=n {
+        h[i][0] = open + (i as i64 - 1) * ext;
+        e[i][0] = h[i][0];
+        for j in 1..=m {
+            let s = if q[i - 1] == r[j - 1] { ma } else { mi };
+            e[i][j] = (h[i - 1][j] + open).max(e[i - 1][j] + ext);
+            f[i][j] = (h[i][j - 1] + open).max(f[i][j - 1] + ext);
+            h[i][j] = (h[i - 1][j - 1] + s).max(e[i][j]).max(f[i][j]);
+        }
+    }
+    h[n][m]
+}
+
+/// Textbook DTW over f64 with squared Euclidean distance.
+fn textbook_dtw(a: &[Complex], b: &[Complex]) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    let mut d = vec![vec![f64::INFINITY; m + 1]; n + 1];
+    d[0][0] = 0.0;
+    for i in 1..=n {
+        for j in 1..=m {
+            let dr = a[i - 1].re.to_f64() - b[j - 1].re.to_f64();
+            let di = a[i - 1].im.to_f64() - b[j - 1].im.to_f64();
+            let dist = dr * dr + di * di;
+            d[i][j] = dist + d[i - 1][j - 1].min(d[i - 1][j]).min(d[i][j - 1]);
+        }
+    }
+    d[n][m]
+}
+
+/// Textbook semi-global DTW over integers with |·| distance, min over the
+/// last row, free start on the reference.
+fn textbook_sdtw(q: &[i16], r: &[i16]) -> i64 {
+    let (n, m) = (q.len(), r.len());
+    const INF: i64 = i64::MAX / 4;
+    let mut d = vec![vec![INF; m + 1]; n + 1];
+    for j in 0..=m {
+        d[0][j] = 0;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let dist = (q[i - 1] as i64 - r[j - 1] as i64).abs();
+            d[i][j] = dist + d[i - 1][j - 1].min(d[i - 1][j]).min(d[i][j - 1]);
+        }
+    }
+    (1..=m).map(|j| d[n][j]).min().expect("non-empty row")
+}
+
+/// Textbook sum-of-pairs profile alignment (global, linear column gap).
+fn textbook_profile(
+    x: &[ProfileColumn],
+    y: &[ProfileColumn],
+    sub: &dyn Fn(usize, usize) -> i64,
+    gap: i64,
+) -> i64 {
+    let sp = |c1: &ProfileColumn, c2: &ProfileColumn| -> i64 {
+        let mut t = 0i64;
+        for a in 0..5 {
+            for b in 0..5 {
+                t += c1.count(a) as i64 * c2.count(b) as i64 * sub(a, b);
+            }
+        }
+        t
+    };
+    let (n, m) = (x.len(), y.len());
+    let mut h = vec![vec![0i64; m + 1]; n + 1];
+    for j in 1..=m {
+        h[0][j] = j as i64 * gap;
+    }
+    for i in 1..=n {
+        h[i][0] = i as i64 * gap;
+        for j in 1..=m {
+            h[i][j] = (h[i - 1][j - 1] + sp(&x[i - 1], &y[j - 1]))
+                .max(h[i - 1][j] + gap)
+                .max(h[i][j - 1] + gap);
+        }
+    }
+    h[n][m]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn nw_matches_textbook(
+        q in dna_strategy(40),
+        r in dna_strategy(40),
+        ma in 1i32..4,
+        mi in -4i32..0,
+        gap in -4i32..0,
+    ) {
+        let params = LinearParams::<i32> { match_score: ma, mismatch: mi, gap };
+        let ours = run_reference::<GlobalLinear<i32>>(&params, &q, &r, Banding::None).best_score;
+        let textbook = textbook_nw(&q, &r, ma as i64, mi as i64, gap as i64);
+        prop_assert_eq!(ours as i64, textbook);
+    }
+
+    #[test]
+    fn sw_matches_textbook(q in dna_strategy(40), r in dna_strategy(40)) {
+        let params = LinearParams::<i32>::dna();
+        let ours = run_reference::<LocalLinear<i32>>(&params, &q, &r, Banding::None).best_score;
+        let textbook = textbook_sw(&q, &r, 2, -3, -2);
+        prop_assert_eq!(ours as i64, textbook);
+    }
+
+    #[test]
+    fn gotoh_matches_textbook(
+        q in dna_strategy(32),
+        r in dna_strategy(32),
+        open in -8i32..-2,
+        ext in -2i32..0,
+    ) {
+        let params = AffineParams::<i32> {
+            match_score: 2,
+            mismatch: -3,
+            gap_open: open,
+            gap_extend: ext,
+        };
+        let ours = run_reference::<GlobalAffine<i32>>(&params, &q, &r, Banding::None).best_score;
+        let textbook = textbook_gotoh(&q, &r, 2, -3, open as i64, ext as i64);
+        prop_assert_eq!(ours as i64, textbook);
+    }
+
+    #[test]
+    fn sdtw_matches_textbook(
+        seed in 0u64..500,
+        qlen in 2usize..16,
+        rlen in 8usize..40,
+    ) {
+        let mut rng = dphls_util::Xoshiro256::seed_from_u64(seed);
+        let q: Vec<i16> = (0..qlen).map(|_| rng.next_range(900) as i16).collect();
+        let r: Vec<i16> = (0..rlen).map(|_| rng.next_range(900) as i16).collect();
+        let ours = run_reference::<Sdtw<i32>>(&NoParams, &q, &r, Banding::None).best_score;
+        prop_assert_eq!(ours as i64, textbook_sdtw(&q, &r));
+    }
+}
+
+#[test]
+fn dtw_matches_f64_textbook_within_fixed_point_error() {
+    let mut g = ComplexSignalGenerator::new(17);
+    for _ in 0..6 {
+        let (a, b) = g.warped_pair(48, 0.25);
+        let ours = run_reference::<Dtw>(&NoParams, a.as_slice(), b.as_slice(), Banding::None)
+            .best_score
+            .to_f64();
+        let textbook = textbook_dtw(a.as_slice(), b.as_slice());
+        // ap_fixed<32,26> has 6 fraction bits: each path step's squared
+        // distance truncates by up to 2 x 2^-6 (two multiplies), and the
+        // fixed-point path may legitimately differ where costs quantize
+        // equal, so the bound is absolute in the path length.
+        let tol = 0.05 * textbook + (a.len() + b.len()) as f64 * 2.0 / 64.0;
+        assert!(
+            (ours - textbook).abs() <= tol,
+            "fixed-point {ours} vs f64 {textbook}"
+        );
+    }
+}
+
+#[test]
+fn profile_alignment_matches_textbook_on_random_profiles() {
+    use dphls_seq::gen::ProfileBuilder;
+    let params = ProfileParams::<i32>::dna(4);
+    let sub = |a: usize, b: usize| -> i64 {
+        match (a, b) {
+            (4, 4) => 0,
+            (4, _) | (_, 4) => -2,
+            _ if a == b => 2,
+            _ => -1,
+        }
+    };
+    let gap = -2i64 * 4 * 4;
+    let mut builder = ProfileBuilder::new(23);
+    for _ in 0..4 {
+        let (x, y) = builder.profile_pair(24, 4, 0.3);
+        let ours =
+            run_reference::<ProfileAlign>(&params, x.as_slice(), y.as_slice(), Banding::None)
+                .best_score;
+        let textbook = textbook_profile(x.as_slice(), y.as_slice(), &sub, gap);
+        assert_eq!(ours as i64, textbook);
+    }
+}
+
+#[test]
+fn nw_agrees_on_realistic_reads() {
+    let mut sim = ReadSimulator::new(31337);
+    let params = LinearParams::<i32>::dna();
+    for _ in 0..4 {
+        let (reference, mut read) = sim.read_pair(120, 0.3);
+        read.truncate(120);
+        let ours = run_reference::<GlobalLinear<i32>>(
+            &params,
+            read.as_slice(),
+            reference.as_slice(),
+            Banding::None,
+        )
+        .best_score;
+        let textbook = textbook_nw(read.as_slice(), reference.as_slice(), 2, -3, -2);
+        assert_eq!(ours as i64, textbook);
+    }
+}

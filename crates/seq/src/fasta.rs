@@ -1,0 +1,244 @@
+//! Minimal FASTA reading/writing, so workloads can come from (or be saved
+//! as) the standard interchange format the paper's tools consume.
+//!
+//! Only the features the reproduction needs: multi-record parse with
+//! wrapped sequence lines, comments, and round-trip writing. DNA and protein
+//! records are parsed through the same machinery.
+
+use crate::{AminoAcid, Base, DnaSeq, ProteinSeq, Sequence};
+use std::fmt;
+
+/// A named FASTA record before alphabet interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header text after `>`, up to the first whitespace.
+    pub id: String,
+    /// Header text after the id (description), possibly empty.
+    pub description: String,
+    /// Raw sequence characters (whitespace removed).
+    pub sequence: String,
+}
+
+/// Error from FASTA parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastaError {
+    /// Sequence data appeared before any `>` header.
+    MissingHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A record had a header but no sequence lines.
+    EmptyRecord {
+        /// The record id.
+        id: String,
+    },
+    /// A sequence character failed alphabet conversion.
+    BadSymbol {
+        /// The record id.
+        id: String,
+        /// The offending character.
+        symbol: char,
+    },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::MissingHeader { line } => {
+                write!(f, "sequence data before any '>' header at line {line}")
+            }
+            FastaError::EmptyRecord { id } => write!(f, "record '{id}' has no sequence"),
+            FastaError::BadSymbol { id, symbol } => {
+                write!(f, "record '{id}' contains invalid symbol {symbol:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+/// Parses FASTA text into raw records.
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on data before the first header or an empty
+/// record.
+///
+/// # Example
+///
+/// ```
+/// use dphls_seq::fasta::parse;
+/// let recs = parse(">seq1 test\nACGT\nACGT\n>seq2\nTTTT\n")?;
+/// assert_eq!(recs.len(), 2);
+/// assert_eq!(recs[0].id, "seq1");
+/// assert_eq!(recs[0].sequence, "ACGTACGT");
+/// # Ok::<(), dphls_seq::fasta::FastaError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            let description = parts.next().unwrap_or("").trim().to_string();
+            records.push(FastaRecord {
+                id,
+                description,
+                sequence: String::new(),
+            });
+        } else {
+            let Some(rec) = records.last_mut() else {
+                return Err(FastaError::MissingHeader { line: lineno + 1 });
+            };
+            rec.sequence
+                .extend(line.chars().filter(|c| !c.is_whitespace()));
+        }
+    }
+    for rec in &records {
+        if rec.sequence.is_empty() {
+            return Err(FastaError::EmptyRecord { id: rec.id.clone() });
+        }
+    }
+    Ok(records)
+}
+
+/// Parses FASTA text into named DNA sequences.
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on malformed records or non-ACGTU characters.
+pub fn parse_dna(text: &str) -> Result<Vec<(String, DnaSeq)>, FastaError> {
+    parse(text)?
+        .into_iter()
+        .map(|rec| {
+            let seq: Result<Vec<Base>, FastaError> = rec
+                .sequence
+                .chars()
+                .map(|c| {
+                    Base::from_char(c).ok_or(FastaError::BadSymbol {
+                        id: rec.id.clone(),
+                        symbol: c,
+                    })
+                })
+                .collect();
+            Ok((rec.id, Sequence::new(seq?)))
+        })
+        .collect()
+}
+
+/// Parses FASTA text into named protein sequences.
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on malformed records or non-amino-acid characters.
+pub fn parse_protein(text: &str) -> Result<Vec<(String, ProteinSeq)>, FastaError> {
+    parse(text)?
+        .into_iter()
+        .map(|rec| {
+            let seq: Result<Vec<AminoAcid>, FastaError> = rec
+                .sequence
+                .chars()
+                .map(|c| {
+                    AminoAcid::from_char(c).ok_or(FastaError::BadSymbol {
+                        id: rec.id.clone(),
+                        symbol: c,
+                    })
+                })
+                .collect();
+            Ok((rec.id, Sequence::new(seq?)))
+        })
+        .collect()
+}
+
+/// Writes records as FASTA with lines wrapped at `width` characters.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn write_dna<'a>(
+    records: impl IntoIterator<Item = (&'a str, &'a DnaSeq)>,
+    width: usize,
+) -> String {
+    assert!(width > 0, "wrap width must be non-zero");
+    let mut out = String::new();
+    for (id, seq) in records {
+        out.push('>');
+        out.push_str(id);
+        out.push('\n');
+        let text = seq.to_string();
+        for chunk in text.as_bytes().chunks(width) {
+            out.push_str(std::str::from_utf8(chunk).expect("ASCII"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_record_with_wrapping() {
+        let recs = parse(">a first\nACGT\nacgt\n\n>b\nTT TT\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "a");
+        assert_eq!(recs[0].description, "first");
+        assert_eq!(recs[0].sequence, "ACGTacgt");
+        assert_eq!(recs[1].sequence, "TTTT");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let recs = parse("; comment\n>x\nAC\n; mid comment\nGT\n").unwrap();
+        assert_eq!(recs[0].sequence, "ACGT");
+    }
+
+    #[test]
+    fn data_before_header_errors() {
+        let err = parse("ACGT\n>x\nAC\n").unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn empty_record_errors() {
+        let err = parse(">x\n>y\nACGT\n").unwrap_err();
+        assert!(matches!(err, FastaError::EmptyRecord { .. }));
+    }
+
+    #[test]
+    fn dna_parse_and_roundtrip() {
+        let named = parse_dna(">r1\nACGTACGTAC\n").unwrap();
+        assert_eq!(named[0].1.len(), 10);
+        let text = write_dna(named.iter().map(|(n, s)| (n.as_str(), s)), 4);
+        assert_eq!(text, ">r1\nACGT\nACGT\nAC\n");
+        let back = parse_dna(&text).unwrap();
+        assert_eq!(back, named);
+    }
+
+    #[test]
+    fn dna_rejects_ambiguity_codes() {
+        let err = parse_dna(">r\nACGNT\n").unwrap_err();
+        assert!(matches!(err, FastaError::BadSymbol { symbol: 'N', .. }));
+    }
+
+    #[test]
+    fn protein_parse() {
+        let named = parse_protein(">p\nMKWVTF\n").unwrap();
+        assert_eq!(named[0].1.to_string(), "MKWVTF");
+        assert!(parse_protein(">p\nMKB\n").is_err()); // B not standard
+    }
+
+    #[test]
+    fn generator_output_roundtrips_through_fasta() {
+        let g = crate::gen::GenomeGenerator::new(3).generate(200);
+        let text = write_dna([("genome", &g)], 60);
+        let back = parse_dna(&text).unwrap();
+        assert_eq!(back[0].1, g);
+    }
+}

@@ -1,0 +1,14 @@
+//! Synthetic dataset generators replacing the paper's external data sources
+//! (§6.1). Every generator is seeded and deterministic.
+
+mod genome;
+mod profile;
+mod protein;
+mod reads;
+mod signal;
+
+pub use genome::GenomeGenerator;
+pub use profile::ProfileBuilder;
+pub use protein::ProteinSampler;
+pub use reads::{ErrorModel, ReadSimulator};
+pub use signal::{ComplexSignalGenerator, SquiggleSimulator};

@@ -1,0 +1,158 @@
+//! Sequence-profile construction for the profile-alignment kernel (#8).
+//!
+//! §6.1 builds profiles from 256-bp regions of two Drosophila genomes; the
+//! kernel only sees per-column nucleotide/gap frequency tuples, so we build
+//! profiles from synthetic MSAs: a template sequence plus `depth − 1` mutated
+//! copies, column-aligned, with gap columns introduced by deletions.
+
+use super::reads::{ErrorModel, ReadSimulator};
+use crate::{DnaSeq, ProfileColumn, ProfileSeq};
+use dphls_util::Xoshiro256;
+
+/// Builds sequence profiles from synthetic multiple sequence alignments.
+///
+/// # Example
+///
+/// ```
+/// use dphls_seq::gen::ProfileBuilder;
+/// let mut b = ProfileBuilder::new(1);
+/// let profile = b.profile(64, 4, 0.1);
+/// assert_eq!(profile.len(), 64);
+/// assert_eq!(profile[0].total(), 4); // 4 sequences per column
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileBuilder {
+    rng: Xoshiro256,
+}
+
+impl ProfileBuilder {
+    /// Creates a builder.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// Builds a profile of `columns` columns from `depth` sequences that each
+    /// diverge from a shared template at `divergence` rate. Divergent
+    /// positions become substitutions (or gaps with 20 % probability), so all
+    /// five counts (A, C, G, T, gap) are exercised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or `columns` is zero.
+    pub fn profile(&mut self, columns: usize, depth: usize, divergence: f64) -> ProfileSeq {
+        assert!(depth > 0, "profile depth must be non-zero");
+        assert!(columns > 0, "profile must have columns");
+        let seed = self.rng.next_u64();
+        let mut sim = ReadSimulator::new(seed).error_model(ErrorModel {
+            sub: 1.0,
+            ins: 0.0,
+            del: 0.0,
+        });
+        let template = sim.genome().window(0, columns);
+        let mut cols = vec![[0u16; 5]; columns];
+        for _ in 0..depth {
+            // Substitution-only corruption keeps columns aligned; gaps are
+            // injected independently per column.
+            let row = sim.corrupt(&template, divergence);
+            debug_assert_eq!(row.len(), columns);
+            for (j, &b) in row.iter().enumerate() {
+                if self.rng.next_bool(divergence * 0.2) {
+                    cols[j][4] += 1; // gap
+                } else {
+                    cols[j][b.code() as usize] += 1;
+                }
+            }
+        }
+        ProfileSeq::new(cols.into_iter().map(ProfileColumn::new).collect())
+    }
+
+    /// Builds a pair of related profiles (both derived from overlapping
+    /// genome windows), the workload shape of kernel #8.
+    pub fn profile_pair(
+        &mut self,
+        columns: usize,
+        depth: usize,
+        divergence: f64,
+    ) -> (ProfileSeq, ProfileSeq) {
+        (
+            self.profile(columns, depth, divergence),
+            self.profile(columns, depth, divergence),
+        )
+    }
+
+    /// Converts a plain DNA sequence into a degenerate depth-1 profile.
+    /// Useful for testing profile alignment against pairwise alignment.
+    pub fn degenerate(dna: &DnaSeq) -> ProfileSeq {
+        ProfileSeq::new(
+            dna.iter()
+                .map(|&b| {
+                    let mut c = [0u16; 5];
+                    c[b.code() as usize] = 1;
+                    ProfileColumn::new(c)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_totals_equal_depth() {
+        let mut b = ProfileBuilder::new(1);
+        let p = b.profile(100, 7, 0.2);
+        for col in p.iter() {
+            assert_eq!(col.total(), 7);
+        }
+    }
+
+    #[test]
+    fn zero_divergence_gives_unanimous_columns() {
+        let mut b = ProfileBuilder::new(2);
+        let p = b.profile(50, 5, 0.0);
+        for col in p.iter() {
+            assert!(col.counts().iter().any(|&c| c == 5));
+            assert_eq!(col.count(4), 0); // no gaps
+        }
+    }
+
+    #[test]
+    fn divergence_creates_gaps_and_mixtures() {
+        let mut b = ProfileBuilder::new(3);
+        let p = b.profile(500, 8, 0.5);
+        let gapped = p.iter().filter(|c| c.count(4) > 0).count();
+        assert!(gapped > 50, "gapped columns {gapped}");
+        let mixed = p
+            .iter()
+            .filter(|c| c.counts().iter().filter(|&&x| x > 0).count() > 1)
+            .count();
+        assert!(mixed > 200, "mixed columns {mixed}");
+    }
+
+    #[test]
+    fn degenerate_profile_matches_sequence() {
+        let dna: DnaSeq = "ACGT".parse().unwrap();
+        let p = ProfileBuilder::degenerate(&dna);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0].count(0), 1);
+        assert_eq!(p[3].count(3), 1);
+        assert_eq!(p[0].total(), 1);
+    }
+
+    #[test]
+    fn pair_is_deterministic() {
+        let a = ProfileBuilder::new(9).profile_pair(32, 3, 0.1);
+        let b = ProfileBuilder::new(9).profile_pair(32, 3, 0.1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_depth_panics() {
+        ProfileBuilder::new(0).profile(10, 0, 0.1);
+    }
+}

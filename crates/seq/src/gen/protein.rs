@@ -1,0 +1,154 @@
+//! Protein sequence sampling (UniProtKB/Swiss-Prot stand-in, paper §6.1).
+//!
+//! Kernel #15 samples protein sequences from Swiss-Prot; here we sample
+//! synthetic proteins from the Swiss-Prot amino-acid background distribution
+//! (UniProt release statistics), plus a homolog generator that mutates a
+//! protein so local alignments have realistic conserved cores.
+
+use crate::{AminoAcid, ProteinSeq};
+use dphls_util::Xoshiro256;
+
+/// Swiss-Prot amino-acid background frequencies (percent), indexed in
+/// [`AMINO_ORDER`] order (A R N D C Q E G H I L K M F P S T W Y V).
+pub const SWISSPROT_FREQS: [f64; 20] = [
+    8.25, 5.53, 4.06, 5.45, 1.37, 3.93, 6.75, 7.07, 2.27, 5.96, 9.66, 5.84, 2.42, 3.86, 4.70,
+    6.56, 5.34, 1.08, 2.92, 6.87,
+];
+
+/// Samples synthetic proteins with Swiss-Prot composition.
+///
+/// # Example
+///
+/// ```
+/// use dphls_seq::gen::ProteinSampler;
+/// let mut sampler = ProteinSampler::new(3);
+/// let p = sampler.sample(256);
+/// assert_eq!(p.len(), 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProteinSampler {
+    rng: Xoshiro256,
+}
+
+impl ProteinSampler {
+    /// Creates a sampler.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples one protein of length `len`.
+    pub fn sample(&mut self, len: usize) -> ProteinSeq {
+        (0..len)
+            .map(|_| AminoAcid::from_index(self.rng.weighted_index(&SWISSPROT_FREQS) as u8))
+            .collect()
+    }
+
+    /// Samples a pair (query, subject) where the subject is a mutated homolog
+    /// of the query: `identity` fraction of positions conserved, the rest
+    /// substituted, with occasional short indels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `identity` is outside `[0, 1]`.
+    pub fn homolog_pair(&mut self, len: usize, identity: f64) -> (ProteinSeq, ProteinSeq) {
+        assert!((0.0..=1.0).contains(&identity), "identity must be in [0,1]");
+        let query = self.sample(len);
+        let mut subject = Vec::with_capacity(len + 8);
+        for &aa in query.iter() {
+            if self.rng.next_bool(identity) {
+                subject.push(aa);
+            } else {
+                // Mutate: mostly substitution, sometimes indel.
+                match self.rng.next_range(10) {
+                    0 => {} // deletion
+                    1 => {
+                        subject.push(self.random_aa());
+                        subject.push(aa);
+                    }
+                    _ => subject.push(self.random_aa()),
+                }
+            }
+        }
+        if subject.is_empty() {
+            subject.push(self.random_aa());
+        }
+        (query, ProteinSeq::new(subject))
+    }
+
+    /// Samples `n` homolog pairs.
+    pub fn homolog_pairs(
+        &mut self,
+        n: usize,
+        len: usize,
+        identity: f64,
+    ) -> Vec<(ProteinSeq, ProteinSeq)> {
+        (0..n).map(|_| self.homolog_pair(len, identity)).collect()
+    }
+
+    fn random_aa(&mut self) -> AminoAcid {
+        AminoAcid::from_index(self.rng.weighted_index(&SWISSPROT_FREQS) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_sum_to_hundred() {
+        let total: f64 = SWISSPROT_FREQS.iter().sum();
+        assert!((total - 100.0).abs() < 0.5, "total {total}");
+        assert_eq!(SWISSPROT_FREQS.len(), crate::alphabet::AMINO_ORDER.len());
+    }
+
+    #[test]
+    fn sample_has_requested_length() {
+        let mut s = ProteinSampler::new(1);
+        assert_eq!(s.sample(0).len(), 0);
+        assert_eq!(s.sample(256).len(), 256);
+    }
+
+    #[test]
+    fn composition_tracks_background() {
+        let mut s = ProteinSampler::new(2);
+        let p = s.sample(50_000);
+        let leu = AminoAcid::from_char('L').unwrap();
+        let trp = AminoAcid::from_char('W').unwrap();
+        let n_leu = p.iter().filter(|&&a| a == leu).count() as f64 / p.len() as f64;
+        let n_trp = p.iter().filter(|&&a| a == trp).count() as f64 / p.len() as f64;
+        assert!((n_leu - 0.0966).abs() < 0.01, "L freq {n_leu}");
+        assert!((n_trp - 0.0108).abs() < 0.005, "W freq {n_trp}");
+    }
+
+    #[test]
+    fn full_identity_homolog_is_equal() {
+        let mut s = ProteinSampler::new(3);
+        let (q, t) = s.homolog_pair(100, 1.0);
+        assert_eq!(q, t);
+    }
+
+    #[test]
+    fn low_identity_homolog_differs() {
+        let mut s = ProteinSampler::new(4);
+        let (q, t) = s.homolog_pair(200, 0.3);
+        assert_ne!(q, t);
+        // Identity fraction at aligned positions should be well below 1.
+        let same = q.iter().zip(t.iter()).filter(|(a, b)| a == b).count();
+        assert!(same < 150, "same {same}");
+    }
+
+    #[test]
+    fn pairs_are_deterministic() {
+        let a = ProteinSampler::new(5).homolog_pairs(3, 64, 0.7);
+        let b = ProteinSampler::new(5).homolog_pairs(3, 64, 0.7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0,1]")]
+    fn bad_identity_panics() {
+        ProteinSampler::new(0).homolog_pair(10, 1.5);
+    }
+}

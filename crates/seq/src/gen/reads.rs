@@ -1,0 +1,254 @@
+//! PBSIM2-like long-read simulation (paper §6.1).
+//!
+//! The paper generates 1 000 PacBio reads of 10 000 bases at a 30 % error
+//! rate from GRCh38, truncating to 256 bases for the short-alignment kernels.
+//! [`ReadSimulator`] reproduces that pipeline against a synthetic genome:
+//! reads are windows of the reference corrupted by substitutions, insertions,
+//! and deletions in the CLR-like ratio 6 : 55 : 39 (PBSIM2's continuous-long-
+//! read default mix).
+
+use super::GenomeGenerator;
+use crate::{Base, DnaSeq};
+use dphls_util::Xoshiro256;
+
+/// Relative frequencies of substitution / insertion / deletion errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// Fraction of errors that are substitutions.
+    pub sub: f64,
+    /// Fraction of errors that are insertions.
+    pub ins: f64,
+    /// Fraction of errors that are deletions.
+    pub del: f64,
+}
+
+impl ErrorModel {
+    /// PBSIM2 CLR-like default mix (6 % sub, 55 % ins, 39 % del).
+    pub const PACBIO_CLR: ErrorModel = ErrorModel {
+        sub: 0.06,
+        ins: 0.55,
+        del: 0.39,
+    };
+
+    /// Uniform mix, useful for tests.
+    pub const UNIFORM: ErrorModel = ErrorModel {
+        sub: 1.0 / 3.0,
+        ins: 1.0 / 3.0,
+        del: 1.0 / 3.0,
+    };
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        Self::PACBIO_CLR
+    }
+}
+
+/// Simulates reference/read pairs the way §6.1 builds its DNA dataset.
+///
+/// # Example
+///
+/// ```
+/// use dphls_seq::gen::ReadSimulator;
+/// let mut sim = ReadSimulator::new(1);
+/// let (reference, read) = sim.read_pair(256, 0.30);
+/// assert_eq!(reference.len(), 256);
+/// assert!(!read.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadSimulator {
+    rng: Xoshiro256,
+    genome: DnaSeq,
+    model: ErrorModel,
+}
+
+impl ReadSimulator {
+    /// Default synthetic genome length backing the simulator.
+    pub const GENOME_LEN: usize = 1 << 20;
+
+    /// Creates a simulator over a freshly generated 1 Mb synthetic genome.
+    pub fn new(seed: u64) -> Self {
+        let genome = GenomeGenerator::new(seed ^ 0xD1B5_4A32_D192_ED03).generate(Self::GENOME_LEN);
+        Self {
+            rng: Xoshiro256::seed_from_u64(seed),
+            genome,
+            model: ErrorModel::default(),
+        }
+    }
+
+    /// Creates a simulator over a caller-provided reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is empty.
+    pub fn with_genome(seed: u64, genome: DnaSeq) -> Self {
+        assert!(!genome.is_empty(), "reference genome must be non-empty");
+        Self {
+            rng: Xoshiro256::seed_from_u64(seed),
+            genome,
+            model: ErrorModel::default(),
+        }
+    }
+
+    /// Overrides the error mix.
+    pub fn error_model(mut self, model: ErrorModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The backing reference genome.
+    pub fn genome(&self) -> &DnaSeq {
+        &self.genome
+    }
+
+    /// Draws one (reference window, corrupted read) pair. The reference
+    /// window has exactly `len` bases; the read length varies around `len`
+    /// with the indel balance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or larger than the genome.
+    pub fn read_pair(&mut self, len: usize, error_rate: f64) -> (DnaSeq, DnaSeq) {
+        assert!(len > 0 && len <= self.genome.len(), "window length out of range");
+        let start = self.rng.next_range((self.genome.len() - len + 1) as u64) as usize;
+        let reference = self.genome.window(start, len);
+        let read = self.corrupt(&reference, error_rate);
+        (reference, read)
+    }
+
+    /// Draws `n` pairs (the paper's 1 000-pair datasets).
+    pub fn read_pairs(&mut self, n: usize, len: usize, error_rate: f64) -> Vec<(DnaSeq, DnaSeq)> {
+        (0..n).map(|_| self.read_pair(len, error_rate)).collect()
+    }
+
+    /// Applies the error model to a template sequence.
+    pub fn corrupt(&mut self, template: &DnaSeq, error_rate: f64) -> DnaSeq {
+        let weights = [self.model.sub, self.model.ins, self.model.del];
+        let mut out: Vec<Base> = Vec::with_capacity(template.len() + 8);
+        for &b in template.iter() {
+            if self.rng.next_bool(error_rate) {
+                match self.rng.weighted_index(&weights) {
+                    0 => out.push(self.substitute(b)),
+                    1 => {
+                        out.push(Base::from_code(self.rng.next_range(4) as u8));
+                        out.push(b);
+                    }
+                    _ => {} // deletion: drop the base
+                }
+            } else {
+                out.push(b);
+            }
+        }
+        if out.is_empty() {
+            out.push(template[0]);
+        }
+        DnaSeq::new(out)
+    }
+
+    fn substitute(&mut self, b: Base) -> Base {
+        // Draw among the three other bases.
+        let mut c = Base::from_code(self.rng.next_range(4) as u8);
+        while c == b {
+            c = Base::from_code(self.rng.next_range(4) as u8);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_reproduces_reference() {
+        let mut sim = ReadSimulator::new(5);
+        let (reference, read) = sim.read_pair(128, 0.0);
+        assert_eq!(reference, read);
+    }
+
+    #[test]
+    fn error_rate_changes_read() {
+        let mut sim = ReadSimulator::new(5);
+        let (reference, read) = sim.read_pair(256, 0.30);
+        assert_ne!(reference, read);
+        // Length should remain in the same ballpark (ins ~ del + sub keeps it).
+        assert!(read.len() > 180 && read.len() < 340, "len {}", read.len());
+    }
+
+    #[test]
+    fn substitution_only_model_preserves_length() {
+        let mut sim = ReadSimulator::new(6).error_model(ErrorModel {
+            sub: 1.0,
+            ins: 0.0,
+            del: 0.0,
+        });
+        let (reference, read) = sim.read_pair(200, 0.5);
+        assert_eq!(reference.len(), read.len());
+        let diffs = reference
+            .iter()
+            .zip(read.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        // ~50% of positions substituted (binomial, wide tolerance).
+        assert!((60..=140).contains(&diffs), "diffs {diffs}");
+    }
+
+    #[test]
+    fn deletion_only_model_shrinks() {
+        let mut sim = ReadSimulator::new(7).error_model(ErrorModel {
+            sub: 0.0,
+            ins: 0.0,
+            del: 1.0,
+        });
+        let (reference, read) = sim.read_pair(200, 0.3);
+        assert!(read.len() < reference.len());
+    }
+
+    #[test]
+    fn insertion_only_model_grows() {
+        let mut sim = ReadSimulator::new(8).error_model(ErrorModel {
+            sub: 0.0,
+            ins: 1.0,
+            del: 0.0,
+        });
+        let (reference, read) = sim.read_pair(200, 0.3);
+        assert!(read.len() > reference.len());
+    }
+
+    #[test]
+    fn pairs_are_deterministic_per_seed() {
+        let a = ReadSimulator::new(11).read_pairs(3, 64, 0.3);
+        let b = ReadSimulator::new(11).read_pairs(3, 64, 0.3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_dataset_shape() {
+        // §6.1: 1,000 reads of 10,000 bases at 30% error — shrunk x10 here to
+        // keep the test fast while exercising the same path.
+        let mut sim = ReadSimulator::new(12);
+        let pairs = sim.read_pairs(100, 1000, 0.30);
+        assert_eq!(pairs.len(), 100);
+        for (reference, read) in &pairs {
+            assert_eq!(reference.len(), 1000);
+            assert!((700..1400).contains(&read.len()));
+        }
+    }
+
+    #[test]
+    fn with_genome_uses_given_reference() {
+        let genome: DnaSeq = "ACGTACGTACGT".parse().unwrap();
+        let mut sim = ReadSimulator::with_genome(1, genome.clone());
+        let (reference, _) = sim.read_pair(4, 0.0);
+        // window must come from the supplied genome
+        let s = reference.to_string();
+        assert!(genome.to_string().contains(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_window_panics() {
+        let genome: DnaSeq = "ACGT".parse().unwrap();
+        ReadSimulator::with_genome(1, genome).read_pair(5, 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Signal generators for the DTW kernels.
+//!
+//! * [`ComplexSignalGenerator`] reproduces §6.1's "randomly generated complex
+//!   numbers" input for DTW (#9) as a smooth random walk (so that DTW has
+//!   structure to warp, as real time-series do).
+//! * [`SquiggleSimulator`] replaces the SquiggleFilter dataset for sDTW (#14):
+//!   it converts DNA into a nanopore-like integer current trace (per-base
+//!   level from a deterministic pore model, repeated for a random dwell time,
+//!   plus noise), which is exactly the signal shape SquiggleFilter aligns.
+
+use crate::{Base, Complex, ComplexSeq, DnaSeq, SignalSeq};
+use dphls_util::Xoshiro256;
+
+/// Generates complex-valued random-walk signals for DTW (#9).
+///
+/// # Example
+///
+/// ```
+/// use dphls_seq::gen::ComplexSignalGenerator;
+/// let mut g = ComplexSignalGenerator::new(1);
+/// let (a, b) = g.warped_pair(128, 0.2);
+/// assert_eq!(a.len(), 128);
+/// assert!(!b.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComplexSignalGenerator {
+    rng: Xoshiro256,
+    step: f64,
+}
+
+impl ComplexSignalGenerator {
+    /// Creates a generator with unit step scale.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Xoshiro256::seed_from_u64(seed),
+            step: 1.0,
+        }
+    }
+
+    /// Sets the random-walk step scale.
+    pub fn step(mut self, step: f64) -> Self {
+        self.step = step;
+        self
+    }
+
+    /// Generates one signal of `len` samples.
+    pub fn signal(&mut self, len: usize) -> ComplexSeq {
+        let mut re = 0.0f64;
+        let mut im = 0.0f64;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            re += (self.rng.next_f64() - 0.5) * self.step;
+            im += (self.rng.next_f64() - 0.5) * self.step;
+            out.push(Complex::from_f64(re, im));
+        }
+        ComplexSeq::new(out)
+    }
+
+    /// Generates a pair where the second signal is a time-warped, noisy copy
+    /// of the first — the classic DTW workload. `warp` controls how often
+    /// samples are repeated or skipped.
+    pub fn warped_pair(&mut self, len: usize, warp: f64) -> (ComplexSeq, ComplexSeq) {
+        let a = self.signal(len);
+        let mut b = Vec::with_capacity(len + 8);
+        for &z in a.iter() {
+            let noisy = Complex::from_f64(
+                z.re.to_f64() + (self.rng.next_f64() - 0.5) * 0.05,
+                z.im.to_f64() + (self.rng.next_f64() - 0.5) * 0.05,
+            );
+            if self.rng.next_bool(warp) {
+                if self.rng.next_bool(0.5) {
+                    // stretch: emit twice
+                    b.push(noisy);
+                    b.push(noisy);
+                } // else compress: skip
+            } else {
+                b.push(noisy);
+            }
+        }
+        if b.is_empty() {
+            b.push(a[0]);
+        }
+        (a, ComplexSeq::new(b))
+    }
+}
+
+/// Mean pore current level (arbitrary integer units) for each base.
+/// A deterministic miniature pore model: distinct, well-separated levels.
+const PORE_LEVEL: [i16; 4] = [420, 530, 640, 750];
+
+/// Simulates nanopore-like integer squiggles from DNA for sDTW (#14).
+///
+/// # Example
+///
+/// ```
+/// use dphls_seq::gen::SquiggleSimulator;
+/// use dphls_seq::DnaSeq;
+/// let dna: DnaSeq = "ACGTACGT".parse()?;
+/// let mut sim = SquiggleSimulator::new(1);
+/// let squiggle = sim.squiggle(&dna);
+/// assert!(squiggle.len() >= dna.len()); // dwell repeats samples
+/// # Ok::<(), dphls_seq::ParseSeqError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SquiggleSimulator {
+    rng: Xoshiro256,
+    dwell_min: usize,
+    dwell_max: usize,
+    noise: i16,
+}
+
+impl SquiggleSimulator {
+    /// Creates a simulator with SquiggleFilter-like defaults
+    /// (dwell 6–10 samples/base, ±12 units of noise).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Xoshiro256::seed_from_u64(seed),
+            dwell_min: 6,
+            dwell_max: 10,
+            noise: 12,
+        }
+    }
+
+    /// Sets the dwell-time range (samples emitted per base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or `min > max`.
+    pub fn dwell(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1 && min <= max, "dwell range invalid");
+        self.dwell_min = min;
+        self.dwell_max = max;
+        self
+    }
+
+    /// Sets the noise amplitude.
+    pub fn noise(mut self, noise: i16) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Expected current level for a base, before noise.
+    pub fn level(base: Base) -> i16 {
+        PORE_LEVEL[base.code() as usize]
+    }
+
+    /// Converts DNA into an integer squiggle.
+    pub fn squiggle(&mut self, dna: &DnaSeq) -> SignalSeq {
+        let mut out = Vec::with_capacity(dna.len() * self.dwell_max);
+        for &b in dna.iter() {
+            let dwell = self.dwell_min
+                + self.rng.next_range((self.dwell_max - self.dwell_min + 1) as u64) as usize;
+            let level = Self::level(b);
+            for _ in 0..dwell {
+                let n = self.rng.next_range((2 * self.noise + 1) as u64) as i16 - self.noise;
+                out.push(level.saturating_add(n));
+            }
+        }
+        SignalSeq::new(out)
+    }
+
+    /// Builds the reference-level sequence for a DNA template: one sample per
+    /// base at the expected level (what SquiggleFilter stores for the virus
+    /// reference).
+    pub fn reference_levels(dna: &DnaSeq) -> SignalSeq {
+        SignalSeq::new(dna.iter().map(|&b| Self::level(b)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_lengths() {
+        let mut g = ComplexSignalGenerator::new(1);
+        assert_eq!(g.signal(64).len(), 64);
+        assert_eq!(g.signal(0).len(), 0);
+    }
+
+    #[test]
+    fn walk_is_continuous() {
+        let mut g = ComplexSignalGenerator::new(2).step(0.5);
+        let s = g.signal(100);
+        for i in 1..s.len() {
+            let d = (s[i].re.to_f64() - s[i - 1].re.to_f64()).abs();
+            assert!(d <= 0.25 + 1e-9, "jump {d}");
+        }
+    }
+
+    #[test]
+    fn warped_pair_has_similar_values() {
+        let mut g = ComplexSignalGenerator::new(3);
+        let (a, b) = g.warped_pair(200, 0.2);
+        // Means should be close since b is a warped copy of a.
+        let ma: f64 = a.iter().map(|z| z.re.to_f64()).sum::<f64>() / a.len() as f64;
+        let mb: f64 = b.iter().map(|z| z.re.to_f64()).sum::<f64>() / b.len() as f64;
+        assert!((ma - mb).abs() < 1.5, "means {ma} vs {mb}");
+    }
+
+    #[test]
+    fn squiggle_expands_by_dwell() {
+        let dna: DnaSeq = "ACGTACGTAC".parse().unwrap();
+        let mut sim = SquiggleSimulator::new(4);
+        let s = sim.squiggle(&dna);
+        assert!(s.len() >= dna.len() * 6 && s.len() <= dna.len() * 10);
+    }
+
+    #[test]
+    fn squiggle_levels_track_bases() {
+        let dna: DnaSeq = "AAAA".parse().unwrap();
+        let mut sim = SquiggleSimulator::new(5).noise(0);
+        let s = sim.squiggle(&dna);
+        for &x in s.iter() {
+            assert_eq!(x, SquiggleSimulator::level(Base::A));
+        }
+    }
+
+    #[test]
+    fn reference_levels_one_per_base() {
+        let dna: DnaSeq = "ACGT".parse().unwrap();
+        let levels = SquiggleSimulator::reference_levels(&dna);
+        assert_eq!(levels.len(), 4);
+        assert_eq!(levels[0], 420);
+        assert_eq!(levels[3], 750);
+    }
+
+    #[test]
+    fn pore_levels_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for b in Base::ALL {
+            assert!(seen.insert(SquiggleSimulator::level(b)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell")]
+    fn bad_dwell_panics() {
+        SquiggleSimulator::new(0).dwell(0, 5);
+    }
+}

@@ -1,0 +1,47 @@
+//! Sequence alphabets, containers, bit-packing, and synthetic dataset
+//! generators for the DP-HLS reproduction.
+//!
+//! The paper's front-end lets each kernel choose its own `char_t` (§4 step 1):
+//! 2-bit DNA bases, 20-letter amino acids, 5-tuple profile columns, complex
+//! fixed-point signal samples (DTW, #9), or integers (sDTW, #14). This crate
+//! provides those alphabets as Rust types implementing [`Symbol`] plus the
+//! dataset generators of §6.1:
+//!
+//! * a synthetic reference genome + PBSIM2-like long-read simulator
+//!   (1 000 × 10 kb reads at 30 % error, truncated to 256 bp for the short
+//!   kernels) replacing GRCh38 + PBSIM2,
+//! * an amino-acid sampler with Swiss-Prot background frequencies replacing
+//!   UniProtKB sampling,
+//! * complex and integer signal generators replacing the DTW random inputs
+//!   and the SquiggleFilter squiggle dataset,
+//! * a profile builder replacing the Drosophila-derived profiles for #8.
+//!
+//! # Example
+//!
+//! ```
+//! use dphls_seq::{gen::ReadSimulator, DnaSeq};
+//! let mut sim = ReadSimulator::new(42);
+//! let pairs = sim.read_pairs(4, 256, 0.30);
+//! assert_eq!(pairs.len(), 4);
+//! let (reference, read): &(DnaSeq, DnaSeq) = &pairs[0];
+//! assert_eq!(reference.len(), 256);
+//! assert!(read.len() > 200); // indels change the read length slightly
+//! ```
+
+pub mod alphabet;
+pub mod fasta;
+pub mod gen;
+pub mod pack;
+pub mod seq;
+
+pub use alphabet::{AminoAcid, Base, Complex, ProfileColumn, Symbol, PROFILE_DEPTH};
+pub use seq::{ParseSeqError, ProteinSeq, Sequence};
+
+/// A DNA sequence (2-bit symbols).
+pub type DnaSeq = Sequence<Base>;
+/// A complex-valued signal (DTW kernel #9).
+pub type ComplexSeq = Sequence<Complex>;
+/// An integer signal (sDTW kernel #14).
+pub type SignalSeq = Sequence<i16>;
+/// A sequence profile (profile-alignment kernel #8).
+pub type ProfileSeq = Sequence<ProfileColumn>;

@@ -1,0 +1,127 @@
+//! Bit-packing of symbol streams into bus words.
+//!
+//! The host↔device transfer model (`dphls-systolic::cycles`) charges one cycle
+//! per bus word; this module computes the exact packing the OpenCL host code
+//! would perform (2-bit DNA bases packed 32-per-64-bit-word, 16-bit signal
+//! samples packed 4-per-word, and so on).
+
+use crate::alphabet::{Base, Symbol};
+
+/// Number of `bus_bits`-wide words needed to move `n` symbols of width
+/// `sym_bits`.
+///
+/// # Panics
+///
+/// Panics if either width is zero or `sym_bits > bus_bits`.
+///
+/// # Example
+///
+/// ```
+/// // 256 DNA bases at 2 bits over a 64-bit bus: 8 words.
+/// assert_eq!(dphls_seq::pack::words_for(256, 2, 64), 8);
+/// ```
+pub fn words_for(n: usize, sym_bits: u32, bus_bits: u32) -> u64 {
+    assert!(sym_bits > 0 && bus_bits > 0, "widths must be non-zero");
+    assert!(sym_bits <= bus_bits, "symbol wider than bus");
+    let per_word = (bus_bits / sym_bits) as u64;
+    (n as u64).div_ceil(per_word)
+}
+
+/// Number of bus words for a typed sequence.
+pub fn words_for_seq<A: Symbol>(seq: &crate::Sequence<A>, bus_bits: u32) -> u64 {
+    words_for(seq.len(), A::BITS, bus_bits)
+}
+
+/// Packs DNA bases into 64-bit words, 32 bases per word, LSB-first.
+///
+/// # Example
+///
+/// ```
+/// use dphls_seq::{pack, DnaSeq};
+/// let s: DnaSeq = "ACGT".parse()?;
+/// let words = pack::pack_bases(s.as_slice());
+/// assert_eq!(words, vec![0b11_10_01_00]);
+/// # Ok::<(), dphls_seq::ParseSeqError>(())
+/// ```
+pub fn pack_bases(bases: &[Base]) -> Vec<u64> {
+    let mut words = vec![0u64; bases.len().div_ceil(32)];
+    for (i, b) in bases.iter().enumerate() {
+        words[i / 32] |= (b.code() as u64) << (2 * (i % 32));
+    }
+    words
+}
+
+/// Unpacks `n` DNA bases from 64-bit words produced by [`pack_bases`].
+///
+/// # Panics
+///
+/// Panics if `words` is too short for `n` bases.
+pub fn unpack_bases(words: &[u64], n: usize) -> Vec<Base> {
+    assert!(words.len() * 32 >= n, "word buffer too short");
+    (0..n)
+        .map(|i| Base::from_code(((words[i / 32] >> (2 * (i % 32))) & 3) as u8))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_exact_and_partial() {
+        assert_eq!(words_for(32, 2, 64), 1);
+        assert_eq!(words_for(33, 2, 64), 2);
+        assert_eq!(words_for(0, 2, 64), 0);
+        assert_eq!(words_for(4, 16, 64), 1);
+        assert_eq!(words_for(5, 16, 64), 2);
+        // 80-bit profile column on a 64-bit bus is disallowed; widen bus.
+        assert_eq!(words_for(3, 80, 128), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than bus")]
+    fn symbol_wider_than_bus_panics() {
+        words_for(1, 80, 64);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let bases: Vec<Base> = (0..100).map(|i| Base::from_code(i as u8)).collect();
+        let words = pack_bases(&bases);
+        assert_eq!(words.len(), 4);
+        assert_eq!(unpack_bases(&words, 100), bases);
+    }
+
+    #[test]
+    fn pack_is_lsb_first() {
+        let bases = vec![Base::T, Base::A]; // T=3 in bits 0..2, A=0 in bits 2..4
+        assert_eq!(pack_bases(&bases), vec![0b00_11]);
+    }
+
+    #[test]
+    fn empty_pack() {
+        assert!(pack_bases(&[]).is_empty());
+        assert!(unpack_bases(&[], 0).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_bases(codes in proptest::collection::vec(0u8..4, 0..300)) {
+            let bases: Vec<Base> = codes.iter().map(|&c| Base::from_code(c)).collect();
+            let words = pack_bases(&bases);
+            prop_assert_eq!(unpack_bases(&words, bases.len()), bases);
+        }
+
+        #[test]
+        fn words_count_matches_packing(n in 0usize..5000) {
+            let bases = vec![Base::A; n];
+            prop_assert_eq!(pack_bases(&bases).len() as u64, words_for(n, 2, 64));
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The functional systolic block engine: one linear array of `NPE`
+//! processing elements computing a DP matrix chunk-by-chunk, wavefront-by-
+//! wavefront (paper §5.1, Fig 2C).
+//!
+//! The engine mirrors the generated hardware's dataflow exactly:
+//!
+//! * rows are divided into **chunks** of `NPE` consecutive rows, one per PE;
+//! * within a chunk the **wavefront** (anti-diagonal) index `w` advances once
+//!   per pipeline initiation; PE `k` computes cell `(base+k+1, w−k+1)`;
+//! * PE `k` reads `left` from its own previous output, `up`/`diag` from PE
+//!   `k−1`'s previous two outputs (the DP Memory Buffer), with PE 0 reading
+//!   the **Preserved Row Score Buffer** written by the last PE of the
+//!   previous chunk;
+//! * traceback pointers stream into the banked [`TbMem`] at coalesced
+//!   addresses;
+//! * each PE tracks its local best among traceback-eligible cells; a
+//!   reduction across PEs picks the block's best cell (paper §5.2).
+//!
+//! The result is bit-identical to [`dphls_core::run_reference`] (verified by
+//! differential and property tests), while also producing the structural
+//! statistics ([`BlockStats`]) the cycle model consumes.
+
+use crate::tbmem::TbMem;
+use dphls_core::reference::{offer_if_eligible, walk_traceback, BestTracker};
+use dphls_core::{DpOutput, KernelConfig, KernelSpec, LayerVec};
+use std::fmt;
+
+/// Structural counts from one block-level alignment, consumed by the cycle
+/// model ([`crate::cycles`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockStats {
+    /// Row chunks processed (`⌈Q / NPE⌉`).
+    pub chunks: u64,
+    /// Wavefront iterations issued (banding skips whole wavefronts).
+    pub wavefronts: u64,
+    /// PE invocations (in-band cells computed).
+    pub cells: u64,
+    /// Traceback walk length in steps (0 for score-only kernels).
+    pub tb_steps: u64,
+    /// Reduction-tree levels for the best-cell search.
+    pub reduction_levels: u64,
+    /// Query length of this alignment.
+    pub query_len: u64,
+    /// Reference length of this alignment.
+    pub ref_len: u64,
+}
+
+impl BlockStats {
+    /// Fraction of PE-cycles doing useful work: `cells / (wavefronts × NPE)`
+    /// for the given array width. The shortfall from 1.0 is the wavefront
+    /// ramp-up/down idling at the matrix edges — the §7.2 explanation for
+    /// throughput saturating at high `NPE` (Fig 3A/D).
+    pub fn pe_utilization(&self, npe: usize) -> f64 {
+        if self.wavefronts == 0 || npe == 0 {
+            return 0.0;
+        }
+        self.cells as f64 / (self.wavefronts as f64 * npe as f64)
+    }
+}
+
+/// Result of running one alignment on the systolic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystolicRun<S> {
+    /// Functional output (identical to the reference engine's).
+    pub output: DpOutput<S>,
+    /// Structural statistics for the cycle model.
+    pub stats: BlockStats,
+}
+
+/// Errors from [`run_systolic`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystolicError {
+    /// The configuration failed validation.
+    Config(dphls_core::config::ConfigError),
+    /// A sequence exceeds the configured on-device buffer.
+    SequenceTooLong {
+        /// Which sequence: `"query"` or `"reference"`.
+        which: &'static str,
+        /// The offending length.
+        len: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// A sequence is empty.
+    EmptySequence,
+}
+
+impl fmt::Display for SystolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystolicError::Config(e) => write!(f, "invalid kernel configuration: {e}"),
+            SystolicError::SequenceTooLong { which, len, max } => {
+                write!(f, "{which} length {len} exceeds the configured maximum {max}")
+            }
+            SystolicError::EmptySequence => write!(f, "sequences must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for SystolicError {}
+
+impl From<dphls_core::config::ConfigError> for SystolicError {
+    fn from(e: dphls_core::config::ConfigError) -> Self {
+        SystolicError::Config(e)
+    }
+}
+
+/// Runs one alignment through the systolic block.
+///
+/// # Errors
+///
+/// Returns [`SystolicError`] if the configuration is invalid, a sequence is
+/// empty, or a sequence exceeds the configured maximum lengths.
+pub fn run_systolic<K: KernelSpec>(
+    params: &K::Params,
+    query: &[K::Sym],
+    reference: &[K::Sym],
+    config: &KernelConfig,
+) -> Result<SystolicRun<K::Score>, SystolicError> {
+    config.validate()?;
+    if query.is_empty() || reference.is_empty() {
+        return Err(SystolicError::EmptySequence);
+    }
+    if query.len() > config.max_query {
+        return Err(SystolicError::SequenceTooLong {
+            which: "query",
+            len: query.len(),
+            max: config.max_query,
+        });
+    }
+    if reference.len() > config.max_ref {
+        return Err(SystolicError::SequenceTooLong {
+            which: "reference",
+            len: reference.len(),
+            max: config.max_ref,
+        });
+    }
+
+    let meta = K::meta();
+    let banding = config.banding;
+    let (q, r) = (query.len(), reference.len());
+    let npe = config.npe;
+    let chunks = config.chunks_for(q);
+    let worst: LayerVec<K::Score> = LayerVec::splat(meta.n_layers, meta.objective.worst());
+
+    let mut tbmem = TbMem::new(npe, chunks, r);
+    let mut trackers: Vec<BestTracker<K::Score>> =
+        (0..npe).map(|_| BestTracker::new(meta.objective)).collect();
+
+    // Preserved Row Score Buffer: scores of the row above the current
+    // chunk's first row, indexed by column 0..=R.
+    let mut prev_row: Vec<LayerVec<K::Score>> = (0..=r)
+        .map(|j| {
+            if banding.contains(0, j) {
+                K::init_row(params, j)
+            } else {
+                worst
+            }
+        })
+        .collect();
+
+    let mut stats = BlockStats {
+        chunks: chunks as u64,
+        query_len: q as u64,
+        ref_len: r as u64,
+        reduction_levels: npe.next_power_of_two().trailing_zeros() as u64,
+        ..BlockStats::default()
+    };
+
+    // DP Memory Buffer: each PE's outputs at wavefronts w-1 and w-2.
+    let mut wf_m1: Vec<LayerVec<K::Score>> = vec![worst; npe];
+    let mut wf_m2: Vec<LayerVec<K::Score>> = vec![worst; npe];
+    let mut cur: Vec<LayerVec<K::Score>> = vec![worst; npe];
+
+    for c in 0..chunks {
+        let base = c * npe;
+        let rows = npe.min(q - base);
+        let last_pe = rows - 1;
+        // Next chunk's preserved row: column 0 is the boundary value of the
+        // chunk's last row.
+        let mut next_row: Vec<LayerVec<K::Score>> = vec![worst; r + 1];
+        let last_i = base + last_pe + 1;
+        next_row[0] = if banding.contains(last_i, 0) {
+            K::init_col(params, last_i)
+        } else {
+            worst
+        };
+        for s in wf_m1.iter_mut() {
+            *s = worst;
+        }
+        for s in wf_m2.iter_mut() {
+            *s = worst;
+        }
+
+        let wavefronts = TbMem::wavefronts_per_chunk(npe, r);
+        for w in 0..wavefronts {
+            let mut any_active = false;
+            for k in 0..npe {
+                // PE k computes cell (i, j) at this wavefront.
+                let i = base + k + 1;
+                let jj = w as isize - k as isize + 1;
+                if k >= rows || jj < 1 || jj > r as isize {
+                    cur[k] = worst;
+                    continue;
+                }
+                let j = jj as usize;
+                if !banding.contains(i, j) {
+                    cur[k] = worst;
+                    continue;
+                }
+                any_active = true;
+                // Neighbor fetch mirrors the hardware buffers exactly.
+                let left = if j == 1 {
+                    if banding.contains(i, 0) {
+                        K::init_col(params, i)
+                    } else {
+                        worst
+                    }
+                } else {
+                    wf_m1[k]
+                };
+                let up = if k == 0 { prev_row[j] } else { wf_m1[k - 1] };
+                let diag = if k == 0 {
+                    prev_row[j - 1]
+                } else if j == 1 {
+                    if banding.contains(i - 1, 0) {
+                        K::init_col(params, i - 1)
+                    } else {
+                        worst
+                    }
+                } else {
+                    wf_m2[k - 1]
+                };
+                let (out, ptr) = K::pe(params, query[i - 1], reference[j - 1], &diag, &up, &left);
+                stats.cells += 1;
+                offer_if_eligible(
+                    &mut trackers[k],
+                    meta.traceback.best,
+                    out.primary(),
+                    i,
+                    j,
+                    q,
+                    r,
+                );
+                tbmem.write(k, c, w, ptr);
+                if k == last_pe {
+                    next_row[j] = out;
+                }
+                cur[k] = out;
+            }
+            if any_active {
+                stats.wavefronts += 1;
+            }
+            std::mem::swap(&mut wf_m2, &mut wf_m1);
+            std::mem::swap(&mut wf_m1, &mut cur);
+        }
+        prev_row = next_row;
+    }
+
+    // Reduction over per-PE local bests (paper §5.2).
+    let mut global = BestTracker::new(meta.objective);
+    for t in &trackers {
+        global.merge(t);
+    }
+    let (best_score, best_cell) = global.best();
+
+    let alignment = meta
+        .traceback
+        .walk
+        .map(|walk| walk_traceback::<K>(&|i, j| tbmem.read_cell(i, j), best_cell, walk));
+    stats.tb_steps = alignment.as_ref().map_or(0, |a| a.len() as u64);
+
+    Ok(SystolicRun {
+        output: DpOutput {
+            best_score,
+            best_cell,
+            alignment,
+            cells_computed: stats.cells,
+        },
+        stats,
+    })
+}
+
+/// Convenience wrapper asserting success (for tests and examples where the
+/// configuration is known-valid).
+///
+/// # Panics
+///
+/// Panics if [`run_systolic`] returns an error.
+pub fn run_systolic_ok<K: KernelSpec>(
+    params: &K::Params,
+    query: &[K::Sym],
+    reference: &[K::Sym],
+    config: &KernelConfig,
+) -> SystolicRun<K::Score> {
+    run_systolic::<K>(params, query, reference, config).expect("systolic run failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_core::{run_reference, Banding};
+    use dphls_kernels::{GlobalLinear, LinearParams};
+    use dphls_seq::DnaSeq;
+
+    fn dna(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn cfg(npe: usize) -> KernelConfig {
+        KernelConfig::new(npe, 1, 1).with_max_lengths(512, 512)
+    }
+
+    #[test]
+    fn matches_reference_on_simple_pair() {
+        let p = LinearParams::<i16>::dna();
+        let q = dna("ACGTACGTAC");
+        let r = dna("ACGATCGTTC");
+        let want = run_reference::<GlobalLinear>(&p, q.as_slice(), r.as_slice(), Banding::None);
+        for npe in [1, 2, 3, 4, 8, 16] {
+            let got = run_systolic_ok::<GlobalLinear>(&p, q.as_slice(), r.as_slice(), &cfg(npe));
+            assert_eq!(got.output, want, "npe={npe}");
+        }
+    }
+
+    #[test]
+    fn stats_counts_match_geometry() {
+        let p = LinearParams::<i16>::dna();
+        let q = dna("ACGTACGT"); // 8 rows
+        let r = dna("ACGTAC"); // 6 cols
+        let run = run_systolic_ok::<GlobalLinear>(&p, q.as_slice(), r.as_slice(), &cfg(4));
+        assert_eq!(run.stats.chunks, 2);
+        assert_eq!(run.stats.cells, 48); // full matrix
+        assert_eq!(run.stats.wavefronts, 2 * (6 + 4 - 1));
+        assert_eq!(run.stats.reduction_levels, 2); // log2(4)
+        assert_eq!(run.stats.query_len, 8);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let p = LinearParams::<i16>::dna();
+        let q = dna("ACGT");
+        let err = run_systolic::<GlobalLinear>(&p, q.as_slice(), &[], &cfg(2)).unwrap_err();
+        assert_eq!(err, SystolicError::EmptySequence);
+
+        let long = dna(&"A".repeat(600));
+        let err =
+            run_systolic::<GlobalLinear>(&p, long.as_slice(), q.as_slice(), &cfg(2)).unwrap_err();
+        assert!(matches!(err, SystolicError::SequenceTooLong { which: "query", .. }));
+        assert!(err.to_string().contains("600"));
+
+        let bad_cfg = KernelConfig::new(0, 1, 1);
+        let err =
+            run_systolic::<GlobalLinear>(&p, q.as_slice(), q.as_slice(), &bad_cfg).unwrap_err();
+        assert!(matches!(err, SystolicError::Config(_)));
+    }
+
+    #[test]
+    fn pe_utilization_degrades_with_npe() {
+        // §7.2: wavefront parallelism diminishes near the matrix edges, so
+        // wider arrays idle more.
+        let p = LinearParams::<i16>::dna();
+        let s = dna(&"ACGT".repeat(16)); // 64 long
+        let mut last = 1.1f64;
+        for npe in [2usize, 8, 32] {
+            let run = run_systolic_ok::<GlobalLinear>(&p, s.as_slice(), s.as_slice(), &cfg(npe));
+            let u = run.stats.pe_utilization(npe);
+            assert!(u > 0.0 && u <= 1.0);
+            assert!(u < last, "utilization {u} not decreasing at NPE={npe}");
+            last = u;
+        }
+        // NPE=1 is perfectly utilized.
+        let run = run_systolic_ok::<GlobalLinear>(&p, s.as_slice(), s.as_slice(), &cfg(1));
+        assert!((run.stats.pe_utilization(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn banding_reduces_wavefronts_and_cells() {
+        let p = LinearParams::<i16>::dna();
+        let s = dna(&"ACGT".repeat(16)); // 64 long
+        let full = run_systolic_ok::<GlobalLinear>(&p, s.as_slice(), s.as_slice(), &cfg(8));
+        let banded_cfg = cfg(8).with_banding(4);
+        let banded = run_systolic_ok::<GlobalLinear>(&p, s.as_slice(), s.as_slice(), &banded_cfg);
+        assert!(banded.stats.cells < full.stats.cells);
+        assert!(banded.stats.wavefronts < full.stats.wavefronts);
+        // Identical sequences: banded score equals full score.
+        assert_eq!(banded.output.best_score, full.output.best_score);
+    }
+
+    #[test]
+    fn npe_larger_than_query_is_rejected_by_validation() {
+        let p = LinearParams::<i16>::dna();
+        let q = dna("ACGT");
+        let config = KernelConfig::new(8, 1, 1).with_max_lengths(4, 16);
+        let err = run_systolic::<GlobalLinear>(&p, q.as_slice(), q.as_slice(), &config);
+        assert!(matches!(err, Err(SystolicError::Config(_))));
+    }
+}

@@ -1,0 +1,224 @@
+//! Device-level composition: `NB` blocks per channel behind one arbiter,
+//! `NK` independent channels (paper §5.3, Fig 2B), plus the workload driver
+//! that the experiment harness uses as its "co-simulation": run every pair
+//! functionally, accumulate cycle statistics, and report throughput.
+
+use crate::block::{run_systolic, BlockStats, SystolicError};
+use crate::cycles::{
+    alignment_cycles, effective_cycles_per_alignment, throughput_aps, CycleBreakdown,
+    CycleModelParams, KernelCycleInfo,
+};
+use dphls_core::{DpOutput, KernelConfig, KernelSpec};
+
+/// Aggregate result of running a workload on the modeled device.
+#[derive(Debug, Clone)]
+pub struct DeviceReport<S> {
+    /// Functional outputs, one per input pair.
+    pub outputs: Vec<DpOutput<S>>,
+    /// Mean cycles per alignment (after arbiter effects).
+    pub mean_cycles: f64,
+    /// Mean cycle breakdown across the workload (component means).
+    pub mean_breakdown: CycleBreakdown,
+    /// Device throughput in alignments/second at `freq_mhz`.
+    pub throughput_aps: f64,
+    /// The frequency used for the throughput figure (MHz).
+    pub freq_mhz: f64,
+    /// Total cells computed (workload size proxy).
+    pub total_cells: u64,
+}
+
+/// A modeled DP-HLS device instance: one kernel configuration plus a cycle
+/// schedule, ready to run workloads.
+///
+/// # Example
+///
+/// ```
+/// use dphls_systolic::{Device, CycleModelParams, KernelCycleInfo};
+/// use dphls_core::KernelConfig;
+/// use dphls_kernels::{GlobalLinear, LinearParams};
+/// use dphls_seq::DnaSeq;
+///
+/// let config = KernelConfig::new(8, 2, 1).with_max_lengths(64, 64);
+/// let device = Device::new(config, CycleModelParams::dphls(),
+///     KernelCycleInfo { sym_bits: 2, has_walk: true, ii: 1 }, 250.0);
+/// let q: DnaSeq = "ACGTACGT".parse()?;
+/// let r: DnaSeq = "ACGAACGT".parse()?;
+/// let params = LinearParams::<i16>::dna();
+/// let report = device.run::<GlobalLinear>(&params,
+///     &[(q.into_vec(), r.into_vec())]).unwrap();
+/// assert_eq!(report.outputs.len(), 1);
+/// assert!(report.throughput_aps > 0.0);
+/// # Ok::<(), dphls_seq::ParseSeqError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Device {
+    config: KernelConfig,
+    cycle_params: CycleModelParams,
+    kinfo: KernelCycleInfo,
+    freq_mhz: f64,
+}
+
+impl Device {
+    /// Creates a device model.
+    pub fn new(
+        config: KernelConfig,
+        cycle_params: CycleModelParams,
+        kinfo: KernelCycleInfo,
+        freq_mhz: f64,
+    ) -> Self {
+        Self {
+            config,
+            cycle_params,
+            kinfo,
+            freq_mhz,
+        }
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// The cycle-model constants in use.
+    pub fn cycle_params(&self) -> &CycleModelParams {
+        &self.cycle_params
+    }
+
+    /// Runs a workload of `(query, reference)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SystolicError`] (invalid config or oversized
+    /// sequence).
+    pub fn run<K: KernelSpec>(
+        &self,
+        params: &K::Params,
+        workload: &[(Vec<K::Sym>, Vec<K::Sym>)],
+    ) -> Result<DeviceReport<K::Score>, SystolicError> {
+        let mut outputs = Vec::with_capacity(workload.len());
+        let mut cycle_sum = 0u64;
+        let mut total_cells = 0u64;
+        let mut sum = CycleBreakdown::default();
+        let mut stats_seen: Vec<BlockStats> = Vec::with_capacity(workload.len());
+        for (q, r) in workload {
+            let run = run_systolic::<K>(params, q, r, &self.config)?;
+            let b = alignment_cycles(&run.stats, &self.kinfo, &self.cycle_params);
+            cycle_sum += effective_cycles_per_alignment(&b, &self.config);
+            total_cells += run.stats.cells;
+            sum.load += b.load;
+            sum.init += b.init;
+            sum.fill += b.fill;
+            sum.reduce += b.reduce;
+            sum.traceback += b.traceback;
+            sum.writeback += b.writeback;
+            sum.overhead += b.overhead;
+            sum.total += b.total;
+            stats_seen.push(run.stats);
+            outputs.push(run.output);
+        }
+        let n = workload.len().max(1) as u64;
+        let mean_cycles = cycle_sum as f64 / n as f64;
+        let mean_breakdown = CycleBreakdown {
+            load: sum.load / n,
+            init: sum.init / n,
+            fill: sum.fill / n,
+            reduce: sum.reduce / n,
+            traceback: sum.traceback / n,
+            writeback: sum.writeback / n,
+            overhead: sum.overhead / n,
+            total: sum.total / n,
+        };
+        let throughput = if workload.is_empty() {
+            0.0
+        } else {
+            throughput_aps(mean_cycles.round().max(1.0) as u64, self.freq_mhz, &self.config)
+        };
+        Ok(DeviceReport {
+            outputs,
+            mean_cycles,
+            mean_breakdown,
+            throughput_aps: throughput,
+            freq_mhz: self.freq_mhz,
+            total_cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_kernels::{GlobalLinear, LinearParams};
+    use dphls_seq::gen::ReadSimulator;
+
+    fn workload(n: usize, len: usize) -> Vec<(Vec<dphls_seq::Base>, Vec<dphls_seq::Base>)> {
+        let mut sim = ReadSimulator::new(7);
+        sim.read_pairs(n, len, 0.2)
+            .into_iter()
+            .map(|(r, mut q)| {
+                q.truncate(len);
+                (q.into_vec(), r.into_vec())
+            })
+            .collect()
+    }
+
+    fn device(npe: usize, nb: usize, nk: usize) -> Device {
+        Device::new(
+            KernelConfig::new(npe, nb, nk).with_max_lengths(128, 128),
+            CycleModelParams::dphls(),
+            KernelCycleInfo {
+                sym_bits: 2,
+                has_walk: true,
+                ii: 1,
+            },
+            250.0,
+        )
+    }
+
+    #[test]
+    fn report_shape() {
+        let wl = workload(5, 64);
+        let rep = device(8, 2, 2)
+            .run::<GlobalLinear>(&LinearParams::dna(), &wl)
+            .unwrap();
+        assert_eq!(rep.outputs.len(), 5);
+        assert!(rep.mean_cycles > 0.0);
+        assert!(rep.throughput_aps > 0.0);
+        assert_eq!(rep.freq_mhz, 250.0);
+        assert!(rep.total_cells >= 5 * 50 * 50);
+    }
+
+    #[test]
+    fn throughput_scales_with_nb() {
+        let wl = workload(4, 64);
+        let p = LinearParams::dna();
+        let t1 = device(8, 1, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
+        let t4 = device(8, 4, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
+        let t16 = device(8, 16, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
+        // NB scaling is nearly perfect until the arbiter binds (Fig 3C).
+        assert!((t4 / t1 - 4.0).abs() < 0.2, "t4/t1 = {}", t4 / t1);
+        assert!(t16 / t1 > 10.0);
+    }
+
+    #[test]
+    fn throughput_scales_sublinearly_with_npe_at_high_npe() {
+        let wl = workload(4, 128);
+        let p = LinearParams::dna();
+        let t2 = device(2, 4, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
+        let t8 = device(8, 4, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
+        let t64 = device(64, 4, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
+        // Early scaling is strong...
+        assert!(t8 / t2 > 2.0);
+        // ...but saturates near NPE = query length (Fig 3A).
+        assert!(t64 / t8 < 4.0);
+        assert!(t64 > t8);
+    }
+
+    #[test]
+    fn empty_workload_is_ok() {
+        let rep = device(8, 1, 1)
+            .run::<GlobalLinear>(&LinearParams::dna(), &[])
+            .unwrap();
+        assert!(rep.outputs.is_empty());
+        assert_eq!(rep.throughput_aps, 0.0);
+    }
+}

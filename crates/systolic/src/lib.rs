@@ -1,0 +1,47 @@
+//! The DP-HLS **back-end**: a cycle-level model of the hardware template the
+//! HLS flow generates (paper §5) — a linear systolic array of `NPE`
+//! processing elements with wavefront pipelining, partitioned score buffers,
+//! a preserved-row buffer between chunks, banked+coalesced traceback memory,
+//! per-PE best tracking with a reduction tree, and `NB`-block / `NK`-channel
+//! parallelism behind per-channel arbiters.
+//!
+//! Two things come out of a run:
+//!
+//! 1. the **functional result** — bit-identical to the reference engine
+//!    (`dphls_core::run_reference`), which stands in for the paper's
+//!    C-simulation and co-simulation checks, and
+//! 2. the **cycle count** — per-phase accounting of the schedule the paper
+//!    describes (sequential load → init → fill → reduce → traceback →
+//!    writeback in DP-HLS; load/init overlapped in the RTL baselines),
+//!    which is what throughput figures are derived from.
+//!
+//! # Example
+//!
+//! ```
+//! use dphls_systolic::run_systolic_ok;
+//! use dphls_core::{run_reference, Banding, KernelConfig};
+//! use dphls_kernels::{LocalLinear, LinearParams};
+//! use dphls_seq::DnaSeq;
+//!
+//! let q: DnaSeq = "CCCGATTACACCC".parse()?;
+//! let r: DnaSeq = "TTGATTACATT".parse()?;
+//! let params = LinearParams::<i16>::dna();
+//! let config = KernelConfig::new(4, 1, 1).with_max_lengths(16, 16);
+//! let hw = run_systolic_ok::<LocalLinear>(&params, q.as_slice(), r.as_slice(), &config);
+//! let sw = run_reference::<LocalLinear>(&params, q.as_slice(), r.as_slice(), Banding::None);
+//! assert_eq!(hw.output, sw); // the back-end is functionally exact
+//! # Ok::<(), dphls_seq::ParseSeqError>(())
+//! ```
+
+pub mod block;
+pub mod cycles;
+pub mod device;
+pub mod tbmem;
+
+pub use block::{run_systolic, run_systolic_ok, BlockStats, SystolicError, SystolicRun};
+pub use cycles::{
+    alignment_cycles, effective_cycles_per_alignment, throughput_aps, CycleBreakdown,
+    CycleModelParams, KernelCycleInfo,
+};
+pub use device::{Device, DeviceReport};
+pub use tbmem::TbMem;

@@ -1,0 +1,166 @@
+//! Banked traceback memory with address coalescing (paper §5.2).
+//!
+//! The back-end reorganizes the 2-D traceback matrix so the first dimension
+//! is `NPE` — one memory bank per PE — and consecutive **wavefronts** map to
+//! consecutive **addresses**. Every PE then writes its pointer to the *same*
+//! address in its own bank each cycle (regular access pattern, II = 1), and
+//! the bank/address for any matrix cell is recomputable during the walk:
+//!
+//! ```text
+//! cell (i, j), 1-based:   chunk  c = (i − 1) / NPE
+//!                         bank   k = (i − 1) % NPE
+//!                         wave   w = (j − 1) + k
+//!                         addr     = c · (R + NPE − 1) + w
+//! ```
+
+use dphls_core::TbPtr;
+
+/// Banked, coalesced traceback memory for one systolic block.
+#[derive(Debug, Clone)]
+pub struct TbMem {
+    npe: usize,
+    ref_len: usize,
+    banks: Vec<Vec<TbPtr>>,
+    writes: u64,
+}
+
+impl TbMem {
+    /// Creates memory for a block of `npe` PEs processing `chunks` query
+    /// chunks against a reference of `ref_len` symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(npe: usize, chunks: usize, ref_len: usize) -> Self {
+        assert!(npe > 0 && chunks > 0 && ref_len > 0, "TbMem dimensions must be non-zero");
+        let depth = chunks * Self::wavefronts_per_chunk(npe, ref_len);
+        Self {
+            npe,
+            ref_len,
+            banks: vec![vec![TbPtr::END; depth]; npe],
+            writes: 0,
+        }
+    }
+
+    /// Wavefronts per chunk: `R + NPE − 1` (the anti-diagonal count of an
+    /// `NPE × R` strip).
+    pub fn wavefronts_per_chunk(npe: usize, ref_len: usize) -> usize {
+        ref_len + npe - 1
+    }
+
+    /// Bank depth in entries (drives the BRAM model).
+    pub fn bank_depth(&self) -> usize {
+        self.banks[0].len()
+    }
+
+    /// Number of pointer writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// The coalesced address of matrix cell `(i, j)` (both 1-based).
+    pub fn addr_of(&self, i: usize, j: usize) -> (usize, usize) {
+        let c = (i - 1) / self.npe;
+        let k = (i - 1) % self.npe;
+        let w = (j - 1) + k;
+        (k, c * Self::wavefronts_per_chunk(self.npe, self.ref_len) + w)
+    }
+
+    /// Writes the pointer PE `k` produced at wavefront `w` of chunk `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address falls outside the bank.
+    pub fn write(&mut self, k: usize, c: usize, w: usize, ptr: TbPtr) {
+        let addr = c * Self::wavefronts_per_chunk(self.npe, self.ref_len) + w;
+        self.banks[k][addr] = ptr;
+        self.writes += 1;
+    }
+
+    /// Reads the pointer of matrix cell `(i, j)` (both 1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    pub fn read_cell(&self, i: usize, j: usize) -> TbPtr {
+        assert!(i >= 1 && j >= 1 && j <= self.ref_len, "cell out of range");
+        let (k, addr) = self.addr_of(i, j);
+        self.banks[k][addr]
+    }
+
+    /// Total stored pointer bits given a pointer width (BRAM sizing).
+    pub fn total_bits(&self, tb_bits: u32) -> u64 {
+        self.npe as u64 * self.bank_depth() as u64 * tb_bits as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_unique_per_bank() {
+        // Every matrix cell must map to a distinct (bank, addr) pair.
+        let (npe, chunks, r) = (4, 3, 7);
+        let mem = TbMem::new(npe, chunks, r);
+        let q = npe * chunks;
+        let mut seen = std::collections::HashSet::new();
+        for i in 1..=q {
+            for j in 1..=r {
+                let (k, addr) = mem.addr_of(i, j);
+                assert!(k < npe);
+                assert!(addr < mem.bank_depth(), "addr {addr} out of {}", mem.bank_depth());
+                assert!(seen.insert((k, addr)), "collision at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_consecutive_wavefronts_consecutive_addrs() {
+        let mem = TbMem::new(8, 2, 16);
+        // Moving one column right (same row) advances the wavefront, and the
+        // address, by exactly one.
+        let (k1, a1) = mem.addr_of(3, 5);
+        let (k2, a2) = mem.addr_of(3, 6);
+        assert_eq!(k1, k2);
+        assert_eq!(a2, a1 + 1);
+    }
+
+    #[test]
+    fn same_wavefront_same_address_across_banks() {
+        // Cells on one anti-diagonal of a chunk share the address in
+        // different banks — the "all PEs write the same address" property.
+        let mem = TbMem::new(4, 1, 8);
+        let (_, a1) = mem.addr_of(1, 4); // k=0, w=3
+        let (_, a2) = mem.addr_of(2, 3); // k=1, w=3
+        let (_, a3) = mem.addr_of(3, 2); // k=2, w=3
+        assert_eq!(a1, a2);
+        assert_eq!(a2, a3);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut mem = TbMem::new(4, 2, 8);
+        // cell (6, 3): chunk 1, bank 1, w = 2 + 1 = 3
+        let (k, _) = mem.addr_of(6, 3);
+        assert_eq!(k, 1);
+        mem.write(1, 1, 3, TbPtr::DIAG);
+        assert_eq!(mem.read_cell(6, 3), TbPtr::DIAG);
+        assert_eq!(mem.writes(), 1);
+        // Unwritten cells default to END.
+        assert_eq!(mem.read_cell(1, 1), TbPtr::END);
+    }
+
+    #[test]
+    fn total_bits_scale_with_width() {
+        let mem = TbMem::new(8, 4, 16);
+        assert_eq!(mem.total_bits(2), 8 * (4 * 23) as u64 * 2);
+        assert_eq!(mem.total_bits(7), mem.total_bits(1) * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_panic() {
+        TbMem::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based differential verification: random sequences, geometries,
+//! and band widths must never separate the systolic engine from the
+//! reference engine, across kernels with different layer counts, objectives,
+//! and traceback strategies.
+
+use dphls_core::{run_reference, Banding, KernelConfig};
+use dphls_kernels::{
+    AffineParams, GlobalAffine, GlobalTwoPiece, LinearParams, LocalLinear, NoParams, Overlap,
+    Sdtw, SemiGlobal, TwoPieceParams,
+};
+use dphls_seq::Base;
+use dphls_systolic::run_systolic;
+use proptest::prelude::*;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<Base>> {
+    proptest::collection::vec((0u8..4).prop_map(Base::from_code), 1..max_len)
+}
+
+fn signal(max_len: usize) -> impl Strategy<Value = Vec<i16>> {
+    proptest::collection::vec(0i16..1024, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn overlap_matches(q in dna(36), r in dna(36), npe in 1usize..8) {
+        let p = LinearParams::<i16>::dna();
+        let max = q.len().max(r.len());
+        let cfg = KernelConfig::new(npe.min(q.len()), 1, 1).with_max_lengths(max, max);
+        let hw = run_systolic::<Overlap<i16>>(&p, &q, &r, &cfg).unwrap();
+        let sw = run_reference::<Overlap<i16>>(&p, &q, &r, Banding::None);
+        prop_assert_eq!(hw.output, sw);
+    }
+
+    #[test]
+    fn semi_global_matches(q in dna(36), r in dna(36), npe in 1usize..8) {
+        let p = LinearParams::<i16>::dna();
+        let max = q.len().max(r.len());
+        let cfg = KernelConfig::new(npe.min(q.len()), 1, 1).with_max_lengths(max, max);
+        let hw = run_systolic::<SemiGlobal<i16>>(&p, &q, &r, &cfg).unwrap();
+        let sw = run_reference::<SemiGlobal<i16>>(&p, &q, &r, Banding::None);
+        prop_assert_eq!(hw.output, sw);
+    }
+
+    #[test]
+    fn two_piece_matches(q in dna(32), r in dna(32), npe in 1usize..8) {
+        let p = TwoPieceParams::<i16>::dna();
+        let max = q.len().max(r.len());
+        let cfg = KernelConfig::new(npe.min(q.len()), 1, 1).with_max_lengths(max, max);
+        let hw = run_systolic::<GlobalTwoPiece<i16>>(&p, &q, &r, &cfg).unwrap();
+        let sw = run_reference::<GlobalTwoPiece<i16>>(&p, &q, &r, Banding::None);
+        prop_assert_eq!(hw.output, sw);
+    }
+
+    #[test]
+    fn banded_affine_matches(
+        q in dna(32),
+        r in dna(32),
+        npe in 1usize..8,
+        hw_band in 2usize..24,
+    ) {
+        let p = AffineParams::<i16>::dna();
+        let max = q.len().max(r.len());
+        let banding = Banding::Fixed { half_width: hw_band };
+        let cfg = KernelConfig {
+            banding,
+            ..KernelConfig::new(npe.min(q.len()), 1, 1).with_max_lengths(max, max)
+        };
+        let hw = run_systolic::<GlobalAffine<i16>>(&p, &q, &r, &cfg).unwrap();
+        let sw = run_reference::<GlobalAffine<i16>>(&p, &q, &r, banding);
+        prop_assert_eq!(hw.output, sw);
+    }
+
+    #[test]
+    fn sdtw_matches_and_is_nonnegative(
+        q in signal(24),
+        r in signal(48),
+        npe in 1usize..8,
+    ) {
+        let max = q.len().max(r.len());
+        let cfg = KernelConfig::new(npe.min(q.len()), 1, 1).with_max_lengths(max, max);
+        let hw = run_systolic::<Sdtw<i32>>(&NoParams, &q, &r, &cfg).unwrap();
+        let sw = run_reference::<Sdtw<i32>>(&NoParams, &q, &r, Banding::None);
+        prop_assert_eq!(hw.output.clone(), sw);
+        prop_assert!(hw.output.best_score >= 0);
+    }
+
+    #[test]
+    fn local_best_cell_is_stable_across_npe(q in dna(40), r in dna(40)) {
+        // The reduction tie-break must make the best-cell choice independent
+        // of the array geometry.
+        let p = LinearParams::<i16>::dna();
+        let max = q.len().max(r.len());
+        let mut cells = Vec::new();
+        for npe in [1usize, 3, 8] {
+            let cfg = KernelConfig::new(npe.min(q.len()), 1, 1).with_max_lengths(max, max);
+            let out = run_systolic::<LocalLinear<i16>>(&p, &q, &r, &cfg).unwrap();
+            cells.push((out.output.best_score, out.output.best_cell));
+        }
+        prop_assert_eq!(cells[0], cells[1]);
+        prop_assert_eq!(cells[1], cells[2]);
+    }
+
+    #[test]
+    fn stats_geometry_invariants(q in dna(48), r in dna(48), npe in 1usize..12) {
+        let p = LinearParams::<i16>::dna();
+        let max = q.len().max(r.len());
+        let npe = npe.min(q.len());
+        let cfg = KernelConfig::new(npe, 1, 1).with_max_lengths(max, max);
+        let run = run_systolic::<LocalLinear<i16>>(&p, &q, &r, &cfg).unwrap();
+        // Unbanded: every cell computed, active-wavefront count per chunk is
+        // r + rows_in_chunk - 1 (partial last chunks issue fewer).
+        prop_assert_eq!(run.stats.cells, (q.len() * r.len()) as u64);
+        prop_assert_eq!(run.stats.chunks, q.len().div_ceil(npe) as u64);
+        let expected: u64 = (0..q.len().div_ceil(npe))
+            .map(|c| (r.len() + npe.min(q.len() - c * npe) - 1) as u64)
+            .sum();
+        prop_assert_eq!(run.stats.wavefronts, expected);
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared utilities for the DP-HLS reproduction: deterministic PRNGs, small
+//! statistics helpers, and ASCII table rendering used by the experiment harness.
+//!
+//! Everything here is dependency-free and deterministic so that workloads and
+//! experiment outputs are bit-reproducible across runs and machines.
+//!
+//! # Example
+//!
+//! ```
+//! use dphls_util::{Xoshiro256, mean};
+//! let mut rng = Xoshiro256::seed_from_u64(42);
+//! let xs: Vec<f64> = (0..8).map(|_| rng.next_f64()).collect();
+//! assert!(mean(&xs) > 0.0 && mean(&xs) < 1.0);
+//! ```
+
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use rng::{SplitMix64, Xoshiro256};
+pub use stats::{geomean, mean, median, stddev};
+pub use table::{pct, sci, Align, Table};

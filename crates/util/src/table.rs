@@ -1,0 +1,205 @@
+//! ASCII table rendering for experiment output.
+//!
+//! The experiment binaries print paper-style tables (Table 2, the figure
+//! series) to stdout; this module keeps the formatting in one place.
+
+use std::fmt;
+
+/// Column alignment within a [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-justified (text columns).
+    Left,
+    /// Right-justified (numeric columns).
+    Right,
+}
+
+/// A simple monospace table builder.
+///
+/// # Example
+///
+/// ```
+/// use dphls_util::Table;
+/// let mut t = Table::new(vec!["kernel".into(), "aln/s".into()]);
+/// t.row(vec!["#1 Global Linear".into(), "3.51e6".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("kernel"));
+/// assert!(s.contains("3.51e6"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers (all right-aligned except
+    /// the first column, matching the paper's layout).
+    pub fn new(headers: Vec<String>) -> Self {
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Self {
+            headers,
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a caption printed above the table.
+    pub fn title(&mut self, t: impl Into<String>) -> &mut Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Overrides per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligns.len()` differs from the header count.
+    pub fn aligns(&mut self, aligns: Vec<Align>) -> &mut Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment/header mismatch");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row/header length mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows added so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        if let Some(t) = &self.title {
+            writeln!(f, "{t}")?;
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..ncols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                let cell = &cells[i];
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{cell}{}", " ".repeat(pad))?,
+                    Align::Right => write!(f, "{}{cell}", " ".repeat(pad))?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a throughput in the paper's scientific style, e.g. `3.51e6`.
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let exp = x.abs().log10().floor() as i32;
+    let mant = x / 10f64.powi(exp);
+    format!("{mant:.2}e{exp}")
+}
+
+/// Formats a fraction as a percentage with two decimals, e.g. `1.78%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.3}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_rows() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yy".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("a"));
+        assert!(s.contains("yy"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn right_alignment_pads_left() {
+        let mut t = Table::new(vec!["k".into(), "v".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["y".into(), "100".into()]);
+        let s = t.to_string();
+        let last = s.lines().last().unwrap();
+        assert!(last.contains("100"));
+        let one_line = s.lines().nth(2).unwrap();
+        assert!(one_line.ends_with('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn row_length_checked() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["x".into(), "extra".into()]);
+    }
+
+    #[test]
+    fn sci_matches_paper_style() {
+        assert_eq!(sci(3_510_000.0), "3.51e6");
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(23_100.0), "2.31e4");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0178), "1.780%");
+    }
+
+    #[test]
+    fn title_is_printed() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.title("Table 2");
+        t.row(vec!["x".into()]);
+        assert!(t.to_string().starts_with("Table 2"));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = Table::new(vec!["a".into()]);
+        assert!(t.is_empty());
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

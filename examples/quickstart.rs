@@ -1,0 +1,88 @@
+//! Quickstart: specify a kernel through the DP-HLS front-end, run it on the
+//! modeled systolic back-end, and "synthesize" it onto the virtual AWS F1
+//! FPGA — the complete Fig 2A flow in one file.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dp_hls::core::CountingScore;
+use dp_hls::kernels::registry::measure_pe;
+use dp_hls::kernels::ToCounting;
+use dp_hls::prelude::*;
+use dp_hls::systolic::{alignment_cycles, effective_cycles_per_alignment, throughput_aps};
+
+fn main() {
+    // ---- workload (paper §6.1): a reference window and a noisy read -----
+    let mut sim = ReadSimulator::new(2024);
+    let (reference, read) = sim.read_pair(256, 0.30);
+    println!("reference: {} bp, read: {} bp", reference.len(), read.len());
+
+    // ---- front-end: kernel #2 (Global Affine) with its ScoringParams ----
+    let params = AffineParams::<i16>::dna();
+
+    // ---- C-simulation: the functional golden run ------------------------
+    let golden = run_reference::<GlobalAffine<i16>>(
+        &params,
+        read.as_slice(),
+        reference.as_slice(),
+        Banding::None,
+    );
+    println!("C-sim score: {}", golden.best_score);
+
+    // ---- co-simulation: the cycle-level systolic array -------------------
+    let config = KernelConfig::new(32, 16, 4).with_max_lengths(384, 256);
+    let run = run_systolic_ok::<GlobalAffine<i16>>(
+        &params,
+        read.as_slice(),
+        reference.as_slice(),
+        &config,
+    );
+    assert_eq!(run.output, golden, "back-end must match the golden model");
+    let aln = run.output.alignment.as_ref().expect("global kernel has a path");
+    println!(
+        "co-sim: score {}, identity {:.1}%, cigar {}...",
+        run.output.best_score,
+        100.0 * aln.identity(read.as_slice(), reference.as_slice()).unwrap_or(0.0),
+        &aln.cigar()[..aln.cigar().len().min(60)]
+    );
+
+    // ---- C-synthesis: instrument the PE and model the hardware ----------
+    let counts = measure_pe::<GlobalAffine<CountingScore<i16>>>(
+        &params.to_counting(),
+        Base::A,
+        Base::C,
+    );
+    println!("PE operator mix: {counts}");
+    let profile = KernelProfile {
+        op_counts: counts,
+        score_bits: 16,
+        sym_bits: 2,
+        tb_bits: 4,
+        n_layers: 3,
+        walk: Some(WalkKind::Global),
+        param_table_bits: 64,
+    };
+    let report = synthesize(&profile, &config, None);
+    println!(
+        "synthesis: II={}, fmax={} MHz, block LUT={} FF={} BRAM={} DSP={}, fits={}",
+        report.ii,
+        report.fmax_mhz,
+        report.block.lut,
+        report.block.ff,
+        report.block.bram36,
+        report.block.dsp,
+        report.fits
+    );
+
+    // ---- throughput: NB x NK blocks at fmax ------------------------------
+    let kinfo = report.cycle_info(2, true);
+    let b = alignment_cycles(&run.stats, &kinfo, &CycleModelParams::dphls());
+    let cycles = effective_cycles_per_alignment(&b, &config);
+    println!(
+        "modeled device throughput: {:.3e} alignments/s ({} cycles/alignment, {} blocks)",
+        throughput_aps(cycles, report.fmax_mhz, &config),
+        cycles,
+        config.total_blocks()
+    );
+}

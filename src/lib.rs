@@ -1,0 +1,91 @@
+//! # dp-hls
+//!
+//! A comprehensive Rust reproduction of **DP-HLS** (Cao, Gupta, Liang,
+//! Turakhia — *"DP-HLS: A High-Level Synthesis Framework for Accelerating
+//! Dynamic Programming Algorithms in Bioinformatics"*, HPCA 2026,
+//! arXiv:2411.03398).
+//!
+//! DP-HLS separates a **front-end** — where a 2-D dynamic-programming kernel
+//! is specified by its alphabet, scoring layers, parameters, PE recurrence,
+//! traceback FSM, and banding — from a **back-end** that lowers any such
+//! specification onto a linear systolic array of `NPE` processing elements
+//! with `NB`-block / `NK`-channel parallelism on an AWS F1 FPGA. With no
+//! synthesis toolchain reachable from Rust, this reproduction implements the
+//! front-end as the [`core::KernelSpec`] trait and the back-end as a
+//! cycle-level simulator plus structural resource/frequency models of the
+//! `xcvu9p` device; all 15 kernels of the paper's Table 1 and every
+//! table/figure of its evaluation are reproduced on top (see DESIGN.md and
+//! EXPERIMENTS.md).
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Role |
+//! |--------|-------|------|
+//! | [`core`] | `dphls-core` | front-end: [`core::KernelSpec`], scores, traceback, reference engine, instrumentation |
+//! | [`kernels`] | `dphls-kernels` | the 15 Table 1 kernels + registry |
+//! | [`systolic`] | `dphls-systolic` | back-end: systolic block engine, cycle model, device |
+//! | [`fpga`] | `dphls-fpga` | virtual `xcvu9p`: resources, II, fmax, synthesis flow |
+//! | [`seq`] | `dphls-seq` | alphabets, sequences, dataset generators |
+//! | [`baselines`] | `dphls-baselines` | CPU/RTL/HLS/GPU baselines + iso-cost |
+//! | [`host`] | `dphls-host` | batch scheduler, GACT-style long-read tiling |
+//! | [`fixed`] | `dphls-fixed` | `ap_fixed` / `ap_uint` stand-ins |
+//! | [`util`] | `dphls-util` | PRNG, stats, tables |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dp_hls::prelude::*;
+//!
+//! // 1. A workload: reference window + noisy read (paper §6.1 shape).
+//! let mut sim = ReadSimulator::new(7);
+//! let (reference, read) = sim.read_pair(128, 0.2);
+//!
+//! // 2. Front-end: pick a kernel and its ScoringParams.
+//! let params = AffineParams::<i16>::dna();
+//!
+//! // 3. Back-end: run it on a modeled 32-PE systolic block.
+//! let config = KernelConfig::new(32, 1, 1).with_max_lengths(192, 192);
+//! let run = run_systolic::<GlobalAffine<i16>>(
+//!     &params, read.as_slice(), reference.as_slice(), &config)?;
+//! println!("score {:?}, cigar {}",
+//!          run.output.best_score,
+//!          run.output.alignment.as_ref().unwrap().cigar());
+//! # Ok::<(), dp_hls::systolic::SystolicError>(())
+//! ```
+//!
+//! Run the paper's experiments with
+//! `cargo run -p dphls-bench --bin all_experiments`.
+
+pub use dphls_baselines as baselines;
+pub use dphls_core as core;
+pub use dphls_fixed as fixed;
+pub use dphls_fpga as fpga;
+pub use dphls_host as host;
+pub use dphls_kernels as kernels;
+pub use dphls_seq as seq;
+pub use dphls_systolic as systolic;
+pub use dphls_util as util;
+
+/// The most common imports for working with the framework.
+pub mod prelude {
+    pub use dphls_core::{
+        run_reference, Banding, KernelConfig, KernelMeta, KernelSpec, LayerVec, Objective,
+        Score, TbMove, TbPtr, TbState, TracebackSpec, WalkKind,
+    };
+    pub use dphls_fpga::{synthesize, KernelProfile, XCVU9P};
+    pub use dphls_host::tiling::{tiled_global_affine, TilingConfig};
+    pub use dphls_kernels::{
+        AffineParams, BandedGlobalLinear, BandedGlobalTwoPiece, BandedLocalAffine, Dtw,
+        GlobalAffine, GlobalLinear, GlobalTwoPiece, LinearParams, LocalAffine, LocalLinear,
+        NoParams, Overlap, ProfileAlign, ProfileParams, ProteinLocal, ProteinParams, Sdtw,
+        SemiGlobal, TwoPieceParams, Viterbi, ViterbiParams,
+    };
+    pub use dphls_seq::{
+        gen::{ComplexSignalGenerator, GenomeGenerator, ProfileBuilder, ProteinSampler,
+              ReadSimulator, SquiggleSimulator},
+        AminoAcid, Base, Complex, DnaSeq, ProteinSeq, Sequence,
+    };
+    pub use dphls_systolic::{
+        run_systolic, run_systolic_ok, CycleModelParams, Device, KernelCycleInfo,
+    };
+}

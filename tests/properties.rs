@@ -1,0 +1,164 @@
+//! Property-based integration tests: classic alignment identities and the
+//! systolic ≡ reference equivalence under randomized sequences, parameters,
+//! and array geometries.
+
+use dp_hls::core::{run_reference, Banding, KernelConfig};
+use dp_hls::prelude::*;
+use dp_hls::systolic::run_systolic;
+use proptest::prelude::*;
+
+fn dna_strategy(max_len: usize) -> impl Strategy<Value = Vec<Base>> {
+    proptest::collection::vec((0u8..4).prop_map(Base::from_code), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn systolic_equals_reference_global_linear(
+        q in dna_strategy(48),
+        r in dna_strategy(48),
+        npe in 1usize..9,
+        ma in 1i32..4,
+        mi in -4i32..0,
+        gap in -4i32..0,
+    ) {
+        let params = LinearParams::<i32> { match_score: ma, mismatch: mi, gap };
+        let max_len = q.len().max(r.len());
+        let cfg = KernelConfig::new(npe.min(q.len()), 1, 1).with_max_lengths(max_len, max_len);
+        let hw = run_systolic::<GlobalLinear<i32>>(&params, &q, &r, &cfg).unwrap();
+        let sw = run_reference::<GlobalLinear<i32>>(&params, &q, &r, Banding::None);
+        prop_assert_eq!(hw.output, sw);
+    }
+
+    #[test]
+    fn systolic_equals_reference_local_affine(
+        q in dna_strategy(40),
+        r in dna_strategy(40),
+        npe in 1usize..8,
+    ) {
+        let params = AffineParams::<i16>::dna();
+        let max_len = q.len().max(r.len());
+        let cfg = KernelConfig::new(npe.min(q.len()), 1, 1).with_max_lengths(max_len, max_len);
+        let hw = run_systolic::<LocalAffine<i16>>(&params, &q, &r, &cfg).unwrap();
+        let sw = run_reference::<LocalAffine<i16>>(&params, &q, &r, Banding::None);
+        prop_assert_eq!(hw.output, sw);
+    }
+
+    #[test]
+    fn nw_score_is_symmetric(q in dna_strategy(40), r in dna_strategy(40)) {
+        let params = LinearParams::<i32>::dna();
+        let a = run_reference::<GlobalLinear<i32>>(&params, &q, &r, Banding::None).best_score;
+        let b = run_reference::<GlobalLinear<i32>>(&params, &r, &q, Banding::None).best_score;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sw_score_bounds(q in dna_strategy(40), r in dna_strategy(40)) {
+        let params = LinearParams::<i32>::dna();
+        let out = run_reference::<LocalLinear<i32>>(&params, &q, &r, Banding::None);
+        // Local score is non-negative and bounded by all-match.
+        prop_assert!(out.best_score >= 0);
+        let bound = params.match_score * q.len().min(r.len()) as i32;
+        prop_assert!(out.best_score <= bound);
+        // Local >= global: a local alignment may always take the global one.
+        let global = run_reference::<GlobalLinear<i32>>(&params, &q, &r, Banding::None);
+        prop_assert!(out.best_score >= global.best_score);
+    }
+
+    #[test]
+    fn identical_sequences_score_perfectly(q in dna_strategy(48)) {
+        let params = LinearParams::<i32>::dna();
+        let out = run_reference::<GlobalLinear<i32>>(&params, &q, &q, Banding::None);
+        prop_assert_eq!(out.best_score, params.match_score * q.len() as i32);
+        let aln = out.alignment.unwrap();
+        prop_assert_eq!(aln.op_counts(), (q.len(), 0, 0));
+    }
+
+    #[test]
+    fn wide_band_equals_unbanded(q in dna_strategy(32), r in dna_strategy(32)) {
+        let params = LinearParams::<i16>::dna();
+        let w = q.len().max(r.len());
+        let banded = run_reference::<BandedGlobalLinear<i16>>(
+            &params, &q, &r, Banding::Fixed { half_width: w });
+        let full = run_reference::<GlobalLinear<i16>>(&params, &q, &r, Banding::None);
+        prop_assert_eq!(banded.best_score, full.best_score);
+        prop_assert_eq!(banded.alignment, full.alignment);
+    }
+
+    #[test]
+    fn narrower_bands_never_improve_global_score(
+        q in dna_strategy(32),
+        r in dna_strategy(32),
+    ) {
+        let params = LinearParams::<i16>::dna();
+        let len_gap = q.len().abs_diff(r.len());
+        let mut last = None;
+        // Widening the band can only improve (or keep) the max score.
+        for w in [len_gap + 1, len_gap + 4, len_gap + 16, len_gap + 32] {
+            let out = run_reference::<BandedGlobalLinear<i16>>(
+                &params, &q, &r, Banding::Fixed { half_width: w });
+            if let Some(prev) = last {
+                prop_assert!(out.best_score >= prev, "band {w}: {} < {prev}", out.best_score);
+            }
+            last = Some(out.best_score);
+        }
+    }
+
+    #[test]
+    fn affine_never_beats_linear_with_matching_unit_costs(
+        q in dna_strategy(32),
+        r in dna_strategy(32),
+    ) {
+        // With open = extend = gap, affine == linear exactly.
+        let lp = LinearParams::<i32> { match_score: 2, mismatch: -1, gap: -2 };
+        let ap = AffineParams::<i32> {
+            match_score: 2, mismatch: -1, gap_open: -2, gap_extend: -2,
+        };
+        let lin = run_reference::<GlobalLinear<i32>>(&lp, &q, &r, Banding::None);
+        let aff = run_reference::<GlobalAffine<i32>>(&ap, &q, &r, Banding::None);
+        prop_assert_eq!(lin.best_score, aff.best_score);
+    }
+
+    #[test]
+    fn alignment_paths_are_structurally_valid(
+        q in dna_strategy(40),
+        r in dna_strategy(40),
+    ) {
+        let params = LinearParams::<i32>::dna();
+        for banding in [Banding::None, Banding::Fixed { half_width: 48 }] {
+            let out = run_reference::<GlobalLinear<i32>>(&params, &q, &r, banding);
+            let aln = out.alignment.unwrap();
+            prop_assert!(aln.is_consistent());
+            prop_assert_eq!(aln.start(), (0, 0));
+            prop_assert_eq!(aln.end(), (q.len(), r.len()));
+            prop_assert_eq!(aln.query_span(), q.len());
+            prop_assert_eq!(aln.ref_span(), r.len());
+        }
+    }
+
+    #[test]
+    fn sdtw_min_is_bounded_by_any_window_cost(
+        qlen in 2usize..12,
+        rlen in 16usize..40,
+        seed in 0u64..1000,
+    ) {
+        // The semi-global DTW minimum over the last row can never exceed
+        // the cost of aligning the query 1:1 against any window.
+        let mut rng = dp_hls::util::Xoshiro256::seed_from_u64(seed);
+        let q: Vec<i16> = (0..qlen).map(|_| rng.next_range(200) as i16).collect();
+        let r: Vec<i16> = (0..rlen).map(|_| rng.next_range(200) as i16).collect();
+        let out = run_reference::<Sdtw<i32>>(&NoParams, &q, &r, Banding::None);
+        let mut best_window = i32::MAX;
+        for start in 0..=(rlen - qlen) {
+            let cost: i32 = q
+                .iter()
+                .zip(&r[start..start + qlen])
+                .map(|(&a, &b)| (a as i32 - b as i32).abs())
+                .sum();
+            best_window = best_window.min(cost);
+        }
+        prop_assert!(out.best_score <= best_window,
+            "sDTW {} > diagonal window bound {best_window}", out.best_score);
+    }
+}
