@@ -74,7 +74,11 @@ mod tests {
 
     #[test]
     fn identity_roundtrip() {
-        let t = iso_cost(iso_cost(5e5, P3_2XLARGE, F1_2XLARGE), F1_2XLARGE, P3_2XLARGE);
+        let t = iso_cost(
+            iso_cost(5e5, P3_2XLARGE, F1_2XLARGE),
+            F1_2XLARGE,
+            P3_2XLARGE,
+        );
         assert!((t - 5e5).abs() < 1e-6);
     }
 }

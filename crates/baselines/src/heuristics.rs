@@ -32,9 +32,17 @@ pub struct PrunedRun {
 /// # Panics
 ///
 /// Panics if `width` is zero or either sequence is empty.
-pub fn adaptive_banded_nw(q: &[Base], r: &[Base], p: &LinearParams<i32>, width: usize) -> PrunedRun {
+pub fn adaptive_banded_nw(
+    q: &[Base],
+    r: &[Base],
+    p: &LinearParams<i32>,
+    width: usize,
+) -> PrunedRun {
     assert!(width > 0, "band width must be non-zero");
-    assert!(!q.is_empty() && !r.is_empty(), "sequences must be non-empty");
+    assert!(
+        !q.is_empty() && !r.is_empty(),
+        "sequences must be non-empty"
+    );
     let n = r.len();
     // row holds H(i, j) for the previous row over 0..=n; out-of-band = NEG.
     let mut prev: Vec<i32> = (0..=n).map(|j| j as i32 * p.gap).collect();
@@ -44,11 +52,19 @@ pub fn adaptive_banded_nw(q: &[Base], r: &[Base], p: &LinearParams<i32>, width: 
         let lo = center.saturating_sub(width).max(1);
         let hi = (center + width + 1).min(n);
         let mut cur = vec![NEG; n + 1];
-        cur[0] = if i + 1 <= width { (i as i32 + 1) * p.gap } else { NEG };
+        cur[0] = if i < width {
+            (i as i32 + 1) * p.gap
+        } else {
+            NEG
+        };
         let mut best_col = lo;
         let mut best_val = NEG;
         for j in lo..=hi {
-            let sub = if qc == r[j - 1] { p.match_score } else { p.mismatch };
+            let sub = if qc == r[j - 1] {
+                p.match_score
+            } else {
+                p.mismatch
+            };
             let m = (prev[j - 1] + sub)
                 .max(prev[j] + p.gap)
                 .max(cur[j - 1] + p.gap);
@@ -78,7 +94,10 @@ pub fn adaptive_banded_nw(q: &[Base], r: &[Base], p: &LinearParams<i32>, width: 
 /// Panics if `x` is negative or either sequence is empty.
 pub fn xdrop_extend(q: &[Base], r: &[Base], p: &LinearParams<i32>, x: i32) -> PrunedRun {
     assert!(x >= 0, "x-drop threshold must be non-negative");
-    assert!(!q.is_empty() && !r.is_empty(), "sequences must be non-empty");
+    assert!(
+        !q.is_empty() && !r.is_empty(),
+        "sequences must be non-empty"
+    );
     let n = r.len();
     let mut prev: Vec<i32> = vec![NEG; n + 1];
     // Row 0: the boundary ramp, pruned by X against score 0.
@@ -97,7 +116,7 @@ pub fn xdrop_extend(q: &[Base], r: &[Base], p: &LinearParams<i32>, x: i32) -> Pr
         if lo == 0 && v0 >= best - x {
             cur[0] = v0;
         }
-        let row_lo = lo.max(0);
+        let row_lo = lo;
         let row_hi = (hi + 1).min(n);
         let mut new_lo = usize::MAX;
         let mut new_hi = 0usize;
@@ -108,7 +127,11 @@ pub fn xdrop_extend(q: &[Base], r: &[Base], p: &LinearParams<i32>, x: i32) -> Pr
             if diag == NEG && up == NEG && left == NEG {
                 continue;
             }
-            let sub = if qc == r[j - 1] { p.match_score } else { p.mismatch };
+            let sub = if qc == r[j - 1] {
+                p.match_score
+            } else {
+                p.mismatch
+            };
             let m = (diag.saturating_add(sub))
                 .max(up.saturating_add(p.gap))
                 .max(left.saturating_add(p.gap));

@@ -33,8 +33,7 @@ pub fn hls_baseline_config() -> KernelConfig {
 /// Builds the Vitis-Genomics-style device model for kernel #3's shape.
 pub fn hls_baseline_device(sym_bits: u32) -> Device {
     let params = CycleModelParams {
-        invocation_overhead: CycleModelParams::dphls().invocation_overhead
-            + STREAMING_STALL_CYCLES,
+        invocation_overhead: CycleModelParams::dphls().invocation_overhead + STREAMING_STALL_CYCLES,
         ..CycleModelParams::dphls()
     };
     Device::new(
@@ -82,8 +81,14 @@ mod tests {
             250.0,
         );
         let baseline = hls_baseline_device(2);
-        let t_dphls = dphls.run::<LocalLinear>(&params, &wl).unwrap().throughput_aps;
-        let t_base = baseline.run::<LocalLinear>(&params, &wl).unwrap().throughput_aps;
+        let t_dphls = dphls
+            .run::<LocalLinear>(&params, &wl)
+            .unwrap()
+            .throughput_aps;
+        let t_base = baseline
+            .run::<LocalLinear>(&params, &wl)
+            .unwrap()
+            .throughput_aps;
         let speedup = t_dphls / t_base;
         // Paper: +32.6%. The model must land in the same regime.
         assert!(

@@ -95,7 +95,11 @@ pub fn rtl_device(design: RtlDesign, case: &CaseInfo, config: &KernelConfig) -> 
 /// block estimate minus the generality overheads (no TB-address DSPs — the
 /// baselines hardwire their address generators into LUTs — and leaner
 /// control).
-pub fn rtl_resources(design: RtlDesign, profile: &KernelProfile, config: &KernelConfig) -> Resources {
+pub fn rtl_resources(
+    design: RtlDesign,
+    profile: &KernelProfile,
+    config: &KernelConfig,
+) -> Resources {
     let hls = dphls_fpga::estimate_block(profile, config);
     let _ = design;
     Resources {

@@ -43,7 +43,10 @@ pub fn sw_score(q: &[Base], r: &[Base], p: &LinearParams<i32>) -> i32 {
         row[0] = 0;
         for (j, &rc) in r.iter().enumerate() {
             let sub = if qc == rc { p.match_score } else { p.mismatch };
-            let m = 0.max(diag + sub).max(row[j + 1] + p.gap).max(row[j] + p.gap);
+            let m = 0
+                .max(diag + sub)
+                .max(row[j + 1] + p.gap)
+                .max(row[j] + p.gap);
             diag = row[j + 1];
             row[j + 1] = m;
             best = best.max(m);
@@ -135,10 +138,7 @@ pub fn affine_local_score(q: &[Base], r: &[Base], p: &AffineParams<i32>) -> i32 
             let sub = if qc == rc { p.match_score } else { p.mismatch };
             cur_i[j + 1] = (prev_h[j + 1] + p.gap_open).max(prev_i[j + 1] + p.gap_extend);
             cur_d[j + 1] = (cur_h[j] + p.gap_open).max(cur_d[j] + p.gap_extend);
-            cur_h[j + 1] = 0
-                .max(prev_h[j] + sub)
-                .max(cur_i[j + 1])
-                .max(cur_d[j + 1]);
+            cur_h[j + 1] = 0.max(prev_h[j] + sub).max(cur_i[j + 1]).max(cur_d[j + 1]);
             best = best.max(cur_h[j + 1]);
         }
         std::mem::swap(&mut prev_h, &mut cur_h);
@@ -218,12 +218,7 @@ pub fn banded_nw_score(q: &[Base], r: &[Base], p: &LinearParams<i32>, w: usize) 
 }
 
 /// Banded local affine score (the BSW workload shape, #12).
-pub fn banded_affine_local_score(
-    q: &[Base],
-    r: &[Base],
-    p: &AffineParams<i32>,
-    w: usize,
-) -> i32 {
+pub fn banded_affine_local_score(q: &[Base], r: &[Base], p: &AffineParams<i32>, w: usize) -> i32 {
     let n = r.len();
     let mut prev_h = vec![0i32; n + 1];
     let mut prev_i = vec![NEG; n + 1];
@@ -334,7 +329,12 @@ mod tests {
     fn nw_matches_reference_engine() {
         let p = LinearParams::<i32>::dna();
         for (q, r) in pairs(6, 48) {
-            let want = run_reference::<kn::GlobalLinear<i32>>(&p, q.as_slice(), r.as_slice(), Banding::None);
+            let want = run_reference::<kn::GlobalLinear<i32>>(
+                &p,
+                q.as_slice(),
+                r.as_slice(),
+                Banding::None,
+            );
             assert_eq!(nw_score(q.as_slice(), r.as_slice(), &p), want.best_score);
         }
     }
@@ -343,7 +343,12 @@ mod tests {
     fn sw_matches_reference_engine() {
         let p = LinearParams::<i32>::dna();
         for (q, r) in pairs(6, 48) {
-            let want = run_reference::<kn::LocalLinear<i32>>(&p, q.as_slice(), r.as_slice(), Banding::None);
+            let want = run_reference::<kn::LocalLinear<i32>>(
+                &p,
+                q.as_slice(),
+                r.as_slice(),
+                Banding::None,
+            );
             assert_eq!(sw_score(q.as_slice(), r.as_slice(), &p), want.best_score);
         }
     }
@@ -354,7 +359,10 @@ mod tests {
         for (q, r) in pairs(5, 40) {
             let want_o =
                 run_reference::<kn::Overlap<i32>>(&p, q.as_slice(), r.as_slice(), Banding::None);
-            assert_eq!(overlap_score(q.as_slice(), r.as_slice(), &p), want_o.best_score);
+            assert_eq!(
+                overlap_score(q.as_slice(), r.as_slice(), &p),
+                want_o.best_score
+            );
             let want_s =
                 run_reference::<kn::SemiGlobal<i32>>(&p, q.as_slice(), r.as_slice(), Banding::None);
             assert_eq!(
@@ -368,14 +376,22 @@ mod tests {
     fn affine_matches_reference_engine() {
         let p = AffineParams::<i32>::dna();
         for (q, r) in pairs(6, 40) {
-            let want_g =
-                run_reference::<kn::GlobalAffine<i32>>(&p, q.as_slice(), r.as_slice(), Banding::None);
+            let want_g = run_reference::<kn::GlobalAffine<i32>>(
+                &p,
+                q.as_slice(),
+                r.as_slice(),
+                Banding::None,
+            );
             assert_eq!(
                 affine_global_score(q.as_slice(), r.as_slice(), &p),
                 want_g.best_score
             );
-            let want_l =
-                run_reference::<kn::LocalAffine<i32>>(&p, q.as_slice(), r.as_slice(), Banding::None);
+            let want_l = run_reference::<kn::LocalAffine<i32>>(
+                &p,
+                q.as_slice(),
+                r.as_slice(),
+                Banding::None,
+            );
             assert_eq!(
                 affine_local_score(q.as_slice(), r.as_slice(), &p),
                 want_l.best_score

@@ -1,14 +1,19 @@
 //! Runs every experiment in DESIGN.md's per-experiment index and prints the
 //! full paper-vs-measured report (the source of EXPERIMENTS.md's tables).
 
-use dphls_bench::experiments::{ablation, explore, fig3, fig4, fig5, fig6, productivity, sec75, table2, tiling};
+use dphls_bench::experiments::{
+    ablation, explore, fig3, fig4, fig5, fig6, productivity, sec75, table2, tiling,
+};
 use dphls_bench::report;
 
 fn main() {
     // `--json <path>` writes the machine-readable report instead.
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--json") {
-        let path = args.get(i + 1).map(String::as_str).unwrap_or("experiments.json");
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("experiments.json");
         let full = report::build(50);
         std::fs::write(path, report::to_json(&full)).expect("write JSON report");
         println!("wrote {path}");
@@ -31,8 +36,14 @@ fn main() {
 
     println!("==== Fig 6 ====");
     let (cpu, gpu) = fig6::run(100);
-    println!("{}", fig6::render("Fig 6A — CPU baselines (iso-cost)", &cpu));
-    println!("{}", fig6::render("Fig 6B — GPU baselines (iso-cost)", &gpu));
+    println!(
+        "{}",
+        fig6::render("Fig 6A — CPU baselines (iso-cost)", &cpu)
+    );
+    println!(
+        "{}",
+        fig6::render("Fig 6B — GPU baselines (iso-cost)", &gpu)
+    );
 
     println!("==== Section 7.5 ====");
     println!("{}", sec75::render(&sec75::run()));

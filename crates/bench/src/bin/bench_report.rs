@@ -1,0 +1,71 @@
+//! Emits `BENCH_throughput.json`: wall-clock alignments/second of the
+//! naive baseline, the scratch engine, and the work-stealing batch engine
+//! across the standard workload matrix, plus the ISSUE 1 ≥ 2× acceptance
+//! measurement.
+//!
+//! ```text
+//! cargo run --release -p dphls-bench --bin bench_report            # full matrix
+//! cargo run --release -p dphls-bench --bin bench_report -- --scale 20 --out /tmp/t.json
+//! ```
+
+use dphls_bench::perf;
+
+fn main() {
+    let mut scale = 1usize;
+    let mut out = String::from("BENCH_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--scale needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                out = match args.next() {
+                    Some(path) => path,
+                    None => {
+                        eprintln!("--out needs a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_report [--scale N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("measuring throughput matrix (scale 1/{scale})...");
+    let report = perf::build_report(scale);
+    for p in &report.points {
+        eprintln!(
+            "  {:<12} len {:>4} x{:<6} NPE={:<3} NK={} | naive {:>10.0} aln/s | scratch {:>10.0} ({:>4.2}x) | batched {:>10.0} ({:>4.2}x)",
+            p.workload, p.len, p.pairs, p.npe, p.nk,
+            p.naive_aps, p.scratch_aps, p.scratch_speedup, p.batched_aps, p.batched_speedup,
+        );
+    }
+    eprintln!(
+        "acceptance ({} x{}): {:.2}x {}",
+        report.acceptance.workload,
+        report.acceptance.pairs,
+        report.acceptance.speedup,
+        if report.acceptance.pass {
+            "PASS (>= 2x)"
+        } else {
+            "FAIL (< 2x)"
+        },
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serialization");
+    std::fs::write(&out, &json).expect("write report file");
+    // Self-check: the emitted file must round-trip as well-formed JSON.
+    serde_json::from_str(&json).expect("emitted report must be valid JSON");
+    println!("{out}");
+}

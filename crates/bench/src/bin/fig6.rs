@@ -5,6 +5,12 @@ use dphls_bench::experiments::fig6;
 
 fn main() {
     let (cpu, gpu) = fig6::run(200);
-    println!("{}", fig6::render("Fig 6A — CPU baselines (iso-cost)", &cpu));
-    println!("{}", fig6::render("Fig 6B — GPU baselines (iso-cost)", &gpu));
+    println!(
+        "{}",
+        fig6::render("Fig 6A — CPU baselines (iso-cost)", &cpu)
+    );
+    println!(
+        "{}",
+        fig6::render("Fig 6B — GPU baselines (iso-cost)", &gpu)
+    );
 }

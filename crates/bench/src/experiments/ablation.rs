@@ -234,7 +234,11 @@ pub fn render_all() -> String {
     t2.title("Ablation 2 — band width vs pruning and fidelity (kernel #11)");
     for p in band_sweep() {
         t2.row(vec![
-            if p.half_width >= 256 { "full".into() } else { p.half_width.to_string() },
+            if p.half_width >= 256 {
+                "full".into()
+            } else {
+                p.half_width.to_string()
+            },
             p.cells.to_string(),
             p.wavefronts.to_string(),
             format!("{:.0}", p.score_delta),
@@ -297,7 +301,11 @@ mod tests {
         // Unbanded row has zero delta by construction.
         assert_eq!(pts.last().unwrap().score_delta, 0.0);
         // Wide bands recover the full score.
-        assert!(pts[4].score_delta.abs() < 1.0, "delta {}", pts[4].score_delta);
+        assert!(
+            pts[4].score_delta.abs() < 1.0,
+            "delta {}",
+            pts[4].score_delta
+        );
         // Narrow bands prune most of the matrix.
         assert!(pts[0].cells * 4 < pts.last().unwrap().cells);
     }

@@ -82,7 +82,7 @@ fn explore_kernel(
                 }
                 let cycles = b.total.max(io * nb as u64).max(1);
                 let aps = (nb * nk) as f64 * synth.fmax_mhz * 1e6 / cycles as f64;
-                if best.map_or(true, |(bst, _)| aps > bst) {
+                if best.is_none_or(|(bst, _)| aps > bst) {
                     best = Some((aps, (npe, nb, nk)));
                 }
             }
@@ -91,7 +91,12 @@ fn explore_kernel(
     let (best_aps, best_cfg) = best.expect("at least one configuration fits");
     let paper_synth = synthesize(&profile, &paper_cfg, info.ii_hint);
     let paper_cfg_aps = case
-        .run_unverified(&paper_cfg, &CycleModelParams::dphls(), paper_synth.fmax_mhz, paper_synth.ii)
+        .run_unverified(
+            &paper_cfg,
+            &CycleModelParams::dphls(),
+            paper_synth.fmax_mhz,
+            paper_synth.ii,
+        )
         .throughput_aps;
     ExploredConfig {
         id: info.meta.id.0,
@@ -119,12 +124,21 @@ pub fn run_with(npe: &[usize], nb: &[usize], nk: &[usize]) -> Vec<ExploredConfig
 /// Renders the exploration.
 pub fn render(rows: &[ExploredConfig]) -> Table {
     let mut t = Table::new(
-        ["kernel", "explored (NPE,NB,NK)", "aln/s", "paper cfg", "aln/s @paper cfg", "gain"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "kernel",
+            "explored (NPE,NB,NK)",
+            "aln/s",
+            "paper cfg",
+            "aln/s @paper cfg",
+            "gain",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
-    t.title("Configuration exploration (§6.2's throughput-maximizing search, on the modeled device)");
+    t.title(
+        "Configuration exploration (§6.2's throughput-maximizing search, on the modeled device)",
+    );
     for r in rows {
         t.row(vec![
             format!("#{}", r.id),
@@ -184,6 +198,11 @@ mod tests {
             let r = rows.iter().find(|r| r.id == id).unwrap();
             r.best.1 * r.best.2
         };
-        assert!(blocks(8) < blocks(1) / 2, "#8 {} vs #1 {}", blocks(8), blocks(1));
+        assert!(
+            blocks(8) < blocks(1) / 2,
+            "#8 {} vs #1 {}",
+            blocks(8),
+            blocks(1)
+        );
     }
 }

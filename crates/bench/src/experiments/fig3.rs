@@ -68,7 +68,11 @@ fn sweep(case: &KernelCase, freq_mhz: f64) -> Fig3Series {
     let nb_sweep = NB_VALUES
         .iter()
         .map(|&nb| {
-            let cfg = KernelConfig { npe: 32, nb, ..base };
+            let cfg = KernelConfig {
+                npe: 32,
+                nb,
+                ..base
+            };
             let summary = case.run_unverified(&cfg, &schedule, freq_mhz, ii);
             ScalePoint {
                 x: nb,

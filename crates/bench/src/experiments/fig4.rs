@@ -72,8 +72,16 @@ pub fn run() -> Vec<Fig4Row> {
 pub fn render(rows: &[Fig4Row]) -> Table {
     let mut t = Table::new(
         [
-            "design", "kernel", "DP-HLS aln/s", "RTL aln/s", "margin", "paper", "LUT(D/R)",
-            "FF(D/R)", "BRAM(D/R)", "DSP(D/R)",
+            "design",
+            "kernel",
+            "DP-HLS aln/s",
+            "RTL aln/s",
+            "margin",
+            "paper",
+            "LUT(D/R)",
+            "FF(D/R)",
+            "BRAM(D/R)",
+            "DSP(D/R)",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -63,10 +63,17 @@ pub fn run() -> Vec<Fig5Point> {
 /// Renders the sweep.
 pub fn render(points: &[Fig5Point]) -> Table {
     let mut t = Table::new(
-        ["NPE", "DP-HLS aln/s", "GACT aln/s", "rel", "FF D/G", "LUT D/G"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "NPE",
+            "DP-HLS aln/s",
+            "GACT aln/s",
+            "rel",
+            "FF D/G",
+            "LUT D/G",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     t.title("Fig 5 — Global Affine (#2) vs GACT scaling with NPE (NB=1)");
     for p in points {
@@ -122,7 +129,9 @@ mod tests {
     fn render_has_all_npe_rows() {
         let s = render(&run()).to_string();
         for npe in NPE_VALUES {
-            assert!(s.lines().any(|l| l.trim_start().starts_with(&npe.to_string())));
+            assert!(s
+                .lines()
+                .any(|l| l.trim_start().starts_with(&npe.to_string())));
         }
     }
 }

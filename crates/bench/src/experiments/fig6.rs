@@ -188,7 +188,13 @@ pub fn run(measure_pairs: usize) -> (Vec<Fig6Row>, Vec<Fig6Row>) {
             .map(|(_, t)| *t)
             .expect("kernel present")
     };
-    let cpu = build_rows(&CPU_BASELINES, &dphls, measure_pairs > 0, measure_pairs, 256);
+    let cpu = build_rows(
+        &CPU_BASELINES,
+        &dphls,
+        measure_pairs > 0,
+        measure_pairs,
+        256,
+    );
     let gpu = build_rows(&GPU_BASELINES, &dphls, false, 0, 256);
     (cpu, gpu)
 }
@@ -264,7 +270,11 @@ mod tests {
             .iter()
             .map(|&id| speedup(id))
             .fold(0.0, f64::max);
-        assert!(speedup(5) > seqan_max, "#5 {:.1} !> {seqan_max:.1}", speedup(5));
+        assert!(
+            speedup(5) > seqan_max,
+            "#5 {:.1} !> {seqan_max:.1}",
+            speedup(5)
+        );
         assert!(speedup(15) > seqan_max);
     }
 

@@ -20,7 +20,9 @@ pub struct LocEntry {
 }
 
 fn crate_root(rel: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(rel)
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join(rel)
 }
 
 /// Counts non-empty, non-comment lines of a source file.
@@ -111,7 +113,10 @@ pub fn render(kernels: &[LocEntry], backend: &[LocEntry]) -> Table {
     }
     let k: usize = kernels.iter().map(|e| e.loc).sum();
     let b: usize = backend.iter().map(|e| e.loc).sum();
-    t.row(vec!["TOTAL front-end (all 15 kernels)".into(), k.to_string()]);
+    t.row(vec![
+        "TOTAL front-end (all 15 kernels)".into(),
+        k.to_string(),
+    ]);
     t.row(vec!["TOTAL shared framework".into(), b.to_string()]);
     t
 }

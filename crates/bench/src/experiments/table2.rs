@@ -80,8 +80,17 @@ pub fn run() -> Vec<Table2Row> {
 pub fn render(rows: &[Table2Row]) -> Table {
     let mut t = Table::new(
         [
-            "#", "LUT", "FF", "BRAM", "DSP", "(NPE,NB,NK)", "MHz", "aln/s", "paper aln/s",
-            "ratio", "verified",
+            "#",
+            "LUT",
+            "FF",
+            "BRAM",
+            "DSP",
+            "(NPE,NB,NK)",
+            "MHz",
+            "aln/s",
+            "paper aln/s",
+            "ratio",
+            "verified",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -140,7 +149,11 @@ mod tests {
             .iter()
             .min_by(|a, b| a.aln_per_sec.partial_cmp(&b.aln_per_sec).unwrap())
             .unwrap();
-        assert!([8, 9, 10].contains(&slowest.id), "slowest was #{}", slowest.id);
+        assert!(
+            [8, 9, 10].contains(&slowest.id),
+            "slowest was #{}",
+            slowest.id
+        );
         // #8 (profile) has the highest DSP utilization by far.
         let dsp8 = by_id(8).util[3];
         for r in rows.iter().filter(|r| r.id != 8) {

@@ -52,14 +52,9 @@ pub fn run() -> Vec<TilingRow> {
         .iter()
         .map(|&len| {
             let (reference, read) = sim.read_pair(len, ERROR_RATE);
-            let tiled = tiled_global_affine(
-                read.as_slice(),
-                reference.as_slice(),
-                &params,
-                tiling,
-                32,
-            )
-            .expect("tiling succeeds");
+            let tiled =
+                tiled_global_affine(read.as_slice(), reference.as_slice(), &params, tiling, 32)
+                    .expect("tiling succeeds");
             let full_score = if len <= 2_048 {
                 Some(
                     run_reference::<GlobalAffine<i32>>(
@@ -109,7 +104,12 @@ pub fn run() -> Vec<TilingRow> {
 pub fn render(rows: &[TilingRow]) -> Table {
     let mut t = Table::new(
         [
-            "read len", "tiles", "tiled score", "full score", "DP-HLS reads/s", "GACT reads/s",
+            "read len",
+            "tiles",
+            "tiled score",
+            "full score",
+            "DP-HLS reads/s",
+            "GACT reads/s",
             "rel",
         ]
         .iter()

@@ -27,7 +27,8 @@ pub struct RunSummary {
     pub matches_reference: bool,
 }
 
-type Runner = Box<dyn Fn(&KernelConfig, &CycleModelParams, f64, u32, bool) -> RunSummary + Send + Sync>;
+type Runner =
+    Box<dyn Fn(&KernelConfig, &CycleModelParams, f64, u32, bool) -> RunSummary + Send + Sync>;
 
 /// One kernel, erased for the experiment drivers.
 pub struct KernelCase {
@@ -108,11 +109,11 @@ impl KernelVisitor for Collector {
         &mut self,
         info: &CaseInfo,
         params: &K::Params,
-        workload: &[(Vec<K::Sym>, Vec<K::Sym>)],
+        workload: &[dphls_core::SeqPair<K>],
     ) {
         let info = *info;
         let params = params.clone();
-        let workload: Vec<(Vec<K::Sym>, Vec<K::Sym>)> = workload.to_vec();
+        let workload: Vec<dphls_core::SeqPair<K>> = workload.to_vec();
         let sym_bits = info.sym_bits;
         let has_walk = info.meta.traceback.has_walk();
         let runner: Runner = Box::new(move |config, schedule, freq_mhz, ii, verify| {

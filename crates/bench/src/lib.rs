@@ -11,6 +11,8 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod naive;
+pub mod perf;
 pub mod report;
 
 pub use harness::{collect_cases, default_workload, profile_of, KernelCase, RunSummary};

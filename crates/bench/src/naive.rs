@@ -1,0 +1,185 @@
+//! The **naive baseline engine**: a frozen copy of the pre-optimization
+//! systolic block loop, kept as the reference point for the throughput
+//! benchmarks (`benches/throughput.rs`, `bin/bench_report.rs`).
+//!
+//! Differences from the optimized `dphls_systolic::run_systolic_with_scratch`
+//! hot path — exactly the costs this PR removed:
+//!
+//! * allocates every buffer (`TbMem`, trackers, preserved row, the three
+//!   wavefront snapshots, and one `next_row` per chunk) fresh per alignment;
+//! * scans all `NPE` lanes on every wavefront and asks
+//!   `banding.contains(i, j)` per cell, even when banding leaves most lanes
+//!   dead;
+//! * iterates every wavefront of every chunk, including fully-dead ones.
+//!
+//! Functionally it is still bit-identical to the reference engine; only the
+//! constant factors differ. Do not "fix" this module — its slowness is the
+//! point.
+
+use dphls_core::reference::{offer_if_eligible, walk_traceback, BestTracker};
+use dphls_core::{DpOutput, KernelConfig, KernelSpec, LayerVec};
+use dphls_systolic::TbMem;
+
+/// Runs one alignment with per-alignment allocation and full lane scans.
+///
+/// # Panics
+///
+/// Panics on invalid configurations or empty/oversized sequences (bench
+/// workloads are known-valid).
+pub fn run_systolic_naive<K: KernelSpec>(
+    params: &K::Params,
+    query: &[K::Sym],
+    reference: &[K::Sym],
+    config: &KernelConfig,
+) -> DpOutput<K::Score> {
+    config.validate().expect("bench config must be valid");
+    assert!(!query.is_empty() && !reference.is_empty());
+    assert!(query.len() <= config.max_query && reference.len() <= config.max_ref);
+
+    let meta = K::meta();
+    let banding = config.banding;
+    let (q, r) = (query.len(), reference.len());
+    let npe = config.npe;
+    let chunks = config.chunks_for(q);
+    let worst: LayerVec<K::Score> = LayerVec::splat(meta.n_layers, meta.objective.worst());
+
+    let mut tbmem = TbMem::new(npe, chunks, r);
+    let mut trackers: Vec<BestTracker<K::Score>> =
+        (0..npe).map(|_| BestTracker::new(meta.objective)).collect();
+
+    let mut prev_row: Vec<LayerVec<K::Score>> = (0..=r)
+        .map(|j| {
+            if banding.contains(0, j) {
+                K::init_row(params, j)
+            } else {
+                worst
+            }
+        })
+        .collect();
+
+    let mut cells = 0u64;
+    let mut wf_m1: Vec<LayerVec<K::Score>> = vec![worst; npe];
+    let mut wf_m2: Vec<LayerVec<K::Score>> = vec![worst; npe];
+    let mut cur: Vec<LayerVec<K::Score>> = vec![worst; npe];
+
+    for c in 0..chunks {
+        let base = c * npe;
+        let rows = npe.min(q - base);
+        let last_pe = rows - 1;
+        let mut next_row: Vec<LayerVec<K::Score>> = vec![worst; r + 1];
+        let last_i = base + last_pe + 1;
+        next_row[0] = if banding.contains(last_i, 0) {
+            K::init_col(params, last_i)
+        } else {
+            worst
+        };
+        for s in wf_m1.iter_mut() {
+            *s = worst;
+        }
+        for s in wf_m2.iter_mut() {
+            *s = worst;
+        }
+
+        let wavefronts = TbMem::wavefronts_per_chunk(npe, r);
+        for w in 0..wavefronts {
+            for k in 0..npe {
+                let i = base + k + 1;
+                let jj = w as isize - k as isize + 1;
+                if k >= rows || jj < 1 || jj > r as isize {
+                    cur[k] = worst;
+                    continue;
+                }
+                let j = jj as usize;
+                if !banding.contains(i, j) {
+                    cur[k] = worst;
+                    continue;
+                }
+                let left = if j == 1 {
+                    if banding.contains(i, 0) {
+                        K::init_col(params, i)
+                    } else {
+                        worst
+                    }
+                } else {
+                    wf_m1[k]
+                };
+                let up = if k == 0 { prev_row[j] } else { wf_m1[k - 1] };
+                let diag = if k == 0 {
+                    prev_row[j - 1]
+                } else if j == 1 {
+                    if banding.contains(i - 1, 0) {
+                        K::init_col(params, i - 1)
+                    } else {
+                        worst
+                    }
+                } else {
+                    wf_m2[k - 1]
+                };
+                let (out, ptr) = K::pe(params, query[i - 1], reference[j - 1], &diag, &up, &left);
+                cells += 1;
+                offer_if_eligible(
+                    &mut trackers[k],
+                    meta.traceback.best,
+                    out.primary(),
+                    i,
+                    j,
+                    q,
+                    r,
+                );
+                tbmem.write(k, c, w, ptr);
+                if k == last_pe {
+                    next_row[j] = out;
+                }
+                cur[k] = out;
+            }
+            std::mem::swap(&mut wf_m2, &mut wf_m1);
+            std::mem::swap(&mut wf_m1, &mut cur);
+        }
+        prev_row = next_row;
+    }
+
+    let mut global = BestTracker::new(meta.objective);
+    for t in &trackers {
+        global.merge(t);
+    }
+    let (best_score, best_cell) = global.best();
+    let alignment = meta
+        .traceback
+        .walk
+        .map(|walk| walk_traceback::<K>(&|i, j| tbmem.read_cell(i, j), best_cell, walk));
+
+    DpOutput {
+        best_score,
+        best_cell,
+        alignment,
+        cells_computed: cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_core::Banding;
+    use dphls_kernels::{GlobalLinear, LinearParams};
+    use dphls_seq::gen::ReadSimulator;
+
+    #[test]
+    fn naive_baseline_is_functionally_exact() {
+        let params = LinearParams::<i16>::dna();
+        let mut sim = ReadSimulator::new(5);
+        let (r, mut q) = sim.read_pair(64, 0.2);
+        q.truncate(64);
+        let (q, r) = (q.into_vec(), r.into_vec());
+        for banding in [Banding::None, Banding::Fixed { half_width: 8 }] {
+            let cfg = KernelConfig {
+                banding,
+                ..KernelConfig::new(8, 1, 1).with_max_lengths(96, 96)
+            };
+            let naive = run_systolic_naive::<GlobalLinear>(&params, &q, &r, &cfg);
+            let fast = dphls_systolic::run_systolic::<GlobalLinear>(&params, &q, &r, &cfg)
+                .unwrap()
+                .output;
+            assert_eq!(naive, fast);
+        }
+    }
+}

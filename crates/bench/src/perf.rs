@@ -1,0 +1,308 @@
+//! Host-throughput measurement: wall-clock alignments/second of the naive
+//! baseline engine ([`crate::naive`]), the zero-allocation scratch engine,
+//! and the work-stealing batch engine, across linear / affine / banded
+//! workloads at several `(NPE, NK)` points.
+//!
+//! `bin/bench_report.rs` renders the result as `BENCH_throughput.json` so
+//! the performance trajectory is tracked from this PR onward;
+//! `benches/throughput.rs` exposes the same measurements under criterion.
+
+use crate::naive::run_systolic_naive;
+use dphls_core::{KernelConfig, KernelSpec};
+use dphls_host::run_batched;
+use dphls_kernels::{AffineParams, GlobalAffine, GlobalLinear, LinearParams};
+use dphls_seq::gen::ReadSimulator;
+use dphls_seq::Base;
+use dphls_systolic::{CycleModelParams, Device, KernelCycleInfo, SystolicScratch};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Which kernel/banding combination a measurement point runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Global linear (NW), full matrix.
+    Linear,
+    /// Global affine, full matrix (3 scoring layers).
+    Affine,
+    /// Global linear under fixed banding (the paper's §2.2.4 pruning).
+    Banded {
+        /// Band half-width in cells.
+        half_width: usize,
+    },
+}
+
+impl WorkloadKind {
+    fn name(&self) -> String {
+        match self {
+            WorkloadKind::Linear => "linear".into(),
+            WorkloadKind::Affine => "affine".into(),
+            WorkloadKind::Banded { half_width } => format!("banded_w{half_width}"),
+        }
+    }
+}
+
+/// One measurement point of the throughput matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct PointSpec {
+    /// Kernel/banding combination.
+    pub kind: WorkloadKind,
+    /// Sequence length of each pair.
+    pub len: usize,
+    /// Number of alignment pairs.
+    pub pairs: usize,
+    /// PEs per systolic array.
+    pub npe: usize,
+    /// Channels (= host worker threads for the batch engine).
+    pub nk: usize,
+}
+
+/// Measured alignments/second at one point, serialized into the report.
+#[derive(Debug, Serialize)]
+pub struct ThroughputPoint {
+    /// Workload name (`linear`, `affine`, `banded_w16`, …).
+    pub workload: String,
+    /// Sequence length per pair.
+    pub len: usize,
+    /// Pairs measured.
+    pub pairs: usize,
+    /// PEs per array.
+    pub npe: usize,
+    /// Channels / host threads.
+    pub nk: usize,
+    /// Naive per-alignment-allocation engine, single thread (aln/s).
+    pub naive_aps: f64,
+    /// Scratch-reuse band-aware engine, single thread (aln/s).
+    pub scratch_aps: f64,
+    /// Work-stealing batch engine across `nk` threads (aln/s).
+    pub batched_aps: f64,
+    /// `scratch_aps / naive_aps` — the single-thread hot-path win.
+    pub scratch_speedup: f64,
+    /// `batched_aps / naive_aps` — the end-to-end engine win.
+    pub batched_speedup: f64,
+}
+
+/// The acceptance gate of ISSUE 1: ≥ 2× aln/s over the naive baseline on a
+/// 10k-pair banded workload (single-thread scratch engine, same thread
+/// count as the baseline).
+#[derive(Debug, Serialize)]
+pub struct Acceptance {
+    /// The workload the gate ran on.
+    pub workload: String,
+    /// Pairs in the gate workload.
+    pub pairs: usize,
+    /// Baseline aln/s.
+    pub naive_aps: f64,
+    /// Optimized single-thread aln/s.
+    pub scratch_aps: f64,
+    /// Measured speedup.
+    pub speedup: f64,
+    /// Whether the ≥ 2× gate held.
+    pub pass: bool,
+}
+
+/// The full serialized throughput report.
+#[derive(Debug, Serialize)]
+pub struct ThroughputReport {
+    /// Report schema version.
+    pub version: u32,
+    /// All measured points.
+    pub points: Vec<ThroughputPoint>,
+    /// The ISSUE 1 acceptance measurement.
+    pub acceptance: Acceptance,
+}
+
+/// Deterministic read-pair workload: reference windows + noisy reads of
+/// equal length (the paper's §6.1 short-read shape).
+pub fn make_workload(pairs: usize, len: usize, seed: u64) -> Vec<(Vec<Base>, Vec<Base>)> {
+    let mut sim = ReadSimulator::new(seed);
+    sim.read_pairs(pairs, len, 0.2)
+        .into_iter()
+        .map(|(r, mut q)| {
+            q.truncate(len);
+            let mut r = r.into_vec();
+            r.truncate(len);
+            (q.into_vec(), r)
+        })
+        .collect()
+}
+
+fn config_for(spec: &PointSpec) -> KernelConfig {
+    let base =
+        KernelConfig::new(spec.npe.min(spec.len), 1, spec.nk).with_max_lengths(spec.len, spec.len);
+    match spec.kind {
+        WorkloadKind::Banded { half_width } => base.with_banding(half_width),
+        _ => base,
+    }
+}
+
+// The cycle-model inputs are fixed across the matrix (2-bit DNA symbols,
+// traceback on, II=1); only the KernelConfig varies per point.
+fn device_for(config: KernelConfig) -> Device {
+    Device::new(
+        config,
+        CycleModelParams::dphls(),
+        KernelCycleInfo {
+            sym_bits: 2,
+            has_walk: true,
+            ii: 1,
+        },
+        250.0,
+    )
+}
+
+fn aps(pairs: usize, start: Instant) -> f64 {
+    pairs as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn measure_kernel<K>(
+    params: &K::Params,
+    workload: &[dphls_core::SeqPair<K>],
+    spec: &PointSpec,
+) -> (f64, f64, f64)
+where
+    K: KernelSpec,
+    K::Score: Send,
+    K::Params: Sync,
+{
+    let config = config_for(spec);
+    let device = device_for(config);
+
+    let start = Instant::now();
+    for (q, r) in workload {
+        std::hint::black_box(run_systolic_naive::<K>(params, q, r, &config));
+    }
+    let naive = aps(workload.len(), start);
+
+    let mut scratch = SystolicScratch::new();
+    let start = Instant::now();
+    for (q, r) in workload {
+        std::hint::black_box(
+            dphls_systolic::run_systolic_with_scratch::<K>(params, q, r, &config, &mut scratch)
+                .expect("bench workload must be valid"),
+        );
+    }
+    let scratch_aps = aps(workload.len(), start);
+
+    let start = Instant::now();
+    std::hint::black_box(
+        run_batched::<K>(&device, params, workload).expect("bench workload must be valid"),
+    );
+    let batched = aps(workload.len(), start);
+
+    (naive, scratch_aps, batched)
+}
+
+/// Measures one point of the matrix.
+pub fn measure_point(spec: &PointSpec) -> ThroughputPoint {
+    let workload = make_workload(spec.pairs, spec.len, 0xD9);
+    let (naive_aps, scratch_aps, batched_aps) = match spec.kind {
+        WorkloadKind::Affine => {
+            let params = AffineParams::<i16>::dna();
+            measure_kernel::<GlobalAffine<i16>>(&params, &workload, spec)
+        }
+        _ => {
+            let params = LinearParams::<i16>::dna();
+            measure_kernel::<GlobalLinear>(&params, &workload, spec)
+        }
+    };
+    ThroughputPoint {
+        workload: spec.kind.name(),
+        len: spec.len,
+        pairs: spec.pairs,
+        npe: spec.npe,
+        nk: spec.nk,
+        naive_aps,
+        scratch_aps,
+        batched_aps,
+        scratch_speedup: scratch_aps / naive_aps.max(1e-9),
+        batched_speedup: batched_aps / naive_aps.max(1e-9),
+    }
+}
+
+/// The standard measurement matrix. `scale` divides pair counts (CI smoke
+/// runs use `scale > 1`; the recorded report uses `scale = 1`).
+pub fn standard_points(scale: usize) -> Vec<PointSpec> {
+    let s = scale.max(1);
+    let banded = WorkloadKind::Banded { half_width: 16 };
+    vec![
+        PointSpec {
+            kind: WorkloadKind::Linear,
+            len: 128,
+            pairs: 2_000 / s,
+            npe: 8,
+            nk: 1,
+        },
+        PointSpec {
+            kind: WorkloadKind::Linear,
+            len: 128,
+            pairs: 2_000 / s,
+            npe: 32,
+            nk: 4,
+        },
+        PointSpec {
+            kind: WorkloadKind::Affine,
+            len: 128,
+            pairs: 1_000 / s,
+            npe: 32,
+            nk: 4,
+        },
+        PointSpec {
+            kind: banded,
+            len: 256,
+            pairs: 10_000 / s,
+            npe: 32,
+            nk: 1,
+        },
+        PointSpec {
+            kind: banded,
+            len: 256,
+            pairs: 10_000 / s,
+            npe: 32,
+            nk: 4,
+        },
+    ]
+}
+
+/// Runs the full matrix and assembles the report. The acceptance gate is
+/// the banded 10k-pair single-channel point (scaled by `scale`).
+pub fn build_report(scale: usize) -> ThroughputReport {
+    let points: Vec<ThroughputPoint> = standard_points(scale).iter().map(measure_point).collect();
+    let gate = points
+        .iter()
+        .find(|p| p.workload.starts_with("banded") && p.nk == 1)
+        .expect("matrix contains the banded acceptance point");
+    let acceptance = Acceptance {
+        workload: gate.workload.clone(),
+        pairs: gate.pairs,
+        naive_aps: gate.naive_aps,
+        scratch_aps: gate.scratch_aps,
+        speedup: gate.scratch_speedup,
+        pass: gate.scratch_speedup >= 2.0,
+    };
+    ThroughputReport {
+        version: 1,
+        points,
+        acceptance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_matrix_measures_and_serializes() {
+        let spec = PointSpec {
+            kind: WorkloadKind::Banded { half_width: 8 },
+            len: 64,
+            pairs: 20,
+            npe: 8,
+            nk: 2,
+        };
+        let p = measure_point(&spec);
+        assert!(p.naive_aps > 0.0 && p.scratch_aps > 0.0 && p.batched_aps > 0.0);
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        assert!(json.contains("\"scratch_speedup\""));
+        serde_json::from_str(&json).expect("point serializes to valid JSON");
+    }
+}

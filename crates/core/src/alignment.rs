@@ -206,7 +206,13 @@ mod tests {
 
     fn sample() -> Alignment {
         Alignment::new(
-            vec![AlnOp::Diag, AlnOp::Diag, AlnOp::Up, AlnOp::Left, AlnOp::Diag],
+            vec![
+                AlnOp::Diag,
+                AlnOp::Diag,
+                AlnOp::Up,
+                AlnOp::Left,
+                AlnOp::Diag,
+            ],
             (0, 0),
             (4, 4),
         )

@@ -136,7 +136,8 @@ impl KernelConfig {
                 max_query: self.max_query,
             });
         }
-        if !(self.target_freq_mhz > 0.0) {
+        // `partial_cmp` keeps NaN invalid alongside zero and negatives.
+        if self.target_freq_mhz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(ConfigError::BadFrequency(self.target_freq_mhz));
         }
         Ok(())

@@ -139,18 +139,12 @@ impl<S: Score> Score for CountingScore<S> {
     fn max_with(self, rhs: Self) -> (Self, bool) {
         record(|c| c.cmps += 1);
         let (v, rhs_won) = self.value.max_with(rhs.value);
-        (
-            Self::derived(v, self.depth.max(rhs.depth) + 1),
-            rhs_won,
-        )
+        (Self::derived(v, self.depth.max(rhs.depth) + 1), rhs_won)
     }
     fn min_with(self, rhs: Self) -> (Self, bool) {
         record(|c| c.cmps += 1);
         let (v, rhs_won) = self.value.min_with(rhs.value);
-        (
-            Self::derived(v, self.depth.max(rhs.depth) + 1),
-            rhs_won,
-        )
+        (Self::derived(v, self.depth.max(rhs.depth) + 1), rhs_won)
     }
 }
 

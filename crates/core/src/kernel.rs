@@ -41,7 +41,7 @@ impl<S: Score> LayerVec<S> {
     ///
     /// Panics if `len` is 0 or exceeds [`MAX_LAYERS`].
     pub fn splat(len: usize, fill: S) -> Self {
-        assert!(len >= 1 && len <= MAX_LAYERS, "layer count must be 1..=5");
+        assert!((1..=MAX_LAYERS).contains(&len), "layer count must be 1..=5");
         Self {
             vals: [fill; MAX_LAYERS],
             len,
@@ -62,41 +62,49 @@ impl<S: Score> LayerVec<S> {
     }
 
     /// Number of layers.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// Always false (layer vectors are non-empty by construction).
+    #[inline]
     pub fn is_empty(&self) -> bool {
         false
     }
 
     /// Value of layer `i`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `i >= len`.
+    /// `i` must be below [`LayerVec::len`]. The engines guarantee in-range
+    /// layer indices, so the bound is checked with `debug_assert!` only:
+    /// debug builds panic on violation, release builds return the backing
+    /// slot (the vector is always [`MAX_LAYERS`] wide, so no memory
+    /// unsafety — just a meaningless value).
+    #[inline]
     pub fn get(&self, i: usize) -> S {
-        assert!(i < self.len, "layer index out of range");
+        debug_assert!(i < self.len, "layer index out of range");
         self.vals[i]
     }
 
     /// Sets layer `i`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `i >= len`.
+    /// `i` must be below [`LayerVec::len`]; like [`LayerVec::get`] the
+    /// bound is a `debug_assert!` (debug builds panic, release builds
+    /// write a slot the live layers never read).
+    #[inline]
     pub fn set(&mut self, i: usize, v: S) {
-        assert!(i < self.len, "layer index out of range");
+        debug_assert!(i < self.len, "layer index out of range");
         self.vals[i] = v;
     }
 
     /// The primary (H) layer value.
+    #[inline]
     pub fn primary(&self) -> S {
         self.vals[0]
     }
 
     /// View of the live layers.
+    #[inline]
     pub fn as_slice(&self) -> &[S] {
         &self.vals[..self.len]
     }
@@ -104,7 +112,9 @@ impl<S: Score> LayerVec<S> {
 
 impl<S: fmt::Debug> fmt::Debug for LayerVec<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_list().entries(self.vals[..self.len].iter()).finish()
+        f.debug_list()
+            .entries(self.vals[..self.len].iter())
+            .finish()
     }
 }
 
@@ -120,6 +130,7 @@ pub enum Objective {
 
 impl Objective {
     /// Whether `a` is strictly better than `b` under this objective.
+    #[inline]
     pub fn better<S: Score>(self, a: S, b: S) -> bool {
         match self {
             Objective::Maximize => a > b,
@@ -128,6 +139,7 @@ impl Objective {
     }
 
     /// The worst possible value (the identity of the objective's reduction).
+    #[inline]
     pub fn worst<S: Score>(self) -> S {
         match self {
             Objective::Maximize => S::neg_inf(),
@@ -163,6 +175,12 @@ pub struct KernelMeta {
     /// Traceback strategy (best-cell rule + walk kind).
     pub traceback: TracebackSpec,
 }
+
+/// One `(query, reference)` pair of a batch workload for kernel `K`.
+///
+/// Shared by the device driver, the host scheduler, and the experiment
+/// harness so workload signatures stay readable.
+pub type SeqPair<K> = (Vec<<K as KernelSpec>::Sym>, Vec<<K as KernelSpec>::Sym>);
 
 /// A 2-D DP kernel specification — the DP-HLS front-end contract.
 ///
@@ -244,8 +262,11 @@ mod tests {
         LayerVec::<i16>::splat(6, 0);
     }
 
+    // The bounds check moved to `debug_assert!` (the engines guarantee
+    // in-range indices), so the panic is a debug-build behavior only.
     #[test]
     #[should_panic(expected = "out of range")]
+    #[cfg(debug_assertions)]
     fn layer_vec_get_bounds() {
         LayerVec::<i16>::splat(2, 0).get(2);
     }
@@ -255,8 +276,14 @@ mod tests {
         assert!(Objective::Maximize.better(3i32, 2));
         assert!(!Objective::Maximize.better(2i32, 2));
         assert!(Objective::Minimize.better(1i32, 2));
-        assert_eq!(Objective::Maximize.worst::<i32>(), <i32 as Score>::neg_inf());
-        assert_eq!(Objective::Minimize.worst::<i32>(), <i32 as Score>::pos_inf());
+        assert_eq!(
+            Objective::Maximize.worst::<i32>(),
+            <i32 as Score>::neg_inf()
+        );
+        assert_eq!(
+            Objective::Minimize.worst::<i32>(),
+            <i32 as Score>::pos_inf()
+        );
     }
 
     #[test]

@@ -33,10 +33,10 @@ pub mod reference;
 pub mod score;
 pub mod traceback;
 
-pub use alignment::{AlnOp, Alignment};
+pub use alignment::{Alignment, AlnOp};
 pub use config::{Banding, KernelConfig};
 pub use instrument::{CountingScore, OpCounts};
-pub use kernel::{KernelId, KernelMeta, KernelSpec, LayerVec, Objective, MAX_LAYERS};
+pub use kernel::{KernelId, KernelMeta, KernelSpec, LayerVec, Objective, SeqPair, MAX_LAYERS};
 pub use reference::{run_reference, run_reference_full, DpOutput};
 pub use score::Score;
 pub use traceback::{BestCellRule, TbMove, TbPtr, TbState, TracebackSpec, WalkKind};

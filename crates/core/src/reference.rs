@@ -3,7 +3,7 @@
 //! (the paper's C-simulation verification step) and as the core of the CPU
 //! baselines.
 
-use crate::alignment::{AlnOp, Alignment};
+use crate::alignment::{Alignment, AlnOp};
 use crate::config::Banding;
 use crate::kernel::{KernelSpec, LayerVec, Objective};
 use crate::score::Score;
@@ -44,15 +44,22 @@ impl<S: Score> BestTracker<S> {
         }
     }
 
+    /// Clears the tracker for reuse under a (possibly different) objective,
+    /// leaving it exactly as [`BestTracker::new`] would. Lets the systolic
+    /// engine's scratch arena recycle trackers across alignments without
+    /// reallocating.
+    pub fn reset(&mut self, objective: Objective) {
+        self.objective = objective;
+        self.best = objective.worst();
+        self.cell = (0, 0);
+        self.any = false;
+    }
+
     /// Offers a candidate cell score.
     pub fn offer(&mut self, score: S, i: usize, j: usize) {
-        let replace = if !self.any {
-            true
-        } else if self.objective.better(score, self.best) {
-            true
-        } else {
-            score == self.best && (i, j) < self.cell
-        };
+        let replace = !self.any
+            || self.objective.better(score, self.best)
+            || (score == self.best && (i, j) < self.cell);
         if replace {
             self.best = score;
             self.cell = (i, j);
@@ -209,9 +216,10 @@ pub fn run_reference_full<K: KernelSpec>(
     }
 
     let (best_score, best_cell) = tracker.best();
-    let alignment = meta.traceback.walk.map(|walk| {
-        walk_traceback::<K>(&|i, j| m.tb(i, j), best_cell, walk)
-    });
+    let alignment = meta
+        .traceback
+        .walk
+        .map(|walk| walk_traceback::<K>(&|i, j| m.tb(i, j), best_cell, walk));
     (
         DpOutput {
             best_score,

@@ -22,9 +22,7 @@ use std::fmt;
 /// Kernels must compute **only** through these methods (not through native
 /// `+`/`max`), so that the instrumented wrapper sees every operator the
 /// synthesized datapath would contain.
-pub trait Score:
-    Copy + fmt::Debug + PartialEq + PartialOrd + Send + Sync + 'static
-{
+pub trait Score: Copy + fmt::Debug + PartialEq + PartialOrd + Send + Sync + 'static {
     /// Datapath width in bits (drives LUT/FF/DSP estimates).
     const BITS: u32;
 

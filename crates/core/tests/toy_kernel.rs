@@ -193,7 +193,11 @@ fn overlap_best_cell_rule_scans_last_row_and_col_only() {
     let r = dna("ACGTCCCCC");
     let out = run_reference::<Toy<3>>(&(), &q, &r, Banding::None);
     let (i, j) = out.best_cell;
-    assert!(i == q.len() || j == r.len(), "best cell {:?}", out.best_cell);
+    assert!(
+        i == q.len() || j == r.len(),
+        "best cell {:?}",
+        out.best_cell
+    );
 }
 
 #[test]

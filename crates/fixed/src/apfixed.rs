@@ -33,7 +33,10 @@ pub struct ApFixed<const W: u32, const I: u32> {
 }
 
 impl<const W: u32, const I: u32> ApFixed<W, I> {
-    const VALID: () = assert!(W >= 1 && W <= 63 && I <= W, "ApFixed requires 1 <= W <= 63 and I <= W");
+    const VALID: () = assert!(
+        W >= 1 && W <= 63 && I <= W,
+        "ApFixed requires 1 <= W <= 63 and I <= W"
+    );
 
     /// Number of fraction bits.
     pub const FRAC_BITS: u32 = W - I;
@@ -79,7 +82,9 @@ impl<const W: u32, const I: u32> ApFixed<W, I> {
         } else if scaled <= Self::MIN.raw as f64 {
             Self::MIN
         } else {
-            Self { raw: scaled.round() as i64 }
+            Self {
+                raw: scaled.round() as i64,
+            }
         }
     }
 
@@ -110,7 +115,9 @@ impl<const W: u32, const I: u32> ApFixed<W, I> {
         let wide = (self.raw as i128) * (rhs.raw as i128);
         let shifted = wide >> Self::FRAC_BITS;
         let clamped = shifted.clamp(Self::MIN.raw as i128, Self::MAX.raw as i128);
-        Self { raw: clamped as i64 }
+        Self {
+            raw: clamped as i64,
+        }
     }
 
     /// Division (truncating). Division by zero saturates to MAX/MIN by sign,
@@ -121,7 +128,9 @@ impl<const W: u32, const I: u32> ApFixed<W, I> {
         }
         let wide = ((self.raw as i128) << Self::FRAC_BITS) / rhs.raw as i128;
         let clamped = wide.clamp(Self::MIN.raw as i128, Self::MAX.raw as i128);
-        Self { raw: clamped as i64 }
+        Self {
+            raw: clamped as i64,
+        }
     }
 
     /// Absolute value, saturating (|MIN| -> MAX).

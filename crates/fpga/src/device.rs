@@ -88,6 +88,7 @@ impl Resources {
 mod tests {
     use super::*;
 
+    #[allow(clippy::assertions_on_constants)] // device constants, asserted on purpose
     #[test]
     fn vu9p_capacities() {
         assert_eq!(XCVU9P.bram36, 2160);

@@ -36,12 +36,7 @@ pub fn derive_ii(op_counts: &OpCounts, ii_hint: Option<u32>) -> u32 {
 /// degrades with per-stage complexity (depth beyond what one stage absorbs,
 /// wide datapaths, many layers). The result is snapped down to the discrete
 /// clock steps Vitis typically closes at.
-pub fn structural_fmax_mhz(
-    op_counts: &OpCounts,
-    ii: u32,
-    score_bits: u32,
-    n_layers: usize,
-) -> f64 {
+pub fn structural_fmax_mhz(op_counts: &OpCounts, ii: u32, score_bits: u32, n_layers: usize) -> f64 {
     let per_stage_depth = op_counts.depth.div_ceil(ii.max(1));
     let penalty_points = per_stage_depth as f64
         + if op_counts.muls > 0 { 2.0 } else { 0.0 }

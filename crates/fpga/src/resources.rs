@@ -197,7 +197,10 @@ pub fn max_nb(
 ) -> usize {
     let mut nb = 0usize;
     loop {
-        let candidate = KernelConfig { nb: nb + 1, ..*base };
+        let candidate = KernelConfig {
+            nb: nb + 1,
+            ..*base
+        };
         if !estimate_device(profile, &candidate).fits(device) || nb + 1 > 4096 {
             return nb;
         }

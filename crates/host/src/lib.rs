@@ -24,4 +24,6 @@ pub mod scheduler;
 pub mod tiling;
 
 pub use scheduler::{run_batched, ScheduleReport};
-pub use tiling::{score_path_affine, tiled_global_affine, TiledAlignment, TilingConfig, TilingError};
+pub use tiling::{
+    score_path_affine, tiled_global_affine, TiledAlignment, TilingConfig, TilingError,
+};

@@ -9,7 +9,7 @@
 //! device, only the first `tile − overlap` of its path is **committed**, and
 //! the next tile starts at the committed endpoint — Darwin's GACT heuristic.
 
-use dphls_core::{AlnOp, Alignment, KernelConfig};
+use dphls_core::{Alignment, AlnOp, KernelConfig};
 use dphls_kernels::{AffineParams, GlobalAffine};
 use dphls_seq::Base;
 use dphls_systolic::{run_systolic, SystolicError};
@@ -76,11 +76,17 @@ impl fmt::Display for TilingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TilingError::BadConfig { tile, overlap } => {
-                write!(f, "tiling requires overlap ({overlap}) < tile ({tile}) and tile > 0")
+                write!(
+                    f,
+                    "tiling requires overlap ({overlap}) < tile ({tile}) and tile > 0"
+                )
             }
             TilingError::Device(e) => write!(f, "tile alignment failed: {e}"),
             TilingError::NoProgress { at_query, at_ref } => {
-                write!(f, "tiling made no progress at query {at_query}, reference {at_ref}")
+                write!(
+                    f,
+                    "tiling made no progress at query {at_query}, reference {at_ref}"
+                )
             }
         }
     }
@@ -107,12 +113,7 @@ pub struct TiledAlignment {
 
 /// Scores an alignment path under the affine model (used to report the
 /// stitched score and to validate tiling against full alignments).
-pub fn score_path_affine(
-    q: &[Base],
-    r: &[Base],
-    aln: &Alignment,
-    p: &AffineParams<i32>,
-) -> i64 {
+pub fn score_path_affine(q: &[Base], r: &[Base], aln: &Alignment, p: &AffineParams<i32>) -> i64 {
     let (mut i, mut j) = aln.start();
     let mut score = 0i64;
     #[derive(PartialEq, Clone, Copy)]
@@ -175,8 +176,8 @@ pub fn tiled_global_affine(
     if query.is_empty() || reference.is_empty() {
         return Err(TilingError::Device(SystolicError::EmptySequence));
     }
-    let device_cfg = KernelConfig::new(npe.min(tiling.tile), 1, 1)
-        .with_max_lengths(tiling.tile, tiling.tile);
+    let device_cfg =
+        KernelConfig::new(npe.min(tiling.tile), 1, 1).with_max_lengths(tiling.tile, tiling.tile);
 
     let mut qi = 0usize; // committed query offset
     let mut rj = 0usize; // committed reference offset
@@ -254,9 +255,24 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(TilingConfig { tile: 0, overlap: 0 }.validate().is_err());
-        assert!(TilingConfig { tile: 64, overlap: 64 }.validate().is_err());
-        assert!(TilingConfig { tile: 64, overlap: 16 }.validate().is_ok());
+        assert!(TilingConfig {
+            tile: 0,
+            overlap: 0
+        }
+        .validate()
+        .is_err());
+        assert!(TilingConfig {
+            tile: 64,
+            overlap: 64
+        }
+        .validate()
+        .is_err());
+        assert!(TilingConfig {
+            tile: 64,
+            overlap: 16
+        }
+        .validate()
+        .is_ok());
         assert_eq!(TilingConfig::paper_default().tile, 256);
     }
 
@@ -268,7 +284,10 @@ mod tests {
             q.as_slice(),
             r.as_slice(),
             &p,
-            TilingConfig { tile: 128, overlap: 32 },
+            TilingConfig {
+                tile: 128,
+                overlap: 32,
+            },
             32,
         )
         .unwrap();
@@ -288,11 +307,15 @@ mod tests {
             q.as_slice(),
             r.as_slice(),
             &p,
-            TilingConfig { tile: 128, overlap: 32 },
+            TilingConfig {
+                tile: 128,
+                overlap: 32,
+            },
             32,
         )
         .unwrap();
-        let full = run_reference::<GlobalAffine<i32>>(&p, q.as_slice(), r.as_slice(), Banding::None);
+        let full =
+            run_reference::<GlobalAffine<i32>>(&p, q.as_slice(), r.as_slice(), Banding::None);
         let full_score = full.best_score as i64;
         assert!(
             tiled.score >= full_score - 10,
@@ -311,7 +334,10 @@ mod tests {
             q.as_slice(),
             r.as_slice(),
             &p,
-            TilingConfig { tile: 16, overlap: 4 },
+            TilingConfig {
+                tile: 16,
+                overlap: 4,
+            },
             8,
         )
         .unwrap();
@@ -345,7 +371,10 @@ mod tests {
     #[test]
     fn more_tiles_for_longer_reads() {
         let p = AffineParams::<i32>::dna();
-        let cfg = TilingConfig { tile: 128, overlap: 32 };
+        let cfg = TilingConfig {
+            tile: 128,
+            overlap: 32,
+        };
         let (q1, r1) = long_pair(400, 0.1);
         let (q2, r2) = long_pair(1200, 0.1);
         let t1 = tiled_global_affine(q1.as_slice(), r1.as_slice(), &p, cfg, 32).unwrap();

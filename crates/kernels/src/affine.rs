@@ -125,16 +125,19 @@ macro_rules! affine_kernel {
                 }
             }
 
+            #[inline]
             fn init_row(params: &Self::Params, j: usize) -> LayerVec<S> {
                 let f: fn(&AffineParams<S>, usize) -> LayerVec<S> = $init_row;
                 f(params, j)
             }
 
+            #[inline]
             fn init_col(params: &Self::Params, i: usize) -> LayerVec<S> {
                 let f: fn(&AffineParams<S>, usize) -> LayerVec<S> = $init_col;
                 f(params, i)
             }
 
+            #[inline]
             fn pe(
                 params: &Self::Params,
                 q: Base,
@@ -146,6 +149,7 @@ macro_rules! affine_kernel {
                 affine_pe(params, q, r, diag, up, left, $clamp)
             }
 
+            #[inline]
             fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
                 affine_tb(state, ptr)
             }
@@ -210,7 +214,8 @@ mod tests {
         // vs linear with gap=-2 per base = -12.
         let q = dna("ACGTACGTACGT");
         let r = dna("ACGTACGTACGTGGGGGG");
-        let affine = run_reference::<GlobalAffine>(&p16(), q.as_slice(), r.as_slice(), Banding::None);
+        let affine =
+            run_reference::<GlobalAffine>(&p16(), q.as_slice(), r.as_slice(), Banding::None);
         let linear = run_reference::<GlobalLinear>(
             &LinearParams::<i16> {
                 match_score: 2,
@@ -309,7 +314,8 @@ mod tests {
         assert!(out.alignment.is_none());
         assert!(out.best_score > 0);
         // Wide band reproduces the unbanded local affine score.
-        let unbanded = run_reference::<LocalAffine>(&p16(), q.as_slice(), r.as_slice(), Banding::None);
+        let unbanded =
+            run_reference::<LocalAffine>(&p16(), q.as_slice(), r.as_slice(), Banding::None);
         let wide = run_reference::<BandedLocalAffine>(
             &p16(),
             q.as_slice(),

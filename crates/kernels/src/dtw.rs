@@ -43,15 +43,18 @@ impl<S: Score> KernelSpec for Dtw<S> {
         }
     }
 
+    #[inline]
     fn init_row(_: &NoParams, j: usize) -> LayerVec<S> {
         // S(0,0) = 0, S(0,j>0) = +inf: the path must start at the origin.
         LayerVec::splat(1, if j == 0 { S::zero() } else { S::pos_inf() })
     }
 
+    #[inline]
     fn init_col(_: &NoParams, _i: usize) -> LayerVec<S> {
         LayerVec::splat(1, S::pos_inf())
     }
 
+    #[inline]
     fn pe(
         _: &NoParams,
         q: Complex,
@@ -72,6 +75,7 @@ impl<S: Score> KernelSpec for Dtw<S> {
         (LayerVec::splat(1, dist.add(m)), ptr)
     }
 
+    #[inline]
     fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
         let mv = match ptr.direction() {
             TbPtr::DIAG => TbMove::Diag,
@@ -106,15 +110,18 @@ impl<S: Score> KernelSpec for Sdtw<S> {
         }
     }
 
+    #[inline]
     fn init_row(_: &NoParams, _j: usize) -> LayerVec<S> {
         // Free start anywhere along the reference.
         LayerVec::splat(1, S::zero())
     }
 
+    #[inline]
     fn init_col(_: &NoParams, _i: usize) -> LayerVec<S> {
         LayerVec::splat(1, S::pos_inf())
     }
 
+    #[inline]
     fn pe(
         _: &NoParams,
         q: i16,
@@ -207,10 +214,20 @@ mod tests {
         let window = dna.window(20, 16);
         let mut sim = SquiggleSimulator::new(5).dwell(1, 1).noise(3);
         let query = sim.squiggle(&window);
-        let hit = run_reference::<Sdtw>(&NoParams, query.as_slice(), reference.as_slice(), Banding::None);
+        let hit = run_reference::<Sdtw>(
+            &NoParams,
+            query.as_slice(),
+            reference.as_slice(),
+            Banding::None,
+        );
 
         let other: SignalSeq = SignalSeq::new(vec![100i16; query.len()]);
-        let miss = run_reference::<Sdtw>(&NoParams, other.as_slice(), reference.as_slice(), Banding::None);
+        let miss = run_reference::<Sdtw>(
+            &NoParams,
+            other.as_slice(),
+            reference.as_slice(),
+            Banding::None,
+        );
         assert!(hit.best_score < miss.best_score / 10);
         assert!(hit.alignment.is_none());
         // Best cell must be on the last row.
@@ -243,9 +260,6 @@ mod tests {
         assert!(Dtw::<DtwScore>::meta().traceback.has_walk());
         assert_eq!(Sdtw::<i32>::meta().id, KernelId(14));
         assert!(!Sdtw::<i32>::meta().traceback.has_walk());
-        assert_eq!(
-            Sdtw::<i32>::meta().traceback.best,
-            BestCellRule::LastRow
-        );
+        assert_eq!(Sdtw::<i32>::meta().traceback.best, BestCellRule::LastRow);
     }
 }

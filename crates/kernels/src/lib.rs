@@ -41,6 +41,10 @@
 //! # Ok::<(), dphls_seq::ParseSeqError>(())
 //! ```
 
+// DP scoring matrices are naturally index-addressed; the range-loop lint
+// fights the domain idiom here.
+#![allow(clippy::needless_range_loop)]
+
 pub mod affine;
 pub mod dtw;
 pub mod linear;
@@ -55,8 +59,8 @@ pub use affine::{BandedLocalAffine, GlobalAffine, LocalAffine};
 pub use dtw::{Dtw, DtwScore, Sdtw};
 pub use linear::{BandedGlobalLinear, GlobalLinear, LocalLinear, Overlap, SemiGlobal};
 pub use params::{
-    AffineParams, LinearParams, NoParams, ProfileParams, ProteinParams, ToCounting,
-    TwoPieceParams, ViterbiParams, BLOSUM62,
+    AffineParams, LinearParams, NoParams, ProfileParams, ProteinParams, ToCounting, TwoPieceParams,
+    ViterbiParams, BLOSUM62,
 };
 pub use profile::ProfileAlign;
 pub use protein::ProteinLocal;

@@ -9,8 +9,8 @@
 use crate::params::LinearParams;
 use dphls_core::score::argmax;
 use dphls_core::{
-    KernelId, KernelMeta, KernelSpec, LayerVec, Objective, Score, TbMove, TbPtr,
-    TbState, TracebackSpec,
+    KernelId, KernelMeta, KernelSpec, LayerVec, Objective, Score, TbMove, TbPtr, TbState,
+    TracebackSpec,
 };
 use dphls_seq::Base;
 use std::marker::PhantomData;
@@ -93,16 +93,19 @@ macro_rules! linear_kernel {
                 }
             }
 
+            #[inline]
             fn init_row(params: &Self::Params, j: usize) -> LayerVec<S> {
                 let f: fn(&LinearParams<S>, usize) -> LayerVec<S> = $init_row;
                 f(params, j)
             }
 
+            #[inline]
             fn init_col(params: &Self::Params, i: usize) -> LayerVec<S> {
                 let f: fn(&LinearParams<S>, usize) -> LayerVec<S> = $init_col;
                 f(params, i)
             }
 
+            #[inline]
             fn pe(
                 params: &Self::Params,
                 q: Base,
@@ -114,6 +117,7 @@ macro_rules! linear_kernel {
                 linear_pe(params, q, r, diag, up, left, $clamp)
             }
 
+            #[inline]
             fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
                 linear_tb(state, ptr)
             }
@@ -314,7 +318,8 @@ mod tests {
         let p = LinearParams::<i16>::dna();
         let a = dna("ACGTTGCATGACGTTGCATG");
         let b = dna("ACGTTGCATGACGTTGCATG");
-        let full = run_reference::<BandedGlobalLinear>(&p, a.as_slice(), b.as_slice(), Banding::None);
+        let full =
+            run_reference::<BandedGlobalLinear>(&p, a.as_slice(), b.as_slice(), Banding::None);
         let banded = run_reference::<BandedGlobalLinear>(
             &p,
             a.as_slice(),

@@ -53,14 +53,17 @@ impl<S: Score> KernelSpec for ProfileAlign<S> {
         }
     }
 
+    #[inline]
     fn init_row(params: &Self::Params, j: usize) -> LayerVec<S> {
         LayerVec::splat(1, S::from_f64(params.gap.to_f64() * j as f64))
     }
 
+    #[inline]
     fn init_col(params: &Self::Params, i: usize) -> LayerVec<S> {
         LayerVec::splat(1, S::from_f64(params.gap.to_f64() * i as f64))
     }
 
+    #[inline]
     fn pe(
         params: &Self::Params,
         q: ProfileColumn,
@@ -77,6 +80,7 @@ impl<S: Score> KernelSpec for ProfileAlign<S> {
         (LayerVec::splat(1, best), ptr)
     }
 
+    #[inline]
     fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
         let mv = match ptr.direction() {
             TbPtr::DIAG => TbMove::Diag,
@@ -158,7 +162,8 @@ mod tests {
         let related = base.clone();
         let unrelated = ProfileBuilder::new(777).profile(48, 4, 0.05);
         let p = ProfileParams::<i32>::dna(4);
-        let same = run_reference::<ProfileAlign>(&p, base.as_slice(), related.as_slice(), Banding::None);
+        let same =
+            run_reference::<ProfileAlign>(&p, base.as_slice(), related.as_slice(), Banding::None);
         let diff =
             run_reference::<ProfileAlign>(&p, base.as_slice(), unrelated.as_slice(), Banding::None);
         assert!(same.best_score > diff.best_score);

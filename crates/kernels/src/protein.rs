@@ -35,14 +35,17 @@ impl<S: Score> KernelSpec for ProteinLocal<S> {
         }
     }
 
+    #[inline]
     fn init_row(_: &Self::Params, _j: usize) -> LayerVec<S> {
         LayerVec::splat(1, S::zero())
     }
 
+    #[inline]
     fn init_col(_: &Self::Params, _i: usize) -> LayerVec<S> {
         LayerVec::splat(1, S::zero())
     }
 
+    #[inline]
     fn pe(
         params: &Self::Params,
         q: AminoAcid,
@@ -64,6 +67,7 @@ impl<S: Score> KernelSpec for ProteinLocal<S> {
         (LayerVec::splat(1, best), ptr)
     }
 
+    #[inline]
     fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
         let mv = match ptr.direction() {
             TbPtr::DIAG => TbMove::Diag,
@@ -94,7 +98,8 @@ mod tests {
     fn identical_peptide_scores_blosum_diagonal_sum() {
         // W(11) + W(11) + K(5) + V(4) = 31
         let s = prot("WWKV");
-        let out = run_reference::<ProteinLocal>(&params(), s.as_slice(), s.as_slice(), Banding::None);
+        let out =
+            run_reference::<ProteinLocal>(&params(), s.as_slice(), s.as_slice(), Banding::None);
         assert_eq!(out.best_score, 31);
         assert_eq!(out.alignment.unwrap().cigar(), "4M");
     }
@@ -104,7 +109,8 @@ mod tests {
         // The motif "WWWW" dominates (11 each).
         let q = prot("AAAAWWWWAAAA");
         let r = prot("GGGGWWWWGGGG");
-        let out = run_reference::<ProteinLocal>(&params(), q.as_slice(), r.as_slice(), Banding::None);
+        let out =
+            run_reference::<ProteinLocal>(&params(), q.as_slice(), r.as_slice(), Banding::None);
         assert!(out.best_score >= 44);
         let aln = out.alignment.unwrap();
         assert!(aln.cigar().contains('M'));
@@ -116,7 +122,8 @@ mod tests {
         let mut s = ProteinSampler::new(4);
         let a = s.sample(60);
         let b = s.sample(60);
-        let out = run_reference::<ProteinLocal>(&params(), a.as_slice(), b.as_slice(), Banding::None);
+        let out =
+            run_reference::<ProteinLocal>(&params(), a.as_slice(), b.as_slice(), Banding::None);
         assert!(out.best_score >= 0);
     }
 
@@ -125,8 +132,10 @@ mod tests {
         let mut s = ProteinSampler::new(5);
         let (q, hom) = s.homolog_pair(120, 0.8);
         let rnd = ProteinSampler::new(777).sample(hom.len());
-        let hit = run_reference::<ProteinLocal>(&params(), q.as_slice(), hom.as_slice(), Banding::None);
-        let miss = run_reference::<ProteinLocal>(&params(), q.as_slice(), rnd.as_slice(), Banding::None);
+        let hit =
+            run_reference::<ProteinLocal>(&params(), q.as_slice(), hom.as_slice(), Banding::None);
+        let miss =
+            run_reference::<ProteinLocal>(&params(), q.as_slice(), rnd.as_slice(), Banding::None);
         assert!(hit.best_score > 2 * miss.best_score);
     }
 
@@ -136,7 +145,8 @@ mod tests {
         // substitution keeps extending.
         let q = prot("KKKIKKK");
         let r = prot("KKKVKKK");
-        let out = run_reference::<ProteinLocal>(&params(), q.as_slice(), r.as_slice(), Banding::None);
+        let out =
+            run_reference::<ProteinLocal>(&params(), q.as_slice(), r.as_slice(), Banding::None);
         assert_eq!(out.alignment.unwrap().cigar(), "7M");
     }
 

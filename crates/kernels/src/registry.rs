@@ -13,19 +13,18 @@ use crate::affine::{BandedLocalAffine, GlobalAffine, LocalAffine};
 use crate::dtw::{Dtw, DtwScore, Sdtw};
 use crate::linear::{BandedGlobalLinear, GlobalLinear, LocalLinear, Overlap, SemiGlobal};
 use crate::params::{
-    AffineParams, LinearParams, NoParams, ProfileParams, ProteinParams, ToCounting,
-    TwoPieceParams, ViterbiParams,
+    AffineParams, LinearParams, NoParams, ProfileParams, ProteinParams, ToCounting, TwoPieceParams,
+    ViterbiParams,
 };
 use crate::profile::ProfileAlign;
 use crate::protein::ProteinLocal;
 use crate::two_piece::{BandedGlobalTwoPiece, GlobalTwoPiece};
 use crate::viterbi::{Viterbi, ViterbiScore};
 use dphls_core::instrument::count_ops;
-use dphls_core::{
-    CountingScore, KernelConfig, KernelMeta, KernelSpec, LayerVec, OpCounts, Score,
+use dphls_core::{CountingScore, KernelConfig, KernelMeta, KernelSpec, LayerVec, OpCounts, Score};
+use dphls_seq::gen::{
+    ComplexSignalGenerator, ProfileBuilder, ProteinSampler, ReadSimulator, SquiggleSimulator,
 };
-use dphls_seq::gen::{ComplexSignalGenerator, ProfileBuilder, ProteinSampler, ReadSimulator,
-    SquiggleSimulator};
 use dphls_seq::{Base, Complex, ProfileColumn, Symbol};
 
 /// Paper-reported Table 2 reference values for one kernel (used only for
@@ -74,7 +73,7 @@ pub trait KernelVisitor {
         &mut self,
         info: &CaseInfo,
         params: &K::Params,
-        workload: &[(Vec<K::Sym>, Vec<K::Sym>)],
+        workload: &[dphls_core::SeqPair<K>],
     );
 }
 
@@ -119,13 +118,13 @@ fn info<K: KernelSpec>(
     paper: PaperTable2,
 ) -> CaseInfo {
     let param_table_bits = match K::meta().id.0 {
-        1 | 3 | 6 | 7 | 11 => 3 * 16,       // LinearParams
-        2 | 4 | 12 => 4 * 16,               // AffineParams
-        5 | 13 => 6 * 16,                   // TwoPieceParams
-        8 => 26 * 32,                       // 5x5 sum-of-pairs matrix + gap
-        9 | 14 => 0,                        // NoParams
-        10 => 30 * 32,                      // 5x5 emission + 5 scalars
-        15 => 401 * 16,                     // BLOSUM62 + gap
+        1 | 3 | 6 | 7 | 11 => 3 * 16, // LinearParams
+        2 | 4 | 12 => 4 * 16,         // AffineParams
+        5 | 13 => 6 * 16,             // TwoPieceParams
+        8 => 26 * 32,                 // 5x5 sum-of-pairs matrix + gap
+        9 | 14 => 0,                  // NoParams
+        10 => 30 * 32,                // 5x5 emission + 5 scalars
+        15 => 401 * 16,               // BLOSUM62 + gap
         _ => 0,
     };
     CaseInfo {
@@ -475,7 +474,7 @@ mod tests {
     fn profile_kernel_is_dsp_dominant() {
         let c = collect();
         let profile = &c.infos[7]; // #8
-        // 5x5 matrix-vector + dot product: 30 multiplies.
+                                   // 5x5 matrix-vector + dot product: 30 multiplies.
         assert_eq!(profile.op_counts.muls, 30);
         // More multipliers than any other kernel.
         for other in c.infos.iter().filter(|i| i.meta.id.0 != 8) {

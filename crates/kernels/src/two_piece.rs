@@ -139,14 +139,17 @@ macro_rules! two_piece_kernel {
                 }
             }
 
+            #[inline]
             fn init_row(params: &Self::Params, j: usize) -> LayerVec<S> {
                 two_piece_ramp(params, j, false)
             }
 
+            #[inline]
             fn init_col(params: &Self::Params, i: usize) -> LayerVec<S> {
                 two_piece_ramp(params, i, true)
             }
 
+            #[inline]
             fn pe(
                 params: &Self::Params,
                 q: Base,
@@ -158,6 +161,7 @@ macro_rules! two_piece_kernel {
                 pe_impl(params, q, r, diag, up, left)
             }
 
+            #[inline]
             fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
                 tb_impl(state, ptr)
             }
@@ -243,8 +247,10 @@ mod tests {
         ] {
             let q = dna(qs);
             let r = dna(rs);
-            let two = run_reference::<GlobalTwoPiece>(&p(), q.as_slice(), r.as_slice(), Banding::None);
-            let one = run_reference::<GlobalAffine<i32>>(&pa, q.as_slice(), r.as_slice(), Banding::None);
+            let two =
+                run_reference::<GlobalTwoPiece>(&p(), q.as_slice(), r.as_slice(), Banding::None);
+            let one =
+                run_reference::<GlobalAffine<i32>>(&pa, q.as_slice(), r.as_slice(), Banding::None);
             assert!(
                 two.best_score >= one.best_score,
                 "{qs} vs {rs}: {} < {}",

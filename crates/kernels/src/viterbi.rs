@@ -44,6 +44,7 @@ impl<S: Score> KernelSpec for Viterbi<S> {
         }
     }
 
+    #[inline]
     fn init_row(params: &Self::Params, j: usize) -> LayerVec<S> {
         if j == 0 {
             // log P(start) = 0; gap states unreachable at the origin.
@@ -56,6 +57,7 @@ impl<S: Score> KernelSpec for Viterbi<S> {
         LayerVec::from_slice(&[S::neg_inf(), S::neg_inf(), S::from_f64(lp)])
     }
 
+    #[inline]
     fn init_col(params: &Self::Params, i: usize) -> LayerVec<S> {
         let lp = params.log_delta.to_f64()
             + (i - 1) as f64 * params.log_epsilon.to_f64()
@@ -63,6 +65,7 @@ impl<S: Score> KernelSpec for Viterbi<S> {
         LayerVec::from_slice(&[S::neg_inf(), S::from_f64(lp), S::neg_inf()])
     }
 
+    #[inline]
     fn pe(
         params: &Self::Params,
         q: Base,
@@ -91,10 +94,7 @@ impl<S: Score> KernelSpec for Viterbi<S> {
             (left.get(VJ).add(params.log_epsilon), 1),
         ]);
         let vj = params.log_q.add(j_best);
-        (
-            LayerVec::from_slice(&[vm, vi, vj]),
-            dphls_core::TbPtr::END,
-        )
+        (LayerVec::from_slice(&[vm, vi, vj]), dphls_core::TbPtr::END)
     }
 }
 
@@ -155,7 +155,8 @@ mod tests {
         ] {
             let q = dna(qs);
             let r = dna(rs);
-            let out = run_reference::<Viterbi>(&params(), q.as_slice(), r.as_slice(), Banding::None);
+            let out =
+                run_reference::<Viterbi>(&params(), q.as_slice(), r.as_slice(), Banding::None);
             let direct = viterbi_f64(q.as_slice(), r.as_slice());
             let log_direct = direct.ln();
             let got = out.best_score.to_f64();

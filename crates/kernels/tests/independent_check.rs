@@ -5,6 +5,9 @@
 //! wrongly in the kernel, both engines would agree on the wrong answer —
 //! these tests would not.
 
+// Textbook DP recurrences are index-addressed by nature.
+#![allow(clippy::needless_range_loop)]
+
 use dphls_core::{run_reference, Banding};
 use dphls_kernels::{
     AffineParams, Dtw, GlobalAffine, GlobalLinear, LinearParams, LocalLinear, NoParams,

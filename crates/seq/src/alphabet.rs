@@ -116,8 +116,8 @@ pub struct AminoAcid(u8);
 
 /// Canonical one-letter order used for indices 0..20.
 pub const AMINO_ORDER: [char; 20] = [
-    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
-    'Y', 'V',
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W', 'Y',
+    'V',
 ];
 
 impl AminoAcid {

@@ -107,12 +107,12 @@ mod tests {
 
     #[test]
     fn gc_content_is_respected() {
-        let g = GenomeGenerator::new(2).gc_content(0.8).repeats(0.0, 0).generate(20_000);
-        let gc = g
-            .iter()
-            .filter(|&&b| b == Base::G || b == Base::C)
-            .count() as f64
-            / g.len() as f64;
+        let g = GenomeGenerator::new(2)
+            .gc_content(0.8)
+            .repeats(0.0, 0)
+            .generate(20_000);
+        let gc =
+            g.iter().filter(|&&b| b == Base::G || b == Base::C).count() as f64 / g.len() as f64;
         assert!((gc - 0.8).abs() < 0.02, "observed gc {gc}");
     }
 
@@ -130,8 +130,8 @@ mod tests {
         let g = GenomeGenerator::new(3).repeats(0.05, 16).generate(5000);
         // Count positions equal to the base 16 earlier; repeats push this
         // well above the 25% random baseline.
-        let hits = (16..g.len()).filter(|&i| g[i] == g[i - 16]).count() as f64
-            / (g.len() - 16) as f64;
+        let hits =
+            (16..g.len()).filter(|&i| g[i] == g[i - 16]).count() as f64 / (g.len() - 16) as f64;
         assert!(hits > 0.3, "self-similarity {hits}");
     }
 

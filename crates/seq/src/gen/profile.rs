@@ -115,7 +115,7 @@ mod tests {
         let mut b = ProfileBuilder::new(2);
         let p = b.profile(50, 5, 0.0);
         for col in p.iter() {
-            assert!(col.counts().iter().any(|&c| c == 5));
+            assert!(col.counts().contains(&5));
             assert_eq!(col.count(4), 0); // no gaps
         }
     }

@@ -11,8 +11,8 @@ use dphls_util::Xoshiro256;
 /// Swiss-Prot amino-acid background frequencies (percent), indexed in
 /// [`AMINO_ORDER`] order (A R N D C Q E G H I L K M F P S T W Y V).
 pub const SWISSPROT_FREQS: [f64; 20] = [
-    8.25, 5.53, 4.06, 5.45, 1.37, 3.93, 6.75, 7.07, 2.27, 5.96, 9.66, 5.84, 2.42, 3.86, 4.70,
-    6.56, 5.34, 1.08, 2.92, 6.87,
+    8.25, 5.53, 4.06, 5.45, 1.37, 3.93, 6.75, 7.07, 2.27, 5.96, 9.66, 5.84, 2.42, 3.86, 4.70, 6.56,
+    5.34, 1.08, 2.92, 6.87,
 ];
 
 /// Samples synthetic proteins with Swiss-Prot composition.

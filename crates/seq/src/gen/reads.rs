@@ -109,7 +109,10 @@ impl ReadSimulator {
     ///
     /// Panics if `len` is zero or larger than the genome.
     pub fn read_pair(&mut self, len: usize, error_rate: f64) -> (DnaSeq, DnaSeq) {
-        assert!(len > 0 && len <= self.genome.len(), "window length out of range");
+        assert!(
+            len > 0 && len <= self.genome.len(),
+            "window length out of range"
+        );
         let start = self.rng.next_range((self.genome.len() - len + 1) as u64) as usize;
         let reference = self.genome.window(start, len);
         let read = self.corrupt(&reference, error_rate);

@@ -149,7 +149,10 @@ impl SquiggleSimulator {
         let mut out = Vec::with_capacity(dna.len() * self.dwell_max);
         for &b in dna.iter() {
             let dwell = self.dwell_min
-                + self.rng.next_range((self.dwell_max - self.dwell_min + 1) as u64) as usize;
+                + self
+                    .rng
+                    .next_range((self.dwell_max - self.dwell_min + 1) as u64)
+                    as usize;
             let level = Self::level(b);
             for _ in 0..dwell {
                 let n = self.rng.next_range((2 * self.noise + 1) as u64) as i16 - self.noise;

@@ -22,7 +22,7 @@
 
 use crate::tbmem::TbMem;
 use dphls_core::reference::{offer_if_eligible, walk_traceback, BestTracker};
-use dphls_core::{DpOutput, KernelConfig, KernelSpec, LayerVec};
+use dphls_core::{Banding, DpOutput, KernelConfig, KernelSpec, LayerVec};
 use std::fmt;
 
 /// Structural counts from one block-level alignment, consumed by the cycle
@@ -90,7 +90,10 @@ impl fmt::Display for SystolicError {
         match self {
             SystolicError::Config(e) => write!(f, "invalid kernel configuration: {e}"),
             SystolicError::SequenceTooLong { which, len, max } => {
-                write!(f, "{which} length {len} exceeds the configured maximum {max}")
+                write!(
+                    f,
+                    "{which} length {len} exceeds the configured maximum {max}"
+                )
             }
             SystolicError::EmptySequence => write!(f, "sequences must be non-empty"),
         }
@@ -105,7 +108,154 @@ impl From<dphls_core::config::ConfigError> for SystolicError {
     }
 }
 
+/// Reusable scratch arena for the systolic engine's hot path.
+///
+/// One alignment needs the Preserved Row Score Buffer (`prev_row` /
+/// `next_row`), the three wavefront snapshots of the DP Memory Buffer, one
+/// [`BestTracker`] per PE, and the banked [`TbMem`]. Allocating them per
+/// alignment dominates short-read batch workloads, so the arena owns them
+/// all and [`run_systolic_with_scratch`] reuses them across alignments:
+/// buffers are resized (`resize`, which keeps capacity) and re-initialized,
+/// never reallocated once they have grown to the workload's maximum
+/// geometry. Results are **bit-identical** to a fresh [`run_systolic`] —
+/// every buffer is restored to its pristine state before use (verified by
+/// the scratch-reuse property tests).
+#[derive(Debug, Clone)]
+pub struct SystolicScratch<S> {
+    prev_row: Vec<LayerVec<S>>,
+    next_row: Vec<LayerVec<S>>,
+    wf_m1: Vec<LayerVec<S>>,
+    wf_m2: Vec<LayerVec<S>>,
+    cur: Vec<LayerVec<S>>,
+    trackers: Vec<BestTracker<S>>,
+    tbmem: Option<TbMem>,
+}
+
+impl<S> SystolicScratch<S> {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            prev_row: Vec::new(),
+            next_row: Vec::new(),
+            wf_m1: Vec::new(),
+            wf_m2: Vec::new(),
+            cur: Vec::new(),
+            trackers: Vec::new(),
+            tbmem: None,
+        }
+    }
+}
+
+impl<S> Default for SystolicScratch<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The active-PE window of one chunk: precomputed band/matrix geometry that
+/// replaces the per-cell `banding.contains` test and the full `0..NPE` lane
+/// scan with closed-form wavefront bounds (`ISSUE 1` hot-path work).
+///
+/// For chunk rows `i = base+1 ..= base+rows` against `R` columns under a
+/// fixed band `|i − j| ≤ hw`, PE `k` computes cell `(base+k+1, w−k+1)` at
+/// wavefront `w`, so the in-band, in-matrix lanes of wavefront `w` are
+///
+/// ```text
+/// k ≥ w + 1 − R           (j ≤ R)
+/// k ≤ w                   (j ≥ 1)
+/// k ≤ rows − 1            (lane exists)
+/// ⌈(w − base − hw)/2⌉ ≤ k ≤ ⌊(w − base + hw)/2⌋   (band)
+/// ```
+///
+/// and the set of non-empty wavefronts is the interval `[w_start, w_end]`
+/// (the band ∩ strip region is convex, so its image under `w = k + j − 1`
+/// has no holes) — except for the degenerate `half_width = 0` band, where
+/// only every other wavefront carries the single diagonal cell and the
+/// in-between wavefronts are empty. Everything outside the interval is
+/// skipped without scanning; empty wavefronts inside it only pay the
+/// buffer-rotation step.
+#[derive(Debug, Clone, Copy)]
+struct ChunkWindow {
+    base: usize,
+    rows: usize,
+    r: usize,
+    /// `None` = unbanded.
+    half_width: Option<usize>,
+    /// First wavefront with any in-band cell.
+    w_start: usize,
+    /// Last wavefront with any in-band cell.
+    w_end: usize,
+}
+
+impl ChunkWindow {
+    /// Computes the window for one chunk, or `None` if the chunk (and,
+    /// because `i` only grows, every later chunk) is entirely out of band.
+    fn new(base: usize, rows: usize, r: usize, banding: Banding) -> Option<Self> {
+        match banding {
+            Banding::None => Some(Self {
+                base,
+                rows,
+                r,
+                half_width: None,
+                w_start: 0,
+                w_end: rows + r - 2,
+            }),
+            Banding::Fixed { half_width: hw } => {
+                // Row i has in-band columns iff i − hw ≤ R.
+                if base + 1 > r + hw {
+                    return None;
+                }
+                // Last lane whose row still intersects the band.
+                let k_last = (rows - 1).min(r + hw - base - 1);
+                // First in-band cell of row base+1 is column max(1, i−hw).
+                let w_start = (base + 1).saturating_sub(hw + 1);
+                // Last in-band cell of row base+k_last+1.
+                let w_end = k_last + (base + k_last + 1 + hw).min(r) - 1;
+                Some(Self {
+                    base,
+                    rows: k_last + 1,
+                    r,
+                    half_width: Some(hw),
+                    w_start,
+                    w_end,
+                })
+            }
+        }
+    }
+
+    /// Active lane bounds `[k_lo, k_hi]` of wavefront `w`, signed. The
+    /// range may be empty (`k_lo > k_hi`, by exactly one — only for a
+    /// `half_width = 0` band on off-parity wavefronts); every lane in a
+    /// non-empty range is in-band and in-matrix, so the PE loop needs no
+    /// per-cell membership test. Both bounds move down by at most one lane
+    /// per wavefront, which is what lets the caller keep buffer hygiene by
+    /// clearing just the two flanking lanes.
+    #[inline]
+    fn lanes(&self, w: usize) -> (isize, isize) {
+        let w = w as isize;
+        let r = self.r as isize;
+        let mut lo = (w + 1 - r).max(0);
+        let mut hi = w.min(self.rows as isize - 1);
+        if let Some(hw) = self.half_width {
+            let (base, hw) = (self.base as isize, hw as isize);
+            // ceil((w - base - hw) / 2) and floor((w - base + hw) / 2).
+            lo = lo.max((w - base - hw + 1).div_euclid(2));
+            hi = hi.min((w - base + hw).div_euclid(2));
+        }
+        debug_assert!(
+            lo >= 0 && lo <= hi + 1,
+            "lane window out of bounds (w={w}, chunk base {})",
+            self.base
+        );
+        (lo, hi)
+    }
+}
+
 /// Runs one alignment through the systolic block.
+///
+/// Equivalent to [`run_systolic_with_scratch`] with a fresh
+/// [`SystolicScratch`]; batch callers should hold a scratch per worker and
+/// call the `_with_scratch` form to keep the hot path allocation-free.
 ///
 /// # Errors
 ///
@@ -116,6 +266,27 @@ pub fn run_systolic<K: KernelSpec>(
     query: &[K::Sym],
     reference: &[K::Sym],
     config: &KernelConfig,
+) -> Result<SystolicRun<K::Score>, SystolicError> {
+    let mut scratch = SystolicScratch::new();
+    run_systolic_with_scratch::<K>(params, query, reference, config, &mut scratch)
+}
+
+/// Runs one alignment through the systolic block, reusing `scratch` for
+/// every internal buffer. Bit-identical to [`run_systolic`]; after the
+/// first call on the largest geometry of a workload the hot path performs
+/// **no heap allocation** (the returned alignment path is the only output
+/// allocation).
+///
+/// # Errors
+///
+/// Returns [`SystolicError`] if the configuration is invalid, a sequence is
+/// empty, or a sequence exceeds the configured maximum lengths.
+pub fn run_systolic_with_scratch<K: KernelSpec>(
+    params: &K::Params,
+    query: &[K::Sym],
+    reference: &[K::Sym],
+    config: &KernelConfig,
+    scratch: &mut SystolicScratch<K::Score>,
 ) -> Result<SystolicRun<K::Score>, SystolicError> {
     config.validate()?;
     if query.is_empty() || reference.is_empty() {
@@ -143,21 +314,47 @@ pub fn run_systolic<K: KernelSpec>(
     let chunks = config.chunks_for(q);
     let worst: LayerVec<K::Score> = LayerVec::splat(meta.n_layers, meta.objective.worst());
 
-    let mut tbmem = TbMem::new(npe, chunks, r);
-    let mut trackers: Vec<BestTracker<K::Score>> =
-        (0..npe).map(|_| BestTracker::new(meta.objective)).collect();
+    // ---- Arena preparation: resize (capacity-preserving) + re-init. ----
+    let SystolicScratch {
+        prev_row,
+        next_row,
+        wf_m1,
+        wf_m2,
+        cur,
+        trackers,
+        tbmem,
+    } = scratch;
+
+    match tbmem {
+        Some(mem) => mem.reset(npe, chunks, r),
+        None => *tbmem = Some(TbMem::new(npe, chunks, r)),
+    }
+    let tbmem = tbmem.as_mut().expect("tbmem just initialized");
+
+    trackers.truncate(npe);
+    for t in trackers.iter_mut() {
+        t.reset(meta.objective);
+    }
+    trackers.resize_with(npe, || BestTracker::new(meta.objective));
+
+    for buf in [&mut *wf_m1, &mut *wf_m2, &mut *cur] {
+        buf.clear();
+        buf.resize(npe, worst);
+    }
+    next_row.clear();
+    next_row.resize(r + 1, worst);
 
     // Preserved Row Score Buffer: scores of the row above the current
     // chunk's first row, indexed by column 0..=R.
-    let mut prev_row: Vec<LayerVec<K::Score>> = (0..=r)
-        .map(|j| {
-            if banding.contains(0, j) {
-                K::init_row(params, j)
-            } else {
-                worst
-            }
-        })
-        .collect();
+    prev_row.clear();
+    prev_row.resize(r + 1, worst);
+    let row0_band_end = match banding {
+        Banding::None => r,
+        Banding::Fixed { half_width } => half_width.min(r),
+    };
+    for (j, slot) in prev_row.iter_mut().enumerate().take(row0_band_end + 1) {
+        *slot = K::init_row(params, j);
+    }
 
     let mut stats = BlockStats {
         chunks: chunks as u64,
@@ -167,18 +364,20 @@ pub fn run_systolic<K: KernelSpec>(
         ..BlockStats::default()
     };
 
-    // DP Memory Buffer: each PE's outputs at wavefronts w-1 and w-2.
-    let mut wf_m1: Vec<LayerVec<K::Score>> = vec![worst; npe];
-    let mut wf_m2: Vec<LayerVec<K::Score>> = vec![worst; npe];
-    let mut cur: Vec<LayerVec<K::Score>> = vec![worst; npe];
-
     for c in 0..chunks {
         let base = c * npe;
         let rows = npe.min(q - base);
         let last_pe = rows - 1;
+        let Some(window) = ChunkWindow::new(base, rows, r, banding) else {
+            // The band has exited the matrix below this chunk; every later
+            // chunk starts even deeper, so the block is done.
+            break;
+        };
         // Next chunk's preserved row: column 0 is the boundary value of the
         // chunk's last row.
-        let mut next_row: Vec<LayerVec<K::Score>> = vec![worst; r + 1];
+        for slot in next_row.iter_mut() {
+            *slot = worst;
+        }
         let last_i = base + last_pe + 1;
         next_row[0] = if banding.contains(last_i, 0) {
             K::init_col(params, last_i)
@@ -192,74 +391,84 @@ pub fn run_systolic<K: KernelSpec>(
             *s = worst;
         }
 
-        let wavefronts = TbMem::wavefronts_per_chunk(npe, r);
-        for w in 0..wavefronts {
-            let mut any_active = false;
-            for k in 0..npe {
-                // PE k computes cell (i, j) at this wavefront.
-                let i = base + k + 1;
-                let jj = w as isize - k as isize + 1;
-                if k >= rows || jj < 1 || jj > r as isize {
-                    cur[k] = worst;
-                    continue;
-                }
-                let j = jj as usize;
-                if !banding.contains(i, j) {
-                    cur[k] = worst;
-                    continue;
-                }
-                any_active = true;
-                // Neighbor fetch mirrors the hardware buffers exactly.
-                let left = if j == 1 {
-                    if banding.contains(i, 0) {
-                        K::init_col(params, i)
+        // Dead wavefronts before w_start and after w_end are skipped
+        // entirely; within the window the lane bounds are closed-form, so
+        // the loop touches only in-band cells. An empty bound pair (only
+        // possible for half_width = 0, off-parity wavefronts) skips the PE
+        // loop but still rotates the buffers so wavefront parities stay
+        // aligned.
+        for w in window.w_start..=window.w_end {
+            let (lo, hi) = window.lanes(w);
+            if lo <= hi {
+                let (k_lo, k_hi) = (lo as usize, hi as usize);
+                for k in k_lo..=k_hi {
+                    // PE k computes cell (i, j) at this wavefront.
+                    let i = base + k + 1;
+                    let j = w - k + 1;
+                    // Neighbor fetch mirrors the hardware buffers exactly.
+                    let left = if j == 1 {
+                        if banding.contains(i, 0) {
+                            K::init_col(params, i)
+                        } else {
+                            worst
+                        }
                     } else {
-                        worst
-                    }
-                } else {
-                    wf_m1[k]
-                };
-                let up = if k == 0 { prev_row[j] } else { wf_m1[k - 1] };
-                let diag = if k == 0 {
-                    prev_row[j - 1]
-                } else if j == 1 {
-                    if banding.contains(i - 1, 0) {
-                        K::init_col(params, i - 1)
+                        wf_m1[k]
+                    };
+                    let up = if k == 0 { prev_row[j] } else { wf_m1[k - 1] };
+                    let diag = if k == 0 {
+                        prev_row[j - 1]
+                    } else if j == 1 {
+                        if banding.contains(i - 1, 0) {
+                            K::init_col(params, i - 1)
+                        } else {
+                            worst
+                        }
                     } else {
-                        worst
+                        wf_m2[k - 1]
+                    };
+                    let (out, ptr) =
+                        K::pe(params, query[i - 1], reference[j - 1], &diag, &up, &left);
+                    offer_if_eligible(
+                        &mut trackers[k],
+                        meta.traceback.best,
+                        out.primary(),
+                        i,
+                        j,
+                        q,
+                        r,
+                    );
+                    tbmem.write(k, c, w, ptr);
+                    if k == last_pe {
+                        next_row[j] = out;
                     }
-                } else {
-                    wf_m2[k - 1]
-                };
-                let (out, ptr) = K::pe(params, query[i - 1], reference[j - 1], &diag, &up, &left);
-                stats.cells += 1;
-                offer_if_eligible(
-                    &mut trackers[k],
-                    meta.traceback.best,
-                    out.primary(),
-                    i,
-                    j,
-                    q,
-                    r,
-                );
-                tbmem.write(k, c, w, ptr);
-                if k == last_pe {
-                    next_row[j] = out;
+                    cur[k] = out;
                 }
-                cur[k] = out;
-            }
-            if any_active {
+                stats.cells += (k_hi - k_lo + 1) as u64;
                 stats.wavefronts += 1;
             }
-            std::mem::swap(&mut wf_m2, &mut wf_m1);
-            std::mem::swap(&mut wf_m1, &mut cur);
+            // The lane bounds move down by at most one lane per wavefront,
+            // so clearing one lane on each flank keeps every stale entry
+            // the next two wavefronts can read at the worst value — exactly
+            // what the full-lane scan produced. For an empty wavefront
+            // (lo = hi + 1) the two flanks are lanes hi and lo themselves,
+            // covering everything the next wavefronts can read.
+            let (flank_lo, flank_hi) = (lo - 1, hi + 1);
+            if flank_lo >= 0 {
+                cur[flank_lo as usize] = worst;
+            }
+            if (flank_hi as usize) < npe {
+                cur[flank_hi as usize] = worst;
+            }
+            std::mem::swap(wf_m2, wf_m1);
+            std::mem::swap(wf_m1, cur);
         }
-        prev_row = next_row;
+        std::mem::swap(prev_row, next_row);
     }
 
     // Reduction over per-PE local bests (paper §5.2).
     let mut global = BestTracker::new(meta.objective);
-    for t in &trackers {
+    for t in trackers.iter() {
         global.merge(t);
     }
     let (best_score, best_cell) = global.best();
@@ -346,7 +555,10 @@ mod tests {
         let long = dna(&"A".repeat(600));
         let err =
             run_systolic::<GlobalLinear>(&p, long.as_slice(), q.as_slice(), &cfg(2)).unwrap_err();
-        assert!(matches!(err, SystolicError::SequenceTooLong { which: "query", .. }));
+        assert!(matches!(
+            err,
+            SystolicError::SequenceTooLong { which: "query", .. }
+        ));
         assert!(err.to_string().contains("600"));
 
         let bad_cfg = KernelConfig::new(0, 1, 1);
@@ -372,6 +584,30 @@ mod tests {
         // NPE=1 is perfectly utilized.
         let run = run_systolic_ok::<GlobalLinear>(&p, s.as_slice(), s.as_slice(), &cfg(1));
         assert!((run.stats.pe_utilization(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_bands_match_reference() {
+        // half_width 0 activates only every other wavefront (the pure
+        // diagonal), and half_width 1 is the narrowest contiguous band —
+        // both must stay bit-identical to the reference engine.
+        let p = LinearParams::<i16>::dna();
+        let a = dna("ACGTACGTACGTACG"); // 15 long
+        let b = dna("ACGAACGTTCGTAC"); // 14 long
+        for hw in [0usize, 1, 2] {
+            for npe in [1usize, 3, 4, 8] {
+                let config = cfg(npe).with_banding(hw);
+                let banding = Banding::Fixed { half_width: hw };
+                let want = run_reference::<GlobalLinear>(&p, a.as_slice(), b.as_slice(), banding);
+                let got = run_systolic_ok::<GlobalLinear>(&p, a.as_slice(), b.as_slice(), &config);
+                assert_eq!(got.output, want, "hw={hw} npe={npe}");
+                // Zero half-width computes exactly the diagonal.
+                if hw == 0 {
+                    assert_eq!(got.stats.cells, b.len() as u64, "hw=0 npe={npe}");
+                    assert_eq!(got.stats.wavefronts, b.len() as u64, "hw=0 npe={npe}");
+                }
+            }
+        }
     }
 
     #[test]

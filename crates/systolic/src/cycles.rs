@@ -155,10 +155,7 @@ pub fn alignment_cycles(
 /// phases serialize while their fills proceed in parallel (paper §5.3 /
 /// Fig 2B). The effective per-alignment cycle cost of a block is therefore
 /// bounded below by `NB ×` the I/O the arbiter must serialize.
-pub fn effective_cycles_per_alignment(
-    breakdown: &CycleBreakdown,
-    config: &KernelConfig,
-) -> u64 {
+pub fn effective_cycles_per_alignment(breakdown: &CycleBreakdown, config: &KernelConfig) -> u64 {
     let io = breakdown.load + breakdown.writeback;
     breakdown.total.max(io * config.nb as u64)
 }

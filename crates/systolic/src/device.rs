@@ -84,6 +84,16 @@ impl Device {
         &self.cycle_params
     }
 
+    /// The per-kernel cycle inputs (symbol width, traceback, II).
+    pub fn kernel_cycle_info(&self) -> &KernelCycleInfo {
+        &self.kinfo
+    }
+
+    /// The modeled clock frequency in MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        self.freq_mhz
+    }
+
     /// Runs a workload of `(query, reference)` pairs.
     ///
     /// # Errors
@@ -93,7 +103,7 @@ impl Device {
     pub fn run<K: KernelSpec>(
         &self,
         params: &K::Params,
-        workload: &[(Vec<K::Sym>, Vec<K::Sym>)],
+        workload: &[dphls_core::SeqPair<K>],
     ) -> Result<DeviceReport<K::Score>, SystolicError> {
         let mut outputs = Vec::with_capacity(workload.len());
         let mut cycle_sum = 0u64;
@@ -131,7 +141,11 @@ impl Device {
         let throughput = if workload.is_empty() {
             0.0
         } else {
-            throughput_aps(mean_cycles.round().max(1.0) as u64, self.freq_mhz, &self.config)
+            throughput_aps(
+                mean_cycles.round().max(1.0) as u64,
+                self.freq_mhz,
+                &self.config,
+            )
         };
         Ok(DeviceReport {
             outputs,
@@ -191,9 +205,18 @@ mod tests {
     fn throughput_scales_with_nb() {
         let wl = workload(4, 64);
         let p = LinearParams::dna();
-        let t1 = device(8, 1, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
-        let t4 = device(8, 4, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
-        let t16 = device(8, 16, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
+        let t1 = device(8, 1, 1)
+            .run::<GlobalLinear>(&p, &wl)
+            .unwrap()
+            .throughput_aps;
+        let t4 = device(8, 4, 1)
+            .run::<GlobalLinear>(&p, &wl)
+            .unwrap()
+            .throughput_aps;
+        let t16 = device(8, 16, 1)
+            .run::<GlobalLinear>(&p, &wl)
+            .unwrap()
+            .throughput_aps;
         // NB scaling is nearly perfect until the arbiter binds (Fig 3C).
         assert!((t4 / t1 - 4.0).abs() < 0.2, "t4/t1 = {}", t4 / t1);
         assert!(t16 / t1 > 10.0);
@@ -203,9 +226,18 @@ mod tests {
     fn throughput_scales_sublinearly_with_npe_at_high_npe() {
         let wl = workload(4, 128);
         let p = LinearParams::dna();
-        let t2 = device(2, 4, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
-        let t8 = device(8, 4, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
-        let t64 = device(64, 4, 1).run::<GlobalLinear>(&p, &wl).unwrap().throughput_aps;
+        let t2 = device(2, 4, 1)
+            .run::<GlobalLinear>(&p, &wl)
+            .unwrap()
+            .throughput_aps;
+        let t8 = device(8, 4, 1)
+            .run::<GlobalLinear>(&p, &wl)
+            .unwrap()
+            .throughput_aps;
+        let t64 = device(64, 4, 1)
+            .run::<GlobalLinear>(&p, &wl)
+            .unwrap()
+            .throughput_aps;
         // Early scaling is strong...
         assert!(t8 / t2 > 2.0);
         // ...but saturates near NPE = query length (Fig 3A).

@@ -38,7 +38,10 @@ pub mod cycles;
 pub mod device;
 pub mod tbmem;
 
-pub use block::{run_systolic, run_systolic_ok, BlockStats, SystolicError, SystolicRun};
+pub use block::{
+    run_systolic, run_systolic_ok, run_systolic_with_scratch, BlockStats, SystolicError,
+    SystolicRun, SystolicScratch,
+};
 pub use cycles::{
     alignment_cycles, effective_cycles_per_alignment, throughput_aps, CycleBreakdown,
     CycleModelParams, KernelCycleInfo,

@@ -32,13 +32,37 @@ impl TbMem {
     ///
     /// Panics if any dimension is zero.
     pub fn new(npe: usize, chunks: usize, ref_len: usize) -> Self {
-        assert!(npe > 0 && chunks > 0 && ref_len > 0, "TbMem dimensions must be non-zero");
-        let depth = chunks * Self::wavefronts_per_chunk(npe, ref_len);
-        Self {
+        let mut mem = Self {
             npe,
             ref_len,
-            banks: vec![vec![TbPtr::END; depth]; npe],
+            banks: Vec::new(),
             writes: 0,
+        };
+        mem.reset(npe, chunks, ref_len);
+        mem
+    }
+
+    /// Reconfigures the memory for a new block geometry, reusing the bank
+    /// allocations (shrink-or-grow, no realloc when capacity suffices) and
+    /// clearing every entry back to [`TbPtr::END`] so a recycled memory is
+    /// indistinguishable from a fresh one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn reset(&mut self, npe: usize, chunks: usize, ref_len: usize) {
+        assert!(
+            npe > 0 && chunks > 0 && ref_len > 0,
+            "TbMem dimensions must be non-zero"
+        );
+        let depth = chunks * Self::wavefronts_per_chunk(npe, ref_len);
+        self.npe = npe;
+        self.ref_len = ref_len;
+        self.writes = 0;
+        self.banks.resize_with(npe, Vec::new);
+        for bank in &mut self.banks {
+            bank.clear();
+            bank.resize(depth, TbPtr::END);
         }
     }
 
@@ -63,7 +87,10 @@ impl TbMem {
         let c = (i - 1) / self.npe;
         let k = (i - 1) % self.npe;
         let w = (j - 1) + k;
-        (k, c * Self::wavefronts_per_chunk(self.npe, self.ref_len) + w)
+        (
+            k,
+            c * Self::wavefronts_per_chunk(self.npe, self.ref_len) + w,
+        )
     }
 
     /// Writes the pointer PE `k` produced at wavefront `w` of chunk `c`.
@@ -109,7 +136,11 @@ mod tests {
             for j in 1..=r {
                 let (k, addr) = mem.addr_of(i, j);
                 assert!(k < npe);
-                assert!(addr < mem.bank_depth(), "addr {addr} out of {}", mem.bank_depth());
+                assert!(
+                    addr < mem.bank_depth(),
+                    "addr {addr} out of {}",
+                    mem.bank_depth()
+                );
                 assert!(seen.insert((k, addr)), "collision at ({i},{j})");
             }
         }
@@ -162,5 +193,24 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_dims_panic() {
         TbMem::new(0, 1, 1);
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_new() {
+        let mut mem = TbMem::new(4, 2, 8);
+        mem.write(1, 1, 3, TbPtr::DIAG);
+        mem.write(0, 0, 0, TbPtr::DIAG);
+        // Shrink, then grow back: stale pointers must not survive.
+        mem.reset(2, 1, 5);
+        assert_eq!(mem.bank_depth(), 6);
+        assert_eq!(mem.writes(), 0);
+        mem.reset(4, 2, 8);
+        let fresh = TbMem::new(4, 2, 8);
+        assert_eq!(mem.bank_depth(), fresh.bank_depth());
+        for i in 1..=8 {
+            for j in 1..=8 {
+                assert_eq!(mem.read_cell(i, j), fresh.read_cell(i, j), "({i},{j})");
+            }
+        }
     }
 }

@@ -5,8 +5,8 @@
 
 use dphls_core::{run_reference, Banding, KernelConfig};
 use dphls_kernels::{
-    AffineParams, GlobalAffine, GlobalTwoPiece, LinearParams, LocalLinear, NoParams, Overlap,
-    Sdtw, SemiGlobal, TwoPieceParams,
+    AffineParams, GlobalAffine, GlobalTwoPiece, LinearParams, LocalLinear, NoParams, Overlap, Sdtw,
+    SemiGlobal, TwoPieceParams,
 };
 use dphls_seq::Base;
 use dphls_systolic::run_systolic;
@@ -58,7 +58,7 @@ proptest! {
         q in dna(32),
         r in dna(32),
         npe in 1usize..8,
-        hw_band in 2usize..24,
+        hw_band in 0usize..24,
     ) {
         let p = AffineParams::<i16>::dna();
         let max = q.len().max(r.len());

@@ -63,7 +63,11 @@ impl Table {
     ///
     /// Panics if `aligns.len()` differs from the header count.
     pub fn aligns(&mut self, aligns: Vec<Align>) -> &mut Self {
-        assert_eq!(aligns.len(), self.headers.len(), "alignment/header mismatch");
+        assert_eq!(
+            aligns.len(),
+            self.headers.len(),
+            "alignment/header mismatch"
+        );
         self.aligns = aligns;
         self
     }
@@ -74,7 +78,11 @@ impl Table {
     ///
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row/header length mismatch");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row/header length mismatch"
+        );
         self.rows.push(cells);
         self
     }

@@ -149,7 +149,11 @@ fn main() {
     let report = synthesize(&profile, &KernelConfig::new(32, 16, 4), None);
     println!(
         "synthesized on xcvu9p: II={}, fmax={} MHz, {} LUT / {} FF / {} BRAM / {} DSP per block",
-        report.ii, report.fmax_mhz, report.block.lut, report.block.ff, report.block.bram36,
+        report.ii,
+        report.fmax_mhz,
+        report.block.lut,
+        report.block.ff,
+        report.block.bram36,
         report.block.dsp
     );
     println!("a complete new kernel in ~60 lines of front-end code — the §7.6 story");

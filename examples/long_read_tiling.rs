@@ -45,7 +45,10 @@ fn main() {
     );
     println!(
         "identity over matched columns: {:.1}%",
-        100.0 * aln.identity(read.as_slice(), reference.as_slice()).unwrap_or(0.0)
+        100.0
+            * aln
+                .identity(read.as_slice(), reference.as_slice())
+                .unwrap_or(0.0)
     );
 
     // Path sanity: the stitched path must cover both sequences exactly and

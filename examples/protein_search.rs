@@ -60,26 +60,24 @@ fn main() {
         .iter()
         .map(|(_, s)| (query.clone().into_vec(), s.clone().into_vec()))
         .collect();
-    for ((q, s), (_, device_score)) in wl.iter().zip(
-        database
-            .iter()
-            .map(|(n, subj)| {
-                let run = run_systolic_ok::<ProteinLocal<i16>>(
-                    &params,
-                    query.as_slice(),
-                    subj.as_slice(),
-                    &config,
-                );
-                (n, run.output.best_score)
-            }),
-    ) {
+    for ((q, s), (_, device_score)) in wl.iter().zip(database.iter().map(|(n, subj)| {
+        let run = run_systolic_ok::<ProteinLocal<i16>>(
+            &params,
+            query.as_slice(),
+            subj.as_slice(),
+            &config,
+        );
+        (n, run.output.best_score)
+    })) {
         assert_eq!(
             software::protein_sw_score(q, s, &params32),
             device_score as i32,
             "CPU baseline and device must agree on scores"
         );
     }
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let aps = software::measure_throughput(&wl, threads, |(q, s)| {
         software::protein_sw_score(q, s, &params32);
     });

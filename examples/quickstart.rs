@@ -39,20 +39,24 @@ fn main() {
         &config,
     );
     assert_eq!(run.output, golden, "back-end must match the golden model");
-    let aln = run.output.alignment.as_ref().expect("global kernel has a path");
+    let aln = run
+        .output
+        .alignment
+        .as_ref()
+        .expect("global kernel has a path");
     println!(
         "co-sim: score {}, identity {:.1}%, cigar {}...",
         run.output.best_score,
-        100.0 * aln.identity(read.as_slice(), reference.as_slice()).unwrap_or(0.0),
+        100.0
+            * aln
+                .identity(read.as_slice(), reference.as_slice())
+                .unwrap_or(0.0),
         &aln.cigar()[..aln.cigar().len().min(60)]
     );
 
     // ---- C-synthesis: instrument the PE and model the hardware ----------
-    let counts = measure_pe::<GlobalAffine<CountingScore<i16>>>(
-        &params.to_counting(),
-        Base::A,
-        Base::C,
-    );
+    let counts =
+        measure_pe::<GlobalAffine<CountingScore<i16>>>(&params.to_counting(), Base::A, Base::C);
     println!("PE operator mix: {counts}");
     let profile = KernelProfile {
         op_counts: counts,

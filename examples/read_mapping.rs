@@ -16,13 +16,12 @@ fn main() {
     // A 100 kb synthetic genome and 48 short reads of 100 bp at 2% error
     // (Illumina-like substitution-dominated profile).
     let genome = GenomeGenerator::new(11).generate(100_000);
-    let mut sim = ReadSimulator::with_genome(99, genome).error_model(
-        dp_hls::seq::gen::ErrorModel {
+    let mut sim =
+        ReadSimulator::with_genome(99, genome).error_model(dp_hls::seq::gen::ErrorModel {
             sub: 0.9,
             ins: 0.05,
             del: 0.05,
-        },
-    );
+        });
     // Candidate windows are 160 bp around the true locus (a seed-and-extend
     // mapper would produce these); the kernel aligns the read end-to-end
     // inside the window.
@@ -46,8 +45,8 @@ fn main() {
         250.0,
     );
 
-    let report = run_batched::<SemiGlobal<i16>>(&device, &params, &workload)
-        .expect("mapping batch failed");
+    let report =
+        run_batched::<SemiGlobal<i16>>(&device, &params, &workload).expect("mapping batch failed");
 
     let mut mapped = 0usize;
     let mut identities = Vec::new();

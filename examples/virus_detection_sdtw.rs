@@ -62,8 +62,10 @@ fn main() {
         dp_hls::util::mean(&neg_scores)
     );
     let threshold = (pos_max + neg_min) / 2.0;
-    println!("classification threshold {threshold:.1}: perfect separation = {}",
-             pos_max < neg_min);
+    println!(
+        "classification threshold {threshold:.1}: perfect separation = {}",
+        pos_max < neg_min
+    );
     assert!(
         pos_max < neg_min,
         "viral squiggles must score far below background"

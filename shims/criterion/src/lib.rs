@@ -1,0 +1,239 @@
+//! Offline stand-in for `criterion`: keeps the call shapes
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, throughput annotations) and
+//! reports mean wall-clock time per iteration. No statistics beyond
+//! mean/min — good enough to track relative perf offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; one per `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group(name);
+        g.bench_function("main", f);
+        g.finish();
+        self
+    }
+}
+
+/// Work-per-iteration annotation used to derive element/byte rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"name/param"`.
+    pub fn new<P: fmt::Display>(name: &str, param: P) -> Self {
+        Self {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total time budget for measurement.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the work-per-iteration annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&name.to_string(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up: run until the warm-up budget elapses.
+        let start = Instant::now();
+        let mut iters_hint = 1u64;
+        while start.elapsed() < self.warm_up {
+            let mut b = Bencher {
+                iters: iters_hint,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            iters_hint = iters_hint.saturating_mul(2).min(1 << 20);
+        }
+
+        // Measurement: `sample_size` samples within the time budget.
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        let mut min = Duration::MAX;
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per_iter = b.elapsed / b.iters.max(1) as u32;
+            total += b.elapsed;
+            total_iters += b.iters;
+            min = min.min(per_iter);
+            if budget_start.elapsed() > self.measurement {
+                break;
+            }
+        }
+        let mean = if total_iters > 0 {
+            total / total_iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  {:.3} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!(
+                    "  {:.3} MiB/s",
+                    n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!("  {name:<40} mean {mean:>12.3?}  min {min:>12.3?}{rate}");
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .throughput(Throughput::Elements(100));
+        let mut count = 0u64;
+        g.bench_function("count", |b| b.iter(|| count += 1));
+        g.bench_with_input(BenchmarkId::new("id", 7), &7, |b, i| b.iter(|| *i * 2));
+        g.finish();
+        assert!(count > 0);
+    }
+}

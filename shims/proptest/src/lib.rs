@@ -1,0 +1,128 @@
+//! Offline stand-in for `proptest`: the `proptest!` macro, range /
+//! `collection::vec` / `prop_map` / `any` strategies, and a deterministic
+//! case runner. No shrinking — on failure the panic message includes the
+//! case number and the generated inputs are reproducible from the fixed
+//! per-test seed, which is enough to debug offline.
+
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every test file uses.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares deterministic randomized tests with proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(40))]
+///     #[test]
+///     fn holds(x in 0u8..4, v in proptest::collection::vec(0i16..10, 1..9)) {
+///         prop_assert!(v.len() < 9);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            // Deterministic per-test seed derived from the test name.
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                let run = || -> () { $body };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest case {case}/{} failed for {}",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..7, y in -5i32..5, z in 1usize..=4) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in crate::collection::vec((0u8..4).prop_map(|c| c * 2), 1..9),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x % 2 == 0 && x < 8));
+        }
+
+        #[test]
+        fn any_and_floats(a in any::<u64>(), f in -10.0f64..10.0) {
+            let _ = a;
+            prop_assert!((-10.0..10.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        let s = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Numeric strategies: `proptest::num::f64::NORMAL`.
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates normal (finite, non-subnormal, non-NaN) `f64` values of
+    /// both signs across a wide exponent range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// The normal-float strategy constant, mirroring proptest's path.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            loop {
+                // Uniform sign/exponent/mantissa, rejecting non-normals.
+                let bits = rng.next_u64();
+                let v = f64::from_bits(bits);
+                if v.is_normal() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn normal_values_are_normal() {
+            let mut rng = TestRng::from_name("normal");
+            for _ in 0..100 {
+                assert!(NORMAL.sample(&mut rng).is_normal());
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for `serde`: a [`Serialize`] trait that lowers values to
+//! a small JSON data model ([`JsonValue`]), plus a derive macro for plain
+//! structs (re-exported from the `serde_derive` shim). `serde_json` renders
+//! the model to text.
+
+pub use serde_derive::Serialize;
+
+/// The JSON data model values lower into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept apart so u64::MAX survives).
+    UInt(u64),
+    /// Floating point (non-finite values render as `null`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Types that can lower themselves into the JSON data model.
+pub trait Serialize {
+    /// Lowers `self` to a [`JsonValue`].
+    fn to_json_value(&self) -> JsonValue;
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue { JsonValue::Int(*self as i64) }
+        }
+    )*};
+}
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue { JsonValue::UInt(*self as u64) }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Float(f64::from(*self))
+    }
+}
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower() {
+        assert_eq!(3u8.to_json_value(), JsonValue::UInt(3));
+        assert_eq!((-2i32).to_json_value(), JsonValue::Int(-2));
+        assert_eq!(true.to_json_value(), JsonValue::Bool(true));
+        assert_eq!("x".to_json_value(), JsonValue::Str("x".into()));
+    }
+
+    #[test]
+    fn compounds_lower() {
+        assert_eq!(
+            (1u8, 2.5f64).to_json_value(),
+            JsonValue::Array(vec![JsonValue::UInt(1), JsonValue::Float(2.5)])
+        );
+        assert_eq!(
+            vec![1i64, 2].to_json_value(),
+            JsonValue::Array(vec![JsonValue::Int(1), JsonValue::Int(2)])
+        );
+        assert_eq!(Option::<u8>::None.to_json_value(), JsonValue::Null);
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` for plain
+//! named-field structs (no generics, no attributes beyond doc comments),
+//! which is all the repository's report types need. Implemented directly on
+//! `proc_macro` token streams since `syn`/`quote` are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by lowering every named field with its own
+/// `Serialize` impl into a `serde::JsonValue::Object`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let name = struct_name(&tokens);
+    let fields = field_names(&tokens);
+    let mut entries = String::new();
+    for f in &fields {
+        entries.push_str(&format!(
+            "(\"{f}\".to_string(), serde::Serialize::to_json_value(&self.{f})),"
+        ));
+    }
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_json_value(&self) -> serde::JsonValue {{\n\
+         \t\tserde::JsonValue::Object(vec![{entries}])\n\
+         \t}}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+/// The identifier following the `struct` keyword.
+fn struct_name(tokens: &[TokenTree]) -> String {
+    let mut saw_struct = false;
+    for tt in tokens {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_struct {
+                return s;
+            }
+            if s == "struct" {
+                saw_struct = true;
+            }
+        }
+    }
+    panic!("derive(Serialize) shim: expected a struct item");
+}
+
+/// Field names of the (named-field) struct body: idents immediately before a
+/// lone `:` at brace depth 0, outside `<...>` generic argument lists.
+fn field_names(tokens: &[TokenTree]) -> Vec<String> {
+    let body = tokens
+        .iter()
+        .rev()
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("derive(Serialize) shim supports only named-field structs");
+
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut expecting_name = true;
+    for (i, tt) in toks.iter().enumerate() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => expecting_name = true,
+                ':' if expecting_name && angle_depth == 0 => {
+                    let part_of_path = matches!(
+                        toks.get(i + 1),
+                        Some(TokenTree::Punct(n)) if n.as_char() == ':'
+                    ) || matches!(
+                        i.checked_sub(1).and_then(|j| toks.get(j)),
+                        Some(TokenTree::Punct(n)) if n.as_char() == ':'
+                    );
+                    if !part_of_path {
+                        if let Some(TokenTree::Ident(id)) =
+                            i.checked_sub(1).and_then(|j| toks.get(j))
+                        {
+                            fields.push(id.to_string());
+                            expecting_name = false;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    fields
+}

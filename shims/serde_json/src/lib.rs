@@ -1,0 +1,340 @@
+//! Offline stand-in for `serde_json`: renders the `serde` shim's JSON model
+//! to text (`to_string` / `to_string_pretty`) and parses text back to the
+//! model (`from_str`, used to validate emitted reports).
+
+use serde::{JsonValue, Serialize};
+use std::fmt;
+
+/// Serialization/parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the shim's data model; the `Result` mirrors serde_json.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Never fails for the shim's data model; the `Result` mirrors serde_json.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &JsonValue, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Int(i) => out.push_str(&i.to_string()),
+        JsonValue::UInt(u) => out.push_str(&u.to_string()),
+        JsonValue::Float(x) => {
+            if x.is_finite() {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        JsonValue::Str(s) => escape_into(s, out),
+        JsonValue::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        JsonValue::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into the data model (objects keep insertion order).
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing garbage.
+pub fn from_str(s: &str) -> Result<JsonValue, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing data at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error(format!("expected ':' at byte {pos}")));
+                }
+                *pos += 1;
+                entries.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(entries));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b
+                    .get(*pos)
+                    .copied()
+                    .ok_or_else(|| Error("bad escape".into()))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| Error("bad \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| Error(e.to_string()))?,
+                            16,
+                        )
+                        .map_err(|e| Error(e.to_string()))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(Error(format!("bad escape at byte {pos}"))),
+                }
+            }
+            c => {
+                // Re-decode multi-byte UTF-8 sequences from the source.
+                let start = *pos - 1;
+                let width = utf8_width(c);
+                let end = start + width;
+                let chunk = b.get(start..end).ok_or_else(|| Error("bad utf8".into()))?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| Error(e.to_string()))?);
+                *pos = end;
+            }
+        }
+    }
+    Err(Error("unterminated string".into()))
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, Error> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| Error(e.to_string()))?;
+    if text.contains(['.', 'e', 'E']) {
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|e| Error(e.to_string()))
+    } else if let Ok(i) = text.parse::<i64>() {
+        Ok(JsonValue::Int(i))
+    } else {
+        text.parse::<u64>()
+            .map(JsonValue::UInt)
+            .map_err(|e| Error(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_pretty() {
+        let v = JsonValue::Object(vec![
+            ("a".into(), JsonValue::Int(-3)),
+            (
+                "b".into(),
+                JsonValue::Array(vec![JsonValue::Float(1.5), JsonValue::Null]),
+            ),
+            ("s".into(), JsonValue::Str("x\"y".into())),
+        ]);
+        struct Wrap(JsonValue);
+        impl Serialize for Wrap {
+            fn to_json_value(&self) -> JsonValue {
+                self.0.clone()
+            }
+        }
+        let text = to_string_pretty(&Wrap(v.clone())).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        let compact = to_string(&Wrap(v.clone())).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        struct W;
+        impl Serialize for W {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Float(4.0)
+            }
+        }
+        assert_eq!(to_string(&W).unwrap(), "4.0");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{,}").is_err());
+        assert!(from_str("[1 2]").is_err());
+        assert!(from_str("123abc").is_err());
+    }
+}

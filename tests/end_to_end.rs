@@ -122,7 +122,12 @@ fn tiling_pipeline_handles_paper_scale_reads() {
     assert!(out.tiles >= 10);
     // The stitched score must equal the independent path re-scoring.
     assert_eq!(
-        dp_hls::host::score_path_affine(read.as_slice(), reference.as_slice(), &out.alignment, &params),
+        dp_hls::host::score_path_affine(
+            read.as_slice(),
+            reference.as_slice(),
+            &out.alignment,
+            &params
+        ),
         out.score
     );
 }

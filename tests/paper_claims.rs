@@ -49,7 +49,9 @@ fn claim_fifteen_diverse_kernels() {
         .iter()
         .any(|i| matches!(i.table2_config.banding, dp_hls::core::Banding::Fixed { .. })));
     use dp_hls::core::Objective;
-    assert!(infos.iter().any(|i| i.meta.objective == Objective::Minimize));
+    assert!(infos
+        .iter()
+        .any(|i| i.meta.objective == Objective::Minimize));
 }
 
 #[test]
@@ -130,7 +132,11 @@ fn claim_expected_systolic_array_behavior() {
         let nb = &s.nb_sweep;
         let r = nb.last().unwrap().throughput_aps / nb[0].throughput_aps;
         let x = nb.last().unwrap().x as f64 / nb[0].x as f64;
-        assert!((r / x - 1.0).abs() < 0.1, "#{}: NB scaling {r} vs {x}", s.id);
+        assert!(
+            (r / x - 1.0).abs() < 0.1,
+            "#{}: NB scaling {r} vs {x}",
+            s.id
+        );
     }
     // DSP flat for #1, scaling for #9 (Fig 3B vs 3E).
     let k1_dsp = k1.npe_sweep.last().unwrap().util[3] / k1.npe_sweep[0].util[3];
