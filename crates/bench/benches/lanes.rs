@@ -1,0 +1,91 @@
+//! Criterion bench of the multi-lane wavefront engine (ISSUE 2): the PR 1
+//! scalar scratch path vs the LANE_WIDTH-chunked lane path, on the same
+//! 10k-pair-class banded short-read workload the acceptance gate uses
+//! (shrunk to criterion-sample size), plus the affine kernel where the
+//! three-layer SoA recurrence shows the largest win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dphls_bench::perf::make_workload;
+use dphls_core::KernelConfig;
+use dphls_kernels::{AffineParams, GlobalAffine, GlobalLinear, LinearParams};
+use dphls_systolic::{
+    run_systolic_scalar_with_scratch, run_systolic_with_scratch, SystolicScratch,
+};
+use std::time::Duration;
+
+fn bench_lanes(c: &mut Criterion) {
+    let pairs = 200usize;
+    let len = 256usize;
+    let workload = make_workload(pairs, len, 0xD9);
+    let linear = LinearParams::<i16>::dna();
+    let affine = AffineParams::<i16>::dna();
+    let banded_cfg = KernelConfig::new(32, 1, 1)
+        .with_max_lengths(len, len)
+        .with_banding(16);
+    let full_cfg = KernelConfig::new(32, 1, 1).with_max_lengths(len, len);
+
+    let mut g = c.benchmark_group("lanes");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(pairs as u64));
+
+    g.bench_with_input(BenchmarkId::new("banded_scalar", pairs), &pairs, |b, _| {
+        let mut scratch = SystolicScratch::new();
+        b.iter(|| {
+            for (q, r) in &workload {
+                run_systolic_scalar_with_scratch::<GlobalLinear>(
+                    &linear,
+                    q,
+                    r,
+                    &banded_cfg,
+                    &mut scratch,
+                )
+                .unwrap();
+            }
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("banded_laned", pairs), &pairs, |b, _| {
+        let mut scratch = SystolicScratch::new();
+        b.iter(|| {
+            for (q, r) in &workload {
+                run_systolic_with_scratch::<GlobalLinear>(&linear, q, r, &banded_cfg, &mut scratch)
+                    .unwrap();
+            }
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("affine_scalar", pairs), &pairs, |b, _| {
+        let mut scratch = SystolicScratch::new();
+        b.iter(|| {
+            for (q, r) in &workload {
+                run_systolic_scalar_with_scratch::<GlobalAffine<i16>>(
+                    &affine,
+                    q,
+                    r,
+                    &full_cfg,
+                    &mut scratch,
+                )
+                .unwrap();
+            }
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("affine_laned", pairs), &pairs, |b, _| {
+        let mut scratch = SystolicScratch::new();
+        b.iter(|| {
+            for (q, r) in &workload {
+                run_systolic_with_scratch::<GlobalAffine<i16>>(
+                    &affine,
+                    q,
+                    r,
+                    &full_cfg,
+                    &mut scratch,
+                )
+                .unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lanes);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Validates a `BENCH_throughput.json` report and optionally diffs its
+//! speedup ratios against a committed baseline — the CI bench-regression
+//! gate, runnable locally:
+//!
+//! ```text
+//! cargo run -p dphls-bench --bin bench_check -- --report bench_smoke.json
+//! cargo run -p dphls-bench --bin bench_check -- \
+//!     --report bench_current.json --baseline BENCH_throughput.json --tolerance 0.15
+//! ```
+//!
+//! Exit status 0 = schema valid and (if a baseline was given) no speedup
+//! ratio regressed beyond tolerance; 1 = problems found; 2 = usage error.
+
+use dphls_bench::check::{compare, validate, DEFAULT_TOLERANCE};
+
+fn read_json(path: &str) -> serde::JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_check: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let mut report_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--report" => report_path = args.next(),
+            "--baseline" => baseline_path = args.next(),
+            "--tolerance" => {
+                tolerance = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(t) if (0.0..1.0).contains(&t) => t,
+                    _ => {
+                        eprintln!("--tolerance needs a fraction in [0, 1)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_check --report FILE [--baseline FILE] [--tolerance FRAC]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(report_path) = report_path else {
+        eprintln!("usage: bench_check --report FILE [--baseline FILE] [--tolerance FRAC]");
+        std::process::exit(2);
+    };
+
+    let report = read_json(&report_path);
+    let problems = validate(&report);
+    if problems.is_empty() {
+        println!("{report_path}: schema OK");
+    } else {
+        eprintln!("{report_path}: {} schema problem(s):", problems.len());
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        std::process::exit(1);
+    }
+
+    if let Some(baseline_path) = baseline_path {
+        let baseline = read_json(&baseline_path);
+        let baseline_problems = validate(&baseline);
+        if !baseline_problems.is_empty() {
+            eprintln!(
+                "{baseline_path}: baseline has {} schema problem(s):",
+                baseline_problems.len()
+            );
+            for p in &baseline_problems {
+                eprintln!("  - {p}");
+            }
+            std::process::exit(1);
+        }
+        let cmp = compare(&report, &baseline, tolerance);
+        for note in &cmp.notes {
+            println!("note: {note}");
+        }
+        if cmp.regressions.is_empty() {
+            println!(
+                "{report_path} vs {baseline_path}: no speedup regression beyond {:.0}%",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!(
+                "{report_path} vs {baseline_path}: {} regression(s):",
+                cmp.regressions.len()
+            );
+            for r in &cmp.regressions {
+                eprintln!("  - {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

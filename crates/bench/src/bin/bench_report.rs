@@ -1,7 +1,9 @@
 //! Emits `BENCH_throughput.json`: wall-clock alignments/second of the
-//! naive baseline, the scratch engine, and the work-stealing batch engine
-//! across the standard workload matrix, plus the ISSUE 1 ≥ 2× acceptance
-//! measurement.
+//! naive baseline, the scalar scratch engine (PR 1), the multi-lane engine
+//! (PR 2), and the work-stealing batch engine across the standard workload
+//! matrix, plus the ISSUE 1 (≥ 2× scratch-vs-naive) and ISSUE 2 (≥ 1.3×
+//! laned-vs-scratch) acceptance measurements. Validate or diff a report
+//! with `bench_check`.
 //!
 //! ```text
 //! cargo run --release -p dphls-bench --bin bench_report            # full matrix
@@ -42,17 +44,22 @@ fn main() {
         }
     }
 
-    eprintln!("measuring throughput matrix (scale 1/{scale})...");
+    eprintln!(
+        "measuring throughput matrix (scale 1/{scale}, {} cores)...",
+        perf::host_cores()
+    );
     let report = perf::build_report(scale);
     for p in &report.points {
         eprintln!(
-            "  {:<12} len {:>4} x{:<6} NPE={:<3} NK={} | naive {:>10.0} aln/s | scratch {:>10.0} ({:>4.2}x) | batched {:>10.0} ({:>4.2}x)",
+            "  {:<12} len {:>4} x{:<6} NPE={:<3} NK={} | naive {:>9.0} aln/s | scratch {:>9.0} ({:>4.2}x) | laned {:>9.0} ({:>4.2}x, {:>4.2}x vs scratch) | batched {:>9.0} ({:>4.2}x)",
             p.workload, p.len, p.pairs, p.npe, p.nk,
-            p.naive_aps, p.scratch_aps, p.scratch_speedup, p.batched_aps, p.batched_speedup,
+            p.naive_aps, p.scratch_aps, p.scratch_speedup,
+            p.laned_aps, p.laned_speedup, p.lane_vs_scratch,
+            p.batched_aps, p.batched_speedup,
         );
     }
     eprintln!(
-        "acceptance ({} x{}): {:.2}x {}",
+        "acceptance ({} x{}): scratch/naive {:.2}x {} | laned/scratch {:.2}x {}",
         report.acceptance.workload,
         report.acceptance.pairs,
         report.acceptance.speedup,
@@ -60,6 +67,12 @@ fn main() {
             "PASS (>= 2x)"
         } else {
             "FAIL (< 2x)"
+        },
+        report.acceptance.lane_vs_scratch,
+        if report.acceptance.lane_pass {
+            "PASS (>= 1.3x)"
+        } else {
+            "FAIL (< 1.3x)"
         },
     );
 

@@ -1,0 +1,405 @@
+//! Schema validation and regression diffing for `BENCH_throughput.json`
+//! reports (the `bench_check` binary, run locally and by CI).
+//!
+//! The previous CI smoke step was a blob of inline Python whose assertions
+//! silently passed when the `acceptance` object was missing entirely; this
+//! module validates the **full** report schema — version, per-point keys,
+//! speedup-ratio consistency, acceptance gates — and can diff a fresh run
+//! against the committed baseline.
+//!
+//! Absolute aln/s figures are machine-dependent, so the regression gate
+//! compares only the **speedup ratios** (`scratch_speedup`, `laned_speedup`,
+//! `lane_vs_scratch`, `batched_speedup`), which track engine quality rather
+//! than container luck. The `batched_speedup` of `nk > 1` points is only
+//! compared when *both* reports were recorded with more than one core —
+//! the ROADMAP's "no thread scaling on a 1-core container" caveat,
+//! machine-checked via the report's `host_cores` field.
+
+use serde::JsonValue;
+
+/// Report schema version this checker understands.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Default relative tolerance of the regression gate (15 %).
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// Ratio fields diffed by the regression gate.
+const RATIO_KEYS: [&str; 4] = [
+    "scratch_speedup",
+    "laned_speedup",
+    "lane_vs_scratch",
+    "batched_speedup",
+];
+
+/// Per-point throughput fields that must be present and positive.
+const APS_KEYS: [&str; 4] = ["naive_aps", "scratch_aps", "laned_aps", "batched_aps"];
+
+/// Required acceptance-object keys.
+const ACCEPTANCE_KEYS: [&str; 9] = [
+    "workload",
+    "pairs",
+    "naive_aps",
+    "scratch_aps",
+    "laned_aps",
+    "speedup",
+    "lane_vs_scratch",
+    "pass",
+    "lane_pass",
+];
+
+fn get<'a>(v: &'a JsonValue, key: &str) -> Option<&'a JsonValue> {
+    match v {
+        JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &JsonValue) -> Option<f64> {
+    match v {
+        JsonValue::Int(i) => Some(*i as f64),
+        JsonValue::UInt(u) => Some(*u as f64),
+        JsonValue::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn num(v: &JsonValue, key: &str) -> Option<f64> {
+    get(v, key).and_then(as_f64)
+}
+
+fn text<'a>(v: &'a JsonValue, key: &str) -> Option<&'a str> {
+    match get(v, key) {
+        Some(JsonValue::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// A point's identity across reports: `pairs` scales with `--scale`, so the
+/// match key is everything else.
+fn point_key(p: &JsonValue) -> String {
+    format!(
+        "{} len={} npe={} nk={}",
+        text(p, "workload").unwrap_or("?"),
+        num(p, "len").unwrap_or(-1.0),
+        num(p, "npe").unwrap_or(-1.0),
+        num(p, "nk").unwrap_or(-1.0),
+    )
+}
+
+/// Validates the full report schema. Returns every problem found (an empty
+/// vector means the report is well-formed).
+pub fn validate(report: &JsonValue) -> Vec<String> {
+    let mut problems = Vec::new();
+    match num(report, "version") {
+        Some(v) if v == SCHEMA_VERSION as f64 => {}
+        Some(v) => problems.push(format!("version is {v}, expected {SCHEMA_VERSION}")),
+        None => problems.push("missing `version`".into()),
+    }
+    match num(report, "host_cores") {
+        Some(c) if c >= 1.0 => {}
+        Some(c) => problems.push(format!("host_cores is {c}, expected >= 1")),
+        None => problems.push("missing `host_cores`".into()),
+    }
+
+    let points = match get(report, "points") {
+        Some(JsonValue::Array(pts)) if !pts.is_empty() => pts.as_slice(),
+        Some(JsonValue::Array(_)) => {
+            problems.push("`points` is empty".into());
+            &[]
+        }
+        _ => {
+            problems.push("missing `points` array".into());
+            &[]
+        }
+    };
+    let mut has_gate_point = false;
+    for p in points {
+        let key = point_key(p);
+        if text(p, "workload").is_none() {
+            problems.push(format!("point {key}: missing `workload`"));
+        }
+        for field in ["len", "pairs", "npe", "nk"] {
+            match num(p, field) {
+                Some(v) if v >= 1.0 => {}
+                _ => problems.push(format!("point {key}: `{field}` missing or < 1")),
+            }
+        }
+        for field in APS_KEYS {
+            match num(p, field) {
+                Some(v) if v > 0.0 => {}
+                _ => problems.push(format!("point {key}: `{field}` missing or <= 0")),
+            }
+        }
+        // Ratio consistency: the stored speedups must be the aps ratios.
+        let naive = num(p, "naive_aps").unwrap_or(f64::NAN);
+        let scratch = num(p, "scratch_aps").unwrap_or(f64::NAN);
+        for (ratio_key, hi, lo) in [
+            ("scratch_speedup", num(p, "scratch_aps"), naive),
+            ("laned_speedup", num(p, "laned_aps"), naive),
+            ("lane_vs_scratch", num(p, "laned_aps"), scratch),
+            ("batched_speedup", num(p, "batched_aps"), naive),
+        ] {
+            match (num(p, ratio_key), hi) {
+                (Some(stored), Some(hi)) if lo > 0.0 => {
+                    let derived = hi / lo;
+                    if (stored - derived).abs() > 1e-6 * derived.abs().max(1.0) {
+                        problems.push(format!(
+                            "point {key}: `{ratio_key}` = {stored} but aps ratio is {derived}"
+                        ));
+                    }
+                }
+                (Some(_), _) => {}
+                (None, _) => problems.push(format!("point {key}: missing `{ratio_key}`")),
+            }
+        }
+        if text(p, "workload").is_some_and(|w| w.starts_with("banded")) && num(p, "nk") == Some(1.0)
+        {
+            has_gate_point = true;
+        }
+    }
+    if !points.is_empty() && !has_gate_point {
+        problems.push("no banded nk=1 point (the acceptance gate workload)".into());
+    }
+
+    match get(report, "acceptance") {
+        Some(acc) => {
+            for field in ACCEPTANCE_KEYS {
+                if get(acc, field).is_none() {
+                    problems.push(format!("acceptance: missing `{field}`"));
+                }
+            }
+            for (gate, value_key, threshold) in [
+                ("pass", "speedup", 2.0),
+                ("lane_pass", "lane_vs_scratch", 1.3),
+            ] {
+                match (get(acc, gate), num(acc, value_key)) {
+                    (Some(JsonValue::Bool(stored)), Some(v)) => {
+                        if *stored != (v >= threshold) {
+                            problems.push(format!(
+                                "acceptance: `{gate}` = {stored} disagrees with \
+                                 `{value_key}` = {v} (threshold {threshold})"
+                            ));
+                        }
+                    }
+                    (Some(JsonValue::Bool(_)), None) | (None, _) => {}
+                    (Some(_), _) => problems.push(format!("acceptance: `{gate}` not a bool")),
+                }
+            }
+        }
+        None => problems.push("missing `acceptance` object".into()),
+    }
+    problems
+}
+
+/// Outcome of a regression comparison.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Regressions beyond tolerance (non-empty fails the gate).
+    pub regressions: Vec<String>,
+    /// Informational notes (skipped comparisons, improvements).
+    pub notes: Vec<String>,
+}
+
+/// Diffs `current` against `baseline`: every baseline point must exist in
+/// the current report, and no speedup ratio may fall more than `tolerance`
+/// (relative) below the baseline value. Thread-scaling ratios of `nk > 1`
+/// points are skipped unless both reports saw more than one core.
+pub fn compare(current: &JsonValue, baseline: &JsonValue, tolerance: f64) -> Comparison {
+    let mut cmp = Comparison::default();
+    let (Some(JsonValue::Array(base_pts)), Some(JsonValue::Array(cur_pts))) =
+        (get(baseline, "points"), get(current, "points"))
+    else {
+        cmp.regressions.push("missing `points` array".into());
+        return cmp;
+    };
+    let cores = |r| num(r, "host_cores").unwrap_or(1.0);
+    let multicore = cores(baseline) > 1.0 && cores(current) > 1.0;
+    if !multicore {
+        cmp.notes.push(format!(
+            "1-core caveat active (baseline {} cores, current {} cores): \
+             nk>1 batched_speedup comparisons skipped",
+            cores(baseline),
+            cores(current)
+        ));
+    }
+
+    for bp in base_pts {
+        let key = point_key(bp);
+        let Some(cp) = cur_pts.iter().find(|cp| point_key(cp) == key) else {
+            cmp.regressions
+                .push(format!("point {key}: missing from current report"));
+            continue;
+        };
+        for ratio in RATIO_KEYS {
+            let nk = num(bp, "nk").unwrap_or(1.0);
+            if ratio == "batched_speedup" && nk > 1.0 && !multicore {
+                continue;
+            }
+            let (Some(base), Some(cur)) = (num(bp, ratio), num(cp, ratio)) else {
+                cmp.regressions
+                    .push(format!("point {key}: `{ratio}` missing on one side"));
+                continue;
+            };
+            let floor = base * (1.0 - tolerance);
+            if cur < floor {
+                cmp.regressions.push(format!(
+                    "point {key}: `{ratio}` regressed {base:.3} -> {cur:.3} \
+                     (floor {floor:.3} at {:.0}% tolerance)",
+                    tolerance * 100.0
+                ));
+            } else if cur > base * (1.0 + tolerance) {
+                cmp.notes.push(format!(
+                    "point {key}: `{ratio}` improved {base:.3} -> {cur:.3}"
+                ));
+            }
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_json(lane_vs_scratch: f64, host_cores: u64) -> String {
+        let laned = 2000.0 * lane_vs_scratch;
+        format!(
+            r#"{{
+              "version": 2,
+              "host_cores": {host_cores},
+              "points": [
+                {{
+                  "workload": "banded_w16", "len": 256, "pairs": 100,
+                  "npe": 32, "nk": 1,
+                  "naive_aps": 1000.0, "scratch_aps": 2000.0,
+                  "laned_aps": {laned}, "batched_aps": 2500.0,
+                  "scratch_speedup": 2.0, "laned_speedup": {lspd},
+                  "lane_vs_scratch": {lane_vs_scratch}, "batched_speedup": 2.5
+                }},
+                {{
+                  "workload": "banded_w16", "len": 256, "pairs": 100,
+                  "npe": 32, "nk": 4,
+                  "naive_aps": 1000.0, "scratch_aps": 2000.0,
+                  "laned_aps": {laned}, "batched_aps": 3000.0,
+                  "scratch_speedup": 2.0, "laned_speedup": {lspd},
+                  "lane_vs_scratch": {lane_vs_scratch}, "batched_speedup": 3.0
+                }}
+              ],
+              "acceptance": {{
+                "workload": "banded_w16", "pairs": 100,
+                "naive_aps": 1000.0, "scratch_aps": 2000.0, "laned_aps": {laned},
+                "speedup": 2.0, "lane_vs_scratch": {lane_vs_scratch},
+                "pass": true, "lane_pass": {lane_pass}
+              }}
+            }}"#,
+            lspd = 2.0 * lane_vs_scratch,
+            lane_pass = lane_vs_scratch >= 1.3,
+        )
+    }
+
+    fn parse(s: &str) -> JsonValue {
+        serde_json::from_str(s).expect("test JSON")
+    }
+
+    #[test]
+    fn well_formed_report_validates() {
+        let r = parse(&report_json(1.5, 1));
+        assert_eq!(validate(&r), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_acceptance_is_reported_not_silently_passed() {
+        // The failure mode of the old inline-Python check.
+        let mut s = report_json(1.5, 1);
+        let at = s.find("\"acceptance\"").unwrap();
+        s.truncate(at);
+        s.truncate(s.rfind(',').unwrap());
+        s.push('}');
+        let problems = validate(&parse(&s));
+        assert!(
+            problems.iter().any(|p| p.contains("acceptance")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn inconsistent_ratio_and_gate_flags_are_caught() {
+        let s = report_json(1.5, 1).replace("\"lane_vs_scratch\": 1.5", "\"lane_vs_scratch\": 9.9");
+        let problems = validate(&parse(&s));
+        assert!(
+            problems.iter().any(|p| p.contains("lane_vs_scratch")),
+            "{problems:?}"
+        );
+
+        let s = report_json(1.1, 1).replace("\"lane_pass\": false", "\"lane_pass\": true");
+        let problems = validate(&parse(&s));
+        assert!(
+            problems.iter().any(|p| p.contains("lane_pass")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_version_and_empty_points_fail() {
+        let problems = validate(&parse(r#"{"version": 1, "points": []}"#));
+        assert!(problems.iter().any(|p| p.contains("version")));
+        assert!(problems.iter().any(|p| p.contains("points")));
+        assert!(problems.iter().any(|p| p.contains("host_cores")));
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = parse(&report_json(1.6, 1));
+        let ok = parse(&report_json(1.45, 1)); // −9.4 %, inside 15 %
+        let bad = parse(&report_json(1.2, 1)); // −25 %, outside
+        assert!(compare(&ok, &base, DEFAULT_TOLERANCE)
+            .regressions
+            .is_empty());
+        let cmp = compare(&bad, &base, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions
+                .iter()
+                .any(|r| r.contains("lane_vs_scratch")),
+            "{cmp:?}"
+        );
+    }
+
+    #[test]
+    fn one_core_caveat_skips_nk_gt_1_thread_scaling() {
+        // Halve the nk=4 batched_speedup on a 1-core current report: the
+        // thread-scaling comparison must be skipped, not failed.
+        let base = parse(&report_json(1.5, 4));
+        let cur = parse(
+            &report_json(1.5, 1)
+                .replace("\"batched_aps\": 3000.0", "\"batched_aps\": 1500.0")
+                .replace("\"batched_speedup\": 3.0", "\"batched_speedup\": 1.5"),
+        );
+        let cmp = compare(&cur, &base, DEFAULT_TOLERANCE);
+        assert!(cmp.regressions.is_empty(), "{cmp:?}");
+        assert!(cmp.notes.iter().any(|n| n.contains("1-core caveat")));
+        // On matching multi-core machines the same drop is a failure.
+        let cur_mc = parse(
+            &report_json(1.5, 4)
+                .replace("\"batched_aps\": 3000.0", "\"batched_aps\": 1500.0")
+                .replace("\"batched_speedup\": 3.0", "\"batched_speedup\": 1.5"),
+        );
+        let cmp = compare(&cur_mc, &base, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions
+                .iter()
+                .any(|r| r.contains("batched_speedup")),
+            "{cmp:?}"
+        );
+    }
+
+    #[test]
+    fn missing_point_is_a_regression() {
+        let base = parse(&report_json(1.5, 1));
+        let cur_str = report_json(1.5, 1).replace("\"nk\": 4", "\"nk\": 2");
+        let cmp = compare(&parse(&cur_str), &base, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions.iter().any(|r| r.contains("missing")),
+            "{cmp:?}"
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! at visit time; the closure owns the default parameters and workload and
 //! can replay them on any device configuration.
 
-use dphls_core::{KernelConfig, KernelSpec};
+use dphls_core::{KernelConfig, LaneKernel};
 use dphls_fpga::KernelProfile;
 use dphls_kernels::registry::{visit_all, CaseInfo, KernelVisitor, WorkloadSpec};
 use dphls_systolic::{CycleBreakdown, CycleModelParams, Device, KernelCycleInfo};
@@ -105,7 +105,7 @@ struct Collector {
 }
 
 impl KernelVisitor for Collector {
-    fn visit<K: KernelSpec>(
+    fn visit<K: LaneKernel>(
         &mut self,
         info: &CaseInfo,
         params: &K::Params,

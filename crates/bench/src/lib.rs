@@ -9,6 +9,7 @@
 //! Run everything with `cargo run -p dphls-bench --bin all_experiments`, or
 //! a single experiment with e.g. `cargo run -p dphls-bench --bin table2`.
 
+pub mod check;
 pub mod experiments;
 pub mod harness;
 pub mod naive;

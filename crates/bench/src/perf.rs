@@ -1,19 +1,26 @@
 //! Host-throughput measurement: wall-clock alignments/second of the naive
-//! baseline engine ([`crate::naive`]), the zero-allocation scratch engine,
-//! and the work-stealing batch engine, across linear / affine / banded
-//! workloads at several `(NPE, NK)` points.
+//! baseline engine ([`crate::naive`]), the zero-allocation **scalar**
+//! scratch engine (the PR 1 hot path), the **multi-lane** engine
+//! ([`dphls_systolic::run_systolic_with_scratch`], PR 2), and the
+//! work-stealing batch engine, across linear / affine / banded workloads at
+//! several `(NPE, NK)` points.
 //!
 //! `bin/bench_report.rs` renders the result as `BENCH_throughput.json` so
-//! the performance trajectory is tracked from this PR onward;
-//! `benches/throughput.rs` exposes the same measurements under criterion.
+//! the performance trajectory is tracked PR over PR; `bin/bench_check.rs`
+//! validates the schema and diffs the speedup ratios against the committed
+//! baseline in CI; `benches/throughput.rs` and `benches/lanes.rs` expose
+//! the same measurements under criterion.
 
 use crate::naive::run_systolic_naive;
-use dphls_core::{KernelConfig, KernelSpec};
+use dphls_core::{KernelConfig, LaneKernel};
 use dphls_host::run_batched;
 use dphls_kernels::{AffineParams, GlobalAffine, GlobalLinear, LinearParams};
 use dphls_seq::gen::ReadSimulator;
 use dphls_seq::Base;
-use dphls_systolic::{CycleModelParams, Device, KernelCycleInfo, SystolicScratch};
+use dphls_systolic::{
+    run_systolic_scalar_with_scratch, run_systolic_with_scratch, CycleModelParams, Device,
+    KernelCycleInfo, SystolicScratch,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -71,44 +78,69 @@ pub struct ThroughputPoint {
     pub nk: usize,
     /// Naive per-alignment-allocation engine, single thread (aln/s).
     pub naive_aps: f64,
-    /// Scratch-reuse band-aware engine, single thread (aln/s).
+    /// Scratch-reuse band-aware engine with the **scalar** per-cell loop
+    /// (the PR 1 hot path), single thread (aln/s).
     pub scratch_aps: f64,
-    /// Work-stealing batch engine across `nk` threads (aln/s).
+    /// Scratch-reuse engine with the **multi-lane** wavefront loop (PR 2),
+    /// single thread (aln/s).
+    pub laned_aps: f64,
+    /// Work-stealing batch engine (multi-lane) across `nk` threads (aln/s).
     pub batched_aps: f64,
-    /// `scratch_aps / naive_aps` — the single-thread hot-path win.
+    /// `scratch_aps / naive_aps` — the PR 1 single-thread hot-path win.
     pub scratch_speedup: f64,
+    /// `laned_aps / naive_aps` — the cumulative single-thread win.
+    pub laned_speedup: f64,
+    /// `laned_aps / scratch_aps` — the PR 2 lane-engine win alone.
+    pub lane_vs_scratch: f64,
     /// `batched_aps / naive_aps` — the end-to-end engine win.
     pub batched_speedup: f64,
 }
 
-/// The acceptance gate of ISSUE 1: ≥ 2× aln/s over the naive baseline on a
-/// 10k-pair banded workload (single-thread scratch engine, same thread
-/// count as the baseline).
+/// The acceptance gates, both measured on the 10k-pair banded single-channel
+/// workload: ISSUE 1's ≥ 2× scratch-vs-naive win, plus ISSUE 2's ≥ 1.3×
+/// lane-engine win over the PR 1 scratch path.
 #[derive(Debug, Serialize)]
 pub struct Acceptance {
-    /// The workload the gate ran on.
+    /// The workload the gates ran on.
     pub workload: String,
     /// Pairs in the gate workload.
     pub pairs: usize,
     /// Baseline aln/s.
     pub naive_aps: f64,
-    /// Optimized single-thread aln/s.
+    /// PR 1 scalar scratch engine, single thread (aln/s).
     pub scratch_aps: f64,
-    /// Measured speedup.
+    /// PR 2 multi-lane engine, single thread (aln/s).
+    pub laned_aps: f64,
+    /// Measured scratch-vs-naive speedup (the ISSUE 1 gate value).
     pub speedup: f64,
-    /// Whether the ≥ 2× gate held.
+    /// Measured laned-vs-scratch speedup (the ISSUE 2 gate value).
+    pub lane_vs_scratch: f64,
+    /// Whether the ISSUE 1 ≥ 2× gate held.
     pub pass: bool,
+    /// Whether the ISSUE 2 ≥ 1.3× gate held.
+    pub lane_pass: bool,
 }
 
 /// The full serialized throughput report.
 #[derive(Debug, Serialize)]
 pub struct ThroughputReport {
-    /// Report schema version.
+    /// Report schema version (2 since the lane engine landed).
     pub version: u32,
+    /// Logical CPUs visible to the measuring process. Absolute aln/s and
+    /// the `nk > 1` batched speedups are only comparable between reports
+    /// recorded on machines with the same core count — `bench_check` uses
+    /// this field to skip thread-scaling comparisons on 1-core containers
+    /// (the ROADMAP caveat, machine-checked).
+    pub host_cores: usize,
     /// All measured points.
     pub points: Vec<ThroughputPoint>,
-    /// The ISSUE 1 acceptance measurement.
+    /// The ISSUE 1 + ISSUE 2 acceptance measurements.
     pub acceptance: Acceptance,
+}
+
+/// Logical CPUs available to this process (1 if undetectable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Deterministic read-pair workload: reference windows + noisy reads of
@@ -158,44 +190,89 @@ fn measure_kernel<K>(
     params: &K::Params,
     workload: &[dphls_core::SeqPair<K>],
     spec: &PointSpec,
-) -> (f64, f64, f64)
+) -> (f64, f64, f64, f64)
 where
-    K: KernelSpec,
+    K: LaneKernel,
     K::Score: Send,
     K::Params: Sync,
 {
     let config = config_for(spec);
     let device = device_for(config);
-
-    let start = Instant::now();
-    for (q, r) in workload {
-        std::hint::black_box(run_systolic_naive::<K>(params, q, r, &config));
-    }
-    let naive = aps(workload.len(), start);
-
+    // The report's payload is the speedup *ratios*, and a shared (or
+    // 1-core CI) box drifts in speed over the seconds a measurement takes.
+    // So the four engines are timed **interleaved, in rounds** — within a
+    // round every engine sees (nearly) the same machine conditions — and
+    // the reported values are one **representative round** taken wholesale:
+    // the round with the best sum of per-engine rates, each normalized by
+    // that engine's best across rounds. Taking each engine's max
+    // independently would re-decouple the ratios (a lucky naive round
+    // against an unlucky scratch round reads as a regression); one coherent
+    // round keeps numerator and denominator of every ratio paired. Round
+    // counts scale inversely with workload size so the sub-second
+    // scaled-down CI measurements get several chances to dodge scheduler
+    // interference; the early rounds also absorb cold caches.
+    let rounds = (3_000 / spec.pairs.max(1)).clamp(2, 6);
+    let n = workload.len();
     let mut scratch = SystolicScratch::new();
-    let start = Instant::now();
-    for (q, r) in workload {
+    let mut rates: Vec<[f64; 4]> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for (q, r) in workload {
+            std::hint::black_box(run_systolic_naive::<K>(params, q, r, &config));
+        }
+        let naive = aps(n, start);
+
+        let start = Instant::now();
+        for (q, r) in workload {
+            std::hint::black_box(
+                run_systolic_scalar_with_scratch::<K>(params, q, r, &config, &mut scratch)
+                    .expect("bench workload must be valid"),
+            );
+        }
+        let scratch_aps = aps(n, start);
+
+        let start = Instant::now();
+        for (q, r) in workload {
+            std::hint::black_box(
+                run_systolic_with_scratch::<K>(params, q, r, &config, &mut scratch)
+                    .expect("bench workload must be valid"),
+            );
+        }
+        let laned = aps(n, start);
+
+        let start = Instant::now();
         std::hint::black_box(
-            dphls_systolic::run_systolic_with_scratch::<K>(params, q, r, &config, &mut scratch)
-                .expect("bench workload must be valid"),
+            run_batched::<K>(&device, params, workload).expect("bench workload must be valid"),
         );
+        let batched = aps(n, start);
+
+        rates.push([naive, scratch_aps, laned, batched]);
     }
-    let scratch_aps = aps(workload.len(), start);
 
-    let start = Instant::now();
-    std::hint::black_box(
-        run_batched::<K>(&device, params, workload).expect("bench workload must be valid"),
-    );
-    let batched = aps(workload.len(), start);
-
-    (naive, scratch_aps, batched)
+    let mut best_per_engine = [0.0f64; 4];
+    for round in &rates {
+        for (best, &rate) in best_per_engine.iter_mut().zip(round) {
+            *best = best.max(rate);
+        }
+    }
+    let score = |round: &[f64; 4]| -> f64 {
+        round
+            .iter()
+            .zip(&best_per_engine)
+            .map(|(&rate, &best)| rate / best.max(1e-9))
+            .sum()
+    };
+    let pick = rates
+        .iter()
+        .max_by(|a, b| score(a).total_cmp(&score(b)))
+        .expect("at least one measurement round");
+    (pick[0], pick[1], pick[2], pick[3])
 }
 
 /// Measures one point of the matrix.
 pub fn measure_point(spec: &PointSpec) -> ThroughputPoint {
     let workload = make_workload(spec.pairs, spec.len, 0xD9);
-    let (naive_aps, scratch_aps, batched_aps) = match spec.kind {
+    let (naive_aps, scratch_aps, laned_aps, batched_aps) = match spec.kind {
         WorkloadKind::Affine => {
             let params = AffineParams::<i16>::dna();
             measure_kernel::<GlobalAffine<i16>>(&params, &workload, spec)
@@ -213,8 +290,11 @@ pub fn measure_point(spec: &PointSpec) -> ThroughputPoint {
         nk: spec.nk,
         naive_aps,
         scratch_aps,
+        laned_aps,
         batched_aps,
         scratch_speedup: scratch_aps / naive_aps.max(1e-9),
+        laned_speedup: laned_aps / naive_aps.max(1e-9),
+        lane_vs_scratch: laned_aps / scratch_aps.max(1e-9),
         batched_speedup: batched_aps / naive_aps.max(1e-9),
     }
 }
@@ -276,11 +356,15 @@ pub fn build_report(scale: usize) -> ThroughputReport {
         pairs: gate.pairs,
         naive_aps: gate.naive_aps,
         scratch_aps: gate.scratch_aps,
+        laned_aps: gate.laned_aps,
         speedup: gate.scratch_speedup,
+        lane_vs_scratch: gate.lane_vs_scratch,
         pass: gate.scratch_speedup >= 2.0,
+        lane_pass: gate.lane_vs_scratch >= 1.3,
     };
     ThroughputReport {
-        version: 1,
+        version: 2,
+        host_cores: host_cores(),
         points,
         acceptance,
     }
@@ -301,8 +385,10 @@ mod tests {
         };
         let p = measure_point(&spec);
         assert!(p.naive_aps > 0.0 && p.scratch_aps > 0.0 && p.batched_aps > 0.0);
+        assert!(p.laned_aps > 0.0 && p.lane_vs_scratch > 0.0);
         let json = serde_json::to_string_pretty(&p).unwrap();
         assert!(json.contains("\"scratch_speedup\""));
+        assert!(json.contains("\"lane_vs_scratch\""));
         serde_json::from_str(&json).expect("point serializes to valid JSON");
     }
 }

@@ -1,0 +1,174 @@
+//! Multi-lane (SIMD-style) PE evaluation: the [`LaneKernel`] trait.
+//!
+//! The systolic back-end's wavefront inner loop is data-parallel across the
+//! active PE lanes — the cells of one anti-diagonal have no dependencies on
+//! each other, only on the two previous wavefronts. [`KernelSpec::pe`]
+//! scores one cell per call, which forces the engine through a function
+//! call, three [`LayerVec`] copies, and branchy `argmax` selection per cell.
+//! [`LaneKernel::pe_lanes`] scores up to [`LANE_WIDTH`] *consecutive* lanes
+//! of one wavefront in a single call, so kernels can lay their recurrence
+//! out structure-of-arrays over fixed-width chunks: straight-line saturating
+//! adds and compare/select chains over `[S; LANE_WIDTH]` arrays that LLVM
+//! turns into vector instructions (`vpaddsw`/`vpmaxsw`-class code for the
+//! `i16` alignment kernels) with no `portable_simd` / nightly dependency.
+//!
+//! The trait carries a **scalar fallback**: the default `pe_lanes` body just
+//! loops [`KernelSpec::pe`] over the lanes, so every kernel gets a correct
+//! (if unvectorized) lane implementation for free and the back-end can
+//! require `K: LaneKernel` unconditionally. Kernels that override the
+//! default (the linear and affine families in `dphls-kernels`) must stay
+//! **bit-identical** to the scalar path — same saturating [`Score`] ops,
+//! same candidate order and strict-improvement tie-breaks as
+//! [`crate::score::argmax`] — which the lane-vs-scalar property suite
+//! enforces across scores *and* traceback pointers.
+
+use crate::kernel::{KernelSpec, LayerVec};
+use crate::traceback::TbPtr;
+
+/// Number of wavefront lanes one [`LaneKernel::pe_lanes`] call scores.
+///
+/// Eight lanes of `i16` scores fill a 128-bit vector register — wide enough
+/// to saturate SSE2/NEON and to give AVX2 two chunks of useful work, narrow
+/// enough that the band-clipped wavefronts of short-read workloads (band
+/// half-width 8–32) still fill whole chunks.
+pub const LANE_WIDTH: usize = 8;
+
+/// A kernel that can score a contiguous run of wavefront lanes per call.
+///
+/// # Lane geometry
+///
+/// Lane `t` of a call scores DP cell `(i₀ + t, j₀ − t)` — consecutive lanes
+/// walk *down* the anti-diagonal, so query symbols advance forward while
+/// reference symbols advance backward. The engine passes:
+///
+/// * `q`: `n` query symbols, lane `t` reads `q[t]`;
+/// * `r_rev`: `n` reference symbols **in memory order** (a plain subslice of
+///   the reference), lane `t` reads `r_rev[n − 1 − t]`;
+/// * `diag`/`up`/`left`: `n` neighbor vectors each, lane `t` reads index `t`;
+/// * `out`/`ptrs`: `n` output slots, lane `t` writes index `t`.
+///
+/// All seven slices have the same length `n`, with `1 ≤ n ≤ LANE_WIDTH`.
+/// The engine guarantees every lane is in-band and in-matrix and that the
+/// neighbor vectors are already populated — the same contract as
+/// [`KernelSpec::pe`], widened.
+pub trait LaneKernel: KernelSpec {
+    /// Scores `q.len()` consecutive lanes of one wavefront.
+    ///
+    /// The default implementation is the scalar fallback: one
+    /// [`KernelSpec::pe`] call per lane. Overrides must produce bit-identical
+    /// scores and traceback pointers.
+    ///
+    /// The eight parameters mirror the hardware port list (three neighbor
+    /// streams, two symbol streams, two result streams) — grouping them
+    /// into a struct would only add a copy to the hot path.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn pe_lanes(
+        params: &Self::Params,
+        q: &[Self::Sym],
+        r_rev: &[Self::Sym],
+        diag: &[LayerVec<Self::Score>],
+        up: &[LayerVec<Self::Score>],
+        left: &[LayerVec<Self::Score>],
+        out: &mut [LayerVec<Self::Score>],
+        ptrs: &mut [TbPtr],
+    ) {
+        let n = q.len();
+        debug_assert!(
+            (1..=LANE_WIDTH).contains(&n),
+            "lane call must score 1..=LANE_WIDTH cells"
+        );
+        debug_assert!(
+            r_rev.len() == n
+                && diag.len() == n
+                && up.len() == n
+                && left.len() == n
+                && out.len() == n
+                && ptrs.len() == n,
+            "lane slices must agree on the lane count"
+        );
+        for t in 0..n {
+            let (o, p) = Self::pe(params, q[t], r_rev[n - 1 - t], &diag[t], &up[t], &left[t]);
+            out[t] = o;
+            ptrs[t] = p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KernelId, KernelMeta, Objective};
+    use crate::score::{argmax, Score};
+    use crate::traceback::TracebackSpec;
+
+    /// A toy one-layer kernel relying entirely on the scalar fallback.
+    struct Fallback;
+
+    impl KernelSpec for Fallback {
+        type Sym = i16;
+        type Score = i32;
+        type Params = ();
+
+        fn meta() -> KernelMeta {
+            KernelMeta {
+                id: KernelId(1),
+                name: "fallback",
+                n_layers: 1,
+                tb_bits: 2,
+                objective: Objective::Maximize,
+                traceback: TracebackSpec::global(),
+            }
+        }
+
+        fn init_row(_: &(), j: usize) -> LayerVec<i32> {
+            LayerVec::splat(1, -(j as i32))
+        }
+
+        fn init_col(_: &(), i: usize) -> LayerVec<i32> {
+            LayerVec::splat(1, -(i as i32))
+        }
+
+        fn pe(
+            _: &(),
+            q: i16,
+            r: i16,
+            diag: &LayerVec<i32>,
+            up: &LayerVec<i32>,
+            left: &LayerVec<i32>,
+        ) -> (LayerVec<i32>, TbPtr) {
+            let sub = if q == r { 1 } else { -1 };
+            let (best, ptr) = argmax([
+                (diag.primary().add(sub), TbPtr::DIAG),
+                (up.primary().add(-1), TbPtr::UP),
+                (left.primary().add(-1), TbPtr::LEFT),
+            ]);
+            (LayerVec::splat(1, best), ptr)
+        }
+    }
+
+    impl LaneKernel for Fallback {}
+
+    #[test]
+    fn fallback_matches_per_cell_pe() {
+        let q = [1i16, 2, 3, 4];
+        let r_rev = [4i16, 3, 2, 1]; // lane t reads r_rev[n-1-t] = t+1
+        let mk = |vals: [i32; 4]| vals.map(|v| LayerVec::splat(1, v));
+        let diag = mk([0, 1, 2, 3]);
+        let up = mk([5, 4, 3, 2]);
+        let left = mk([1, 1, 1, 1]);
+        let mut out = [LayerVec::splat(1, 0i32); 4];
+        let mut ptrs = [TbPtr::END; 4];
+        Fallback::pe_lanes(&(), &q, &r_rev, &diag, &up, &left, &mut out, &mut ptrs);
+        for t in 0..4 {
+            let (want, wptr) = Fallback::pe(&(), q[t], r_rev[3 - t], &diag[t], &up[t], &left[t]);
+            assert_eq!(out[t], want, "lane {t}");
+            assert_eq!(ptrs[t], wptr, "lane {t}");
+        }
+    }
+
+    #[test]
+    fn lane_width_fits_a_vector_register() {
+        assert_eq!(LANE_WIDTH * 16, 128); // 8 × i16 = one 128-bit register
+    }
+}

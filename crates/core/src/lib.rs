@@ -29,6 +29,7 @@ pub mod alignment;
 pub mod config;
 pub mod instrument;
 pub mod kernel;
+pub mod lanes;
 pub mod reference;
 pub mod score;
 pub mod traceback;
@@ -37,6 +38,7 @@ pub use alignment::{Alignment, AlnOp};
 pub use config::{Banding, KernelConfig};
 pub use instrument::{CountingScore, OpCounts};
 pub use kernel::{KernelId, KernelMeta, KernelSpec, LayerVec, Objective, SeqPair, MAX_LAYERS};
+pub use lanes::{LaneKernel, LANE_WIDTH};
 pub use reference::{run_reference, run_reference_full, DpOutput};
 pub use score::Score;
 pub use traceback::{BestCellRule, TbMove, TbPtr, TbState, TracebackSpec, WalkKind};

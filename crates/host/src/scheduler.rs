@@ -23,7 +23,7 @@
 //!   as [`Device::run`] would compute it, without running the device model
 //!   over the workload a second time (this halves total simulated work).
 
-use dphls_core::{Banding, DpOutput, KernelSpec};
+use dphls_core::{Banding, DpOutput, LaneKernel};
 use dphls_systolic::{
     alignment_cycles, effective_cycles_per_alignment, throughput_aps, Device, SystolicError,
     SystolicScratch,
@@ -70,7 +70,7 @@ fn cost_estimate(q: usize, r: usize, banding: Banding) -> u64 {
 /// # Errors
 ///
 /// Propagates the first [`SystolicError`] encountered on any channel.
-pub fn run_batched<K: KernelSpec>(
+pub fn run_batched<K: LaneKernel>(
     device: &Device,
     params: &K::Params,
     workload: &[dphls_core::SeqPair<K>],

@@ -10,8 +10,8 @@
 use crate::params::AffineParams;
 use dphls_core::score::argmax;
 use dphls_core::{
-    BestCellRule, KernelId, KernelMeta, KernelSpec, LayerVec, Objective, Score, TbMove, TbPtr,
-    TbState, TracebackSpec,
+    BestCellRule, KernelId, KernelMeta, KernelSpec, LaneKernel, LayerVec, Objective, Score, TbMove,
+    TbPtr, TbState, TracebackSpec, LANE_WIDTH,
 };
 use dphls_seq::Base;
 use std::marker::PhantomData;
@@ -61,6 +61,95 @@ fn affine_pe<S: Score>(
         LayerVec::from_slice(&[h, i_val, d_val]),
         TbPtr::with_flags(dir, flags),
     )
+}
+
+/// Multi-lane affine PE: up to [`LANE_WIDTH`] wavefront cells per call,
+/// all three layers (H/I/D) in structure-of-arrays form. Bit-identical to
+/// [`affine_pe`] — same [`Score::max_with`] "rhs wins only if strictly
+/// greater" semantics for the gap-open decisions and the same [`argmax`]
+/// candidate order for the H layer — with the per-layer passes laid out as
+/// straight-line array loops the autovectorizer can widen.
+#[allow(clippy::too_many_arguments)]
+fn affine_pe_lanes<S: Score>(
+    p: &AffineParams<S>,
+    q: &[Base],
+    r_rev: &[Base],
+    diag: &[LayerVec<S>],
+    up: &[LayerVec<S>],
+    left: &[LayerVec<S>],
+    out: &mut [LayerVec<S>],
+    ptrs: &mut [TbPtr],
+    clamp_zero: bool,
+) {
+    let n = q.len();
+    debug_assert!((1..=LANE_WIDTH).contains(&n));
+    // One up-front narrowing per slice so the gather/scatter loops below
+    // carry no per-element bounds checks.
+    let (q, r_rev) = (&q[..n], &r_rev[..n]);
+    let (diag, up, left) = (&diag[..n], &up[..n], &left[..n]);
+    let zero = S::zero();
+    // Gather the three layers into padded fixed-width arrays; dead tail
+    // lanes compute garbage (saturating ops, no side effects) and are never
+    // written back.
+    let mut h_up = [zero; LANE_WIDTH];
+    let mut i_up = [zero; LANE_WIDTH];
+    let mut h_left = [zero; LANE_WIDTH];
+    let mut d_left = [zero; LANE_WIDTH];
+    let mut h_diag = [zero; LANE_WIDTH];
+    let mut sub = [zero; LANE_WIDTH];
+    for t in 0..n {
+        h_up[t] = up[t].get(0);
+        i_up[t] = up[t].get(1);
+        h_left[t] = left[t].get(0);
+        d_left[t] = left[t].get(2);
+        h_diag[t] = diag[t].get(0);
+        sub[t] = if q[t] == r_rev[n - 1 - t] {
+            p.match_score
+        } else {
+            p.mismatch
+        };
+    }
+    // Fixed-trip-count recurrence: identical `max_with` ("rhs wins only if
+    // strictly greater") semantics and argmax candidate order as the scalar
+    // PE, expressed as branchless compare/select chains.
+    let mut h_out = [zero; LANE_WIDTH];
+    let mut i_out = [zero; LANE_WIDTH];
+    let mut d_out = [zero; LANE_WIDTH];
+    let mut ptr_out = [0u8; LANE_WIDTH];
+    for t in 0..LANE_WIDTH {
+        // I(i,j) = max(H(i-1,j) + open, I(i-1,j) + extend)
+        let i_open = h_up[t].add(p.gap_open);
+        let i_ext = i_up[t].add(p.gap_extend);
+        let (i_val, i_opened) = i_ext.max_with(i_open);
+        // D(i,j) = max(H(i,j-1) + open, D(i,j-1) + extend)
+        let d_open = h_left[t].add(p.gap_open);
+        let d_ext = d_left[t].add(p.gap_extend);
+        let (d_val, d_opened) = d_ext.max_with(d_open);
+        // H = argmax([(0, END)?, (mat, DIAG), (I, UP), (D, LEFT)]).
+        let mat = h_diag[t].add(sub[t]);
+        let (mut h, mut dir) = if clamp_zero {
+            let (b, won) = zero.max_with(mat);
+            (b, if won { TbPtr::DIAG.0 } else { TbPtr::END.0 })
+        } else {
+            (mat, TbPtr::DIAG.0)
+        };
+        let (b, won) = h.max_with(i_val);
+        h = b;
+        dir = if won { TbPtr::UP.0 } else { dir };
+        let (b, won) = h.max_with(d_val);
+        h = b;
+        dir = if won { TbPtr::LEFT.0 } else { dir };
+        h_out[t] = h;
+        i_out[t] = i_val;
+        d_out[t] = d_val;
+        ptr_out[t] =
+            dir | ((i_opened as u8 * FLAG_I_OPEN) << 2) | ((d_opened as u8 * FLAG_D_OPEN) << 2);
+    }
+    let (out, ptrs) = (&mut out[..n], &mut ptrs[..n]);
+    for t in 0..n {
+        out[t] = LayerVec::from_slice(&[h_out[t], i_out[t], d_out[t]]);
+        ptrs[t] = TbPtr(ptr_out[t]);
+    }
 }
 
 /// The three-state affine traceback FSM: in `INS`/`DEL` the walk follows the
@@ -152,6 +241,22 @@ macro_rules! affine_kernel {
             #[inline]
             fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
                 affine_tb(state, ptr)
+            }
+        }
+
+        impl<S: Score> LaneKernel for $name<S> {
+            #[inline]
+            fn pe_lanes(
+                params: &Self::Params,
+                q: &[Base],
+                r_rev: &[Base],
+                diag: &[LayerVec<S>],
+                up: &[LayerVec<S>],
+                left: &[LayerVec<S>],
+                out: &mut [LayerVec<S>],
+                ptrs: &mut [TbPtr],
+            ) {
+                affine_pe_lanes(params, q, r_rev, diag, up, left, out, ptrs, $clamp)
             }
         }
     };
@@ -334,6 +439,47 @@ mod tests {
         assert_eq!(BandedLocalAffine::<i16>::meta().id, KernelId(12));
         assert!(!BandedLocalAffine::<i16>::meta().traceback.has_walk());
         assert_eq!(BandedLocalAffine::<i16>::meta().tb_bits, 0);
+    }
+
+    #[test]
+    fn pe_lanes_matches_scalar_pe_lane_by_lane() {
+        // Direct check of the three-layer vectorized override: H/I/D values,
+        // direction bits, and gap-open flags must all match the scalar PE.
+        let p = p16();
+        let q: Vec<Base> = dna("ACGTACGT").into_vec();
+        let r_rev: Vec<Base> = dna("CAGTTCGA").into_vec();
+        let n = q.len();
+        let mk = |h: &[i16]| -> Vec<LayerVec<i16>> {
+            h.iter()
+                .enumerate()
+                .map(|(t, &v)| {
+                    LayerVec::from_slice(&[v, v - (t as i16 % 3), v - 2 + (t as i16 % 2)])
+                })
+                .collect()
+        };
+        let diag = mk(&[0, 2, -4, 6, 0, -2, 4, 1]);
+        let up = mk(&[1, -1, 3, 3, 0, 5, -6, 2]);
+        let left = mk(&[-2, 4, 4, -3, 0, 1, 2, 2]);
+        for clamp in [false, true] {
+            let mut out = vec![LayerVec::splat(3, 0i16); n];
+            let mut ptrs = vec![TbPtr::END; n];
+            affine_pe_lanes(
+                &p, &q, &r_rev, &diag, &up, &left, &mut out, &mut ptrs, clamp,
+            );
+            for t in 0..n {
+                let (want, wptr) = affine_pe(
+                    &p,
+                    q[t],
+                    r_rev[n - 1 - t],
+                    &diag[t],
+                    &up[t],
+                    &left[t],
+                    clamp,
+                );
+                assert_eq!(out[t], want, "lane {t} clamp={clamp}");
+                assert_eq!(ptrs[t], wptr, "lane {t} clamp={clamp}");
+            }
+        }
     }
 
     #[test]

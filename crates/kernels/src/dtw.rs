@@ -27,6 +27,9 @@ pub type DtwScore = dphls_fixed::ApFixed<32, 26>;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Dtw<S = DtwScore>(PhantomData<S>);
 
+/// DTW's min-objective recurrence uses the scalar lane fallback.
+impl<S: Score> dphls_core::LaneKernel for Dtw<S> {}
+
 impl<S: Score> KernelSpec for Dtw<S> {
     type Sym = Complex;
     type Score = S;
@@ -93,6 +96,9 @@ impl<S: Score> KernelSpec for Dtw<S> {
 /// and — matching SquiggleFilter — no traceback is performed.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Sdtw<S = i32>(PhantomData<S>);
+
+/// sDTW uses the scalar lane fallback.
+impl<S: Score> dphls_core::LaneKernel for Sdtw<S> {}
 
 impl<S: Score> KernelSpec for Sdtw<S> {
     type Sym = i16;

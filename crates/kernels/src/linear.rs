@@ -9,8 +9,8 @@
 use crate::params::LinearParams;
 use dphls_core::score::argmax;
 use dphls_core::{
-    KernelId, KernelMeta, KernelSpec, LayerVec, Objective, Score, TbMove, TbPtr, TbState,
-    TracebackSpec,
+    KernelId, KernelMeta, KernelSpec, LaneKernel, LayerVec, Objective, Score, TbMove, TbPtr,
+    TbState, TracebackSpec, LANE_WIDTH,
 };
 use dphls_seq::Base;
 use std::marker::PhantomData;
@@ -42,6 +42,79 @@ fn linear_pe<S: Score>(
         argmax([(mat, TbPtr::DIAG), (del, TbPtr::UP), (ins, TbPtr::LEFT)])
     };
     (LayerVec::splat(1, best), ptr)
+}
+
+/// Multi-lane linear PE: up to [`LANE_WIDTH`] wavefront cells per call in
+/// structure-of-arrays form. Bit-identical to [`linear_pe`] — the candidate
+/// order and strict-improvement tie-breaks replicate [`argmax`] exactly —
+/// but laid out as branch-free passes over `[S; LANE_WIDTH]` arrays so the
+/// saturating adds and compare/selects vectorize (the `i16` kernels compile
+/// to `vpaddsw`/`vpcmpgtw`/blend chains).
+#[allow(clippy::too_many_arguments)]
+fn linear_pe_lanes<S: Score>(
+    p: &LinearParams<S>,
+    q: &[Base],
+    r_rev: &[Base],
+    diag: &[LayerVec<S>],
+    up: &[LayerVec<S>],
+    left: &[LayerVec<S>],
+    out: &mut [LayerVec<S>],
+    ptrs: &mut [TbPtr],
+    clamp_zero: bool,
+) {
+    let n = q.len();
+    debug_assert!((1..=LANE_WIDTH).contains(&n));
+    // One up-front narrowing per slice so the gather/scatter loops below
+    // carry no per-element bounds checks.
+    let (q, r_rev) = (&q[..n], &r_rev[..n]);
+    let (diag, up, left) = (&diag[..n], &up[..n], &left[..n]);
+    let zero = S::zero();
+    // Gather into padded fixed-width arrays; the dead tail lanes compute
+    // garbage (saturating ops, no side effects) and are never written back.
+    let mut d = [zero; LANE_WIDTH];
+    let mut u = [zero; LANE_WIDTH];
+    let mut l = [zero; LANE_WIDTH];
+    let mut sub = [zero; LANE_WIDTH];
+    for t in 0..n {
+        d[t] = diag[t].primary();
+        u[t] = up[t].primary();
+        l[t] = left[t].primary();
+        sub[t] = if q[t] == r_rev[n - 1 - t] {
+            p.match_score
+        } else {
+            p.mismatch
+        };
+    }
+    // Fixed-trip-count arithmetic and selection: same reduction as
+    // argmax([(0, END)?, (mat, DIAG), (del, UP), (ins, LEFT)]) — later
+    // candidates win only if strictly greater — expressed as branchless
+    // compare/select chains over whole arrays.
+    let mut best = [zero; LANE_WIDTH];
+    let mut dir = [0u8; LANE_WIDTH];
+    for t in 0..LANE_WIDTH {
+        let mat = d[t].add(sub[t]);
+        let del = u[t].add(p.gap);
+        let ins = l[t].add(p.gap);
+        let (mut b, mut dr) = if clamp_zero {
+            let (b, won) = zero.max_with(mat);
+            (b, if won { TbPtr::DIAG.0 } else { TbPtr::END.0 })
+        } else {
+            (mat, TbPtr::DIAG.0)
+        };
+        let (m, won) = b.max_with(del);
+        b = m;
+        dr = if won { TbPtr::UP.0 } else { dr };
+        let (m, won) = b.max_with(ins);
+        b = m;
+        dr = if won { TbPtr::LEFT.0 } else { dr };
+        best[t] = b;
+        dir[t] = dr;
+    }
+    let (out, ptrs) = (&mut out[..n], &mut ptrs[..n]);
+    for t in 0..n {
+        out[t] = LayerVec::splat(1, best[t]);
+        ptrs[t] = TbPtr(dir[t]);
+    }
 }
 
 /// Shared single-state traceback FSM (paper Listing 7).
@@ -120,6 +193,22 @@ macro_rules! linear_kernel {
             #[inline]
             fn tb_step(state: TbState, ptr: TbPtr) -> (TbState, TbMove) {
                 linear_tb(state, ptr)
+            }
+        }
+
+        impl<S: Score> LaneKernel for $name<S> {
+            #[inline]
+            fn pe_lanes(
+                params: &Self::Params,
+                q: &[Base],
+                r_rev: &[Base],
+                diag: &[LayerVec<S>],
+                up: &[LayerVec<S>],
+                left: &[LayerVec<S>],
+                out: &mut [LayerVec<S>],
+                ptrs: &mut [TbPtr],
+            ) {
+                linear_pe_lanes(params, q, r_rev, diag, up, left, out, ptrs, $clamp)
             }
         }
     };
@@ -357,6 +446,42 @@ mod tests {
         for m in [GlobalLinear::<i16>::meta(), LocalLinear::<i16>::meta()] {
             assert_eq!(m.n_layers, 1);
             assert_eq!(m.tb_bits, 2);
+        }
+    }
+
+    #[test]
+    fn pe_lanes_matches_scalar_pe_lane_by_lane() {
+        // Direct unit check of the vectorized override against the scalar
+        // recurrence, including the local (clamp-zero) variant's END ties.
+        let p = LinearParams::<i16>::dna();
+        let q: Vec<Base> = dna("ACGTACGT").into_vec();
+        let r_rev: Vec<Base> = dna("TGCATGCA").into_vec();
+        let n = q.len();
+        let mk = |vals: &[i16]| -> Vec<LayerVec<i16>> {
+            vals.iter().map(|&v| LayerVec::splat(1, v)).collect()
+        };
+        let diag = mk(&[0, 2, -4, 6, 0, -2, 4, 1]);
+        let up = mk(&[1, -1, 3, 3, 0, 5, -6, 2]);
+        let left = mk(&[-2, 4, 4, -3, 0, 1, 2, 2]);
+        for clamp in [false, true] {
+            let mut out = vec![LayerVec::splat(1, 0i16); n];
+            let mut ptrs = vec![TbPtr::END; n];
+            linear_pe_lanes(
+                &p, &q, &r_rev, &diag, &up, &left, &mut out, &mut ptrs, clamp,
+            );
+            for t in 0..n {
+                let (want, wptr) = linear_pe(
+                    &p,
+                    q[t],
+                    r_rev[n - 1 - t],
+                    &diag[t],
+                    &up[t],
+                    &left[t],
+                    clamp,
+                );
+                assert_eq!(out[t], want, "lane {t} clamp={clamp}");
+                assert_eq!(ptrs[t], wptr, "lane {t} clamp={clamp}");
+            }
         }
     }
 

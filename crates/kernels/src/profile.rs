@@ -37,6 +37,10 @@ fn sum_of_pairs<S: Score>(p: &ProfileParams<S>, c1: &ProfileColumn, c2: &Profile
     total
 }
 
+/// Profile alignment uses the scalar lane fallback (per-column PSSM
+/// lookups defeat the SoA layout).
+impl<S: Score> dphls_core::LaneKernel for ProfileAlign<S> {}
+
 impl<S: Score> KernelSpec for ProfileAlign<S> {
     type Sym = ProfileColumn;
     type Score = S;

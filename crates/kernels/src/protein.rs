@@ -19,6 +19,9 @@ use std::marker::PhantomData;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ProteinLocal<S = i16>(PhantomData<S>);
 
+/// BLOSUM62 table lookups gather per lane; scalar fallback.
+impl<S: Score> dphls_core::LaneKernel for ProteinLocal<S> {}
+
 impl<S: Score> KernelSpec for ProteinLocal<S> {
     type Sym = AminoAcid;
     type Score = S;

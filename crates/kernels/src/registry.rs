@@ -21,7 +21,9 @@ use crate::protein::ProteinLocal;
 use crate::two_piece::{BandedGlobalTwoPiece, GlobalTwoPiece};
 use crate::viterbi::{Viterbi, ViterbiScore};
 use dphls_core::instrument::count_ops;
-use dphls_core::{CountingScore, KernelConfig, KernelMeta, KernelSpec, LayerVec, OpCounts, Score};
+use dphls_core::{
+    CountingScore, KernelConfig, KernelMeta, KernelSpec, LaneKernel, LayerVec, OpCounts, Score,
+};
 use dphls_seq::gen::{
     ComplexSignalGenerator, ProfileBuilder, ProteinSampler, ReadSimulator, SquiggleSimulator,
 };
@@ -65,11 +67,13 @@ pub struct CaseInfo {
     pub paper: PaperTable2,
 }
 
-/// A visitor over statically-typed kernels.
+/// A visitor over statically-typed kernels. The bound is [`LaneKernel`]
+/// (every registry kernel implements it) so visitors can run the systolic
+/// back-end's multi-lane engine directly.
 pub trait KernelVisitor {
     /// Called once per kernel with its info, default parameters, and a
     /// deterministic workload of `(query, reference)` symbol pairs.
-    fn visit<K: KernelSpec>(
+    fn visit<K: LaneKernel>(
         &mut self,
         info: &CaseInfo,
         params: &K::Params,
@@ -428,7 +432,7 @@ mod tests {
     }
 
     impl KernelVisitor for Collector {
-        fn visit<K: KernelSpec>(
+        fn visit<K: LaneKernel>(
             &mut self,
             info: &CaseInfo,
             _params: &K::Params,

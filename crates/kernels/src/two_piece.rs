@@ -166,6 +166,10 @@ macro_rules! two_piece_kernel {
                 tb_impl(state, ptr)
             }
         }
+
+        // Five-layer recurrence: the scalar lane fallback is already
+        // memory-bound on the H/I₁/D₁/I₂/D₂ traffic, so no override.
+        impl<S: Score> dphls_core::LaneKernel for $name<S> {}
     };
 }
 

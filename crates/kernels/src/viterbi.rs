@@ -28,6 +28,9 @@ const VJ: usize = 2;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Viterbi<S = ViterbiScore>(PhantomData<S>);
 
+/// Viterbi's probability products use the scalar lane fallback.
+impl<S: Score> dphls_core::LaneKernel for Viterbi<S> {}
+
 impl<S: Score> KernelSpec for Viterbi<S> {
     type Sym = Base;
     type Score = S;

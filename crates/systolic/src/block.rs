@@ -22,8 +22,24 @@
 
 use crate::tbmem::TbMem;
 use dphls_core::reference::{offer_if_eligible, walk_traceback, BestTracker};
-use dphls_core::{Banding, DpOutput, KernelConfig, KernelSpec, LayerVec};
+use dphls_core::{
+    Banding, BestCellRule, DpOutput, KernelConfig, LaneKernel, LayerVec, TbPtr, LANE_WIDTH,
+};
 use std::fmt;
+
+/// How the engine scores the active lanes of each wavefront.
+///
+/// Both modes are bit-identical (enforced by the lane-vs-scalar property
+/// suite); [`LaneMode::Scalar`] is kept as the measurable PR 1 comparand for
+/// the `lanes` bench and the differential tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneMode {
+    /// One [`dphls_core::KernelSpec::pe`] call per cell (the PR 1 hot path).
+    Scalar,
+    /// Interior lanes scored [`LANE_WIDTH`] at a time through
+    /// [`LaneKernel::pe_lanes`]; boundary lanes peeled scalar.
+    Lanes,
+}
 
 /// Structural counts from one block-level alignment, consumed by the cycle
 /// model ([`crate::cycles`]).
@@ -261,7 +277,7 @@ impl ChunkWindow {
 ///
 /// Returns [`SystolicError`] if the configuration is invalid, a sequence is
 /// empty, or a sequence exceeds the configured maximum lengths.
-pub fn run_systolic<K: KernelSpec>(
+pub fn run_systolic<K: LaneKernel>(
     params: &K::Params,
     query: &[K::Sym],
     reference: &[K::Sym],
@@ -277,16 +293,52 @@ pub fn run_systolic<K: KernelSpec>(
 /// **no heap allocation** (the returned alignment path is the only output
 /// allocation).
 ///
+/// The wavefront inner loop runs in **multi-lane mode**: interior lanes are
+/// scored [`LANE_WIDTH`] at a time through [`LaneKernel::pe_lanes`] with the
+/// two boundary lanes (PE 0 reading the Preserved Row Score Buffer, and the
+/// `j = 1` lane reading column inits) peeled scalar. Use
+/// [`run_systolic_scalar_with_scratch`] to force the per-cell path.
+///
 /// # Errors
 ///
 /// Returns [`SystolicError`] if the configuration is invalid, a sequence is
 /// empty, or a sequence exceeds the configured maximum lengths.
-pub fn run_systolic_with_scratch<K: KernelSpec>(
+pub fn run_systolic_with_scratch<K: LaneKernel>(
     params: &K::Params,
     query: &[K::Sym],
     reference: &[K::Sym],
     config: &KernelConfig,
     scratch: &mut SystolicScratch<K::Score>,
+) -> Result<SystolicRun<K::Score>, SystolicError> {
+    run_block::<K>(params, query, reference, config, scratch, LaneMode::Lanes)
+}
+
+/// Runs one alignment with the wavefront loop forced to one
+/// [`dphls_core::KernelSpec::pe`] call per cell — the PR 1 scalar hot path,
+/// kept as the measurable comparand for the multi-lane engine (the `lanes`
+/// bench and the lane-vs-scalar property suite both diff against it).
+///
+/// # Errors
+///
+/// Returns [`SystolicError`] if the configuration is invalid, a sequence is
+/// empty, or a sequence exceeds the configured maximum lengths.
+pub fn run_systolic_scalar_with_scratch<K: LaneKernel>(
+    params: &K::Params,
+    query: &[K::Sym],
+    reference: &[K::Sym],
+    config: &KernelConfig,
+    scratch: &mut SystolicScratch<K::Score>,
+) -> Result<SystolicRun<K::Score>, SystolicError> {
+    run_block::<K>(params, query, reference, config, scratch, LaneMode::Scalar)
+}
+
+fn run_block<K: LaneKernel>(
+    params: &K::Params,
+    query: &[K::Sym],
+    reference: &[K::Sym],
+    config: &KernelConfig,
+    scratch: &mut SystolicScratch<K::Score>,
+    mode: LaneMode,
 ) -> Result<SystolicRun<K::Score>, SystolicError> {
     config.validate()?;
     if query.is_empty() || reference.is_empty() {
@@ -401,48 +453,160 @@ pub fn run_systolic_with_scratch<K: KernelSpec>(
             let (lo, hi) = window.lanes(w);
             if lo <= hi {
                 let (k_lo, k_hi) = (lo as usize, hi as usize);
-                for k in k_lo..=k_hi {
-                    // PE k computes cell (i, j) at this wavefront.
-                    let i = base + k + 1;
-                    let j = w - k + 1;
-                    // Neighbor fetch mirrors the hardware buffers exactly.
-                    let left = if j == 1 {
-                        if banding.contains(i, 0) {
-                            K::init_col(params, i)
+
+                // One full scalar cell: neighbor fetch mirroring the
+                // hardware buffers, PE call, tracker offer, traceback
+                // write, preserved-row capture. Used for every lane in
+                // scalar mode and for the peeled boundary lanes in lane
+                // mode. (A macro, not a closure: a closure would hold all
+                // its captured borrows across the lane-chunk calls below.)
+                macro_rules! scalar_cell {
+                    ($lane:expr) => {{
+                        let k: usize = $lane;
+                        let i = base + k + 1;
+                        let j = w - k + 1;
+                        let left = if j == 1 {
+                            if banding.contains(i, 0) {
+                                K::init_col(params, i)
+                            } else {
+                                worst
+                            }
                         } else {
-                            worst
-                        }
-                    } else {
-                        wf_m1[k]
-                    };
-                    let up = if k == 0 { prev_row[j] } else { wf_m1[k - 1] };
-                    let diag = if k == 0 {
-                        prev_row[j - 1]
-                    } else if j == 1 {
-                        if banding.contains(i - 1, 0) {
-                            K::init_col(params, i - 1)
+                            wf_m1[k]
+                        };
+                        let up = if k == 0 { prev_row[j] } else { wf_m1[k - 1] };
+                        let diag = if k == 0 {
+                            prev_row[j - 1]
+                        } else if j == 1 {
+                            if banding.contains(i - 1, 0) {
+                                K::init_col(params, i - 1)
+                            } else {
+                                worst
+                            }
                         } else {
-                            worst
+                            wf_m2[k - 1]
+                        };
+                        let (out, ptr) =
+                            K::pe(params, query[i - 1], reference[j - 1], &diag, &up, &left);
+                        offer_if_eligible(
+                            &mut trackers[k],
+                            meta.traceback.best,
+                            out.primary(),
+                            i,
+                            j,
+                            q,
+                            r,
+                        );
+                        tbmem.write(k, c, w, ptr);
+                        if k == last_pe {
+                            next_row[j] = out;
                         }
-                    } else {
-                        wf_m2[k - 1]
-                    };
-                    let (out, ptr) =
-                        K::pe(params, query[i - 1], reference[j - 1], &diag, &up, &left);
-                    offer_if_eligible(
-                        &mut trackers[k],
-                        meta.traceback.best,
-                        out.primary(),
-                        i,
-                        j,
-                        q,
-                        r,
-                    );
-                    tbmem.write(k, c, w, ptr);
-                    if k == last_pe {
-                        next_row[j] = out;
+                        cur[k] = out;
+                    }};
+                }
+
+                match mode {
+                    LaneMode::Scalar => {
+                        for k in k_lo..=k_hi {
+                            scalar_cell!(k);
+                        }
                     }
-                    cur[k] = out;
+                    LaneMode::Lanes => {
+                        // Peel the two irregular lanes: PE 0 reads the
+                        // Preserved Row Score Buffer, and lane k = w (the
+                        // j = 1 cell) reads column boundary inits. Every
+                        // interior lane k has j ≥ 2 and k ≥ 1, so its
+                        // neighbors are plain strided reads of the two
+                        // wavefront snapshots — exactly the shape
+                        // `pe_lanes` wants.
+                        let mut k_first = k_lo;
+                        if k_lo == 0 {
+                            scalar_cell!(0);
+                            k_first = 1;
+                        }
+                        let mut k_last = k_hi;
+                        if k_hi == w && k_hi >= k_first {
+                            scalar_cell!(k_hi);
+                            k_last = k_hi - 1;
+                        }
+                        let mut ptrs = [TbPtr::END; LANE_WIDTH];
+                        let mut k = k_first;
+                        while k <= k_last {
+                            let n = LANE_WIDTH.min(k_last - k + 1);
+                            // Lane t scores cell (base+k+t+1, w-k-t+1):
+                            // query symbols advance, reference symbols
+                            // retreat (`r_rev` stays a plain subslice).
+                            K::pe_lanes(
+                                params,
+                                &query[base + k..base + k + n],
+                                &reference[w - k + 1 - n..w - k + 1],
+                                &wf_m2[k - 1..k - 1 + n],
+                                &wf_m1[k - 1..k - 1 + n],
+                                &wf_m1[k..k + n],
+                                &mut cur[k..k + n],
+                                &mut ptrs[..n],
+                            );
+                            tbmem.write_lanes(k, c, w, &ptrs[..n]);
+                            // Tracker offers, specialized per best-cell
+                            // rule: only local (AllCells) kernels offer
+                            // every lane; for the boundary rules at most
+                            // one last-row lane (i = q ⇔ k = q−1−base)
+                            // and one last-column lane (j = r ⇔ k = w+1−r)
+                            // exist per chunk call, so the reduction input
+                            // is identical with O(1) work. Double-offering
+                            // one cell is idempotent, but the guards below
+                            // never do.
+                            let row_lane = (q - 1).wrapping_sub(base);
+                            let col_lane = (w + 1).wrapping_sub(r);
+                            let chunk = k..k + n;
+                            match meta.traceback.best {
+                                BestCellRule::AllCells => {
+                                    for t in 0..n {
+                                        let lane = k + t;
+                                        trackers[lane].offer(
+                                            cur[lane].primary(),
+                                            base + lane + 1,
+                                            w - lane + 1,
+                                        );
+                                    }
+                                }
+                                BestCellRule::BottomRight => {
+                                    if chunk.contains(&row_lane) && row_lane == col_lane {
+                                        trackers[row_lane].offer(cur[row_lane].primary(), q, r);
+                                    }
+                                }
+                                BestCellRule::LastRow => {
+                                    if chunk.contains(&row_lane) {
+                                        trackers[row_lane].offer(
+                                            cur[row_lane].primary(),
+                                            q,
+                                            w - row_lane + 1,
+                                        );
+                                    }
+                                }
+                                BestCellRule::LastRowOrCol => {
+                                    if chunk.contains(&row_lane) {
+                                        trackers[row_lane].offer(
+                                            cur[row_lane].primary(),
+                                            q,
+                                            w - row_lane + 1,
+                                        );
+                                    }
+                                    if chunk.contains(&col_lane) && col_lane != row_lane {
+                                        trackers[col_lane].offer(
+                                            cur[col_lane].primary(),
+                                            base + col_lane + 1,
+                                            r,
+                                        );
+                                    }
+                                }
+                            }
+                            if (k..k + n).contains(&last_pe) {
+                                next_row[w - last_pe + 1] = cur[last_pe];
+                            }
+                            k += n;
+                        }
+                    }
                 }
                 stats.cells += (k_hi - k_lo + 1) as u64;
                 stats.wavefronts += 1;
@@ -496,7 +660,7 @@ pub fn run_systolic_with_scratch<K: KernelSpec>(
 /// # Panics
 ///
 /// Panics if [`run_systolic`] returns an error.
-pub fn run_systolic_ok<K: KernelSpec>(
+pub fn run_systolic_ok<K: LaneKernel>(
     params: &K::Params,
     query: &[K::Sym],
     reference: &[K::Sym],

@@ -8,7 +8,7 @@ use crate::cycles::{
     alignment_cycles, effective_cycles_per_alignment, throughput_aps, CycleBreakdown,
     CycleModelParams, KernelCycleInfo,
 };
-use dphls_core::{DpOutput, KernelConfig, KernelSpec};
+use dphls_core::{DpOutput, KernelConfig, LaneKernel};
 
 /// Aggregate result of running a workload on the modeled device.
 #[derive(Debug, Clone)]
@@ -100,7 +100,7 @@ impl Device {
     ///
     /// Propagates the first [`SystolicError`] (invalid config or oversized
     /// sequence).
-    pub fn run<K: KernelSpec>(
+    pub fn run<K: LaneKernel>(
         &self,
         params: &K::Params,
         workload: &[dphls_core::SeqPair<K>],

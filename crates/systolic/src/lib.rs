@@ -39,8 +39,8 @@ pub mod device;
 pub mod tbmem;
 
 pub use block::{
-    run_systolic, run_systolic_ok, run_systolic_with_scratch, BlockStats, SystolicError,
-    SystolicRun, SystolicScratch,
+    run_systolic, run_systolic_ok, run_systolic_scalar_with_scratch, run_systolic_with_scratch,
+    BlockStats, SystolicError, SystolicRun, SystolicScratch,
 };
 pub use cycles::{
     alignment_cycles, effective_cycles_per_alignment, throughput_aps, CycleBreakdown,

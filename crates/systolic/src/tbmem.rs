@@ -104,6 +104,24 @@ impl TbMem {
         self.writes += 1;
     }
 
+    /// Writes the pointers PEs `k0..k0 + ptrs.len()` produced at wavefront
+    /// `w` of chunk `c` — the multi-lane engine's widened store. All lanes
+    /// of one wavefront share the same coalesced address in their own banks
+    /// (the §5.2 regular-access property), so the address computes once per
+    /// call instead of once per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address falls outside a bank or a lane index exceeds
+    /// `NPE`.
+    pub fn write_lanes(&mut self, k0: usize, c: usize, w: usize, ptrs: &[TbPtr]) {
+        let addr = c * Self::wavefronts_per_chunk(self.npe, self.ref_len) + w;
+        for (t, &ptr) in ptrs.iter().enumerate() {
+            self.banks[k0 + t][addr] = ptr;
+        }
+        self.writes += ptrs.len() as u64;
+    }
+
     /// Reads the pointer of matrix cell `(i, j)` (both 1-based).
     ///
     /// # Panics
@@ -180,6 +198,26 @@ mod tests {
         assert_eq!(mem.writes(), 1);
         // Unwritten cells default to END.
         assert_eq!(mem.read_cell(1, 1), TbPtr::END);
+    }
+
+    #[test]
+    fn write_lanes_matches_per_cell_writes() {
+        let mut a = TbMem::new(8, 2, 16);
+        let mut b = TbMem::new(8, 2, 16);
+        let ptrs = [TbPtr::DIAG, TbPtr::UP, TbPtr::LEFT, TbPtr::DIAG];
+        a.write_lanes(3, 1, 7, &ptrs);
+        for (t, &p) in ptrs.iter().enumerate() {
+            b.write(3 + t, 1, 7, p);
+        }
+        assert_eq!(a.writes(), b.writes());
+        // Wavefront 7 of chunk 1 holds cells (i, j) with (i-1)%8 = k and
+        // (j-1) + k = 7; read back through the cell interface.
+        for (t, &p) in ptrs.iter().enumerate() {
+            let k = 3 + t;
+            let (i, j) = (8 + k + 1, 7 - k + 1);
+            assert_eq!(a.read_cell(i, j), p, "lane {k}");
+            assert_eq!(b.read_cell(i, j), p, "lane {k}");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! reproduction's equivalent of the paper's C-simulation / co-simulation
 //! functional checks (§6.2).
 
-use dphls_core::{run_reference, KernelConfig, KernelSpec};
+use dphls_core::{run_reference, KernelConfig, LaneKernel};
 use dphls_kernels::registry::{visit_all, visit_kernel, CaseInfo, KernelVisitor, WorkloadSpec};
 use dphls_systolic::run_systolic_ok;
 
@@ -16,7 +16,7 @@ struct DiffVisitor {
 }
 
 impl KernelVisitor for DiffVisitor {
-    fn visit<K: KernelSpec>(
+    fn visit<K: LaneKernel>(
         &mut self,
         info: &CaseInfo,
         params: &K::Params,

@@ -1,0 +1,219 @@
+//! Property-based verification of the multi-lane wavefront engine: for
+//! every kernel family with a vectorized `pe_lanes` override (the linear
+//! NW/SW group and the affine group) — and one fallback kernel for the
+//! default path — the laned engine must be **bit-identical** to the forced
+//! scalar engine across random sequences, band widths (including the
+//! degenerate `half_width` 0/1 bands), NPE shapes, and scoring-parameter
+//! scale factors. Identity covers scores, best cells, the full traceback
+//! path, and the structural statistics the cycle model consumes.
+
+use dphls_core::{Banding, KernelConfig, LaneKernel};
+use dphls_kernels::{
+    AffineParams, GlobalAffine, GlobalLinear, GlobalTwoPiece, LinearParams, LocalAffine,
+    LocalLinear, SemiGlobal, TwoPieceParams,
+};
+use dphls_seq::Base;
+use dphls_systolic::{
+    run_systolic_scalar_with_scratch, run_systolic_with_scratch, SystolicScratch,
+};
+use proptest::prelude::*;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<Base>> {
+    proptest::collection::vec((0u8..4).prop_map(Base::from_code), 1..max_len)
+}
+
+/// Runs one pair through both engines and asserts full-output identity.
+fn assert_lanes_match_scalar<K: LaneKernel>(
+    params: &K::Params,
+    q: &[K::Sym],
+    r: &[K::Sym],
+    npe: usize,
+    banding: Banding,
+    ctx: &str,
+) {
+    let max = q.len().max(r.len());
+    let cfg = KernelConfig {
+        banding,
+        ..KernelConfig::new(npe.min(q.len()), 1, 1).with_max_lengths(max, max)
+    };
+    let mut s1 = SystolicScratch::new();
+    let mut s2 = SystolicScratch::new();
+    let scalar = run_systolic_scalar_with_scratch::<K>(params, q, r, &cfg, &mut s1).unwrap();
+    let laned = run_systolic_with_scratch::<K>(params, q, r, &cfg, &mut s2).unwrap();
+    // Scores, best cell, and the complete traceback walk...
+    assert_eq!(laned.output, scalar.output, "output diverged ({ctx})");
+    // ...and the alignment explicitly (so a future DpOutput field can't
+    // silently drop the path from the comparison).
+    assert_eq!(
+        laned.output.alignment, scalar.output.alignment,
+        "traceback path diverged ({ctx})"
+    );
+    // Structural stats feed the cycle model; they must not drift either.
+    assert_eq!(laned.stats, scalar.stats, "stats diverged ({ctx})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// NW family (global linear), random bands incl. degenerate 0/1 widths,
+    /// random parameter scale factors.
+    #[test]
+    fn laned_matches_scalar_global_linear(
+        q in dna(56),
+        r in dna(56),
+        npe in 1usize..17,
+        hw in (0usize..25).prop_map(|v| (v < 24).then_some(v)),
+        scale in 1i16..5,
+    ) {
+        let p = LinearParams::<i16> {
+            match_score: 2 * scale,
+            mismatch: -3 * scale,
+            gap: -2 * scale,
+        };
+        let banding = match hw {
+            Some(half_width) => Banding::Fixed { half_width },
+            None => Banding::None,
+        };
+        assert_lanes_match_scalar::<GlobalLinear>(
+            &p, &q, &r, npe, banding, &format!("NW npe={npe} hw={hw:?} scale={scale}"),
+        );
+    }
+
+    /// SW family (local linear): AllCells tracking exercises the per-lane
+    /// offer path and END-pointer ties of the clamp-zero recurrence.
+    #[test]
+    fn laned_matches_scalar_local_linear(
+        q in dna(48),
+        r in dna(48),
+        npe in 1usize..13,
+        hw in (0usize..17).prop_map(|v| (v < 16).then_some(v)),
+        scale in 1i16..4,
+    ) {
+        let p = LinearParams::<i16> {
+            match_score: 2 * scale,
+            mismatch: -scale,
+            gap: -scale,
+        };
+        let banding = match hw {
+            Some(half_width) => Banding::Fixed { half_width },
+            None => Banding::None,
+        };
+        assert_lanes_match_scalar::<LocalLinear<i16>>(
+            &p, &q, &r, npe, banding, &format!("SW npe={npe} hw={hw:?} scale={scale}"),
+        );
+    }
+
+    /// Semi-global (LastRow rule) rides the linear lane kernel but takes
+    /// the specialized last-row offer path.
+    #[test]
+    fn laned_matches_scalar_semi_global(
+        q in dna(40),
+        r in dna(48),
+        npe in 1usize..9,
+    ) {
+        let p = LinearParams::<i16>::dna();
+        assert_lanes_match_scalar::<SemiGlobal<i16>>(
+            &p, &q, &r, npe, Banding::None, &format!("semi-global npe={npe}"),
+        );
+    }
+
+    /// Affine family (three layers, gap-open flags in the pointer bits).
+    #[test]
+    fn laned_matches_scalar_affine(
+        q in dna(48),
+        r in dna(48),
+        npe in 1usize..13,
+        hw in (0usize..17).prop_map(|v| (v < 16).then_some(v)),
+        scale in 1i16..4,
+        local in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let p = AffineParams::<i16> {
+            match_score: 2 * scale,
+            mismatch: -4 * scale,
+            gap_open: -4 * scale,
+            gap_extend: -scale,
+        };
+        let banding = match hw {
+            Some(half_width) => Banding::Fixed { half_width },
+            None => Banding::None,
+        };
+        let ctx = format!("affine npe={npe} hw={hw:?} scale={scale} local={local}");
+        if local {
+            assert_lanes_match_scalar::<LocalAffine<i16>>(&p, &q, &r, npe, banding, &ctx);
+        } else {
+            assert_lanes_match_scalar::<GlobalAffine<i16>>(&p, &q, &r, npe, banding, &ctx);
+        }
+    }
+
+    /// A five-layer kernel without an override: the scalar fallback through
+    /// the chunked engine must still match the forced scalar loop.
+    #[test]
+    fn laned_matches_scalar_two_piece_fallback(
+        q in dna(36),
+        r in dna(36),
+        npe in 1usize..9,
+    ) {
+        let p = TwoPieceParams::<i16>::dna();
+        assert_lanes_match_scalar::<GlobalTwoPiece<i16>>(
+            &p, &q, &r, npe, Banding::None, &format!("two-piece npe={npe}"),
+        );
+    }
+}
+
+#[test]
+fn degenerate_bands_and_lane_boundaries_deterministic() {
+    // half_width 0 (diagonal only, empty off-parity wavefronts), 1 (the
+    // narrowest contiguous band), and lengths straddling LANE_WIDTH
+    // multiples exercise every peel/tail combination of the chunk loop.
+    let p = LinearParams::<i16>::dna();
+    let base: Vec<Base> = "ACGTACGTACGTACGTACGTACGTACGTACGTACGT"
+        .parse::<dphls_seq::DnaSeq>()
+        .unwrap()
+        .into_vec();
+    for &len in &[2usize, 7, 8, 9, 15, 16, 17, 25, 33, 36] {
+        let q = &base[..len];
+        let r = &base[..len.max(2) - 1];
+        for hw in [0usize, 1, 2, 7, 8] {
+            for npe in [1usize, 3, 8, 16] {
+                let cfg = KernelConfig::new(npe.min(len), 1, 1)
+                    .with_max_lengths(64, 64)
+                    .with_banding(hw);
+                let mut s1 = SystolicScratch::new();
+                let mut s2 = SystolicScratch::new();
+                let scalar =
+                    run_systolic_scalar_with_scratch::<GlobalLinear>(&p, q, r, &cfg, &mut s1)
+                        .unwrap();
+                let laned =
+                    run_systolic_with_scratch::<GlobalLinear>(&p, q, r, &cfg, &mut s2).unwrap();
+                assert_eq!(laned.output, scalar.output, "len={len} hw={hw} npe={npe}");
+                assert_eq!(laned.stats, scalar.stats, "len={len} hw={hw} npe={npe}");
+            }
+        }
+    }
+}
+
+#[test]
+fn laned_engine_shares_scratch_with_scalar_runs() {
+    // One arena alternating between the two modes: neither may leak state
+    // into the other (the arena re-initialization contract).
+    let p = AffineParams::<i16>::dna();
+    let q: Vec<Base> = [Base::A, Base::C, Base::G, Base::T].repeat(6);
+    let r: Vec<Base> = [Base::T, Base::C, Base::G, Base::A].repeat(5);
+    let cfg = KernelConfig::new(8, 1, 1)
+        .with_max_lengths(32, 32)
+        .with_banding(5);
+    let mut shared = SystolicScratch::new();
+    let mut fresh = SystolicScratch::new();
+    for round in 0..4 {
+        let want =
+            run_systolic_scalar_with_scratch::<GlobalAffine<i16>>(&p, &q, &r, &cfg, &mut fresh)
+                .unwrap();
+        let scalar =
+            run_systolic_scalar_with_scratch::<GlobalAffine<i16>>(&p, &q, &r, &cfg, &mut shared)
+                .unwrap();
+        let laned =
+            run_systolic_with_scratch::<GlobalAffine<i16>>(&p, &q, &r, &cfg, &mut shared).unwrap();
+        assert_eq!(scalar.output, want.output, "round {round}");
+        assert_eq!(laned.output, want.output, "round {round}");
+    }
+}

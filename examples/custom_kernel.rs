@@ -70,6 +70,10 @@ impl KernelSpec for EditDistance {
     }
 }
 
+// One empty impl opts the custom kernel into the multi-lane systolic
+// engine via the scalar fallback; override `pe_lanes` to vectorize.
+impl LaneKernel for EditDistance {}
+
 /// The counting-instrumented twin (same recurrence, measured operators).
 #[derive(Debug, Clone, Copy, Default)]
 struct EditDistanceCounted;

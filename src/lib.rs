@@ -69,8 +69,8 @@ pub use dphls_util as util;
 /// The most common imports for working with the framework.
 pub mod prelude {
     pub use dphls_core::{
-        run_reference, Banding, KernelConfig, KernelMeta, KernelSpec, LayerVec, Objective, Score,
-        TbMove, TbPtr, TbState, TracebackSpec, WalkKind,
+        run_reference, Banding, KernelConfig, KernelMeta, KernelSpec, LaneKernel, LayerVec,
+        Objective, Score, TbMove, TbPtr, TbState, TracebackSpec, WalkKind, LANE_WIDTH,
     };
     pub use dphls_fpga::{synthesize, KernelProfile, XCVU9P};
     pub use dphls_host::tiling::{tiled_global_affine, TilingConfig};

@@ -2,7 +2,7 @@
 //! Fig 2A flow (specify → C-sim → synthesize → co-sim → deploy-model) for
 //! every kernel, through the public `dp-hls` API only.
 
-use dp_hls::core::{run_reference, KernelConfig, KernelSpec};
+use dp_hls::core::{run_reference, KernelConfig, LaneKernel};
 use dp_hls::fpga::synthesize;
 use dp_hls::host::{run_batched, tiled_global_affine, TilingConfig};
 use dp_hls::kernels::registry::{visit_all, CaseInfo, KernelVisitor, WorkloadSpec};
@@ -15,7 +15,7 @@ struct FlowVisitor {
 }
 
 impl KernelVisitor for FlowVisitor {
-    fn visit<K: KernelSpec>(
+    fn visit<K: LaneKernel>(
         &mut self,
         info: &CaseInfo,
         params: &K::Params,
@@ -157,7 +157,7 @@ fn synthesis_rejects_oversized_deployments() {
     let cases = {
         struct Grab(Vec<CaseInfo>);
         impl KernelVisitor for Grab {
-            fn visit<K: KernelSpec>(
+            fn visit<K: LaneKernel>(
                 &mut self,
                 info: &CaseInfo,
                 _p: &K::Params,
