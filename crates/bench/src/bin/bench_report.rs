@@ -2,8 +2,9 @@
 //! naive baseline, the scalar scratch engine (PR 1), the multi-lane engine
 //! (PR 2), and the work-stealing batch engine across the standard workload
 //! matrix, plus the ISSUE 1 (≥ 2× scratch-vs-naive) and ISSUE 2 (≥ 1.3×
-//! laned-vs-scratch) acceptance measurements. Validate or diff a report
-//! with `bench_check`.
+//! laned-vs-scratch) acceptance measurements and the ISSUE 3 streaming
+//! comparison (streamed-vs-batched, gated ≥ 0.9×). Validate or diff a
+//! report with `bench_check`.
 //!
 //! ```text
 //! cargo run --release -p dphls-bench --bin bench_report            # full matrix
@@ -58,6 +59,22 @@ fn main() {
             p.batched_aps, p.batched_speedup,
         );
     }
+    eprintln!(
+        "  streaming    {} x{:<6} NK={} buffer={} window={} | batched {:>9.0} aln/s | streamed {:>9.0} ({:.2}x) {}",
+        report.streaming.workload,
+        report.streaming.pairs,
+        report.streaming.nk,
+        report.streaming.buffer,
+        report.streaming.window,
+        report.streaming.batched_aps,
+        report.streaming.streamed_aps,
+        report.streaming.ratio,
+        if report.streaming.pass {
+            format!("PASS (>= {}x)", dphls_bench::check::STREAMING_GATE)
+        } else {
+            format!("FAIL (< {}x)", dphls_bench::check::STREAMING_GATE)
+        },
+    );
     eprintln!(
         "acceptance ({} x{}): scratch/naive {:.2}x {} | laned/scratch {:.2}x {}",
         report.acceptance.workload,

@@ -21,9 +21,14 @@
 //! ```
 
 pub mod scheduler;
+pub mod streaming;
 pub mod tiling;
 
 pub use scheduler::{run_batched, ScheduleReport};
+pub use streaming::{
+    run_streamed, run_streamed_collect, OrderedWriter, ReorderOverflow, StreamConfig, StreamError,
+    StreamReport,
+};
 pub use tiling::{
     score_path_affine, tiled_global_affine, TiledAlignment, TilingConfig, TilingError,
 };

@@ -51,7 +51,7 @@ pub struct ScheduleReport<S> {
 /// the band's footprint under fixed banding. Only the *ranking* matters, so
 /// the band estimate uses the closed-form strip area rather than the exact
 /// clipped count.
-fn cost_estimate(q: usize, r: usize, banding: Banding) -> u64 {
+pub(crate) fn cost_estimate(q: usize, r: usize, banding: Banding) -> u64 {
     let full = q as u64 * r as u64;
     match banding {
         Banding::None => full,

@@ -1,0 +1,677 @@
+//! Streaming batch pipeline: feeds the work-stealing channel workers from an
+//! **incremental** source instead of a pre-built `Vec`, so workloads larger
+//! than host RAM can run and the `NK` channels start aligning while input is
+//! still being parsed (ROADMAP "Async I/O batching"; the bounded-FIFO
+//! producer/consumer decoupling of the task-parallel HLS literature).
+//!
+//! Three stages, connected by bounded buffers:
+//!
+//! 1. **Producer** — a spawned thread pulls pairs from the caller's iterator
+//!    (e.g. a [`dphls_seq::fasta::FastaStream`] adapter) and pushes them
+//!    through a bounded `crossbeam` channel of depth [`StreamConfig::buffer`].
+//!    A full channel blocks the producer: parse never runs ahead of compute
+//!    by more than `buffer` pairs.
+//! 2. **Dealer + workers** — the calling thread receives pairs, cost-ranks
+//!    each one (same estimate as [`run_batched`]), and deals it round-robin
+//!    into the per-channel deques, **admission-gated** so at most
+//!    [`StreamConfig::window`] pairs are in flight between admission and
+//!    ordered emission. The deques carry a "producer still live" state: a
+//!    worker finding every deque empty blocks on a condvar instead of
+//!    exiting, and steals the cheapest job from a neighbor's tail exactly as
+//!    the batch engine does.
+//! 3. **[`OrderedWriter`]** — workers complete alignments out of input order;
+//!    the writer restores input order with a reorder buffer whose occupancy
+//!    is bounded by the admission window, invoking the caller's sink as soon
+//!    as each next-in-order output is ready.
+//!
+//! Peak resident pairs are therefore `buffer + window` (+1 in the producer's
+//! hand), **not** O(workload); both bounds are tracked by high-water-mark
+//! counters in the [`StreamReport`] and asserted by the differential tests.
+//!
+//! [`run_batched`]: crate::run_batched
+
+use crate::scheduler::cost_estimate;
+use dphls_core::{DpOutput, LaneKernel};
+use dphls_systolic::{
+    alignment_cycles, effective_cycles_per_alignment, throughput_aps, Device, SystolicError,
+    SystolicScratch,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Buffer-depth knobs of the streaming pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Depth of the bounded producer channel: how many parsed pairs may sit
+    /// between the input source and the dealer. Depth 1 runs the producer in
+    /// lockstep with the dealer.
+    pub buffer: usize,
+    /// Admission window: how many pairs may be in flight between dealing and
+    /// ordered emission. This simultaneously bounds the per-channel deques,
+    /// the in-execution set, and the [`OrderedWriter`] reorder buffer.
+    pub window: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        // Large enough to keep every channel busy under skewed costs, small
+        // enough that resident memory stays trivially bounded.
+        Self {
+            buffer: 64,
+            window: 256,
+        }
+    }
+}
+
+/// Result of a streamed run: the [`crate::ScheduleReport`] contract
+/// (per-channel stats, steals, single-pass modeled throughput) plus the
+/// bounded-memory evidence.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Pairs aligned (and emitted, in input order, through the sink).
+    pub pairs: usize,
+    /// Alignments each channel worker actually executed (own + stolen).
+    pub per_channel: Vec<usize>,
+    /// Alignments stolen across channels.
+    pub steals: usize,
+    /// Modeled device throughput in alignments/second, derived from the
+    /// cycle statistics of the functional runs (no second pass).
+    pub throughput_aps: f64,
+    /// Peak pairs simultaneously held in the [`OrderedWriter`] reorder
+    /// buffer; always `< window`.
+    pub reorder_high_water: usize,
+    /// Peak pairs simultaneously in flight between admission and ordered
+    /// emission (deques + executing + reorder buffer); always `<= window`.
+    /// Total resident pairs are bounded by `buffer + resident_high_water`
+    /// plus the one pair in the producer's hand.
+    pub resident_high_water: usize,
+}
+
+/// Error from a streamed run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError<E> {
+    /// The input source yielded an error; produced outputs that preceded it
+    /// may already have been emitted through the sink.
+    Source(E),
+    /// An alignment failed on the device model.
+    Systolic(SystolicError),
+}
+
+impl<E: fmt::Display> fmt::Display for StreamError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Source(e) => write!(f, "streaming source failed: {e}"),
+            StreamError::Systolic(e) => write!(f, "alignment failed: {e}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for StreamError<E> {}
+
+/// A push landed outside the writer's reorder window (or was a duplicate) —
+/// the producer side failed to respect the admission gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorderOverflow {
+    /// Index of the offending push.
+    pub idx: usize,
+    /// Next index the writer will emit.
+    pub next_emit: usize,
+    /// Configured window.
+    pub window: usize,
+}
+
+impl fmt::Display for ReorderOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output index {} outside reorder window [{}, {})",
+            self.idx,
+            self.next_emit,
+            self.next_emit + self.window
+        )
+    }
+}
+
+impl std::error::Error for ReorderOverflow {}
+
+/// Restores input order over out-of-order completions with a bounded
+/// reorder buffer: outputs pushed as `(input index, value)` are handed to
+/// the sink in strictly increasing index order, holding at most
+/// `window - 1` out-of-order values (an in-order push is forwarded without
+/// buffering). The peak held count is exposed as [`high_water`] so tests
+/// can assert the bound.
+///
+/// [`high_water`]: OrderedWriter::high_water
+pub struct OrderedWriter<S, F: FnMut(usize, S)> {
+    sink: F,
+    window: usize,
+    next_emit: usize,
+    pending: BTreeMap<usize, S>,
+    high_water: usize,
+}
+
+impl<S, F: FnMut(usize, S)> OrderedWriter<S, F> {
+    /// Creates a writer that accepts indices within `window` of the next
+    /// unemitted one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize, sink: F) -> Self {
+        assert!(window > 0, "reorder window must be >= 1");
+        Self {
+            sink,
+            window,
+            next_emit: 0,
+            pending: BTreeMap::new(),
+            high_water: 0,
+        }
+    }
+
+    /// Accepts the output for input index `idx`, emitting it (and any
+    /// now-contiguous buffered successors) if it is next in order, else
+    /// buffering it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReorderOverflow`] if `idx` was already emitted or lies at
+    /// or beyond `next_emit + window`; the value is dropped.
+    pub fn push(&mut self, idx: usize, value: S) -> Result<(), ReorderOverflow> {
+        if idx < self.next_emit || idx >= self.next_emit + self.window {
+            return Err(ReorderOverflow {
+                idx,
+                next_emit: self.next_emit,
+                window: self.window,
+            });
+        }
+        if idx == self.next_emit {
+            (self.sink)(idx, value);
+            self.next_emit += 1;
+            while let Some(v) = self.pending.remove(&self.next_emit) {
+                (self.sink)(self.next_emit, v);
+                self.next_emit += 1;
+            }
+        } else {
+            self.pending.insert(idx, value);
+            self.high_water = self.high_water.max(self.pending.len());
+        }
+        Ok(())
+    }
+
+    /// Next index the writer will emit (= count of emitted outputs).
+    pub fn next_emit(&self) -> usize {
+        self.next_emit
+    }
+
+    /// Outputs currently buffered out of order.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Peak number of outputs ever buffered at once (always `< window`).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Whether every pushed output has been emitted.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// A job dealt into a channel deque: the pair, its input index, and its
+/// cost-estimate rank.
+struct Job<Sym> {
+    idx: usize,
+    q: Vec<Sym>,
+    r: Vec<Sym>,
+    cost: u64,
+}
+
+/// Deque state shared by the dealer and the workers: the per-channel job
+/// queues plus the "producer still live" flag that turns steal-on-empty
+/// from an exit condition into a blocking wait.
+struct Sched<Sym> {
+    queues: Vec<VecDeque<Job<Sym>>>,
+    producer_live: bool,
+}
+
+/// Writer-side shared state: the ordered sink plus admission accounting.
+struct Emit<S, F: FnMut(usize, S)> {
+    writer: OrderedWriter<S, F>,
+    /// Pairs admitted by the dealer (dealt into a deque).
+    admitted: usize,
+    /// Peak `admitted - emitted` (exact: both mutate under this lock).
+    resident_high_water: usize,
+}
+
+/// Per-worker execution tally, merged into the report after the join.
+#[derive(Default)]
+struct WorkerStats {
+    executed: usize,
+    cycle_sum: u64,
+    stolen: usize,
+}
+
+/// Aligns pairs pulled incrementally from `source` across the device's `NK`
+/// channels, emitting outputs **in input order** through `sink` as they
+/// complete. Outputs are bit-identical to [`crate::run_batched`] on the same
+/// pairs; peak resident pairs are bounded by `config.buffer + config.window`
+/// (see the module docs and [`StreamReport`]'s high-water marks).
+///
+/// The sink receives `(input index, output)` with indices strictly
+/// increasing from 0; it is invoked from worker threads under a lock, so it
+/// should hand off rather than do heavy work.
+///
+/// # Errors
+///
+/// [`StreamError::Source`] if the source iterator yields an error (outputs
+/// emitted before that point have already reached the sink), or
+/// [`StreamError::Systolic`] for the first device-model failure.
+///
+/// # Panics
+///
+/// Panics if `config.buffer` or `config.window` is zero.
+pub fn run_streamed<K, I, E, F>(
+    device: &Device,
+    params: &K::Params,
+    source: I,
+    config: StreamConfig,
+    sink: F,
+) -> Result<StreamReport, StreamError<E>>
+where
+    K: LaneKernel,
+    K::Score: Send,
+    K::Params: Sync,
+    K::Sym: Send,
+    I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
+    E: Send,
+    F: FnMut(usize, DpOutput<K::Score>) + Send,
+{
+    assert!(config.buffer > 0, "stream buffer depth must be >= 1");
+    assert!(config.window > 0, "stream window must be >= 1");
+    let kernel_config = device.config();
+    let nk = kernel_config.nk.max(1);
+
+    let sched: Mutex<Sched<K::Sym>> = Mutex::new(Sched {
+        queues: (0..nk).map(|_| VecDeque::new()).collect(),
+        producer_live: true,
+    });
+    // Wakes workers blocked on empty deques.
+    let work_cv = Condvar::new();
+    let emit: Mutex<Emit<DpOutput<K::Score>, F>> = Mutex::new(Emit {
+        writer: OrderedWriter::new(config.window, sink),
+        admitted: 0,
+        resident_high_water: 0,
+    });
+    // Wakes the dealer blocked on a full admission window.
+    let space_cv = Condvar::new();
+    let abort = AtomicBool::new(false);
+    let source_error: Mutex<Option<E>> = Mutex::new(None);
+    let systolic_error: Mutex<Option<SystolicError>> = Mutex::new(None);
+    let stats: Vec<Mutex<WorkerStats>> = (0..nk)
+        .map(|_| Mutex::new(WorkerStats::default()))
+        .collect();
+
+    let (tx, rx) =
+        crossbeam::channel::bounded::<Result<(Vec<K::Sym>, Vec<K::Sym>), E>>(config.buffer);
+
+    crossbeam::scope(|scope| {
+        // Stage 1: producer — drains the source into the bounded channel.
+        // A send error means the dealer hung up (abort path); a source error
+        // is forwarded once and ends production.
+        scope.spawn(move |_| {
+            for item in source {
+                let stop = item.is_err();
+                if tx.send(item).is_err() || stop {
+                    break;
+                }
+            }
+        });
+
+        // Stage 2b: channel workers (one thread per NK channel).
+        for ch in 0..nk {
+            let (sched, work_cv, emit, space_cv) = (&sched, &work_cv, &emit, &space_cv);
+            let (abort, systolic_error, stats) = (&abort, &systolic_error, &stats);
+            scope.spawn(move |_| {
+                let mut scratch = SystolicScratch::new();
+                let mut local = WorkerStats::default();
+                loop {
+                    // Own deque's expensive end first; then steal the
+                    // cheapest job from a neighbor; then block if the
+                    // producer may still deal more; exit otherwise.
+                    let job = {
+                        let mut guard = sched.lock().expect("sched mutex");
+                        loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break None;
+                            }
+                            if let Some(job) = guard.queues[ch].pop_front() {
+                                break Some(job);
+                            }
+                            let stolen =
+                                (1..nk).find_map(|v| guard.queues[(ch + v) % nk].pop_back());
+                            if let Some(job) = stolen {
+                                local.stolen += 1;
+                                break Some(job);
+                            }
+                            if !guard.producer_live {
+                                break None;
+                            }
+                            guard = work_cv.wait(guard).expect("sched mutex");
+                        }
+                    };
+                    let Some(job) = job else { break };
+                    match dphls_systolic::run_systolic_with_scratch::<K>(
+                        params,
+                        &job.q,
+                        &job.r,
+                        kernel_config,
+                        &mut scratch,
+                    ) {
+                        Ok(run) => {
+                            let b = alignment_cycles(
+                                &run.stats,
+                                device.kernel_cycle_info(),
+                                device.cycle_params(),
+                            );
+                            local.cycle_sum += effective_cycles_per_alignment(&b, kernel_config);
+                            local.executed += 1;
+                            let mut e = emit.lock().expect("emit mutex");
+                            let before = e.writer.next_emit();
+                            e.writer
+                                .push(job.idx, run.output)
+                                .expect("admission gate keeps outputs inside the window");
+                            if e.writer.next_emit() != before {
+                                // Emission progress frees admission slots.
+                                space_cv.notify_all();
+                            }
+                        }
+                        Err(err) => {
+                            let mut guard = systolic_error.lock().expect("error mutex");
+                            if guard.is_none() {
+                                *guard = Some(err);
+                            }
+                            drop(guard);
+                            abort.store(true, Ordering::Relaxed);
+                            // Each notify bridges through its condvar's
+                            // mutex: a peer holds that mutex between
+                            // checking `abort` and parking, so acquiring it
+                            // first guarantees the notify lands after the
+                            // peer is actually waiting (no lost wakeup).
+                            drop(sched.lock().expect("sched mutex"));
+                            work_cv.notify_all();
+                            drop(emit.lock().expect("emit mutex"));
+                            space_cv.notify_all();
+                            break;
+                        }
+                    }
+                }
+                *stats[ch].lock().expect("stats mutex") = local;
+            });
+        }
+
+        // Stage 2a: dealer (this thread) — receives parsed pairs, waits for
+        // an admission slot, cost-ranks, and deals round-robin.
+        'deal: for (next_idx, item) in rx.iter().enumerate() {
+            let (q, r) = match item {
+                Ok(pair) => pair,
+                Err(e) => {
+                    *source_error.lock().expect("error mutex") = Some(e);
+                    abort.store(true, Ordering::Relaxed);
+                    break 'deal;
+                }
+            };
+            {
+                let mut e = emit.lock().expect("emit mutex");
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break 'deal;
+                    }
+                    if next_idx < e.writer.next_emit() + config.window {
+                        e.admitted += 1;
+                        let resident = e.admitted - e.writer.next_emit();
+                        e.resident_high_water = e.resident_high_water.max(resident);
+                        break;
+                    }
+                    e = space_cv.wait(e).expect("emit mutex");
+                }
+            }
+            let cost = cost_estimate(q.len(), r.len(), kernel_config.banding);
+            let job = Job {
+                idx: next_idx,
+                q,
+                r,
+                cost,
+            };
+            {
+                let mut guard = sched.lock().expect("sched mutex");
+                let queue = &mut guard.queues[next_idx % nk];
+                // Keep each deque sorted by descending cost: the owner pops
+                // expensive work from the front, thieves take the cheapest
+                // from the back — the batch engine's discipline, applied
+                // incrementally.
+                let at = queue.partition_point(|j| j.cost >= job.cost);
+                queue.insert(at, job);
+            }
+            work_cv.notify_one();
+        }
+        // Hang up on the producer (unblocks a full-channel send on abort)
+        // and flip the deques out of their "producer live" state.
+        drop(rx);
+        sched.lock().expect("sched mutex").producer_live = false;
+        work_cv.notify_all();
+    })
+    .expect("streaming pipeline thread panicked");
+
+    if let Some(e) = source_error.into_inner().expect("error mutex") {
+        return Err(StreamError::Source(e));
+    }
+    if let Some(e) = systolic_error.into_inner().expect("error mutex") {
+        return Err(StreamError::Systolic(e));
+    }
+
+    let emit = emit.into_inner().expect("emit mutex");
+    debug_assert!(emit.writer.is_drained(), "all admitted outputs emitted");
+    let mut per_channel = vec![0usize; nk];
+    let mut steals = 0usize;
+    let mut cycle_sum = 0u64;
+    for (ch, stat) in stats.into_iter().enumerate() {
+        let s = stat.into_inner().expect("stats mutex");
+        per_channel[ch] = s.executed;
+        steals += s.stolen;
+        cycle_sum += s.cycle_sum;
+    }
+    let n = emit.writer.next_emit();
+    let throughput = if n == 0 {
+        0.0
+    } else {
+        let mean_cycles = cycle_sum as f64 / n as f64;
+        throughput_aps(
+            mean_cycles.round().max(1.0) as u64,
+            device.freq_mhz(),
+            kernel_config,
+        )
+    };
+    Ok(StreamReport {
+        pairs: n,
+        per_channel,
+        steals,
+        throughput_aps: throughput,
+        reorder_high_water: emit.writer.high_water(),
+        resident_high_water: emit.resident_high_water,
+    })
+}
+
+/// Convenience wrapper with the exact [`crate::ScheduleReport`] contract of
+/// [`crate::run_batched`]: collects the streamed outputs into an in-order
+/// `Vec` (so memory is O(workload) again — use [`run_streamed`] with a real
+/// sink for bounded-memory operation) and returns the stream report
+/// alongside for the bounded-memory evidence.
+///
+/// # Errors
+///
+/// Same as [`run_streamed`].
+pub fn run_streamed_collect<K, I, E>(
+    device: &Device,
+    params: &K::Params,
+    source: I,
+    config: StreamConfig,
+) -> Result<(crate::ScheduleReport<K::Score>, StreamReport), StreamError<E>>
+where
+    K: LaneKernel,
+    K::Score: Send,
+    K::Params: Sync,
+    K::Sym: Send,
+    I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
+    E: Send,
+{
+    let outputs: Mutex<Vec<DpOutput<K::Score>>> = Mutex::new(Vec::new());
+    let report = run_streamed::<K, I, E, _>(device, params, source, config, |idx, out| {
+        let mut o = outputs.lock().expect("outputs mutex");
+        debug_assert_eq!(o.len(), idx, "sink indices are contiguous from 0");
+        o.push(out);
+    })?;
+    Ok((
+        crate::ScheduleReport {
+            outputs: outputs.into_inner().expect("outputs mutex"),
+            per_channel: report.per_channel.clone(),
+            steals: report.steals,
+            throughput_aps: report.throughput_aps,
+        },
+        report,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_core::KernelConfig;
+    use dphls_kernels::{GlobalLinear, LinearParams};
+    use dphls_systolic::{CycleModelParams, KernelCycleInfo};
+    use std::convert::Infallible;
+
+    fn device(nk: usize) -> Device {
+        Device::new(
+            KernelConfig::new(8, 2, nk).with_max_lengths(96, 96),
+            CycleModelParams::dphls(),
+            KernelCycleInfo {
+                sym_bits: 2,
+                has_walk: true,
+                ii: 1,
+            },
+            250.0,
+        )
+    }
+
+    fn workload(n: usize) -> Vec<(Vec<dphls_seq::Base>, Vec<dphls_seq::Base>)> {
+        let mut sim = dphls_seq::gen::ReadSimulator::new(31);
+        sim.read_pairs(n, 80, 0.25)
+            .into_iter()
+            .map(|(r, mut q)| {
+                q.truncate(80);
+                (q.into_vec(), r.into_vec())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ordered_writer_emits_in_order() {
+        let got = std::cell::RefCell::new(Vec::new());
+        let mut w = OrderedWriter::new(4, |idx, v: u32| got.borrow_mut().push((idx, v)));
+        w.push(1, 10).unwrap();
+        w.push(3, 30).unwrap();
+        assert_eq!(*got.borrow(), vec![]);
+        w.push(0, 0).unwrap(); // releases 0 and 1
+        assert_eq!(*got.borrow(), vec![(0, 0), (1, 10)]);
+        w.push(2, 20).unwrap(); // releases 2 and 3
+        assert_eq!(*got.borrow(), vec![(0, 0), (1, 10), (2, 20), (3, 30)]);
+        assert_eq!(w.high_water(), 2);
+        assert!(w.is_drained());
+    }
+
+    #[test]
+    fn ordered_writer_rejects_out_of_window_and_duplicates() {
+        let mut w = OrderedWriter::new(2, |_, _: u32| {});
+        assert!(w.push(2, 0).is_err()); // beyond [0, 2)
+        w.push(0, 0).unwrap();
+        assert!(w.push(0, 0).is_err()); // already emitted
+        let err = w.push(3, 0).unwrap_err();
+        assert_eq!(err.next_emit, 1);
+        assert_eq!(err.window, 2);
+    }
+
+    #[test]
+    fn empty_source_reports_zeroes() {
+        let params = LinearParams::<i16>::dna();
+        let (rep, stream) = run_streamed_collect::<GlobalLinear, _, Infallible>(
+            &device(2),
+            &params,
+            std::iter::empty(),
+            StreamConfig::default(),
+        )
+        .unwrap();
+        assert!(rep.outputs.is_empty());
+        assert_eq!(stream.pairs, 0);
+        assert_eq!(stream.throughput_aps, 0.0);
+        assert_eq!(stream.reorder_high_water, 0);
+    }
+
+    #[test]
+    fn source_error_propagates_and_stops_pipeline() {
+        let wl = workload(6);
+        let params = LinearParams::<i16>::dna();
+        let source = wl
+            .iter()
+            .cloned()
+            .map(Ok)
+            .chain(std::iter::once(Err("broken record")));
+        let err = run_streamed_collect::<GlobalLinear, _, _>(
+            &device(2),
+            &params,
+            source,
+            StreamConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, StreamError::Source("broken record"));
+    }
+
+    #[test]
+    fn systolic_error_propagates() {
+        let params = LinearParams::<i16>::dna();
+        let too_long = vec![(vec![dphls_seq::Base::A; 200], vec![dphls_seq::Base::C; 50])];
+        let err = run_streamed_collect::<GlobalLinear, _, Infallible>(
+            &device(2),
+            &params,
+            too_long.into_iter().map(Ok),
+            StreamConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StreamError::Systolic(_)));
+    }
+
+    #[test]
+    fn tight_window_and_buffer_still_complete() {
+        let wl = workload(23);
+        let params = LinearParams::<i16>::dna();
+        let dev = device(3);
+        let batched = crate::run_batched::<GlobalLinear>(&dev, &params, &wl).unwrap();
+        for (buffer, window) in [(1, 1), (1, 2), (2, 3), (64, 4)] {
+            let (rep, stream) = run_streamed_collect::<GlobalLinear, _, Infallible>(
+                &dev,
+                &params,
+                wl.iter().cloned().map(Ok),
+                StreamConfig { buffer, window },
+            )
+            .unwrap();
+            assert_eq!(
+                rep.outputs, batched.outputs,
+                "buffer {buffer} window {window}"
+            );
+            assert!(stream.resident_high_water <= window);
+            assert!(stream.reorder_high_water < window.max(1));
+        }
+    }
+}

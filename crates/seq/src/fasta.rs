@@ -2,11 +2,18 @@
 //! as) the standard interchange format the paper's tools consume.
 //!
 //! Only the features the reproduction needs: multi-record parse with
-//! wrapped sequence lines, comments, and round-trip writing. DNA and protein
-//! records are parsed through the same machinery.
+//! wrapped sequence lines, comments, and round-trip writing, in two forms —
+//! the whole-text batch [`parse`] and the incremental pull-based
+//! [`FastaStream`] that reads one record at a time from any [`BufRead`]
+//! source (the front end of the host streaming pipeline, which must not
+//! materialize the workload). Both forms share the same [`FastaError`]
+//! surface, record semantics, and 1-based error line numbers; the
+//! differential suite in `tests/fasta_stream.rs` holds them identical.
+//! DNA and protein records are parsed through the same machinery.
 
 use crate::{AminoAcid, Base, DnaSeq, ProteinSeq, Sequence};
 use std::fmt;
+use std::io::BufRead;
 
 /// A named FASTA record before alphabet interpretation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +24,67 @@ pub struct FastaRecord {
     pub description: String,
     /// Raw sequence characters (whitespace removed).
     pub sequence: String,
+}
+
+impl FastaRecord {
+    /// Builds an empty record from the text after a `>`: id up to the first
+    /// whitespace, the rest (trimmed) as the description. Shared by the
+    /// batch and incremental parsers so their header semantics cannot
+    /// drift apart.
+    fn from_header(header: &str) -> Self {
+        let mut parts = header.splitn(2, char::is_whitespace);
+        FastaRecord {
+            id: parts.next().unwrap_or("").to_string(),
+            description: parts.next().unwrap_or("").trim().to_string(),
+            sequence: String::new(),
+        }
+    }
+
+    /// Appends one sequence line, dropping any whitespace inside it.
+    /// Shared by the batch and incremental parsers.
+    fn push_seq_line(&mut self, line: &str) {
+        self.sequence
+            .extend(line.chars().filter(|c| !c.is_whitespace()));
+    }
+
+    /// Interprets the record's sequence as DNA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FastaError::BadSymbol`] on the first non-ACGTU character.
+    pub fn dna(&self) -> Result<DnaSeq, FastaError> {
+        let seq: Result<Vec<Base>, FastaError> = self
+            .sequence
+            .chars()
+            .map(|c| {
+                Base::from_char(c).ok_or(FastaError::BadSymbol {
+                    id: self.id.clone(),
+                    symbol: c,
+                })
+            })
+            .collect();
+        Ok(Sequence::new(seq?))
+    }
+
+    /// Interprets the record's sequence as a protein.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FastaError::BadSymbol`] on the first non-amino-acid
+    /// character.
+    pub fn protein(&self) -> Result<ProteinSeq, FastaError> {
+        let seq: Result<Vec<AminoAcid>, FastaError> = self
+            .sequence
+            .chars()
+            .map(|c| {
+                AminoAcid::from_char(c).ok_or(FastaError::BadSymbol {
+                    id: self.id.clone(),
+                    symbol: c,
+                })
+            })
+            .collect();
+        Ok(Sequence::new(seq?))
+    }
 }
 
 /// Error from FASTA parsing.
@@ -31,6 +99,8 @@ pub enum FastaError {
     EmptyRecord {
         /// The record id.
         id: String,
+        /// 1-based line number of the record's `>` header.
+        line: usize,
     },
     /// A sequence character failed alphabet conversion.
     BadSymbol {
@@ -38,6 +108,12 @@ pub enum FastaError {
         id: String,
         /// The offending character.
         symbol: char,
+    },
+    /// The underlying reader failed (incremental parse only; the message is
+    /// the I/O error's display form so the variant stays `Clone + Eq`).
+    Io {
+        /// The I/O error message.
+        message: String,
     },
 }
 
@@ -47,10 +123,13 @@ impl fmt::Display for FastaError {
             FastaError::MissingHeader { line } => {
                 write!(f, "sequence data before any '>' header at line {line}")
             }
-            FastaError::EmptyRecord { id } => write!(f, "record '{id}' has no sequence"),
+            FastaError::EmptyRecord { id, line } => {
+                write!(f, "record '{id}' (header at line {line}) has no sequence")
+            }
             FastaError::BadSymbol { id, symbol } => {
                 write!(f, "record '{id}' contains invalid symbol {symbol:?}")
             }
+            FastaError::Io { message } => write!(f, "FASTA read failed: {message}"),
         }
     }
 }
@@ -76,34 +155,145 @@ impl std::error::Error for FastaError {}
 /// ```
 pub fn parse(text: &str) -> Result<Vec<FastaRecord>, FastaError> {
     let mut records: Vec<FastaRecord> = Vec::new();
+    // Header line of each record, parallel to `records`, so empty-record
+    // errors can point at the offending `>` line. Comment and blank lines
+    // still advance `lineno` (it indexes *file* lines, not logical ones).
+    let mut header_lines: Vec<usize> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with(';') {
             continue;
         }
         if let Some(header) = line.strip_prefix('>') {
-            let mut parts = header.splitn(2, char::is_whitespace);
-            let id = parts.next().unwrap_or("").to_string();
-            let description = parts.next().unwrap_or("").trim().to_string();
-            records.push(FastaRecord {
-                id,
-                description,
-                sequence: String::new(),
-            });
+            records.push(FastaRecord::from_header(header));
+            header_lines.push(lineno + 1);
         } else {
             let Some(rec) = records.last_mut() else {
                 return Err(FastaError::MissingHeader { line: lineno + 1 });
             };
-            rec.sequence
-                .extend(line.chars().filter(|c| !c.is_whitespace()));
+            rec.push_seq_line(line);
         }
     }
-    for rec in &records {
+    for (rec, &line) in records.iter().zip(&header_lines) {
         if rec.sequence.is_empty() {
-            return Err(FastaError::EmptyRecord { id: rec.id.clone() });
+            return Err(FastaError::EmptyRecord {
+                id: rec.id.clone(),
+                line,
+            });
         }
     }
     Ok(records)
+}
+
+/// Pull-based incremental FASTA parser: an iterator yielding one
+/// [`FastaRecord`] at a time from any [`BufRead`] source, holding only the
+/// record under construction in memory. This is the producer end of the
+/// host streaming pipeline, where the workload must never be materialized.
+///
+/// Semantics match [`parse`] exactly — trimmed lines, `;` comments, wrapped
+/// sequence data, CRLF tolerance, the same [`FastaError`] values with the
+/// same 1-based line numbers — with one inherent difference: [`parse`]
+/// returns nothing on a malformed file, while the stream yields every
+/// record that *precedes* the malformed one before yielding the error.
+/// The differential tests in `tests/fasta_stream.rs` pin both halves of
+/// that contract. After yielding an error the iterator is fused (returns
+/// `None` forever).
+///
+/// # Example
+///
+/// ```
+/// use dphls_seq::fasta::FastaStream;
+/// let text = ">a\nACGT\n>b\nTT\nTT\n";
+/// let recs: Vec<_> = FastaStream::new(text.as_bytes())
+///     .collect::<Result<Vec<_>, _>>()?;
+/// assert_eq!(recs.len(), 2);
+/// assert_eq!(recs[1].sequence, "TTTT");
+/// # Ok::<(), dphls_seq::fasta::FastaError>(())
+/// ```
+pub struct FastaStream<R> {
+    reader: R,
+    /// 1-based number of the last line read.
+    lineno: usize,
+    /// Record under construction plus its header line, if any.
+    pending: Option<(FastaRecord, usize)>,
+    /// Set after EOF or the first error; the iterator then yields `None`.
+    done: bool,
+    buf: String,
+}
+
+impl<R: BufRead> FastaStream<R> {
+    /// Wraps a buffered reader in an incremental record iterator.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            lineno: 0,
+            pending: None,
+            done: false,
+            buf: String::new(),
+        }
+    }
+
+    /// Closes the pending record: errors if it never saw sequence data,
+    /// exactly as [`parse`]'s end-of-text sweep would.
+    fn finish_pending(
+        pending: Option<(FastaRecord, usize)>,
+    ) -> Option<Result<FastaRecord, FastaError>> {
+        let (rec, header_line) = pending?;
+        if rec.sequence.is_empty() {
+            Some(Err(FastaError::EmptyRecord {
+                id: rec.id,
+                line: header_line,
+            }))
+        } else {
+            Some(Ok(rec))
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for FastaStream<R> {
+    type Item = Result<FastaRecord, FastaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => {
+                    self.done = true;
+                    return Self::finish_pending(self.pending.take());
+                }
+                Ok(_) => self.lineno += 1,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(FastaError::Io {
+                        message: e.to_string(),
+                    }));
+                }
+            }
+            let line = self.buf.trim();
+            if line.is_empty() || line.starts_with(';') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('>') {
+                let next = FastaRecord::from_header(header);
+                let prev = self.pending.replace((next, self.lineno));
+                if let Some(done) = Self::finish_pending(prev) {
+                    if done.is_err() {
+                        self.done = true;
+                    }
+                    return Some(done);
+                }
+            } else {
+                let Some((rec, _)) = self.pending.as_mut() else {
+                    self.done = true;
+                    return Some(Err(FastaError::MissingHeader { line: self.lineno }));
+                };
+                rec.push_seq_line(line);
+            }
+        }
+    }
 }
 
 /// Parses FASTA text into named DNA sequences.
@@ -115,17 +305,8 @@ pub fn parse_dna(text: &str) -> Result<Vec<(String, DnaSeq)>, FastaError> {
     parse(text)?
         .into_iter()
         .map(|rec| {
-            let seq: Result<Vec<Base>, FastaError> = rec
-                .sequence
-                .chars()
-                .map(|c| {
-                    Base::from_char(c).ok_or(FastaError::BadSymbol {
-                        id: rec.id.clone(),
-                        symbol: c,
-                    })
-                })
-                .collect();
-            Ok((rec.id, Sequence::new(seq?)))
+            let seq = rec.dna()?;
+            Ok((rec.id, seq))
         })
         .collect()
 }
@@ -139,17 +320,8 @@ pub fn parse_protein(text: &str) -> Result<Vec<(String, ProteinSeq)>, FastaError
     parse(text)?
         .into_iter()
         .map(|rec| {
-            let seq: Result<Vec<AminoAcid>, FastaError> = rec
-                .sequence
-                .chars()
-                .map(|c| {
-                    AminoAcid::from_char(c).ok_or(FastaError::BadSymbol {
-                        id: rec.id.clone(),
-                        symbol: c,
-                    })
-                })
-                .collect();
-            Ok((rec.id, Sequence::new(seq?)))
+            let seq = rec.protein()?;
+            Ok((rec.id, seq))
         })
         .collect()
 }
@@ -206,9 +378,41 @@ mod tests {
     }
 
     #[test]
-    fn empty_record_errors() {
+    fn empty_record_errors_with_header_line() {
         let err = parse(">x\n>y\nACGT\n").unwrap_err();
-        assert!(matches!(err, FastaError::EmptyRecord { .. }));
+        assert!(matches!(err, FastaError::EmptyRecord { line: 1, .. }));
+
+        // A record closed by EOF with no sequence also errors, pointing at
+        // its own header line.
+        let err = parse(">a\nACGT\n>b\n").unwrap_err();
+        assert!(matches!(
+            err,
+            FastaError::EmptyRecord { ref id, line: 3 } if id == "b"
+        ));
+    }
+
+    #[test]
+    fn empty_record_line_correct_across_comment_separators() {
+        // Regression for the line-number audit: comment and blank lines
+        // between records must still count toward the reported line number.
+        let text =
+            ">a\nACGT\n; separator one\n\n; separator two\n>empty\n; only comments\n>c\nTT\n";
+        let err = parse(text).unwrap_err();
+        assert!(
+            matches!(err, FastaError::EmptyRecord { ref id, line: 6 } if id == "empty"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_header_line_correct_after_comments() {
+        // Comment/blank lines before the stray data must count in the
+        // reported line number (they are file lines, not logical lines).
+        let err = parse("; c1\n\n; c2\nACGT\n>x\nAC\n").unwrap_err();
+        assert!(
+            matches!(err, FastaError::MissingHeader { line: 4 }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Differential suite: the incremental [`FastaStream`] parser against the
+//! whole-text batch [`parse`] on every edge case the interchange format
+//! throws at a streaming front end — CRLF line endings, wrapped sequence
+//! lines, trailing blank lines, comment-only files, records terminated by
+//! EOF without a newline — plus error parity: both parsers must report the
+//! same [`FastaError`] with the same 1-based line numbers.
+
+use dphls_seq::fasta::{parse, FastaError, FastaRecord, FastaStream};
+
+/// Runs the stream parser to completion: records yielded before the first
+/// error, plus the error if one occurred.
+fn stream_all(text: &str) -> (Vec<FastaRecord>, Option<FastaError>) {
+    let mut records = Vec::new();
+    for item in FastaStream::new(text.as_bytes()) {
+        match item {
+            Ok(rec) => records.push(rec),
+            Err(e) => return (records, Some(e)),
+        }
+    }
+    (records, None)
+}
+
+/// The differential contract: on well-formed input both parsers produce the
+/// same records; on malformed input both produce the same error, and the
+/// stream's prefix of yielded records matches the batch records that
+/// precede the malformed one.
+fn assert_differential(text: &str) {
+    let (streamed, stream_err) = stream_all(text);
+    match parse(text) {
+        Ok(batch) => {
+            assert_eq!(stream_err, None, "stream errored where batch succeeded");
+            assert_eq!(streamed, batch, "record mismatch on {text:?}");
+        }
+        Err(batch_err) => {
+            assert_eq!(
+                stream_err.as_ref(),
+                Some(&batch_err),
+                "error mismatch on {text:?}"
+            );
+            // Every record the stream yielded must be a record batch would
+            // have produced (batch returns nothing on error, so re-parse the
+            // error-free prefix conceptually: streamed records must be
+            // well-formed and in input order).
+            for rec in &streamed {
+                assert!(!rec.sequence.is_empty(), "stream yielded an empty record");
+            }
+        }
+    }
+}
+
+#[test]
+fn crlf_line_endings_match_unix() {
+    let unix = ">a first\nACGT\nacgt\n>b\nTTTT\n";
+    let dos = unix.replace('\n', "\r\n");
+    assert_differential(&dos);
+    let (dos_recs, _) = stream_all(&dos);
+    let (unix_recs, _) = stream_all(unix);
+    assert_eq!(dos_recs, unix_recs, "CRLF must parse identically to LF");
+    assert_eq!(dos_recs[0].description, "first");
+}
+
+#[test]
+fn wrapped_sequence_lines() {
+    assert_differential(">a\nACGT\nACGT\nAC\n>b\nT\nT\nT\nT\n");
+    let (recs, _) = stream_all(">a\nACGT\nACGT\nAC\n");
+    assert_eq!(recs[0].sequence, "ACGTACGTAC");
+}
+
+#[test]
+fn trailing_blank_lines_and_inner_blanks() {
+    assert_differential(">a\nACGT\n\n\n>b\nTT\n\n\n\n");
+    assert_differential(">a\nAC\n\nGT\n");
+    let (recs, err) = stream_all(">a\nAC\n\nGT\n\n\n");
+    assert_eq!(err, None);
+    assert_eq!(recs[0].sequence, "ACGT");
+}
+
+#[test]
+fn comment_only_file_yields_nothing() {
+    for text in [
+        "; just a comment\n",
+        "; one\n; two\n\n; three\n",
+        "",
+        "\n\n",
+    ] {
+        assert_differential(text);
+        let (recs, err) = stream_all(text);
+        assert!(recs.is_empty() && err.is_none(), "on {text:?}");
+    }
+}
+
+#[test]
+fn record_at_eof_without_newline() {
+    assert_differential(">a\nACGT\n>b\nTTTT");
+    let (recs, err) = stream_all(">a\nACGT\n>b\nTTTT");
+    assert_eq!(err, None);
+    assert_eq!(recs[1].sequence, "TTTT");
+
+    // CRLF variant with a bare final line.
+    assert_differential(">a\r\nACGT\r\n>b\r\nTT");
+
+    // A header at EOF with no sequence is an empty record in both parsers.
+    assert_differential(">a\nACGT\n>b");
+}
+
+#[test]
+fn missing_header_line_numbers_match() {
+    for text in [
+        "ACGT\n>x\nAC\n",
+        "; comment\nACGT\n",
+        "; c1\n\n; c2\nACGT\n>x\nAC\n",
+        "\r\n; c\r\nACGT\r\n",
+    ] {
+        let (_, stream_err) = stream_all(text);
+        let batch_err = parse(text).unwrap_err();
+        assert_eq!(stream_err, Some(batch_err.clone()), "on {text:?}");
+        assert!(matches!(batch_err, FastaError::MissingHeader { .. }));
+    }
+    // Pin one absolute value: comments and blanks count as file lines.
+    let (_, err) = stream_all("; c1\n\n; c2\nACGT\n");
+    assert_eq!(err, Some(FastaError::MissingHeader { line: 4 }));
+}
+
+#[test]
+fn empty_record_line_numbers_match_across_comment_separators() {
+    let cases = [
+        (">x\n>y\nACGT\n", "x", 1),
+        (">a\nACGT\n>b\n", "b", 3),
+        // Records separated by comment lines: the header line must count
+        // the comments (the line-number audit regression).
+        (">a\nACGT\n; sep\n\n>empty\n; note\n>c\nTT\n", "empty", 5),
+        (">a\r\nACGT\r\n; sep\r\n>empty\r\n>c\r\nTT\r\n", "empty", 4),
+    ];
+    for (text, id, line) in cases {
+        let (streamed, stream_err) = stream_all(text);
+        let batch_err = parse(text).unwrap_err();
+        assert_eq!(stream_err.as_ref(), Some(&batch_err), "on {text:?}");
+        assert_eq!(
+            batch_err,
+            FastaError::EmptyRecord {
+                id: id.to_string(),
+                line,
+            },
+            "on {text:?}"
+        );
+        // The stream yields the good records that precede the empty one.
+        assert!(streamed.iter().all(|r| !r.sequence.is_empty()));
+    }
+}
+
+#[test]
+fn stream_is_fused_after_error() {
+    let mut stream = FastaStream::new(">x\n>y\nACGT\n".as_bytes());
+    assert!(matches!(
+        stream.next(),
+        Some(Err(FastaError::EmptyRecord { .. }))
+    ));
+    assert!(stream.next().is_none());
+    assert!(stream.next().is_none());
+}
+
+#[test]
+fn stream_records_convert_like_batch_dna() {
+    let text = ">r1\nACGTACGT\n>r2\nTTTT\n";
+    let batch = dphls_seq::fasta::parse_dna(text).unwrap();
+    let streamed: Vec<_> = FastaStream::new(text.as_bytes())
+        .map(|r| {
+            let rec = r.unwrap();
+            let seq = rec.dna().unwrap();
+            (rec.id, seq)
+        })
+        .collect();
+    assert_eq!(streamed, batch);
+}
+
+#[test]
+fn mixed_stress_differential() {
+    // A generated corpus of messy-but-valid and invalid inputs: the two
+    // parsers must agree on all of them.
+    let mut corpus = Vec::new();
+    for sep in ["\n", "\r\n"] {
+        for blanks in ["", "\n", "\n\n"] {
+            corpus.push(format!(
+                ">a one{sep}AC GT{sep}{blanks}>b{sep}; inner{sep}TT{sep}TT{sep}{blanks}"
+            ));
+            corpus.push(format!(">a{sep}{blanks}>b{sep}GG{sep}"));
+            corpus.push(format!("{blanks}AC{sep}>late{sep}GG{sep}"));
+        }
+    }
+    for text in &corpus {
+        assert_differential(text);
+    }
+}

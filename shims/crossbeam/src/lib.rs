@@ -1,7 +1,12 @@
-//! Offline stand-in for `crossbeam`'s scoped threads, backed by
-//! `std::thread::scope`. Supports the `crossbeam::scope(|s| s.spawn(|_| ..))`
-//! call shape used in this repository; the argument passed to the spawned
-//! closure is a unit placeholder (every caller ignores it).
+//! Offline stand-in for `crossbeam`: scoped threads backed by
+//! `std::thread::scope`, plus the bounded MPMC channel subset of
+//! `crossbeam::channel`. Supports the `crossbeam::scope(|s| s.spawn(|_| ..))`
+//! call shape used in this repository (the argument passed to the spawned
+//! closure is a unit placeholder; every caller ignores it) and
+//! `crossbeam::channel::bounded` with blocking `send`/`recv` and
+//! disconnection when all peers on the other side are dropped.
+
+pub mod channel;
 
 use std::thread;
 

@@ -27,7 +27,7 @@
 //! | [`fpga`] | `dphls-fpga` | virtual `xcvu9p`: resources, II, fmax, synthesis flow |
 //! | [`seq`] | `dphls-seq` | alphabets, sequences, dataset generators |
 //! | [`baselines`] | `dphls-baselines` | CPU/RTL/HLS/GPU baselines + iso-cost |
-//! | [`host`] | `dphls-host` | batch scheduler, GACT-style long-read tiling |
+//! | [`host`] | `dphls-host` | batch scheduler, streaming pipeline, GACT-style long-read tiling |
 //! | [`fixed`] | `dphls-fixed` | `ap_fixed` / `ap_uint` stand-ins |
 //! | [`util`] | `dphls-util` | PRNG, stats, tables |
 //!
