@@ -47,6 +47,7 @@ fn bench_streaming(c: &mut Criterion) {
             StreamConfig {
                 buffer: 1,
                 window: 8,
+                nb_slots: 0,
             },
         ),
     ] {

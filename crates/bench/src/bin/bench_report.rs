@@ -2,9 +2,10 @@
 //! naive baseline, the scalar scratch engine (PR 1), the multi-lane engine
 //! (PR 2), and the work-stealing batch engine across the standard workload
 //! matrix, plus the ISSUE 1 (≥ 2× scratch-vs-naive) and ISSUE 2 (≥ 1.3×
-//! laned-vs-scratch) acceptance measurements and the ISSUE 3 streaming
-//! comparison (streamed-vs-batched, gated ≥ 0.9×). Validate or diff a
-//! report with `bench_check`.
+//! laned-vs-scratch) acceptance measurements, the ISSUE 3 streaming
+//! comparison (streamed-vs-batched, gated ≥ 0.9×), and the ISSUE 5
+//! NB-scaling point (modeled NB-vs-1 ratio, gated ≥ 3.5× at NB = 4).
+//! Validate or diff a report with `bench_check`.
 //!
 //! ```text
 //! cargo run --release -p dphls-bench --bin bench_report            # full matrix
@@ -73,6 +74,24 @@ fn main() {
             format!("PASS (>= {}x)", dphls_bench::check::STREAMING_GATE)
         } else {
             format!("FAIL (< {}x)", dphls_bench::check::STREAMING_GATE)
+        },
+    );
+    eprintln!(
+        "  nb_scaling   {} x{:<6} NPE={} NB={} NK={} | slots1 {:>9.0} aln/s | slots{} {:>9.0} ({:.2}x wall) | modeled NBx{:.2} {}",
+        report.nb_scaling.workload,
+        report.nb_scaling.pairs,
+        report.nb_scaling.npe,
+        report.nb_scaling.nb,
+        report.nb_scaling.nk,
+        report.nb_scaling.slots1_aps,
+        report.nb_scaling.nb,
+        report.nb_scaling.slots_nb_aps,
+        report.nb_scaling.slot_ratio,
+        report.nb_scaling.modeled_nb_ratio,
+        if report.nb_scaling.pass {
+            format!("PASS (>= {}x)", dphls_bench::check::NB_MODEL_GATE)
+        } else {
+            format!("FAIL (< {}x)", dphls_bench::check::NB_MODEL_GATE)
         },
     );
     eprintln!(

@@ -18,7 +18,7 @@
 use serde::JsonValue;
 
 /// Report schema version this checker understands.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Default relative tolerance of the regression gate (15 %).
 pub const DEFAULT_TOLERANCE: f64 = 0.15;
@@ -35,6 +35,15 @@ pub const STREAMING_GATE: f64 = 0.9;
 /// consistency check plus the relative diff against the committed
 /// (full-scale, gated) baseline in [`compare`].
 pub const STREAMING_GATE_MIN_PAIRS: f64 = 2_000.0;
+
+/// Minimum modeled NB-vs-1 throughput ratio of the `nb_scaling` point (the
+/// ISSUE 5 gate): a 4-block channel on the banded acceptance workload must
+/// model at least 3.5× a 1-block channel — per Fig 3C, NB scaling is
+/// near-perfect until the arbiter binds, and the banded workload's I/O
+/// phases are far too small to bind it. The ratio is derived from
+/// `BlockStats`, so unlike the wall-clock gates it is machine-independent
+/// and enforced at every scale.
+pub const NB_MODEL_GATE: f64 = 3.5;
 
 /// Ratio fields diffed by the regression gate.
 const RATIO_KEYS: [&str; 4] = [
@@ -58,6 +67,23 @@ const ACCEPTANCE_KEYS: [&str; 9] = [
     "lane_vs_scratch",
     "pass",
     "lane_pass",
+];
+
+/// Required nb_scaling-object keys.
+const NB_SCALING_KEYS: [&str; 13] = [
+    "workload",
+    "pairs",
+    "len",
+    "npe",
+    "nb",
+    "nk",
+    "slots1_aps",
+    "slots_nb_aps",
+    "slot_ratio",
+    "modeled_nb1_aps",
+    "modeled_nb_aps",
+    "modeled_nb_ratio",
+    "pass",
 ];
 
 /// Required streaming-object keys.
@@ -273,6 +299,66 @@ pub fn validate(report: &JsonValue) -> Vec<String> {
         }
         None => problems.push("missing `streaming` object".into()),
     }
+
+    match get(report, "nb_scaling") {
+        Some(nb) => {
+            for field in NB_SCALING_KEYS {
+                if get(nb, field).is_none() {
+                    problems.push(format!("nb_scaling: missing `{field}`"));
+                }
+            }
+            // The point must actually sweep NB: a 1-block channel cannot
+            // demonstrate intra-channel scaling.
+            match num(nb, "nb") {
+                Some(v) if v >= 2.0 => {}
+                Some(v) => problems.push(format!("nb_scaling: `nb` is {v}, expected >= 2")),
+                None => {}
+            }
+            // Stored ratios must be the aps ratios.
+            for (ratio_key, hi_key, lo_key) in [
+                ("slot_ratio", "slots_nb_aps", "slots1_aps"),
+                ("modeled_nb_ratio", "modeled_nb_aps", "modeled_nb1_aps"),
+            ] {
+                if let (Some(stored), Some(hi), Some(lo)) =
+                    (num(nb, ratio_key), num(nb, hi_key), num(nb, lo_key))
+                {
+                    if lo <= 0.0 || hi <= 0.0 {
+                        problems.push(format!(
+                            "nb_scaling: `{hi_key}`/`{lo_key}` must be positive"
+                        ));
+                    } else {
+                        let derived = hi / lo;
+                        if (stored - derived).abs() > 1e-6 * derived.abs().max(1.0) {
+                            problems.push(format!(
+                                "nb_scaling: `{ratio_key}` = {stored} but aps ratio is {derived}"
+                            ));
+                        }
+                    }
+                }
+            }
+            match (get(nb, "pass"), num(nb, "modeled_nb_ratio")) {
+                (Some(JsonValue::Bool(stored)), Some(r)) => {
+                    if *stored != (r >= NB_MODEL_GATE) {
+                        problems.push(format!(
+                            "nb_scaling: `pass` = {stored} disagrees with \
+                             `modeled_nb_ratio` = {r} (threshold {NB_MODEL_GATE})"
+                        ));
+                    }
+                    // The gate itself. The modeled ratio is stats-derived
+                    // (machine-independent), so unlike the wall-clock
+                    // streaming gate it is enforced at every pair count.
+                    if r < NB_MODEL_GATE {
+                        problems.push(format!(
+                            "nb_scaling gate failed: modeled NB ratio {r} < {NB_MODEL_GATE}"
+                        ));
+                    }
+                }
+                (Some(JsonValue::Bool(_)), None) | (None, _) => {}
+                (Some(_), _) => problems.push("nb_scaling: `pass` not a bool".into()),
+            }
+        }
+        None => problems.push("missing `nb_scaling` object".into()),
+    }
     problems
 }
 
@@ -363,6 +449,40 @@ pub fn compare(current: &JsonValue, baseline: &JsonValue, tolerance: f64) -> Com
             .push("streaming: `ratio` missing from current report".into()),
         (None, _) => {}
     }
+
+    // nb_scaling: the modeled ratio is machine-independent and always
+    // diffed; the wall-clock slot_ratio is thread scaling within one
+    // channel, so it carries the same 1-core caveat as `batched_speedup`.
+    let nb_field = |r, key: &str| get(r, "nb_scaling").and_then(|nb| num(nb, key));
+    let mut nb_ratio_keys: Vec<&str> = vec!["modeled_nb_ratio"];
+    if multicore {
+        nb_ratio_keys.push("slot_ratio");
+    } else if nb_field(baseline, "slot_ratio").is_some() {
+        cmp.notes
+            .push("1-core caveat: nb_scaling `slot_ratio` comparison skipped".into());
+    }
+    for key in nb_ratio_keys {
+        match (nb_field(baseline, key), nb_field(current, key)) {
+            (Some(base), Some(cur)) => {
+                let floor = base * (1.0 - tolerance);
+                if cur < floor {
+                    cmp.regressions.push(format!(
+                        "nb_scaling: `{key}` regressed {base:.3} -> {cur:.3} \
+                         (floor {floor:.3} at {:.0}% tolerance)",
+                        tolerance * 100.0
+                    ));
+                } else if cur > base * (1.0 + tolerance) {
+                    cmp.notes.push(format!(
+                        "nb_scaling: `{key}` improved {base:.3} -> {cur:.3}"
+                    ));
+                }
+            }
+            (Some(_), None) => cmp
+                .regressions
+                .push(format!("nb_scaling: `{key}` missing from current report")),
+            (None, _) => {}
+        }
+    }
     cmp
 }
 
@@ -371,7 +491,7 @@ mod tests {
     use super::*;
 
     fn report_json(lane_vs_scratch: f64, host_cores: u64) -> String {
-        report_json_with_streaming(lane_vs_scratch, host_cores, 0.95)
+        report_json_full(lane_vs_scratch, host_cores, 0.95, 3.98)
     }
 
     fn report_json_with_streaming(
@@ -379,10 +499,23 @@ mod tests {
         host_cores: u64,
         streaming_ratio: f64,
     ) -> String {
+        report_json_full(lane_vs_scratch, host_cores, streaming_ratio, 3.98)
+    }
+
+    fn report_json_with_nb(lane_vs_scratch: f64, host_cores: u64, nb_ratio: f64) -> String {
+        report_json_full(lane_vs_scratch, host_cores, 0.95, nb_ratio)
+    }
+
+    fn report_json_full(
+        lane_vs_scratch: f64,
+        host_cores: u64,
+        streaming_ratio: f64,
+        nb_ratio: f64,
+    ) -> String {
         let laned = 2000.0 * lane_vs_scratch;
         format!(
             r#"{{
-              "version": 3,
+              "version": 4,
               "host_cores": {host_cores},
               "points": [
                 {{
@@ -414,12 +547,22 @@ mod tests {
                 "batched_aps": 3000.0, "streamed_aps": {streamed},
                 "ratio": {streaming_ratio}, "pass": {stream_pass},
                 "reorder_high_water": 9, "resident_high_water": 13
+              }},
+              "nb_scaling": {{
+                "workload": "banded_w16", "pairs": 10000, "len": 256,
+                "npe": 32, "nb": 4, "nk": 1,
+                "slots1_aps": 2500.0, "slots_nb_aps": 2600.0,
+                "slot_ratio": 1.04,
+                "modeled_nb1_aps": 1000000.0, "modeled_nb_aps": {modeled_nb},
+                "modeled_nb_ratio": {nb_ratio}, "pass": {nb_pass}
               }}
             }}"#,
             lspd = 2.0 * lane_vs_scratch,
             lane_pass = lane_vs_scratch >= 1.3,
             streamed = 3000.0 * streaming_ratio,
             stream_pass = streaming_ratio >= STREAMING_GATE,
+            modeled_nb = 1000000.0 * nb_ratio,
+            nb_pass = nb_ratio >= NB_MODEL_GATE,
         )
     }
 
@@ -472,6 +615,96 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("points")));
         assert!(problems.iter().any(|p| p.contains("host_cores")));
         assert!(problems.iter().any(|p| p.contains("streaming")));
+        assert!(problems.iter().any(|p| p.contains("nb_scaling")));
+    }
+
+    #[test]
+    fn nb_scaling_gate_and_consistency_are_enforced() {
+        // A consistent but failing modeled ratio is itself a problem, at
+        // any pair count (the ratio is machine-independent).
+        let problems = validate(&parse(&report_json_with_nb(1.5, 1, 2.0)));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("nb_scaling gate failed")),
+            "{problems:?}"
+        );
+        let small = report_json_with_nb(1.5, 1, 2.0)
+            .replace("\"pairs\": 10000, \"len\"", "\"pairs\": 20, \"len\"");
+        let problems = validate(&parse(&small));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("nb_scaling gate failed")),
+            "{problems:?}"
+        );
+
+        // A stored ratio that disagrees with the aps figures is caught.
+        let s =
+            report_json(1.5, 1).replace("\"modeled_nb_ratio\": 3.98", "\"modeled_nb_ratio\": 3.6");
+        let problems = validate(&parse(&s));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("nb_scaling: `modeled_nb_ratio`")),
+            "{problems:?}"
+        );
+
+        // A pass flag that disagrees with the gate is caught.
+        let s = report_json_with_nb(1.5, 1, 2.0).replace(
+            "\"modeled_nb_ratio\": 2, \"pass\": false",
+            "\"modeled_nb_ratio\": 2, \"pass\": true",
+        );
+        let problems = validate(&parse(&s));
+        assert!(
+            problems.iter().any(|p| p.contains("nb_scaling: `pass`")),
+            "{problems:?}"
+        );
+
+        // An NB that cannot demonstrate intra-channel scaling is caught.
+        let s = report_json(1.5, 1).replace("\"nb\": 4", "\"nb\": 1");
+        let problems = validate(&parse(&s));
+        assert!(
+            problems.iter().any(|p| p.contains("`nb` is 1")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn nb_scaling_modeled_regression_fails_compare_slot_ratio_caveated() {
+        let base = parse(&report_json_with_nb(1.5, 1, 3.98));
+        // Modeled ratio drop beyond tolerance fails even on 1-core boxes.
+        let bad = parse(
+            &report_json_with_nb(1.5, 1, 3.98)
+                .replace("\"modeled_nb_ratio\": 3.98", "\"modeled_nb_ratio\": 3.0"),
+        );
+        let cmp = compare(&bad, &base, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions
+                .iter()
+                .any(|r| r.contains("modeled_nb_ratio")),
+            "{cmp:?}"
+        );
+        // A halved slot_ratio is skipped on a 1-core pair...
+        let slot_drop = |s: String| {
+            s.replace("\"slots_nb_aps\": 2600.0", "\"slots_nb_aps\": 1300.0")
+                .replace("\"slot_ratio\": 1.04", "\"slot_ratio\": 0.52")
+        };
+        let cur = parse(&slot_drop(report_json_with_nb(1.5, 1, 3.98)));
+        let cmp = compare(&cur, &base, DEFAULT_TOLERANCE);
+        assert!(cmp.regressions.is_empty(), "{cmp:?}");
+        assert!(
+            cmp.notes.iter().any(|n| n.contains("slot_ratio")),
+            "{cmp:?}"
+        );
+        // ...and fails on a multi-core pair.
+        let base_mc = parse(&report_json_with_nb(1.5, 4, 3.98));
+        let cur_mc = parse(&slot_drop(report_json_with_nb(1.5, 4, 3.98)));
+        let cmp = compare(&cur_mc, &base_mc, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions.iter().any(|r| r.contains("slot_ratio")),
+            "{cmp:?}"
+        );
     }
 
     #[test]

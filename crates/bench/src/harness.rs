@@ -2,7 +2,7 @@
 //! erased [`KernelCase`] that experiments can run at arbitrary
 //! configurations without naming kernel types.
 //!
-//! [`KernelSpec`] is deliberately not object-safe (the back-end
+//! [`KernelSpec`](dphls_core::KernelSpec) is deliberately not object-safe (the back-end
 //! monomorphizes per kernel), so the harness captures a closure per kernel
 //! at visit time; the closure owns the default parameters and workload and
 //! can replay them on any device configuration.

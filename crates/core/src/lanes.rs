@@ -17,7 +17,8 @@
 //! (if unvectorized) lane implementation for free and the back-end can
 //! require `K: LaneKernel` unconditionally. Kernels that override the
 //! default (the linear and affine families in `dphls-kernels`) must stay
-//! **bit-identical** to the scalar path — same saturating [`Score`] ops,
+//! **bit-identical** to the scalar path — same saturating
+//! [`Score`](crate::score::Score) ops,
 //! same candidate order and strict-improvement tie-breaks as
 //! [`crate::score::argmax`] — which the lane-vs-scalar property suite
 //! enforces across scores *and* traceback pointers.

@@ -25,6 +25,11 @@
 //! CPU baselines, and the **instrumentation** ([`instrument`]) that extracts
 //! operator counts from a kernel's PE function for the FPGA resource model.
 
+// Every public item of the front-end is API surface for kernel authors;
+// undocumented items are a build error, and CI keeps `cargo doc` warning-free.
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod alignment;
 pub mod config;
 pub mod instrument;

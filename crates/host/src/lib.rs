@@ -20,11 +20,16 @@
 //! # Ok::<(), dphls_host::tiling::TilingError>(())
 //! ```
 
+// The host runtime is the outermost user-facing API; undocumented items are
+// a build error, and CI keeps `cargo doc` warning-free.
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod scheduler;
 pub mod streaming;
 pub mod tiling;
 
-pub use scheduler::{run_batched, ScheduleReport};
+pub use scheduler::{run_batched, run_batched_with, BatchConfig, ScheduleReport};
 pub use streaming::{
     run_streamed, run_streamed_collect, OrderedWriter, ReorderOverflow, StreamConfig, StreamError,
     StreamReport,

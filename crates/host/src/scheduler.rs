@@ -22,24 +22,95 @@
 //!   from the [`BlockStats`] each functional run already produces, exactly
 //!   as [`Device::run`] would compute it, without running the device model
 //!   over the workload a second time (this halves total simulated work).
+//! * **NB-block slot pools** — the device exposes `NB × NK` blocks, not
+//!   just `NK` channels: each channel fronts `NB` blocks behind one
+//!   arbiter. The engine mirrors that with up to [`KernelConfig::nb`]
+//!   **block slots** per channel — each slot is a host thread with its own
+//!   [`SystolicScratch`] arena, and all slots of a channel drain the same
+//!   per-channel deque, so intra-channel concurrency needs no new queue
+//!   discipline. Completions are folded through the arbiter-aware cycle
+//!   model ([`arbitrated_cycles`] at full `NB` occupancy, the steady-state
+//!   the throughput model assumes), which keeps modeled throughput and
+//!   outputs **bit-identical** across slot counts — only wall-clock
+//!   parallelism changes. See [`BatchConfig::nb_slots`].
+//!
+//! [`KernelConfig::nb`]: dphls_core::KernelConfig
+//! [`arbitrated_cycles`]: dphls_systolic::arbitrated_cycles
+//! [`BlockStats`]: dphls_systolic::BlockStats
+//! [`Device::run`]: dphls_systolic::Device::run
 
-use dphls_core::{Banding, DpOutput, LaneKernel};
+use dphls_core::{Banding, DpOutput, KernelConfig, LaneKernel};
 use dphls_systolic::{
-    alignment_cycles, effective_cycles_per_alignment, throughput_aps, Device, SystolicError,
-    SystolicScratch,
+    alignment_cycles, arbitrated_cycles, throughput_aps, Device, SystolicError, SystolicScratch,
 };
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Host-side execution knobs of the batch engine (the device side lives in
+/// [`KernelConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchConfig {
+    /// In-flight block slots per channel: how many host threads concurrently
+    /// drive one channel's `NB` blocks. Each slot owns a scratch arena; all
+    /// slots of a channel share its deque.
+    ///
+    /// `0` (the default) resolves automatically to
+    /// `min(NB, ceil(host threads / NK))` — exploit the device's
+    /// intra-channel blocks as far as the host has cores to drive them, and
+    /// stay at one slot per channel on a saturated or single-core host.
+    /// Explicit values are clamped to `1..=NB`: the device has no more than
+    /// `NB` blocks per channel to dispatch to.
+    ///
+    /// Outputs, ordering, and modeled throughput are **bit-identical** for
+    /// every slot count (enforced by `crates/host/tests/nb_slots.rs`); the
+    /// knob only changes host wall-clock parallelism.
+    pub nb_slots: usize,
+}
+
+impl BatchConfig {
+    /// Exactly one block slot per channel — the pre-NB host behavior
+    /// (one thread per channel).
+    pub fn single_slot() -> Self {
+        Self { nb_slots: 1 }
+    }
+
+    /// An explicit slot count per channel, clamped to `1..=NB` at run
+    /// time. Passing `0` does **not** clamp to 1 — it selects the
+    /// auto-sizing policy, exactly like [`BatchConfig::default`] (see
+    /// [`BatchConfig::nb_slots`]); use [`BatchConfig::single_slot`] to pin
+    /// one slot.
+    pub fn slots(nb_slots: usize) -> Self {
+        Self { nb_slots }
+    }
+
+    /// The slot count a run against `config` will actually use (see
+    /// [`BatchConfig::nb_slots`] for the auto rule).
+    pub fn resolve_slots(&self, config: &KernelConfig) -> usize {
+        let nb = config.nb.max(1);
+        if self.nb_slots == 0 {
+            let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+            nb.min(host.div_ceil(config.nk.max(1))).max(1)
+        } else {
+            self.nb_slots.clamp(1, nb)
+        }
+    }
+}
 
 /// Result of a scheduled batch run.
 #[derive(Debug, Clone)]
 pub struct ScheduleReport<S> {
     /// Outputs in input order.
     pub outputs: Vec<DpOutput<S>>,
-    /// Alignments each channel worker **actually executed** (its own share
-    /// plus anything it stole), not the pre-computed split.
+    /// Alignments each channel **actually executed** (all of its block
+    /// slots, own share plus anything stolen), not the pre-computed split.
     pub per_channel: Vec<usize>,
+    /// Alignments per block slot, `per_slot[channel][slot]`; row sums equal
+    /// [`per_channel`](Self::per_channel).
+    pub per_slot: Vec<Vec<usize>>,
+    /// Block slots each channel ran with (the resolved
+    /// [`BatchConfig::nb_slots`]).
+    pub nb_slots: usize,
     /// Alignments that were stolen across channels (load-balancing events).
     pub steals: usize,
     /// Modeled device throughput in alignments/second, derived from the
@@ -62,10 +133,12 @@ pub(crate) fn cost_estimate(q: usize, r: usize, banding: Banding) -> u64 {
     }
 }
 
-/// Dispatches `workload` across the device's `NK` channels with one host
-/// thread per channel, using cost-ranked work stealing (see the module
-/// docs). Outputs are returned in input order and are bit-identical to
-/// running each pair through [`dphls_systolic::run_systolic`] individually.
+/// Dispatches `workload` across the device's `NK` channels with an
+/// automatically sized block-slot pool per channel
+/// ([`BatchConfig::default`]), using cost-ranked work stealing (see the
+/// module docs). Outputs are returned in input order and are bit-identical
+/// to running each pair through [`dphls_systolic::run_systolic`]
+/// individually.
 ///
 /// # Errors
 ///
@@ -79,8 +152,30 @@ where
     K::Score: Send,
     K::Params: Sync,
 {
+    run_batched_with::<K>(device, params, workload, BatchConfig::default())
+}
+
+/// [`run_batched`] with explicit host-side knobs: `batch.nb_slots` block
+/// slots per channel concurrently drain that channel's deque, each slot on
+/// its own thread with its own scratch arena. Outputs, ordering, and
+/// modeled throughput are bit-identical for every slot count.
+///
+/// # Errors
+///
+/// Propagates the first [`SystolicError`] encountered on any channel.
+pub fn run_batched_with<K: LaneKernel>(
+    device: &Device,
+    params: &K::Params,
+    workload: &[dphls_core::SeqPair<K>],
+    batch: BatchConfig,
+) -> Result<ScheduleReport<K::Score>, SystolicError>
+where
+    K::Score: Send,
+    K::Params: Sync,
+{
     let config = device.config();
     let nk = config.nk.max(1);
+    let slots = batch.resolve_slots(config);
     let n = workload.len();
 
     // Rank by descending cost estimate, then deal round-robin so every
@@ -105,7 +200,8 @@ where
 
     let abort = AtomicBool::new(false);
     let error: Mutex<Option<SystolicError>> = Mutex::new(None);
-    let results: Vec<Mutex<WorkerResult<K::Score>>> = (0..nk)
+    // One result cell per block slot, indexed `ch * slots + slot`.
+    let results: Vec<Mutex<WorkerResult<K::Score>>> = (0..nk * slots)
         .map(|_| {
             Mutex::new(WorkerResult {
                 outputs: Vec::new(),
@@ -116,12 +212,15 @@ where
         .collect();
 
     crossbeam::scope(|scope| {
-        for ch in 0..nk {
+        for worker in 0..nk * slots {
+            let ch = worker / slots;
             let (queues, abort, error, results) = (&queues, &abort, &error, &results);
             scope.spawn(move |_| {
+                // Every block slot owns its scratch arena: the per-alignment
+                // hot path stays allocation-free at any slot count.
                 let mut scratch = SystolicScratch::new();
                 let mut local = WorkerResult {
-                    outputs: Vec::with_capacity(n / nk + 1),
+                    outputs: Vec::with_capacity(n / (nk * slots) + 1),
                     cycle_sum: 0,
                     stolen: 0,
                 };
@@ -129,8 +228,10 @@ where
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
-                    // Own queue first (expensive end), then steal the
-                    // cheapest remaining job from another channel.
+                    // Own channel's queue first (expensive end), then steal
+                    // the cheapest remaining job from another channel. The
+                    // slots of one channel share its deque, so intra-channel
+                    // dispatch is not a steal.
                     let mut job = queues[ch].lock().pop_front();
                     if job.is_none() {
                         for victim in 1..nk {
@@ -156,7 +257,12 @@ where
                                 device.kernel_cycle_info(),
                                 device.cycle_params(),
                             );
-                            local.cycle_sum += effective_cycles_per_alignment(&b, config);
+                            // Fold the completion through the channel
+                            // arbiter at full NB occupancy — the steady
+                            // state the throughput model assumes — so the
+                            // modeled figure is independent of how many
+                            // host slots happened to be dispatching.
+                            local.cycle_sum += arbitrated_cycles(&b, config.nb);
                             local.outputs.push((idx, run.output));
                         }
                         Err(e) => {
@@ -169,7 +275,7 @@ where
                         }
                     }
                 }
-                *results[ch].lock() = local;
+                *results[worker].lock() = local;
             });
         }
     })
@@ -180,21 +286,23 @@ where
     }
 
     let mut per_channel = vec![0usize; nk];
+    let mut per_slot = vec![vec![0usize; slots]; nk];
     let mut steals = 0usize;
     let mut cycle_sum = 0u64;
-    let mut slots: Vec<Option<DpOutput<K::Score>>> = (0..n).map(|_| None).collect();
-    for (ch, result) in results.into_iter().enumerate() {
-        let worker = result.into_inner();
-        per_channel[ch] = worker.outputs.len();
-        steals += worker.stolen;
-        cycle_sum += worker.cycle_sum;
-        for (idx, out) in worker.outputs {
-            slots[idx] = Some(out);
+    let mut filled: Vec<Option<DpOutput<K::Score>>> = (0..n).map(|_| None).collect();
+    for (worker, result) in results.into_iter().enumerate() {
+        let done = result.into_inner();
+        per_channel[worker / slots] += done.outputs.len();
+        per_slot[worker / slots][worker % slots] = done.outputs.len();
+        steals += done.stolen;
+        cycle_sum += done.cycle_sum;
+        for (idx, out) in done.outputs {
+            filled[idx] = Some(out);
         }
     }
-    let outputs: Vec<DpOutput<K::Score>> = slots
+    let outputs: Vec<DpOutput<K::Score>> = filled
         .into_iter()
-        .map(|o| o.expect("every slot filled"))
+        .map(|o| o.expect("every output slot filled"))
         .collect();
 
     // Same formula as `Device::run`, fed by the stats already collected.
@@ -211,6 +319,8 @@ where
     Ok(ScheduleReport {
         outputs,
         per_channel,
+        per_slot,
+        nb_slots: slots,
         steals,
         throughput_aps: throughput,
     })
@@ -267,10 +377,54 @@ mod tests {
         let rep = run_batched::<GlobalLinear>(&device(4), &params, &wl).unwrap();
         // Work stealing makes the exact split nondeterministic; what must
         // hold is that the per-worker counts account for every alignment
-        // exactly once.
+        // exactly once, channel by channel and slot by slot.
         assert_eq!(rep.per_channel.len(), 4);
         assert_eq!(rep.per_channel.iter().sum::<usize>(), 10);
+        assert_eq!(rep.per_slot.len(), 4);
+        for (ch, row) in rep.per_slot.iter().enumerate() {
+            assert_eq!(row.len(), rep.nb_slots);
+            assert_eq!(row.iter().sum::<usize>(), rep.per_channel[ch]);
+        }
         assert!(rep.throughput_aps > 0.0);
+    }
+
+    #[test]
+    fn batch_config_resolves_slots() {
+        let cfg = KernelConfig::new(8, 4, 2).with_max_lengths(96, 96);
+        assert_eq!(BatchConfig::single_slot().resolve_slots(&cfg), 1);
+        assert_eq!(BatchConfig::slots(2).resolve_slots(&cfg), 2);
+        // Explicit values clamp to the device's NB above and to 1 below.
+        assert_eq!(BatchConfig::slots(64).resolve_slots(&cfg), 4);
+        assert_eq!(
+            BatchConfig::slots(0).resolve_slots(&cfg),
+            BatchConfig::default().resolve_slots(&cfg)
+        );
+        let auto = BatchConfig::default().resolve_slots(&cfg);
+        assert!((1..=4).contains(&auto), "auto resolved to {auto}");
+        // An NB = 1 device always resolves to one slot, whatever the host.
+        let cfg1 = KernelConfig::new(8, 1, 2).with_max_lengths(96, 96);
+        assert_eq!(BatchConfig::default().resolve_slots(&cfg1), 1);
+        assert_eq!(BatchConfig::slots(9).resolve_slots(&cfg1), 1);
+    }
+
+    #[test]
+    fn slot_pool_is_bit_identical_to_single_slot() {
+        // The in-crate smoke version of the `tests/nb_slots.rs` differential
+        // suite: outputs, order, and the modeled (stats-derived) throughput
+        // must not depend on the host's slot count.
+        let wl = workload(17);
+        let params = LinearParams::<i16>::dna();
+        let dev = device(2); // NB = 2 per channel
+        let single =
+            run_batched_with::<GlobalLinear>(&dev, &params, &wl, BatchConfig::single_slot())
+                .unwrap();
+        assert_eq!(single.nb_slots, 1);
+        let pooled =
+            run_batched_with::<GlobalLinear>(&dev, &params, &wl, BatchConfig::slots(2)).unwrap();
+        assert_eq!(pooled.nb_slots, 2);
+        assert_eq!(pooled.outputs, single.outputs);
+        assert!((pooled.throughput_aps - single.throughput_aps).abs() < 1e-9);
+        assert_eq!(pooled.per_channel.iter().sum::<usize>(), wl.len());
     }
 
     #[test]

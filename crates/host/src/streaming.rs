@@ -15,10 +15,13 @@
 //!    each one (same estimate as [`run_batched`]), and deals it round-robin
 //!    into the per-channel deques, **admission-gated** so at most
 //!    [`StreamConfig::window`] pairs are in flight between admission and
-//!    ordered emission. The deques carry a "producer still live" state: a
-//!    worker finding every deque empty blocks on a condvar instead of
-//!    exiting, and steals the cheapest job from a neighbor's tail exactly as
-//!    the batch engine does.
+//!    ordered emission. Each channel is drained by up to
+//!    [`StreamConfig::nb_slots`] **block-slot** threads (the device's `NB`
+//!    blocks per channel, mirrored host-side exactly as in
+//!    [`crate::BatchConfig`]), every slot with its own scratch arena. The
+//!    deques carry a "producer still live" state: a worker finding every
+//!    deque empty blocks on a condvar instead of exiting, and steals the
+//!    cheapest job from a neighbor's tail exactly as the batch engine does.
 //! 3. **[`OrderedWriter`]** — workers complete alignments out of input order;
 //!    the writer restores input order with a reorder buffer whose occupancy
 //!    is bounded by the admission window, invoking the caller's sink as soon
@@ -30,11 +33,10 @@
 //!
 //! [`run_batched`]: crate::run_batched
 
-use crate::scheduler::cost_estimate;
+use crate::scheduler::{cost_estimate, BatchConfig};
 use dphls_core::{DpOutput, LaneKernel};
 use dphls_systolic::{
-    alignment_cycles, effective_cycles_per_alignment, throughput_aps, Device, SystolicError,
-    SystolicScratch,
+    alignment_cycles, arbitrated_cycles, throughput_aps, Device, SystolicError, SystolicScratch,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -52,6 +54,12 @@ pub struct StreamConfig {
     /// ordered emission. This simultaneously bounds the per-channel deques,
     /// the in-execution set, and the [`OrderedWriter`] reorder buffer.
     pub window: usize,
+    /// In-flight block slots per channel, with exactly the semantics of
+    /// [`BatchConfig::nb_slots`]: `0` (the default) auto-sizes to
+    /// `min(NB, ceil(host threads / NK))`, explicit values clamp to
+    /// `1..=NB`. Outputs, ordering, and modeled throughput are
+    /// bit-identical for every slot count.
+    pub nb_slots: usize,
 }
 
 impl Default for StreamConfig {
@@ -61,6 +69,7 @@ impl Default for StreamConfig {
         Self {
             buffer: 64,
             window: 256,
+            nb_slots: 0,
         }
     }
 }
@@ -72,8 +81,15 @@ impl Default for StreamConfig {
 pub struct StreamReport {
     /// Pairs aligned (and emitted, in input order, through the sink).
     pub pairs: usize,
-    /// Alignments each channel worker actually executed (own + stolen).
+    /// Alignments each channel actually executed (all of its block slots,
+    /// own + stolen).
     pub per_channel: Vec<usize>,
+    /// Alignments per block slot, `per_slot[channel][slot]`; row sums equal
+    /// [`per_channel`](Self::per_channel).
+    pub per_slot: Vec<Vec<usize>>,
+    /// Block slots each channel ran with (the resolved
+    /// [`StreamConfig::nb_slots`]).
+    pub nb_slots: usize,
     /// Alignments stolen across channels.
     pub steals: usize,
     /// Modeled device throughput in alignments/second, derived from the
@@ -294,6 +310,7 @@ where
     assert!(config.window > 0, "stream window must be >= 1");
     let kernel_config = device.config();
     let nk = kernel_config.nk.max(1);
+    let slots = BatchConfig::slots(config.nb_slots).resolve_slots(kernel_config);
 
     let sched: Mutex<Sched<K::Sym>> = Mutex::new(Sched {
         queues: (0..nk).map(|_| VecDeque::new()).collect(),
@@ -311,7 +328,8 @@ where
     let abort = AtomicBool::new(false);
     let source_error: Mutex<Option<E>> = Mutex::new(None);
     let systolic_error: Mutex<Option<SystolicError>> = Mutex::new(None);
-    let stats: Vec<Mutex<WorkerStats>> = (0..nk)
+    // One tally per block slot, indexed `ch * slots + slot`.
+    let stats: Vec<Mutex<WorkerStats>> = (0..nk * slots)
         .map(|_| Mutex::new(WorkerStats::default()))
         .collect();
 
@@ -331,11 +349,15 @@ where
             }
         });
 
-        // Stage 2b: channel workers (one thread per NK channel).
-        for ch in 0..nk {
+        // Stage 2b: block-slot workers (`nb_slots` threads per NK channel;
+        // the slots of one channel share its deque, so dispatch within a
+        // channel is not a steal).
+        for worker in 0..nk * slots {
+            let ch = worker / slots;
             let (sched, work_cv, emit, space_cv) = (&sched, &work_cv, &emit, &space_cv);
             let (abort, systolic_error, stats) = (&abort, &systolic_error, &stats);
             scope.spawn(move |_| {
+                // Every block slot owns its scratch arena.
                 let mut scratch = SystolicScratch::new();
                 let mut local = WorkerStats::default();
                 loop {
@@ -377,7 +399,10 @@ where
                                 device.kernel_cycle_info(),
                                 device.cycle_params(),
                             );
-                            local.cycle_sum += effective_cycles_per_alignment(&b, kernel_config);
+                            // Full-NB arbiter occupancy, exactly as the
+                            // batch engine folds it: the modeled figure is
+                            // independent of the host slot count.
+                            local.cycle_sum += arbitrated_cycles(&b, kernel_config.nb);
                             local.executed += 1;
                             let mut e = emit.lock().expect("emit mutex");
                             let before = e.writer.next_emit();
@@ -409,7 +434,7 @@ where
                         }
                     }
                 }
-                *stats[ch].lock().expect("stats mutex") = local;
+                *stats[worker].lock().expect("stats mutex") = local;
             });
         }
 
@@ -476,11 +501,13 @@ where
     let emit = emit.into_inner().expect("emit mutex");
     debug_assert!(emit.writer.is_drained(), "all admitted outputs emitted");
     let mut per_channel = vec![0usize; nk];
+    let mut per_slot = vec![vec![0usize; slots]; nk];
     let mut steals = 0usize;
     let mut cycle_sum = 0u64;
-    for (ch, stat) in stats.into_iter().enumerate() {
+    for (worker, stat) in stats.into_iter().enumerate() {
         let s = stat.into_inner().expect("stats mutex");
-        per_channel[ch] = s.executed;
+        per_channel[worker / slots] += s.executed;
+        per_slot[worker / slots][worker % slots] = s.executed;
         steals += s.stolen;
         cycle_sum += s.cycle_sum;
     }
@@ -498,6 +525,8 @@ where
     Ok(StreamReport {
         pairs: n,
         per_channel,
+        per_slot,
+        nb_slots: slots,
         steals,
         throughput_aps: throughput,
         reorder_high_water: emit.writer.high_water(),
@@ -538,6 +567,8 @@ where
         crate::ScheduleReport {
             outputs: outputs.into_inner().expect("outputs mutex"),
             per_channel: report.per_channel.clone(),
+            per_slot: report.per_slot.clone(),
+            nb_slots: report.nb_slots,
             steals: report.steals,
             throughput_aps: report.throughput_aps,
         },
@@ -663,7 +694,11 @@ mod tests {
                 &dev,
                 &params,
                 wl.iter().cloned().map(Ok),
-                StreamConfig { buffer, window },
+                StreamConfig {
+                    buffer,
+                    window,
+                    nb_slots: 0,
+                },
             )
             .unwrap();
             assert_eq!(

@@ -1,0 +1,224 @@
+//! Differential suite for NB-block intra-channel parallelism: the host's
+//! per-channel block-slot pool (`BatchConfig::nb_slots` /
+//! `StreamConfig::nb_slots`) must be observationally identical to the
+//! single-slot path — same scores, same traceback paths, same input order,
+//! same modeled throughput, same per-channel accounting totals — for
+//! `nb_slots ∈ {1, 2, 4}`, across both the batched and the streamed
+//! engines, on devices where `NB` actually exposes that many blocks.
+
+use dphls_core::{run_reference, Banding, KernelConfig};
+use dphls_host::{run_batched, run_batched_with, run_streamed_collect, BatchConfig, StreamConfig};
+use dphls_kernels::{GlobalLinear, LinearParams};
+use dphls_seq::gen::ReadSimulator;
+use dphls_seq::Base;
+use dphls_systolic::{CycleModelParams, Device, KernelCycleInfo};
+use std::convert::Infallible;
+
+fn device(config: KernelConfig) -> Device {
+    Device::new(
+        config,
+        CycleModelParams::dphls(),
+        KernelCycleInfo {
+            sym_bits: 2,
+            has_walk: true,
+            ii: 1,
+        },
+        250.0,
+    )
+}
+
+/// Varied-length pairs so cost ranking, stealing, and slot dispatch all
+/// fire (the same shape as the streamed-vs-batched suite).
+fn varied_workload(n: usize, max_len: usize, seed: u64) -> Vec<(Vec<Base>, Vec<Base>)> {
+    let mut sim = ReadSimulator::new(seed);
+    (0..n)
+        .map(|i| {
+            let len = 4 + (i * 13) % (max_len - 8);
+            let (r, q) = sim.read_pair(len.max(4), 0.2);
+            let mut q = q.into_vec();
+            q.truncate(max_len - 4);
+            let mut r = r.into_vec();
+            r.truncate(max_len - 4);
+            (q, r)
+        })
+        .collect()
+}
+
+const SLOT_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[test]
+fn batched_slot_counts_are_bit_identical_to_single_slot() {
+    let params = LinearParams::<i16>::dna();
+    for nk in [1usize, 3] {
+        let wl = varied_workload(41 + nk * 7, 72, 0x5107 + nk as u64);
+        // NB = 4 so every tested slot count maps to real device blocks.
+        let config = KernelConfig::new(8, 4, nk).with_max_lengths(96, 96);
+        let dev = device(config);
+        let single =
+            run_batched_with::<GlobalLinear>(&dev, &params, &wl, BatchConfig::single_slot())
+                .unwrap();
+        assert_eq!(single.nb_slots, 1);
+        for slots in SLOT_COUNTS {
+            let rep =
+                run_batched_with::<GlobalLinear>(&dev, &params, &wl, BatchConfig::slots(slots))
+                    .unwrap();
+            // Scores, tracebacks, and input order, bit for bit.
+            assert_eq!(rep.outputs, single.outputs, "nk {nk} slots {slots}");
+            // Stats: the modeled (stats-derived) throughput is exact — the
+            // same alignments produce the same BlockStats no matter which
+            // slot ran them — and the accounting totals must balance.
+            assert_eq!(rep.nb_slots, slots);
+            assert!(
+                (rep.throughput_aps - single.throughput_aps).abs() < 1e-9,
+                "throughput {} vs {} at nk {nk} slots {slots}",
+                rep.throughput_aps,
+                single.throughput_aps
+            );
+            assert_eq!(rep.per_channel.len(), nk);
+            assert_eq!(rep.per_channel.iter().sum::<usize>(), wl.len());
+            assert_eq!(rep.per_slot.len(), nk);
+            for (ch, row) in rep.per_slot.iter().enumerate() {
+                assert_eq!(row.len(), slots);
+                assert_eq!(row.iter().sum::<usize>(), rep.per_channel[ch]);
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_slot_counts_are_bit_identical_to_single_slot() {
+    let params = LinearParams::<i16>::dna();
+    for nk in [1usize, 3] {
+        let wl = varied_workload(38 + nk * 5, 72, 0xAB5 + nk as u64);
+        let config = KernelConfig::new(8, 4, nk).with_max_lengths(96, 96);
+        let dev = device(config);
+        let batched =
+            run_batched_with::<GlobalLinear>(&dev, &params, &wl, BatchConfig::single_slot())
+                .unwrap();
+        for slots in SLOT_COUNTS {
+            for (buffer, window) in [(1usize, 2usize), (4, 16), (64, 128)] {
+                let cfg = StreamConfig {
+                    buffer,
+                    window,
+                    nb_slots: slots,
+                };
+                let (rep, stream) = run_streamed_collect::<GlobalLinear, _, Infallible>(
+                    &dev,
+                    &params,
+                    wl.iter().cloned().map(Ok),
+                    cfg,
+                )
+                .unwrap();
+                assert_eq!(rep.outputs, batched.outputs, "nk {nk} {cfg:?}");
+                assert_eq!(stream.nb_slots, slots);
+                assert!(
+                    (rep.throughput_aps - batched.throughput_aps).abs() < 1e-9,
+                    "throughput at nk {nk} {cfg:?}"
+                );
+                assert_eq!(stream.per_channel.iter().sum::<usize>(), wl.len());
+                for (ch, row) in stream.per_slot.iter().enumerate() {
+                    assert_eq!(row.len(), slots);
+                    assert_eq!(row.iter().sum::<usize>(), stream.per_channel[ch]);
+                }
+                // Slot concurrency must not loosen the bounded-memory
+                // contract: admission still gates everything in flight.
+                assert!(stream.resident_high_water <= window);
+                assert!(stream.reorder_high_water < window);
+            }
+        }
+    }
+}
+
+#[test]
+fn slot_outputs_match_the_reference_engine() {
+    // Not just internally consistent: the pooled engine still agrees with
+    // the golden full-matrix model pair by pair.
+    let wl = varied_workload(23, 64, 0xFEED);
+    let params = LinearParams::<i16>::dna();
+    let config = KernelConfig::new(8, 4, 2).with_max_lengths(96, 96);
+    let rep =
+        run_batched_with::<GlobalLinear>(&device(config), &params, &wl, BatchConfig::slots(4))
+            .unwrap();
+    for (i, (q, r)) in wl.iter().enumerate() {
+        let want = run_reference::<GlobalLinear>(&params, q, r, Banding::None);
+        assert_eq!(rep.outputs[i], want, "pair {i}");
+    }
+}
+
+#[test]
+fn default_run_batched_matches_explicit_single_slot() {
+    // The auto slot policy may pick any count in 1..=NB depending on host
+    // cores; whatever it picks must be invisible in the results.
+    let wl = varied_workload(29, 64, 0xC0DE);
+    let params = LinearParams::<i16>::dna();
+    let dev = device(KernelConfig::new(8, 4, 2).with_max_lengths(96, 96));
+    let auto = run_batched::<GlobalLinear>(&dev, &params, &wl).unwrap();
+    let single =
+        run_batched_with::<GlobalLinear>(&dev, &params, &wl, BatchConfig::single_slot()).unwrap();
+    assert!((1..=4).contains(&auto.nb_slots));
+    assert_eq!(auto.outputs, single.outputs);
+    assert!((auto.throughput_aps - single.throughput_aps).abs() < 1e-9);
+}
+
+#[test]
+fn oversized_sequence_error_propagates_from_slot_pool() {
+    let params = LinearParams::<i16>::dna();
+    let dev = device(KernelConfig::new(8, 4, 2).with_max_lengths(96, 96));
+    let mut wl = varied_workload(12, 64, 0xE44);
+    wl.push((vec![Base::A; 200], vec![Base::C; 50]));
+    let err = run_batched_with::<GlobalLinear>(&dev, &params, &wl, BatchConfig::slots(4));
+    assert!(err.is_err(), "oversized pair must fail at any slot count");
+    let err = run_streamed_collect::<GlobalLinear, _, Infallible>(
+        &dev,
+        &params,
+        wl.into_iter().map(Ok),
+        StreamConfig {
+            buffer: 2,
+            window: 8,
+            nb_slots: 4,
+        },
+    );
+    assert!(err.is_err());
+}
+
+/// Release-scale banded acceptance shape with a real NB (debug builds
+/// shrink the pair count; the differential property is scale-invariant).
+#[test]
+fn banded_release_scale_slot_pool_differential() {
+    let pairs = if cfg!(debug_assertions) { 200 } else { 4_000 };
+    let len = 256;
+    let mut sim = ReadSimulator::new(0xD9);
+    let wl: Vec<(Vec<Base>, Vec<Base>)> = sim
+        .read_pairs(pairs, len, 0.2)
+        .into_iter()
+        .map(|(r, mut q)| {
+            q.truncate(len);
+            let mut r = r.into_vec();
+            r.truncate(len);
+            (q.into_vec(), r)
+        })
+        .collect();
+    let config = KernelConfig::new(32, 4, 4)
+        .with_max_lengths(len, len)
+        .with_banding(16);
+    let params = LinearParams::<i16>::dna();
+    let dev = device(config);
+    let single =
+        run_batched_with::<GlobalLinear>(&dev, &params, &wl, BatchConfig::single_slot()).unwrap();
+    let pooled =
+        run_batched_with::<GlobalLinear>(&dev, &params, &wl, BatchConfig::slots(4)).unwrap();
+    assert_eq!(pooled.outputs, single.outputs);
+    assert!((pooled.throughput_aps - single.throughput_aps).abs() < 1e-9);
+    let (streamed, _) = run_streamed_collect::<GlobalLinear, _, Infallible>(
+        &dev,
+        &params,
+        wl.iter().cloned().map(Ok),
+        StreamConfig {
+            nb_slots: 4,
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(streamed.outputs, single.outputs);
+    assert!((streamed.throughput_aps - single.throughput_aps).abs() < 1e-9);
+}

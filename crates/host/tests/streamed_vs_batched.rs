@@ -108,7 +108,15 @@ fn random_workloads_nk_1_to_4_buffer_depths() {
         // double-buffering, 64 = deep) crossed with tight and roomy windows.
         for buffer in [1usize, 2, 64] {
             for window in [1usize, 3, 128] {
-                assert_streamed_matches_batched(&wl, config, StreamConfig { buffer, window });
+                assert_streamed_matches_batched(
+                    &wl,
+                    config,
+                    StreamConfig {
+                        buffer,
+                        window,
+                        nb_slots: 0,
+                    },
+                );
             }
         }
     }
@@ -127,6 +135,7 @@ fn lockstep_buffer_depth_one_window_one_is_fully_serial() {
         StreamConfig {
             buffer: 1,
             window: 1,
+            nb_slots: 0,
         },
     )
     .unwrap();
@@ -219,6 +228,7 @@ fn streaming_from_fasta_source_matches_batched() {
         StreamConfig {
             buffer: 2,
             window: 8,
+            nb_slots: 0,
         },
     )
     .unwrap();

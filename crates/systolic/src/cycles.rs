@@ -151,13 +151,28 @@ pub fn alignment_cycles(
     }
 }
 
-/// Per-channel arbitration: `NB` blocks share one channel, so their I/O
-/// phases serialize while their fills proceed in parallel (paper §5.3 /
-/// Fig 2B). The effective per-alignment cycle cost of a block is therefore
-/// bounded below by `NB ×` the I/O the arbiter must serialize.
-pub fn effective_cycles_per_alignment(breakdown: &CycleBreakdown, config: &KernelConfig) -> u64 {
+/// Per-channel arbitration at an explicit block-slot occupancy: `occupied`
+/// blocks of one channel run their fills in parallel, but their load and
+/// writeback phases serialize through the channel's single arbiter (paper
+/// §5.3 / Fig 2B). The effective per-alignment cycle cost is therefore
+/// bounded below by `occupied ×` the I/O the arbiter must serialize.
+///
+/// This is the primitive the host scheduler folds block-slot completions
+/// through: with `occupied = config.nb` it is exactly
+/// [`effective_cycles_per_alignment`], the steady-state device model in
+/// which every block of the channel is kept busy.
+pub fn arbitrated_cycles(breakdown: &CycleBreakdown, occupied: usize) -> u64 {
     let io = breakdown.load + breakdown.writeback;
-    breakdown.total.max(io * config.nb as u64)
+    breakdown.total.max(io * occupied.max(1) as u64)
+}
+
+/// Per-channel arbitration at full occupancy: `NB` blocks share one
+/// channel, so their I/O phases serialize while their fills proceed in
+/// parallel (paper §5.3 / Fig 2B) — [`arbitrated_cycles`] with every block
+/// slot of the channel occupied, which is what the steady-state throughput
+/// model assumes.
+pub fn effective_cycles_per_alignment(breakdown: &CycleBreakdown, config: &KernelConfig) -> u64 {
+    arbitrated_cycles(breakdown, config.nb)
 }
 
 /// Device throughput in alignments/second: `NB × NK` blocks each complete
@@ -245,6 +260,33 @@ mod tests {
         let b = alignment_cycles(&s, &k, &CycleModelParams::dphls());
         assert_eq!(b.traceback, 0);
         assert_eq!(b.writeback, 1);
+    }
+
+    #[test]
+    fn arbitrated_cycles_scales_with_occupancy_and_matches_full_nb() {
+        let s = stats_256(32);
+        let b = alignment_cycles(&s, &kinfo(), &CycleModelParams::dphls());
+        // Zero/one occupancy clamp to a single block: no arbitration, the
+        // block's own end-to-end cycles bound the cost.
+        assert_eq!(arbitrated_cycles(&b, 0), arbitrated_cycles(&b, 1));
+        assert_eq!(arbitrated_cycles(&b, 1), b.total);
+        // Occupancy is monotone: more co-resident blocks can only add
+        // serialized I/O, never remove cycles.
+        let mut prev = 0;
+        for occupied in [1usize, 2, 4, 16, 64, 1024] {
+            let c = arbitrated_cycles(&b, occupied);
+            assert!(c >= prev, "occupancy {occupied} decreased cycles");
+            assert!(c >= b.total);
+            prev = c;
+        }
+        // At occupancy NB the helper IS the device model.
+        for nb in [1usize, 2, 4, 16] {
+            let cfg = dphls_core::KernelConfig::new(32, nb, 1).with_max_lengths(256, 256);
+            assert_eq!(
+                arbitrated_cycles(&b, nb),
+                effective_cycles_per_alignment(&b, &cfg)
+            );
+        }
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //! # Ok::<(), dphls_seq::ParseSeqError>(())
 //! ```
 
+// The back-end is the contract the host and bench layers program against;
+// undocumented items are a build error, and CI keeps `cargo doc` warning-free.
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod block;
 pub mod cycles;
 pub mod device;
@@ -43,8 +48,8 @@ pub use block::{
     BlockStats, SystolicError, SystolicRun, SystolicScratch,
 };
 pub use cycles::{
-    alignment_cycles, effective_cycles_per_alignment, throughput_aps, CycleBreakdown,
-    CycleModelParams, KernelCycleInfo,
+    alignment_cycles, arbitrated_cycles, effective_cycles_per_alignment, throughput_aps,
+    CycleBreakdown, CycleModelParams, KernelCycleInfo,
 };
 pub use device::{Device, DeviceReport};
 pub use tbmem::TbMem;

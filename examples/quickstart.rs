@@ -2,6 +2,11 @@
 //! modeled systolic back-end, and "synthesize" it onto the virtual AWS F1
 //! FPGA — the complete Fig 2A flow in one file.
 //!
+//! The same flow is a **doc-tested** crate-level example ("The full Fig 2A
+//! flow" in the `dp_hls` crate docs), so `cargo test --doc` compiles and
+//! runs it on every CI push — the snippet cannot rot. This file is its
+//! narrated, printing sibling:
+//!
 //! ```sh
 //! cargo run --example quickstart
 //! ```

@@ -9,6 +9,11 @@
 //! writer emits it. Compare `examples/read_mapping.rs`, which materializes
 //! the same kind of workload for `run_batched`.
 //!
+//! The same pipeline is a **doc-tested** crate-level example ("Streaming
+//! pipeline" in the `dp_hls` crate docs), so `cargo test --doc` compiles
+//! and runs it on every CI push — the snippet cannot rot. This file is its
+//! narrated, printing sibling:
+//!
 //! ```sh
 //! cargo run --example streaming_alignment
 //! ```
@@ -82,6 +87,7 @@ fn main() {
     let config = StreamConfig {
         buffer: 8,
         window: 16,
+        nb_slots: 0,
     };
 
     println!("streamed alignments (emitted in input order as they complete):");

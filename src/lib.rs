@@ -53,8 +53,159 @@
 //! # Ok::<(), dp_hls::systolic::SystolicError>(())
 //! ```
 //!
+//! ## The full Fig 2A flow
+//!
+//! The doc-tested core of `examples/quickstart.rs`: C-simulation (the
+//! golden reference model), co-simulation (the cycle-level systolic
+//! back-end), C-synthesis (the structural FPGA model), and the modeled
+//! `NB × NK` device throughput:
+//!
+//! ```
+//! use dp_hls::core::CountingScore;
+//! use dp_hls::kernels::{registry::measure_pe, ToCounting};
+//! use dp_hls::prelude::*;
+//! use dp_hls::systolic::{alignment_cycles, effective_cycles_per_alignment, throughput_aps};
+//!
+//! let mut sim = ReadSimulator::new(2024);
+//! let (reference, read) = sim.read_pair(128, 0.3);
+//! let params = AffineParams::<i16>::dna();
+//!
+//! // C-simulation: the functional golden run.
+//! let golden = run_reference::<GlobalAffine<i16>>(
+//!     &params, read.as_slice(), reference.as_slice(), Banding::None);
+//!
+//! // Co-simulation: the cycle-level systolic array must match it exactly.
+//! let config = KernelConfig::new(32, 16, 4).with_max_lengths(192, 128);
+//! let run = run_systolic_ok::<GlobalAffine<i16>>(
+//!     &params, read.as_slice(), reference.as_slice(), &config);
+//! assert_eq!(run.output, golden);
+//!
+//! // C-synthesis: instrument the PE and model the hardware.
+//! let counts = measure_pe::<GlobalAffine<CountingScore<i16>>>(
+//!     &params.to_counting(), Base::A, Base::C);
+//! let profile = KernelProfile {
+//!     op_counts: counts, score_bits: 16, sym_bits: 2, tb_bits: 4,
+//!     n_layers: 3, walk: Some(WalkKind::Global), param_table_bits: 64,
+//! };
+//! let report = synthesize(&profile, &config, None);
+//! assert!(report.fmax_mhz > 0.0);
+//!
+//! // Throughput: NB x NK blocks, each completing one alignment per
+//! // (arbiter-aware) cycle count, at the synthesized frequency.
+//! let kinfo = report.cycle_info(2, true);
+//! let b = alignment_cycles(&run.stats, &kinfo, &CycleModelParams::dphls());
+//! let cycles = effective_cycles_per_alignment(&b, &config);
+//! let aps = throughput_aps(cycles, report.fmax_mhz, &config);
+//! assert!(aps > 0.0);
+//! ```
+//!
+//! ## Batch alignment with NB-block slot pools
+//!
+//! [`host::run_batched`] drives the device's `NK` channels from host
+//! threads; since the NB-block refactor each channel is itself a pool of up
+//! to `NB` **block slots** ([`host::BatchConfig::nb_slots`]). The slot
+//! count changes wall-clock parallelism only — outputs, order, and modeled
+//! throughput are bit-identical:
+//!
+//! ```
+//! use dp_hls::host::{run_batched_with, BatchConfig};
+//! use dp_hls::prelude::*;
+//!
+//! let mut sim = ReadSimulator::new(7);
+//! let workload: Vec<_> = (0..12)
+//!     .map(|_| {
+//!         let (window, mut read) = sim.read_pair(96, 0.15);
+//!         read.truncate(80);
+//!         (read.into_vec(), window.into_vec())
+//!     })
+//!     .collect();
+//! let params = LinearParams::<i16>::dna();
+//! let device = Device::new(
+//!     KernelConfig::new(16, 4, 2).with_max_lengths(128, 128), // NPE 16, NB 4, NK 2
+//!     CycleModelParams::dphls(),
+//!     KernelCycleInfo { sym_bits: 2, has_walk: true, ii: 1 },
+//!     250.0,
+//! );
+//!
+//! // 2 channels x 4 block slots = 8 host threads, each with its own
+//! // scratch arena; outputs come back in input order.
+//! let pooled = run_batched_with::<GlobalLinear>(
+//!     &device, &params, &workload, BatchConfig::slots(4))?;
+//! assert_eq!(pooled.outputs.len(), 12);
+//! assert_eq!(pooled.nb_slots, 4);
+//!
+//! // The single-slot path (one thread per channel) is bit-identical.
+//! let single = run_batched_with::<GlobalLinear>(
+//!     &device, &params, &workload, BatchConfig::single_slot())?;
+//! assert_eq!(single.outputs, pooled.outputs);
+//! assert_eq!(single.throughput_aps, pooled.throughput_aps);
+//! # Ok::<(), dp_hls::systolic::SystolicError>(())
+//! ```
+//!
+//! ## Streaming pipeline
+//!
+//! The doc-tested core of `examples/streaming_alignment.rs`:
+//! [`host::run_streamed`] aligns pairs pulled incrementally from any
+//! fallible iterator — here straight off a FASTA parse — holding at most
+//! `buffer + window` pairs resident, and emits `(input index, output)` in
+//! input order as alignments complete:
+//!
+//! ```
+//! use dp_hls::host::{run_streamed, StreamConfig, StreamError};
+//! use dp_hls::prelude::*;
+//! use dp_hls::seq::fasta::{write_dna, FastaError, FastaStream};
+//!
+//! // Eight query/reference record pairs, round-tripped through FASTA text
+//! // (standing in for an arbitrarily large file streamed off disk).
+//! let mut sim = ReadSimulator::new(2024);
+//! let mut recs = Vec::new();
+//! for i in 0..8 {
+//!     let (window, mut read) = sim.read_pair(96, 0.1);
+//!     read.truncate(80);
+//!     recs.push((format!("q{i}"), read));
+//!     recs.push((format!("r{i}"), window));
+//! }
+//! let fasta = write_dna(recs.iter().map(|(n, s)| (n.as_str(), s)), 60);
+//!
+//! // An incremental record iterator over any BufRead, paired up and
+//! // converted to 2-bit DNA on the fly.
+//! let mut records = FastaStream::new(fasta.as_bytes());
+//! let source = std::iter::from_fn(move || {
+//!     let q = records.next()?;
+//!     let r = records.next().expect("records come in pairs");
+//!     Some(q.and_then(|q| {
+//!         let r = r?;
+//!         Ok::<_, FastaError>((q.dna()?.into_vec(), r.dna()?.into_vec()))
+//!     }))
+//! });
+//!
+//! let device = Device::new(
+//!     KernelConfig::new(16, 2, 2).with_max_lengths(128, 128),
+//!     CycleModelParams::dphls(),
+//!     KernelCycleInfo { sym_bits: 2, has_walk: true, ii: 1 },
+//!     250.0,
+//! );
+//! let params = LinearParams::<i16>::dna();
+//!
+//! let mut scores = Vec::new();
+//! let report = run_streamed::<GlobalLinear, _, _, _>(
+//!     &device,
+//!     &params,
+//!     source,
+//!     StreamConfig { buffer: 4, window: 8, nb_slots: 2 },
+//!     |idx, out| scores.push((idx, out.best_score)),
+//! )?;
+//! assert_eq!(report.pairs, 8);
+//! // The sink saw strictly increasing input indices (order restored) and
+//! // the reorder buffer stayed inside the admission window.
+//! assert!(scores.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+//! assert!(report.reorder_high_water < 8);
+//! # Ok::<(), StreamError<FastaError>>(())
+//! ```
+//!
 //! Run the paper's experiments with
-//! `cargo run -p dphls-bench --bin all_experiments`.
+//! `cargo run -p dphls-bench --bin all_experiments`; the architecture tour
+//! lives in `docs/ARCHITECTURE.md`.
 
 pub use dphls_baselines as baselines;
 pub use dphls_core as core;
