@@ -3,9 +3,10 @@
 //! (PR 2), and the work-stealing batch engine across the standard workload
 //! matrix, plus the ISSUE 1 (≥ 2× scratch-vs-naive) and ISSUE 2 (≥ 1.3×
 //! laned-vs-scratch) acceptance measurements, the ISSUE 3 streaming
-//! comparison (streamed-vs-batched, gated ≥ 0.9×), and the ISSUE 5
-//! NB-scaling point (modeled NB-vs-1 ratio, gated ≥ 3.5× at NB = 4).
-//! Validate or diff a report with `bench_check`.
+//! comparison (streamed-vs-batched, gated ≥ 0.9×), the ISSUE 5
+//! NB-scaling point (modeled NB-vs-1 ratio, gated ≥ 3.5× at NB = 4), and
+//! the PR 6 resilience-overhead point (instrumented-vs-fast-path, gated
+//! ≥ 0.95×). Validate or diff a report with `bench_check`.
 //!
 //! ```text
 //! cargo run --release -p dphls-bench --bin bench_report            # full matrix
@@ -92,6 +93,20 @@ fn main() {
             format!("PASS (>= {}x)", dphls_bench::check::NB_MODEL_GATE)
         } else {
             format!("FAIL (< {}x)", dphls_bench::check::NB_MODEL_GATE)
+        },
+    );
+    eprintln!(
+        "  resilience   {} x{:<6} NK={} | disabled {:>9.0} aln/s | resilient {:>9.0} ({:.2}x) {}",
+        report.resilience_overhead.workload,
+        report.resilience_overhead.pairs,
+        report.resilience_overhead.nk,
+        report.resilience_overhead.disabled_aps,
+        report.resilience_overhead.resilient_aps,
+        report.resilience_overhead.ratio,
+        if report.resilience_overhead.pass {
+            format!("PASS (>= {}x)", dphls_bench::check::RESILIENCE_GATE)
+        } else {
+            format!("FAIL (< {}x)", dphls_bench::check::RESILIENCE_GATE)
         },
     );
     eprintln!(

@@ -18,7 +18,7 @@
 use serde::JsonValue;
 
 /// Report schema version this checker understands.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Default relative tolerance of the regression gate (15 %).
 pub const DEFAULT_TOLERANCE: f64 = 0.15;
@@ -44,6 +44,16 @@ pub const STREAMING_GATE_MIN_PAIRS: f64 = 2_000.0;
 /// `BlockStats`, so unlike the wall-clock gates it is machine-independent
 /// and enforced at every scale.
 pub const NB_MODEL_GATE: f64 = 3.5;
+
+/// Minimum resilient/disabled throughput ratio of the
+/// `resilience_overhead` point (the PR 6 gate): enabling the instrumented
+/// resilience path (deadline clock, `catch_unwind` frame, retry
+/// bookkeeping) on a fault-free workload may not cost more than 5 % of the
+/// fast path's throughput. Like [`STREAMING_GATE`] this is a wall-clock
+/// ratio, so the absolute threshold is only enforced at or above
+/// [`STREAMING_GATE_MIN_PAIRS`] pairs; smaller smoke runs keep the
+/// pass-flag consistency check and the relative diff in [`compare`].
+pub const RESILIENCE_GATE: f64 = 0.95;
 
 /// Ratio fields diffed by the regression gate.
 const RATIO_KEYS: [&str; 4] = [
@@ -99,6 +109,17 @@ const STREAMING_KEYS: [&str; 11] = [
     "pass",
     "reorder_high_water",
     "resident_high_water",
+];
+
+/// Required resilience_overhead-object keys.
+const RESILIENCE_KEYS: [&str; 7] = [
+    "workload",
+    "pairs",
+    "nk",
+    "disabled_aps",
+    "resilient_aps",
+    "ratio",
+    "pass",
 ];
 
 fn get<'a>(v: &'a JsonValue, key: &str) -> Option<&'a JsonValue> {
@@ -359,6 +380,54 @@ pub fn validate(report: &JsonValue) -> Vec<String> {
         }
         None => problems.push("missing `nb_scaling` object".into()),
     }
+
+    match get(report, "resilience_overhead") {
+        Some(ro) => {
+            for field in RESILIENCE_KEYS {
+                if get(ro, field).is_none() {
+                    problems.push(format!("resilience_overhead: missing `{field}`"));
+                }
+            }
+            let ratio = num(ro, "ratio");
+            if let (Some(d), Some(r)) = (num(ro, "disabled_aps"), num(ro, "resilient_aps")) {
+                if d <= 0.0 || r <= 0.0 {
+                    problems.push("resilience_overhead: aps figures must be positive".into());
+                } else if let Some(stored) = ratio {
+                    let derived = r / d;
+                    if (stored - derived).abs() > 1e-6 * derived.abs().max(1.0) {
+                        problems.push(format!(
+                            "resilience_overhead: `ratio` = {stored} but aps ratio is {derived}"
+                        ));
+                    }
+                }
+            }
+            match (get(ro, "pass"), ratio) {
+                (Some(JsonValue::Bool(stored)), Some(r)) => {
+                    if *stored != (r >= RESILIENCE_GATE) {
+                        problems.push(format!(
+                            "resilience_overhead: `pass` = {stored} disagrees with \
+                             `ratio` = {r} (threshold {RESILIENCE_GATE})"
+                        ));
+                    }
+                    // The gate itself: the instrumented path may not cost
+                    // more than (1 - RESILIENCE_GATE) of fault-free
+                    // throughput. Wall-clock, so only enforced at a pair
+                    // count where the ratio is signal.
+                    if r < RESILIENCE_GATE
+                        && num(ro, "pairs").is_some_and(|p| p >= STREAMING_GATE_MIN_PAIRS)
+                    {
+                        problems.push(format!(
+                            "resilience gate failed: resilient/disabled ratio {r} \
+                             < {RESILIENCE_GATE}"
+                        ));
+                    }
+                }
+                (Some(JsonValue::Bool(_)), None) | (None, _) => {}
+                (Some(_), _) => problems.push("resilience_overhead: `pass` not a bool".into()),
+            }
+        }
+        None => problems.push("missing `resilience_overhead` object".into()),
+    }
     problems
 }
 
@@ -450,6 +519,31 @@ pub fn compare(current: &JsonValue, baseline: &JsonValue, tolerance: f64) -> Com
         (None, _) => {}
     }
 
+    // The resilience-overhead ratio is internally paired (both runs use
+    // the same worker threads on the same machine), so like the streaming
+    // ratio it is compared regardless of core count.
+    let resilience_ratio = |r| get(r, "resilience_overhead").and_then(|ro| num(ro, "ratio"));
+    match (resilience_ratio(baseline), resilience_ratio(current)) {
+        (Some(base), Some(cur)) => {
+            let floor = base * (1.0 - tolerance);
+            if cur < floor {
+                cmp.regressions.push(format!(
+                    "resilience_overhead: `ratio` regressed {base:.3} -> {cur:.3} \
+                     (floor {floor:.3} at {:.0}% tolerance)",
+                    tolerance * 100.0
+                ));
+            } else if cur > base * (1.0 + tolerance) {
+                cmp.notes.push(format!(
+                    "resilience_overhead: `ratio` improved {base:.3} -> {cur:.3}"
+                ));
+            }
+        }
+        (Some(_), None) => cmp
+            .regressions
+            .push("resilience_overhead: `ratio` missing from current report".into()),
+        (None, _) => {}
+    }
+
     // nb_scaling: the modeled ratio is machine-independent and always
     // diffed; the wall-clock slot_ratio is thread scaling within one
     // channel, so it carries the same 1-core caveat as `batched_speedup`.
@@ -491,7 +585,7 @@ mod tests {
     use super::*;
 
     fn report_json(lane_vs_scratch: f64, host_cores: u64) -> String {
-        report_json_full(lane_vs_scratch, host_cores, 0.95, 3.98)
+        report_json_full(lane_vs_scratch, host_cores, 0.95, 3.98, 0.98)
     }
 
     fn report_json_with_streaming(
@@ -499,11 +593,19 @@ mod tests {
         host_cores: u64,
         streaming_ratio: f64,
     ) -> String {
-        report_json_full(lane_vs_scratch, host_cores, streaming_ratio, 3.98)
+        report_json_full(lane_vs_scratch, host_cores, streaming_ratio, 3.98, 0.98)
     }
 
     fn report_json_with_nb(lane_vs_scratch: f64, host_cores: u64, nb_ratio: f64) -> String {
-        report_json_full(lane_vs_scratch, host_cores, 0.95, nb_ratio)
+        report_json_full(lane_vs_scratch, host_cores, 0.95, nb_ratio, 0.98)
+    }
+
+    fn report_json_with_resilience(
+        lane_vs_scratch: f64,
+        host_cores: u64,
+        resilience_ratio: f64,
+    ) -> String {
+        report_json_full(lane_vs_scratch, host_cores, 0.95, 3.98, resilience_ratio)
     }
 
     fn report_json_full(
@@ -511,11 +613,12 @@ mod tests {
         host_cores: u64,
         streaming_ratio: f64,
         nb_ratio: f64,
+        resilience_ratio: f64,
     ) -> String {
         let laned = 2000.0 * lane_vs_scratch;
         format!(
             r#"{{
-              "version": 4,
+              "version": 5,
               "host_cores": {host_cores},
               "points": [
                 {{
@@ -555,6 +658,11 @@ mod tests {
                 "slot_ratio": 1.04,
                 "modeled_nb1_aps": 1000000.0, "modeled_nb_aps": {modeled_nb},
                 "modeled_nb_ratio": {nb_ratio}, "pass": {nb_pass}
+              }},
+              "resilience_overhead": {{
+                "workload": "banded_w16", "pairs": 10000, "nk": 4,
+                "disabled_aps": 3000.0, "resilient_aps": {resilient},
+                "ratio": {resilience_ratio}, "pass": {resilience_pass}
               }}
             }}"#,
             lspd = 2.0 * lane_vs_scratch,
@@ -563,6 +671,8 @@ mod tests {
             stream_pass = streaming_ratio >= STREAMING_GATE,
             modeled_nb = 1000000.0 * nb_ratio,
             nb_pass = nb_ratio >= NB_MODEL_GATE,
+            resilient = 3000.0 * resilience_ratio,
+            resilience_pass = resilience_ratio >= RESILIENCE_GATE,
         )
     }
 
@@ -616,6 +726,78 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("host_cores")));
         assert!(problems.iter().any(|p| p.contains("streaming")));
         assert!(problems.iter().any(|p| p.contains("nb_scaling")));
+        assert!(problems.iter().any(|p| p.contains("resilience_overhead")));
+    }
+
+    #[test]
+    fn resilience_gate_and_consistency_are_enforced() {
+        // A consistent but failing ratio is a problem at full scale...
+        let problems = validate(&parse(&report_json_with_resilience(1.5, 1, 0.8)));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("resilience gate failed")),
+            "{problems:?}"
+        );
+        // ...but not on a scaled-down smoke run (min-pairs guard).
+        let small = report_json_with_resilience(1.5, 1, 0.8).replace(
+            "\"pairs\": 10000, \"nk\": 4,\n                \"disabled_aps\"",
+            "\"pairs\": 20, \"nk\": 4,\n                \"disabled_aps\"",
+        );
+        let problems = validate(&parse(&small));
+        assert!(
+            !problems
+                .iter()
+                .any(|p| p.contains("resilience gate failed")),
+            "{problems:?}"
+        );
+
+        // A stored ratio that disagrees with the aps figures is caught.
+        let s = report_json(1.5, 1).replace(
+            "\"ratio\": 0.98, \"pass\": true",
+            "\"ratio\": 0.99, \"pass\": true",
+        );
+        let problems = validate(&parse(&s));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("resilience_overhead: `ratio`")),
+            "{problems:?}"
+        );
+
+        // A pass flag that disagrees with the gate is caught at any scale.
+        let s = report_json_with_resilience(1.5, 1, 0.8).replace(
+            "\"ratio\": 0.8, \"pass\": false",
+            "\"ratio\": 0.8, \"pass\": true",
+        );
+        let problems = validate(&parse(&s));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("resilience_overhead: `pass`")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn resilience_ratio_regression_fails_compare() {
+        let base = parse(&report_json_with_resilience(1.5, 1, 1.0));
+        let ok = parse(&report_json_with_resilience(1.5, 1, 0.96)); // -4%, inside 15%
+        assert!(compare(&ok, &base, DEFAULT_TOLERANCE)
+            .regressions
+            .is_empty());
+        let bad = parse(&report_json_with_resilience(1.5, 1, 0.96).replace(
+            "\"ratio\": 0.96, \"pass\": true",
+            "\"ratio\": 0.7, \"pass\": false",
+        ));
+        // (ratio made inconsistent for brevity; compare() only reads it)
+        let cmp = compare(&bad, &base, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions
+                .iter()
+                .any(|r| r.contains("resilience_overhead")),
+            "{cmp:?}"
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@
 
 use crate::naive::run_systolic_naive;
 use dphls_core::{KernelConfig, LaneKernel};
-use dphls_host::{run_batched, run_batched_with, run_streamed, BatchConfig, StreamConfig};
+use dphls_host::{
+    run_batched, run_batched_resilient, run_batched_with, run_streamed, BatchConfig,
+    ResilienceConfig, StreamConfig,
+};
 use dphls_kernels::{AffineParams, GlobalAffine, GlobalLinear, LinearParams};
 use dphls_seq::gen::ReadSimulator;
 use dphls_seq::Base;
@@ -193,10 +196,36 @@ pub struct NbScaling {
     pub pass: bool,
 }
 
+/// The PR 6 resilience-overhead experiment: the batch engine with the full
+/// instrumented resilience path ([`ResilienceConfig::standard`] — deadline
+/// clock, `catch_unwind` frame, retry bookkeeping) against the disabled
+/// fast path on the fault-free banded acceptance workload, timed in
+/// interleaved rounds. The gate is `ratio >= 0.95`: turning resilience on
+/// may not cost more than 5 % of fault-free throughput.
+#[derive(Debug, Serialize)]
+pub struct ResilienceOverhead {
+    /// Workload name (the banded acceptance shape).
+    pub workload: String,
+    /// Pairs measured.
+    pub pairs: usize,
+    /// Channels / worker threads used by both runs.
+    pub nk: usize,
+    /// Fast path: [`ResilienceConfig::disabled`] (aln/s wall clock).
+    pub disabled_aps: f64,
+    /// Instrumented path: [`ResilienceConfig::standard`] (aln/s wall
+    /// clock).
+    pub resilient_aps: f64,
+    /// `resilient_aps / disabled_aps`.
+    pub ratio: f64,
+    /// Whether the `ratio >= 0.95` gate held.
+    pub pass: bool,
+}
+
 /// The full serialized throughput report.
 #[derive(Debug, Serialize)]
 pub struct ThroughputReport {
-    /// Report schema version (4 since the NB-scaling point landed).
+    /// Report schema version (5 since the resilience-overhead point
+    /// landed).
     pub version: u32,
     /// Logical CPUs visible to the measuring process. Absolute aln/s and
     /// the `nk > 1` batched speedups are only comparable between reports
@@ -212,6 +241,8 @@ pub struct ThroughputReport {
     pub streaming: StreamingComparison,
     /// The ISSUE 5 NB-block scaling point and its modeled-ratio gate.
     pub nb_scaling: NbScaling,
+    /// The PR 6 resilience-overhead point and its ≥ 0.95× gate.
+    pub resilience_overhead: ResilienceOverhead,
 }
 
 /// Logical CPUs available to this process (1 if undetectable).
@@ -598,6 +629,82 @@ pub fn measure_nb_scaling(scale: usize) -> NbScaling {
     }
 }
 
+/// Measures the overhead of the instrumented resilience path on the
+/// fault-free banded acceptance workload (scaled by `scale`):
+/// `run_batched_resilient` under [`ResilienceConfig::standard`] (deadline
+/// `Instant` reads, `catch_unwind` frame, retry bookkeeping — but zero
+/// faults) against the same engine under [`ResilienceConfig::disabled`]
+/// (the legacy fast path). Interleaved rounds, median ratio taken
+/// wholesale — the gate-point discipline of [`measure_streaming`].
+pub fn measure_resilience_overhead(scale: usize) -> ResilienceOverhead {
+    let s = scale.max(1);
+    let pairs = 10_000 / s;
+    let len = 256usize;
+    let nk = 4usize;
+    let half_width = 16usize;
+    let workload = make_workload(pairs, len, 0xD9);
+    let params = LinearParams::<i16>::dna();
+    let config = KernelConfig::new(32, 1, nk)
+        .with_max_lengths(len, len)
+        .with_banding(half_width);
+    let device = device_for(config);
+    let n = workload.len();
+    let disabled = ResilienceConfig::disabled();
+    let standard = ResilienceConfig::standard();
+
+    // Like the streaming point, this gate is an absolute threshold, so one
+    // freak round must never be the sample it reads: interleaved rounds,
+    // median ratio wholesale.
+    let rounds = (6_000 / pairs.max(1)).clamp(3, 8);
+    let mut samples: Vec<(f64, f64)> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        std::hint::black_box(
+            run_batched_resilient::<GlobalLinear>(
+                &device,
+                &params,
+                &workload,
+                BatchConfig::default(),
+                &disabled,
+                None,
+            )
+            .expect("bench workload must be valid"),
+        );
+        let disabled_aps = aps(n, start);
+
+        let start = Instant::now();
+        let report = std::hint::black_box(
+            run_batched_resilient::<GlobalLinear>(
+                &device,
+                &params,
+                &workload,
+                BatchConfig::default(),
+                &standard,
+                None,
+            )
+            .expect("bench workload must be valid"),
+        );
+        let resilient_aps = aps(n, start);
+        assert!(
+            report.faults.is_empty() && report.retries == 0,
+            "fault-free workload must not fault or retry"
+        );
+        samples.push((disabled_aps, resilient_aps));
+    }
+    samples.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    let (disabled_aps, resilient_aps) = samples[samples.len() / 2];
+    let ratio = resilient_aps / disabled_aps.max(1e-9);
+    ResilienceOverhead {
+        workload: format!("banded_w{half_width}"),
+        pairs,
+        nk,
+        disabled_aps,
+        resilient_aps,
+        ratio,
+        pass: ratio >= crate::check::RESILIENCE_GATE,
+    }
+}
+
 /// Runs the full matrix and assembles the report. The acceptance gate is
 /// the banded 10k-pair single-channel point (scaled by `scale`).
 pub fn build_report(scale: usize) -> ThroughputReport {
@@ -618,12 +725,13 @@ pub fn build_report(scale: usize) -> ThroughputReport {
         lane_pass: gate.lane_vs_scratch >= 1.3,
     };
     ThroughputReport {
-        version: 4,
+        version: 5,
         host_cores: host_cores(),
         points,
         acceptance,
         streaming: measure_streaming(scale),
         nb_scaling: measure_nb_scaling(scale),
+        resilience_overhead: measure_resilience_overhead(scale),
     }
 }
 
@@ -668,6 +776,18 @@ mod tests {
         assert!(p.pass);
         let json = serde_json::to_string_pretty(&p).unwrap();
         assert!(json.contains("\"modeled_nb_ratio\""));
+        serde_json::from_str(&json).expect("point serializes to valid JSON");
+    }
+
+    #[test]
+    fn resilience_overhead_measures_and_serializes() {
+        let p = measure_resilience_overhead(500); // 20 pairs
+        assert_eq!(p.pairs, 20);
+        assert!(p.disabled_aps > 0.0 && p.resilient_aps > 0.0 && p.ratio > 0.0);
+        assert!((p.ratio - p.resilient_aps / p.disabled_aps).abs() < 1e-9);
+        assert_eq!(p.pass, p.ratio >= crate::check::RESILIENCE_GATE);
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        assert!(json.contains("\"resilient_aps\""));
         serde_json::from_str(&json).expect("point serializes to valid JSON");
     }
 

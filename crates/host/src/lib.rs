@@ -25,14 +25,21 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod faults;
+pub mod resilience;
 pub mod scheduler;
 pub mod streaming;
 pub mod tiling;
 
-pub use scheduler::{run_batched, run_batched_with, BatchConfig, ScheduleReport};
+pub use faults::{injected_kernel_error, injected_panic_message, FaultKind, FaultPlan, Injection};
+pub use resilience::{FailurePolicy, FaultCause, PairFault, ResilienceConfig};
+pub use scheduler::{
+    run_batched, run_batched_resilient, run_batched_with, BatchConfig, BatchError, BatchReport,
+    ScheduleReport,
+};
 pub use streaming::{
-    run_streamed, run_streamed_collect, OrderedWriter, ReorderOverflow, StreamConfig, StreamError,
-    StreamReport,
+    run_streamed, run_streamed_collect, run_streamed_resilient, OrderedWriter, ReorderOverflow,
+    StreamConfig, StreamError, StreamReport,
 };
 pub use tiling::{
     score_path_affine, tiled_global_affine, TiledAlignment, TilingConfig, TilingError,

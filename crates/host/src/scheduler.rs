@@ -33,6 +33,13 @@
 //!   the throughput model assumes), which keeps modeled throughput and
 //!   outputs **bit-identical** across slot counts — only wall-clock
 //!   parallelism changes. See [`BatchConfig::nb_slots`].
+//! * **Per-pair fault isolation** — [`run_batched_resilient`] threads a
+//!   [`ResilienceConfig`] through the slot loop: kernel errors, worker
+//!   panics (caught at the slot loop), and cost-scaled deadline timeouts
+//!   are retried with backoff on another channel and then quarantined into
+//!   [`BatchReport::faults`] instead of tearing down the run. See
+//!   `crates/host/src/resilience.rs` and the chaos suite
+//!   (`crates/host/tests/chaos.rs`).
 //!
 //! [`KernelConfig::nb`]: dphls_core::KernelConfig
 //! [`arbitrated_cycles`]: dphls_systolic::arbitrated_cycles
@@ -41,11 +48,19 @@
 
 use dphls_core::{Banding, DpOutput, KernelConfig, LaneKernel};
 use dphls_systolic::{
-    alignment_cycles, arbitrated_cycles, throughput_aps, Device, SystolicError, SystolicScratch,
+    alignment_cycles, arbitrated_cycles, throughput_aps, Device, SystolicScratch,
 };
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::faults::{injected_kernel_error, injected_panic_message, FaultKind, FaultPlan};
+use crate::resilience::{
+    abort_aware_sleep, panic_message, FailurePolicy, FaultCause, PairFault, ResilienceConfig,
+};
 
 /// Host-side execution knobs of the batch engine (the device side lives in
 /// [`KernelConfig`]).
@@ -97,6 +112,71 @@ impl BatchConfig {
     }
 }
 
+/// Error of a batch run: the first pair failure under
+/// [`FailurePolicy::Abort`], or a worker-thread panic that escaped per-pair
+/// isolation (only possible with resilience disabled, where the slot loop
+/// runs without a `catch_unwind` frame).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchError {
+    /// A pair failed (kernel error, panic, or deadline timeout — see
+    /// [`FaultCause`]) and the active [`FailurePolicy`] was `Abort`.
+    Fault(PairFault),
+    /// A worker thread panicked and tore down the scope; carries the join
+    /// payload (std's scope reports a generic message — per-pair payloads
+    /// are only recoverable under [`FailurePolicy::Quarantine`], where they
+    /// land in [`BatchReport::faults`] instead).
+    WorkerPanic(String),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Fault(fault) => write!(f, "batch aborted: {fault}"),
+            BatchError::WorkerPanic(msg) => write!(f, "batch worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Result of a resilient batch run ([`run_batched_resilient`]): like
+/// [`ScheduleReport`], but with per-pair holes where quarantined pairs
+/// would be, plus the fault ledger the degradation contract reconciles
+/// against.
+#[derive(Debug, Clone)]
+pub struct BatchReport<S> {
+    /// One slot per input pair, in input order; `None` exactly where a
+    /// pair was quarantined (every `None` has a matching entry in
+    /// [`faults`](Self::faults)).
+    pub outputs: Vec<Option<DpOutput<S>>>,
+    /// Quarantined pairs, sorted by input index.
+    pub faults: Vec<PairFault>,
+    /// Failed or timed-out attempts that were re-dealt (each retry of each
+    /// pair counts once).
+    pub retries: usize,
+    /// Attempts discarded because they exceeded their cost-scaled deadline
+    /// (a subset of the failures behind [`retries`](Self::retries) /
+    /// [`faults`](Self::faults)).
+    pub timeouts: usize,
+    /// Alignments each channel successfully executed.
+    pub per_channel: Vec<usize>,
+    /// Successful alignments per block slot, `per_slot[channel][slot]`.
+    pub per_slot: Vec<Vec<usize>>,
+    /// Block slots each channel ran with.
+    pub nb_slots: usize,
+    /// Alignments stolen across channels.
+    pub steals: usize,
+    /// Modeled device throughput over the successful alignments.
+    pub throughput_aps: f64,
+}
+
+impl<S> BatchReport<S> {
+    /// Number of pairs that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.outputs.len() - self.faults.len()
+    }
+}
+
 /// Result of a scheduled batch run.
 #[derive(Debug, Clone)]
 pub struct ScheduleReport<S> {
@@ -138,16 +218,18 @@ pub(crate) fn cost_estimate(q: usize, r: usize, banding: Banding) -> u64 {
 /// ([`BatchConfig::default`]), using cost-ranked work stealing (see the
 /// module docs). Outputs are returned in input order and are bit-identical
 /// to running each pair through [`dphls_systolic::run_systolic`]
-/// individually.
+/// individually. Resilience is disabled (the zero-overhead path); use
+/// [`run_batched_resilient`] for quarantine/retry/deadline semantics.
 ///
 /// # Errors
 ///
-/// Propagates the first [`SystolicError`] encountered on any channel.
+/// [`BatchError::Fault`] wrapping the first kernel error encountered on any
+/// channel, or [`BatchError::WorkerPanic`] if a worker thread panicked.
 pub fn run_batched<K: LaneKernel>(
     device: &Device,
     params: &K::Params,
     workload: &[dphls_core::SeqPair<K>],
-) -> Result<ScheduleReport<K::Score>, SystolicError>
+) -> Result<ScheduleReport<K::Score>, BatchError>
 where
     K::Score: Send,
     K::Params: Sync,
@@ -162,13 +244,74 @@ where
 ///
 /// # Errors
 ///
-/// Propagates the first [`SystolicError`] encountered on any channel.
+/// [`BatchError::Fault`] wrapping the first kernel error encountered on any
+/// channel, or [`BatchError::WorkerPanic`] if a worker thread panicked.
 pub fn run_batched_with<K: LaneKernel>(
     device: &Device,
     params: &K::Params,
     workload: &[dphls_core::SeqPair<K>],
     batch: BatchConfig,
-) -> Result<ScheduleReport<K::Score>, SystolicError>
+) -> Result<ScheduleReport<K::Score>, BatchError>
+where
+    K::Score: Send,
+    K::Params: Sync,
+{
+    let report = run_batched_resilient::<K>(
+        device,
+        params,
+        workload,
+        batch,
+        &ResilienceConfig::disabled(),
+        None,
+    )?;
+    // Under the (disabled-resilience) Abort policy nothing is quarantined:
+    // any failure returned as the error above, so every slot is filled.
+    Ok(ScheduleReport {
+        outputs: report
+            .outputs
+            .into_iter()
+            .map(|o| o.expect("abort policy leaves no quarantine holes"))
+            .collect(),
+        per_channel: report.per_channel,
+        per_slot: report.per_slot,
+        nb_slots: report.nb_slots,
+        steals: report.steals,
+        throughput_aps: report.throughput_aps,
+    })
+}
+
+/// [`run_batched_with`] plus a resilience policy and an optional fault
+/// plan: per-pair failures (kernel errors, worker panics caught at the slot
+/// loop, cost-scaled deadline timeouts) are retried with exponential
+/// backoff onto a different channel's queue up to
+/// [`ResilienceConfig::max_retries`] times, then quarantined into
+/// [`BatchReport::faults`] (under [`FailurePolicy::Quarantine`]) or
+/// returned as the run error (under [`FailurePolicy::Abort`]).
+///
+/// The degradation contract (enforced by `tests/chaos.rs`): surviving
+/// outputs are bit-identical to a fault-free run and sit at their input
+/// index; every `None` output slot has exactly one entry in
+/// [`BatchReport::faults`].
+///
+/// `plan` injects deterministic faults for chaos testing ([`FaultPlan`]);
+/// production callers pass `None`, which skips every injection check.
+/// When both the config [`is_disabled`](ResilienceConfig::is_disabled) and
+/// `plan` is `None`, the slot loop runs the original uninstrumented hot
+/// path — no clock reads, no `catch_unwind` frame.
+///
+/// # Errors
+///
+/// Under `Abort`, the first [`PairFault`] as [`BatchError::Fault`];
+/// [`BatchError::WorkerPanic`] if a panic escapes the slot loop (possible
+/// only on the uninstrumented path).
+pub fn run_batched_resilient<K: LaneKernel>(
+    device: &Device,
+    params: &K::Params,
+    workload: &[dphls_core::SeqPair<K>],
+    batch: BatchConfig,
+    res: &ResilienceConfig,
+    plan: Option<&FaultPlan>,
+) -> Result<BatchReport<K::Score>, BatchError>
 where
     K::Score: Send,
     K::Params: Sync,
@@ -177,16 +320,31 @@ where
     let nk = config.nk.max(1);
     let slots = batch.resolve_slots(config);
     let n = workload.len();
+    // Instrumented = any resilience mechanism or injection active; the
+    // alternative is the original zero-overhead slot loop.
+    let instrumented = !res.is_disabled() || plan.is_some_and(|p| !p.is_empty());
 
     // Rank by descending cost estimate, then deal round-robin so every
     // channel starts with a balanced mix of expensive and cheap work.
+    // Queue entries carry the pair's attempt count so retries re-enter the
+    // same dispatch discipline.
     let mut ranked: Vec<usize> = (0..n).collect();
     ranked.sort_by_key(|&i| {
         let (q, r) = &workload[i];
         std::cmp::Reverse(cost_estimate(q.len(), r.len(), config.banding))
     });
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..nk)
-        .map(|ch| Mutex::new(ranked.iter().copied().skip(ch).step_by(nk).collect()))
+    let queues: Vec<Mutex<VecDeque<(usize, u32)>>> = (0..nk)
+        .map(|ch| {
+            Mutex::new(
+                ranked
+                    .iter()
+                    .copied()
+                    .skip(ch)
+                    .step_by(nk)
+                    .map(|idx| (idx, 0))
+                    .collect(),
+            )
+        })
         .collect();
 
     struct WorkerResult<S> {
@@ -199,7 +357,10 @@ where
     }
 
     let abort = AtomicBool::new(false);
-    let error: Mutex<Option<SystolicError>> = Mutex::new(None);
+    let error: Mutex<Option<BatchError>> = Mutex::new(None);
+    let faults: Mutex<Vec<PairFault>> = Mutex::new(Vec::new());
+    let retries = AtomicUsize::new(0);
+    let timeouts = AtomicUsize::new(0);
     // One result cell per block slot, indexed `ch * slots + slot`.
     let results: Vec<Mutex<WorkerResult<K::Score>>> = (0..nk * slots)
         .map(|_| {
@@ -215,6 +376,7 @@ where
         for worker in 0..nk * slots {
             let ch = worker / slots;
             let (queues, abort, error, results) = (&queues, &abort, &error, &results);
+            let (faults, retries, timeouts) = (&faults, &retries, &timeouts);
             scope.spawn(move |_| {
                 // Every block slot owns its scratch arena: the per-alignment
                 // hot path stays allocation-free at any slot count.
@@ -242,36 +404,136 @@ where
                             }
                         }
                     }
-                    let Some(idx) = job else { break };
+                    let Some((idx, attempts)) = job else { break };
                     let (q, r) = &workload[idx];
-                    match dphls_systolic::run_systolic_with_scratch::<K>(
-                        params,
-                        q,
-                        r,
-                        config,
-                        &mut scratch,
-                    ) {
+
+                    if !instrumented {
+                        // Original hot path: no clock, no catch_unwind.
+                        match dphls_systolic::run_systolic_with_scratch::<K>(
+                            params,
+                            q,
+                            r,
+                            config,
+                            &mut scratch,
+                        ) {
+                            Ok(run) => {
+                                let b = alignment_cycles(
+                                    &run.stats,
+                                    device.kernel_cycle_info(),
+                                    device.cycle_params(),
+                                );
+                                // Fold the completion through the channel
+                                // arbiter at full NB occupancy — the steady
+                                // state the throughput model assumes — so
+                                // the modeled figure is independent of how
+                                // many host slots happened to be
+                                // dispatching.
+                                local.cycle_sum += arbitrated_cycles(&b, config.nb);
+                                local.outputs.push((idx, run.output));
+                            }
+                            Err(e) => {
+                                let fault = PairFault {
+                                    idx,
+                                    cause: FaultCause::Kernel(e),
+                                    attempts: 1,
+                                };
+                                let mut guard = error.lock();
+                                if guard.is_none() {
+                                    *guard = Some(BatchError::Fault(fault));
+                                }
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        continue;
+                    }
+
+                    // Instrumented path: deadline clock, fault injection,
+                    // panic isolation, retry/quarantine bookkeeping.
+                    let deadline =
+                        res.deadline_for(cost_estimate(q.len(), r.len(), config.banding));
+                    let started = Instant::now();
+                    let injected = plan.and_then(|p| p.worker_fault(idx, attempts));
+                    if let Some(FaultKind::Stall { millis }) = injected {
+                        abort_aware_sleep(Duration::from_millis(millis), abort);
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    let outcome = if injected == Some(FaultKind::KernelError) {
+                        Err(FaultCause::Kernel(injected_kernel_error()))
+                    } else {
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            if injected == Some(FaultKind::Panic) {
+                                panic!("{}", injected_panic_message(idx));
+                            }
+                            dphls_systolic::run_systolic_with_scratch::<K>(
+                                params,
+                                q,
+                                r,
+                                config,
+                                &mut scratch,
+                            )
+                        }));
+                        match caught {
+                            Ok(Ok(run)) => Ok(run),
+                            Ok(Err(e)) => Err(FaultCause::Kernel(e)),
+                            Err(payload) => {
+                                // The panic may have unwound mid-update and
+                                // left the arena inconsistent: rebuild it.
+                                scratch = SystolicScratch::new();
+                                Err(FaultCause::Panic(panic_message(payload)))
+                            }
+                        }
+                    };
+                    // Cooperative deadline: an over-deadline result is
+                    // discarded (the retry recomputes it bit-identically),
+                    // so a stalled slot costs latency, never correctness.
+                    let outcome = match (outcome, deadline) {
+                        (Ok(run), Some(d)) if started.elapsed() > d => {
+                            timeouts.fetch_add(1, Ordering::Relaxed);
+                            let _ = run;
+                            Err(FaultCause::Timeout { deadline: d })
+                        }
+                        (o, _) => o,
+                    };
+                    match outcome {
                         Ok(run) => {
                             let b = alignment_cycles(
                                 &run.stats,
                                 device.kernel_cycle_info(),
                                 device.cycle_params(),
                             );
-                            // Fold the completion through the channel
-                            // arbiter at full NB occupancy — the steady
-                            // state the throughput model assumes — so the
-                            // modeled figure is independent of how many
-                            // host slots happened to be dispatching.
                             local.cycle_sum += arbitrated_cycles(&b, config.nb);
                             local.outputs.push((idx, run.output));
                         }
-                        Err(e) => {
-                            let mut guard = error.lock();
-                            if guard.is_none() {
-                                *guard = Some(e);
+                        Err(cause) => {
+                            if attempts < res.max_retries {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                abort_aware_sleep(res.backoff_for(attempts + 1), abort);
+                                // Re-deal to the *next* channel's queue: a
+                                // different slot picks it up when one
+                                // exists, and this worker still finds it by
+                                // stealing if it is the last one running.
+                                queues[(ch + 1) % nk].lock().push_back((idx, attempts + 1));
+                            } else {
+                                let fault = PairFault {
+                                    idx,
+                                    cause,
+                                    attempts: attempts + 1,
+                                };
+                                match res.failure_policy {
+                                    FailurePolicy::Quarantine => faults.lock().push(fault),
+                                    FailurePolicy::Abort => {
+                                        let mut guard = error.lock();
+                                        if guard.is_none() {
+                                            *guard = Some(BatchError::Fault(fault));
+                                        }
+                                        abort.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                }
                             }
-                            abort.store(true, Ordering::Relaxed);
-                            break;
                         }
                     }
                 }
@@ -279,11 +541,13 @@ where
             });
         }
     })
-    .expect("scheduler channel thread panicked");
+    .map_err(|payload| BatchError::WorkerPanic(panic_message(payload)))?;
 
     if let Some(e) = error.into_inner() {
         return Err(e);
     }
+    let mut faults = faults.into_inner();
+    faults.sort_by_key(|f| f.idx);
 
     let mut per_channel = vec![0usize; nk];
     let mut per_slot = vec![vec![0usize; slots]; nk];
@@ -300,24 +564,32 @@ where
             filled[idx] = Some(out);
         }
     }
-    let outputs: Vec<DpOutput<K::Score>> = filled
-        .into_iter()
-        .map(|o| o.expect("every output slot filled"))
-        .collect();
+    debug_assert!(
+        filled
+            .iter()
+            .enumerate()
+            .all(|(i, o)| o.is_some() != faults.iter().any(|f| f.idx == i)),
+        "every hole must have exactly one fault record"
+    );
 
-    // Same formula as `Device::run`, fed by the stats already collected.
-    let throughput = if n == 0 {
+    // Same formula as `Device::run`, fed by the stats already collected —
+    // over the pairs that completed.
+    let completed = n - faults.len();
+    let throughput = if completed == 0 {
         0.0
     } else {
-        let mean_cycles = cycle_sum as f64 / n as f64;
+        let mean_cycles = cycle_sum as f64 / completed as f64;
         throughput_aps(
             mean_cycles.round().max(1.0) as u64,
             device.freq_mhz(),
             config,
         )
     };
-    Ok(ScheduleReport {
-        outputs,
+    Ok(BatchReport {
+        outputs: filled,
+        faults,
+        retries: retries.into_inner(),
+        timeouts: timeouts.into_inner(),
         per_channel,
         per_slot,
         nb_slots: slots,

@@ -33,15 +33,22 @@
 //!
 //! [`run_batched`]: crate::run_batched
 
+use crate::faults::{injected_kernel_error, injected_panic_message, FaultKind, FaultPlan};
+use crate::resilience::{
+    abort_aware_sleep, panic_message, FailurePolicy, FaultCause, PairFault, ResilienceConfig,
+};
 use crate::scheduler::{cost_estimate, BatchConfig};
+use crossbeam::channel::SendTimeoutError;
 use dphls_core::{DpOutput, LaneKernel};
 use dphls_systolic::{
     alignment_cycles, arbitrated_cycles, throughput_aps, Device, SystolicError, SystolicScratch,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Buffer-depth knobs of the streaming pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +110,21 @@ pub struct StreamReport {
     /// Total resident pairs are bounded by `buffer + resident_high_water`
     /// plus the one pair in the producer's hand.
     pub resident_high_water: usize,
+    /// Quarantined pairs, sorted by input index — empty unless
+    /// [`run_streamed_resilient`] ran under [`FailurePolicy::Quarantine`].
+    /// Each entry matches exactly one `Err` slot the sink received.
+    pub faults: Vec<PairFault>,
+    /// Failed or timed-out attempts that were re-dealt.
+    pub retries: usize,
+    /// Attempts discarded for exceeding their cost-scaled deadline.
+    pub timeouts: usize,
+}
+
+impl StreamReport {
+    /// Pairs that completed successfully (emitted as `Ok` slots).
+    pub fn completed(&self) -> usize {
+        self.pairs - self.faults.len()
+    }
 }
 
 /// Error from a streamed run.
@@ -113,6 +135,19 @@ pub enum StreamError<E> {
     Source(E),
     /// An alignment failed on the device model.
     Systolic(SystolicError),
+    /// A pair failed with a non-kernel cause (worker panic or deadline
+    /// timeout) under [`FailurePolicy::Abort`].
+    Fault(PairFault),
+    /// The producer could not feed the bounded channel within
+    /// [`ResilienceConfig::send_deadline`] — the consumer side is wedged.
+    /// The pipeline shut down cleanly instead of deadlocking.
+    Stalled {
+        /// How long the producer waited before giving up.
+        waited: Duration,
+    },
+    /// A pipeline thread panicked outside per-pair isolation (only
+    /// possible with resilience disabled); carries the join payload.
+    WorkerPanic(String),
 }
 
 impl<E: fmt::Display> fmt::Display for StreamError<E> {
@@ -120,6 +155,14 @@ impl<E: fmt::Display> fmt::Display for StreamError<E> {
         match self {
             StreamError::Source(e) => write!(f, "streaming source failed: {e}"),
             StreamError::Systolic(e) => write!(f, "alignment failed: {e}"),
+            StreamError::Fault(fault) => write!(f, "stream aborted: {fault}"),
+            StreamError::Stalled { waited } => {
+                write!(
+                    f,
+                    "stream producer stalled for {waited:?} (consumer wedged)"
+                )
+            }
+            StreamError::WorkerPanic(msg) => write!(f, "stream worker panicked: {msg}"),
         }
     }
 }
@@ -237,13 +280,15 @@ impl<S, F: FnMut(usize, S)> OrderedWriter<S, F> {
     }
 }
 
-/// A job dealt into a channel deque: the pair, its input index, and its
-/// cost-estimate rank.
+/// A job dealt into a channel deque: the pair, its input index, its
+/// cost-estimate rank, and how many times it has already been attempted
+/// (retries re-enter the deques with `attempts` bumped).
 struct Job<Sym> {
     idx: usize,
     q: Vec<Sym>,
     r: Vec<Sym>,
     cost: u64,
+    attempts: u32,
 }
 
 /// Deque state shared by the dealer and the workers: the per-channel job
@@ -284,8 +329,9 @@ struct WorkerStats {
 /// # Errors
 ///
 /// [`StreamError::Source`] if the source iterator yields an error (outputs
-/// emitted before that point have already reached the sink), or
-/// [`StreamError::Systolic`] for the first device-model failure.
+/// emitted before that point have already reached the sink),
+/// [`StreamError::Systolic`] for the first device-model failure, or
+/// [`StreamError::WorkerPanic`] if a pipeline thread panicked.
 ///
 /// # Panics
 ///
@@ -295,6 +341,70 @@ pub fn run_streamed<K, I, E, F>(
     params: &K::Params,
     source: I,
     config: StreamConfig,
+    mut sink: F,
+) -> Result<StreamReport, StreamError<E>>
+where
+    K: LaneKernel,
+    K::Score: Send,
+    K::Params: Sync,
+    K::Sym: Send,
+    I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
+    E: Send + fmt::Display,
+    F: FnMut(usize, DpOutput<K::Score>) + Send,
+{
+    run_streamed_resilient::<K, I, E, _>(
+        device,
+        params,
+        source,
+        config,
+        &ResilienceConfig::disabled(),
+        None,
+        move |idx, slot| match slot {
+            Ok(out) => sink(idx, out),
+            // The Abort policy returns the first failure as the run error
+            // before anything is quarantined.
+            Err(fault) => unreachable!("abort policy never emits quarantined slots: {fault}"),
+        },
+    )
+}
+
+/// [`run_streamed`] plus a resilience policy and an optional fault plan:
+/// the sink receives `Result`-shaped slots — `Ok(output)` for completed
+/// pairs and `Err(`[`PairFault`]`)` for quarantined ones — still in strict
+/// input order, so order restoration survives holes. Per-pair failures
+/// (kernel errors, worker panics caught at the slot loop, cost-scaled
+/// deadline timeouts, and — under [`FailurePolicy::Quarantine`] — source
+/// errors for individual records) are retried with exponential backoff up
+/// to [`ResilienceConfig::max_retries`] times before quarantine; with
+/// [`ResilienceConfig::send_deadline`] set, a producer unable to feed the
+/// bounded channel degrades to [`StreamError::Stalled`] instead of
+/// deadlocking behind a wedged consumer.
+///
+/// The degradation contract (enforced by `tests/chaos.rs`): surviving
+/// outputs are bit-identical to a fault-free run and arrive at strictly
+/// increasing indices; every `Err` slot matches exactly one entry of
+/// [`StreamReport::faults`].
+///
+/// # Errors
+///
+/// [`StreamError::Source`] for a source error under
+/// [`FailurePolicy::Abort`] (under `Quarantine` the record is faulted and
+/// the stream continues); [`StreamError::Systolic`] /
+/// [`StreamError::Fault`] for the first pair failure under `Abort`;
+/// [`StreamError::Stalled`] when the producer's send deadline expires;
+/// [`StreamError::WorkerPanic`] if a panic escapes per-pair isolation.
+///
+/// # Panics
+///
+/// Panics if `config.buffer` or `config.window` is zero.
+#[allow(clippy::too_many_lines)]
+pub fn run_streamed_resilient<K, I, E, F>(
+    device: &Device,
+    params: &K::Params,
+    source: I,
+    config: StreamConfig,
+    res: &ResilienceConfig,
+    plan: Option<&FaultPlan>,
     sink: F,
 ) -> Result<StreamReport, StreamError<E>>
 where
@@ -303,14 +413,18 @@ where
     K::Params: Sync,
     K::Sym: Send,
     I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
-    E: Send,
-    F: FnMut(usize, DpOutput<K::Score>) + Send,
+    E: Send + fmt::Display,
+    F: FnMut(usize, Result<DpOutput<K::Score>, PairFault>) + Send,
 {
     assert!(config.buffer > 0, "stream buffer depth must be >= 1");
     assert!(config.window > 0, "stream window must be >= 1");
     let kernel_config = device.config();
     let nk = kernel_config.nk.max(1);
     let slots = BatchConfig::slots(config.nb_slots).resolve_slots(kernel_config);
+    // Instrumented = any resilience mechanism or injection active; the
+    // alternative is the original zero-overhead slot loop.
+    let instrumented = !res.is_disabled() || plan.is_some_and(|p| !p.is_empty());
+    let quarantine = res.failure_policy == FailurePolicy::Quarantine;
 
     let sched: Mutex<Sched<K::Sym>> = Mutex::new(Sched {
         queues: (0..nk).map(|_| VecDeque::new()).collect(),
@@ -318,7 +432,8 @@ where
     });
     // Wakes workers blocked on empty deques.
     let work_cv = Condvar::new();
-    let emit: Mutex<Emit<DpOutput<K::Score>, F>> = Mutex::new(Emit {
+    type SlotOutcome<S> = Result<DpOutput<S>, PairFault>;
+    let emit: Mutex<Emit<SlotOutcome<K::Score>, F>> = Mutex::new(Emit {
         writer: OrderedWriter::new(config.window, sink),
         admitted: 0,
         resident_high_water: 0,
@@ -327,7 +442,11 @@ where
     let space_cv = Condvar::new();
     let abort = AtomicBool::new(false);
     let source_error: Mutex<Option<E>> = Mutex::new(None);
-    let systolic_error: Mutex<Option<SystolicError>> = Mutex::new(None);
+    let pair_error: Mutex<Option<PairFault>> = Mutex::new(None);
+    let stalled: Mutex<Option<Duration>> = Mutex::new(None);
+    let faults: Mutex<Vec<PairFault>> = Mutex::new(Vec::new());
+    let retries = AtomicUsize::new(0);
+    let timeouts = AtomicUsize::new(0);
     // One tally per block slot, indexed `ch * slots + slot`.
     let stats: Vec<Mutex<WorkerStats>> = (0..nk * slots)
         .map(|_| Mutex::new(WorkerStats::default()))
@@ -338,16 +457,52 @@ where
 
     crossbeam::scope(|scope| {
         // Stage 1: producer — drains the source into the bounded channel.
-        // A send error means the dealer hung up (abort path); a source error
-        // is forwarded once and ends production.
-        scope.spawn(move |_| {
-            for item in source {
-                let stop = item.is_err();
-                if tx.send(item).is_err() || stop {
-                    break;
+        // A send error means the dealer hung up (abort path); under the
+        // Abort policy a source error ends production, under Quarantine the
+        // dealer faults the record and production continues. With a send
+        // deadline configured, a consumer that stops draining degrades the
+        // run to `Stalled` instead of blocking this thread forever.
+        {
+            let (sched, work_cv, emit, space_cv) = (&sched, &work_cv, &emit, &space_cv);
+            let (abort, stalled) = (&abort, &stalled);
+            let send_deadline = res.send_deadline;
+            scope.spawn(move |_| {
+                for item in source {
+                    let stop = item.is_err() && !quarantine;
+                    match send_deadline {
+                        None => {
+                            if tx.send(item).is_err() || stop {
+                                break;
+                            }
+                        }
+                        Some(deadline) => {
+                            let started = Instant::now();
+                            match tx.send_timeout(item, deadline) {
+                                Ok(()) => {
+                                    if stop {
+                                        break;
+                                    }
+                                }
+                                Err(SendTimeoutError::Disconnected(_)) => break,
+                                Err(SendTimeoutError::Timeout(_)) => {
+                                    *stalled.lock().expect("stalled mutex") =
+                                        Some(started.elapsed());
+                                    abort.store(true, Ordering::Relaxed);
+                                    // Bridged notifies (see the worker abort
+                                    // path): wake the dealer and any parked
+                                    // workers so the pipeline unwinds.
+                                    drop(sched.lock().expect("sched mutex"));
+                                    work_cv.notify_all();
+                                    drop(emit.lock().expect("emit mutex"));
+                                    space_cv.notify_all();
+                                    break;
+                                }
+                            }
+                        }
+                    }
                 }
-            }
-        });
+            });
+        }
 
         // Stage 2b: block-slot workers (`nb_slots` threads per NK channel;
         // the slots of one channel share its deque, so dispatch within a
@@ -355,12 +510,13 @@ where
         for worker in 0..nk * slots {
             let ch = worker / slots;
             let (sched, work_cv, emit, space_cv) = (&sched, &work_cv, &emit, &space_cv);
-            let (abort, systolic_error, stats) = (&abort, &systolic_error, &stats);
+            let (abort, pair_error, stats) = (&abort, &pair_error, &stats);
+            let (faults, retries, timeouts) = (&faults, &retries, &timeouts);
             scope.spawn(move |_| {
                 // Every block slot owns its scratch arena.
                 let mut scratch = SystolicScratch::new();
                 let mut local = WorkerStats::default();
-                loop {
+                'work: loop {
                     // Own deque's expensive end first; then steal the
                     // cheapest job from a neighbor; then block if the
                     // producer may still deal more; exit otherwise.
@@ -386,13 +542,66 @@ where
                         }
                     };
                     let Some(job) = job else { break };
-                    match dphls_systolic::run_systolic_with_scratch::<K>(
-                        params,
-                        &job.q,
-                        &job.r,
-                        kernel_config,
-                        &mut scratch,
-                    ) {
+
+                    let outcome = if !instrumented {
+                        // Original hot path: no clock, no catch_unwind.
+                        dphls_systolic::run_systolic_with_scratch::<K>(
+                            params,
+                            &job.q,
+                            &job.r,
+                            kernel_config,
+                            &mut scratch,
+                        )
+                        .map_err(FaultCause::Kernel)
+                    } else {
+                        let deadline = res.deadline_for(job.cost);
+                        let started = Instant::now();
+                        let injected = plan.and_then(|p| p.worker_fault(job.idx, job.attempts));
+                        if let Some(FaultKind::Stall { millis }) = injected {
+                            abort_aware_sleep(Duration::from_millis(millis), abort);
+                            if abort.load(Ordering::Relaxed) {
+                                break 'work;
+                            }
+                        }
+                        let outcome = if injected == Some(FaultKind::KernelError) {
+                            Err(FaultCause::Kernel(injected_kernel_error()))
+                        } else {
+                            let caught = catch_unwind(AssertUnwindSafe(|| {
+                                if injected == Some(FaultKind::Panic) {
+                                    panic!("{}", injected_panic_message(job.idx));
+                                }
+                                dphls_systolic::run_systolic_with_scratch::<K>(
+                                    params,
+                                    &job.q,
+                                    &job.r,
+                                    kernel_config,
+                                    &mut scratch,
+                                )
+                            }));
+                            match caught {
+                                Ok(Ok(run)) => Ok(run),
+                                Ok(Err(e)) => Err(FaultCause::Kernel(e)),
+                                Err(payload) => {
+                                    // The panic may have unwound mid-update
+                                    // and left the arena inconsistent.
+                                    scratch = SystolicScratch::new();
+                                    Err(FaultCause::Panic(panic_message(payload)))
+                                }
+                            }
+                        };
+                        // Cooperative deadline: an over-deadline result is
+                        // discarded (the retry recomputes it identically).
+                        match (outcome, deadline) {
+                            (Ok(run), Some(d)) if started.elapsed() > d => {
+                                timeouts.fetch_add(1, Ordering::Relaxed);
+                                let _ = run;
+                                Err(FaultCause::Timeout { deadline: d })
+                            }
+                            (o, _) => o,
+                        }
+                    };
+
+                    match outcome {
                         Ok(run) => {
                             let b = alignment_cycles(
                                 &run.stats,
@@ -407,30 +616,73 @@ where
                             let mut e = emit.lock().expect("emit mutex");
                             let before = e.writer.next_emit();
                             e.writer
-                                .push(job.idx, run.output)
+                                .push(job.idx, Ok(run.output))
                                 .expect("admission gate keeps outputs inside the window");
                             if e.writer.next_emit() != before {
                                 // Emission progress frees admission slots.
                                 space_cv.notify_all();
                             }
                         }
-                        Err(err) => {
-                            let mut guard = systolic_error.lock().expect("error mutex");
-                            if guard.is_none() {
-                                *guard = Some(err);
-                            }
+                        Err(cause) if job.attempts < res.max_retries => {
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            let _ = cause;
+                            abort_aware_sleep(res.backoff_for(job.attempts + 1), abort);
+                            // Re-deal to the *next* channel's deque (sorted
+                            // by cost like the dealer's inserts): a
+                            // different slot picks it up when one exists,
+                            // and this worker still finds it by stealing if
+                            // it is the last one running.
+                            let mut guard = sched.lock().expect("sched mutex");
+                            let queue = &mut guard.queues[(ch + 1) % nk];
+                            let at = queue.partition_point(|j| j.cost >= job.cost);
+                            queue.insert(
+                                at,
+                                Job {
+                                    attempts: job.attempts + 1,
+                                    ..job
+                                },
+                            );
                             drop(guard);
-                            abort.store(true, Ordering::Relaxed);
-                            // Each notify bridges through its condvar's
-                            // mutex: a peer holds that mutex between
-                            // checking `abort` and parking, so acquiring it
-                            // first guarantees the notify lands after the
-                            // peer is actually waiting (no lost wakeup).
-                            drop(sched.lock().expect("sched mutex"));
                             work_cv.notify_all();
-                            drop(emit.lock().expect("emit mutex"));
-                            space_cv.notify_all();
-                            break;
+                        }
+                        Err(cause) => {
+                            let fault = PairFault {
+                                idx: job.idx,
+                                cause,
+                                attempts: job.attempts + 1,
+                            };
+                            if quarantine {
+                                faults.lock().expect("faults mutex").push(fault.clone());
+                                // The hole is emitted through the writer so
+                                // order restoration (and the admission
+                                // window) survive it.
+                                let mut e = emit.lock().expect("emit mutex");
+                                let before = e.writer.next_emit();
+                                e.writer
+                                    .push(fault.idx, Err(fault))
+                                    .expect("admission gate keeps outputs inside the window");
+                                if e.writer.next_emit() != before {
+                                    space_cv.notify_all();
+                                }
+                            } else {
+                                let mut guard = pair_error.lock().expect("error mutex");
+                                if guard.is_none() {
+                                    *guard = Some(fault);
+                                }
+                                drop(guard);
+                                abort.store(true, Ordering::Relaxed);
+                                // Each notify bridges through its condvar's
+                                // mutex: a peer holds that mutex between
+                                // checking `abort` and parking, so acquiring
+                                // it first guarantees the notify lands after
+                                // the peer is actually waiting (no lost
+                                // wakeup).
+                                drop(sched.lock().expect("sched mutex"));
+                                work_cv.notify_all();
+                                drop(emit.lock().expect("emit mutex"));
+                                space_cv.notify_all();
+                                break;
+                            }
                         }
                     }
                 }
@@ -443,6 +695,39 @@ where
         'deal: for (next_idx, item) in rx.iter().enumerate() {
             let (q, r) = match item {
                 Ok(pair) => pair,
+                Err(e) if quarantine => {
+                    // Lenient-stream degradation: the record becomes a
+                    // quarantined slot. It still passes the admission gate
+                    // (it occupies a writer slot) and is emitted through
+                    // the writer immediately — there is nothing to compute.
+                    let fault = PairFault {
+                        idx: next_idx,
+                        cause: FaultCause::Source(e.to_string()),
+                        attempts: 0,
+                    };
+                    faults.lock().expect("faults mutex").push(fault.clone());
+                    let mut em = emit.lock().expect("emit mutex");
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break 'deal;
+                        }
+                        if next_idx < em.writer.next_emit() + config.window {
+                            em.admitted += 1;
+                            let resident = em.admitted - em.writer.next_emit();
+                            em.resident_high_water = em.resident_high_water.max(resident);
+                            let before = em.writer.next_emit();
+                            em.writer
+                                .push(next_idx, Err(fault))
+                                .expect("admission gate keeps outputs inside the window");
+                            if em.writer.next_emit() != before {
+                                space_cv.notify_all();
+                            }
+                            break;
+                        }
+                        em = space_cv.wait(em).expect("emit mutex");
+                    }
+                    continue 'deal;
+                }
                 Err(e) => {
                     *source_error.lock().expect("error mutex") = Some(e);
                     abort.store(true, Ordering::Relaxed);
@@ -470,6 +755,7 @@ where
                 q,
                 r,
                 cost,
+                attempts: 0,
             };
             {
                 let mut guard = sched.lock().expect("sched mutex");
@@ -489,17 +775,30 @@ where
         sched.lock().expect("sched mutex").producer_live = false;
         work_cv.notify_all();
     })
-    .expect("streaming pipeline thread panicked");
+    .map_err(|payload| StreamError::WorkerPanic(panic_message(payload)))?;
 
     if let Some(e) = source_error.into_inner().expect("error mutex") {
         return Err(StreamError::Source(e));
     }
-    if let Some(e) = systolic_error.into_inner().expect("error mutex") {
-        return Err(StreamError::Systolic(e));
+    if let Some(waited) = stalled.into_inner().expect("stalled mutex") {
+        return Err(StreamError::Stalled { waited });
+    }
+    if let Some(fault) = pair_error.into_inner().expect("error mutex") {
+        return Err(match fault {
+            // Back-compat: a kernel failure under Abort surfaces exactly as
+            // it did before the resilience layer existed.
+            PairFault {
+                cause: FaultCause::Kernel(e),
+                ..
+            } => StreamError::Systolic(e),
+            other => StreamError::Fault(other),
+        });
     }
 
     let emit = emit.into_inner().expect("emit mutex");
     debug_assert!(emit.writer.is_drained(), "all admitted outputs emitted");
+    let mut faults = faults.into_inner().expect("faults mutex");
+    faults.sort_by_key(|f| f.idx);
     let mut per_channel = vec![0usize; nk];
     let mut per_slot = vec![vec![0usize; slots]; nk];
     let mut steals = 0usize;
@@ -512,10 +811,11 @@ where
         cycle_sum += s.cycle_sum;
     }
     let n = emit.writer.next_emit();
-    let throughput = if n == 0 {
+    let completed = n - faults.len();
+    let throughput = if completed == 0 {
         0.0
     } else {
-        let mean_cycles = cycle_sum as f64 / n as f64;
+        let mean_cycles = cycle_sum as f64 / completed as f64;
         throughput_aps(
             mean_cycles.round().max(1.0) as u64,
             device.freq_mhz(),
@@ -531,6 +831,9 @@ where
         throughput_aps: throughput,
         reorder_high_water: emit.writer.high_water(),
         resident_high_water: emit.resident_high_water,
+        faults,
+        retries: retries.into_inner(),
+        timeouts: timeouts.into_inner(),
     })
 }
 
@@ -555,7 +858,7 @@ where
     K::Params: Sync,
     K::Sym: Send,
     I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
-    E: Send,
+    E: Send + fmt::Display,
 {
     let outputs: Mutex<Vec<DpOutput<K::Score>>> = Mutex::new(Vec::new());
     let report = run_streamed::<K, I, E, _>(device, params, source, config, |idx, out| {

@@ -1,0 +1,476 @@
+//! Chaos suite: drives the host engines through deterministic
+//! [`FaultPlan`]s and checks the degradation contract from
+//! `docs/ARCHITECTURE.md`:
+//!
+//! * **Bit-identical survivors** — for any fault pattern, every pair that
+//!   is *not* quarantined produces exactly the output a fault-free run
+//!   produces, in input order.
+//! * **Exact reconciliation** — every injection is accounted for exactly
+//!   once across the report's `faults`, `retries`, and `timeouts`
+//!   counters; nothing is double-counted and nothing disappears.
+//! * **Bounded degradation** — a wedged consumer turns into
+//!   [`StreamError::Stalled`] within the producer's send deadline instead
+//!   of a deadlock.
+//!
+//! Every fault kind is exercised on both engines at `NK` 1 and 3, plus
+//! seeded random plans over a fixed seed matrix (the same seeds CI runs at
+//! release scale).
+
+use std::convert::Infallible;
+use std::sync::{Mutex, Once};
+use std::time::{Duration, Instant};
+
+use dphls_core::{DpOutput, KernelConfig};
+use dphls_host::{
+    injected_kernel_error, injected_panic_message, run_batched, run_batched_resilient,
+    run_streamed_resilient, BatchError, FailurePolicy, FaultCause, FaultKind, FaultPlan, PairFault,
+    ResilienceConfig, StreamConfig, StreamError,
+};
+use dphls_kernels::{GlobalLinear, LinearParams};
+use dphls_seq::Base;
+use dphls_systolic::{CycleModelParams, Device, KernelCycleInfo};
+
+/// Injected panics are part of the plan; keep their payloads out of test
+/// output while leaving every other panic loud.
+fn silence_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied());
+            if msg.is_some_and(|m| m.contains("injected panic")) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn device(nk: usize) -> Device {
+    Device::new(
+        KernelConfig::new(8, 2, nk).with_max_lengths(96, 96),
+        CycleModelParams::dphls(),
+        KernelCycleInfo {
+            sym_bits: 2,
+            has_walk: true,
+            ii: 1,
+        },
+        250.0,
+    )
+}
+
+fn workload(n: usize) -> Vec<(Vec<Base>, Vec<Base>)> {
+    let mut sim = dphls_seq::gen::ReadSimulator::new(77);
+    sim.read_pairs(n, 80, 0.25)
+        .into_iter()
+        .map(|(r, mut q)| {
+            q.truncate(80);
+            (q.into_vec(), r.into_vec())
+        })
+        .collect()
+}
+
+/// The fault-free outputs every surviving pair must match bit-for-bit.
+fn baseline(wl: &[(Vec<Base>, Vec<Base>)]) -> Vec<DpOutput<i16>> {
+    let params = LinearParams::<i16>::dna();
+    run_batched::<GlobalLinear>(&device(1), &params, wl)
+        .unwrap()
+        .outputs
+}
+
+/// Quarantine policy with a deadline generous enough that only injected
+/// stalls trip it (the workload's pairs complete in well under a
+/// millisecond).
+fn quarantine(max_retries: u32) -> ResilienceConfig {
+    ResilienceConfig {
+        pair_deadline: Some(Duration::from_millis(50)),
+        max_retries,
+        backoff: Duration::from_millis(1),
+        failure_policy: FailurePolicy::Quarantine,
+        send_deadline: Some(Duration::from_secs(10)),
+    }
+}
+
+const STALL: FaultKind = FaultKind::Stall { millis: 200 };
+
+/// An `(input index, slot)` pair as the streaming sink receives it.
+type EmittedSlot = (usize, Result<DpOutput<i16>, PairFault>);
+
+/// Runs the streamed engine with a collecting sink and returns
+/// `(report, emitted slots)`.
+fn stream_with_plan(
+    nk: usize,
+    wl: &[(Vec<Base>, Vec<Base>)],
+    res: &ResilienceConfig,
+    plan: &FaultPlan,
+) -> (dphls_host::StreamReport, Vec<EmittedSlot>) {
+    let params = LinearParams::<i16>::dna();
+    let source = plan.wrap_source(wl.iter().cloned().map(Ok::<_, String>), |i| {
+        format!("record {i} unreadable")
+    });
+    let emitted = Mutex::new(Vec::new());
+    let report = run_streamed_resilient::<GlobalLinear, _, _, _>(
+        &device(nk),
+        &params,
+        source,
+        StreamConfig {
+            buffer: 4,
+            window: 8,
+            nb_slots: 2,
+        },
+        res,
+        Some(plan),
+        |idx, slot| emitted.lock().unwrap().push((idx, slot)),
+    )
+    .unwrap();
+    (report, emitted.into_inner().unwrap())
+}
+
+#[test]
+fn batched_sticky_faults_quarantine_with_exact_accounting() {
+    silence_injected_panics();
+    let wl = workload(12);
+    let base = baseline(&wl);
+    let params = LinearParams::<i16>::dna();
+    let plan = FaultPlan::new()
+        .inject_sticky(0, STALL)
+        .inject_sticky(2, FaultKind::KernelError)
+        .inject_sticky(5, FaultKind::Panic);
+    for nk in [1, 3] {
+        let rep = run_batched_resilient::<GlobalLinear>(
+            &device(nk),
+            &params,
+            &wl,
+            dphls_host::BatchConfig::slots(2),
+            &quarantine(1),
+            Some(&plan),
+        )
+        .unwrap();
+
+        // Exactly the sticky indices are quarantined, sorted, after
+        // 1 + max_retries attempts each.
+        let idxs: Vec<_> = rep.faults.iter().map(|f| f.idx).collect();
+        assert_eq!(idxs, vec![0, 2, 5], "nk {nk}");
+        assert!(rep.faults.iter().all(|f| f.attempts == 2));
+        assert!(matches!(rep.faults[0].cause, FaultCause::Timeout { .. }));
+        assert_eq!(
+            rep.faults[1].cause,
+            FaultCause::Kernel(injected_kernel_error())
+        );
+        assert_eq!(
+            rep.faults[2].cause,
+            FaultCause::Panic(injected_panic_message(5))
+        );
+
+        // One retry per sticky fault; both stall attempts timed out.
+        assert_eq!(rep.retries, 3, "nk {nk}");
+        assert_eq!(rep.timeouts, 2, "nk {nk}");
+
+        // Survivors are bit-identical to the fault-free run, holes are
+        // exactly the quarantined indices.
+        assert_eq!(rep.outputs.len(), 12);
+        assert_eq!(rep.completed(), 9);
+        for (i, out) in rep.outputs.iter().enumerate() {
+            if [0, 2, 5].contains(&i) {
+                assert!(out.is_none(), "pair {i} should be quarantined");
+            } else {
+                assert_eq!(out.as_ref(), Some(&base[i]), "pair {i} nk {nk}");
+            }
+        }
+        // Execution counters cover the successes exactly.
+        assert_eq!(rep.per_channel.iter().sum::<usize>(), 9);
+    }
+}
+
+#[test]
+fn batched_transient_faults_retry_to_success() {
+    silence_injected_panics();
+    let wl = workload(10);
+    let base = baseline(&wl);
+    let params = LinearParams::<i16>::dna();
+    let plan = FaultPlan::new()
+        .inject(1, FaultKind::KernelError)
+        .inject(3, FaultKind::Panic)
+        .inject(4, STALL);
+    for nk in [1, 3] {
+        let rep = run_batched_resilient::<GlobalLinear>(
+            &device(nk),
+            &params,
+            &wl,
+            dphls_host::BatchConfig::slots(2),
+            &quarantine(2),
+            Some(&plan),
+        )
+        .unwrap();
+        assert!(rep.faults.is_empty(), "nk {nk}: {:?}", rep.faults);
+        assert_eq!(rep.retries, 3, "one retry clears each transient fault");
+        assert_eq!(rep.timeouts, 1, "only the stalled first attempt timed out");
+        let outs: Vec<_> = rep.outputs.into_iter().map(Option::unwrap).collect();
+        assert_eq!(outs, base, "retried pairs recompute bit-identically");
+    }
+}
+
+#[test]
+fn batched_abort_policy_surfaces_the_fault() {
+    silence_injected_panics();
+    let wl = workload(6);
+    let params = LinearParams::<i16>::dna();
+    let plan = FaultPlan::new().inject_sticky(3, FaultKind::Panic);
+    let err = run_batched_resilient::<GlobalLinear>(
+        &device(2),
+        &params,
+        &wl,
+        dphls_host::BatchConfig::single_slot(),
+        &ResilienceConfig::disabled(),
+        Some(&plan),
+    )
+    .unwrap_err();
+    match err {
+        BatchError::Fault(fault) => {
+            assert_eq!(fault.idx, 3);
+            assert_eq!(fault.cause, FaultCause::Panic(injected_panic_message(3)));
+            assert_eq!(fault.attempts, 1);
+        }
+        other => panic!("expected a pair fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn streamed_sticky_and_source_faults_quarantine_in_order() {
+    silence_injected_panics();
+    let wl = workload(12);
+    let base = baseline(&wl);
+    let plan = FaultPlan::new()
+        .inject_sticky(1, FaultKind::KernelError)
+        .inject_sticky(4, FaultKind::Panic)
+        .inject(6, FaultKind::SourceError);
+    let res = ResilienceConfig {
+        pair_deadline: None,
+        ..quarantine(1)
+    };
+    for nk in [1, 3] {
+        let (report, emitted) = stream_with_plan(nk, &wl, &res, &plan);
+
+        // Every slot is emitted exactly once, in input order.
+        let order: Vec<_> = emitted.iter().map(|(idx, _)| *idx).collect();
+        assert_eq!(order, (0..12).collect::<Vec<_>>(), "nk {nk}");
+        assert_eq!(report.pairs, 12);
+        assert_eq!(report.completed(), 9);
+
+        for (idx, slot) in &emitted {
+            match (*idx, slot) {
+                (1, Err(f)) => {
+                    assert_eq!(f.cause, FaultCause::Kernel(injected_kernel_error()));
+                    assert_eq!(f.attempts, 2);
+                }
+                (4, Err(f)) => {
+                    assert_eq!(f.cause, FaultCause::Panic(injected_panic_message(4)));
+                    assert_eq!(f.attempts, 2);
+                }
+                (6, Err(f)) => {
+                    assert!(
+                        matches!(&f.cause, FaultCause::Source(m) if m.contains("unreadable")),
+                        "got {f:?}"
+                    );
+                    assert_eq!(f.attempts, 0, "source errors are never attempted");
+                }
+                (i, Ok(out)) => assert_eq!(out, &base[i], "pair {i} nk {nk}"),
+                (i, Err(f)) => panic!("unplanned fault at pair {i}: {f}"),
+            }
+        }
+
+        // Report-side accounting mirrors the sink exactly.
+        let idxs: Vec<_> = report.faults.iter().map(|f| f.idx).collect();
+        assert_eq!(idxs, vec![1, 4, 6]);
+        assert_eq!(report.retries, 2, "one retry per sticky worker fault");
+        assert_eq!(report.timeouts, 0);
+    }
+}
+
+#[test]
+fn streamed_transient_faults_recover_bit_identically() {
+    silence_injected_panics();
+    let wl = workload(10);
+    let base = baseline(&wl);
+    let plan = FaultPlan::new()
+        .inject(0, FaultKind::Panic)
+        .inject(7, FaultKind::KernelError);
+    let res = ResilienceConfig {
+        pair_deadline: None,
+        ..quarantine(2)
+    };
+    for nk in [1, 3] {
+        let (report, emitted) = stream_with_plan(nk, &wl, &res, &plan);
+        assert!(report.faults.is_empty(), "nk {nk}: {:?}", report.faults);
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.pairs, 10);
+        let outs: Vec<_> = emitted
+            .into_iter()
+            .map(|(idx, slot)| {
+                assert!(slot.is_ok(), "pair {idx} should have recovered");
+                slot.unwrap()
+            })
+            .collect();
+        assert_eq!(outs, base);
+    }
+}
+
+#[test]
+fn streamed_abort_policy_maps_faults_onto_stream_errors() {
+    silence_injected_panics();
+    let wl = workload(6);
+    let params = LinearParams::<i16>::dna();
+
+    // A panic under Abort is a PairFault-shaped stream error...
+    let plan = FaultPlan::new().inject_sticky(2, FaultKind::Panic);
+    let err = run_streamed_resilient::<GlobalLinear, _, Infallible, _>(
+        &device(2),
+        &params,
+        wl.iter().cloned().map(Ok),
+        StreamConfig::default(),
+        &ResilienceConfig::disabled(),
+        Some(&plan),
+        |_, _| {},
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&err, StreamError::Fault(f) if f.idx == 2
+            && matches!(f.cause, FaultCause::Panic(_))),
+        "got {err:?}"
+    );
+
+    // ...while a kernel error keeps the pre-resilience Systolic shape.
+    let plan = FaultPlan::new().inject_sticky(1, FaultKind::KernelError);
+    let err = run_streamed_resilient::<GlobalLinear, _, Infallible, _>(
+        &device(2),
+        &params,
+        wl.iter().cloned().map(Ok),
+        StreamConfig::default(),
+        &ResilienceConfig::disabled(),
+        Some(&plan),
+        |_, _| {},
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, StreamError::Systolic(e) if e == injected_kernel_error()),
+        "kernel faults stay backward-compatible under Abort"
+    );
+}
+
+#[test]
+fn wedged_consumer_degrades_to_stalled_within_the_send_deadline() {
+    let wl = workload(6);
+    let params = LinearParams::<i16>::dna();
+    // Pair 0 wedges its worker for 60 s; with one slot, one buffered item,
+    // and a window of one, the producer cannot make progress and must give
+    // up after its 200 ms send deadline instead of deadlocking.
+    let plan = FaultPlan::new().inject_sticky(0, FaultKind::Stall { millis: 60_000 });
+    let res = ResilienceConfig {
+        pair_deadline: None,
+        max_retries: 0,
+        backoff: Duration::ZERO,
+        failure_policy: FailurePolicy::Quarantine,
+        send_deadline: Some(Duration::from_millis(200)),
+    };
+    let started = Instant::now();
+    let err = run_streamed_resilient::<GlobalLinear, _, Infallible, _>(
+        &device(1),
+        &params,
+        wl.iter().cloned().map(Ok),
+        StreamConfig {
+            buffer: 1,
+            window: 1,
+            nb_slots: 1,
+        },
+        &res,
+        Some(&plan),
+        |_, _| {},
+    )
+    .unwrap_err();
+    let elapsed = started.elapsed();
+    match err {
+        StreamError::Stalled { waited } => {
+            assert!(
+                waited >= Duration::from_millis(200),
+                "gave up early: {waited:?}"
+            );
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+    // The abort must also wake the stalled worker: the whole run returns
+    // promptly, nowhere near the 60 s stall.
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "run took {elapsed:?}; the stalled slot outlived the abort"
+    );
+}
+
+#[test]
+fn random_seeded_plans_reconcile_exactly_on_both_engines() {
+    silence_injected_panics();
+    let wl = workload(24);
+    let base = baseline(&wl);
+    let params = LinearParams::<i16>::dna();
+    // The same fixed seed matrix CI runs at release scale.
+    for seed in [11u64, 22, 33] {
+        let plan = FaultPlan::random(seed, wl.len(), 6, 200);
+        let res = quarantine(1);
+
+        // Expectations derived from the plan alone: a sticky injection
+        // quarantines its pair after 2 attempts, a transient one costs a
+        // single retry; every stall attempt that runs also times out.
+        let sticky: Vec<usize> = plan
+            .injections()
+            .iter()
+            .filter(|i| i.sticky)
+            .map(|i| i.idx)
+            .collect();
+        let expected_retries = plan.injections().len();
+        let expected_timeouts: usize = plan
+            .injections()
+            .iter()
+            .filter(|i| matches!(i.kind, FaultKind::Stall { .. }))
+            .map(|i| if i.sticky { 2 } else { 1 })
+            .sum();
+
+        let rep = run_batched_resilient::<GlobalLinear>(
+            &device(3),
+            &params,
+            &wl,
+            dphls_host::BatchConfig::slots(2),
+            &res,
+            Some(&plan),
+        )
+        .unwrap();
+        let fault_idxs: Vec<_> = rep.faults.iter().map(|f| f.idx).collect();
+        assert_eq!(fault_idxs, sticky, "seed {seed}");
+        assert_eq!(rep.retries, expected_retries, "seed {seed}");
+        assert_eq!(rep.timeouts, expected_timeouts, "seed {seed}");
+        for (i, out) in rep.outputs.iter().enumerate() {
+            if sticky.contains(&i) {
+                assert!(out.is_none(), "seed {seed} pair {i}");
+            } else {
+                assert_eq!(out.as_ref(), Some(&base[i]), "seed {seed} pair {i}");
+            }
+        }
+
+        // The streamed engine reconciles the identical plan identically.
+        let (report, emitted) = stream_with_plan(3, &wl, &res, &plan);
+        let order: Vec<_> = emitted.iter().map(|(idx, _)| *idx).collect();
+        assert_eq!(order, (0..wl.len()).collect::<Vec<_>>(), "seed {seed}");
+        let stream_fault_idxs: Vec<_> = report.faults.iter().map(|f| f.idx).collect();
+        assert_eq!(stream_fault_idxs, sticky, "seed {seed}");
+        assert_eq!(report.retries, expected_retries, "seed {seed}");
+        assert_eq!(report.timeouts, expected_timeouts, "seed {seed}");
+        for (idx, slot) in &emitted {
+            match slot {
+                Ok(out) => assert_eq!(out, &base[*idx], "seed {seed} pair {idx}"),
+                Err(f) => assert!(sticky.contains(idx), "seed {seed} unplanned {f}"),
+            }
+        }
+    }
+}

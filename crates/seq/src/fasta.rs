@@ -197,7 +197,9 @@ pub fn parse(text: &str) -> Result<Vec<FastaRecord>, FastaError> {
 /// record that *precedes* the malformed one before yielding the error.
 /// The differential tests in `tests/fasta_stream.rs` pin both halves of
 /// that contract. After yielding an error the iterator is fused (returns
-/// `None` forever).
+/// `None` forever) — unless [`lenient`](FastaStream::lenient) mode is on,
+/// where malformed records are yielded as per-record errors (with their
+/// line numbers) and parsing continues with the next record.
 ///
 /// # Example
 ///
@@ -216,8 +218,10 @@ pub struct FastaStream<R> {
     lineno: usize,
     /// Record under construction plus its header line, if any.
     pending: Option<(FastaRecord, usize)>,
-    /// Set after EOF or the first error; the iterator then yields `None`.
+    /// Set after EOF or a fatal error; the iterator then yields `None`.
     done: bool,
+    /// Lenient mode: record-level errors don't fuse the iterator.
+    lenient: bool,
     buf: String,
 }
 
@@ -229,8 +233,39 @@ impl<R: BufRead> FastaStream<R> {
             lineno: 0,
             pending: None,
             done: false,
+            lenient: false,
             buf: String::new(),
         }
+    }
+
+    /// Switches the stream to **lenient** mode: a malformed record
+    /// ([`FastaError::EmptyRecord`], [`FastaError::MissingHeader`]) is
+    /// yielded as an `Err` — with the same value and line number strict
+    /// mode would report — but the iterator keeps going, yielding every
+    /// well-formed record that follows. One stray data line yields one
+    /// `MissingHeader` error. I/O errors ([`FastaError::Io`]) remain
+    /// fatal: a broken reader cannot be resumed.
+    ///
+    /// This is the parser half of the host pipeline's degradation
+    /// contract: feed a lenient stream to a `Quarantine`-policy streamed
+    /// run and malformed records become quarantined pairs instead of
+    /// ending the run.
+    ///
+    /// ```
+    /// use dphls_seq::fasta::{FastaError, FastaStream};
+    /// let text = ">a\nACGT\n>empty\n>b\nTT\n";
+    /// let items: Vec<_> = FastaStream::new(text.as_bytes()).lenient().collect();
+    /// assert_eq!(items.len(), 3);
+    /// assert!(items[0].is_ok());
+    /// assert!(matches!(
+    ///     items[1],
+    ///     Err(FastaError::EmptyRecord { line: 3, .. })
+    /// ));
+    /// assert_eq!(items[2].as_ref().unwrap().sequence, "TT");
+    /// ```
+    pub fn lenient(mut self) -> Self {
+        self.lenient = true;
+        self
     }
 
     /// Closes the pending record: errors if it never saw sequence data,
@@ -280,14 +315,19 @@ impl<R: BufRead> Iterator for FastaStream<R> {
                 let next = FastaRecord::from_header(header);
                 let prev = self.pending.replace((next, self.lineno));
                 if let Some(done) = Self::finish_pending(prev) {
-                    if done.is_err() {
+                    if done.is_err() && !self.lenient {
+                        // Strict mode fuses on the first record error;
+                        // lenient mode keeps the new header pending and
+                        // carries on after yielding it.
                         self.done = true;
                     }
                     return Some(done);
                 }
             } else {
                 let Some((rec, _)) = self.pending.as_mut() else {
-                    self.done = true;
+                    if !self.lenient {
+                        self.done = true;
+                    }
                     return Some(Err(FastaError::MissingHeader { line: self.lineno }));
                 };
                 rec.push_seq_line(line);

@@ -173,6 +173,126 @@ fn stream_records_convert_like_batch_dna() {
     assert_eq!(streamed, batch);
 }
 
+/// Runs a lenient stream to completion, returning every yielded item.
+fn lenient_all(text: &str) -> Vec<Result<FastaRecord, FastaError>> {
+    FastaStream::new(text.as_bytes()).lenient().collect()
+}
+
+#[test]
+fn lenient_skips_malformed_and_continues() {
+    let items = lenient_all(">a\nACGT\n>empty\n>b\nTT\n>tail\n");
+    assert_eq!(items.len(), 4);
+    assert_eq!(items[0].as_ref().unwrap().sequence, "ACGT");
+    assert_eq!(
+        items[1],
+        Err(FastaError::EmptyRecord {
+            id: "empty".to_string(),
+            line: 3,
+        })
+    );
+    assert_eq!(items[2].as_ref().unwrap().sequence, "TT");
+    assert_eq!(
+        items[3],
+        Err(FastaError::EmptyRecord {
+            id: "tail".to_string(),
+            line: 6,
+        })
+    );
+}
+
+/// The lenient differential contract: the Ok records of a lenient pass over
+/// dirty input equal a strict batch [`parse`] of the hand-cleaned input, and
+/// the first lenient error is the same error (same line number) that both
+/// strict parsers report on the dirty input.
+#[test]
+fn lenient_batch_vs_incremental_differential() {
+    let cases = [
+        (">a\nACGT\n>empty\n>b\nTT\n", ">a\nACGT\n>b\nTT\n"),
+        ("junk\n>a\nAC\nGT\n", ">a\nAC\nGT\n"),
+        (">e1\n>e2\n>a\nGG\n", ">a\nGG\n"),
+        ("stray\nstray2\n>a\nTT\n>e\n", ">a\nTT\n"),
+        (
+            ">a\r\nACGT\r\n>empty\r\n>b\r\nTT\r\n",
+            ">a\r\nACGT\r\n>b\r\nTT\r\n",
+        ),
+    ];
+    for (dirty, clean) in cases {
+        let items = lenient_all(dirty);
+        let oks: Vec<FastaRecord> = items.iter().filter_map(|r| r.clone().ok()).collect();
+        assert_eq!(oks, parse(clean).unwrap(), "records on {dirty:?}");
+
+        let first_err = items.iter().find_map(|r| r.clone().err());
+        let (_, strict_stream_err) = stream_all(dirty);
+        assert_eq!(first_err, strict_stream_err, "stream error on {dirty:?}");
+        assert_eq!(
+            first_err.as_ref(),
+            Some(&parse(dirty).unwrap_err()),
+            "batch error on {dirty:?}"
+        );
+    }
+}
+
+#[test]
+fn lenient_reports_each_stray_line() {
+    let items = lenient_all("AC\nGT\n>a\nCC\n");
+    assert_eq!(
+        items[0],
+        Err(FastaError::MissingHeader { line: 1 }),
+        "first stray line"
+    );
+    assert_eq!(
+        items[1],
+        Err(FastaError::MissingHeader { line: 2 }),
+        "second stray line"
+    );
+    assert_eq!(items[2].as_ref().unwrap().sequence, "CC");
+    assert_eq!(items.len(), 3);
+}
+
+#[test]
+fn lenient_stream_is_not_fused_on_record_errors() {
+    let mut stream = FastaStream::new(">x\n>y\nACGT\n".as_bytes()).lenient();
+    assert!(matches!(
+        stream.next(),
+        Some(Err(FastaError::EmptyRecord { .. }))
+    ));
+    let rec = stream.next().unwrap().unwrap();
+    assert_eq!(rec.id, "y");
+    assert_eq!(rec.sequence, "ACGT");
+    assert!(stream.next().is_none());
+}
+
+/// A reader that serves its payload, then fails: I/O errors must remain
+/// fatal even in lenient mode.
+struct FailAfter {
+    data: &'static [u8],
+    pos: usize,
+}
+
+impl std::io::Read for FailAfter {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Err(std::io::Error::other("disk vanished"));
+        }
+        let n = buf.len().min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn lenient_io_error_is_still_fatal() {
+    let reader = std::io::BufReader::new(FailAfter {
+        data: b">a\nACGT\n>b\nTT",
+        pos: 0,
+    });
+    let mut stream = FastaStream::new(reader).lenient();
+    assert_eq!(stream.next().unwrap().unwrap().sequence, "ACGT");
+    assert!(matches!(stream.next(), Some(Err(FastaError::Io { .. }))));
+    assert!(stream.next().is_none(), "stream fuses after an I/O error");
+}
+
 #[test]
 fn mixed_stress_differential() {
     // A generated corpus of messy-but-valid and invalid inputs: the two

@@ -139,8 +139,57 @@
 //!     &device, &params, &workload, BatchConfig::single_slot())?;
 //! assert_eq!(single.outputs, pooled.outputs);
 //! assert_eq!(single.throughput_aps, pooled.throughput_aps);
-//! # Ok::<(), dp_hls::systolic::SystolicError>(())
+//! # Ok::<(), dp_hls::host::BatchError>(())
 //! ```
+//!
+//! ## Resilience: quarantine instead of crash
+//!
+//! Both host engines take a [`host::ResilienceConfig`]
+//! ([`host::run_batched_resilient`] / [`host::run_streamed_resilient`]):
+//! kernel errors, worker panics, and over-deadline pairs are caught at the
+//! slot loop, retried with exponential backoff on another channel, and —
+//! under the `Quarantine` policy — an exhausted pair becomes a
+//! [`host::PairFault`] record plus a `None` hole in the outputs instead of
+//! taking the whole run down (this is the README's "quarantine in five
+//! lines" example):
+//!
+//! ```
+//! use dp_hls::host::{run_batched_resilient, BatchConfig, ResilienceConfig};
+//! use dp_hls::prelude::*;
+//!
+//! let mut sim = ReadSimulator::new(7);
+//! let mut workload: Vec<_> = (0..8)
+//!     .map(|_| {
+//!         let (window, mut read) = sim.read_pair(96, 0.15);
+//!         read.truncate(80);
+//!         (read.into_vec(), window.into_vec())
+//!     })
+//!     .collect();
+//! workload[3].0.clear(); // an empty read the kernel will reject
+//! let params = LinearParams::<i16>::dna();
+//! let device = Device::new(
+//!     KernelConfig::new(16, 2, 2).with_max_lengths(128, 128),
+//!     CycleModelParams::dphls(),
+//!     KernelCycleInfo { sym_bits: 2, has_walk: true, ii: 1 },
+//!     250.0,
+//! );
+//!
+//! let report = run_batched_resilient::<GlobalLinear>(
+//!     &device, &params, &workload, BatchConfig::default(),
+//!     &ResilienceConfig::standard(), None,
+//! )?;
+//! assert_eq!(report.completed(), 7);          // seven pairs aligned...
+//! assert_eq!(report.faults[0].idx, 3);        // ...one quarantined, not fatal
+//! assert!(report.outputs[3].is_none());
+//! # Ok::<(), dp_hls::host::BatchError>(())
+//! ```
+//!
+//! The degradation contract — surviving outputs bit-identical to a
+//! fault-free run, every injected fault reconciled exactly once — is held
+//! by the seeded chaos suite in `crates/host/tests/chaos.rs`, and the
+//! fault-free overhead of the instrumented path is gated ≥ 0.95× in
+//! `BENCH_throughput.json` (see docs/ARCHITECTURE.md, "Failure model &
+//! degradation contract").
 //!
 //! ## Streaming pipeline
 //!
