@@ -6,7 +6,9 @@
 //! comparison (streamed-vs-batched, gated ≥ 0.9×), the ISSUE 5
 //! NB-scaling point (modeled NB-vs-1 ratio, gated ≥ 3.5× at NB = 4), and
 //! the PR 6 resilience-overhead point (instrumented-vs-fast-path, gated
-//! ≥ 0.95×). Validate or diff a report with `bench_check`.
+//! ≥ 0.95×), and the PR 7 serving point (`dphls-serve` under open-loop
+//! load vs direct streaming, gated ≥ 0.5×, with latency percentiles).
+//! Validate or diff a report with `bench_check`.
 //!
 //! ```text
 //! cargo run --release -p dphls-bench --bin bench_report            # full matrix
@@ -107,6 +109,23 @@ fn main() {
             format!("PASS (>= {}x)", dphls_bench::check::RESILIENCE_GATE)
         } else {
             format!("FAIL (< {}x)", dphls_bench::check::RESILIENCE_GATE)
+        },
+    );
+    eprintln!(
+        "  serving      {} x{:<6} conns={} NK={} | streamed {:>9.0} aln/s | served {:>9.0} rps ({:.2}x) p50 {:.2} ms p99 {:.2} ms {}",
+        report.serving.workload,
+        report.serving.pairs,
+        report.serving.connections,
+        report.serving.nk,
+        report.serving.streamed_aps,
+        report.serving.served_rps,
+        report.serving.ratio,
+        report.serving.p50_ms,
+        report.serving.p99_ms,
+        if report.serving.pass {
+            format!("PASS (>= {}x)", dphls_bench::check::SERVING_GATE)
+        } else {
+            format!("FAIL (< {}x)", dphls_bench::check::SERVING_GATE)
         },
     );
     eprintln!(

@@ -17,9 +17,10 @@ use dphls_host::{
     run_batched, run_batched_resilient, run_batched_with, run_streamed, BatchConfig,
     ResilienceConfig, StreamConfig,
 };
-use dphls_kernels::{AffineParams, GlobalAffine, GlobalLinear, LinearParams};
+use dphls_kernels::{default_banding, AffineParams, GlobalAffine, GlobalLinear, LinearParams};
 use dphls_seq::gen::ReadSimulator;
 use dphls_seq::Base;
+use dphls_serve::{run_load, LoadConfig, Server, ServerConfig};
 use dphls_systolic::{
     run_systolic_scalar_with_scratch, run_systolic_with_scratch, CycleModelParams, Device,
     KernelCycleInfo, SystolicScratch,
@@ -221,11 +222,52 @@ pub struct ResilienceOverhead {
     pub pass: bool,
 }
 
+/// The PR 7 serving experiment: the `dphls-serve` front end under
+/// open-loop load from `dphls-load`, against a direct `run_streamed` pass
+/// over the same distribution on an equivalent device. The served path
+/// adds the wire protocol, per-connection reader/writer tasks, and
+/// per-connection order restoration on top of the engine; the
+/// machine-independent gate is `ratio >= SERVING_GATE` — serving may not
+/// forfeit more than the gated fraction of raw streaming throughput. The
+/// latency percentiles are wall-clock figures and carry the 1-core
+/// `host_cores` caveat: `bench_check` only regression-compares them
+/// between multi-core reports.
+#[derive(Debug, Serialize)]
+pub struct Serving {
+    /// Kernel served (a [`dphls_kernels::DISPATCHABLE_KERNELS`] name).
+    pub workload: String,
+    /// Total requests per measurement round (across all connections).
+    pub pairs: usize,
+    /// Sequence length of the generated pairs.
+    pub len: usize,
+    /// Concurrent load-generator connections.
+    pub connections: usize,
+    /// Engine channels of the server's kernel session.
+    pub nk: usize,
+    /// Producer channel depth of the serving session.
+    pub buffer: usize,
+    /// Admission/reorder window of the serving session.
+    pub window: usize,
+    /// Direct `run_streamed` throughput on the same distribution (aln/s
+    /// wall clock).
+    pub streamed_aps: f64,
+    /// Sustained answers/second through the server under unpaced
+    /// open-loop load.
+    pub served_rps: f64,
+    /// `served_rps / streamed_aps`.
+    pub ratio: f64,
+    /// Median request latency under that load, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Whether the `ratio >= SERVING_GATE` gate held.
+    pub pass: bool,
+}
+
 /// The full serialized throughput report.
 #[derive(Debug, Serialize)]
 pub struct ThroughputReport {
-    /// Report schema version (5 since the resilience-overhead point
-    /// landed).
+    /// Report schema version (6 since the serving point landed).
     pub version: u32,
     /// Logical CPUs visible to the measuring process. Absolute aln/s and
     /// the `nk > 1` batched speedups are only comparable between reports
@@ -243,6 +285,9 @@ pub struct ThroughputReport {
     pub nb_scaling: NbScaling,
     /// The PR 6 resilience-overhead point and its ≥ 0.95× gate.
     pub resilience_overhead: ResilienceOverhead,
+    /// The PR 7 serving point (front-end throughput + latency) and its
+    /// ratio gate.
+    pub serving: Serving,
 }
 
 /// Logical CPUs available to this process (1 if undetectable).
@@ -705,6 +750,129 @@ pub fn measure_resilience_overhead(scale: usize) -> ResilienceOverhead {
     }
 }
 
+/// Measures the `dphls-serve` front end under unpaced open-loop load
+/// against a direct [`run_streamed`] pass on an equivalent device (scaled
+/// by `scale`). One in-process server (banded DNA session, NK channels)
+/// survives all rounds so every round hits a warm engine; each round pairs
+/// one direct streamed run with one `dphls-load` run over the same read
+/// distribution and takes the `served_rps / streamed_aps` ratio.
+/// Interleaved rounds, median ratio taken wholesale — the gate-point
+/// discipline of [`measure_streaming`]. Latency percentiles ride along
+/// from the median round but are wall-clock figures; `bench_check` only
+/// diffs them between multi-core reports.
+pub fn measure_serving(scale: usize) -> Serving {
+    let s = scale.max(1);
+    let connections = 4usize;
+    let requests = (4_000 / s / connections).max(1);
+    let pairs = requests * connections;
+    let len = 256usize;
+    let nk = 4usize;
+    // ReadSimulator reads run longer than `len` under insertion errors;
+    // the device leaves headroom so the tail of the distribution is
+    // served, not quarantined.
+    let max_len = len + len / 2;
+    let stream_cfg = StreamConfig::default();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            npe: 32,
+            nb: 1,
+            nk,
+            max_len,
+            stream: stream_cfg,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind in-process bench server");
+    let addr = server.local_addr();
+    let load = LoadConfig {
+        connections,
+        requests,
+        len,
+        ..LoadConfig::default()
+    };
+
+    // The direct comparison runs the same kernel the server resolves for
+    // the load generator's kernel name, on a same-shaped device, over the
+    // same read distribution (untruncated, like the wire path).
+    let half_width =
+        default_banding(&load.kernel).expect("load kernel is banded with a default width");
+    let params = LinearParams::<i16>::dna();
+    let config = KernelConfig::new(32, 1, nk)
+        .with_max_lengths(max_len, max_len)
+        .with_banding(half_width);
+    let device = device_for(config);
+    let mut sim = ReadSimulator::new(load.seed);
+    let workload: Vec<(Vec<Base>, Vec<Base>)> = sim
+        .read_pairs(pairs, len, 0.2)
+        .into_iter()
+        .map(|(r, q)| (q.into_vec(), r.into_vec()))
+        .collect();
+    let n = workload.len();
+
+    // Absolute-threshold gate: interleaved rounds, median ratio wholesale.
+    let rounds = (6_000 / pairs.max(1)).clamp(3, 8);
+    struct Round {
+        streamed: f64,
+        served: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+    }
+    let mut samples: Vec<Round> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        run_streamed::<GlobalLinear, _, std::convert::Infallible, _>(
+            &device,
+            &params,
+            workload.iter().cloned().map(Ok),
+            stream_cfg,
+            |_, out| {
+                std::hint::black_box(&out);
+            },
+        )
+        .expect("bench workload must be valid");
+        let streamed = aps(n, start);
+
+        let report = run_load(addr, &load).expect("load run against the in-process server");
+        assert_eq!(
+            report.error_frames, 0,
+            "bench load must be served without quarantine"
+        );
+        assert_eq!(report.completed as usize, pairs, "every request answered");
+        samples.push(Round {
+            streamed,
+            served: report.rps,
+            p50_ms: report.p50_ms,
+            p99_ms: report.p99_ms,
+        });
+    }
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.error_frames, 0,
+        "bench server must not synthesize error frames"
+    );
+
+    let round_ratio = |r: &Round| r.served / r.streamed.max(1e-9);
+    samples.sort_by(|a, b| round_ratio(a).total_cmp(&round_ratio(b)));
+    let pick = &samples[samples.len() / 2];
+    let ratio = round_ratio(pick);
+    Serving {
+        workload: load.kernel.clone(),
+        pairs,
+        len,
+        connections,
+        nk,
+        buffer: stream_cfg.buffer,
+        window: stream_cfg.window,
+        streamed_aps: pick.streamed,
+        served_rps: pick.served,
+        ratio,
+        p50_ms: pick.p50_ms,
+        p99_ms: pick.p99_ms,
+        pass: ratio >= crate::check::SERVING_GATE,
+    }
+}
+
 /// Runs the full matrix and assembles the report. The acceptance gate is
 /// the banded 10k-pair single-channel point (scaled by `scale`).
 pub fn build_report(scale: usize) -> ThroughputReport {
@@ -725,13 +893,14 @@ pub fn build_report(scale: usize) -> ThroughputReport {
         lane_pass: gate.lane_vs_scratch >= 1.3,
     };
     ThroughputReport {
-        version: 5,
+        version: 6,
         host_cores: host_cores(),
         points,
         acceptance,
         streaming: measure_streaming(scale),
         nb_scaling: measure_nb_scaling(scale),
         resilience_overhead: measure_resilience_overhead(scale),
+        serving: measure_serving(scale),
     }
 }
 
@@ -788,6 +957,20 @@ mod tests {
         assert_eq!(p.pass, p.ratio >= crate::check::RESILIENCE_GATE);
         let json = serde_json::to_string_pretty(&p).unwrap();
         assert!(json.contains("\"resilient_aps\""));
+        serde_json::from_str(&json).expect("point serializes to valid JSON");
+    }
+
+    #[test]
+    fn serving_measures_and_serializes() {
+        let p = measure_serving(500); // 8 requests over 4 connections
+        assert_eq!(p.pairs, 8);
+        assert_eq!((p.connections, p.nk), (4, 4));
+        assert!(p.streamed_aps > 0.0 && p.served_rps > 0.0 && p.ratio > 0.0);
+        assert!((p.ratio - p.served_rps / p.streamed_aps).abs() < 1e-9);
+        assert!(p.p50_ms > 0.0 && p.p50_ms <= p.p99_ms);
+        assert_eq!(p.pass, p.ratio >= crate::check::SERVING_GATE);
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        assert!(json.contains("\"served_rps\""));
         serde_json::from_str(&json).expect("point serializes to valid JSON");
     }
 

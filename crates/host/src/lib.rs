@@ -28,6 +28,7 @@
 pub mod faults;
 pub mod resilience;
 pub mod scheduler;
+pub mod session;
 pub mod streaming;
 pub mod tiling;
 
@@ -37,6 +38,7 @@ pub use scheduler::{
     run_batched, run_batched_resilient, run_batched_with, BatchConfig, BatchError, BatchReport,
     ScheduleReport,
 };
+pub use session::{SessionClosed, StreamSession};
 pub use streaming::{
     run_streamed, run_streamed_collect, run_streamed_resilient, OrderedWriter, ReorderOverflow,
     StreamConfig, StreamError, StreamReport,

@@ -1,0 +1,185 @@
+//! Runtime kernel dispatch by name for the DNA/`i16` kernel family.
+//!
+//! The back-end is monomorphized per kernel ([`KernelSpec`] is not
+//! object-safe by design, mirroring HLS elaboration), so a front end that
+//! receives the kernel name at runtime — the `dphls-serve` wire protocol,
+//! a CLI flag — cannot simply look a kernel "object" up in a table.
+//! Instead, this module maps a stable snake_case name to a statically
+//! typed instantiation and hands it to a caller-supplied
+//! [`DnaKernelRunner`], the same visitor discipline as
+//! [`crate::registry`] but keyed by name instead of Table 1 id, and
+//! restricted to the kernels that share one symbol/score shape
+//! (`Sym = `[`Base`]`, Score = i16`) so a single generic continuation can
+//! serve every dispatchable kernel.
+//!
+//! The non-DNA kernels (#8–#10, #14, #15) have per-kernel symbol types
+//! (profile columns, complex samples, amino acids) and are deliberately
+//! not dispatchable here; a front end for them would need a per-alphabet
+//! wire encoding first.
+
+use crate::affine::{BandedLocalAffine, GlobalAffine, LocalAffine};
+use crate::linear::{BandedGlobalLinear, GlobalLinear, LocalLinear, Overlap, SemiGlobal};
+use crate::params::{AffineParams, LinearParams, TwoPieceParams};
+use crate::registry::DEFAULT_BAND;
+use crate::two_piece::{BandedGlobalTwoPiece, GlobalTwoPiece};
+use dphls_core::{KernelSpec, LaneKernel};
+use dphls_seq::Base;
+
+/// Stable wire/CLI names of every dispatchable kernel, in Table 1 order.
+///
+/// Each name resolves through [`dispatch_dna`]; the banded entries carry a
+/// default band half-width via [`default_banding`].
+pub const DISPATCHABLE_KERNELS: [&str; 10] = [
+    "global_linear",
+    "global_affine",
+    "local_linear",
+    "local_affine",
+    "global_two_piece",
+    "overlap",
+    "semi_global",
+    "banded_global_linear",
+    "banded_local_affine",
+    "banded_global_two_piece",
+];
+
+/// A generic continuation for [`dispatch_dna`]: `run` is instantiated with
+/// the statically-typed kernel the requested name resolves to, plus that
+/// kernel's default DNA parameters.
+///
+/// The bound pins the shared shape of the dispatchable family
+/// (`Sym = `[`Base`]`, Score = i16`), so implementations can move symbol
+/// buffers and score values across a non-generic boundary (a wire
+/// protocol, a type-erased session) without per-kernel plumbing.
+pub trait DnaKernelRunner {
+    /// Value returned through [`dispatch_dna`].
+    type Out;
+
+    /// Called with the resolved kernel type and its default parameters.
+    ///
+    /// The `'static` bound (trivially satisfied by every kernel type)
+    /// lets implementations move the instantiation into long-lived
+    /// machinery — a spawned engine session, a boxed closure.
+    fn run<K>(self, params: K::Params) -> Self::Out
+    where
+        K: LaneKernel + KernelSpec<Sym = Base, Score = i16> + 'static;
+}
+
+/// Resolves `name` (an entry of [`DISPATCHABLE_KERNELS`]) and runs the
+/// continuation with the matching kernel type and its default DNA
+/// parameters. Returns `None` for unknown names — the caller owns the
+/// error surface (e.g. an `unknown kernel` wire frame).
+pub fn dispatch_dna<R: DnaKernelRunner>(name: &str, runner: R) -> Option<R::Out> {
+    Some(match name {
+        "global_linear" => runner.run::<GlobalLinear<i16>>(LinearParams::<i16>::dna()),
+        "global_affine" => runner.run::<GlobalAffine<i16>>(AffineParams::<i16>::dna()),
+        "local_linear" => runner.run::<LocalLinear<i16>>(LinearParams::<i16>::dna()),
+        "local_affine" => runner.run::<LocalAffine<i16>>(AffineParams::<i16>::dna()),
+        "global_two_piece" => runner.run::<GlobalTwoPiece<i16>>(TwoPieceParams::<i16>::dna()),
+        "overlap" => runner.run::<Overlap<i16>>(LinearParams::<i16>::dna()),
+        "semi_global" => runner.run::<SemiGlobal<i16>>(LinearParams::<i16>::dna()),
+        "banded_global_linear" => runner.run::<BandedGlobalLinear<i16>>(LinearParams::<i16>::dna()),
+        "banded_local_affine" => runner.run::<BandedLocalAffine<i16>>(AffineParams::<i16>::dna()),
+        "banded_global_two_piece" => {
+            runner.run::<BandedGlobalTwoPiece<i16>>(TwoPieceParams::<i16>::dna())
+        }
+        _ => return None,
+    })
+}
+
+/// Default band half-width a front end should configure for `name`:
+/// [`DEFAULT_BAND`] for the banded kernels (#11–#13), `None` for the
+/// full-matrix ones. Unknown names return `None` — pair with
+/// [`dispatch_dna`] for existence checks.
+pub fn default_banding(name: &str) -> Option<usize> {
+    match name {
+        "banded_global_linear" | "banded_local_affine" | "banded_global_two_piece" => {
+            Some(DEFAULT_BAND)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_core::{run_reference, Banding, KernelMeta};
+
+    /// A runner that just reports the resolved kernel's metadata.
+    struct MetaOf;
+    impl DnaKernelRunner for MetaOf {
+        type Out = KernelMeta;
+        fn run<K>(self, _params: K::Params) -> KernelMeta
+        where
+            K: LaneKernel + KernelSpec<Sym = Base, Score = i16> + 'static,
+        {
+            K::meta()
+        }
+    }
+
+    /// A runner that scores one pair through the reference engine, proving
+    /// the dispatched parameters are usable without per-kernel plumbing.
+    struct ScoreOne {
+        q: Vec<Base>,
+        r: Vec<Base>,
+        banding: Banding,
+    }
+    impl DnaKernelRunner for ScoreOne {
+        type Out = i16;
+        fn run<K>(self, params: K::Params) -> i16
+        where
+            K: LaneKernel + KernelSpec<Sym = Base, Score = i16> + 'static,
+        {
+            run_reference::<K>(&params, &self.q, &self.r, self.banding).best_score
+        }
+    }
+
+    #[test]
+    fn every_listed_name_dispatches() {
+        let mut ids = Vec::new();
+        for name in DISPATCHABLE_KERNELS {
+            let meta = dispatch_dna(name, MetaOf).unwrap_or_else(|| panic!("{name} dispatches"));
+            ids.push(meta.id.0);
+        }
+        // Table 1 ids of the DNA/i16 family, in DISPATCHABLE_KERNELS order.
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7, 11, 12, 13]);
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        for name in ["", "GLOBAL_LINEAR", "global-linear", "dtw", "protein_local"] {
+            assert!(dispatch_dna(name, MetaOf).is_none(), "{name:?}");
+        }
+    }
+
+    #[test]
+    fn banding_defaults_cover_exactly_the_banded_family() {
+        for name in DISPATCHABLE_KERNELS {
+            let expect = name.starts_with("banded_");
+            assert_eq!(default_banding(name).is_some(), expect, "{name}");
+        }
+        assert_eq!(default_banding("no_such_kernel"), None);
+    }
+
+    #[test]
+    fn dispatched_params_score_a_pair() {
+        let mut sim = dphls_seq::gen::ReadSimulator::new(7);
+        let (r, q) = sim.read_pair(48, 0.1);
+        for name in DISPATCHABLE_KERNELS {
+            let banding = match default_banding(name) {
+                Some(half_width) => Banding::Fixed { half_width },
+                None => Banding::None,
+            };
+            let score = dispatch_dna(
+                name,
+                ScoreOne {
+                    q: q.clone().into_vec(),
+                    r: r.clone().into_vec(),
+                    banding,
+                },
+            )
+            .unwrap_or_else(|| panic!("{name} dispatches"));
+            // Near-identical 48-mers must align positively everywhere.
+            assert!(score > 0, "{name} scored {score}");
+        }
+    }
+}

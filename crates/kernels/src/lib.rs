@@ -46,6 +46,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod affine;
+pub mod dispatch;
 pub mod dtw;
 pub mod linear;
 pub mod params;
@@ -56,6 +57,7 @@ pub mod two_piece;
 pub mod viterbi;
 
 pub use affine::{BandedLocalAffine, GlobalAffine, LocalAffine};
+pub use dispatch::{default_banding, dispatch_dna, DnaKernelRunner, DISPATCHABLE_KERNELS};
 pub use dtw::{Dtw, DtwScore, Sdtw};
 pub use linear::{BandedGlobalLinear, GlobalLinear, LocalLinear, Overlap, SemiGlobal};
 pub use params::{

@@ -1,0 +1,67 @@
+//! `dphls-load`: open-loop load generator for a running `dphls-serve`.
+//!
+//! ```text
+//! dphls-load --addr HOST:PORT [--connections N] [--requests N]
+//!            [--kernel NAME] [--len N] [--seed N] [--rate RPS]
+//! ```
+//!
+//! `--rate` is per-connection requests/second; omit (or pass 0) for the
+//! unpaced saturation probe.
+
+use dphls_serve::{run_load, LoadConfig};
+use std::net::ToSocketAddrs;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dphls-load --addr HOST:PORT [--connections N] [--requests N] \
+         [--kernel NAME] [--len N] [--seed N] [--rate RPS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = None;
+    let mut config = LoadConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--addr" => addr = Some(value),
+            "--connections" => config.connections = parse(&value),
+            "--requests" => config.requests = parse(&value),
+            "--kernel" => config.kernel = value,
+            "--len" => config.len = parse(&value),
+            "--seed" => config.seed = parse(&value) as u64,
+            "--rate" => config.rate = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let addr = match addr.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+        Some(addr) => addr,
+        None => {
+            eprintln!("dphls-load: cannot resolve {addr}");
+            std::process::exit(1);
+        }
+    };
+    match run_load(addr, &config) {
+        Ok(report) => {
+            println!(
+                "sent {} completed {} errors {} in {:.2?}",
+                report.sent, report.completed, report.error_frames, report.elapsed
+            );
+            println!(
+                "rps {:.1}  p50 {:.2} ms  p99 {:.2} ms",
+                report.rps, report.p50_ms, report.p99_ms
+            );
+        }
+        Err(e) => {
+            eprintln!("dphls-load: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse(value: &str) -> usize {
+    value.parse().unwrap_or_else(|_| usage())
+}

@@ -1,0 +1,50 @@
+//! `dphls-serve`: bind the alignment server and run until killed.
+//!
+//! ```text
+//! dphls-serve [--addr HOST:PORT] [--npe N] [--nb N] [--nk N]
+//!             [--max-len N] [--buffer N] [--window N]
+//! ```
+
+use dphls_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dphls-serve [--addr HOST:PORT] [--npe N] [--nb N] [--nk N] \
+         [--max-len N] [--buffer N] [--window N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--addr" => addr = value,
+            "--npe" => config.npe = parse(&value),
+            "--nb" => config.nb = parse(&value),
+            "--nk" => config.nk = parse(&value),
+            "--max-len" => config.max_len = parse(&value),
+            "--buffer" => config.stream.buffer = parse(&value),
+            "--window" => config.stream.window = parse(&value),
+            _ => usage(),
+        }
+    }
+    let server = match Server::bind(&addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("dphls-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("dphls-serve: listening on {}", server.local_addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse(value: &str) -> usize {
+    value.parse().unwrap_or_else(|_| usage())
+}

@@ -1,0 +1,187 @@
+//! Open-loop load generation against a running server.
+//!
+//! Each connection runs a **sender** task that issues requests on its own
+//! schedule — paced by [`LoadConfig::rate`] or back-to-back when unpaced —
+//! without waiting for responses, and a **receiver** task that drains
+//! answers and measures latency from send initiation to answer arrival.
+//! Because the sender does not close the loop, queueing delay under
+//! overload shows up in the latencies instead of silently throttling the
+//! offered load; sustained throughput is answers over wall-clock time.
+
+use crate::protocol::{read_frame, write_frame, Frame, Request, DEFAULT_MAX_FRAME};
+use dphls_seq::gen::ReadSimulator;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Shape of the offered load.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Requests sent per connection.
+    pub requests: usize,
+    /// Kernel name stamped on every request.
+    pub kernel: String,
+    /// Read length of the generated pairs.
+    pub len: usize,
+    /// Simulator seed (each connection derives its own stream from it).
+    pub seed: u64,
+    /// Per-connection send rate in requests/second; `0.0` sends
+    /// back-to-back (the saturation probe).
+    pub rate: f64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            requests: 64,
+            kernel: "banded_global_linear".to_owned(),
+            len: 256,
+            seed: 0xD9,
+            rate: 0.0,
+        }
+    }
+}
+
+/// What the generator measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests sent across all connections.
+    pub sent: u64,
+    /// Answers received (responses plus error frames).
+    pub completed: u64,
+    /// Of those, error frames.
+    pub error_frames: u64,
+    /// Wall-clock time from first send to last answer.
+    pub elapsed: Duration,
+    /// Sustained answers/second over `elapsed`.
+    pub rps: f64,
+    /// Median answer latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile answer latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+/// Runs the configured load against `addr` and reports throughput and
+/// latency percentiles.
+///
+/// # Errors
+///
+/// Connect/transport failures; an undecodable server frame surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport> {
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut sent = 0u64;
+    let mut error_frames = 0u64;
+    let results = std::thread::scope(|scope| -> io::Result<Vec<(Vec<Duration>, u64)>> {
+        let mut handles = Vec::new();
+        for conn in 0..config.connections {
+            handles.push(scope.spawn(move || run_connection(addr, config, conn as u64)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load connection task"))
+            .collect()
+    })?;
+    for (lat, errs) in results {
+        sent += lat.len() as u64;
+        error_frames += errs;
+        latencies.extend(lat);
+    }
+    let elapsed = started.elapsed();
+    latencies.sort();
+    let completed = latencies.len() as u64;
+    Ok(LoadReport {
+        sent,
+        completed,
+        error_frames,
+        elapsed,
+        rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+    })
+}
+
+/// One connection's sender + receiver pair; returns per-answer latencies
+/// and the error-frame count.
+fn run_connection(
+    addr: SocketAddr,
+    config: &LoadConfig,
+    conn: u64,
+) -> io::Result<(Vec<Duration>, u64)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let read_half = stream.try_clone()?;
+    let mut sim = ReadSimulator::new(config.seed.wrapping_add(conn.wrapping_mul(0x9E37)));
+    let pairs: Vec<(Vec<_>, Vec<_>)> = sim
+        .read_pairs(config.requests, config.len, 0.2)
+        .into_iter()
+        .map(|(r, q)| (q.into_vec(), r.into_vec()))
+        .collect();
+    let (time_tx, time_rx) = mpsc::channel::<Instant>();
+    let kernel = config.kernel.clone();
+    let rate = config.rate;
+    let sender = std::thread::spawn(move || -> io::Result<()> {
+        let mut out = BufWriter::new(stream);
+        let interval = if rate > 0.0 {
+            Some(Duration::from_secs_f64(1.0 / rate))
+        } else {
+            None
+        };
+        let mut next_tick = Instant::now();
+        for (query, reference) in pairs {
+            if let Some(interval) = interval {
+                let now = Instant::now();
+                if next_tick > now {
+                    std::thread::sleep(next_tick - now);
+                }
+                next_tick += interval;
+            }
+            // Latency is measured from send *initiation*: under overload
+            // the time this write spends blocked on backpressure is part
+            // of what a client experiences.
+            let _ = time_tx.send(Instant::now());
+            let frame = Frame::Request(Request {
+                kernel: kernel.clone(),
+                query,
+                reference,
+            });
+            write_frame(&mut out, &frame)?;
+            out.flush()?;
+        }
+        Ok(())
+    });
+    let mut input = BufReader::new(read_half);
+    let mut latencies = Vec::with_capacity(config.requests);
+    let mut errors = 0u64;
+    for _ in 0..config.requests {
+        let frame = read_frame(&mut input, DEFAULT_MAX_FRAME)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        match frame {
+            Some(Frame::Error(_)) => errors += 1,
+            Some(Frame::Response(_)) => {}
+            Some(Frame::Request(_)) | None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "server ended the exchange early",
+                ));
+            }
+        }
+        let sent_at = time_rx.recv().expect("one send time per answer");
+        latencies.push(sent_at.elapsed());
+    }
+    sender.join().expect("load sender task")?;
+    Ok((latencies, errors))
+}

@@ -1,0 +1,509 @@
+//! The alignment server: `std::net` connection handling in front of one
+//! long-lived [`StreamSession`] per kernel.
+//!
+//! Every connection is a pair of tasks communicating over bounded/FIFO
+//! edges, the same task-parallel shape as the engine it fronts:
+//!
+//! * a **reader** that decodes request frames, stamps each with the
+//!   connection's next sequence number, resolves the kernel by name
+//!   ([`dispatch_dna`]), and submits the pair into that kernel's shared
+//!   session — blocking in `submit` when the engine's admission window is
+//!   full, which propagates backpressure all the way to the client's TCP
+//!   window;
+//! * a **writer** that collects result frames from the engine sinks (and
+//!   error frames synthesized by the reader) and restores the
+//!   connection's request order with an [`OrderedWriter`] before they hit
+//!   the socket.
+//!
+//! All connections requesting the same kernel share one engine session —
+//! the multi-tenant batch. A session's sink fires in session input order,
+//! which preserves each connection's submission order as a subsequence;
+//! only cross-kernel interleavings within one connection need reordering,
+//! and the per-connection [`OrderedWriter`] handles exactly that.
+//!
+//! [`StreamSession`]: dphls_host::StreamSession
+//! [`OrderedWriter`]: dphls_host::OrderedWriter
+//! [`dispatch_dna`]: dphls_kernels::dispatch_dna
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, ErrorFrame, Frame, ReadFrameError, Response,
+    DEFAULT_MAX_FRAME,
+};
+use dphls_core::{DpOutput, KernelConfig, KernelSpec, LaneKernel};
+use dphls_host::{
+    OrderedWriter, PairFault, ResilienceConfig, SessionClosed, StreamConfig, StreamSession,
+};
+use dphls_kernels::{default_banding, dispatch_dna, DnaKernelRunner, DISPATCHABLE_KERNELS};
+use dphls_seq::Base;
+use dphls_systolic::{CycleModelParams, Device, KernelCycleInfo};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Device shape and engine policy the server runs every kernel with.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Systolic array width per channel (paper `NPE`).
+    pub npe: usize,
+    /// Blocks per channel (paper `NB`).
+    pub nb: usize,
+    /// Independent kernel channels (paper `NK`) — the server's intra-kernel
+    /// parallelism.
+    pub nk: usize,
+    /// Maximum query/reference length a request may carry. Longer pairs
+    /// are admitted and then quarantined by the engine
+    /// (`SequenceTooLong`), surfacing as [`ErrorCode::Quarantined`]
+    /// frames.
+    pub max_len: usize,
+    /// Streaming engine knobs (`buffer` = producer channel depth,
+    /// `window` = admission window; both are the backpressure budget).
+    pub stream: StreamConfig,
+    /// Failure policy. The default is
+    /// [`ResilienceConfig::standard`] with quarantine, so one poisoned
+    /// request costs one error frame, not the server.
+    pub resilience: ResilienceConfig,
+    /// Largest frame payload accepted from a client; see
+    /// [`DEFAULT_MAX_FRAME`].
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            npe: 32,
+            nb: 1,
+            nk: 2,
+            max_len: 512,
+            stream: StreamConfig::default(),
+            resilience: ResilienceConfig::standard(),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Per-kernel tallies reported at shutdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Pairs the kernel's session processed (completed + quarantined).
+    pub pairs: usize,
+    /// Pairs quarantined by the resilience layer.
+    pub quarantined: usize,
+}
+
+/// Lifetime tallies returned by [`Server::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Request frames accepted across all connections (including ones
+    /// answered with error frames).
+    pub requests: u64,
+    /// Response frames written.
+    pub responses: u64,
+    /// Error frames written.
+    pub error_frames: u64,
+    /// Per-kernel engine tallies, one entry per session the server
+    /// spawned.
+    pub kernels: Vec<(String, KernelStats)>,
+}
+
+/// A message on a connection's writer edge: a result frame carrying its
+/// connection sequence number, or the reader's end-of-stream marker with
+/// the total frame count the writer should drain to.
+enum WriterMsg {
+    Frame(u64, Frame),
+    Done(u64),
+}
+
+/// Where a submitted pair's answer goes: which connection slot it fills
+/// and the writer edge that owns the slot.
+struct Route {
+    seq: u64,
+    tx: mpsc::Sender<WriterMsg>,
+}
+
+/// Type-erased submit edge of a kernel session: registers the route, hands
+/// the pair to the engine, rolls back on refusal.
+type SubmitFn = Box<dyn Fn(Vec<Base>, Vec<Base>, Route) -> Result<(), SessionClosed> + Send + Sync>;
+
+/// Type-erased close edge: drains the engine and reports its tallies.
+type CloseFn = Box<dyn FnOnce() -> Option<KernelStats> + Send>;
+
+/// A kernel session behind a non-generic boundary: closures monomorphized
+/// by the [`dispatch_dna`] visitor at session creation.
+struct ErasedSession {
+    /// Submits one pair; the route is registered before the engine can
+    /// answer and rolled back if the session refuses the pair.
+    submit: SubmitFn,
+    /// Drains the engine and reports its tallies; first call wins.
+    close: Mutex<Option<CloseFn>>,
+}
+
+/// State shared by the accept loop and every connection task.
+struct Shared {
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    sessions: Mutex<HashMap<String, Arc<ErasedSession>>>,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    error_frames: AtomicU64,
+}
+
+impl Shared {
+    /// Returns the (lazily spawned) session for `name`, or `None` for a
+    /// kernel outside [`DISPATCHABLE_KERNELS`].
+    fn session_for(&self, name: &str) -> Option<Arc<ErasedSession>> {
+        let mut sessions = self.sessions.lock().expect("sessions mutex");
+        if let Some(session) = sessions.get(name) {
+            return Some(Arc::clone(session));
+        }
+        let erased = dispatch_dna(
+            name,
+            SpawnSession {
+                config: &self.config,
+                band: default_banding(name),
+            },
+        )?;
+        let erased = Arc::new(erased);
+        sessions.insert(name.to_owned(), Arc::clone(&erased));
+        Some(erased)
+    }
+}
+
+/// The [`dispatch_dna`] continuation that turns a kernel name into a live
+/// type-erased engine session.
+struct SpawnSession<'a> {
+    config: &'a ServerConfig,
+    band: Option<usize>,
+}
+
+impl DnaKernelRunner for SpawnSession<'_> {
+    type Out = ErasedSession;
+
+    fn run<K>(self, params: K::Params) -> ErasedSession
+    where
+        K: LaneKernel + KernelSpec<Sym = Base, Score = i16> + 'static,
+    {
+        let mut kernel_config = KernelConfig::new(self.config.npe, self.config.nb, self.config.nk)
+            .with_max_lengths(self.config.max_len, self.config.max_len);
+        if let Some(half_width) = self.band {
+            kernel_config = kernel_config.with_banding(half_width);
+        }
+        let device = Device::new(
+            kernel_config,
+            CycleModelParams::dphls(),
+            KernelCycleInfo {
+                sym_bits: 2,
+                has_walk: true,
+                ii: 1,
+            },
+            250.0,
+        );
+        let routes: Arc<Mutex<HashMap<usize, Route>>> = Arc::default();
+        let sink_routes = Arc::clone(&routes);
+        let session = Arc::new(StreamSession::<K>::spawn(
+            device,
+            params,
+            self.config.stream,
+            self.config.resilience.clone(),
+            move |idx, slot: Result<DpOutput<i16>, PairFault>| {
+                let route = sink_routes
+                    .lock()
+                    .expect("routes mutex")
+                    .remove(&idx)
+                    .expect("route registered before its sink slot fires");
+                let frame = match slot {
+                    Ok(out) => Frame::Response(Response {
+                        seq: route.seq,
+                        score: i64::from(out.best_score),
+                        best_cell: (out.best_cell.0 as u32, out.best_cell.1 as u32),
+                        cells: out.cells_computed,
+                    }),
+                    Err(fault) => Frame::Error(ErrorFrame {
+                        seq: route.seq,
+                        code: ErrorCode::Quarantined,
+                        message: fault.to_string(),
+                    }),
+                };
+                // A hung-up writer just drops the frame; the engine is not
+                // a connection's hostage.
+                let _ = route.tx.send(WriterMsg::Frame(route.seq, frame));
+            },
+        ));
+        let submit_session = Arc::clone(&session);
+        let submit_routes = Arc::clone(&routes);
+        ErasedSession {
+            submit: Box::new(move |query, reference, route| {
+                match submit_session.submit_with(query, reference, |idx| {
+                    submit_routes
+                        .lock()
+                        .expect("routes mutex")
+                        .insert(idx, route);
+                }) {
+                    Ok(_) => Ok(()),
+                    Err(err) => {
+                        if let Some(idx) = err.registered {
+                            submit_routes.lock().expect("routes mutex").remove(&idx);
+                        }
+                        Err(err)
+                    }
+                }
+            }),
+            close: Mutex::new(Some(Box::new(move || {
+                session.shutdown().map(|result| match result {
+                    Ok(report) => KernelStats {
+                        pairs: report.pairs,
+                        quarantined: report.faults.len(),
+                    },
+                    Err(_) => KernelStats::default(),
+                })
+            }))),
+        }
+    }
+}
+
+/// One accepted connection: the socket handle kept for shutdown plus the
+/// reader/writer task handles.
+struct Connection {
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+    writer: JoinHandle<()>,
+}
+
+/// A running alignment server. Dropping it **without**
+/// [`shutdown`](Self::shutdown) leaks the accept thread; shut it down.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            shutting_down: AtomicBool::new(false),
+            sessions: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            error_frames: AtomicU64::new(0),
+        });
+        let connections: Arc<Mutex<Vec<Connection>>> = Arc::default();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &connections))
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept,
+            connections,
+        })
+    }
+
+    /// The address the server is listening on (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drains and stops the server: stops accepting, closes every kernel
+    /// session (in-flight pairs complete and their responses are
+    /// delivered), unblocks idle connections, joins all tasks, and
+    /// returns the lifetime tallies.
+    pub fn shutdown(self) -> ServerStats {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept.join();
+        // Drain the engines. Every admitted pair emits a sink slot, so
+        // every routed request gets its frame before close() returns.
+        let mut kernels: Vec<(String, KernelStats)> = Vec::new();
+        let sessions: Vec<_> = {
+            let mut map = self.shared.sessions.lock().expect("sessions mutex");
+            map.drain().collect()
+        };
+        for (name, session) in sessions {
+            let close = session.close.lock().expect("close mutex").take();
+            if let Some(close) = close {
+                if let Some(stats) = close() {
+                    kernels.push((name, stats));
+                }
+            }
+        }
+        kernels.sort_by(|a, b| a.0.cmp(&b.0));
+        // Readers idling in read_frame see EOF; writes stay open so their
+        // writers can flush anything still queued.
+        let connections = std::mem::take(&mut *self.connections.lock().expect("connections mutex"));
+        for conn in &connections {
+            let _ = conn.stream.shutdown(Shutdown::Read);
+        }
+        for conn in connections {
+            let _ = conn.reader.join();
+            let _ = conn.writer.join();
+        }
+        ServerStats {
+            requests: self.shared.requests.load(Ordering::SeqCst),
+            responses: self.shared.responses.load(Ordering::SeqCst),
+            error_frames: self.shared.error_frames.load(Ordering::SeqCst),
+            kernels,
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, connections: &Mutex<Vec<Connection>>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        let (tx, rx) = mpsc::channel::<WriterMsg>();
+        let reader = {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || connection_reader(&shared, read_half, &tx))
+        };
+        let writer = {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || connection_writer(&shared, write_half, &rx))
+        };
+        connections
+            .lock()
+            .expect("connections mutex")
+            .push(Connection {
+                stream,
+                reader,
+                writer,
+            });
+    }
+}
+
+/// Decodes request frames, assigns connection sequence numbers, and feeds
+/// the kernel sessions. Exits on EOF, transport error, or the first
+/// undecodable/non-request frame (after answering it).
+fn connection_reader(shared: &Shared, stream: TcpStream, tx: &mpsc::Sender<WriterMsg>) {
+    let max_frame = shared.config.max_frame;
+    let mut stream = BufReader::new(stream);
+    let mut seq: u64 = 0;
+    let synth = |seq: u64, code: ErrorCode, message: String| {
+        let _ = tx.send(WriterMsg::Frame(
+            seq,
+            Frame::Error(ErrorFrame { seq, code, message }),
+        ));
+    };
+    loop {
+        match read_frame(&mut stream, max_frame) {
+            Ok(None) => break,
+            Ok(Some(Frame::Request(req))) => {
+                let this = seq;
+                seq += 1;
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    synth(this, ErrorCode::ShuttingDown, "server is draining".into());
+                    continue;
+                }
+                match shared.session_for(&req.kernel) {
+                    None => synth(
+                        this,
+                        ErrorCode::UnknownKernel,
+                        format!(
+                            "unknown kernel {:?} (expected one of {:?})",
+                            req.kernel, DISPATCHABLE_KERNELS
+                        ),
+                    ),
+                    Some(session) => {
+                        let route = Route {
+                            seq: this,
+                            tx: tx.clone(),
+                        };
+                        if (session.submit)(req.query, req.reference, route).is_err() {
+                            synth(this, ErrorCode::ShuttingDown, "server is draining".into());
+                        }
+                    }
+                }
+            }
+            Ok(Some(_)) => {
+                let this = seq;
+                seq += 1;
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                synth(
+                    this,
+                    ErrorCode::BadFrame,
+                    "only request frames are accepted".into(),
+                );
+                break;
+            }
+            Err(ReadFrameError::Decode(e)) => {
+                let this = seq;
+                seq += 1;
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                synth(this, ErrorCode::BadFrame, e.to_string());
+                break;
+            }
+            Err(ReadFrameError::Io(_)) => break,
+        }
+    }
+    let _ = tx.send(WriterMsg::Done(seq));
+}
+
+/// Restores the connection's request order and writes frames to the
+/// socket. Exits once the reader's total is known and every slot up to it
+/// has been received (every admitted pair is guaranteed a frame).
+fn connection_writer(shared: &Shared, stream: TcpStream, rx: &mpsc::Receiver<WriterMsg>) {
+    // The reorder depth is bounded by the connection's in-flight requests:
+    // at most `buffer + window` resident per kernel session, plus the slot
+    // being synthesized by the reader.
+    let stream_cfg = shared.config.stream;
+    let window = DISPATCHABLE_KERNELS.len() * (stream_cfg.buffer + stream_cfg.window + 1) + 1;
+    let mut out = BufWriter::new(stream);
+    let mut dead = false;
+    let mut writer = OrderedWriter::new(window, move |_, frame: Frame| {
+        if dead {
+            return;
+        }
+        let responses = matches!(frame, Frame::Response(_));
+        if write_frame(&mut out, &frame)
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            dead = true;
+            return;
+        }
+        if responses {
+            shared.responses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.error_frames.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    let mut total: Option<u64> = None;
+    let mut received: u64 = 0;
+    while total != Some(received) {
+        let Ok(msg) = rx.recv() else { break };
+        match msg {
+            WriterMsg::Frame(seq, frame) => {
+                received += 1;
+                if writer.push(seq as usize, frame).is_err() {
+                    // Reorder overflow cannot happen within the window
+                    // bound above; treat it as a torn connection.
+                    break;
+                }
+            }
+            WriterMsg::Done(n) => total = Some(n),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Alignment-as-a-service, end to end in one process: bind a server on an
+//! ephemeral port, drive it from several concurrent client connections
+//! (pipelined requests, mixed kernels, one deliberately oversized pair),
+//! then run a short open-loop load burst and print what the server saw.
+//!
+//! Run with `cargo run --release --example serve_alignments`.
+
+use dp_hls::prelude::*;
+use dp_hls::serve::{run_load, Client, ClientError, LoadConfig, Server, ServerConfig};
+
+fn dna(bases: &[Base]) -> String {
+    bases.iter().map(|b| b.to_char()).collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small device per kernel session: NPE=16, NK=2, reads up to 256.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            npe: 16,
+            nk: 2,
+            max_len: 256,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    // Three concurrent connections, each pipelining requests across two
+    // kernels; responses come back in each connection's request order.
+    std::thread::scope(|scope| {
+        for conn in 0..3u64 {
+            scope.spawn(move || {
+                let mut sim = ReadSimulator::new(100 + conn);
+                let mut client = Client::connect(addr).expect("connect");
+                let pairs: Vec<_> = sim.read_pairs(6, 180, 0.15);
+                for (i, (window, read)) in pairs.iter().enumerate() {
+                    let kernel = if i % 2 == 0 {
+                        "banded_global_linear"
+                    } else {
+                        "local_affine"
+                    };
+                    client
+                        .send(kernel, &dna(read.as_slice()), &dna(window.as_slice()))
+                        .expect("send");
+                }
+                for i in 0..pairs.len() as u64 {
+                    let resp = client.recv().expect("response");
+                    assert_eq!(resp.seq, i, "per-connection request order");
+                    if conn == 0 {
+                        println!(
+                            "conn {conn} seq {} -> score {} at {:?} ({} cells)",
+                            resp.seq, resp.score, resp.best_cell, resp.cells
+                        );
+                    }
+                }
+            });
+        }
+
+        // A request the device cannot hold (read longer than max_len) is
+        // quarantined by the engine and answered with an error frame —
+        // the connection, and everyone else's, keeps working.
+        scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let too_long = "ACGT".repeat(80); // 320 > max_len 256
+            match client.align("global_linear", &too_long, "ACGTACGT") {
+                Err(ClientError::Server(err)) => {
+                    println!(
+                        "oversized pair answered with: {:?} ({})",
+                        err.code, err.message
+                    )
+                }
+                other => panic!("expected a quarantine error frame, got {other:?}"),
+            }
+            let ok = client
+                .align("global_linear", "ACGTACGTACGT", "ACGAACGTACGT")
+                .expect("same connection still serves");
+            println!("follow-up on the same connection: score {}", ok.score);
+        });
+    });
+
+    // Open-loop load burst: 4 connections x 32 unpaced requests.
+    let report = run_load(
+        addr,
+        &LoadConfig {
+            connections: 4,
+            requests: 32,
+            len: 128,
+            ..LoadConfig::default()
+        },
+    )?;
+    println!(
+        "load: {} answers in {:.2?} -> {:.0} rps, p50 {:.2} ms, p99 {:.2} ms",
+        report.completed, report.elapsed, report.rps, report.p50_ms, report.p99_ms
+    );
+
+    let stats = server.shutdown();
+    println!(
+        "server totals: {} requests, {} responses, {} error frames",
+        stats.requests, stats.responses, stats.error_frames
+    );
+    for (kernel, k) in &stats.kernels {
+        println!(
+            "  {kernel}: {} pairs, {} quarantined",
+            k.pairs, k.quarantined
+        );
+    }
+    Ok(())
+}

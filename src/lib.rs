@@ -28,6 +28,7 @@
 //! | [`seq`] | `dphls-seq` | alphabets, sequences, dataset generators |
 //! | [`baselines`] | `dphls-baselines` | CPU/RTL/HLS/GPU baselines + iso-cost |
 //! | [`host`] | `dphls-host` | batch scheduler, streaming pipeline, GACT-style long-read tiling |
+//! | [`serve`] | `dphls-serve` | alignment-as-a-service: TCP server, wire protocol, load generator |
 //! | [`fixed`] | `dphls-fixed` | `ap_fixed` / `ap_uint` stand-ins |
 //! | [`util`] | `dphls-util` | PRNG, stats, tables |
 //!
@@ -252,6 +253,16 @@
 //! # Ok::<(), StreamError<FastaError>>(())
 //! ```
 //!
+//! ## Serving
+//!
+//! [`serve`] turns the streaming engine into a long-running service: a
+//! `std::net` TCP server multiplexes concurrent connections into one
+//! [`host::StreamSession`] per kernel, with the admission window as the
+//! backpressure mechanism and per-connection order restored before
+//! frames hit the socket. The crate-level example in [`serve`] round-trips
+//! an in-process server; `examples/serve_alignments.rs` is the runnable
+//! version, and `docs/SERVING.md` specifies the wire protocol.
+//!
 //! Run the paper's experiments with
 //! `cargo run -p dphls-bench --bin all_experiments`; the architecture tour
 //! lives in `docs/ARCHITECTURE.md`.
@@ -263,6 +274,7 @@ pub use dphls_fpga as fpga;
 pub use dphls_host as host;
 pub use dphls_kernels as kernels;
 pub use dphls_seq as seq;
+pub use dphls_serve as serve;
 pub use dphls_systolic as systolic;
 pub use dphls_util as util;
 
