@@ -6,8 +6,10 @@
 //! comparison (streamed-vs-batched, gated ≥ 0.9×), the ISSUE 5
 //! NB-scaling point (modeled NB-vs-1 ratio, gated ≥ 3.5× at NB = 4), and
 //! the PR 6 resilience-overhead point (instrumented-vs-fast-path, gated
-//! ≥ 0.95×), and the PR 7 serving point (`dphls-serve` under open-loop
-//! load vs direct streaming, gated ≥ 0.5×, with latency percentiles).
+//! ≥ 0.95×), the PR 7 serving point (`dphls-serve` under open-loop
+//! load vs direct streaming, gated ≥ 0.5×, with latency percentiles), and
+//! the ISSUE 8 adaptive-precision point (saturating-`i8` fast path vs the
+//! exact `i16` path, gated ≥ 1.3×, escalation rate recorded).
 //! Validate or diff a report with `bench_check`.
 //!
 //! ```text
@@ -126,6 +128,22 @@ fn main() {
             format!("PASS (>= {}x)", dphls_bench::check::SERVING_GATE)
         } else {
             format!("FAIL (< {}x)", dphls_bench::check::SERVING_GATE)
+        },
+    );
+    eprintln!(
+        "  adaptive     {} x{:<6} NK={} lanes={} | exact {:>9.0} aln/s | adaptive {:>9.0} ({:.2}x) esc {:.1}% {}",
+        report.adaptive_precision.workload,
+        report.adaptive_precision.pairs,
+        report.adaptive_precision.nk,
+        report.adaptive_precision.lanes,
+        report.adaptive_precision.exact_aps,
+        report.adaptive_precision.adaptive_aps,
+        report.adaptive_precision.ratio,
+        report.adaptive_precision.escalation_rate * 100.0,
+        if report.adaptive_precision.pass {
+            format!("PASS (>= {}x)", dphls_bench::check::ADAPTIVE_GATE)
+        } else {
+            format!("FAIL (< {}x)", dphls_bench::check::ADAPTIVE_GATE)
         },
     );
     eprintln!(

@@ -18,7 +18,7 @@
 use serde::JsonValue;
 
 /// Report schema version this checker understands.
-pub const SCHEMA_VERSION: u64 = 6;
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Default relative tolerance of the regression gate (15 %).
 pub const DEFAULT_TOLERANCE: f64 = 0.15;
@@ -70,6 +70,19 @@ pub const RESILIENCE_GATE: f64 = 0.95;
 /// gated absolutely — they carry the 1-core `host_cores` caveat and are
 /// only regression-diffed between multi-core reports in [`compare`].
 pub const SERVING_GATE: f64 = 0.5;
+
+/// Minimum adaptive/exact throughput ratio of the `adaptive_precision`
+/// point (the ISSUE 8 gate): the saturating-`i8` fast path — including the
+/// escalation tax of its planted guard-tripping pairs — must beat the
+/// exact `i16` path by at least 1.3× on the short-read banded workload.
+/// Both runs share the engine machinery and the machine (internally
+/// paired), so the ratio itself is comparable across boxes; like the other
+/// wall-clock gates, the absolute threshold is only enforced at or above
+/// [`STREAMING_GATE_MIN_PAIRS`] pairs. The point's `escalation_rate` must
+/// be strictly inside `(0, 1)` at every scale — a rate of 0 means the
+/// workload never exercises the escalation path (best-case benchmarking),
+/// 1 means the fast path never ran at all.
+pub const ADAPTIVE_GATE: f64 = 1.3;
 
 /// Ratio fields diffed by the regression gate.
 const RATIO_KEYS: [&str; 4] = [
@@ -152,6 +165,21 @@ const SERVING_KEYS: [&str; 13] = [
     "ratio",
     "p50_ms",
     "p99_ms",
+    "pass",
+];
+
+/// Required adaptive_precision-object keys.
+const ADAPTIVE_PRECISION_KEYS: [&str; 11] = [
+    "workload",
+    "pairs",
+    "len",
+    "npe",
+    "nk",
+    "lanes",
+    "exact_aps",
+    "adaptive_aps",
+    "ratio",
+    "escalation_rate",
     "pass",
 ];
 
@@ -518,6 +546,64 @@ pub fn validate(report: &JsonValue) -> Vec<String> {
         }
         None => problems.push("missing `serving` object".into()),
     }
+
+    match get(report, "adaptive_precision") {
+        Some(ap) => {
+            for field in ADAPTIVE_PRECISION_KEYS {
+                if get(ap, field).is_none() {
+                    problems.push(format!("adaptive_precision: missing `{field}`"));
+                }
+            }
+            let ratio = num(ap, "ratio");
+            if let (Some(e), Some(a)) = (num(ap, "exact_aps"), num(ap, "adaptive_aps")) {
+                if e <= 0.0 || a <= 0.0 {
+                    problems.push("adaptive_precision: aps figures must be positive".into());
+                } else if let Some(stored) = ratio {
+                    let derived = a / e;
+                    if (stored - derived).abs() > 1e-6 * derived.abs().max(1.0) {
+                        problems.push(format!(
+                            "adaptive_precision: `ratio` = {stored} but aps ratio is {derived}"
+                        ));
+                    }
+                }
+            }
+            // The escalation rate must be non-degenerate at every scale:
+            // 0 means the guard was never exercised, 1 means the `i8`
+            // path never served a pair — either way the ratio measures
+            // the wrong thing.
+            if let Some(rate) = num(ap, "escalation_rate") {
+                if rate <= 0.0 || rate >= 1.0 {
+                    problems.push(format!(
+                        "adaptive_precision: `escalation_rate` = {rate} is degenerate \
+                         (must be strictly inside (0, 1))"
+                    ));
+                }
+            }
+            match (get(ap, "pass"), ratio) {
+                (Some(JsonValue::Bool(stored)), Some(r)) => {
+                    if *stored != (r >= ADAPTIVE_GATE) {
+                        problems.push(format!(
+                            "adaptive_precision: `pass` = {stored} disagrees with \
+                             `ratio` = {r} (threshold {ADAPTIVE_GATE})"
+                        ));
+                    }
+                    // The gate itself: the fast path must beat exact by
+                    // the gated margin. Wall-clock, so only enforced at a
+                    // pair count where the ratio is signal.
+                    if r < ADAPTIVE_GATE
+                        && num(ap, "pairs").is_some_and(|p| p >= STREAMING_GATE_MIN_PAIRS)
+                    {
+                        problems.push(format!(
+                            "adaptive gate failed: adaptive/exact ratio {r} < {ADAPTIVE_GATE}"
+                        ));
+                    }
+                }
+                (Some(JsonValue::Bool(_)), None) | (None, _) => {}
+                (Some(_), _) => problems.push("adaptive_precision: `pass` not a bool".into()),
+            }
+        }
+        None => problems.push("missing `adaptive_precision` object".into()),
+    }
     problems
 }
 
@@ -695,12 +781,44 @@ pub fn compare(current: &JsonValue, baseline: &JsonValue, tolerance: f64) -> Com
                     .push(format!("serving: `p99_ms` improved {base:.3} -> {cur:.3}"));
             }
         }
-        (Some(_), Some(_)) => cmp
-            .notes
-            .push("1-core caveat: serving `p99_ms` comparison skipped".into()),
+        // Symmetric caveat: latency is only comparable when BOTH reports
+        // saw more than one core — a 1-core measurement on either side
+        // (baseline or current) is queueing noise, not signal.
+        (Some(_), Some(_)) => cmp.notes.push(format!(
+            "1-core caveat: serving `p99_ms` comparison skipped \
+             (baseline {} cores, current {} cores)",
+            cores(baseline),
+            cores(current)
+        )),
         (Some(_), None) => cmp
             .regressions
             .push("serving: `p99_ms` missing from current report".into()),
+        (None, _) => {}
+    }
+
+    // The adaptive-precision ratio is internally paired (the exact and
+    // fast-path runs share the engine machinery and the machine), and the
+    // point is pure compute with no fixed per-run setup costs, so like the
+    // resilience ratio it is compared regardless of core count or scale.
+    let adaptive_ratio = |r| get(r, "adaptive_precision").and_then(|ap| num(ap, "ratio"));
+    match (adaptive_ratio(baseline), adaptive_ratio(current)) {
+        (Some(base), Some(cur)) => {
+            let floor = base * (1.0 - tolerance);
+            if cur < floor {
+                cmp.regressions.push(format!(
+                    "adaptive_precision: `ratio` regressed {base:.3} -> {cur:.3} \
+                     (floor {floor:.3} at {:.0}% tolerance)",
+                    tolerance * 100.0
+                ));
+            } else if cur > base * (1.0 + tolerance) {
+                cmp.notes.push(format!(
+                    "adaptive_precision: `ratio` improved {base:.3} -> {cur:.3}"
+                ));
+            }
+        }
+        (Some(_), None) => cmp
+            .regressions
+            .push("adaptive_precision: `ratio` missing from current report".into()),
         (None, _) => {}
     }
 
@@ -745,7 +863,7 @@ mod tests {
     use super::*;
 
     fn report_json(lane_vs_scratch: f64, host_cores: u64) -> String {
-        report_json_full(lane_vs_scratch, host_cores, 0.95, 3.98, 0.98, 0.85)
+        report_json_full(lane_vs_scratch, host_cores, 0.95, 3.98, 0.98, 0.85, 1.6)
     }
 
     fn report_json_with_streaming(
@@ -760,11 +878,12 @@ mod tests {
             3.98,
             0.98,
             0.85,
+            1.6,
         )
     }
 
     fn report_json_with_nb(lane_vs_scratch: f64, host_cores: u64, nb_ratio: f64) -> String {
-        report_json_full(lane_vs_scratch, host_cores, 0.95, nb_ratio, 0.98, 0.85)
+        report_json_full(lane_vs_scratch, host_cores, 0.95, nb_ratio, 0.98, 0.85, 1.6)
     }
 
     fn report_json_with_resilience(
@@ -779,6 +898,7 @@ mod tests {
             3.98,
             resilience_ratio,
             0.85,
+            1.6,
         )
     }
 
@@ -787,7 +907,31 @@ mod tests {
         host_cores: u64,
         serving_ratio: f64,
     ) -> String {
-        report_json_full(lane_vs_scratch, host_cores, 0.95, 3.98, 0.98, serving_ratio)
+        report_json_full(
+            lane_vs_scratch,
+            host_cores,
+            0.95,
+            3.98,
+            0.98,
+            serving_ratio,
+            1.6,
+        )
+    }
+
+    fn report_json_with_adaptive(
+        lane_vs_scratch: f64,
+        host_cores: u64,
+        adaptive_ratio: f64,
+    ) -> String {
+        report_json_full(
+            lane_vs_scratch,
+            host_cores,
+            0.95,
+            3.98,
+            0.98,
+            0.85,
+            adaptive_ratio,
+        )
     }
 
     fn report_json_full(
@@ -797,11 +941,12 @@ mod tests {
         nb_ratio: f64,
         resilience_ratio: f64,
         serving_ratio: f64,
+        adaptive_ratio: f64,
     ) -> String {
         let laned = 2000.0 * lane_vs_scratch;
         format!(
             r#"{{
-              "version": 6,
+              "version": 7,
               "host_cores": {host_cores},
               "points": [
                 {{
@@ -853,6 +998,13 @@ mod tests {
                 "streamed_aps": 3000.0, "served_rps": {served},
                 "ratio": {serving_ratio}, "p50_ms": 5.0, "p99_ms": 9.0,
                 "pass": {serving_pass}
+              }},
+              "adaptive_precision": {{
+                "workload": "banded_w20", "pairs": 10000, "len": 120,
+                "npe": 120, "nk": 4, "lanes": 32,
+                "exact_aps": 4000.0, "adaptive_aps": {adaptive},
+                "ratio": {adaptive_ratio}, "escalation_rate": 0.05,
+                "pass": {adaptive_pass}
               }}
             }}"#,
             lspd = 2.0 * lane_vs_scratch,
@@ -865,6 +1017,8 @@ mod tests {
             resilience_pass = resilience_ratio >= RESILIENCE_GATE,
             served = 3000.0 * serving_ratio,
             serving_pass = serving_ratio >= SERVING_GATE,
+            adaptive = 4000.0 * adaptive_ratio,
+            adaptive_pass = adaptive_ratio >= ADAPTIVE_GATE,
         )
     }
 
@@ -920,6 +1074,99 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("nb_scaling")));
         assert!(problems.iter().any(|p| p.contains("resilience_overhead")));
         assert!(problems.iter().any(|p| p.contains("serving")));
+        assert!(problems.iter().any(|p| p.contains("adaptive_precision")));
+    }
+
+    #[test]
+    fn adaptive_gate_and_consistency_are_enforced() {
+        // A consistent but failing ratio is a problem at full scale...
+        let problems = validate(&parse(&report_json_with_adaptive(1.5, 1, 1.1)));
+        assert!(
+            problems.iter().any(|p| p.contains("adaptive gate failed")),
+            "{problems:?}"
+        );
+        // ...but not on a scaled-down smoke run (min-pairs guard).
+        let small = report_json_with_adaptive(1.5, 1, 1.1).replace(
+            "\"pairs\": 10000, \"len\": 120",
+            "\"pairs\": 20, \"len\": 120",
+        );
+        let problems = validate(&parse(&small));
+        assert!(
+            !problems.iter().any(|p| p.contains("adaptive gate failed")),
+            "{problems:?}"
+        );
+
+        // A stored ratio that disagrees with the aps figures is caught.
+        let s = report_json(1.5, 1).replace(
+            "\"ratio\": 1.6, \"escalation_rate\"",
+            "\"ratio\": 1.7, \"escalation_rate\"",
+        );
+        let problems = validate(&parse(&s));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("adaptive_precision: `ratio`")),
+            "{problems:?}"
+        );
+
+        // A pass flag that disagrees with the gate is caught at any scale.
+        let s = report_json_with_adaptive(1.5, 1, 1.1).replace(
+            "\"escalation_rate\": 0.05,\n                \"pass\": false",
+            "\"escalation_rate\": 0.05,\n                \"pass\": true",
+        );
+        let problems = validate(&parse(&s));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("adaptive_precision: `pass`")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_escalation_rate_is_caught() {
+        // 0: the guard was never exercised — best-case benchmarking.
+        for rate in ["0.0", "1.0"] {
+            let s = report_json(1.5, 1).replace(
+                "\"escalation_rate\": 0.05",
+                &format!("\"escalation_rate\": {rate}"),
+            );
+            let problems = validate(&parse(&s));
+            assert!(
+                problems.iter().any(|p| p.contains("degenerate")),
+                "rate {rate}: {problems:?}"
+            );
+        }
+        // A strictly interior rate is fine.
+        let problems = validate(&parse(&report_json(1.5, 1)));
+        assert_eq!(problems, Vec::<String>::new());
+    }
+
+    #[test]
+    fn adaptive_ratio_regression_fails_compare_at_any_core_count() {
+        let base = parse(&report_json_with_adaptive(1.5, 1, 1.6));
+        let ok = parse(&report_json_with_adaptive(1.5, 1, 1.45)); // -9%, inside 15%
+        assert!(compare(&ok, &base, DEFAULT_TOLERANCE)
+            .regressions
+            .is_empty());
+        // The ratio is internally paired, so a collapse regresses even on
+        // a 1-core pair (no core-count caveat).
+        let bad = parse(&report_json_with_adaptive(1.5, 1, 1.2));
+        let cmp = compare(&bad, &base, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions
+                .iter()
+                .any(|r| r.contains("adaptive_precision")),
+            "{cmp:?}"
+        );
+        // An improvement is a note, not a regression.
+        let good = parse(&report_json_with_adaptive(1.5, 1, 2.0));
+        let cmp = compare(&good, &base, DEFAULT_TOLERANCE);
+        assert!(cmp.regressions.is_empty(), "{cmp:?}");
+        assert!(
+            cmp.notes.iter().any(|n| n.contains("adaptive_precision")),
+            "{cmp:?}"
+        );
     }
 
     #[test]
@@ -1017,6 +1264,44 @@ mod tests {
         let base_mc = parse(&report_json_with_serving(1.5, 4, 0.9));
         let cur_mc = parse(&p99_spike(report_json_with_serving(1.5, 4, 0.9)));
         let cmp = compare(&cur_mc, &base_mc, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions.iter().any(|r| r.contains("p99_ms")),
+            "{cmp:?}"
+        );
+    }
+
+    /// The 1-core latency caveat must hold in BOTH mixed orders: a spiked
+    /// p99 is skipped whether the 1-core report is the baseline or the
+    /// current one. Only a multi-core pair diffs latency.
+    #[test]
+    fn serving_p99_caveat_is_symmetric_across_core_orders() {
+        let p99_spike = |s: String| s.replace("\"p99_ms\": 9.0", "\"p99_ms\": 27.0");
+        let skipped = |cmp: &Comparison| {
+            !cmp.regressions.iter().any(|r| r.contains("p99_ms"))
+                && cmp
+                    .notes
+                    .iter()
+                    .any(|n| n.contains("1-core caveat: serving `p99_ms`"))
+        };
+
+        // Multi-core baseline, 1-core current.
+        let base_mc = parse(&report_json_with_serving(1.5, 4, 0.9));
+        let cur_1c = parse(&p99_spike(report_json_with_serving(1.5, 1, 0.9)));
+        let cmp = compare(&cur_1c, &base_mc, DEFAULT_TOLERANCE);
+        assert!(skipped(&cmp), "{cmp:?}");
+
+        // 1-core baseline, multi-core current: same skip, other order.
+        let base_1c = parse(&report_json_with_serving(1.5, 1, 0.9));
+        let cur_mc = parse(&p99_spike(report_json_with_serving(1.5, 4, 0.9)));
+        let cmp = compare(&cur_mc, &base_1c, DEFAULT_TOLERANCE);
+        assert!(skipped(&cmp), "{cmp:?}");
+
+        // Control: both multi-core diffs (and fails on) the spike.
+        let cmp = compare(
+            &parse(&p99_spike(report_json_with_serving(1.5, 4, 0.9))),
+            &parse(&report_json_with_serving(1.5, 4, 0.9)),
+            DEFAULT_TOLERANCE,
+        );
         assert!(
             cmp.regressions.iter().any(|r| r.contains("p99_ms")),
             "{cmp:?}"

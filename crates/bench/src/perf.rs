@@ -12,10 +12,10 @@
 //! the same measurements under criterion.
 
 use crate::naive::run_systolic_naive;
-use dphls_core::{KernelConfig, LaneKernel};
+use dphls_core::{I8Lanes, KernelConfig, LaneKernel, LanePrecision};
 use dphls_host::{
-    run_batched, run_batched_resilient, run_batched_with, run_streamed, BatchConfig,
-    ResilienceConfig, StreamConfig,
+    run_batched, run_batched_adaptive, run_batched_resilient, run_batched_with, run_streamed,
+    BatchConfig, ResilienceConfig, StreamConfig,
 };
 use dphls_kernels::{default_banding, AffineParams, GlobalAffine, GlobalLinear, LinearParams};
 use dphls_seq::gen::ReadSimulator;
@@ -264,10 +264,52 @@ pub struct Serving {
     pub pass: bool,
 }
 
+/// The ISSUE 8 adaptive-precision experiment: the batch engine running the
+/// saturating-`i8` fast path ([`LanePrecision::Adaptive`], 32 lanes)
+/// against the exact `i16` path on a short-read banded workload whose
+/// pairs — bar a planted escalating fraction — stay inside the `i8` guard
+/// band, so the narrow engine's extra lanes turn into throughput rather
+/// than escalation re-runs. Both runs share the machine and the engine
+/// machinery (internally paired), so the ratio is comparable across boxes;
+/// the gate is `ratio >= ADAPTIVE_GATE` (≥ 1.3× — the fast path must beat
+/// exact by at least the lane-engine margin, not merely break even). The
+/// planted escalators keep `escalation_rate` non-degenerate: the point
+/// measures the adaptive engine *with* its escalation tax, not a
+/// best-case all-clean workload.
+#[derive(Debug, Serialize)]
+pub struct AdaptivePrecision {
+    /// Workload name (the banded short-read shape).
+    pub workload: String,
+    /// Pairs measured (including the planted escalators).
+    pub pairs: usize,
+    /// Sequence length of the clean short reads.
+    pub len: usize,
+    /// PEs per systolic array.
+    pub npe: usize,
+    /// Channels / host threads used by both runs.
+    pub nk: usize,
+    /// `i8` lane width of the adaptive run (16 or 32).
+    pub lanes: usize,
+    /// Exact `i16` path ([`LanePrecision::Exact`], aln/s wall clock).
+    pub exact_aps: f64,
+    /// Saturating-`i8` fast path with exact escalation
+    /// ([`LanePrecision::Adaptive`], aln/s wall clock).
+    pub adaptive_aps: f64,
+    /// `adaptive_aps / exact_aps`.
+    pub ratio: f64,
+    /// Fraction of completed pairs that tripped the `i8` guard and re-ran
+    /// exact (deterministic for a fixed workload; strictly inside (0, 1)
+    /// by construction — the planted escalators trip, the short clean
+    /// reads do not).
+    pub escalation_rate: f64,
+    /// Whether the `ratio >= ADAPTIVE_GATE` gate held.
+    pub pass: bool,
+}
+
 /// The full serialized throughput report.
 #[derive(Debug, Serialize)]
 pub struct ThroughputReport {
-    /// Report schema version (6 since the serving point landed).
+    /// Report schema version (7 since the adaptive-precision point landed).
     pub version: u32,
     /// Logical CPUs visible to the measuring process. Absolute aln/s and
     /// the `nk > 1` batched speedups are only comparable between reports
@@ -288,6 +330,9 @@ pub struct ThroughputReport {
     /// The PR 7 serving point (front-end throughput + latency) and its
     /// ratio gate.
     pub serving: Serving,
+    /// The ISSUE 8 adaptive-precision point (`i8` fast path vs exact
+    /// `i16`) and its ≥ 1.3× gate.
+    pub adaptive_precision: AdaptivePrecision,
 }
 
 /// Logical CPUs available to this process (1 if undetectable).
@@ -873,6 +918,124 @@ pub fn measure_serving(scale: usize) -> Serving {
     }
 }
 
+/// Measures the adaptive-precision fast path against the exact path on a
+/// short-read banded workload (scaled by `scale`): the same
+/// [`run_batched_adaptive`] engine under [`LanePrecision::Adaptive`] (32
+/// `i8` lanes) and [`LanePrecision::Exact`], timed in interleaved rounds
+/// with the median-ratio round taken wholesale — the gate-point discipline
+/// of [`measure_streaming`].
+///
+/// Workload shape, chosen so the guard band does the intended split:
+/// * clean reads are 120 bases under unit scoring (`+1/−1/−1`) and a
+///   half-width-20 band — the maximum cell value is bounded by
+///   `1·120 = 120 < 127` and the band-edge gap ramp by `−20 > −32`, with
+///   twelve points of headroom for mismatch dips, so they stay on the
+///   `i8` path;
+/// * every 20th pair carries a 44-base homopolymer mismatch block —
+///   query prefix all-`A`, reference prefix all-`C` — so every in-band
+///   cell of the prefix region mismatches under **any** path (no
+///   accidental matches for the band to route around) and the wavefront
+///   is forced to `−32` by row 32, deterministically tripping the
+///   **lower** guard rail about a quarter of the way through the matrix
+///   (an early, cheap abort followed by the exact re-run, the realistic
+///   escalation shape).
+///
+/// A functional pre-flight asserts the adaptive outputs are bit-identical
+/// to the exact ones and that exactly the planted fraction escalates
+/// before any timing happens.
+pub fn measure_adaptive_precision(scale: usize) -> AdaptivePrecision {
+    let s = scale.max(1);
+    let pairs = (10_000 / s).max(10);
+    let len = 120usize;
+    let escalator_prefix = 44usize;
+    let npe = 120usize;
+    let nk = 4usize;
+    let half_width = 20usize;
+    let lanes = I8Lanes::X32;
+    let params = LinearParams::<i16>::unit();
+    let mut workload = make_workload(pairs, len, 0xD9);
+    let mut planted = 0usize;
+    for (i, (q, r)) in workload.iter_mut().enumerate() {
+        if i % 20 == 3 {
+            // Homopolymer mismatch block: all-A query prefix against an
+            // all-C reference prefix mismatches at every in-band cell, so
+            // the best path is forced one point down per wavefront and
+            // crosses −32 by row 32.
+            *q = r.clone();
+            for b in &mut q[..escalator_prefix] {
+                *b = Base::A;
+            }
+            for b in &mut r[..escalator_prefix] {
+                *b = Base::C;
+            }
+            planted += 1;
+        }
+    }
+    let config = KernelConfig::new(npe, 1, nk)
+        .with_max_lengths(len, len)
+        .with_banding(half_width);
+    let device = device_for(config);
+    let n = workload.len();
+    let res = ResilienceConfig::disabled();
+    let run = |precision| {
+        run_batched_adaptive::<GlobalLinear>(
+            &device,
+            &params,
+            precision,
+            &workload,
+            BatchConfig::default(),
+            &res,
+            None,
+        )
+        .expect("bench workload must be valid")
+    };
+
+    // Functional pre-flight (untimed): the fast path must be bit-identical
+    // and the planted escalators — and only they — must trip the guard.
+    let exact_ref = run(LanePrecision::Exact);
+    let adaptive_ref = run(LanePrecision::Adaptive(lanes));
+    assert_eq!(
+        adaptive_ref.outputs, exact_ref.outputs,
+        "adaptive outputs must be bit-identical to exact"
+    );
+    assert_eq!(exact_ref.escalations, 0, "exact path never escalates");
+    assert_eq!(
+        adaptive_ref.escalations, planted as u64,
+        "exactly the planted pairs escalate"
+    );
+    let escalation_rate = adaptive_ref.escalation_rate();
+
+    // Absolute-threshold gate: interleaved rounds, median ratio wholesale.
+    let rounds = (6_000 / pairs.max(1)).clamp(3, 8);
+    let mut samples: Vec<(f64, f64)> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        std::hint::black_box(run(LanePrecision::Exact));
+        let exact_aps = aps(n, start);
+
+        let start = Instant::now();
+        std::hint::black_box(run(LanePrecision::Adaptive(lanes)));
+        let adaptive_aps = aps(n, start);
+        samples.push((exact_aps, adaptive_aps));
+    }
+    samples.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    let (exact_aps, adaptive_aps) = samples[samples.len() / 2];
+    let ratio = adaptive_aps / exact_aps.max(1e-9);
+    AdaptivePrecision {
+        workload: format!("banded_w{half_width}"),
+        pairs,
+        len,
+        npe,
+        nk,
+        lanes: lanes.width(),
+        exact_aps,
+        adaptive_aps,
+        ratio,
+        escalation_rate,
+        pass: ratio >= crate::check::ADAPTIVE_GATE,
+    }
+}
+
 /// Runs the full matrix and assembles the report. The acceptance gate is
 /// the banded 10k-pair single-channel point (scaled by `scale`).
 pub fn build_report(scale: usize) -> ThroughputReport {
@@ -893,7 +1056,7 @@ pub fn build_report(scale: usize) -> ThroughputReport {
         lane_pass: gate.lane_vs_scratch >= 1.3,
     };
     ThroughputReport {
-        version: 6,
+        version: 7,
         host_cores: host_cores(),
         points,
         acceptance,
@@ -901,6 +1064,7 @@ pub fn build_report(scale: usize) -> ThroughputReport {
         nb_scaling: measure_nb_scaling(scale),
         resilience_overhead: measure_resilience_overhead(scale),
         serving: measure_serving(scale),
+        adaptive_precision: measure_adaptive_precision(scale),
     }
 }
 
@@ -971,6 +1135,22 @@ mod tests {
         assert_eq!(p.pass, p.ratio >= crate::check::SERVING_GATE);
         let json = serde_json::to_string_pretty(&p).unwrap();
         assert!(json.contains("\"served_rps\""));
+        serde_json::from_str(&json).expect("point serializes to valid JSON");
+    }
+
+    #[test]
+    fn adaptive_precision_measures_and_serializes() {
+        let p = measure_adaptive_precision(500); // 20 pairs, 1 escalator
+        assert_eq!(p.pairs, 20);
+        assert_eq!((p.lanes, p.nk), (32, 4));
+        assert!(p.exact_aps > 0.0 && p.adaptive_aps > 0.0 && p.ratio > 0.0);
+        assert!((p.ratio - p.adaptive_aps / p.exact_aps).abs() < 1e-9);
+        // The planted escalators keep the rate strictly non-degenerate at
+        // every scale: 1 of 20 pairs here.
+        assert!((p.escalation_rate - 0.05).abs() < 1e-9);
+        assert_eq!(p.pass, p.ratio >= crate::check::ADAPTIVE_GATE);
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        assert!(json.contains("\"escalation_rate\""));
         serde_json::from_str(&json).expect("point serializes to valid JSON");
     }
 

@@ -18,15 +18,17 @@
 //! require `K: LaneKernel` unconditionally. Kernels that override the
 //! default (the linear and affine families in `dphls-kernels`) must stay
 //! **bit-identical** to the scalar path — same saturating
-//! [`Score`](crate::score::Score) ops,
+//! [`Score`] ops,
 //! same candidate order and strict-improvement tie-breaks as
 //! [`crate::score::argmax`] — which the lane-vs-scalar property suite
 //! enforces across scores *and* traceback pointers.
 
 use crate::kernel::{KernelSpec, LayerVec};
+use crate::score::Score;
 use crate::traceback::TbPtr;
 
-/// Number of wavefront lanes one [`LaneKernel::pe_lanes`] call scores.
+/// Number of wavefront lanes one [`LaneKernel::pe_lanes`] call scores at the
+/// default (exact, `i16`) precision.
 ///
 /// Eight lanes of `i16` scores fill a 128-bit vector register — wide enough
 /// to saturate SSE2/NEON and to give AVX2 two chunks of useful work, narrow
@@ -34,7 +36,67 @@ use crate::traceback::TbPtr;
 /// half-width 8–32) still fill whole chunks.
 pub const LANE_WIDTH: usize = 8;
 
+/// The narrow `i8` fast-path lane width: 16 × `i8` fills the same 128-bit
+/// register [`LANE_WIDTH`] fills with `i16`, halving the `pe_lanes` calls
+/// per wavefront.
+pub const I8_LANES_NARROW: usize = 16;
+
+/// The wide `i8` fast-path lane width: 32 × `i8` fills a 256-bit (AVX2)
+/// register, quartering the `pe_lanes` calls per wavefront.
+pub const I8_LANES_WIDE: usize = 32;
+
+/// Largest per-candidate score step (match/mismatch/gap parameter magnitude)
+/// the `i8` fast path admits.
+///
+/// The escalation guard band ([`crate::score::I8_GUARD_MIN`]) is sound only
+/// when one selection candidate moves a score by at most this much: a
+/// candidate derived from the narrow `neg_inf` sentinel (−64) then lands at
+/// `−64 + 32 = −32` or below, inside the band, so a clean (non-escalated)
+/// run provably never selected one. Parameter sets exceeding this magnitude
+/// are rejected by the `narrow_i8` conversions and run the exact path.
+pub const I8_PARAM_LIMIT: i16 = 32;
+
+/// Runtime choice of `i8` fast-path lane width — the value the host layers
+/// thread through to pick the monomorphized engine instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum I8Lanes {
+    /// 16 lanes (one 128-bit register of `i8`).
+    #[default]
+    X16,
+    /// 32 lanes (one 256-bit register of `i8`).
+    X32,
+}
+
+impl I8Lanes {
+    /// The lane count this variant selects.
+    pub fn width(self) -> usize {
+        match self {
+            I8Lanes::X16 => I8_LANES_NARROW,
+            I8Lanes::X32 => I8_LANES_WIDE,
+        }
+    }
+}
+
+/// Runtime precision selection for the host engines: score every pair at the
+/// kernel's native precision, or try the saturating-`i8` fast path first and
+/// escalate dirty pairs. Results are bit-identical either way; only the
+/// wall-clock changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LanePrecision {
+    /// The exact path: [`LANE_WIDTH`] lanes at the kernel's score type.
+    #[default]
+    Exact,
+    /// The adaptive path: saturating `i8` at the given width, with exact
+    /// re-runs for pairs that trip the escalation guard.
+    Adaptive(I8Lanes),
+}
+
 /// A kernel that can score a contiguous run of wavefront lanes per call.
+///
+/// `LANES` is the chunk width of one `pe_lanes` call. It defaults to
+/// [`LANE_WIDTH`], so `K: LaneKernel` (and every existing bound in the
+/// engines) keeps meaning the 8-lane exact path; the adaptive `i8` path
+/// instantiates the same kernels at [`I8_LANES_NARROW`] / [`I8_LANES_WIDE`].
 ///
 /// # Lane geometry
 ///
@@ -48,11 +110,11 @@ pub const LANE_WIDTH: usize = 8;
 /// * `diag`/`up`/`left`: `n` neighbor vectors each, lane `t` reads index `t`;
 /// * `out`/`ptrs`: `n` output slots, lane `t` writes index `t`.
 ///
-/// All seven slices have the same length `n`, with `1 ≤ n ≤ LANE_WIDTH`.
+/// All seven slices have the same length `n`, with `1 ≤ n ≤ LANES`.
 /// The engine guarantees every lane is in-band and in-matrix and that the
 /// neighbor vectors are already populated — the same contract as
 /// [`KernelSpec::pe`], widened.
-pub trait LaneKernel: KernelSpec {
+pub trait LaneKernel<const LANES: usize = { LANE_WIDTH }>: KernelSpec {
     /// Scores `q.len()` consecutive lanes of one wavefront.
     ///
     /// The default implementation is the scalar fallback: one
@@ -76,8 +138,8 @@ pub trait LaneKernel: KernelSpec {
     ) {
         let n = q.len();
         debug_assert!(
-            (1..=LANE_WIDTH).contains(&n),
-            "lane call must score 1..=LANE_WIDTH cells"
+            (1..=LANES).contains(&n),
+            "lane call must score 1..=LANES cells"
         );
         debug_assert!(
             r_rev.len() == n
@@ -94,6 +156,101 @@ pub trait LaneKernel: KernelSpec {
             ptrs[t] = p;
         }
     }
+
+    /// Scores `q.len()` consecutive lanes with **flat single-layer ports**:
+    /// the neighbor and output streams are plain `&[Score]` slices instead of
+    /// [`LayerVec`] vectors. The engine calls this (never [`Self::pe_lanes`])
+    /// for kernels whose [`KernelMeta::n_layers`](crate::KernelMeta) is 1, so
+    /// the wavefront buffers stay structure-of-arrays end to end: gathers and
+    /// scatters become contiguous vector copies instead of per-lane strided
+    /// walks over five-slot layer vectors.
+    ///
+    /// Returns `true` when any **real** lane's output value is inside the
+    /// escalation guard band ([`Score::needs_escalation`]) — the saturation
+    /// check is fused into the lane body where the scores are still in
+    /// registers. Exact score types return `false` unconditionally and the
+    /// whole check compiles away; padded dead lanes are never consulted (they
+    /// compute garbage that must not trip the guard).
+    ///
+    /// The default implementation wraps the flat ports into one-layer
+    /// [`LayerVec`]s and defers to [`Self::pe_lanes`], which is bit-identical
+    /// for any single-layer kernel (its PE can only consult the primary
+    /// layer). Multi-layer kernels must not be called through this port.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn pe_lanes_primary(
+        params: &Self::Params,
+        q: &[Self::Sym],
+        r_rev: &[Self::Sym],
+        diag: &[Self::Score],
+        up: &[Self::Score],
+        left: &[Self::Score],
+        out: &mut [Self::Score],
+        ptrs: &mut [TbPtr],
+    ) -> bool {
+        debug_assert_eq!(
+            Self::meta().n_layers,
+            1,
+            "pe_lanes_primary is only defined for single-layer kernels"
+        );
+        let n = q.len();
+        debug_assert!(
+            (1..=LANES).contains(&n),
+            "lane call must score 1..=LANES cells"
+        );
+        let fill = LayerVec::splat(1, Self::Score::zero());
+        let mut dv = [fill; LANES];
+        let mut uv = [fill; LANES];
+        let mut lv = [fill; LANES];
+        let mut ov = [fill; LANES];
+        for t in 0..n {
+            dv[t] = LayerVec::splat(1, diag[t]);
+            uv[t] = LayerVec::splat(1, up[t]);
+            lv[t] = LayerVec::splat(1, left[t]);
+        }
+        Self::pe_lanes(
+            params,
+            q,
+            r_rev,
+            &dv[..n],
+            &uv[..n],
+            &lv[..n],
+            &mut ov[..n],
+            ptrs,
+        );
+        let mut escalate = false;
+        for t in 0..n {
+            let o = ov[t].primary();
+            out[t] = o;
+            escalate |= o.needs_escalation();
+        }
+        escalate
+    }
+}
+
+/// An exact-`i16` kernel with a saturating-`i8` companion — the dispatch
+/// seam of the adaptive-precision path, placed at the kernel boundary (the
+/// wavefront loop itself stays precision-oblivious).
+///
+/// `Lo` is the same recurrence instantiated at `Score = i8` and both fast
+/// lane widths. The escalation contract: the adaptive engine scores a pair
+/// with `Lo`, scanning every computed wavefront for
+/// [`Score::needs_escalation`]
+/// values; a clean run is **bit-identical** to the exact engine (scores,
+/// traceback, best cell, stats), a dirty run is discarded and the pair
+/// re-run with `Self` at `i16`. The cross-precision property suite enforces
+/// this over the full kernel family.
+pub trait AdaptiveKernel: LaneKernel + KernelSpec<Score = i16> {
+    /// The `i8` companion kernel: same symbols, same recurrence, narrow
+    /// scores, instantiable at both fast lane widths.
+    type Lo: LaneKernel<{ I8_LANES_NARROW }>
+        + LaneKernel<{ I8_LANES_WIDE }>
+        + KernelSpec<Sym = Self::Sym, Score = i8>;
+
+    /// Value-exact narrowing of the scoring parameters, or `None` when any
+    /// magnitude exceeds [`I8_PARAM_LIMIT`] (the fast path would be unsound;
+    /// the adaptive engine then escalates every pair).
+    fn lo_params(params: &Self::Params) -> Option<<Self::Lo as KernelSpec>::Params>;
 }
 
 #[cfg(test)]
@@ -149,6 +306,7 @@ mod tests {
     }
 
     impl LaneKernel for Fallback {}
+    impl LaneKernel<16> for Fallback {}
 
     #[test]
     fn fallback_matches_per_cell_pe() {
@@ -160,7 +318,7 @@ mod tests {
         let left = mk([1, 1, 1, 1]);
         let mut out = [LayerVec::splat(1, 0i32); 4];
         let mut ptrs = [TbPtr::END; 4];
-        Fallback::pe_lanes(&(), &q, &r_rev, &diag, &up, &left, &mut out, &mut ptrs);
+        <Fallback as LaneKernel>::pe_lanes(&(), &q, &r_rev, &diag, &up, &left, &mut out, &mut ptrs);
         for t in 0..4 {
             let (want, wptr) = Fallback::pe(&(), q[t], r_rev[3 - t], &diag[t], &up[t], &left[t]);
             assert_eq!(out[t], want, "lane {t}");
@@ -171,5 +329,37 @@ mod tests {
     #[test]
     fn lane_width_fits_a_vector_register() {
         assert_eq!(LANE_WIDTH * 16, 128); // 8 × i16 = one 128-bit register
+        assert_eq!(I8_LANES_NARROW * 8, 128); // 16 × i8 = the same register
+        assert_eq!(I8_LANES_WIDE * 8, 256); // 32 × i8 = one AVX2 register
+        assert_eq!(I8Lanes::X16.width(), I8_LANES_NARROW);
+        assert_eq!(I8Lanes::X32.width(), I8_LANES_WIDE);
+        assert_eq!(LanePrecision::default(), LanePrecision::Exact);
+    }
+
+    /// The scalar fallback is width-generic: the same kernel type scores
+    /// wider chunks when bound at a wider `LANES`.
+    #[test]
+    fn fallback_scores_wide_chunks() {
+        let q: Vec<i16> = (0..12).collect();
+        let r_rev: Vec<i16> = (0..12).rev().collect();
+        let mk = |n: usize| vec![LayerVec::splat(1, 0i32); n];
+        let (diag, up, left) = (mk(12), mk(12), mk(12));
+        let mut out = mk(12);
+        let mut ptrs = vec![TbPtr::END; 12];
+        <Fallback as LaneKernel<16>>::pe_lanes(
+            &(),
+            &q,
+            &r_rev,
+            &diag,
+            &up,
+            &left,
+            &mut out,
+            &mut ptrs,
+        );
+        for t in 0..12 {
+            let (want, wptr) = Fallback::pe(&(), q[t], r_rev[11 - t], &diag[t], &up[t], &left[t]);
+            assert_eq!(out[t], want, "lane {t}");
+            assert_eq!(ptrs[t], wptr, "lane {t}");
+        }
     }
 }

@@ -50,6 +50,15 @@ pub trait Score: Copy + fmt::Debug + PartialEq + PartialOrd + Send + Sync + 'sta
     fn max_with(self, rhs: Self) -> (Self, bool);
     /// Returns `(min(self, rhs), rhs_won)` — one comparator plus one mux.
     fn min_with(self, rhs: Self) -> (Self, bool);
+    /// Whether a computed cell value at this precision can no longer be
+    /// trusted to match a wider-precision run bit-for-bit, so the pair must
+    /// be escalated (re-run at the wider precision).
+    ///
+    /// Only narrow fast-path types (`i8`) override this; every exact
+    /// precision returns `false` so the guard scan compiles away.
+    fn needs_escalation(self) -> bool {
+        false
+    }
 }
 
 macro_rules! impl_score_int {
@@ -106,6 +115,84 @@ macro_rules! impl_score_int {
 impl_score_int!(i16, 16);
 impl_score_int!(i32, 32);
 impl_score_int!(i64, 64);
+
+/// Upper edge of the `i8` guard band: any computed value at or above this
+/// forces escalation. A saturating add can only produce `i8::MAX` when the
+/// true sum is ≥ `i8::MAX`, so flagging the cap itself catches every upward
+/// overflow at the moment it is created.
+pub const I8_GUARD_MAX: i8 = i8::MAX;
+
+/// Lower edge of the `i8` guard band: any computed value at or below this
+/// forces escalation.
+///
+/// `−32 = MIN/4` is what makes the narrow `neg_inf` sentinel (`MIN/2 = −64`)
+/// safe: every adaptive-eligible kernel steps scores by at most
+/// [`crate::lanes::I8_PARAM_LIMIT`] per selection candidate, so a candidate
+/// derived from a sentinel (or from a saturated boundary init, ≤ `−64`
+/// either way) can reach at most `−64 + 32 = −32`. A run whose computed
+/// cells all stay strictly inside `(−32, 127)` therefore never *selected* a
+/// sentinel-derived or saturated candidate anywhere, which is exactly the
+/// inductive condition for bit-identity with the wide engine. Flagging only
+/// `i8::MIN`/`i8::MAX` would miss sentinel chains that "recover" into the
+/// representable range without ever touching the rails.
+pub const I8_GUARD_MIN: i8 = i8::MIN / 4;
+
+/// The saturating-`i8` fast-path score: same recurrence semantics as the
+/// other integer scores (sentinels at `MIN/2`, saturating arithmetic,
+/// strict-improvement `max_with`), plus the guard-band
+/// [`Score::needs_escalation`] that the adaptive engine scans every computed
+/// wavefront for.
+impl Score for i8 {
+    const BITS: u32 = 8;
+
+    fn zero() -> Self {
+        0
+    }
+    fn neg_inf() -> Self {
+        // Half the range: headroom so sentinel - penalty never wraps.
+        i8::MIN / 2
+    }
+    fn pos_inf() -> Self {
+        i8::MAX / 2
+    }
+    fn from_i32(v: i32) -> Self {
+        v as i8
+    }
+    fn from_f64(v: f64) -> Self {
+        v as i8
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+    fn sub(self, rhs: Self) -> Self {
+        self.saturating_sub(rhs)
+    }
+    fn mul(self, rhs: Self) -> Self {
+        self.saturating_mul(rhs)
+    }
+    fn max_with(self, rhs: Self) -> (Self, bool) {
+        if rhs > self {
+            (rhs, true)
+        } else {
+            (self, false)
+        }
+    }
+    fn min_with(self, rhs: Self) -> (Self, bool) {
+        if rhs < self {
+            (rhs, true)
+        } else {
+            (self, false)
+        }
+    }
+    fn needs_escalation(self) -> bool {
+        // `I8_GUARD_MAX` is `i8::MAX` itself: a cell can only sit *at* the
+        // rail (saturation may already have eaten score mass), never above.
+        self == I8_GUARD_MAX || self <= I8_GUARD_MIN
+    }
+}
 
 impl<const W: u32, const I: u32> Score for ApFixed<W, I> {
     const BITS: u32 = W;
@@ -264,6 +351,33 @@ mod tests {
     fn bits_constants() {
         assert_eq!(<i16 as Score>::BITS, 16);
         assert_eq!(<i32 as Score>::BITS, 32);
+        assert_eq!(<i8 as Score>::BITS, 8);
         assert_eq!(<ApFixed<32, 26> as Score>::BITS, 32);
+    }
+
+    #[test]
+    fn i8_score_matches_int_scheme() {
+        assert_eq!(<i8 as Score>::neg_inf(), -64);
+        assert_eq!(<i8 as Score>::pos_inf(), 63);
+        assert_eq!(Score::add(100i8, 100), i8::MAX);
+        assert_eq!(Score::sub(-100i8, 100), i8::MIN);
+        assert_eq!(3i8.max_with(3), (3, false)); // ties keep lhs
+    }
+
+    #[test]
+    fn i8_guard_band_flags_rails_and_sentinel_reach() {
+        // Exact precisions never escalate.
+        assert!(!Score::needs_escalation(i16::MAX));
+        assert!(!Score::needs_escalation(i16::MIN));
+        // The i8 band is [MIN, -32] ∪ [127, MAX].
+        assert!(Score::needs_escalation(i8::MAX));
+        assert!(Score::needs_escalation(i8::MIN));
+        assert!(Score::needs_escalation(I8_GUARD_MIN));
+        assert!(Score::needs_escalation(<i8 as Score>::neg_inf()));
+        // neg_inf + the largest allowed parameter step still lands in band.
+        assert!(Score::needs_escalation(<i8 as Score>::neg_inf().add(32)));
+        assert!(!Score::needs_escalation(I8_GUARD_MIN + 1));
+        assert!(!Score::needs_escalation(I8_GUARD_MAX - 1));
+        assert!(!Score::needs_escalation(0i8));
     }
 }

@@ -88,9 +88,23 @@ impl<const W: u32, const I: u32> ApFixed<W, I> {
         }
     }
 
-    /// Converts from an integer, saturating.
+    /// Converts from an integer, saturating — including the widest shapes
+    /// (`FRAC_BITS == 63`), where the scale factor `2^FRAC_BITS` itself
+    /// overflows `i64` and every nonzero integer is out of range.
     pub fn from_int(x: i64) -> Self {
-        Self::from_raw(x.saturating_mul(1 << Self::FRAC_BITS))
+        #[allow(clippy::let_unit_value)]
+        let _ = Self::VALID;
+        // `checked_shl` only rejects shifts >= 64; a 63-bit shift "succeeds"
+        // with a negative scale, so filter that overflow out explicitly.
+        let scale = 1i64.checked_shl(Self::FRAC_BITS).filter(|s| *s > 0);
+        match scale.and_then(|s| x.checked_mul(s)) {
+            Some(raw) => Self::from_raw(raw),
+            None => match x.cmp(&0) {
+                Ordering::Greater => Self::MAX,
+                Ordering::Equal => Self::ZERO,
+                Ordering::Less => Self::MIN,
+            },
+        }
     }
 
     /// Converts to `f64` exactly (every representable value fits in f64 for W ≤ 63... 53;
@@ -304,6 +318,34 @@ mod tests {
         assert_eq!(Q8::from_int(1000), Q8::MAX); // 1000 > 127.99
         assert_eq!(Q8::from_int(-1000), Q8::MIN);
         assert_eq!(Q8::from_int(5).to_f64(), 5.0);
+    }
+
+    #[test]
+    fn from_int_saturates_at_extreme_widths() {
+        // FRAC_BITS == 63: the scale factor 2^63 itself overflows i64, so
+        // the multiply must not run — every nonzero integer saturates.
+        type AllFrac = ApFixed<63, 0>;
+        assert_eq!(AllFrac::from_int(1), AllFrac::MAX);
+        assert_eq!(AllFrac::from_int(-1), AllFrac::MIN);
+        assert_eq!(AllFrac::from_int(i64::MAX), AllFrac::MAX);
+        assert_eq!(AllFrac::from_int(i64::MIN), AllFrac::MIN);
+        assert_eq!(AllFrac::from_int(0), AllFrac::ZERO);
+
+        // FRAC_BITS == 0 at full width: pure clamp into the 63-bit range.
+        type AllInt = ApFixed<63, 63>;
+        assert_eq!(AllInt::from_int(42).raw(), 42);
+        assert_eq!(AllInt::from_int(i64::MAX), AllInt::MAX);
+        assert_eq!(AllInt::from_int(i64::MIN), AllInt::MIN);
+
+        // Single-bit type: only 0 and -1 are representable.
+        type OneBit = ApFixed<1, 1>;
+        assert_eq!(OneBit::from_int(7), OneBit::MAX);
+        assert_eq!(OneBit::from_int(-7), OneBit::MIN);
+
+        // Overflow in the multiply (not the shift) still saturates by sign.
+        type Q16 = ApFixed<32, 16>;
+        assert_eq!(Q16::from_int(i64::MAX), Q16::MAX);
+        assert_eq!(Q16::from_int(i64::MIN), Q16::MIN);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! The per-pair execution seam between the host schedulers and the systolic
+//! back-end: a [`PairEngine`] turns `(query, reference)` into a
+//! [`SystolicRun`], owning whatever scratch state that takes. The batch and
+//! streaming engines are generic over it, so **runtime precision dispatch**
+//! costs the host layers zero API churn:
+//!
+//! * [`ExactEngine`] — the original path, one exact run per pair at the
+//!   kernel's native score width;
+//! * [`AdaptiveEngine`] — the saturating-`i8` fast path with exact `i16`
+//!   escalation ([`dphls_systolic::run_adaptive_with_scratch`]), narrowing
+//!   the parameters once at construction.
+//!
+//! Both produce bit-identical outputs (the adaptive escalation contract —
+//! see `crates/systolic/src/adaptive.rs`); the only report-visible
+//! difference is the escalation counter.
+
+use dphls_core::{AdaptiveKernel, I8Lanes, KernelConfig, KernelSpec, LaneKernel, LanePrecision};
+use dphls_systolic::{
+    run_adaptive_with_scratch, run_systolic_with_scratch, AdaptiveScratch, SystolicError,
+    SystolicRun, SystolicScratch,
+};
+
+/// One pair in, one run out: the strategy object the host schedulers thread
+/// through their worker loops. Implementations must be cheap to share
+/// (`Sync`) — one instance serves every worker thread — and hand each worker
+/// its own scratch via [`new_scratch`](Self::new_scratch).
+pub trait PairEngine<K: KernelSpec>: Sync {
+    /// Per-worker scratch state, created once per worker thread and reused
+    /// across all its pairs (and rebuilt after a caught panic, which may
+    /// have left it inconsistent).
+    type Scratch;
+
+    /// Creates one worker's scratch arena.
+    fn new_scratch(&self) -> Self::Scratch;
+
+    /// Runs one alignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError`] if the configuration is invalid, a
+    /// sequence is empty, or a sequence exceeds the configured maximums.
+    fn run_pair(
+        &self,
+        q: &[K::Sym],
+        r: &[K::Sym],
+        config: &KernelConfig,
+        scratch: &mut Self::Scratch,
+    ) -> Result<SystolicRun<K::Score>, SystolicError>;
+}
+
+/// The exact path: every pair runs once at the kernel's native score width
+/// through [`run_systolic_with_scratch`]. [`BlockStats::escalations`] is
+/// always 0 here.
+///
+/// [`BlockStats::escalations`]: dphls_systolic::BlockStats::escalations
+pub struct ExactEngine<K: KernelSpec> {
+    params: K::Params,
+}
+
+impl<K: KernelSpec> ExactEngine<K> {
+    /// Wraps the kernel parameters.
+    pub fn new(params: K::Params) -> Self {
+        Self { params }
+    }
+}
+
+impl<K: LaneKernel> PairEngine<K> for ExactEngine<K> {
+    type Scratch = SystolicScratch<K::Score>;
+
+    fn new_scratch(&self) -> Self::Scratch {
+        SystolicScratch::new()
+    }
+
+    fn run_pair(
+        &self,
+        q: &[K::Sym],
+        r: &[K::Sym],
+        config: &KernelConfig,
+        scratch: &mut Self::Scratch,
+    ) -> Result<SystolicRun<K::Score>, SystolicError> {
+        run_systolic_with_scratch::<K>(&self.params, q, r, config, scratch)
+    }
+}
+
+/// The adaptive path: saturating `i8` first, exact `i16` re-run when the
+/// guard trips. Parameters are narrowed **once** at construction; if they
+/// exceed the `i8` envelope ([`dphls_core::I8_PARAM_LIMIT`]) every pair
+/// runs exact and counts as escalated.
+pub struct AdaptiveEngine<K: AdaptiveKernel> {
+    params: K::Params,
+    lo_params: Option<<K::Lo as KernelSpec>::Params>,
+    lanes: I8Lanes,
+}
+
+impl<K: AdaptiveKernel> AdaptiveEngine<K> {
+    /// Wraps the kernel parameters, narrowing them for the `i8` fast path.
+    pub fn new(params: K::Params, lanes: I8Lanes) -> Self {
+        let lo_params = K::lo_params(&params);
+        Self {
+            params,
+            lo_params,
+            lanes,
+        }
+    }
+
+    /// Whether the fast path is live (parameters fit the `i8` envelope).
+    pub fn narrow_path_enabled(&self) -> bool {
+        self.lo_params.is_some()
+    }
+}
+
+impl<K: AdaptiveKernel> PairEngine<K> for AdaptiveEngine<K> {
+    type Scratch = AdaptiveScratch;
+
+    fn new_scratch(&self) -> Self::Scratch {
+        AdaptiveScratch::new()
+    }
+
+    fn run_pair(
+        &self,
+        q: &[K::Sym],
+        r: &[K::Sym],
+        config: &KernelConfig,
+        scratch: &mut Self::Scratch,
+    ) -> Result<SystolicRun<K::Score>, SystolicError> {
+        run_adaptive_with_scratch::<K>(
+            &self.params,
+            self.lo_params.as_ref(),
+            self.lanes,
+            q,
+            r,
+            config,
+            scratch,
+        )
+    }
+}
+
+/// Either engine behind one type, so callers can pick the precision at
+/// **runtime** from a [`LanePrecision`] knob (config files, CLI flags, the
+/// serve layer) without monomorphizing two whole pipelines themselves.
+pub enum PrecisionEngine<K: AdaptiveKernel> {
+    /// Always run at the native score width.
+    Exact(ExactEngine<K>),
+    /// `i8` fast path with `i16` escalation.
+    Adaptive(AdaptiveEngine<K>),
+}
+
+impl<K: AdaptiveKernel> PrecisionEngine<K> {
+    /// Builds the engine selected by `precision`.
+    pub fn new(params: K::Params, precision: LanePrecision) -> Self {
+        match precision {
+            LanePrecision::Exact => Self::Exact(ExactEngine::new(params)),
+            LanePrecision::Adaptive(lanes) => Self::Adaptive(AdaptiveEngine::new(params, lanes)),
+        }
+    }
+}
+
+/// Scratch for [`PrecisionEngine`]: the variant matching the live engine.
+///
+/// The variants differ in size (the adaptive arena is two arenas), but a
+/// scratch exists once per slot thread and lives for the whole run, so the
+/// footprint is slots-bounded and indirection would only add a pointer
+/// chase to the hot loop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum PrecisionScratch<S> {
+    /// Exact-path arena.
+    Exact(SystolicScratch<S>),
+    /// Adaptive-path arena pair.
+    Adaptive(AdaptiveScratch),
+}
+
+impl<K: AdaptiveKernel> PairEngine<K> for PrecisionEngine<K> {
+    type Scratch = PrecisionScratch<i16>;
+
+    fn new_scratch(&self) -> Self::Scratch {
+        match self {
+            Self::Exact(_) => PrecisionScratch::Exact(SystolicScratch::new()),
+            Self::Adaptive(_) => PrecisionScratch::Adaptive(AdaptiveScratch::new()),
+        }
+    }
+
+    fn run_pair(
+        &self,
+        q: &[K::Sym],
+        r: &[K::Sym],
+        config: &KernelConfig,
+        scratch: &mut Self::Scratch,
+    ) -> Result<SystolicRun<i16>, SystolicError> {
+        match (self, scratch) {
+            (Self::Exact(e), PrecisionScratch::Exact(s)) => e.run_pair(q, r, config, s),
+            (Self::Adaptive(e), PrecisionScratch::Adaptive(s)) => e.run_pair(q, r, config, s),
+            // A worker's scratch always comes from this engine's
+            // `new_scratch`, so the variants can only disagree through a
+            // caller bug; rebuild rather than corrupt.
+            (Self::Exact(e), s) => {
+                *s = PrecisionScratch::Exact(SystolicScratch::new());
+                let PrecisionScratch::Exact(inner) = s else {
+                    unreachable!()
+                };
+                e.run_pair(q, r, config, inner)
+            }
+            (Self::Adaptive(e), s) => {
+                *s = PrecisionScratch::Adaptive(AdaptiveScratch::new());
+                let PrecisionScratch::Adaptive(inner) = s else {
+                    unreachable!()
+                };
+                e.run_pair(q, r, config, inner)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphls_kernels::{GlobalLinear, LinearParams};
+    use dphls_seq::DnaSeq;
+
+    fn cfg() -> KernelConfig {
+        KernelConfig::new(4, 1, 1).with_max_lengths(64, 64)
+    }
+
+    #[test]
+    fn engines_agree_and_report_escalations() {
+        let q: DnaSeq = "ACGTACGTAC".parse().unwrap();
+        let r: DnaSeq = "ACGATCGTTC".parse().unwrap();
+        let exact = ExactEngine::<GlobalLinear>::new(LinearParams::dna());
+        let mut es = PairEngine::<GlobalLinear>::new_scratch(&exact);
+        let want = exact
+            .run_pair(q.as_slice(), r.as_slice(), &cfg(), &mut es)
+            .unwrap();
+        assert_eq!(want.stats.escalations, 0);
+
+        for precision in [
+            LanePrecision::Exact,
+            LanePrecision::Adaptive(I8Lanes::X16),
+            LanePrecision::Adaptive(I8Lanes::X32),
+        ] {
+            let eng = PrecisionEngine::<GlobalLinear>::new(LinearParams::dna(), precision);
+            let mut s = eng.new_scratch();
+            let got = eng
+                .run_pair(q.as_slice(), r.as_slice(), &cfg(), &mut s)
+                .unwrap();
+            assert_eq!(got.output, want.output, "{precision:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_engine_narrows_once() {
+        let eng = AdaptiveEngine::<GlobalLinear>::new(LinearParams::dna(), I8Lanes::X16);
+        assert!(eng.narrow_path_enabled());
+        let wide = AdaptiveEngine::<GlobalLinear>::new(
+            LinearParams {
+                match_score: 100,
+                mismatch: -3,
+                gap: -2,
+            },
+            I8Lanes::X16,
+        );
+        assert!(!wide.narrow_path_enabled());
+    }
+}

@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod engine;
 pub mod faults;
 pub mod resilience;
 pub mod scheduler;
@@ -32,16 +33,18 @@ pub mod session;
 pub mod streaming;
 pub mod tiling;
 
+pub use engine::{AdaptiveEngine, ExactEngine, PairEngine, PrecisionEngine, PrecisionScratch};
 pub use faults::{injected_kernel_error, injected_panic_message, FaultKind, FaultPlan, Injection};
 pub use resilience::{FailurePolicy, FaultCause, PairFault, ResilienceConfig};
 pub use scheduler::{
-    run_batched, run_batched_resilient, run_batched_with, BatchConfig, BatchError, BatchReport,
-    ScheduleReport,
+    run_batched, run_batched_adaptive, run_batched_engine, run_batched_resilient, run_batched_with,
+    BatchConfig, BatchError, BatchReport, ScheduleReport,
 };
 pub use session::{SessionClosed, StreamSession};
 pub use streaming::{
-    run_streamed, run_streamed_collect, run_streamed_resilient, OrderedWriter, ReorderOverflow,
-    StreamConfig, StreamError, StreamReport,
+    run_streamed, run_streamed_adaptive, run_streamed_collect, run_streamed_engine,
+    run_streamed_resilient, OrderedWriter, ReorderOverflow, StreamConfig, StreamError,
+    StreamReport,
 };
 pub use tiling::{
     score_path_affine, tiled_global_affine, TiledAlignment, TilingConfig, TilingError,

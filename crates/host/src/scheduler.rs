@@ -15,7 +15,8 @@
 //!   deque from the expensive end and, when empty, steals the *cheapest*
 //!   remaining job from another channel's tail. Long-tail imbalance is
 //!   bounded by one alignment per channel.
-//! * **Thread-local scratch** — every worker owns a [`SystolicScratch`]
+//! * **Thread-local scratch** — every worker owns a
+//!   [`SystolicScratch`](dphls_systolic::SystolicScratch)
 //!   reused across all its alignments, so the per-alignment hot path
 //!   performs no heap allocation (see `dphls-systolic`).
 //! * **Single-pass throughput** — the modeled `throughput_aps` is derived
@@ -26,7 +27,8 @@
 //!   just `NK` channels: each channel fronts `NB` blocks behind one
 //!   arbiter. The engine mirrors that with up to [`KernelConfig::nb`]
 //!   **block slots** per channel — each slot is a host thread with its own
-//!   [`SystolicScratch`] arena, and all slots of a channel drain the same
+//!   [`SystolicScratch`](dphls_systolic::SystolicScratch) arena, and all
+//!   slots of a channel drain the same
 //!   per-channel deque, so intra-channel concurrency needs no new queue
 //!   discipline. Completions are folded through the arbiter-aware cycle
 //!   model ([`arbitrated_cycles`] at full `NB` occupancy, the steady-state
@@ -46,10 +48,10 @@
 //! [`BlockStats`]: dphls_systolic::BlockStats
 //! [`Device::run`]: dphls_systolic::Device::run
 
-use dphls_core::{Banding, DpOutput, KernelConfig, LaneKernel};
-use dphls_systolic::{
-    alignment_cycles, arbitrated_cycles, throughput_aps, Device, SystolicScratch,
+use dphls_core::{
+    AdaptiveKernel, Banding, DpOutput, KernelConfig, KernelSpec, LaneKernel, LanePrecision,
 };
+use dphls_systolic::{alignment_cycles, arbitrated_cycles, throughput_aps, Device};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
@@ -57,6 +59,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::engine::{ExactEngine, PairEngine, PrecisionEngine};
 use crate::faults::{injected_kernel_error, injected_panic_message, FaultKind, FaultPlan};
 use crate::resilience::{
     abort_aware_sleep, panic_message, FailurePolicy, FaultCause, PairFault, ResilienceConfig,
@@ -168,12 +171,27 @@ pub struct BatchReport<S> {
     pub steals: usize,
     /// Modeled device throughput over the successful alignments.
     pub throughput_aps: f64,
+    /// Pairs that escalated from the `i8` fast path to the exact `i16`
+    /// engine (always 0 on the exact path — see
+    /// [`crate::engine::AdaptiveEngine`]).
+    pub escalations: u64,
 }
 
 impl<S> BatchReport<S> {
     /// Number of pairs that completed successfully.
     pub fn completed(&self) -> usize {
         self.outputs.len() - self.faults.len()
+    }
+
+    /// Fraction of completed pairs that escalated to the exact engine
+    /// (0.0 on the exact path or an empty run).
+    pub fn escalation_rate(&self) -> f64 {
+        let completed = self.completed();
+        if completed == 0 {
+            0.0
+        } else {
+            self.escalations as f64 / completed as f64
+        }
     }
 }
 
@@ -196,6 +214,21 @@ pub struct ScheduleReport<S> {
     /// Modeled device throughput in alignments/second, derived from the
     /// cycle statistics of the functional runs.
     pub throughput_aps: f64,
+    /// Pairs that escalated from the `i8` fast path to the exact `i16`
+    /// engine (always 0 on the exact path).
+    pub escalations: u64,
+}
+
+impl<S> ScheduleReport<S> {
+    /// Fraction of pairs that escalated to the exact engine (0.0 on the
+    /// exact path or an empty run).
+    pub fn escalation_rate(&self) -> f64 {
+        if self.outputs.is_empty() {
+            0.0
+        } else {
+            self.escalations as f64 / self.outputs.len() as f64
+        }
+    }
 }
 
 /// Estimated compute cost of one alignment in DP cells: the full matrix, or
@@ -277,6 +310,7 @@ where
         nb_slots: report.nb_slots,
         steals: report.steals,
         throughput_aps: report.throughput_aps,
+        escalations: report.escalations,
     })
 }
 
@@ -316,6 +350,59 @@ where
     K::Score: Send,
     K::Params: Sync,
 {
+    let engine = ExactEngine::<K>::new(params.clone());
+    run_batched_engine::<K, _>(device, &engine, workload, batch, res, plan)
+}
+
+/// [`run_batched_resilient`] with **runtime precision dispatch**: the
+/// workload runs on the saturating-`i8` fast path, escalating individual
+/// pairs to the exact `i16` engine when their guard trips (or running
+/// everything exact under [`LanePrecision::Exact`]). Outputs are
+/// bit-identical to the exact run for every precision; the report's
+/// [`escalations`](BatchReport::escalations) /
+/// [`escalation_rate`](BatchReport::escalation_rate) expose how often the
+/// fast path bailed.
+///
+/// # Errors
+///
+/// Exactly as [`run_batched_resilient`].
+pub fn run_batched_adaptive<K: AdaptiveKernel>(
+    device: &Device,
+    params: &K::Params,
+    precision: LanePrecision,
+    workload: &[dphls_core::SeqPair<K>],
+    batch: BatchConfig,
+    res: &ResilienceConfig,
+    plan: Option<&FaultPlan>,
+) -> Result<BatchReport<i16>, BatchError>
+where
+    K::Params: Sync,
+{
+    let engine = PrecisionEngine::<K>::new(params.clone(), precision);
+    run_batched_engine::<K, _>(device, &engine, workload, batch, res, plan)
+}
+
+/// The work-stealing batch loop, generic over the per-pair execution
+/// strategy ([`PairEngine`]): every public batch entry point funnels here.
+/// See [`run_batched_resilient`] for the dispatch/retry/quarantine
+/// semantics — this function adds none of its own.
+///
+/// # Errors
+///
+/// Exactly as [`run_batched_resilient`].
+pub fn run_batched_engine<K, E>(
+    device: &Device,
+    engine: &E,
+    workload: &[dphls_core::SeqPair<K>],
+    batch: BatchConfig,
+    res: &ResilienceConfig,
+    plan: Option<&FaultPlan>,
+) -> Result<BatchReport<K::Score>, BatchError>
+where
+    K: KernelSpec,
+    E: PairEngine<K>,
+    K::Score: Send,
+{
     let config = device.config();
     let nk = config.nk.max(1);
     let slots = batch.resolve_slots(config);
@@ -354,6 +441,8 @@ where
         cycle_sum: u64,
         /// Jobs taken from other channels' queues.
         stolen: usize,
+        /// i8→i16 precision escalations among this worker's alignments.
+        escalations: u64,
     }
 
     let abort = AtomicBool::new(false);
@@ -368,6 +457,7 @@ where
                 outputs: Vec::new(),
                 cycle_sum: 0,
                 stolen: 0,
+                escalations: 0,
             })
         })
         .collect();
@@ -380,11 +470,12 @@ where
             scope.spawn(move |_| {
                 // Every block slot owns its scratch arena: the per-alignment
                 // hot path stays allocation-free at any slot count.
-                let mut scratch = SystolicScratch::new();
+                let mut scratch = engine.new_scratch();
                 let mut local = WorkerResult {
                     outputs: Vec::with_capacity(n / (nk * slots) + 1),
                     cycle_sum: 0,
                     stolen: 0,
+                    escalations: 0,
                 };
                 loop {
                     if abort.load(Ordering::Relaxed) {
@@ -409,13 +500,7 @@ where
 
                     if !instrumented {
                         // Original hot path: no clock, no catch_unwind.
-                        match dphls_systolic::run_systolic_with_scratch::<K>(
-                            params,
-                            q,
-                            r,
-                            config,
-                            &mut scratch,
-                        ) {
+                        match engine.run_pair(q, r, config, &mut scratch) {
                             Ok(run) => {
                                 let b = alignment_cycles(
                                     &run.stats,
@@ -429,6 +514,7 @@ where
                                 // many host slots happened to be
                                 // dispatching.
                                 local.cycle_sum += arbitrated_cycles(&b, config.nb);
+                                local.escalations += run.stats.escalations;
                                 local.outputs.push((idx, run.output));
                             }
                             Err(e) => {
@@ -467,13 +553,7 @@ where
                             if injected == Some(FaultKind::Panic) {
                                 panic!("{}", injected_panic_message(idx));
                             }
-                            dphls_systolic::run_systolic_with_scratch::<K>(
-                                params,
-                                q,
-                                r,
-                                config,
-                                &mut scratch,
-                            )
+                            engine.run_pair(q, r, config, &mut scratch)
                         }));
                         match caught {
                             Ok(Ok(run)) => Ok(run),
@@ -481,7 +561,7 @@ where
                             Err(payload) => {
                                 // The panic may have unwound mid-update and
                                 // left the arena inconsistent: rebuild it.
-                                scratch = SystolicScratch::new();
+                                scratch = engine.new_scratch();
                                 Err(FaultCause::Panic(panic_message(payload)))
                             }
                         }
@@ -505,6 +585,7 @@ where
                                 device.cycle_params(),
                             );
                             local.cycle_sum += arbitrated_cycles(&b, config.nb);
+                            local.escalations += run.stats.escalations;
                             local.outputs.push((idx, run.output));
                         }
                         Err(cause) => {
@@ -553,6 +634,7 @@ where
     let mut per_slot = vec![vec![0usize; slots]; nk];
     let mut steals = 0usize;
     let mut cycle_sum = 0u64;
+    let mut escalations = 0u64;
     let mut filled: Vec<Option<DpOutput<K::Score>>> = (0..n).map(|_| None).collect();
     for (worker, result) in results.into_iter().enumerate() {
         let done = result.into_inner();
@@ -560,6 +642,7 @@ where
         per_slot[worker / slots][worker % slots] = done.outputs.len();
         steals += done.stolen;
         cycle_sum += done.cycle_sum;
+        escalations += done.escalations;
         for (idx, out) in done.outputs {
             filled[idx] = Some(out);
         }
@@ -595,6 +678,7 @@ where
         nb_slots: slots,
         steals,
         throughput_aps: throughput,
+        escalations,
     })
 }
 

@@ -21,10 +21,13 @@
 //! [`FailurePolicy::Quarantine`]: crate::FailurePolicy::Quarantine
 //! [`submit`]: StreamSession::submit
 
+use crate::engine::PrecisionEngine;
 use crate::resilience::{panic_message, PairFault, ResilienceConfig};
-use crate::streaming::{run_streamed_resilient, StreamConfig, StreamError, StreamReport};
+use crate::streaming::{
+    run_streamed_engine, run_streamed_resilient, StreamConfig, StreamError, StreamReport,
+};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use dphls_core::{DpOutput, LaneKernel};
+use dphls_core::{AdaptiveKernel, DpOutput, LaneKernel, LanePrecision};
 use dphls_systolic::Device;
 use std::convert::Infallible;
 use std::fmt;
@@ -108,6 +111,51 @@ where
             run_streamed_resilient::<K, _, Infallible, F>(
                 &device,
                 &params,
+                SessionSource(rx),
+                config,
+                &res,
+                None,
+                sink,
+            )
+        });
+        Self {
+            inner: Mutex::new(SessionInner {
+                tx: Some(tx),
+                submitted: 0,
+            }),
+            engine: Mutex::new(Some(engine)),
+        }
+    }
+
+    /// [`spawn`](Self::spawn) with **runtime precision dispatch** (only for
+    /// kernels with an `i8` companion, [`AdaptiveKernel`]): pairs run on
+    /// the saturating-`i8` fast path and escalate individually to the exact
+    /// `i16` engine when their guard trips. Outputs are bit-identical for
+    /// every precision; the final [`StreamReport`] carries the session's
+    /// escalation count and rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.buffer` or `config.window` is zero (the engine's
+    /// own precondition, surfaced when the background thread starts).
+    pub fn spawn_adaptive<F>(
+        device: Device,
+        params: K::Params,
+        precision: LanePrecision,
+        config: StreamConfig,
+        res: ResilienceConfig,
+        sink: F,
+    ) -> Self
+    where
+        K: AdaptiveKernel,
+        F: FnMut(usize, Result<DpOutput<i16>, PairFault>) + Send + 'static,
+    {
+        let (tx, rx) = bounded::<dphls_core::SeqPair<K>>(config.buffer.max(1));
+        let engine = std::thread::spawn(move || {
+            let engine = PrecisionEngine::<K>::new(params, precision);
+            run_streamed_engine::<K, _, _, Infallible, F>(
+                &device,
+                &engine,
                 SessionSource(rx),
                 config,
                 &res,

@@ -33,16 +33,15 @@
 //!
 //! [`run_batched`]: crate::run_batched
 
+use crate::engine::{ExactEngine, PairEngine, PrecisionEngine};
 use crate::faults::{injected_kernel_error, injected_panic_message, FaultKind, FaultPlan};
 use crate::resilience::{
     abort_aware_sleep, panic_message, FailurePolicy, FaultCause, PairFault, ResilienceConfig,
 };
 use crate::scheduler::{cost_estimate, BatchConfig};
 use crossbeam::channel::SendTimeoutError;
-use dphls_core::{DpOutput, LaneKernel};
-use dphls_systolic::{
-    alignment_cycles, arbitrated_cycles, throughput_aps, Device, SystolicError, SystolicScratch,
-};
+use dphls_core::{AdaptiveKernel, DpOutput, KernelSpec, LaneKernel, LanePrecision};
+use dphls_systolic::{alignment_cycles, arbitrated_cycles, throughput_aps, Device, SystolicError};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -118,12 +117,27 @@ pub struct StreamReport {
     pub retries: usize,
     /// Attempts discarded for exceeding their cost-scaled deadline.
     pub timeouts: usize,
+    /// Pairs that escalated from the `i8` fast path to the exact `i16`
+    /// engine (always 0 on the exact path — see
+    /// [`crate::engine::AdaptiveEngine`]).
+    pub escalations: u64,
 }
 
 impl StreamReport {
     /// Pairs that completed successfully (emitted as `Ok` slots).
     pub fn completed(&self) -> usize {
         self.pairs - self.faults.len()
+    }
+
+    /// Fraction of completed pairs that escalated to the exact engine
+    /// (0.0 on the exact path or an empty run).
+    pub fn escalation_rate(&self) -> f64 {
+        let completed = self.completed();
+        if completed == 0 {
+            0.0
+        } else {
+            self.escalations as f64 / completed as f64
+        }
     }
 }
 
@@ -314,6 +328,7 @@ struct WorkerStats {
     executed: usize,
     cycle_sum: u64,
     stolen: usize,
+    escalations: u64,
 }
 
 /// Aligns pairs pulled incrementally from `source` across the device's `NK`
@@ -397,7 +412,6 @@ where
 /// # Panics
 ///
 /// Panics if `config.buffer` or `config.window` is zero.
-#[allow(clippy::too_many_lines)]
 pub fn run_streamed_resilient<K, I, E, F>(
     device: &Device,
     params: &K::Params,
@@ -411,6 +425,78 @@ where
     K: LaneKernel,
     K::Score: Send,
     K::Params: Sync,
+    K::Sym: Send,
+    I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
+    E: Send + fmt::Display,
+    F: FnMut(usize, Result<DpOutput<K::Score>, PairFault>) + Send,
+{
+    let engine = ExactEngine::<K>::new(params.clone());
+    run_streamed_engine::<K, _, I, E, F>(device, &engine, source, config, res, plan, sink)
+}
+
+/// [`run_streamed_resilient`] with **runtime precision dispatch**: pairs
+/// run on the saturating-`i8` fast path and escalate individually to the
+/// exact `i16` engine when their guard trips (or run entirely exact under
+/// [`LanePrecision::Exact`]). Outputs are bit-identical for every
+/// precision; [`StreamReport::escalations`] /
+/// [`StreamReport::escalation_rate`] expose how often the fast path bailed.
+///
+/// # Errors
+///
+/// Exactly as [`run_streamed_resilient`].
+///
+/// # Panics
+///
+/// Panics if `config.buffer` or `config.window` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_streamed_adaptive<K, I, E, F>(
+    device: &Device,
+    params: &K::Params,
+    precision: LanePrecision,
+    source: I,
+    config: StreamConfig,
+    res: &ResilienceConfig,
+    plan: Option<&FaultPlan>,
+    sink: F,
+) -> Result<StreamReport, StreamError<E>>
+where
+    K: AdaptiveKernel,
+    K::Params: Sync,
+    K::Sym: Send,
+    I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
+    E: Send + fmt::Display,
+    F: FnMut(usize, Result<DpOutput<i16>, PairFault>) + Send,
+{
+    let engine = PrecisionEngine::<K>::new(params.clone(), precision);
+    run_streamed_engine::<K, _, I, E, F>(device, &engine, source, config, res, plan, sink)
+}
+
+/// The streaming pipeline, generic over the per-pair execution strategy
+/// ([`PairEngine`]): every streamed entry point funnels here. See
+/// [`run_streamed_resilient`] for the pipeline semantics — this function
+/// adds none of its own.
+///
+/// # Errors
+///
+/// Exactly as [`run_streamed_resilient`].
+///
+/// # Panics
+///
+/// Panics if `config.buffer` or `config.window` is zero.
+#[allow(clippy::too_many_lines)]
+pub fn run_streamed_engine<K, En, I, E, F>(
+    device: &Device,
+    engine: &En,
+    source: I,
+    config: StreamConfig,
+    res: &ResilienceConfig,
+    plan: Option<&FaultPlan>,
+    sink: F,
+) -> Result<StreamReport, StreamError<E>>
+where
+    K: KernelSpec,
+    En: PairEngine<K>,
+    K::Score: Send,
     K::Sym: Send,
     I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
     E: Send + fmt::Display,
@@ -514,7 +600,7 @@ where
             let (faults, retries, timeouts) = (&faults, &retries, &timeouts);
             scope.spawn(move |_| {
                 // Every block slot owns its scratch arena.
-                let mut scratch = SystolicScratch::new();
+                let mut scratch = engine.new_scratch();
                 let mut local = WorkerStats::default();
                 'work: loop {
                     // Own deque's expensive end first; then steal the
@@ -545,14 +631,9 @@ where
 
                     let outcome = if !instrumented {
                         // Original hot path: no clock, no catch_unwind.
-                        dphls_systolic::run_systolic_with_scratch::<K>(
-                            params,
-                            &job.q,
-                            &job.r,
-                            kernel_config,
-                            &mut scratch,
-                        )
-                        .map_err(FaultCause::Kernel)
+                        engine
+                            .run_pair(&job.q, &job.r, kernel_config, &mut scratch)
+                            .map_err(FaultCause::Kernel)
                     } else {
                         let deadline = res.deadline_for(job.cost);
                         let started = Instant::now();
@@ -570,13 +651,7 @@ where
                                 if injected == Some(FaultKind::Panic) {
                                     panic!("{}", injected_panic_message(job.idx));
                                 }
-                                dphls_systolic::run_systolic_with_scratch::<K>(
-                                    params,
-                                    &job.q,
-                                    &job.r,
-                                    kernel_config,
-                                    &mut scratch,
-                                )
+                                engine.run_pair(&job.q, &job.r, kernel_config, &mut scratch)
                             }));
                             match caught {
                                 Ok(Ok(run)) => Ok(run),
@@ -584,7 +659,7 @@ where
                                 Err(payload) => {
                                     // The panic may have unwound mid-update
                                     // and left the arena inconsistent.
-                                    scratch = SystolicScratch::new();
+                                    scratch = engine.new_scratch();
                                     Err(FaultCause::Panic(panic_message(payload)))
                                 }
                             }
@@ -612,6 +687,7 @@ where
                             // batch engine folds it: the modeled figure is
                             // independent of the host slot count.
                             local.cycle_sum += arbitrated_cycles(&b, kernel_config.nb);
+                            local.escalations += run.stats.escalations;
                             local.executed += 1;
                             let mut e = emit.lock().expect("emit mutex");
                             let before = e.writer.next_emit();
@@ -803,12 +879,14 @@ where
     let mut per_slot = vec![vec![0usize; slots]; nk];
     let mut steals = 0usize;
     let mut cycle_sum = 0u64;
+    let mut escalations = 0u64;
     for (worker, stat) in stats.into_iter().enumerate() {
         let s = stat.into_inner().expect("stats mutex");
         per_channel[worker / slots] += s.executed;
         per_slot[worker / slots][worker % slots] = s.executed;
         steals += s.stolen;
         cycle_sum += s.cycle_sum;
+        escalations += s.escalations;
     }
     let n = emit.writer.next_emit();
     let completed = n - faults.len();
@@ -834,6 +912,7 @@ where
         faults,
         retries: retries.into_inner(),
         timeouts: timeouts.into_inner(),
+        escalations,
     })
 }
 
@@ -874,6 +953,7 @@ where
             nb_slots: report.nb_slots,
             steals: report.steals,
             throughput_aps: report.throughput_aps,
+            escalations: report.escalations,
         },
         report,
     ))

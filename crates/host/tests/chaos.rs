@@ -409,6 +409,127 @@ fn wedged_consumer_degrades_to_stalled_within_the_send_deadline() {
     );
 }
 
+/// Faults landing on a pair that takes the i8 -> i16 escalation path must
+/// reconcile exactly like any other fault: one retry per injection, one
+/// quarantine entry per sticky injection, and — crucially — one escalation
+/// counted per pair that *completes* via the exact re-run, no matter how
+/// many failed attempts preceded it.
+#[test]
+fn adaptive_escalation_faults_reconcile_exactly() {
+    use dphls_core::{I8Lanes, LanePrecision};
+    use dphls_host::{run_batched_adaptive, run_streamed_adaptive};
+
+    silence_injected_panics();
+    let params = LinearParams::<i16>::dna();
+    // Short reads stay on the i8 fast path with the DNA params (the -2/base
+    // boundary gap crosses the -32 guard floor only past 15 bases); the two
+    // planted 64-base identical pairs score 128 >= the +127 rail and MUST
+    // escalate on every (re-)attempt.
+    let mut sim = dphls_seq::gen::ReadSimulator::new(99);
+    let mut wl: Vec<(Vec<Base>, Vec<Base>)> = sim
+        .read_pairs(8, 12, 0.2)
+        .into_iter()
+        .map(|(r, q)| (q.into_vec(), r.into_vec()))
+        .collect();
+    let hot = vec![Base::A; 64];
+    wl[2] = (hot.clone(), hot.clone());
+    wl[5] = (hot.clone(), hot);
+    let base = run_batched::<GlobalLinear>(&device(1), &params, &wl)
+        .unwrap()
+        .outputs;
+    let precision = LanePrecision::Adaptive(I8Lanes::X16);
+
+    // Transient kernel error on escalating pair 2: the retry re-runs the
+    // whole adaptive path (i8 then exact), so the pair still completes,
+    // still counts exactly one escalation, and stays bit-identical.
+    let plan = FaultPlan::new().inject(2, FaultKind::KernelError);
+    let rep = run_batched_adaptive::<GlobalLinear>(
+        &device(2),
+        &params,
+        precision,
+        &wl,
+        dphls_host::BatchConfig::slots(2),
+        &quarantine(1),
+        Some(&plan),
+    )
+    .unwrap();
+    assert!(rep.faults.is_empty(), "{:?}", rep.faults);
+    assert_eq!(rep.retries, 1, "the injection costs exactly one retry");
+    assert_eq!(rep.escalations, 2, "both hot pairs escalate exactly once");
+    let outs: Vec<_> = rep.outputs.into_iter().map(Option::unwrap).collect();
+    assert_eq!(outs, base, "bit-identical after fault + escalation");
+
+    // Sticky kernel error on escalating pair 5: quarantined after
+    // 1 + max_retries attempts, paired exactly once in `faults`, and its
+    // never-completed escalations never reach the counter.
+    let plan = FaultPlan::new().inject_sticky(5, FaultKind::KernelError);
+    let rep = run_batched_adaptive::<GlobalLinear>(
+        &device(2),
+        &params,
+        precision,
+        &wl,
+        dphls_host::BatchConfig::slots(2),
+        &quarantine(1),
+        Some(&plan),
+    )
+    .unwrap();
+    let idxs: Vec<_> = rep.faults.iter().map(|f| f.idx).collect();
+    assert_eq!(idxs, vec![5], "exactly one quarantine entry");
+    assert_eq!(rep.faults[0].attempts, 2);
+    assert_eq!(
+        rep.faults[0].cause,
+        FaultCause::Kernel(injected_kernel_error())
+    );
+    assert_eq!(rep.retries, 1);
+    assert_eq!(rep.escalations, 1, "only the surviving hot pair counts");
+    assert_eq!(rep.completed(), wl.len() - 1);
+    for (i, out) in rep.outputs.iter().enumerate() {
+        if i == 5 {
+            assert!(out.is_none());
+        } else {
+            assert_eq!(out.as_ref(), Some(&base[i]), "pair {i}");
+        }
+    }
+
+    // The streamed engine reconciles the same plan identically.
+    let plan = FaultPlan::new()
+        .inject(2, FaultKind::KernelError)
+        .inject_sticky(5, FaultKind::KernelError);
+    let emitted = Mutex::new(Vec::new());
+    let report = run_streamed_adaptive::<GlobalLinear, _, Infallible, _>(
+        &device(2),
+        &params,
+        precision,
+        wl.iter().cloned().map(Ok),
+        StreamConfig {
+            buffer: 4,
+            window: 8,
+            nb_slots: 2,
+        },
+        &ResilienceConfig {
+            pair_deadline: None,
+            ..quarantine(1)
+        },
+        Some(&plan),
+        |idx, slot| emitted.lock().unwrap().push((idx, slot)),
+    )
+    .unwrap();
+    let emitted = emitted.into_inner().unwrap();
+    assert_eq!(report.retries, 2, "one per injection");
+    assert_eq!(report.escalations, 1, "pair 2 recovered, pair 5 never ran");
+    let fault_idxs: Vec<_> = report.faults.iter().map(|f| f.idx).collect();
+    assert_eq!(fault_idxs, vec![5]);
+    for (idx, slot) in &emitted {
+        match slot {
+            Ok(out) => assert_eq!(out, &base[*idx], "pair {idx}"),
+            Err(f) => {
+                assert_eq!(*idx, 5, "unplanned fault: {f}");
+                assert_eq!(f.attempts, 2);
+            }
+        }
+    }
+}
+
 #[test]
 fn random_seeded_plans_reconcile_exactly_on_both_engines() {
     silence_injected_panics();

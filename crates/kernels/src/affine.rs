@@ -10,8 +10,8 @@
 use crate::params::AffineParams;
 use dphls_core::score::argmax;
 use dphls_core::{
-    BestCellRule, KernelId, KernelMeta, KernelSpec, LaneKernel, LayerVec, Objective, Score, TbMove,
-    TbPtr, TbState, TracebackSpec, LANE_WIDTH,
+    AdaptiveKernel, BestCellRule, KernelId, KernelMeta, KernelSpec, LaneKernel, LayerVec,
+    Objective, Score, TbMove, TbPtr, TbState, TracebackSpec,
 };
 use dphls_seq::Base;
 use std::marker::PhantomData;
@@ -63,14 +63,15 @@ fn affine_pe<S: Score>(
     )
 }
 
-/// Multi-lane affine PE: up to [`LANE_WIDTH`] wavefront cells per call,
+/// Multi-lane affine PE: up to `W` wavefront cells per call,
 /// all three layers (H/I/D) in structure-of-arrays form. Bit-identical to
 /// [`affine_pe`] — same [`Score::max_with`] "rhs wins only if strictly
 /// greater" semantics for the gap-open decisions and the same [`argmax`]
 /// candidate order for the H layer — with the per-layer passes laid out as
-/// straight-line array loops the autovectorizer can widen.
+/// straight-line array loops the autovectorizer can widen (`W = 8` for the
+/// exact `i16` path, `W = 16`/`32` for the `i8` fast path).
 #[allow(clippy::too_many_arguments)]
-fn affine_pe_lanes<S: Score>(
+fn affine_pe_lanes<S: Score, const W: usize>(
     p: &AffineParams<S>,
     q: &[Base],
     r_rev: &[Base],
@@ -82,7 +83,7 @@ fn affine_pe_lanes<S: Score>(
     clamp_zero: bool,
 ) {
     let n = q.len();
-    debug_assert!((1..=LANE_WIDTH).contains(&n));
+    debug_assert!((1..=W).contains(&n));
     // One up-front narrowing per slice so the gather/scatter loops below
     // carry no per-element bounds checks.
     let (q, r_rev) = (&q[..n], &r_rev[..n]);
@@ -91,12 +92,12 @@ fn affine_pe_lanes<S: Score>(
     // Gather the three layers into padded fixed-width arrays; dead tail
     // lanes compute garbage (saturating ops, no side effects) and are never
     // written back.
-    let mut h_up = [zero; LANE_WIDTH];
-    let mut i_up = [zero; LANE_WIDTH];
-    let mut h_left = [zero; LANE_WIDTH];
-    let mut d_left = [zero; LANE_WIDTH];
-    let mut h_diag = [zero; LANE_WIDTH];
-    let mut sub = [zero; LANE_WIDTH];
+    let mut h_up = [zero; W];
+    let mut i_up = [zero; W];
+    let mut h_left = [zero; W];
+    let mut d_left = [zero; W];
+    let mut h_diag = [zero; W];
+    let mut sub = [zero; W];
     for t in 0..n {
         h_up[t] = up[t].get(0);
         i_up[t] = up[t].get(1);
@@ -112,11 +113,11 @@ fn affine_pe_lanes<S: Score>(
     // Fixed-trip-count recurrence: identical `max_with` ("rhs wins only if
     // strictly greater") semantics and argmax candidate order as the scalar
     // PE, expressed as branchless compare/select chains.
-    let mut h_out = [zero; LANE_WIDTH];
-    let mut i_out = [zero; LANE_WIDTH];
-    let mut d_out = [zero; LANE_WIDTH];
-    let mut ptr_out = [0u8; LANE_WIDTH];
-    for t in 0..LANE_WIDTH {
+    let mut h_out = [zero; W];
+    let mut i_out = [zero; W];
+    let mut d_out = [zero; W];
+    let mut ptr_out = [0u8; W];
+    for t in 0..W {
         // I(i,j) = max(H(i-1,j) + open, I(i-1,j) + extend)
         let i_open = h_up[t].add(p.gap_open);
         let i_ext = i_up[t].add(p.gap_extend);
@@ -244,7 +245,7 @@ macro_rules! affine_kernel {
             }
         }
 
-        impl<S: Score> LaneKernel for $name<S> {
+        impl<S: Score, const W: usize> LaneKernel<W> for $name<S> {
             #[inline]
             fn pe_lanes(
                 params: &Self::Params,
@@ -256,7 +257,15 @@ macro_rules! affine_kernel {
                 out: &mut [LayerVec<S>],
                 ptrs: &mut [TbPtr],
             ) {
-                affine_pe_lanes(params, q, r_rev, diag, up, left, out, ptrs, $clamp)
+                affine_pe_lanes::<S, W>(params, q, r_rev, diag, up, left, out, ptrs, $clamp)
+            }
+        }
+
+        impl AdaptiveKernel for $name<i16> {
+            type Lo = $name<i8>;
+
+            fn lo_params(params: &AffineParams<i16>) -> Option<AffineParams<i8>> {
+                params.narrow_i8()
             }
         }
     };
@@ -294,6 +303,7 @@ mod tests {
     use super::*;
     use crate::linear::{GlobalLinear, LocalLinear};
     use crate::params::LinearParams;
+    use dphls_core::LANE_WIDTH;
     use dphls_core::{run_reference, run_reference_full, Banding};
     use dphls_seq::DnaSeq;
 
@@ -463,7 +473,7 @@ mod tests {
         for clamp in [false, true] {
             let mut out = vec![LayerVec::splat(3, 0i16); n];
             let mut ptrs = vec![TbPtr::END; n];
-            affine_pe_lanes(
+            affine_pe_lanes::<i16, LANE_WIDTH>(
                 &p, &q, &r_rev, &diag, &up, &left, &mut out, &mut ptrs, clamp,
             );
             for t in 0..n {

@@ -22,7 +22,7 @@ use crate::linear::{BandedGlobalLinear, GlobalLinear, LocalLinear, Overlap, Semi
 use crate::params::{AffineParams, LinearParams, TwoPieceParams};
 use crate::registry::DEFAULT_BAND;
 use crate::two_piece::{BandedGlobalTwoPiece, GlobalTwoPiece};
-use dphls_core::{KernelSpec, LaneKernel};
+use dphls_core::{AdaptiveKernel, KernelSpec, LaneKernel};
 use dphls_seq::Base;
 
 /// Stable wire/CLI names of every dispatchable kernel, in Table 1 order.
@@ -82,6 +82,42 @@ pub fn dispatch_dna<R: DnaKernelRunner>(name: &str, runner: R) -> Option<R::Out>
         "banded_global_two_piece" => {
             runner.run::<BandedGlobalTwoPiece<i16>>(TwoPieceParams::<i16>::dna())
         }
+        _ => return None,
+    })
+}
+
+/// A generic continuation for [`dispatch_dna_adaptive`]: like
+/// [`DnaKernelRunner`] but with the stronger [`AdaptiveKernel`] bound, so
+/// implementations may build the saturating-`i8` fast path with exact
+/// `i16` escalation for the resolved kernel.
+pub trait AdaptiveDnaRunner {
+    /// Value returned through [`dispatch_dna_adaptive`].
+    type Out;
+
+    /// Called with the resolved adaptive kernel type and its default
+    /// parameters.
+    fn run<K>(self, params: K::Params) -> Self::Out
+    where
+        K: AdaptiveKernel + KernelSpec<Sym = Base, Score = i16> + 'static;
+}
+
+/// Resolves `name` to an [`AdaptiveKernel`] instantiation and runs the
+/// continuation with it. The adaptive family is the linear and affine
+/// kernels (8 of the 10 dispatchable names); the two-piece kernels carry
+/// a third parameter regime that has no `i8` narrowing yet, so they — and
+/// unknown names — return `None`. A front end should fall back to
+/// [`dispatch_dna`] (exact precision) when this returns `None` for a name
+/// that *does* dispatch there.
+pub fn dispatch_dna_adaptive<R: AdaptiveDnaRunner>(name: &str, runner: R) -> Option<R::Out> {
+    Some(match name {
+        "global_linear" => runner.run::<GlobalLinear<i16>>(LinearParams::<i16>::dna()),
+        "global_affine" => runner.run::<GlobalAffine<i16>>(AffineParams::<i16>::dna()),
+        "local_linear" => runner.run::<LocalLinear<i16>>(LinearParams::<i16>::dna()),
+        "local_affine" => runner.run::<LocalAffine<i16>>(AffineParams::<i16>::dna()),
+        "overlap" => runner.run::<Overlap<i16>>(LinearParams::<i16>::dna()),
+        "semi_global" => runner.run::<SemiGlobal<i16>>(LinearParams::<i16>::dna()),
+        "banded_global_linear" => runner.run::<BandedGlobalLinear<i16>>(LinearParams::<i16>::dna()),
+        "banded_local_affine" => runner.run::<BandedLocalAffine<i16>>(AffineParams::<i16>::dna()),
         _ => return None,
     })
 }
@@ -158,6 +194,48 @@ mod tests {
             assert_eq!(default_banding(name).is_some(), expect, "{name}");
         }
         assert_eq!(default_banding("no_such_kernel"), None);
+    }
+
+    #[test]
+    fn adaptive_family_is_the_linear_and_affine_kernels() {
+        struct Nop;
+        impl AdaptiveDnaRunner for Nop {
+            type Out = ();
+            fn run<K>(self, _params: K::Params)
+            where
+                K: AdaptiveKernel + KernelSpec<Sym = Base, Score = i16> + 'static,
+            {
+            }
+        }
+        for name in DISPATCHABLE_KERNELS {
+            let expect = !name.contains("two_piece");
+            assert_eq!(dispatch_dna_adaptive(name, Nop).is_some(), expect, "{name}");
+        }
+        assert!(dispatch_dna_adaptive("no_such_kernel", Nop).is_none());
+    }
+
+    #[test]
+    fn adaptive_dispatch_narrows_default_dna_params() {
+        /// Checks the dispatched kernel's default DNA parameters fit the
+        /// `i8` envelope, and that the low-precision twin shares the hi
+        /// kernel's Table 1 identity.
+        struct NarrowCheck;
+        impl AdaptiveDnaRunner for NarrowCheck {
+            type Out = bool;
+            fn run<K>(self, params: K::Params) -> bool
+            where
+                K: AdaptiveKernel + KernelSpec<Sym = Base, Score = i16> + 'static,
+            {
+                assert_eq!(K::Lo::meta().id, K::meta().id);
+                assert_eq!(K::Lo::meta().objective, K::meta().objective);
+                K::lo_params(&params).is_some()
+            }
+        }
+        for name in DISPATCHABLE_KERNELS {
+            if let Some(narrowed) = dispatch_dna_adaptive(name, NarrowCheck) {
+                assert!(narrowed, "{name}: dna() params escape the i8 envelope");
+            }
+        }
     }
 
     #[test]

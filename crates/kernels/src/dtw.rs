@@ -28,7 +28,7 @@ pub type DtwScore = dphls_fixed::ApFixed<32, 26>;
 pub struct Dtw<S = DtwScore>(PhantomData<S>);
 
 /// DTW's min-objective recurrence uses the scalar lane fallback.
-impl<S: Score> dphls_core::LaneKernel for Dtw<S> {}
+impl<S: Score, const W: usize> dphls_core::LaneKernel<W> for Dtw<S> {}
 
 impl<S: Score> KernelSpec for Dtw<S> {
     type Sym = Complex;
@@ -98,7 +98,7 @@ impl<S: Score> KernelSpec for Dtw<S> {
 pub struct Sdtw<S = i32>(PhantomData<S>);
 
 /// sDTW uses the scalar lane fallback.
-impl<S: Score> dphls_core::LaneKernel for Sdtw<S> {}
+impl<S: Score, const W: usize> dphls_core::LaneKernel<W> for Sdtw<S> {}
 
 impl<S: Score> KernelSpec for Sdtw<S> {
     type Sym = i16;

@@ -9,8 +9,8 @@
 use crate::params::LinearParams;
 use dphls_core::score::argmax;
 use dphls_core::{
-    KernelId, KernelMeta, KernelSpec, LaneKernel, LayerVec, Objective, Score, TbMove, TbPtr,
-    TbState, TracebackSpec, LANE_WIDTH,
+    AdaptiveKernel, KernelId, KernelMeta, KernelSpec, LaneKernel, LayerVec, Objective, Score,
+    TbMove, TbPtr, TbState, TracebackSpec,
 };
 use dphls_seq::Base;
 use std::marker::PhantomData;
@@ -44,14 +44,15 @@ fn linear_pe<S: Score>(
     (LayerVec::splat(1, best), ptr)
 }
 
-/// Multi-lane linear PE: up to [`LANE_WIDTH`] wavefront cells per call in
+/// Multi-lane linear PE: up to `W` wavefront cells per call in
 /// structure-of-arrays form. Bit-identical to [`linear_pe`] — the candidate
 /// order and strict-improvement tie-breaks replicate [`argmax`] exactly —
-/// but laid out as branch-free passes over `[S; LANE_WIDTH]` arrays so the
-/// saturating adds and compare/selects vectorize (the `i16` kernels compile
-/// to `vpaddsw`/`vpcmpgtw`/blend chains).
+/// but laid out as branch-free passes over `[S; W]` arrays so the
+/// saturating adds and compare/selects vectorize (the `i16` kernels at
+/// `W = 8` compile to `vpaddsw`/`vpcmpgtw`/blend chains; the `i8` fast path
+/// instantiates `W = 16`/`32` over the byte-wide equivalents).
 #[allow(clippy::too_many_arguments)]
-fn linear_pe_lanes<S: Score>(
+fn linear_pe_lanes<S: Score, const W: usize>(
     p: &LinearParams<S>,
     q: &[Base],
     r_rev: &[Base],
@@ -63,7 +64,7 @@ fn linear_pe_lanes<S: Score>(
     clamp_zero: bool,
 ) {
     let n = q.len();
-    debug_assert!((1..=LANE_WIDTH).contains(&n));
+    debug_assert!((1..=W).contains(&n));
     // One up-front narrowing per slice so the gather/scatter loops below
     // carry no per-element bounds checks.
     let (q, r_rev) = (&q[..n], &r_rev[..n]);
@@ -71,10 +72,10 @@ fn linear_pe_lanes<S: Score>(
     let zero = S::zero();
     // Gather into padded fixed-width arrays; the dead tail lanes compute
     // garbage (saturating ops, no side effects) and are never written back.
-    let mut d = [zero; LANE_WIDTH];
-    let mut u = [zero; LANE_WIDTH];
-    let mut l = [zero; LANE_WIDTH];
-    let mut sub = [zero; LANE_WIDTH];
+    let mut d = [zero; W];
+    let mut u = [zero; W];
+    let mut l = [zero; W];
+    let mut sub = [zero; W];
     for t in 0..n {
         d[t] = diag[t].primary();
         u[t] = up[t].primary();
@@ -89,9 +90,9 @@ fn linear_pe_lanes<S: Score>(
     // argmax([(0, END)?, (mat, DIAG), (del, UP), (ins, LEFT)]) — later
     // candidates win only if strictly greater — expressed as branchless
     // compare/select chains over whole arrays.
-    let mut best = [zero; LANE_WIDTH];
-    let mut dir = [0u8; LANE_WIDTH];
-    for t in 0..LANE_WIDTH {
+    let mut best = [zero; W];
+    let mut dir = [0u8; W];
+    for t in 0..W {
         let mat = d[t].add(sub[t]);
         let del = u[t].add(p.gap);
         let ins = l[t].add(p.gap);
@@ -115,6 +116,80 @@ fn linear_pe_lanes<S: Score>(
         out[t] = LayerVec::splat(1, best[t]);
         ptrs[t] = TbPtr(dir[t]);
     }
+}
+
+/// Flat-port variant of [`linear_pe_lanes`] for the engine's single-layer
+/// structure-of-arrays wavefront path: the neighbor and output streams are
+/// plain score slices, so the gathers and scatters are contiguous
+/// `copy_from_slice` vector moves instead of per-lane `LayerVec` walks, and
+/// the saturation guard is fused into the lane body — one branchless
+/// OR-reduction over the freshly computed `best` array while it is still in
+/// registers (free for exact score types, whose `needs_escalation` is
+/// constant `false`). Bit-identical to [`linear_pe`] lane by lane.
+#[allow(clippy::too_many_arguments)]
+fn linear_pe_lanes_primary<S: Score, const W: usize>(
+    p: &LinearParams<S>,
+    q: &[Base],
+    r_rev: &[Base],
+    diag: &[S],
+    up: &[S],
+    left: &[S],
+    out: &mut [S],
+    ptrs: &mut [TbPtr],
+    clamp_zero: bool,
+) -> bool {
+    let n = q.len();
+    debug_assert!((1..=W).contains(&n));
+    let (q, r_rev) = (&q[..n], &r_rev[..n]);
+    let zero = S::zero();
+    // Contiguous vector-copy gathers; the dead tail lanes hold zeros and
+    // compute garbage (saturating ops, no side effects) that is neither
+    // written back nor consulted by the guard.
+    let mut d = [zero; W];
+    let mut u = [zero; W];
+    let mut l = [zero; W];
+    let mut sub = [zero; W];
+    d[..n].copy_from_slice(&diag[..n]);
+    u[..n].copy_from_slice(&up[..n]);
+    l[..n].copy_from_slice(&left[..n]);
+    for t in 0..n {
+        sub[t] = if q[t] == r_rev[n - 1 - t] {
+            p.match_score
+        } else {
+            p.mismatch
+        };
+    }
+    // Same fixed-trip-count branchless selection as linear_pe_lanes.
+    let mut best = [zero; W];
+    let mut dir = [0u8; W];
+    for t in 0..W {
+        let mat = d[t].add(sub[t]);
+        let del = u[t].add(p.gap);
+        let ins = l[t].add(p.gap);
+        let (mut b, mut dr) = if clamp_zero {
+            let (b, won) = zero.max_with(mat);
+            (b, if won { TbPtr::DIAG.0 } else { TbPtr::END.0 })
+        } else {
+            (mat, TbPtr::DIAG.0)
+        };
+        let (m, won) = b.max_with(del);
+        b = m;
+        dr = if won { TbPtr::UP.0 } else { dr };
+        let (m, won) = b.max_with(ins);
+        b = m;
+        dr = if won { TbPtr::LEFT.0 } else { dr };
+        best[t] = b;
+        dir[t] = dr;
+    }
+    let mut escalate = false;
+    for t in 0..n {
+        escalate |= best[t].needs_escalation();
+    }
+    out[..n].copy_from_slice(&best[..n]);
+    for t in 0..n {
+        ptrs[t] = TbPtr(dir[t]);
+    }
+    escalate
 }
 
 /// Shared single-state traceback FSM (paper Listing 7).
@@ -196,7 +271,7 @@ macro_rules! linear_kernel {
             }
         }
 
-        impl<S: Score> LaneKernel for $name<S> {
+        impl<S: Score, const W: usize> LaneKernel<W> for $name<S> {
             #[inline]
             fn pe_lanes(
                 params: &Self::Params,
@@ -208,7 +283,31 @@ macro_rules! linear_kernel {
                 out: &mut [LayerVec<S>],
                 ptrs: &mut [TbPtr],
             ) {
-                linear_pe_lanes(params, q, r_rev, diag, up, left, out, ptrs, $clamp)
+                linear_pe_lanes::<S, W>(params, q, r_rev, diag, up, left, out, ptrs, $clamp)
+            }
+
+            #[inline]
+            fn pe_lanes_primary(
+                params: &Self::Params,
+                q: &[Base],
+                r_rev: &[Base],
+                diag: &[S],
+                up: &[S],
+                left: &[S],
+                out: &mut [S],
+                ptrs: &mut [TbPtr],
+            ) -> bool {
+                linear_pe_lanes_primary::<S, W>(
+                    params, q, r_rev, diag, up, left, out, ptrs, $clamp,
+                )
+            }
+        }
+
+        impl AdaptiveKernel for $name<i16> {
+            type Lo = $name<i8>;
+
+            fn lo_params(params: &LinearParams<i16>) -> Option<LinearParams<i8>> {
+                params.narrow_i8()
             }
         }
     };
@@ -267,6 +366,7 @@ linear_kernel!(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dphls_core::LANE_WIDTH;
     use dphls_core::{run_reference, run_reference_full, Banding, BestCellRule};
     use dphls_seq::DnaSeq;
 
@@ -466,7 +566,7 @@ mod tests {
         for clamp in [false, true] {
             let mut out = vec![LayerVec::splat(1, 0i16); n];
             let mut ptrs = vec![TbPtr::END; n];
-            linear_pe_lanes(
+            linear_pe_lanes::<i16, LANE_WIDTH>(
                 &p, &q, &r_rev, &diag, &up, &left, &mut out, &mut ptrs, clamp,
             );
             for t in 0..n {

@@ -5,7 +5,15 @@
 //! instrumented [`CountingScore`] used by the FPGA resource model; the
 //! [`ToCounting`] trait performs that mapping.
 
-use dphls_core::{CountingScore, Score};
+use dphls_core::{CountingScore, Score, I8_PARAM_LIMIT};
+
+/// Value-exact `i16 → i8` narrowing inside the adaptive fast path's sound
+/// parameter envelope, `|v| ≤ I8_PARAM_LIMIT`.
+fn narrow_i8(v: i16) -> Option<i8> {
+    (-I8_PARAM_LIMIT..=I8_PARAM_LIMIT)
+        .contains(&v)
+        .then_some(v as i8)
+}
 
 /// Maps a params struct from score type `S` to `CountingScore<S>` so the
 /// kernel's PE function can be executed under instrumentation.
@@ -48,6 +56,20 @@ impl<S: Score> LinearParams<S> {
     }
 }
 
+impl LinearParams<i16> {
+    /// The `i8` mirror of these parameters for the adaptive fast path, or
+    /// `None` when any magnitude exceeds the sound envelope
+    /// ([`dphls_core::I8_PARAM_LIMIT`]) — the adaptive engine then escalates
+    /// every pair instead of running an unsound narrow path.
+    pub fn narrow_i8(&self) -> Option<LinearParams<i8>> {
+        Some(LinearParams {
+            match_score: narrow_i8(self.match_score)?,
+            mismatch: narrow_i8(self.mismatch)?,
+            gap: narrow_i8(self.gap)?,
+        })
+    }
+}
+
 impl<S: Score> ToCounting<S> for LinearParams<S> {
     type Counted = LinearParams<CountingScore<S>>;
     fn to_counting(&self) -> Self::Counted {
@@ -83,6 +105,20 @@ impl<S: Score> AffineParams<S> {
             gap_open: S::from_i32(-5),
             gap_extend: S::from_i32(-1),
         }
+    }
+}
+
+impl AffineParams<i16> {
+    /// The `i8` mirror of these parameters for the adaptive fast path, or
+    /// `None` when any magnitude exceeds the sound envelope
+    /// ([`dphls_core::I8_PARAM_LIMIT`]).
+    pub fn narrow_i8(&self) -> Option<AffineParams<i8>> {
+        Some(AffineParams {
+            match_score: narrow_i8(self.match_score)?,
+            mismatch: narrow_i8(self.mismatch)?,
+            gap_open: narrow_i8(self.gap_open)?,
+            gap_extend: narrow_i8(self.gap_extend)?,
+        })
     }
 }
 
@@ -456,6 +492,32 @@ mod tests {
         assert_eq!(p.sub[4][4], 0);
         assert_eq!(p.sub[0][4], -2);
         assert_eq!(p.gap, -32); // -2 * 4 * 4
+    }
+
+    #[test]
+    fn narrow_i8_is_value_exact_inside_the_envelope() {
+        let p = LinearParams::<i16>::dna();
+        let n = p.narrow_i8().unwrap();
+        assert_eq!(n.match_score as i16, p.match_score);
+        assert_eq!(n.mismatch as i16, p.mismatch);
+        assert_eq!(n.gap as i16, p.gap);
+        let a = AffineParams::<i16>::dna().narrow_i8().unwrap();
+        assert_eq!(a.gap_open, -5);
+        assert_eq!(a.gap_extend, -1);
+    }
+
+    #[test]
+    fn narrow_i8_rejects_out_of_envelope_parameters() {
+        let mut p = LinearParams::<i16>::dna();
+        p.mismatch = -(I8_PARAM_LIMIT + 1);
+        assert!(p.narrow_i8().is_none());
+        let mut a = AffineParams::<i16>::dna();
+        a.match_score = I8_PARAM_LIMIT + 1;
+        assert!(a.narrow_i8().is_none());
+        // The envelope edge itself is allowed.
+        let mut edge = LinearParams::<i16>::dna();
+        edge.gap = -I8_PARAM_LIMIT;
+        assert_eq!(edge.narrow_i8().unwrap().gap as i16, -I8_PARAM_LIMIT);
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn sum_of_pairs<S: Score>(p: &ProfileParams<S>, c1: &ProfileColumn, c2: &Profile
 
 /// Profile alignment uses the scalar lane fallback (per-column PSSM
 /// lookups defeat the SoA layout).
-impl<S: Score> dphls_core::LaneKernel for ProfileAlign<S> {}
+impl<S: Score, const W: usize> dphls_core::LaneKernel<W> for ProfileAlign<S> {}
 
 impl<S: Score> KernelSpec for ProfileAlign<S> {
     type Sym = ProfileColumn;

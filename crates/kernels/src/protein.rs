@@ -20,7 +20,7 @@ use std::marker::PhantomData;
 pub struct ProteinLocal<S = i16>(PhantomData<S>);
 
 /// BLOSUM62 table lookups gather per lane; scalar fallback.
-impl<S: Score> dphls_core::LaneKernel for ProteinLocal<S> {}
+impl<S: Score, const W: usize> dphls_core::LaneKernel<W> for ProteinLocal<S> {}
 
 impl<S: Score> KernelSpec for ProteinLocal<S> {
     type Sym = AminoAcid;

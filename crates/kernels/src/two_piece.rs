@@ -169,7 +169,7 @@ macro_rules! two_piece_kernel {
 
         // Five-layer recurrence: the scalar lane fallback is already
         // memory-bound on the H/I₁/D₁/I₂/D₂ traffic, so no override.
-        impl<S: Score> dphls_core::LaneKernel for $name<S> {}
+        impl<S: Score, const W: usize> dphls_core::LaneKernel<W> for $name<S> {}
     };
 }
 

@@ -29,7 +29,7 @@ const VJ: usize = 2;
 pub struct Viterbi<S = ViterbiScore>(PhantomData<S>);
 
 /// Viterbi's probability products use the scalar lane fallback.
-impl<S: Score> dphls_core::LaneKernel for Viterbi<S> {}
+impl<S: Score, const W: usize> dphls_core::LaneKernel<W> for Viterbi<S> {}
 
 impl<S: Score> KernelSpec for Viterbi<S> {
     type Sym = Base;

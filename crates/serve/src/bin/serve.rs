@@ -3,14 +3,17 @@
 //! ```text
 //! dphls-serve [--addr HOST:PORT] [--npe N] [--nb N] [--nk N]
 //!             [--max-len N] [--buffer N] [--window N]
+//!             [--precision exact|i8x16|i8x32]
 //! ```
 
+use dphls_core::{I8Lanes, LanePrecision};
 use dphls_serve::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: dphls-serve [--addr HOST:PORT] [--npe N] [--nb N] [--nk N] \
-         [--max-len N] [--buffer N] [--window N]"
+         [--max-len N] [--buffer N] [--window N] \
+         [--precision exact|i8x16|i8x32]"
     );
     std::process::exit(2);
 }
@@ -29,6 +32,14 @@ fn main() {
             "--max-len" => config.max_len = parse(&value),
             "--buffer" => config.stream.buffer = parse(&value),
             "--window" => config.stream.window = parse(&value),
+            "--precision" => {
+                config.precision = match value.as_str() {
+                    "exact" => LanePrecision::Exact,
+                    "i8x16" => LanePrecision::Adaptive(I8Lanes::X16),
+                    "i8x32" => LanePrecision::Adaptive(I8Lanes::X32),
+                    _ => usage(),
+                }
+            }
             _ => usage(),
         }
     }

@@ -29,11 +29,14 @@ use crate::protocol::{
     read_frame, write_frame, ErrorCode, ErrorFrame, Frame, ReadFrameError, Response,
     DEFAULT_MAX_FRAME,
 };
-use dphls_core::{DpOutput, KernelConfig, KernelSpec, LaneKernel};
+use dphls_core::{AdaptiveKernel, DpOutput, KernelConfig, KernelSpec, LaneKernel, LanePrecision};
 use dphls_host::{
     OrderedWriter, PairFault, ResilienceConfig, SessionClosed, StreamConfig, StreamSession,
 };
-use dphls_kernels::{default_banding, dispatch_dna, DnaKernelRunner, DISPATCHABLE_KERNELS};
+use dphls_kernels::{
+    default_banding, dispatch_dna, dispatch_dna_adaptive, AdaptiveDnaRunner, DnaKernelRunner,
+    DISPATCHABLE_KERNELS,
+};
 use dphls_seq::Base;
 use dphls_systolic::{CycleModelParams, Device, KernelCycleInfo};
 use std::collections::HashMap;
@@ -68,6 +71,13 @@ pub struct ServerConfig {
     /// Largest frame payload accepted from a client; see
     /// [`DEFAULT_MAX_FRAME`].
     pub max_frame: usize,
+    /// Score precision the kernel sessions run at. With
+    /// [`LanePrecision::Adaptive`], kernels that have an `i8` companion
+    /// (the linear/affine family) run the saturating-`i8` fast path and
+    /// escalate individual pairs to exact `i16` when the in-band guard
+    /// trips — responses are bit-identical either way. Kernels without a
+    /// companion (the two-piece family) silently fall back to exact.
+    pub precision: LanePrecision,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +90,7 @@ impl Default for ServerConfig {
             stream: StreamConfig::default(),
             resilience: ResilienceConfig::standard(),
             max_frame: DEFAULT_MAX_FRAME,
+            precision: LanePrecision::Exact,
         }
     }
 }
@@ -91,6 +102,10 @@ pub struct KernelStats {
     pub pairs: usize,
     /// Pairs quarantined by the resilience layer.
     pub quarantined: usize,
+    /// Pairs that escalated from the `i8` fast path to the exact `i16`
+    /// engine. Always 0 under [`LanePrecision::Exact`] and for kernels
+    /// without an `i8` companion.
+    pub escalations: u64,
 }
 
 /// Lifetime tallies returned by [`Server::shutdown`].
@@ -158,13 +173,30 @@ impl Shared {
         if let Some(session) = sessions.get(name) {
             return Some(Arc::clone(session));
         }
-        let erased = dispatch_dna(
-            name,
-            SpawnSession {
-                config: &self.config,
-                band: default_banding(name),
-            },
-        )?;
+        // Under adaptive precision, kernels with an i8 companion spawn the
+        // precision-dispatching session; the rest (and everything under
+        // exact precision) take the classic exact path.
+        let adaptive = match self.config.precision {
+            LanePrecision::Exact => None,
+            LanePrecision::Adaptive(_) => dispatch_dna_adaptive(
+                name,
+                SpawnAdaptiveSession {
+                    config: &self.config,
+                    band: default_banding(name),
+                    precision: self.config.precision,
+                },
+            ),
+        };
+        let erased = match adaptive {
+            Some(erased) => erased,
+            None => dispatch_dna(
+                name,
+                SpawnSession {
+                    config: &self.config,
+                    band: default_banding(name),
+                },
+            )?,
+        };
         let erased = Arc::new(erased);
         sessions.insert(name.to_owned(), Arc::clone(&erased));
         Some(erased)
@@ -185,81 +217,128 @@ impl DnaKernelRunner for SpawnSession<'_> {
     where
         K: LaneKernel + KernelSpec<Sym = Base, Score = i16> + 'static,
     {
-        let mut kernel_config = KernelConfig::new(self.config.npe, self.config.nb, self.config.nk)
-            .with_max_lengths(self.config.max_len, self.config.max_len);
-        if let Some(half_width) = self.band {
-            kernel_config = kernel_config.with_banding(half_width);
-        }
-        let device = Device::new(
-            kernel_config,
-            CycleModelParams::dphls(),
-            KernelCycleInfo {
-                sym_bits: 2,
-                has_walk: true,
-                ii: 1,
-            },
-            250.0,
-        );
-        let routes: Arc<Mutex<HashMap<usize, Route>>> = Arc::default();
-        let sink_routes = Arc::clone(&routes);
-        let session = Arc::new(StreamSession::<K>::spawn(
-            device,
-            params,
+        let (config, stream, res) = (
+            self.config,
             self.config.stream,
             self.config.resilience.clone(),
-            move |idx, slot: Result<DpOutput<i16>, PairFault>| {
-                let route = sink_routes
+        );
+        erase_session(config, self.band, move |device, sink| {
+            StreamSession::<K>::spawn(device, params, stream, res, sink)
+        })
+    }
+}
+
+/// The [`dispatch_dna_adaptive`] continuation: like [`SpawnSession`] but
+/// the spawned engine runs the requested [`LanePrecision`].
+struct SpawnAdaptiveSession<'a> {
+    config: &'a ServerConfig,
+    band: Option<usize>,
+    precision: LanePrecision,
+}
+
+impl AdaptiveDnaRunner for SpawnAdaptiveSession<'_> {
+    type Out = ErasedSession;
+
+    fn run<K>(self, params: K::Params) -> ErasedSession
+    where
+        K: AdaptiveKernel + KernelSpec<Sym = Base, Score = i16> + 'static,
+    {
+        let (config, stream, res) = (
+            self.config,
+            self.config.stream,
+            self.config.resilience.clone(),
+        );
+        let precision = self.precision;
+        erase_session(config, self.band, move |device, sink| {
+            StreamSession::<K>::spawn_adaptive(device, params, precision, stream, res, sink)
+        })
+    }
+}
+
+/// The route-resolving result sink every kernel session writes into.
+type SessionSink = Box<dyn FnMut(usize, Result<DpOutput<i16>, PairFault>) + Send>;
+
+/// Shared body of the session-spawning runners: builds the device, wires
+/// the route table into the result sink, hands both to `spawn`, and wraps
+/// the live session behind the type-erased submit/close edges.
+fn erase_session<K>(
+    config: &ServerConfig,
+    band: Option<usize>,
+    spawn: impl FnOnce(Device, SessionSink) -> StreamSession<K>,
+) -> ErasedSession
+where
+    K: LaneKernel + KernelSpec<Sym = Base, Score = i16> + 'static,
+{
+    let mut kernel_config = KernelConfig::new(config.npe, config.nb, config.nk)
+        .with_max_lengths(config.max_len, config.max_len);
+    if let Some(half_width) = band {
+        kernel_config = kernel_config.with_banding(half_width);
+    }
+    let device = Device::new(
+        kernel_config,
+        CycleModelParams::dphls(),
+        KernelCycleInfo {
+            sym_bits: 2,
+            has_walk: true,
+            ii: 1,
+        },
+        250.0,
+    );
+    let routes: Arc<Mutex<HashMap<usize, Route>>> = Arc::default();
+    let sink_routes = Arc::clone(&routes);
+    let sink: SessionSink = Box::new(move |idx, slot: Result<DpOutput<i16>, PairFault>| {
+        let route = sink_routes
+            .lock()
+            .expect("routes mutex")
+            .remove(&idx)
+            .expect("route registered before its sink slot fires");
+        let frame = match slot {
+            Ok(out) => Frame::Response(Response {
+                seq: route.seq,
+                score: i64::from(out.best_score),
+                best_cell: (out.best_cell.0 as u32, out.best_cell.1 as u32),
+                cells: out.cells_computed,
+            }),
+            Err(fault) => Frame::Error(ErrorFrame {
+                seq: route.seq,
+                code: ErrorCode::Quarantined,
+                message: fault.to_string(),
+            }),
+        };
+        // A hung-up writer just drops the frame; the engine is not
+        // a connection's hostage.
+        let _ = route.tx.send(WriterMsg::Frame(route.seq, frame));
+    });
+    let session = Arc::new(spawn(device, sink));
+    let submit_session = Arc::clone(&session);
+    let submit_routes = Arc::clone(&routes);
+    ErasedSession {
+        submit: Box::new(move |query, reference, route| {
+            match submit_session.submit_with(query, reference, |idx| {
+                submit_routes
                     .lock()
                     .expect("routes mutex")
-                    .remove(&idx)
-                    .expect("route registered before its sink slot fires");
-                let frame = match slot {
-                    Ok(out) => Frame::Response(Response {
-                        seq: route.seq,
-                        score: i64::from(out.best_score),
-                        best_cell: (out.best_cell.0 as u32, out.best_cell.1 as u32),
-                        cells: out.cells_computed,
-                    }),
-                    Err(fault) => Frame::Error(ErrorFrame {
-                        seq: route.seq,
-                        code: ErrorCode::Quarantined,
-                        message: fault.to_string(),
-                    }),
-                };
-                // A hung-up writer just drops the frame; the engine is not
-                // a connection's hostage.
-                let _ = route.tx.send(WriterMsg::Frame(route.seq, frame));
-            },
-        ));
-        let submit_session = Arc::clone(&session);
-        let submit_routes = Arc::clone(&routes);
-        ErasedSession {
-            submit: Box::new(move |query, reference, route| {
-                match submit_session.submit_with(query, reference, |idx| {
-                    submit_routes
-                        .lock()
-                        .expect("routes mutex")
-                        .insert(idx, route);
-                }) {
-                    Ok(_) => Ok(()),
-                    Err(err) => {
-                        if let Some(idx) = err.registered {
-                            submit_routes.lock().expect("routes mutex").remove(&idx);
-                        }
-                        Err(err)
+                    .insert(idx, route);
+            }) {
+                Ok(_) => Ok(()),
+                Err(err) => {
+                    if let Some(idx) = err.registered {
+                        submit_routes.lock().expect("routes mutex").remove(&idx);
                     }
+                    Err(err)
                 }
-            }),
-            close: Mutex::new(Some(Box::new(move || {
-                session.shutdown().map(|result| match result {
-                    Ok(report) => KernelStats {
-                        pairs: report.pairs,
-                        quarantined: report.faults.len(),
-                    },
-                    Err(_) => KernelStats::default(),
-                })
-            }))),
-        }
+            }
+        }),
+        close: Mutex::new(Some(Box::new(move || {
+            session.shutdown().map(|result| match result {
+                Ok(report) => KernelStats {
+                    pairs: report.pairs,
+                    quarantined: report.faults.len(),
+                    escalations: report.escalations,
+                },
+                Err(_) => KernelStats::default(),
+            })
+        }))),
     }
 }
 

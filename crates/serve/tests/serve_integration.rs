@@ -213,6 +213,78 @@ fn concurrent_clients_get_ordered_bit_identical_responses() {
     );
 }
 
+/// Adaptive precision end to end: responses are bit-identical to the exact
+/// engine, pairs that overflow the `i8` guard escalate (and the count
+/// surfaces in the shutdown stats), and kernels without an `i8` companion
+/// silently fall back to the exact path.
+#[test]
+fn adaptive_precision_serves_bit_identical_responses() {
+    use dphls_core::{I8Lanes, LanePrecision};
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            npe: NPE,
+            nb: NB,
+            nk: NK,
+            max_len: MAX_LEN,
+            precision: LanePrecision::Adaptive(I8Lanes::X16),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // Short reads stay inside the i8 guard with the default DNA params
+    // (boundary gap penalty -2/base needs > 15 bases to cross the -32
+    // escalation floor); expectations come from the exact batch engine.
+    let mut sim = ReadSimulator::new(0xADA9);
+    let pairs: Vec<(Vec<Base>, Vec<Base>)> = sim
+        .read_pairs(10, 12, 0.2)
+        .into_iter()
+        .map(|(r, q)| (q.into_vec(), r.into_vec()))
+        .collect();
+    let expect = run_batched::<GlobalLinear>(&device(), &LinearParams::<i16>::dna(), &pairs)
+        .expect("reference batch");
+
+    let mut client = Client::connect(addr).expect("connect");
+    for (i, (q, r)) in pairs.iter().enumerate() {
+        let resp = client
+            .align("global_linear", &dna_string(q), &dna_string(r))
+            .expect("clean short pair");
+        let expected = &expect.outputs[i];
+        assert_eq!(resp.score, i64::from(expected.best_score));
+        assert_eq!(
+            resp.best_cell,
+            (expected.best_cell.0 as u32, expected.best_cell.1 as u32)
+        );
+        assert_eq!(resp.cells, expected.cells_computed);
+    }
+
+    // A 64-base identical pair scores 128 >= the +127 guard: the i8 run
+    // saturates, the pair escalates, and the response is still exact.
+    let long = "A".repeat(64);
+    let resp = client
+        .align("global_linear", &long, &long)
+        .expect("escalating pair");
+    assert_eq!(resp.score, 128);
+
+    // No i8 companion for the two-piece family: exact fallback serves it.
+    let resp = client
+        .align("banded_global_two_piece", "ACGTACGTACGT", "ACGTACGTACGT")
+        .expect("two-piece fallback");
+    assert!(resp.score > 0);
+    drop(client);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.responses, pairs.len() as u64 + 2);
+    let kernels: std::collections::HashMap<_, _> = stats.kernels.into_iter().collect();
+    let linear = &kernels["global_linear"];
+    assert_eq!(linear.pairs, pairs.len() + 1);
+    assert_eq!(linear.escalations, 1, "exactly the saturating pair");
+    assert_eq!(kernels["banded_global_two_piece"].escalations, 0);
+}
+
 #[test]
 fn shutdown_drains_cleanly_with_no_traffic() {
     let server = test_server();

@@ -23,7 +23,7 @@
 use crate::tbmem::TbMem;
 use dphls_core::reference::{offer_if_eligible, walk_traceback, BestTracker};
 use dphls_core::{
-    Banding, BestCellRule, DpOutput, KernelConfig, LaneKernel, LayerVec, TbPtr, LANE_WIDTH,
+    Banding, BestCellRule, DpOutput, KernelConfig, LaneKernel, LayerVec, Score, TbPtr, LANE_WIDTH,
 };
 use std::fmt;
 
@@ -59,6 +59,11 @@ pub struct BlockStats {
     pub query_len: u64,
     /// Reference length of this alignment.
     pub ref_len: u64,
+    /// Precision escalations this run performed: 0 on the exact path and on
+    /// clean adaptive runs, 1 when the `i8` fast path tripped its guard and
+    /// the pair was re-run at `i16` (set by the adaptive driver, summed into
+    /// the host reports' escalation rate).
+    pub escalations: u64,
 }
 
 impl BlockStats {
@@ -143,6 +148,15 @@ pub struct SystolicScratch<S> {
     wf_m1: Vec<LayerVec<S>>,
     wf_m2: Vec<LayerVec<S>>,
     cur: Vec<LayerVec<S>>,
+    // Flat (primary-score-only) twins of the five buffers above, used by the
+    // structure-of-arrays wavefront loop that single-layer kernels take in
+    // lane mode ([`run_block_primary`]). Kept separate so the two loops can
+    // coexist without re-shaping buffers when a worker alternates kernels.
+    prev_row_p: Vec<S>,
+    next_row_p: Vec<S>,
+    wf_m1_p: Vec<S>,
+    wf_m2_p: Vec<S>,
+    cur_p: Vec<S>,
     trackers: Vec<BestTracker<S>>,
     tbmem: Option<TbMem>,
 }
@@ -156,6 +170,11 @@ impl<S> SystolicScratch<S> {
             wf_m1: Vec::new(),
             wf_m2: Vec::new(),
             cur: Vec::new(),
+            prev_row_p: Vec::new(),
+            next_row_p: Vec::new(),
+            wf_m1_p: Vec::new(),
+            wf_m2_p: Vec::new(),
+            cur_p: Vec::new(),
             trackers: Vec::new(),
             tbmem: None,
         }
@@ -310,7 +329,16 @@ pub fn run_systolic_with_scratch<K: LaneKernel>(
     config: &KernelConfig,
     scratch: &mut SystolicScratch<K::Score>,
 ) -> Result<SystolicRun<K::Score>, SystolicError> {
-    run_block::<K>(params, query, reference, config, scratch, LaneMode::Lanes)
+    run_block::<K, LANE_WIDTH>(
+        params,
+        query,
+        reference,
+        config,
+        scratch,
+        LaneMode::Lanes,
+        false,
+    )
+    .map(|run| run.expect("unguarded systolic run always completes"))
 }
 
 /// Runs one alignment with the wavefront loop forced to one
@@ -329,34 +357,70 @@ pub fn run_systolic_scalar_with_scratch<K: LaneKernel>(
     config: &KernelConfig,
     scratch: &mut SystolicScratch<K::Score>,
 ) -> Result<SystolicRun<K::Score>, SystolicError> {
-    run_block::<K>(params, query, reference, config, scratch, LaneMode::Scalar)
+    run_block::<K, LANE_WIDTH>(
+        params,
+        query,
+        reference,
+        config,
+        scratch,
+        LaneMode::Scalar,
+        false,
+    )
+    .map(|run| run.expect("unguarded systolic run always completes"))
 }
 
-fn run_block<K: LaneKernel>(
+/// Runs one alignment with saturation guarding: every computed wavefront is
+/// scanned for scores inside the guard band
+/// ([`dphls_core::Score::needs_escalation`]) and the run aborts with
+/// `Ok(None)` the moment one appears — the adaptive driver's signal to
+/// re-run the pair at full precision. `Ok(Some(run))` certifies that **no**
+/// output-layer value of any in-band cell entered the guard band, which (for
+/// parameters inside the [`dphls_core::I8_PARAM_LIMIT`] envelope) makes the
+/// narrow run bit-identical to the exact one.
+///
+/// The lane count is a const generic so the narrow score type gets a wider
+/// vector: `i8` packs [`dphls_core::I8_LANES_NARROW`] or
+/// [`dphls_core::I8_LANES_WIDE`] lanes into the same register budget that
+/// holds [`LANE_WIDTH`] `i16` lanes.
+///
+/// # Errors
+///
+/// Returns [`SystolicError`] if the configuration is invalid, a sequence is
+/// empty, or a sequence exceeds the configured maximum lengths.
+pub fn run_systolic_guarded_with_scratch<K: LaneKernel<LANES>, const LANES: usize>(
+    params: &K::Params,
+    query: &[K::Sym],
+    reference: &[K::Sym],
+    config: &KernelConfig,
+    scratch: &mut SystolicScratch<K::Score>,
+) -> Result<Option<SystolicRun<K::Score>>, SystolicError> {
+    run_block::<K, LANES>(
+        params,
+        query,
+        reference,
+        config,
+        scratch,
+        LaneMode::Lanes,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_block<K: LaneKernel<LANES>, const LANES: usize>(
     params: &K::Params,
     query: &[K::Sym],
     reference: &[K::Sym],
     config: &KernelConfig,
     scratch: &mut SystolicScratch<K::Score>,
     mode: LaneMode,
-) -> Result<SystolicRun<K::Score>, SystolicError> {
-    config.validate()?;
-    if query.is_empty() || reference.is_empty() {
-        return Err(SystolicError::EmptySequence);
-    }
-    if query.len() > config.max_query {
-        return Err(SystolicError::SequenceTooLong {
-            which: "query",
-            len: query.len(),
-            max: config.max_query,
-        });
-    }
-    if reference.len() > config.max_ref {
-        return Err(SystolicError::SequenceTooLong {
-            which: "reference",
-            len: reference.len(),
-            max: config.max_ref,
-        });
+    guard: bool,
+) -> Result<Option<SystolicRun<K::Score>>, SystolicError> {
+    validate_inputs(config, query.len(), reference.len())?;
+    // Single-layer kernels in lane mode take the flat structure-of-arrays
+    // wavefront loop: same cells, same order, bit-identical outputs, but the
+    // DP Memory Buffer holds plain scores instead of five-slot layer vectors.
+    if mode == LaneMode::Lanes && K::meta().n_layers == 1 {
+        return run_block_primary::<K, LANES>(params, query, reference, config, scratch, guard);
     }
 
     let meta = K::meta();
@@ -375,6 +439,7 @@ fn run_block<K: LaneKernel>(
         cur,
         trackers,
         tbmem,
+        ..
     } = scratch;
 
     match tbmem {
@@ -529,10 +594,10 @@ fn run_block<K: LaneKernel>(
                             scalar_cell!(k_hi);
                             k_last = k_hi - 1;
                         }
-                        let mut ptrs = [TbPtr::END; LANE_WIDTH];
+                        let mut ptrs = [TbPtr::END; LANES];
                         let mut k = k_first;
                         while k <= k_last {
-                            let n = LANE_WIDTH.min(k_last - k + 1);
+                            let n = LANES.min(k_last - k + 1);
                             // Lane t scores cell (base+k+t+1, w-k-t+1):
                             // query symbols advance, reference symbols
                             // retreat (`r_rev` stays a plain subslice).
@@ -610,6 +675,18 @@ fn run_block<K: LaneKernel>(
                 }
                 stats.cells += (k_hi - k_lo + 1) as u64;
                 stats.wavefronts += 1;
+                // Saturation guard: a narrow-precision run is only certified
+                // bit-identical while every output-layer value stays outside
+                // the guard band. Scan the freshly computed wavefront (all
+                // layers — affine H/I/D each feed later candidates) and bail
+                // out the instant any value needs escalation.
+                if guard {
+                    for out in &cur[k_lo..=k_hi] {
+                        if out.as_slice().iter().any(|s| s.needs_escalation()) {
+                            return Ok(None);
+                        }
+                    }
+                }
             }
             // The lane bounds move down by at most one lane per wavefront,
             // so clearing one lane on each flank keeps every stale entry
@@ -643,7 +720,7 @@ fn run_block<K: LaneKernel>(
         .map(|walk| walk_traceback::<K>(&|i, j| tbmem.read_cell(i, j), best_cell, walk));
     stats.tb_steps = alignment.as_ref().map_or(0, |a| a.len() as u64);
 
-    Ok(SystolicRun {
+    Ok(Some(SystolicRun {
         output: DpOutput {
             best_score,
             best_cell,
@@ -651,7 +728,292 @@ fn run_block<K: LaneKernel>(
             cells_computed: stats.cells,
         },
         stats,
-    })
+    }))
+}
+
+fn validate_inputs(
+    config: &KernelConfig,
+    query_len: usize,
+    ref_len: usize,
+) -> Result<(), SystolicError> {
+    config.validate()?;
+    if query_len == 0 || ref_len == 0 {
+        return Err(SystolicError::EmptySequence);
+    }
+    if query_len > config.max_query {
+        return Err(SystolicError::SequenceTooLong {
+            which: "query",
+            len: query_len,
+            max: config.max_query,
+        });
+    }
+    if ref_len > config.max_ref {
+        return Err(SystolicError::SequenceTooLong {
+            which: "reference",
+            len: ref_len,
+            max: config.max_ref,
+        });
+    }
+    Ok(())
+}
+
+/// The flat (structure-of-arrays) wavefront loop for single-layer kernels in
+/// lane mode: identical chunk/wavefront/lane geometry to [`run_block`], but
+/// the Preserved Row Score Buffer and the three DP Memory Buffer snapshots
+/// hold plain scores, interior lanes are scored through
+/// [`LaneKernel::pe_lanes_primary`] (contiguous vector-copy gathers and
+/// scatters), and the saturation guard is the lane body's fused flag instead
+/// of a separate scan over layer vectors. Bit-identical to [`run_block`] in
+/// scalar mode — the lane-vs-scalar and cross-precision property suites
+/// enforce this across the kernel family.
+#[allow(clippy::too_many_arguments)]
+fn run_block_primary<K: LaneKernel<LANES>, const LANES: usize>(
+    params: &K::Params,
+    query: &[K::Sym],
+    reference: &[K::Sym],
+    config: &KernelConfig,
+    scratch: &mut SystolicScratch<K::Score>,
+    guard: bool,
+) -> Result<Option<SystolicRun<K::Score>>, SystolicError> {
+    let meta = K::meta();
+    debug_assert_eq!(meta.n_layers, 1, "primary path requires 1-layer kernels");
+    let banding = config.banding;
+    let (q, r) = (query.len(), reference.len());
+    let npe = config.npe;
+    let chunks = config.chunks_for(q);
+    let worst: K::Score = meta.objective.worst();
+
+    // ---- Arena preparation: resize (capacity-preserving) + re-init. ----
+    let SystolicScratch {
+        prev_row_p: prev_row,
+        next_row_p: next_row,
+        wf_m1_p: wf_m1,
+        wf_m2_p: wf_m2,
+        cur_p: cur,
+        trackers,
+        tbmem,
+        ..
+    } = scratch;
+
+    match tbmem {
+        Some(mem) => mem.reset(npe, chunks, r),
+        None => *tbmem = Some(TbMem::new(npe, chunks, r)),
+    }
+    let tbmem = tbmem.as_mut().expect("tbmem just initialized");
+
+    trackers.truncate(npe);
+    for t in trackers.iter_mut() {
+        t.reset(meta.objective);
+    }
+    trackers.resize_with(npe, || BestTracker::new(meta.objective));
+
+    for buf in [&mut *wf_m1, &mut *wf_m2, &mut *cur] {
+        buf.clear();
+        buf.resize(npe, worst);
+    }
+    next_row.clear();
+    next_row.resize(r + 1, worst);
+
+    prev_row.clear();
+    prev_row.resize(r + 1, worst);
+    let row0_band_end = match banding {
+        Banding::None => r,
+        Banding::Fixed { half_width } => half_width.min(r),
+    };
+    for (j, slot) in prev_row.iter_mut().enumerate().take(row0_band_end + 1) {
+        *slot = K::init_row(params, j).primary();
+    }
+
+    let mut stats = BlockStats {
+        chunks: chunks as u64,
+        query_len: q as u64,
+        ref_len: r as u64,
+        reduction_levels: npe.next_power_of_two().trailing_zeros() as u64,
+        ..BlockStats::default()
+    };
+
+    for c in 0..chunks {
+        let base = c * npe;
+        let rows = npe.min(q - base);
+        let last_pe = rows - 1;
+        let Some(window) = ChunkWindow::new(base, rows, r, banding) else {
+            break;
+        };
+        for slot in next_row.iter_mut() {
+            *slot = worst;
+        }
+        let last_i = base + last_pe + 1;
+        next_row[0] = if banding.contains(last_i, 0) {
+            K::init_col(params, last_i).primary()
+        } else {
+            worst
+        };
+        for s in wf_m1.iter_mut() {
+            *s = worst;
+        }
+        for s in wf_m2.iter_mut() {
+            *s = worst;
+        }
+
+        for w in window.w_start..=window.w_end {
+            let (lo, hi) = window.lanes(w);
+            if lo <= hi {
+                let (k_lo, k_hi) = (lo as usize, hi as usize);
+                // Per-wavefront escalation accumulator: peeled scalar cells
+                // and lane calls all OR into it; for exact score types every
+                // contribution is the constant `false` and the accumulator
+                // (and the guarded bail-out) fold away.
+                let mut escalate = false;
+
+                // One full scalar boundary cell (see `run_block`), on flat
+                // buffers: neighbors are wrapped into one-layer vectors for
+                // the `pe` call and the output's primary value is stored.
+                macro_rules! scalar_cell {
+                    ($lane:expr) => {{
+                        let k: usize = $lane;
+                        let i = base + k + 1;
+                        let j = w - k + 1;
+                        let left = if j == 1 {
+                            if banding.contains(i, 0) {
+                                K::init_col(params, i).primary()
+                            } else {
+                                worst
+                            }
+                        } else {
+                            wf_m1[k]
+                        };
+                        let up = if k == 0 { prev_row[j] } else { wf_m1[k - 1] };
+                        let diag = if k == 0 {
+                            prev_row[j - 1]
+                        } else if j == 1 {
+                            if banding.contains(i - 1, 0) {
+                                K::init_col(params, i - 1).primary()
+                            } else {
+                                worst
+                            }
+                        } else {
+                            wf_m2[k - 1]
+                        };
+                        let (out, ptr) = K::pe(
+                            params,
+                            query[i - 1],
+                            reference[j - 1],
+                            &LayerVec::splat(1, diag),
+                            &LayerVec::splat(1, up),
+                            &LayerVec::splat(1, left),
+                        );
+                        let out = out.primary();
+                        escalate |= out.needs_escalation();
+                        offer_if_eligible(&mut trackers[k], meta.traceback.best, out, i, j, q, r);
+                        tbmem.write(k, c, w, ptr);
+                        if k == last_pe {
+                            next_row[j] = out;
+                        }
+                        cur[k] = out;
+                    }};
+                }
+
+                let mut k_first = k_lo;
+                if k_lo == 0 {
+                    scalar_cell!(0);
+                    k_first = 1;
+                }
+                let mut k_last = k_hi;
+                if k_hi == w && k_hi >= k_first {
+                    scalar_cell!(k_hi);
+                    k_last = k_hi - 1;
+                }
+                let mut ptrs = [TbPtr::END; LANES];
+                let mut k = k_first;
+                while k <= k_last {
+                    let n = LANES.min(k_last - k + 1);
+                    escalate |= K::pe_lanes_primary(
+                        params,
+                        &query[base + k..base + k + n],
+                        &reference[w - k + 1 - n..w - k + 1],
+                        &wf_m2[k - 1..k - 1 + n],
+                        &wf_m1[k - 1..k - 1 + n],
+                        &wf_m1[k..k + n],
+                        &mut cur[k..k + n],
+                        &mut ptrs[..n],
+                    );
+                    tbmem.write_lanes(k, c, w, &ptrs[..n]);
+                    // Tracker offers, specialized per best-cell rule exactly
+                    // as in `run_block`.
+                    let row_lane = (q - 1).wrapping_sub(base);
+                    let col_lane = (w + 1).wrapping_sub(r);
+                    let chunk = k..k + n;
+                    match meta.traceback.best {
+                        BestCellRule::AllCells => {
+                            for t in 0..n {
+                                let lane = k + t;
+                                trackers[lane].offer(cur[lane], base + lane + 1, w - lane + 1);
+                            }
+                        }
+                        BestCellRule::BottomRight => {
+                            if chunk.contains(&row_lane) && row_lane == col_lane {
+                                trackers[row_lane].offer(cur[row_lane], q, r);
+                            }
+                        }
+                        BestCellRule::LastRow => {
+                            if chunk.contains(&row_lane) {
+                                trackers[row_lane].offer(cur[row_lane], q, w - row_lane + 1);
+                            }
+                        }
+                        BestCellRule::LastRowOrCol => {
+                            if chunk.contains(&row_lane) {
+                                trackers[row_lane].offer(cur[row_lane], q, w - row_lane + 1);
+                            }
+                            if chunk.contains(&col_lane) && col_lane != row_lane {
+                                trackers[col_lane].offer(cur[col_lane], base + col_lane + 1, r);
+                            }
+                        }
+                    }
+                    if (k..k + n).contains(&last_pe) {
+                        next_row[w - last_pe + 1] = cur[last_pe];
+                    }
+                    k += n;
+                }
+                stats.cells += (k_hi - k_lo + 1) as u64;
+                stats.wavefronts += 1;
+                if guard && escalate {
+                    return Ok(None);
+                }
+            }
+            let (flank_lo, flank_hi) = (lo - 1, hi + 1);
+            if flank_lo >= 0 {
+                cur[flank_lo as usize] = worst;
+            }
+            if (flank_hi as usize) < npe {
+                cur[flank_hi as usize] = worst;
+            }
+            std::mem::swap(wf_m2, wf_m1);
+            std::mem::swap(wf_m1, cur);
+        }
+        std::mem::swap(prev_row, next_row);
+    }
+
+    let mut global = BestTracker::new(meta.objective);
+    for t in trackers.iter() {
+        global.merge(t);
+    }
+    let (best_score, best_cell) = global.best();
+
+    let alignment = meta
+        .traceback
+        .walk
+        .map(|walk| walk_traceback::<K>(&|i, j| tbmem.read_cell(i, j), best_cell, walk));
+    stats.tb_steps = alignment.as_ref().map_or(0, |a| a.len() as u64);
+
+    Ok(Some(SystolicRun {
+        output: DpOutput {
+            best_score,
+            best_cell,
+            alignment,
+            cells_computed: stats.cells,
+        },
+        stats,
+    }))
 }
 
 /// Convenience wrapper asserting success (for tests and examples where the

@@ -195,6 +195,7 @@ mod tests {
             reduction_levels: npe.trailing_zeros() as u64,
             query_len: 256,
             ref_len: 256,
+            escalations: 0,
         }
     }
 
@@ -300,6 +301,7 @@ mod tests {
             reduction_levels: 1,
             query_len: 4096,
             ref_len: 4096,
+            escalations: 0,
         };
         let k = KernelCycleInfo {
             sym_bits: 64,

@@ -3,12 +3,13 @@
 //! that the experiment harness uses as its "co-simulation": run every pair
 //! functionally, accumulate cycle statistics, and report throughput.
 
-use crate::block::{run_systolic, BlockStats, SystolicError};
+use crate::adaptive::{run_adaptive_with_scratch, AdaptiveScratch};
+use crate::block::{run_systolic, SystolicError, SystolicRun};
 use crate::cycles::{
     alignment_cycles, effective_cycles_per_alignment, throughput_aps, CycleBreakdown,
     CycleModelParams, KernelCycleInfo,
 };
-use dphls_core::{DpOutput, KernelConfig, LaneKernel};
+use dphls_core::{AdaptiveKernel, DpOutput, I8Lanes, KernelConfig, LaneKernel};
 
 /// Aggregate result of running a workload on the modeled device.
 #[derive(Debug, Clone)]
@@ -25,6 +26,9 @@ pub struct DeviceReport<S> {
     pub freq_mhz: f64,
     /// Total cells computed (workload size proxy).
     pub total_cells: u64,
+    /// Pairs that escalated from the `i8` fast path to the exact engine
+    /// (always 0 for [`Device::run`]; populated by [`Device::run_adaptive`]).
+    pub escalations: u64,
 }
 
 /// A modeled DP-HLS device instance: one kernel configuration plus a cycle
@@ -105,16 +109,66 @@ impl Device {
         params: &K::Params,
         workload: &[dphls_core::SeqPair<K>],
     ) -> Result<DeviceReport<K::Score>, SystolicError> {
-        let mut outputs = Vec::with_capacity(workload.len());
+        self.accumulate(workload.len(), |i| {
+            let (q, r) = &workload[i];
+            run_systolic::<K>(params, q, r, &self.config)
+        })
+    }
+
+    /// [`Device::run`] on the adaptive-precision path ([`AdaptiveKernel`]):
+    /// each pair tries the saturating-`i8` fast engine at `lanes` width and
+    /// escalates to the exact `i16` engine when its guard trips. Outputs
+    /// and modeled cycles are **bit-identical** to [`Device::run`] — the
+    /// cycle model consumes geometry-driven [`BlockStats`](crate::BlockStats),
+    /// which the
+    /// escalation contract keeps width-independent — so the only new
+    /// signal is [`DeviceReport::escalations`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SystolicError`] (invalid config or oversized
+    /// sequence).
+    pub fn run_adaptive<K: AdaptiveKernel>(
+        &self,
+        params: &K::Params,
+        lanes: I8Lanes,
+        workload: &[dphls_core::SeqPair<K>],
+    ) -> Result<DeviceReport<i16>, SystolicError> {
+        let lo_params = K::lo_params(params);
+        let mut scratch = AdaptiveScratch::new();
+        self.accumulate(workload.len(), |i| {
+            let (q, r) = &workload[i];
+            run_adaptive_with_scratch::<K>(
+                params,
+                lo_params.as_ref(),
+                lanes,
+                q,
+                r,
+                &self.config,
+                &mut scratch,
+            )
+        })
+    }
+
+    /// The shared workload loop: runs pair `0..n` through `runner`,
+    /// folding cycle statistics exactly as the paper's co-simulation
+    /// harness reports them.
+    fn accumulate<S>(
+        &self,
+        n_pairs: usize,
+        mut runner: impl FnMut(usize) -> Result<SystolicRun<S>, SystolicError>,
+    ) -> Result<DeviceReport<S>, SystolicError> {
+        let mut outputs = Vec::with_capacity(n_pairs);
         let mut cycle_sum = 0u64;
         let mut total_cells = 0u64;
+        let mut escalations = 0u64;
         let mut sum = CycleBreakdown::default();
-        let mut stats_seen: Vec<BlockStats> = Vec::with_capacity(workload.len());
-        for (q, r) in workload {
-            let run = run_systolic::<K>(params, q, r, &self.config)?;
+        for i in 0..n_pairs {
+            let run = runner(i)?;
             let b = alignment_cycles(&run.stats, &self.kinfo, &self.cycle_params);
             cycle_sum += effective_cycles_per_alignment(&b, &self.config);
             total_cells += run.stats.cells;
+            escalations += run.stats.escalations;
             sum.load += b.load;
             sum.init += b.init;
             sum.fill += b.fill;
@@ -123,10 +177,9 @@ impl Device {
             sum.writeback += b.writeback;
             sum.overhead += b.overhead;
             sum.total += b.total;
-            stats_seen.push(run.stats);
             outputs.push(run.output);
         }
-        let n = workload.len().max(1) as u64;
+        let n = n_pairs.max(1) as u64;
         let mean_cycles = cycle_sum as f64 / n as f64;
         let mean_breakdown = CycleBreakdown {
             load: sum.load / n,
@@ -138,7 +191,7 @@ impl Device {
             overhead: sum.overhead / n,
             total: sum.total / n,
         };
-        let throughput = if workload.is_empty() {
+        let throughput = if n_pairs == 0 {
             0.0
         } else {
             throughput_aps(
@@ -154,6 +207,7 @@ impl Device {
             throughput_aps: throughput,
             freq_mhz: self.freq_mhz,
             total_cells,
+            escalations,
         })
     }
 }
@@ -243,6 +297,39 @@ mod tests {
         // ...but saturates near NPE = query length (Fig 3A).
         assert!(t64 / t8 < 4.0);
         assert!(t64 > t8);
+    }
+
+    #[test]
+    fn adaptive_run_matches_exact_and_counts_escalations() {
+        // Unit-scale params on 24-long reads: every global DP value sits in
+        // [−24, 24] (a diagonal-then-gap path bounds each cell below by
+        // −max(i, j)), safely inside the i8 guard band — so no pair
+        // escalates and everything is bit-identical (outputs AND the
+        // modeled cycle figures). Longer unbanded global alignments *do*
+        // escalate: their far-off-diagonal cells legitimately pass −32.
+        let wl = workload(6, 24);
+        let dev = device(8, 2, 1);
+        let p = LinearParams::unit();
+        let exact = dev.run::<GlobalLinear>(&p, &wl).unwrap();
+        let adaptive = dev
+            .run_adaptive::<GlobalLinear>(&p, I8Lanes::X16, &wl)
+            .unwrap();
+        assert_eq!(adaptive.outputs, exact.outputs);
+        assert!((adaptive.mean_cycles - exact.mean_cycles).abs() < 1e-9);
+        assert!((adaptive.throughput_aps - exact.throughput_aps).abs() < 1e-9);
+        assert_eq!(exact.escalations, 0);
+        assert_eq!(adaptive.escalations, 0);
+        // DNA params (+2 per match) on a 64-long identical pair reach 128 ≥
+        // the i8 guard rail: the pair escalates yet stays exact.
+        let p2 = LinearParams::dna();
+        let s = vec![dphls_seq::Base::A; 64];
+        let twin = vec![(s.clone(), s)];
+        let exact2 = dev.run::<GlobalLinear>(&p2, &twin).unwrap();
+        let adaptive2 = dev
+            .run_adaptive::<GlobalLinear>(&p2, I8Lanes::X32, &twin)
+            .unwrap();
+        assert_eq!(adaptive2.outputs, exact2.outputs);
+        assert_eq!(adaptive2.escalations, 1);
     }
 
     #[test]

@@ -38,14 +38,17 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod adaptive;
 pub mod block;
 pub mod cycles;
 pub mod device;
 pub mod tbmem;
 
+pub use adaptive::{run_adaptive, run_adaptive_with_scratch, AdaptiveScratch};
 pub use block::{
-    run_systolic, run_systolic_ok, run_systolic_scalar_with_scratch, run_systolic_with_scratch,
-    BlockStats, SystolicError, SystolicRun, SystolicScratch,
+    run_systolic, run_systolic_guarded_with_scratch, run_systolic_ok,
+    run_systolic_scalar_with_scratch, run_systolic_with_scratch, BlockStats, SystolicError,
+    SystolicRun, SystolicScratch,
 };
 pub use cycles::{
     alignment_cycles, arbitrated_cycles, effective_cycles_per_alignment, throughput_aps,

@@ -16,11 +16,24 @@
 use dphls_core::TbPtr;
 
 /// Banked, coalesced traceback memory for one systolic block.
+///
+/// The `NPE` banks are stored interleaved in one flat allocation,
+/// **wavefront-major**: entry `(k, addr)` lives at `addr · NPE + k`. Since
+/// all lanes of one wavefront share one address (§5.2), the multi-lane store
+/// [`TbMem::write_lanes`] is a single contiguous `memcpy` of the lane
+/// pointers, and consecutive wavefronts advance linearly through memory —
+/// the software analogue of the banks' parallel same-address write ports.
 #[derive(Debug, Clone)]
 pub struct TbMem {
     npe: usize,
     ref_len: usize,
-    banks: Vec<Vec<TbPtr>>,
+    depth: usize,
+    cells: Vec<TbPtr>,
+    /// Flat-index base per query row: `row_off[i − 1] + (j − 1) · NPE` is the
+    /// position of cell `(i, j)`, so the traceback walk's per-step address
+    /// recomputation carries no division (the chunk/bank split is folded in
+    /// here once per reset).
+    row_off: Vec<usize>,
     writes: u64,
 }
 
@@ -35,7 +48,9 @@ impl TbMem {
         let mut mem = Self {
             npe,
             ref_len,
-            banks: Vec::new(),
+            depth: 0,
+            cells: Vec::new(),
+            row_off: Vec::new(),
             writes: 0,
         };
         mem.reset(npe, chunks, ref_len);
@@ -58,12 +73,17 @@ impl TbMem {
         let depth = chunks * Self::wavefronts_per_chunk(npe, ref_len);
         self.npe = npe;
         self.ref_len = ref_len;
+        self.depth = depth;
         self.writes = 0;
-        self.banks.resize_with(npe, Vec::new);
-        for bank in &mut self.banks {
-            bank.clear();
-            bank.resize(depth, TbPtr::END);
-        }
+        self.cells.clear();
+        self.cells.resize(depth * npe, TbPtr::END);
+        let wpc = Self::wavefronts_per_chunk(npe, ref_len);
+        self.row_off.clear();
+        self.row_off.extend((0..chunks * npe).map(|i0| {
+            let (c, k) = (i0 / npe, i0 % npe);
+            // flat(i, j) = (c·wpc + (j−1) + k)·npe + k
+            (c * wpc + k) * npe + k
+        }));
     }
 
     /// Wavefronts per chunk: `R + NPE − 1` (the anti-diagonal count of an
@@ -74,7 +94,7 @@ impl TbMem {
 
     /// Bank depth in entries (drives the BRAM model).
     pub fn bank_depth(&self) -> usize {
-        self.banks[0].len()
+        self.depth
     }
 
     /// Number of pointer writes performed.
@@ -100,7 +120,11 @@ impl TbMem {
     /// Panics if the address falls outside the bank.
     pub fn write(&mut self, k: usize, c: usize, w: usize, ptr: TbPtr) {
         let addr = c * Self::wavefronts_per_chunk(self.npe, self.ref_len) + w;
-        self.banks[k][addr] = ptr;
+        assert!(
+            k < self.npe && addr < self.depth,
+            "tbmem write out of range"
+        );
+        self.cells[addr * self.npe + k] = ptr;
         self.writes += 1;
     }
 
@@ -116,9 +140,14 @@ impl TbMem {
     /// `NPE`.
     pub fn write_lanes(&mut self, k0: usize, c: usize, w: usize, ptrs: &[TbPtr]) {
         let addr = c * Self::wavefronts_per_chunk(self.npe, self.ref_len) + w;
-        for (t, &ptr) in ptrs.iter().enumerate() {
-            self.banks[k0 + t][addr] = ptr;
-        }
+        assert!(
+            k0 + ptrs.len() <= self.npe && addr < self.depth,
+            "tbmem lane write out of range"
+        );
+        let base = addr * self.npe + k0;
+        // One contiguous store: in the wavefront-major layout the lanes'
+        // same-address writes are adjacent entries.
+        self.cells[base..base + ptrs.len()].copy_from_slice(ptrs);
         self.writes += ptrs.len() as u64;
     }
 
@@ -129,8 +158,7 @@ impl TbMem {
     /// Panics if the cell is out of range.
     pub fn read_cell(&self, i: usize, j: usize) -> TbPtr {
         assert!(i >= 1 && j >= 1 && j <= self.ref_len, "cell out of range");
-        let (k, addr) = self.addr_of(i, j);
-        self.banks[k][addr]
+        self.cells[self.row_off[i - 1] + (j - 1) * self.npe]
     }
 
     /// Total stored pointer bits given a pointer width (BRAM sizing).

@@ -6,15 +6,22 @@
 //! degenerate `half_width` 0/1 bands), NPE shapes, and scoring-parameter
 //! scale factors. Identity covers scores, best cells, the full traceback
 //! path, and the structural statistics the cycle model consumes.
+//!
+//! The suite doubles as the **cross-precision differential** check: for
+//! every [`AdaptiveKernel`] the saturating-`i8` adaptive driver — at both
+//! the 16- and 32-lane widths — must be bit-identical to the exact `i16`
+//! engine, whether a given pair stays on the fast path or escalates. The
+//! inputs deliberately include pairs on both sides of the guard.
 
-use dphls_core::{Banding, KernelConfig, LaneKernel};
+use dphls_core::{AdaptiveKernel, Banding, I8Lanes, KernelConfig, LaneKernel};
 use dphls_kernels::{
-    AffineParams, GlobalAffine, GlobalLinear, GlobalTwoPiece, LinearParams, LocalAffine,
-    LocalLinear, SemiGlobal, TwoPieceParams,
+    AffineParams, BandedGlobalLinear, BandedLocalAffine, GlobalAffine, GlobalLinear,
+    GlobalTwoPiece, LinearParams, LocalAffine, LocalLinear, Overlap, SemiGlobal, TwoPieceParams,
 };
 use dphls_seq::Base;
 use dphls_systolic::{
-    run_systolic_scalar_with_scratch, run_systolic_with_scratch, SystolicScratch,
+    run_adaptive_with_scratch, run_systolic_scalar_with_scratch, run_systolic_with_scratch,
+    AdaptiveScratch, SystolicScratch,
 };
 use proptest::prelude::*;
 
@@ -50,6 +57,50 @@ fn assert_lanes_match_scalar<K: LaneKernel>(
     );
     // Structural stats feed the cycle model; they must not drift either.
     assert_eq!(laned.stats, scalar.stats, "stats diverged ({ctx})");
+}
+
+/// Runs one pair through the exact `i16` engine and the adaptive `i8`
+/// driver at both lane widths, asserting full bit-identity — scores, best
+/// cell, traceback path, and stats (the escalation counter aside, every
+/// stat is geometry-driven and must not depend on the precision taken).
+fn assert_adaptive_matches_exact<K: AdaptiveKernel>(
+    params: &K::Params,
+    q: &[K::Sym],
+    r: &[K::Sym],
+    npe: usize,
+    banding: Banding,
+    ctx: &str,
+) {
+    let max = q.len().max(r.len());
+    let cfg = KernelConfig {
+        banding,
+        ..KernelConfig::new(npe.min(q.len()), 1, 1).with_max_lengths(max, max)
+    };
+    let mut hs = SystolicScratch::new();
+    let exact = run_systolic_with_scratch::<K>(params, q, r, &cfg, &mut hs).unwrap();
+    let lo = K::lo_params(params);
+    assert!(lo.is_some(), "params escape the i8 envelope ({ctx})");
+    for lanes in [I8Lanes::X16, I8Lanes::X32] {
+        let mut scratch = AdaptiveScratch::new();
+        let got =
+            run_adaptive_with_scratch::<K>(params, lo.as_ref(), lanes, q, r, &cfg, &mut scratch)
+                .unwrap();
+        assert_eq!(
+            got.output, exact.output,
+            "adaptive output diverged ({ctx}, {lanes:?})"
+        );
+        assert_eq!(
+            got.output.alignment, exact.output.alignment,
+            "adaptive traceback diverged ({ctx}, {lanes:?})"
+        );
+        let mut stats = got.stats;
+        assert!(stats.escalations <= 1, "({ctx}, {lanes:?})");
+        stats.escalations = 0;
+        assert_eq!(
+            stats, exact.stats,
+            "adaptive stats diverged ({ctx}, {lanes:?})"
+        );
+    }
 }
 
 proptest! {
@@ -158,6 +209,87 @@ proptest! {
             &p, &q, &r, npe, Banding::None, &format!("two-piece npe={npe}"),
         );
     }
+
+    /// Cross-precision differential, linear family: every linear adaptive
+    /// kernel at both i8 lane widths vs the exact i16 engine. Sequence
+    /// lengths up to 56 with gap penalties up to -8/base put plenty of
+    /// pairs on both sides of the escalation guard.
+    #[test]
+    fn adaptive_matches_exact_linear_family(
+        q in dna(56),
+        r in dna(56),
+        npe in 1usize..17,
+        hw in (0usize..25).prop_map(|v| (v < 24).then_some(v)),
+        scale in 1i16..5,
+        kernel in 0usize..4,
+    ) {
+        let p = LinearParams::<i16> {
+            match_score: 2 * scale,
+            mismatch: -3 * scale,
+            gap: -2 * scale,
+        };
+        let banding = match hw {
+            Some(half_width) => Banding::Fixed { half_width },
+            None => Banding::None,
+        };
+        let ctx = format!("linear[{kernel}] npe={npe} hw={hw:?} scale={scale}");
+        match kernel {
+            0 => assert_adaptive_matches_exact::<GlobalLinear>(&p, &q, &r, npe, banding, &ctx),
+            1 => assert_adaptive_matches_exact::<LocalLinear<i16>>(&p, &q, &r, npe, banding, &ctx),
+            2 => assert_adaptive_matches_exact::<Overlap<i16>>(&p, &q, &r, npe, banding, &ctx),
+            _ => assert_adaptive_matches_exact::<SemiGlobal<i16>>(&p, &q, &r, npe, banding, &ctx),
+        }
+    }
+
+    /// Cross-precision differential, affine family (three interacting
+    /// layers, all scanned by the guard).
+    #[test]
+    fn adaptive_matches_exact_affine_family(
+        q in dna(48),
+        r in dna(48),
+        npe in 1usize..13,
+        hw in (0usize..17).prop_map(|v| (v < 16).then_some(v)),
+        scale in 1i16..4,
+        local in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let p = AffineParams::<i16> {
+            match_score: 2 * scale,
+            mismatch: -4 * scale,
+            gap_open: -4 * scale,
+            gap_extend: -scale,
+        };
+        let banding = match hw {
+            Some(half_width) => Banding::Fixed { half_width },
+            None => Banding::None,
+        };
+        let ctx = format!("affine npe={npe} hw={hw:?} scale={scale} local={local}");
+        if local {
+            assert_adaptive_matches_exact::<LocalAffine<i16>>(&p, &q, &r, npe, banding, &ctx);
+        } else {
+            assert_adaptive_matches_exact::<GlobalAffine<i16>>(&p, &q, &r, npe, banding, &ctx);
+        }
+    }
+
+    /// Cross-precision differential, dedicated banded kernels (#11, #12):
+    /// the band geometry must survive narrowing untouched.
+    #[test]
+    fn adaptive_matches_exact_banded_family(
+        q in dna(48),
+        r in dna(48),
+        npe in 1usize..13,
+        hw in 0usize..13,
+        affine in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let banding = Banding::Fixed { half_width: hw };
+        let ctx = format!("banded npe={npe} hw={hw} affine={affine}");
+        if affine {
+            let p = AffineParams::<i16>::dna();
+            assert_adaptive_matches_exact::<BandedLocalAffine<i16>>(&p, &q, &r, npe, banding, &ctx);
+        } else {
+            let p = LinearParams::<i16>::dna();
+            assert_adaptive_matches_exact::<BandedGlobalLinear<i16>>(&p, &q, &r, npe, banding, &ctx);
+        }
+    }
 }
 
 #[test]
@@ -188,6 +320,37 @@ fn degenerate_bands_and_lane_boundaries_deterministic() {
                 assert_eq!(laned.output, scalar.output, "len={len} hw={hw} npe={npe}");
                 assert_eq!(laned.stats, scalar.stats, "len={len} hw={hw} npe={npe}");
             }
+        }
+    }
+}
+
+/// Partial-lane tail regression: when a wavefront chunk is shorter than
+/// the lane width (`n = LANES.min(k_last - k + 1)` in `block.rs`), the
+/// unused trailing lanes must never offer tracker candidates or traceback
+/// pointers. Band half-widths are chosen so the chunk lengths `2*hw + 1`
+/// straddle every lane width in play — 8 (exact engine), 16 and 32 (the
+/// `i8` fast path) — and the kernels use all-cells tracking, where one
+/// spurious offer from a garbage lane would flip the best cell or the
+/// walk. Exercised against both the forced-scalar engine and the adaptive
+/// driver at both `i8` widths.
+#[test]
+fn partial_lane_tails_never_leak_candidates() {
+    let mut sim = dphls_seq::gen::ReadSimulator::new(0x7A11);
+    let (r, q) = sim.read_pair(72, 0.15);
+    let (q, r) = (q.into_vec(), r.into_vec());
+    // 2*hw + 1 = 7, 9, 15, 17, 31, 33: one below and one above each width.
+    for &hw in &[3usize, 4, 7, 8, 15, 16] {
+        let banding = Banding::Fixed { half_width: hw };
+        for &npe in &[1usize, 8, 16, 32] {
+            let ctx = format!("tail hw={hw} npe={npe}");
+            let p = LinearParams::<i16>::dna();
+            assert_lanes_match_scalar::<LocalLinear<i16>>(&p, &q, &r, npe, banding, &ctx);
+            assert_adaptive_matches_exact::<LocalLinear<i16>>(&p, &q, &r, npe, banding, &ctx);
+            let pa = AffineParams::<i16>::dna();
+            assert_lanes_match_scalar::<BandedLocalAffine<i16>>(&pa, &q, &r, npe, banding, &ctx);
+            assert_adaptive_matches_exact::<BandedLocalAffine<i16>>(
+                &pa, &q, &r, npe, banding, &ctx,
+            );
         }
     }
 }
