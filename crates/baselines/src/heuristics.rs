@@ -60,11 +60,7 @@ pub fn adaptive_banded_nw(
         let mut best_col = lo;
         let mut best_val = NEG;
         for j in lo..=hi {
-            let sub = if qc == r[j - 1] {
-                p.match_score
-            } else {
-                p.mismatch
-            };
+            let sub = p.substitution(qc == r[j - 1]);
             let m = (prev[j - 1] + sub)
                 .max(prev[j] + p.gap)
                 .max(cur[j - 1] + p.gap);
@@ -127,11 +123,7 @@ pub fn xdrop_extend(q: &[Base], r: &[Base], p: &LinearParams<i32>, x: i32) -> Pr
             if diag == NEG && up == NEG && left == NEG {
                 continue;
             }
-            let sub = if qc == r[j - 1] {
-                p.match_score
-            } else {
-                p.mismatch
-            };
+            let sub = p.substitution(qc == r[j - 1]);
             let m = (diag.saturating_add(sub))
                 .max(up.saturating_add(p.gap))
                 .max(left.saturating_add(p.gap));

@@ -9,7 +9,11 @@
 //! ≥ 0.95×), the PR 7 serving point (`dphls-serve` under open-loop
 //! load vs direct streaming, gated ≥ 0.5×, with latency percentiles), and
 //! the ISSUE 8 adaptive-precision point (saturating-`i8` fast path vs the
-//! exact `i16` path, gated ≥ 1.3×, escalation rate recorded).
+//! exact `i16` path, gated ≥ 1.3×, escalation rate recorded), and the
+//! ISSUE 9 mapping point (long-read recall through the `dphls-mapper`
+//! seed-chain-extend pipeline, gated ≥ 0.99 recall and ≤ 0.3× full-band
+//! DP cells, plus the sDTW squiggle-separation sub-metric, gated > 1 —
+//! all three counting-derived and enforced at every scale).
 //! Validate or diff a report with `bench_check`.
 //!
 //! ```text
@@ -144,6 +148,33 @@ fn main() {
             format!("PASS (>= {}x)", dphls_bench::check::ADAPTIVE_GATE)
         } else {
             format!("FAIL (< {}x)", dphls_bench::check::ADAPTIVE_GATE)
+        },
+    );
+    eprintln!(
+        "  mapping      {} x{:<6} len {}-{} err {:.0}% | {:>9.0} reads/s | recall {:.4} {} | cells {:.3}x {} | sDTW sep {:.2}x {}",
+        report.mapping.workload,
+        report.mapping.reads,
+        report.mapping.min_len,
+        report.mapping.max_len,
+        report.mapping.error_rate * 100.0,
+        report.mapping.mapped_aps,
+        report.mapping.recall,
+        if report.mapping.recall_pass {
+            format!("PASS (>= {})", dphls_bench::check::MAPPING_RECALL_GATE)
+        } else {
+            format!("FAIL (< {})", dphls_bench::check::MAPPING_RECALL_GATE)
+        },
+        report.mapping.cells_ratio,
+        if report.mapping.cells_pass {
+            format!("PASS (<= {}x)", dphls_bench::check::MAPPING_CELLS_GATE)
+        } else {
+            format!("FAIL (> {}x)", dphls_bench::check::MAPPING_CELLS_GATE)
+        },
+        report.mapping.sdtw_separation,
+        if report.mapping.sdtw_pass {
+            format!("PASS (> {}x)", dphls_bench::check::MAPPING_SDTW_GATE)
+        } else {
+            format!("FAIL (<= {}x)", dphls_bench::check::MAPPING_SDTW_GATE)
         },
     );
     eprintln!(

@@ -18,7 +18,7 @@
 use serde::JsonValue;
 
 /// Report schema version this checker understands.
-pub const SCHEMA_VERSION: u64 = 7;
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Default relative tolerance of the regression gate (15 %).
 pub const DEFAULT_TOLERANCE: f64 = 0.15;
@@ -83,6 +83,32 @@ pub const SERVING_GATE: f64 = 0.5;
 /// workload never exercises the escalation path (best-case benchmarking),
 /// 1 means the fast path never ran at all.
 pub const ADAPTIVE_GATE: f64 = 1.3;
+
+/// Minimum locus recall of the `mapping` point (the ISSUE 9 gate): of the
+/// simulated long reads (1–5 kb, ~5% error, both strands) streamed through
+/// the `dphls-mapper` seed-chain-extend pipeline, at least this fraction
+/// must map to their true sampling locus (±64) on their true strand. The
+/// recall is a counting figure over a deterministic workload — machine-
+/// independent — so like [`NB_MODEL_GATE`] it is enforced at every scale.
+pub const MAPPING_RECALL_GATE: f64 = 0.99;
+
+/// Maximum X-drop/full-band DP-cell ratio of the `mapping` point (the
+/// other half of the ISSUE 9 gate): the X-drop extension stage may touch
+/// at most this fraction of the cells a fixed 128-wide band over the same
+/// (read × window) problems would compute. The full-band denominator is
+/// analytic (`Banding::cells_in_row` summed), so the ratio is a counting
+/// figure too: machine-independent, enforced at every scale. Lower is
+/// better — this gate and its [`compare`] direction are inverted relative
+/// to the throughput ratios.
+pub const MAPPING_CELLS_GATE: f64 = 0.3;
+
+/// Minimum off-target/on-target sDTW score separation of the `mapping`
+/// point's signal-space sub-metric: classifying raw nanopore squiggles
+/// against the virus reference squiggle (pre-basecalling read-until) must
+/// leave the best off-target per-sample distance strictly above the worst
+/// on-target one — separation > 1 means a perfect threshold exists.
+/// Deterministic workload, machine-independent, enforced at every scale.
+pub const MAPPING_SDTW_GATE: f64 = 1.0;
 
 /// Ratio fields diffed by the regression gate.
 const RATIO_KEYS: [&str; 4] = [
@@ -181,6 +207,30 @@ const ADAPTIVE_PRECISION_KEYS: [&str; 11] = [
     "ratio",
     "escalation_rate",
     "pass",
+];
+
+/// Required mapping-object keys.
+const MAPPING_KEYS: [&str; 20] = [
+    "workload",
+    "reads",
+    "genome_len",
+    "min_len",
+    "max_len",
+    "error_rate",
+    "mapped",
+    "correct",
+    "recall",
+    "xdrop_cells",
+    "fullband_cells",
+    "cells_ratio",
+    "mapped_aps",
+    "reorder_high_water",
+    "sdtw_pos_max",
+    "sdtw_neg_min",
+    "sdtw_separation",
+    "recall_pass",
+    "cells_pass",
+    "sdtw_pass",
 ];
 
 fn get<'a>(v: &'a JsonValue, key: &str) -> Option<&'a JsonValue> {
@@ -604,6 +654,86 @@ pub fn validate(report: &JsonValue) -> Vec<String> {
         }
         None => problems.push("missing `adaptive_precision` object".into()),
     }
+
+    match get(report, "mapping") {
+        Some(mp) => {
+            for field in MAPPING_KEYS {
+                if get(mp, field).is_none() {
+                    problems.push(format!("mapping: missing `{field}`"));
+                }
+            }
+            // Stored derived figures must match their inputs.
+            for (ratio_key, hi_key, lo_key) in [
+                ("recall", "correct", "reads"),
+                ("cells_ratio", "xdrop_cells", "fullband_cells"),
+                ("sdtw_separation", "sdtw_neg_min", "sdtw_pos_max"),
+            ] {
+                if let (Some(stored), Some(hi), Some(lo)) =
+                    (num(mp, ratio_key), num(mp, hi_key), num(mp, lo_key))
+                {
+                    if lo <= 0.0 {
+                        problems.push(format!("mapping: `{lo_key}` must be positive"));
+                    } else {
+                        let derived = hi / lo;
+                        if (stored - derived).abs() > 1e-6 * derived.abs().max(1.0) {
+                            problems.push(format!(
+                                "mapping: `{ratio_key}` = {stored} but derived ratio is {derived}"
+                            ));
+                        }
+                    }
+                }
+            }
+            // All three gates are counting figures over deterministic
+            // workloads (machine-independent), so — NB-model discipline —
+            // they are enforced at every scale, with no min-pairs guard.
+            // Note the inverted direction of the cells gate.
+            for (flag_key, value_key, value, holds, direction, gate) in [
+                (
+                    "recall_pass",
+                    "recall",
+                    num(mp, "recall"),
+                    num(mp, "recall").map(|v| v >= MAPPING_RECALL_GATE),
+                    "<",
+                    MAPPING_RECALL_GATE,
+                ),
+                (
+                    "cells_pass",
+                    "cells_ratio",
+                    num(mp, "cells_ratio"),
+                    num(mp, "cells_ratio").map(|v| v <= MAPPING_CELLS_GATE),
+                    ">",
+                    MAPPING_CELLS_GATE,
+                ),
+                (
+                    "sdtw_pass",
+                    "sdtw_separation",
+                    num(mp, "sdtw_separation"),
+                    num(mp, "sdtw_separation").map(|v| v > MAPPING_SDTW_GATE),
+                    "<=",
+                    MAPPING_SDTW_GATE,
+                ),
+            ] {
+                match (get(mp, flag_key), value, holds) {
+                    (Some(JsonValue::Bool(stored)), Some(v), Some(ok)) => {
+                        if *stored != ok {
+                            problems.push(format!(
+                                "mapping: `{flag_key}` = {stored} disagrees with \
+                                 `{value_key}` = {v} (threshold {gate})"
+                            ));
+                        }
+                        if !ok {
+                            problems.push(format!(
+                                "mapping gate failed: `{value_key}` {v} {direction} {gate}"
+                            ));
+                        }
+                    }
+                    (Some(JsonValue::Bool(_)), None, _) | (None, _, _) => {}
+                    (Some(_), _, _) => problems.push(format!("mapping: `{flag_key}` not a bool")),
+                }
+            }
+        }
+        None => problems.push("missing `mapping` object".into()),
+    }
     problems
 }
 
@@ -855,6 +985,51 @@ pub fn compare(current: &JsonValue, baseline: &JsonValue, tolerance: f64) -> Com
             (None, _) => {}
         }
     }
+
+    // The mapping figures are counting ratios over deterministic workloads
+    // (machine-independent), so like `modeled_nb_ratio` they are compared
+    // regardless of core count or scale. `cells_ratio` is lower-is-better,
+    // so its regression direction is inverted.
+    let map_field = |r, key: &str| get(r, "mapping").and_then(|mp| num(mp, key));
+    for (key, lower_is_better) in [
+        ("recall", false),
+        ("cells_ratio", true),
+        ("sdtw_separation", false),
+    ] {
+        match (map_field(baseline, key), map_field(current, key)) {
+            (Some(base), Some(cur)) => {
+                let worse = if lower_is_better {
+                    cur > base * (1.0 + tolerance)
+                } else {
+                    cur < base * (1.0 - tolerance)
+                };
+                let better = if lower_is_better {
+                    cur < base * (1.0 - tolerance)
+                } else {
+                    cur > base * (1.0 + tolerance)
+                };
+                if worse {
+                    let (kind, bound) = if lower_is_better {
+                        ("ceiling", base * (1.0 + tolerance))
+                    } else {
+                        ("floor", base * (1.0 - tolerance))
+                    };
+                    cmp.regressions.push(format!(
+                        "mapping: `{key}` regressed {base:.3} -> {cur:.3} \
+                         ({kind} {bound:.3} at {:.0}% tolerance)",
+                        tolerance * 100.0
+                    ));
+                } else if better {
+                    cmp.notes
+                        .push(format!("mapping: `{key}` improved {base:.3} -> {cur:.3}"));
+                }
+            }
+            (Some(_), None) => cmp
+                .regressions
+                .push(format!("mapping: `{key}` missing from current report")),
+            (None, _) => {}
+        }
+    }
     cmp
 }
 
@@ -946,7 +1121,7 @@ mod tests {
         let laned = 2000.0 * lane_vs_scratch;
         format!(
             r#"{{
-              "version": 7,
+              "version": 8,
               "host_cores": {host_cores},
               "points": [
                 {{
@@ -1005,6 +1180,18 @@ mod tests {
                 "exact_aps": 4000.0, "adaptive_aps": {adaptive},
                 "ratio": {adaptive_ratio}, "escalation_rate": 0.05,
                 "pass": {adaptive_pass}
+              }},
+              "mapping": {{
+                "workload": "long_read_5pct", "reads": 2000,
+                "genome_len": 1048576, "min_len": 1000, "max_len": 5000,
+                "error_rate": 0.05, "mapped": 2000, "correct": 1999,
+                "recall": 0.9995,
+                "xdrop_cells": 90000000, "fullband_cells": 360000000,
+                "cells_ratio": 0.25, "mapped_aps": 800.0,
+                "reorder_high_water": 17,
+                "sdtw_pos_max": 30.0, "sdtw_neg_min": 96.0,
+                "sdtw_separation": 3.2,
+                "recall_pass": true, "cells_pass": true, "sdtw_pass": true
               }}
             }}"#,
             lspd = 2.0 * lane_vs_scratch,
@@ -1075,6 +1262,120 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("resilience_overhead")));
         assert!(problems.iter().any(|p| p.contains("serving")));
         assert!(problems.iter().any(|p| p.contains("adaptive_precision")));
+        assert!(problems.iter().any(|p| p.contains("mapping")));
+    }
+
+    #[test]
+    fn mapping_gates_and_consistency_are_enforced_at_any_scale() {
+        // A consistent but failing recall is a problem even at a tiny read
+        // count: the figure is counting-derived, machine-independent.
+        let s = report_json(1.5, 1)
+            .replace("\"reads\": 2000,", "\"reads\": 20,")
+            .replace(
+                "\"mapped\": 2000, \"correct\": 1999,",
+                "\"mapped\": 20, \"correct\": 19,",
+            )
+            .replace("\"recall\": 0.9995,", "\"recall\": 0.95,")
+            .replace("\"recall_pass\": true", "\"recall_pass\": false");
+        let problems = validate(&parse(&s));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("mapping gate failed: `recall`")),
+            "{problems:?}"
+        );
+
+        // Same for the X-drop cell budget (inverted direction)...
+        let s = report_json(1.5, 1)
+            .replace("\"xdrop_cells\": 90000000,", "\"xdrop_cells\": 180000000,")
+            .replace("\"cells_ratio\": 0.25,", "\"cells_ratio\": 0.5,")
+            .replace("\"cells_pass\": true", "\"cells_pass\": false");
+        let problems = validate(&parse(&s));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("mapping gate failed: `cells_ratio`")),
+            "{problems:?}"
+        );
+
+        // ...and the sDTW separation.
+        let s = report_json(1.5, 1)
+            .replace("\"sdtw_neg_min\": 96.0,", "\"sdtw_neg_min\": 24.0,")
+            .replace("\"sdtw_separation\": 3.2,", "\"sdtw_separation\": 0.8,")
+            .replace("\"sdtw_pass\": true", "\"sdtw_pass\": false");
+        let problems = validate(&parse(&s));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("mapping gate failed: `sdtw_separation`")),
+            "{problems:?}"
+        );
+
+        // A stored recall that disagrees with correct/reads is caught.
+        let s = report_json(1.5, 1).replace("\"recall\": 0.9995,", "\"recall\": 1.0,");
+        let problems = validate(&parse(&s));
+        assert!(
+            problems.iter().any(|p| p.contains("mapping: `recall`")),
+            "{problems:?}"
+        );
+
+        // A pass flag that disagrees with its gate is caught.
+        let s = report_json(1.5, 1)
+            .replace("\"xdrop_cells\": 90000000,", "\"xdrop_cells\": 180000000,")
+            .replace("\"cells_ratio\": 0.25,", "\"cells_ratio\": 0.5,");
+        let problems = validate(&parse(&s));
+        assert!(
+            problems.iter().any(|p| p.contains("mapping: `cells_pass`")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn mapping_regressions_fail_compare_in_both_directions() {
+        let base = parse(&report_json(1.5, 1));
+        // Recall collapse beyond tolerance regresses even on a 1-core pair.
+        let bad = parse(
+            &report_json(1.5, 1)
+                .replace(
+                    "\"mapped\": 2000, \"correct\": 1999,",
+                    "\"mapped\": 2000, \"correct\": 1600,",
+                )
+                .replace("\"recall\": 0.9995,", "\"recall\": 0.8,"),
+        );
+        let cmp = compare(&bad, &base, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions
+                .iter()
+                .any(|r| r.contains("mapping: `recall`")),
+            "{cmp:?}"
+        );
+        // A cells_ratio RISE is the regression direction for that key.
+        let bad = parse(
+            &report_json(1.5, 1)
+                .replace("\"xdrop_cells\": 90000000,", "\"xdrop_cells\": 108000000,")
+                .replace("\"cells_ratio\": 0.25,", "\"cells_ratio\": 0.3,"),
+        );
+        let cmp = compare(&bad, &base, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions
+                .iter()
+                .any(|r| r.contains("mapping: `cells_ratio`")),
+            "{cmp:?}"
+        );
+        // ...and a FALL is an improvement note, not a regression.
+        let good = parse(
+            &report_json(1.5, 1)
+                .replace("\"xdrop_cells\": 90000000,", "\"xdrop_cells\": 72000000,")
+                .replace("\"cells_ratio\": 0.25,", "\"cells_ratio\": 0.2,"),
+        );
+        let cmp = compare(&good, &base, DEFAULT_TOLERANCE);
+        assert!(cmp.regressions.is_empty(), "{cmp:?}");
+        assert!(
+            cmp.notes
+                .iter()
+                .any(|n| n.contains("mapping: `cells_ratio`")),
+            "{cmp:?}"
+        );
     }
 
     #[test]

@@ -12,19 +12,26 @@
 //! the same measurements under criterion.
 
 use crate::naive::run_systolic_naive;
-use dphls_core::{I8Lanes, KernelConfig, LaneKernel, LanePrecision};
+use dphls_core::{Banding, I8Lanes, KernelConfig, LaneKernel, LanePrecision};
 use dphls_host::{
     run_batched, run_batched_adaptive, run_batched_resilient, run_batched_with, run_streamed,
     BatchConfig, ResilienceConfig, StreamConfig,
 };
-use dphls_kernels::{default_banding, AffineParams, GlobalAffine, GlobalLinear, LinearParams};
-use dphls_seq::gen::ReadSimulator;
+use dphls_kernels::{
+    default_banding, AffineParams, GlobalAffine, GlobalLinear, LinearParams, NoParams, Sdtw,
+};
+use dphls_mapper::{
+    map_streamed, reverse_complement, IndexConfig, KmerIndex, MapOutcome, MapStreamConfig,
+    MapperConfig, Strand,
+};
+use dphls_seq::gen::{ErrorModel, GenomeGenerator, ReadSimulator, SquiggleSimulator};
 use dphls_seq::Base;
 use dphls_serve::{run_load, LoadConfig, Server, ServerConfig};
 use dphls_systolic::{
-    run_systolic_scalar_with_scratch, run_systolic_with_scratch, CycleModelParams, Device,
-    KernelCycleInfo, SystolicScratch,
+    run_systolic_ok, run_systolic_scalar_with_scratch, run_systolic_with_scratch, CycleModelParams,
+    Device, KernelCycleInfo, SystolicScratch,
 };
+use dphls_util::Xoshiro256;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -306,10 +313,72 @@ pub struct AdaptivePrecision {
     pub pass: bool,
 }
 
+/// The ISSUE 9 mapping point: the full seed-chain-extend pipeline
+/// (`dphls-mapper`) streaming simulated long reads (1–5 kb, ~5% PacBio-CLR
+/// error, both strands) against a 1 MiB reference. Two machine-independent
+/// counting gates ride on it: recall at the true locus must be at least
+/// [`crate::check::MAPPING_RECALL_GATE`], and the X-drop extension stage
+/// must touch at most [`crate::check::MAPPING_CELLS_GATE`] of the DP cells
+/// a fixed 128-wide band over the same (read × window) problems would pay.
+/// Both are deterministic for the fixed workload seed, so `bench_check`
+/// enforces them at every scale (the NB-model-gate discipline), unlike the
+/// wall-clock `mapped_aps` figure, which is recorded but never gated or
+/// compared. A signal-space sub-metric rides along: sDTW classification of
+/// raw nanopore squiggles against a virus reference squiggle
+/// (pre-basecalling read-until, the `virus_detection_sdtw` example's
+/// workload) must keep its off-target/on-target score separation above 1.
+#[derive(Debug, Serialize)]
+pub struct Mapping {
+    /// Workload name (the long-read mapping shape).
+    pub workload: String,
+    /// Reads streamed through the pipeline.
+    pub reads: usize,
+    /// Reference length the index was built over.
+    pub genome_len: usize,
+    /// Shortest simulated read length.
+    pub min_len: usize,
+    /// Longest simulated read length.
+    pub max_len: usize,
+    /// Per-base error rate of the simulated reads.
+    pub error_rate: f64,
+    /// Reads the pipeline mapped (any locus).
+    pub mapped: usize,
+    /// Reads mapped to the true locus (within ±64) on the true strand.
+    pub correct: usize,
+    /// `correct / reads` — machine-independent, gated at every scale.
+    pub recall: f64,
+    /// Interior DP cells the X-drop extension stage actually computed.
+    pub xdrop_cells: u64,
+    /// Cells a fixed 128-wide band over the same (read × window) problems
+    /// would compute (analytic, from [`Banding::cells_in_row`]).
+    pub fullband_cells: u64,
+    /// `xdrop_cells / fullband_cells` — machine-independent, gated at
+    /// every scale (lower is better).
+    pub cells_ratio: f64,
+    /// Streamed mapping throughput (reads/s wall clock; recorded only —
+    /// never gated or compared, unlike the counting ratios above).
+    pub mapped_aps: f64,
+    /// Reorder-buffer high water of the streamed run.
+    pub reorder_high_water: usize,
+    /// Worst (highest) per-sample sDTW distance of an on-target squiggle.
+    pub sdtw_pos_max: f64,
+    /// Best (lowest) per-sample sDTW distance of an off-target squiggle.
+    pub sdtw_neg_min: f64,
+    /// `sdtw_neg_min / sdtw_pos_max` — above 1 means a threshold exists
+    /// that classifies every squiggle correctly.
+    pub sdtw_separation: f64,
+    /// Whether `recall >= MAPPING_RECALL_GATE` held.
+    pub recall_pass: bool,
+    /// Whether `cells_ratio <= MAPPING_CELLS_GATE` held.
+    pub cells_pass: bool,
+    /// Whether `sdtw_separation > MAPPING_SDTW_GATE` held.
+    pub sdtw_pass: bool,
+}
+
 /// The full serialized throughput report.
 #[derive(Debug, Serialize)]
 pub struct ThroughputReport {
-    /// Report schema version (7 since the adaptive-precision point landed).
+    /// Report schema version (8 since the mapping point landed).
     pub version: u32,
     /// Logical CPUs visible to the measuring process. Absolute aln/s and
     /// the `nk > 1` batched speedups are only comparable between reports
@@ -333,6 +402,9 @@ pub struct ThroughputReport {
     /// The ISSUE 8 adaptive-precision point (`i8` fast path vs exact
     /// `i16`) and its ≥ 1.3× gate.
     pub adaptive_precision: AdaptivePrecision,
+    /// The ISSUE 9 long-read mapping point (recall + X-drop cell budget +
+    /// sDTW separation, all machine-independent).
+    pub mapping: Mapping,
 }
 
 /// Logical CPUs available to this process (1 if undetectable).
@@ -1036,6 +1108,147 @@ pub fn measure_adaptive_precision(scale: usize) -> AdaptivePrecision {
     }
 }
 
+/// Measures the ISSUE 9 mapping point: `scale`-divided long-read recall +
+/// X-drop cell budget through the streamed `dphls-mapper` pipeline, plus
+/// the signal-space sDTW separation sub-metric. See [`Mapping`].
+pub fn measure_mapping(scale: usize) -> Mapping {
+    let s = scale.max(1);
+    let reads_n = (2_000 / s).max(4);
+    let lengths = [1_000usize, 2_000, 3_000, 5_000];
+    let error_rate = 0.05;
+    let mut sim = ReadSimulator::new(0x3A99).error_model(ErrorModel::PACBIO_CLR);
+    let genome = sim.genome().clone(); // 1 MiB synthetic reference
+    let truth: Vec<(String, Vec<Base>, usize, bool)> = (0..reads_n)
+        .map(|i| {
+            let r = sim.simulate_read(lengths[i % lengths.len()], error_rate);
+            let reverse = i % 2 == 1;
+            let bases = if reverse {
+                reverse_complement(r.read.as_slice())
+            } else {
+                r.read.as_slice().to_vec()
+            };
+            (format!("r{i}"), bases, r.start, reverse)
+        })
+        .collect();
+    let index = KmerIndex::build(&genome, IndexConfig::default());
+    let cfg = MapperConfig::default();
+    let stream = MapStreamConfig {
+        workers: host_cores().clamp(1, 8),
+        ..MapStreamConfig::default()
+    };
+    let run = |outcomes: &mut Vec<MapOutcome>| {
+        let source = truth
+            .iter()
+            .map(|(id, bases, _, _)| Ok::<_, String>((id.clone(), bases.clone())));
+        map_streamed(&index, &genome, source, &cfg, stream, |_, out| {
+            outcomes.push(out)
+        })
+    };
+
+    // Functional pass (untimed): recall at the true locus, and the DP-cell
+    // budget the X-drop stage actually spent vs what a fixed 128-wide band
+    // over the same (read × window) problems would pay (analytic — the
+    // comparison needs no second DP run, so it cannot drift with the
+    // machine).
+    let mut outcomes = Vec::with_capacity(reads_n);
+    let report = run(&mut outcomes);
+    let full_band = Banding::Fixed { half_width: 128 };
+    let mut mapped = 0usize;
+    let mut correct = 0usize;
+    let mut xdrop_cells = 0u64;
+    let mut fullband_cells = 0u64;
+    for ((_, bases, start, reverse), out) in truth.iter().zip(&outcomes) {
+        if let Some(m) = out.mapping() {
+            mapped += 1;
+            let strand_ok = (m.strand == Strand::Reverse) == *reverse;
+            if strand_ok && m.locus.abs_diff(*start) <= 64 {
+                correct += 1;
+            }
+            xdrop_cells += m.cells;
+            // The same window-sizing rule the mapper itself applies.
+            let span =
+                (bases.len() + bases.len() / 8 + cfg.window_slack).min(genome.len() - m.locus);
+            fullband_cells += (1..=bases.len())
+                .map(|i| full_band.cells_in_row(i, span) as u64)
+                .sum::<u64>();
+        }
+    }
+    let recall = correct as f64 / reads_n as f64;
+    let cells_ratio = xdrop_cells as f64 / (fullband_cells as f64).max(1.0);
+
+    // Wall-clock throughput, recorded for the trajectory but never gated
+    // or compared (absolute figure): median of a few repeat passes.
+    let rounds = (4_000 / reads_n.max(1)).clamp(2, 4);
+    let mut samples: Vec<f64> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let mut sink = Vec::with_capacity(reads_n);
+        let start = Instant::now();
+        std::hint::black_box(run(&mut sink));
+        samples.push(aps(reads_n, start));
+    }
+    samples.sort_by(f64::total_cmp);
+    let mapped_aps = samples[samples.len() / 2];
+
+    // Signal-space variant: sDTW read-until classification of raw
+    // nanopore squiggles against the virus reference squiggle (the
+    // `virus_detection_sdtw` example's generator and operating point).
+    // Deterministic, so the separation is a counting figure too.
+    let virus = GenomeGenerator::new(0x5157).generate(2_000);
+    let reference = SquiggleSimulator::reference_levels(&virus);
+    let background = GenomeGenerator::new(9_999).generate(50_000);
+    let mut squiggler = SquiggleSimulator::new(3).dwell(1, 2).noise(10);
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    let sdtw_config = KernelConfig::new(32, 1, 1).with_max_lengths(512, 2_000);
+    let mut sdtw_pos_max = 0.0f64;
+    let mut sdtw_neg_min = f64::INFINITY;
+    for case in 0..12 {
+        let on_target = case % 2 == 0;
+        let window = if on_target {
+            virus.window(rng.next_range(1_800) as usize, 200)
+        } else {
+            background.window(rng.next_range(49_800) as usize, 200)
+        };
+        let mut squiggle = squiggler.squiggle(&window);
+        squiggle.truncate(400);
+        let sdtw = run_systolic_ok::<Sdtw<i32>>(
+            &NoParams,
+            squiggle.as_slice(),
+            reference.as_slice(),
+            &sdtw_config,
+        );
+        let per_sample = sdtw.output.best_score as f64 / squiggle.len() as f64;
+        if on_target {
+            sdtw_pos_max = sdtw_pos_max.max(per_sample);
+        } else {
+            sdtw_neg_min = sdtw_neg_min.min(per_sample);
+        }
+    }
+    let sdtw_separation = sdtw_neg_min / sdtw_pos_max.max(1e-9);
+
+    Mapping {
+        workload: "long_read_5pct".into(),
+        reads: reads_n,
+        genome_len: genome.len(),
+        min_len: lengths[0],
+        max_len: lengths[lengths.len() - 1],
+        error_rate,
+        mapped,
+        correct,
+        recall,
+        xdrop_cells,
+        fullband_cells,
+        cells_ratio,
+        mapped_aps,
+        reorder_high_water: report.reorder_high_water,
+        sdtw_pos_max,
+        sdtw_neg_min,
+        sdtw_separation,
+        recall_pass: recall >= crate::check::MAPPING_RECALL_GATE,
+        cells_pass: cells_ratio <= crate::check::MAPPING_CELLS_GATE,
+        sdtw_pass: sdtw_separation > crate::check::MAPPING_SDTW_GATE,
+    }
+}
+
 /// Runs the full matrix and assembles the report. The acceptance gate is
 /// the banded 10k-pair single-channel point (scaled by `scale`).
 pub fn build_report(scale: usize) -> ThroughputReport {
@@ -1056,7 +1269,7 @@ pub fn build_report(scale: usize) -> ThroughputReport {
         lane_pass: gate.lane_vs_scratch >= 1.3,
     };
     ThroughputReport {
-        version: 7,
+        version: 8,
         host_cores: host_cores(),
         points,
         acceptance,
@@ -1065,6 +1278,7 @@ pub fn build_report(scale: usize) -> ThroughputReport {
         resilience_overhead: measure_resilience_overhead(scale),
         serving: measure_serving(scale),
         adaptive_precision: measure_adaptive_precision(scale),
+        mapping: measure_mapping(scale),
     }
 }
 
@@ -1151,6 +1365,28 @@ mod tests {
         assert_eq!(p.pass, p.ratio >= crate::check::ADAPTIVE_GATE);
         let json = serde_json::to_string_pretty(&p).unwrap();
         assert!(json.contains("\"escalation_rate\""));
+        serde_json::from_str(&json).expect("point serializes to valid JSON");
+    }
+
+    #[test]
+    fn mapping_measures_and_serializes() {
+        let p = measure_mapping(500); // 4 reads, 1-5 kb
+        assert_eq!(p.reads, 4);
+        assert_eq!((p.min_len, p.max_len), (1_000, 5_000));
+        // The counting gates are deterministic and machine-independent,
+        // so they must hold at smoke scale too (NB-model discipline).
+        assert_eq!(p.correct, p.reads, "every 5%-error read maps true");
+        assert!((p.recall - 1.0).abs() < 1e-9);
+        assert!(p.recall_pass);
+        assert!(p.xdrop_cells > 0 && p.fullband_cells > p.xdrop_cells);
+        assert!((p.cells_ratio - p.xdrop_cells as f64 / p.fullband_cells as f64).abs() < 1e-9);
+        assert!(p.cells_pass, "cells ratio {}", p.cells_ratio);
+        assert!(p.sdtw_pos_max > 0.0 && p.sdtw_neg_min > p.sdtw_pos_max);
+        assert!(p.sdtw_separation > 1.0 && p.sdtw_pass);
+        assert!(p.mapped_aps > 0.0);
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        assert!(json.contains("\"cells_ratio\""));
+        assert!(json.contains("\"sdtw_separation\""));
         serde_json::from_str(&json).expect("point serializes to valid JSON");
     }
 

@@ -27,7 +27,7 @@ fn linear_pe<S: Score>(
     left: &LayerVec<S>,
     clamp_zero: bool,
 ) -> (LayerVec<S>, TbPtr) {
-    let sub = if q == r { p.match_score } else { p.mismatch };
+    let sub = p.substitution(q == r);
     let mat = diag.primary().add(sub);
     let del = up.primary().add(p.gap);
     let ins = left.primary().add(p.gap);
@@ -80,11 +80,7 @@ fn linear_pe_lanes<S: Score, const W: usize>(
         d[t] = diag[t].primary();
         u[t] = up[t].primary();
         l[t] = left[t].primary();
-        sub[t] = if q[t] == r_rev[n - 1 - t] {
-            p.match_score
-        } else {
-            p.mismatch
-        };
+        sub[t] = p.substitution(q[t] == r_rev[n - 1 - t]);
     }
     // Fixed-trip-count arithmetic and selection: same reduction as
     // argmax([(0, END)?, (mat, DIAG), (del, UP), (ins, LEFT)]) — later
@@ -153,11 +149,7 @@ fn linear_pe_lanes_primary<S: Score, const W: usize>(
     u[..n].copy_from_slice(&up[..n]);
     l[..n].copy_from_slice(&left[..n]);
     for t in 0..n {
-        sub[t] = if q[t] == r_rev[n - 1 - t] {
-            p.match_score
-        } else {
-            p.mismatch
-        };
+        sub[t] = p.substitution(q[t] == r_rev[n - 1 - t]);
     }
     // Same fixed-trip-count branchless selection as linear_pe_lanes.
     let mut best = [zero; W];

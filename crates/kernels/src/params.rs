@@ -54,6 +54,19 @@ impl<S: Score> LinearParams<S> {
             gap: S::from_i32(-2),
         }
     }
+
+    /// The substitution score for an observed symbol comparison — the hook
+    /// the kernel PEs, the CPU heuristics, and the `dphls_systolic::xdrop`
+    /// extension engine all share, so a parameter change cannot diverge
+    /// between the production band and the pruned extension path.
+    #[inline]
+    pub fn substitution(&self, matched: bool) -> S {
+        if matched {
+            self.match_score
+        } else {
+            self.mismatch
+        }
+    }
 }
 
 impl LinearParams<i16> {

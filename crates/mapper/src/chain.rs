@@ -1,0 +1,153 @@
+//! Colinear seed chaining: from a bag of seed hits to one candidate locus
+//! and strand per read.
+//!
+//! The chainer is the classic two-step of minimizer mappers: (1) band the
+//! seeds by diagonal — hits of the true locus agree on `ref_pos − read_pos`
+//! up to the net indel drift — and take the heaviest diagonal band as the
+//! candidate; (2) within that band, extract a strictly colinear chain
+//! (read and reference positions both strictly increasing), which is what
+//! the extension stage anchors on.
+
+use crate::index::Seed;
+
+/// A colinear chain of seeds supporting one candidate locus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// The chained seeds: strictly increasing in both read and reference
+    /// position.
+    pub anchors: Vec<Seed>,
+    /// Estimated reference position of read base 0 (the candidate locus):
+    /// the first anchor's diagonal, clamped at the reference start.
+    pub ref_start: usize,
+}
+
+impl Chain {
+    /// Number of chained anchors — the chain score the driver ranks
+    /// candidates by.
+    pub fn score(&self) -> usize {
+        self.anchors.len()
+    }
+}
+
+/// Chains seeds into the best candidate locus.
+///
+/// `band` is the diagonal tolerance: seeds within a `band`-wide diagonal
+/// window are considered to support the same locus (it bounds the net
+/// indel drift a chain may accumulate, so it should scale with read length
+/// times the expected indel rate). Returns `None` when no window holds at
+/// least `min_anchors` seeds.
+pub fn chain(seeds: &[Seed], band: u64, min_anchors: usize) -> Option<Chain> {
+    assert!(min_anchors >= 1, "min_anchors must be >= 1");
+    if seeds.len() < min_anchors {
+        return None;
+    }
+    // Sort by diagonal; slide a band-wide window and keep the heaviest.
+    let mut by_diag: Vec<Seed> = seeds.to_vec();
+    by_diag.sort_by_key(|s| (s.diagonal(), s.read_pos));
+    let mut best_range = 0..0;
+    let mut lo = 0usize;
+    for hi in 0..by_diag.len() {
+        while by_diag[hi].diagonal() - by_diag[lo].diagonal() > band as i64 {
+            lo += 1;
+        }
+        if hi + 1 - lo > best_range.len() {
+            best_range = lo..hi + 1;
+        }
+    }
+    if best_range.len() < min_anchors {
+        return None;
+    }
+    // Strict colinearity within the winning band: sort by read position and
+    // greedily keep seeds advancing in BOTH coordinates. Greedy is enough
+    // here — within one diagonal band a longest chain and a greedy chain
+    // differ by at most the band's worth of anchors.
+    let mut in_band: Vec<Seed> = by_diag[best_range].to_vec();
+    in_band.sort_by_key(|s| (s.read_pos, s.ref_pos));
+    let mut anchors: Vec<Seed> = Vec::with_capacity(in_band.len());
+    for s in in_band {
+        match anchors.last() {
+            Some(last) if s.read_pos <= last.read_pos || s.ref_pos <= last.ref_pos => {}
+            _ => anchors.push(s),
+        }
+    }
+    if anchors.len() < min_anchors {
+        return None;
+    }
+    let first = anchors[0];
+    let ref_start = (first.ref_pos as i64 - first.read_pos as i64).max(0) as usize;
+    Some(Chain { anchors, ref_start })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed(read_pos: u32, ref_pos: u32) -> Seed {
+        Seed { read_pos, ref_pos }
+    }
+
+    #[test]
+    fn perfect_diagonal_chains_fully() {
+        let seeds: Vec<Seed> = (0..10).map(|i| seed(i * 10, 500 + i * 10)).collect();
+        let c = chain(&seeds, 16, 3).unwrap();
+        assert_eq!(c.score(), 10);
+        assert_eq!(c.ref_start, 500);
+    }
+
+    #[test]
+    fn off_diagonal_noise_is_rejected() {
+        let mut seeds: Vec<Seed> = (0..8).map(|i| seed(i * 10, 500 + i * 10)).collect();
+        // Random repeats far off the true diagonal.
+        seeds.push(seed(5, 90_000));
+        seeds.push(seed(55, 12));
+        let c = chain(&seeds, 16, 3).unwrap();
+        assert_eq!(c.score(), 8);
+        assert_eq!(c.ref_start, 500);
+        assert!(c.anchors.iter().all(|s| (s.diagonal() - 500).abs() <= 16));
+    }
+
+    #[test]
+    fn chain_is_strictly_monotone() {
+        // Seeds with duplicated read positions (one k-mer, two close hits)
+        // must come out strictly increasing in both coordinates.
+        let seeds = vec![
+            seed(0, 100),
+            seed(0, 104),
+            seed(10, 110),
+            seed(10, 108),
+            seed(20, 120),
+        ];
+        let c = chain(&seeds, 16, 2).unwrap();
+        for pair in c.anchors.windows(2) {
+            assert!(pair[0].read_pos < pair[1].read_pos);
+            assert!(pair[0].ref_pos < pair[1].ref_pos);
+        }
+    }
+
+    #[test]
+    fn too_few_anchors_is_none() {
+        let seeds = vec![seed(0, 100), seed(10, 110)];
+        assert!(chain(&seeds, 16, 3).is_none());
+        assert!(chain(&[], 16, 1).is_none());
+    }
+
+    #[test]
+    fn indel_drift_within_band_still_chains() {
+        // Diagonal drifts by 1 every other seed (steady deletions): stays
+        // chained as long as the total drift fits the band.
+        let seeds: Vec<Seed> = (0..12u32)
+            .map(|i| seed(i * 20, 300 + i * 20 + i / 2))
+            .collect();
+        let c = chain(&seeds, 8, 3).unwrap();
+        assert_eq!(c.score(), 12);
+    }
+
+    #[test]
+    fn heaviest_band_wins_over_decoy() {
+        let mut seeds: Vec<Seed> = (0..4).map(|i| seed(i * 10, 9_000 + i * 10)).collect();
+        seeds.extend((0..9).map(|i| seed(i * 10, 2_000 + i * 10)));
+        let c = chain(&seeds, 16, 3).unwrap();
+        assert_eq!(c.ref_start, 2_000);
+        assert_eq!(c.score(), 9);
+    }
+}

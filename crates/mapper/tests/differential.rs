@@ -1,0 +1,131 @@
+//! Differential suite: the systolic-side banded X-drop engine
+//! (`dphls_systolic::run_xdrop`) against the CPU reference
+//! (`dphls_baselines::xdrop_extend`). The two prune differently — the
+//! baseline is unbanded, the engine re-centers a fixed band — so outside
+//! the degenerate exhaustive point the relation is "both are lower bounds
+//! of the full extension, and on high-identity reads both reach it".
+
+use dphls_baselines::heuristics::xdrop_extend;
+use dphls_kernels::LinearParams;
+use dphls_seq::gen::{ErrorModel, ReadSimulator};
+use dphls_seq::Base;
+use dphls_systolic::{run_xdrop, XDropConfig};
+use proptest::prelude::*;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<Base>> {
+    proptest::collection::vec((0u8..4).prop_map(Base::from_code), 1..max_len)
+}
+
+fn sub(p: &LinearParams<i32>) -> impl Fn(&Base, &Base) -> i32 + '_ {
+    move |a, b| p.substitution(a == b)
+}
+
+/// Full-matrix extension maximum — the common upper bound.
+fn full_extension(q: &[Base], r: &[Base], p: &LinearParams<i32>) -> i32 {
+    let n = r.len();
+    let mut prev: Vec<i32> = (0..=n as i32).map(|j| j * p.gap).collect();
+    let mut best = 0;
+    for &qc in q {
+        let mut cur = vec![0i32; n + 1];
+        cur[0] = prev[0] + p.gap;
+        for j in 1..=n {
+            cur[j] = (prev[j - 1] + p.substitution(qc == r[j - 1]))
+                .max(prev[j] + p.gap)
+                .max(cur[j - 1] + p.gap);
+            best = best.max(cur[j]);
+        }
+        prev = cur;
+    }
+    best
+}
+
+/// Large enough to never drop a cell at these sizes, small enough that the
+/// baseline's `best - x` arithmetic cannot wrap.
+const X_HUGE: i32 = 1 << 20;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn exhaustive_configs_agree_cell_for_cell(q in dna(40), r in dna(40)) {
+        // With nothing pruned both engines ARE the full extension matrix:
+        // identical scores and identical interior cell counts.
+        let p = LinearParams::<i32>::dna();
+        let cfg = XDropConfig { x: X_HUGE, ..XDropConfig::exhaustive(q.len(), r.len()) };
+        let engine = run_xdrop(&q, &r, sub(&p), p.gap, &cfg);
+        let baseline = xdrop_extend(&q, &r, &p, X_HUGE);
+        prop_assert_eq!(engine.score, baseline.score);
+        prop_assert_eq!(engine.cells, baseline.cells);
+        prop_assert_eq!(engine.cells, (q.len() * r.len()) as u64);
+        prop_assert_eq!(engine.score, full_extension(&q, &r, &p));
+    }
+
+    #[test]
+    fn both_engines_are_lower_bounds_of_the_full_extension(
+        q in dna(48),
+        r in dna(48),
+        w in 1usize..16,
+        x in 0i32..80,
+    ) {
+        let p = LinearParams::<i32>::dna();
+        let exact = full_extension(&q, &r, &p);
+        let engine = run_xdrop(&q, &r, sub(&p), p.gap, &XDropConfig { half_width: w, x });
+        let baseline = xdrop_extend(&q, &r, &p, x);
+        prop_assert!(engine.score <= exact && baseline.score <= exact);
+        prop_assert!(engine.score >= 0 && baseline.score >= 0);
+    }
+}
+
+#[test]
+fn engines_agree_on_high_identity_extensions() {
+    // The production operating point: reads at ≤ 5% error against their
+    // true window. No optimal-path cell is pruned by either engine, so both
+    // must land on the exact full-extension score — and the banded engine
+    // must not visit more cells than the unbanded baseline's live window.
+    let p = LinearParams::<i32>::dna();
+    let cfg = XDropConfig {
+        half_width: 64,
+        x: 100,
+    };
+    for seed in 0..10u64 {
+        let mut sim = ReadSimulator::new(0xD1FF + seed).error_model(ErrorModel::PACBIO_CLR);
+        let r = sim.simulate_read(500, 0.05);
+        let window = sim.genome().window(r.start, r.span);
+        let exact = full_extension(r.read.as_slice(), window.as_slice(), &p);
+        let engine = run_xdrop(r.read.as_slice(), window.as_slice(), sub(&p), p.gap, &cfg);
+        let baseline = xdrop_extend(r.read.as_slice(), window.as_slice(), &p, 100);
+        assert_eq!(engine.score, exact, "seed {seed}: engine missed exact");
+        assert_eq!(baseline.score, exact, "seed {seed}: baseline missed exact");
+        let full = (r.read.len() * window.len()) as u64;
+        assert!(engine.cells < full / 2, "seed {seed}: engine barely pruned");
+        assert!(baseline.cells < full, "seed {seed}");
+    }
+}
+
+#[test]
+fn both_engines_terminate_on_divergent_sequences() {
+    // Disjoint homopolymers: every path decays by at least the gap penalty
+    // per wavefront, so the X-drop test is guaranteed to fire in both
+    // engines. (Random-vs-random DNA is NOT a termination case at
+    // +2/−3/−2 — that scheme sits near the critical point where the
+    // expected extension drift is ~zero.)
+    let p = LinearParams::<i32>::dna();
+    let q = vec![Base::A; 400];
+    let r = vec![Base::C; 400];
+    let cfg = XDropConfig {
+        half_width: 32,
+        x: 40,
+    };
+    let engine = run_xdrop(&q, &r, sub(&p), p.gap, &cfg);
+    let baseline = xdrop_extend(&q, &r, &p, 40);
+    let full = (q.len() * r.len()) as u64;
+    assert!(engine.terminated, "engine should give up on junk");
+    assert_eq!(engine.score, 0, "empty extension wins");
+    assert_eq!(baseline.score, 0);
+    assert!(engine.cells * 16 < full, "engine cells {}", engine.cells);
+    assert!(
+        baseline.cells * 16 < full,
+        "baseline cells {}",
+        baseline.cells
+    );
+}

@@ -1,0 +1,100 @@
+//! Property suites for the seeding and chaining stages: planted k-mers are
+//! always recovered, chains are strictly colinear within their diagonal
+//! band, and the repeat cap never masks away a read's true locus at
+//! realistic error rates.
+
+use dphls_mapper::{chain, map_read, IndexConfig, KmerIndex, MapperConfig, Seed};
+use dphls_seq::gen::{ErrorModel, GenomeGenerator, ReadSimulator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn planted_window_is_always_seeded(seed in 0u64..1 << 32, start in 0usize..3_800) {
+        // Winnowing guarantee, read-vs-index flavor: any read sharing
+        // w + k − 1 exact bases with the reference yields at least one seed
+        // on the true diagonal.
+        let genome = GenomeGenerator::new(seed).generate(4_000);
+        let cfg = IndexConfig { k: 15, w: 5, bucket_cap: usize::MAX };
+        let idx = KmerIndex::build(&genome, cfg);
+        // start < 3,800 leaves >= 200 bases: always room for a 40-base read.
+        let read = genome.window(start, 40);
+        let seeds = idx.seeds(read.as_slice());
+        prop_assert!(
+            seeds.iter().any(|s| s.ref_pos as usize == start + s.read_pos as usize),
+            "no true-diagonal seed for window at {start}"
+        );
+    }
+
+    #[test]
+    fn chains_are_strictly_colinear_within_their_band(
+        raw in proptest::collection::vec((0u32..2_000, 0u32..50_000), 0..60),
+        band in 1u64..200,
+        min_anchors in 1usize..5,
+    ) {
+        let seeds: Vec<Seed> = raw
+            .iter()
+            .map(|&(read_pos, ref_pos)| Seed { read_pos, ref_pos })
+            .collect();
+        if let Some(c) = chain(&seeds, band, min_anchors) {
+            prop_assert!(c.score() >= min_anchors);
+            for pair in c.anchors.windows(2) {
+                prop_assert!(pair[0].read_pos < pair[1].read_pos, "read_pos not strict");
+                prop_assert!(pair[0].ref_pos < pair[1].ref_pos, "ref_pos not strict");
+            }
+            let lo = c.anchors.iter().map(Seed::diagonal).min().unwrap();
+            let hi = c.anchors.iter().map(Seed::diagonal).max().unwrap();
+            prop_assert!((hi - lo) as u64 <= band, "chain drifts past its band");
+            // Every anchor must be one of the input seeds.
+            for a in &c.anchors {
+                prop_assert!(seeds.contains(a));
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_cap_never_drops_the_true_locus(seed in 0u64..1 << 20) {
+        // The ISSUE's recall property at property-test scale: reads at ≤ 5%
+        // error against a 100 kb reference must map to their true locus with
+        // the DEFAULT (capped) index configuration.
+        let genome = GenomeGenerator::new(seed ^ 0xC0FFEE).generate(100_000);
+        let mut sim = ReadSimulator::with_genome(seed, genome.clone())
+            .error_model(ErrorModel::PACBIO_CLR);
+        let idx = KmerIndex::build(&genome, IndexConfig::default());
+        let cfg = MapperConfig::default();
+        for _ in 0..3 {
+            let r = sim.simulate_read(1_000, 0.05);
+            let (locus, _, run) = map_read(&idx, &genome, r.read.as_slice(), &cfg)
+                .expect("5%-error read must map");
+            prop_assert!(
+                locus.abs_diff(r.start) <= 64,
+                "locus {locus} vs true start {}", r.start
+            );
+            prop_assert!(run.score > 0);
+        }
+    }
+}
+
+#[test]
+fn capped_and_uncapped_index_agree_on_unique_sequence() {
+    // On a repeat-free random genome the default cap never fires, so the
+    // capped index is byte-for-byte the uncapped one from the mapper's
+    // perspective.
+    let genome = GenomeGenerator::new(42).generate(50_000);
+    let capped = KmerIndex::build(&genome, IndexConfig::default());
+    let uncapped = KmerIndex::build(
+        &genome,
+        IndexConfig {
+            bucket_cap: usize::MAX,
+            ..IndexConfig::default()
+        },
+    );
+    assert_eq!(capped.masked_buckets(), 0, "random genome tripped the cap");
+    assert_eq!(capped.buckets(), uncapped.buckets());
+    let read = genome.window(31_337, 500);
+    assert_eq!(
+        capped.seeds(read.as_slice()),
+        uncapped.seeds(read.as_slice())
+    );
+}

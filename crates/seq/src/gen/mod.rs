@@ -10,5 +10,5 @@ mod signal;
 pub use genome::GenomeGenerator;
 pub use profile::ProfileBuilder;
 pub use protein::ProteinSampler;
-pub use reads::{ErrorModel, ReadSimulator};
+pub use reads::{ErrorModel, ReadSimulator, SimulatedRead};
 pub use signal::{ComplexSignalGenerator, SquiggleSimulator};

@@ -44,6 +44,33 @@ impl Default for ErrorModel {
     }
 }
 
+/// A simulated read together with the genome locus it was drawn from.
+///
+/// Unlike [`ReadSimulator::read_pair`] — which fixes the reference *window*
+/// at `len` bases and lets the read length drift with the indel balance —
+/// [`ReadSimulator::simulate_read`] fixes the *read* length and recomputes
+/// the reference span from the edits it actually applied, so the interval
+/// `start..start + span` is the exact genome range the read covers. Mapping
+/// recall harnesses key on this bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulatedRead {
+    /// The corrupted read.
+    pub read: DnaSeq,
+    /// Genome offset of the first reference base the read covers.
+    pub start: usize,
+    /// Number of reference bases consumed while emitting the read (the
+    /// true window span; `> read.len()` under net deletion, `<` under net
+    /// insertion).
+    pub span: usize,
+}
+
+impl SimulatedRead {
+    /// End of the true genome interval (`start + span`).
+    pub fn end(&self) -> usize {
+        self.start + self.span
+    }
+}
+
 /// Simulates reference/read pairs the way §6.1 builds its DNA dataset.
 ///
 /// # Example
@@ -122,6 +149,81 @@ impl ReadSimulator {
     /// Draws `n` pairs (the paper's 1 000-pair datasets).
     pub fn read_pairs(&mut self, n: usize, len: usize, error_rate: f64) -> Vec<(DnaSeq, DnaSeq)> {
         (0..n).map(|_| self.read_pair(len, error_rate)).collect()
+    }
+
+    /// Draws one read of exactly `len` bases with exact locus bookkeeping.
+    ///
+    /// Reference bases are consumed from a random genome offset and pushed
+    /// through the error model until the read reaches `len` bases; the
+    /// returned [`SimulatedRead::span`] is the number of reference bases
+    /// actually consumed. This fixes the locus drift of the fixed-window
+    /// [`Self::read_pair`] path: when `ins`/`del` rates differ, the window
+    /// a read truly covers is *not* `len` bases wide, and a recall harness
+    /// that assumes it is will mis-score mappings near the window edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or if the genome is shorter than `2 * len`
+    /// (the worst-case span headroom the walk reserves).
+    pub fn simulate_read(&mut self, len: usize, error_rate: f64) -> SimulatedRead {
+        assert!(len > 0, "read length must be positive");
+        assert!(
+            self.genome.len() >= 2 * len,
+            "genome too short for span headroom (need {} bases, have {})",
+            2 * len,
+            self.genome.len()
+        );
+        // Reserve 2x headroom so even deletion-heavy walks stay in-genome.
+        let start = self
+            .rng
+            .next_range((self.genome.len() - 2 * len + 1) as u64) as usize;
+        let weights = [self.model.sub, self.model.ins, self.model.del];
+        let mut out: Vec<Base> = Vec::with_capacity(len);
+        let mut pos = start;
+        // The span cap only binds for degenerate models (e.g. deletion rate
+        // 1.0, which consumes without ever emitting); such reads come back
+        // shorter than `len` instead of walking off the reserved headroom.
+        while out.len() < len && pos < self.genome.len() && pos - start < 2 * len {
+            let b = self.genome[pos];
+            if self.rng.next_bool(error_rate) {
+                match self.rng.weighted_index(&weights) {
+                    0 => {
+                        out.push(self.substitute(b));
+                        pos += 1;
+                    }
+                    1 => {
+                        // Insertion emits a random base *without* consuming
+                        // the reference; the template base follows unless the
+                        // read is already full.
+                        out.push(Base::from_code(self.rng.next_range(4) as u8));
+                        if out.len() < len {
+                            out.push(b);
+                            pos += 1;
+                        }
+                    }
+                    _ => pos += 1, // deletion: consume without emitting
+                }
+            } else {
+                out.push(b);
+                pos += 1;
+            }
+        }
+        if out.is_empty() {
+            out.push(self.genome[start]);
+            pos = pos.max(start + 1);
+        }
+        SimulatedRead {
+            read: DnaSeq::new(out),
+            start,
+            span: pos - start,
+        }
+    }
+
+    /// Draws `n` locus-tracked reads (see [`Self::simulate_read`]).
+    pub fn simulate_reads(&mut self, n: usize, len: usize, error_rate: f64) -> Vec<SimulatedRead> {
+        (0..n)
+            .map(|_| self.simulate_read(len, error_rate))
+            .collect()
     }
 
     /// Applies the error model to a template sequence.
@@ -253,5 +355,96 @@ mod tests {
     fn oversized_window_panics() {
         let genome: DnaSeq = "ACGT".parse().unwrap();
         ReadSimulator::with_genome(1, genome).read_pair(5, 0.0);
+    }
+
+    #[test]
+    fn simulate_read_zero_error_span_equals_len() {
+        let mut sim = ReadSimulator::new(21);
+        let r = sim.simulate_read(300, 0.0);
+        assert_eq!(r.read.len(), 300);
+        assert_eq!(r.span, 300);
+        assert_eq!(r.read, sim.genome().window(r.start, r.span));
+    }
+
+    #[test]
+    fn simulate_read_substitution_only_keeps_span() {
+        let mut sim = ReadSimulator::new(22).error_model(ErrorModel {
+            sub: 1.0,
+            ins: 0.0,
+            del: 0.0,
+        });
+        let r = sim.simulate_read(200, 0.4);
+        assert_eq!(r.read.len(), 200);
+        assert_eq!(r.span, 200);
+    }
+
+    #[test]
+    fn simulate_read_deletions_widen_the_true_window() {
+        // This is the locus-drift regression: with deletions dominating, the
+        // read covers MORE than `len` reference bases — a fixed-size window
+        // under-reports the true span.
+        let mut sim = ReadSimulator::new(23).error_model(ErrorModel {
+            sub: 0.0,
+            ins: 0.0,
+            del: 1.0,
+        });
+        let r = sim.simulate_read(200, 0.3);
+        assert_eq!(r.read.len(), 200);
+        assert!(r.span > 220, "span {} should exceed read length", r.span);
+        assert!(r.end() <= sim.genome().len());
+    }
+
+    #[test]
+    fn simulate_read_insertions_narrow_the_true_window() {
+        let mut sim = ReadSimulator::new(24).error_model(ErrorModel {
+            sub: 0.0,
+            ins: 1.0,
+            del: 0.0,
+        });
+        let r = sim.simulate_read(200, 0.3);
+        assert_eq!(r.read.len(), 200);
+        assert!(
+            r.span < 190,
+            "span {} should undershoot read length",
+            r.span
+        );
+    }
+
+    #[test]
+    fn simulate_read_span_recomputed_from_edits() {
+        // The emitted read must be exactly the corruption of the claimed
+        // window: replaying a deletion-free walk over genome[start..end]
+        // reproduces read length accounting (matches + subs + dels = span;
+        // matches + subs + inserted = len).
+        let mut sim = ReadSimulator::new(25); // PACBIO_CLR: ins/del differ
+        for _ in 0..20 {
+            let r = sim.simulate_read(500, 0.05);
+            assert_eq!(r.read.len(), 500);
+            assert!(r.end() <= ReadSimulator::GENOME_LEN);
+            assert!(r.span > 0);
+            // 5% error can only move the span by the edit count; bound it.
+            assert!((450..=550).contains(&r.span), "span {}", r.span);
+        }
+    }
+
+    #[test]
+    fn simulate_reads_deterministic_per_seed() {
+        let a = ReadSimulator::new(26).simulate_reads(5, 128, 0.3);
+        let b = ReadSimulator::new(26).simulate_reads(5, 128, 0.3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn simulate_read_degenerate_deletion_model_stays_bounded() {
+        let mut sim = ReadSimulator::new(27).error_model(ErrorModel {
+            sub: 0.0,
+            ins: 0.0,
+            del: 1.0,
+        });
+        let r = sim.simulate_read(64, 1.0); // every base deleted
+        assert!(!r.read.is_empty());
+        assert!(r.span <= 2 * 64);
+        assert!(r.end() <= sim.genome().len());
     }
 }

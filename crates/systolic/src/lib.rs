@@ -43,6 +43,7 @@ pub mod block;
 pub mod cycles;
 pub mod device;
 pub mod tbmem;
+pub mod xdrop;
 
 pub use adaptive::{run_adaptive, run_adaptive_with_scratch, AdaptiveScratch};
 pub use block::{
@@ -56,3 +57,4 @@ pub use cycles::{
 };
 pub use device::{Device, DeviceReport};
 pub use tbmem::TbMem;
+pub use xdrop::{run_xdrop, XDropConfig, XDropRun};

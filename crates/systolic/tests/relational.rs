@@ -1,0 +1,195 @@
+//! Relational property suite: cross-input/cross-config relations over the
+//! banded and X-drop engines, in the spirit of Relational Hoare Logic — the
+//! pruned paths are *not* bit-identical to a golden model, so their
+//! correctness statement is a relation between runs, not an equality with
+//! one:
+//!
+//! - **Band-widening monotonicity** (fixed-band engine): nesting the band
+//!   can only raise the score.
+//! - **X-drop lower bound**: the pruned extension score never exceeds the
+//!   full (unpruned, unbanded) extension score.
+//! - **Equality off the pruned set**: with an exhaustive configuration —
+//!   no cell pruned, band covering every wavefront — the X-drop engine is
+//!   exact, and on high-identity pairs where no terminated cell lies on an
+//!   optimal path, modest configurations already reach the exact score.
+
+use dphls_core::{run_reference, Banding, KernelConfig};
+use dphls_kernels::{BandedGlobalLinear, LinearParams};
+use dphls_seq::gen::{ErrorModel, ReadSimulator};
+use dphls_seq::Base;
+use dphls_systolic::{run_systolic, run_xdrop, XDropConfig};
+use proptest::prelude::*;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<Base>> {
+    proptest::collection::vec((0u8..4).prop_map(Base::from_code), 1..max_len)
+}
+
+/// Exact full-matrix extension score: the maximum cell value (including the
+/// zero-scoring empty extension at the origin) of the complete
+/// Needleman–Wunsch extension matrix. This is the "full-band" side of the
+/// X-drop contract.
+fn full_extension(q: &[Base], r: &[Base], p: &LinearParams<i32>) -> i32 {
+    let n = r.len();
+    let mut prev: Vec<i32> = (0..=n as i32).map(|j| j * p.gap).collect();
+    let mut best = 0;
+    for &qc in q {
+        let mut cur = vec![0i32; n + 1];
+        cur[0] = prev[0] + p.gap;
+        for j in 1..=n {
+            cur[j] = (prev[j - 1] + p.substitution(qc == r[j - 1]))
+                .max(prev[j] + p.gap)
+                .max(cur[j - 1] + p.gap);
+            best = best.max(cur[j]);
+        }
+        prev = cur;
+    }
+    best
+}
+
+fn banded_score(q: &[Base], r: &[Base], half_width: usize) -> i32 {
+    let p = LinearParams::<i32>::dna();
+    let max = q.len().max(r.len());
+    let cfg = KernelConfig {
+        banding: Banding::Fixed { half_width },
+        ..KernelConfig::new(4.min(q.len()), 1, 1).with_max_lengths(max, max)
+    };
+    let run = run_systolic::<BandedGlobalLinear<i32>>(&p, q, r, &cfg).unwrap();
+    run.output.best_score
+}
+
+fn sub(p: &LinearParams<i32>) -> impl Fn(&Base, &Base) -> i32 + '_ {
+    move |a, b| p.substitution(a == b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn band_widening_is_monotone(
+        q in dna(48),
+        r in dna(48),
+        w1 in 0usize..16,
+        dw in 0usize..32,
+    ) {
+        // Banding::Fixed{w1} ⊆ Banding::Fixed{w1 + dw}: every path legal in
+        // the narrow band is legal in the wide one, so the global score can
+        // only go up. Run on the systolic engine itself, not the reference.
+        let narrow = banded_score(&q, &r, w1);
+        let wide = banded_score(&q, &r, w1 + dw);
+        prop_assert!(
+            narrow <= wide,
+            "narrow band {} out-scored wide band {}", narrow, wide
+        );
+    }
+
+    #[test]
+    fn band_covering_matrix_equals_unbanded(q in dna(40), r in dna(40)) {
+        // Degenerate upper end of the monotone chain: a band wider than the
+        // matrix is the unbanded engine.
+        let p = LinearParams::<i32>::dna();
+        let covering = banded_score(&q, &r, q.len() + r.len());
+        let sw = run_reference::<BandedGlobalLinear<i32>>(&p, &q, &r, Banding::None);
+        prop_assert_eq!(covering, sw.best_score);
+    }
+
+    #[test]
+    fn xdrop_is_lower_bound_of_full_extension(
+        q in dna(48),
+        r in dna(48),
+        w in 1usize..16,
+        x in 0i32..80,
+    ) {
+        let p = LinearParams::<i32>::dna();
+        let exact = full_extension(&q, &r, &p);
+        let run = run_xdrop(&q, &r, sub(&p), p.gap, &XDropConfig { half_width: w, x });
+        prop_assert!(
+            run.score <= exact,
+            "pruned score {} exceeds full-band score {}", run.score, exact
+        );
+        // The empty extension is always available: the score is never
+        // negative, however hard the pruning bites.
+        prop_assert!(run.score >= 0);
+    }
+
+    #[test]
+    fn xdrop_exhaustive_config_is_exact(q in dna(32), r in dna(32)) {
+        // Contract property 2 at its degenerate point: no cell is ever
+        // pruned, so no terminated cell can lie on an optimal path and the
+        // lower bound collapses to equality.
+        let p = LinearParams::<i32>::dna();
+        let cfg = XDropConfig::exhaustive(q.len(), r.len());
+        let run = run_xdrop(&q, &r, sub(&p), p.gap, &cfg);
+        prop_assert_eq!(run.score, full_extension(&q, &r, &p));
+        prop_assert!(!run.terminated);
+        prop_assert_eq!(run.cells, (q.len() * r.len()) as u64);
+    }
+
+    #[test]
+    fn xdrop_never_computes_more_cells_than_full_matrix(
+        q in dna(40),
+        r in dna(40),
+        w in 1usize..12,
+        x in 0i32..60,
+    ) {
+        let p = LinearParams::<i32>::dna();
+        let run = run_xdrop(&q, &r, sub(&p), p.gap, &XDropConfig { half_width: w, x });
+        prop_assert!(run.cells <= (q.len() * r.len()) as u64);
+    }
+}
+
+#[test]
+fn xdrop_equals_full_extension_on_high_identity_reads() {
+    // The sharp end of the contract: on realistic mapping extensions (reads
+    // at a few percent error against their true window) the optimal path
+    // stays near the diagonal and well above best − x, so no terminated
+    // cell lies on it and the pruned score must EQUAL the full score — not
+    // merely bound it.
+    let p = LinearParams::<i32>::dna();
+    let cfg = XDropConfig {
+        half_width: 32,
+        x: 100,
+    };
+    for seed in 0..8u64 {
+        let mut sim = ReadSimulator::new(0x9E1D + seed).error_model(ErrorModel::PACBIO_CLR);
+        let r = sim.simulate_read(400, 0.05);
+        let window = sim.genome().window(r.start, r.span);
+        let exact = full_extension(r.read.as_slice(), window.as_slice(), &p);
+        let run = run_xdrop(r.read.as_slice(), window.as_slice(), sub(&p), p.gap, &cfg);
+        assert_eq!(
+            run.score, exact,
+            "seed {seed}: pruned {} != full {exact}",
+            run.score
+        );
+        // ... while touching a small fraction of the matrix.
+        let full_cells = (r.read.len() * window.len()) as u64;
+        assert!(
+            run.cells * 4 < full_cells,
+            "seed {seed}: {} cells vs {} full",
+            run.cells,
+            full_cells
+        );
+    }
+}
+
+#[test]
+fn xdrop_terminates_on_divergent_suffix() {
+    // A read whose second half is unrelated to the window: the extension
+    // should climb through the matching prefix, then terminate instead of
+    // paying for the divergent tail — and still report the prefix score,
+    // which the full-band engine agrees is a lower bound.
+    let p = LinearParams::<i32>::dna();
+    let mut sim = ReadSimulator::new(0x7A11).error_model(ErrorModel::PACBIO_CLR);
+    let good = sim.simulate_read(200, 0.03);
+    let junk = dphls_seq::gen::GenomeGenerator::new(0xBAD).generate(200);
+    let mut read: Vec<Base> = good.read.iter().copied().collect();
+    read.extend(junk.iter().copied());
+    let window = sim.genome().window(good.start, good.span);
+    let cfg = XDropConfig {
+        half_width: 32,
+        x: 60,
+    };
+    let run = run_xdrop(&read, window.as_slice(), sub(&p), p.gap, &cfg);
+    assert!(run.terminated, "divergent tail should fire the X-drop test");
+    assert!(run.score > 300, "prefix score {} too low", run.score);
+    assert!(run.score <= full_extension(&read, window.as_slice(), &p));
+}

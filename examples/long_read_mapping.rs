@@ -1,0 +1,100 @@
+//! Long-read mapping: kilobase-scale noisy reads (PacBio CLR error
+//! profile, both strands) streamed through the full seed-chain-extend
+//! pipeline, with a poisoned record thrown in to show the quarantine path.
+//!
+//! The point of the X-drop extension stage shows up in the cell counts:
+//! each read is scored against its candidate window touching a small
+//! fraction of the full DP matrix, while still recovering the exact
+//! extension score on high-identity reads (the relational contract in
+//! `docs/MAPPING.md`).
+//!
+//! ```sh
+//! cargo run --release --example long_read_mapping
+//! ```
+
+use dp_hls::mapper::{
+    map_streamed, IndexConfig, KmerIndex, MapOutcome, MapStreamConfig, MapperConfig, Strand,
+};
+use dp_hls::prelude::*;
+use dp_hls::seq::gen::ErrorModel;
+
+fn main() {
+    let mut sim = ReadSimulator::new(0x10_C05).error_model(ErrorModel::PACBIO_CLR);
+    let genome = sim.genome().clone(); // 1 MiB synthetic reference
+    let lengths = [1_000usize, 2_000, 3_000, 5_000];
+    let truth: Vec<_> = (0..32)
+        .map(|i| {
+            let r = sim.simulate_read(lengths[i % lengths.len()], 0.05);
+            let reverse = i % 2 == 1;
+            let bases = if reverse {
+                dp_hls::mapper::reverse_complement(r.read.as_slice())
+            } else {
+                r.read.as_slice().to_vec()
+            };
+            (format!("lr{i}"), bases, r.start, reverse)
+        })
+        .collect();
+
+    let index = KmerIndex::build(&genome, IndexConfig::default());
+    let cfg = MapperConfig::default();
+
+    // Inject one unparseable record mid-stream: it must quarantine at its
+    // position, not take the run down.
+    let source = truth.iter().enumerate().map(|(i, (id, bases, _, _))| {
+        if i == 7 {
+            Err("simulated torn record".to_string())
+        } else {
+            Ok((id.clone(), bases.clone()))
+        }
+    });
+
+    let mut outcomes: Vec<MapOutcome> = Vec::new();
+    let report = map_streamed(
+        &index,
+        &genome,
+        source,
+        &cfg,
+        MapStreamConfig {
+            workers: 4,
+            queue: 8,
+            in_flight: 16,
+        },
+        |_, out| outcomes.push(out),
+    );
+
+    let mut correct = 0usize;
+    let mut xdrop_cells = 0u64;
+    let mut full_cells = 0u64;
+    for ((_, bases, start, reverse), out) in truth.iter().zip(&outcomes) {
+        match out {
+            MapOutcome::Mapped(m) => {
+                let strand_ok = (m.strand == Strand::Reverse) == *reverse;
+                if strand_ok && m.locus.abs_diff(*start) <= 64 {
+                    correct += 1;
+                }
+                xdrop_cells += m.cells;
+                // What a full unpruned extension over the same window pays.
+                let window = bases.len() + bases.len() / 8 + cfg.window_slack;
+                full_cells += (bases.len() * window) as u64;
+            }
+            MapOutcome::Quarantined { read_id, message } => {
+                println!("quarantined {read_id}: {message}");
+            }
+            MapOutcome::Unmapped { read_id } => println!("unmapped {read_id}"),
+        }
+    }
+    println!(
+        "mapped {}/{} reads correctly ({} quarantined as injected)",
+        correct, report.reads, report.quarantined
+    );
+    println!(
+        "X-drop extension: {:.1}% of the full-matrix cells ({xdrop_cells} vs {full_cells})",
+        100.0 * xdrop_cells as f64 / full_cells as f64
+    );
+    assert_eq!(report.quarantined, 1);
+    assert_eq!(correct, truth.len() - 1, "every intact read should map");
+    assert!(
+        xdrop_cells * 3 < full_cells,
+        "X-drop should prune at least 3x"
+    );
+}

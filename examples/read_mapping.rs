@@ -1,76 +1,95 @@
-//! Short-read mapping with the Semi-global kernel (#7) — the BWA-MEM-style
-//! workload of Table 1 — batched across the device's NK channels by the
-//! host scheduler.
+//! Read mapping with the real seed-chain-extend pipeline (`dphls-mapper`):
+//! a minimizer index over the reference finds candidate loci, colinear
+//! chaining picks one locus and strand per read, and banded X-drop DP on
+//! the engine scores the extension — no oracle hands the mapper a window.
 //!
-//! Simulates Illumina-like short reads from a synthetic genome, maps each
-//! against its candidate reference window, and reports mapping statistics.
+//! Simulates Illumina-like short reads from a synthetic genome (half of
+//! them reverse-complemented), streams them through the mapper, and checks
+//! every read back against its true sampling locus.
 //!
 //! ```sh
 //! cargo run --example read_mapping
 //! ```
 
-use dp_hls::host::run_batched;
+use dp_hls::mapper::{
+    map_streamed, IndexConfig, KmerIndex, MapOutcome, MapStreamConfig, MapperConfig, Strand,
+};
 use dp_hls::prelude::*;
+use dp_hls::seq::gen::ErrorModel;
 
 fn main() {
     // A 100 kb synthetic genome and 48 short reads of 100 bp at 2% error
     // (Illumina-like substitution-dominated profile).
     let genome = GenomeGenerator::new(11).generate(100_000);
-    let mut sim =
-        ReadSimulator::with_genome(99, genome).error_model(dp_hls::seq::gen::ErrorModel {
-            sub: 0.9,
-            ins: 0.05,
-            del: 0.05,
-        });
-    // Candidate windows are 160 bp around the true locus (a seed-and-extend
-    // mapper would produce these); the kernel aligns the read end-to-end
-    // inside the window.
-    let workload: Vec<(Vec<Base>, Vec<Base>)> = (0..48)
-        .map(|_| {
-            let (window, mut read) = sim.read_pair(160, 0.02);
-            read.truncate(100);
-            (read.into_vec(), window.into_vec())
+    let mut sim = ReadSimulator::with_genome(99, genome.clone()).error_model(ErrorModel {
+        sub: 0.9,
+        ins: 0.05,
+        del: 0.05,
+    });
+    let truth: Vec<_> = (0..48)
+        .map(|i| {
+            let r = sim.simulate_read(100, 0.02);
+            let reverse = i % 2 == 1;
+            let bases = if reverse {
+                dp_hls::mapper::reverse_complement(r.read.as_slice())
+            } else {
+                r.read.as_slice().to_vec()
+            };
+            (format!("read{i}"), bases, r.start, reverse)
         })
         .collect();
 
-    let params = LinearParams::<i16>::dna();
-    let device = Device::new(
-        KernelConfig::new(32, 8, 4).with_max_lengths(128, 160),
-        CycleModelParams::dphls(),
-        KernelCycleInfo {
-            sym_bits: 2,
-            has_walk: true,
-            ii: 1,
+    // Short reads want denser seeding than the long-read defaults.
+    let index = KmerIndex::build(
+        &genome,
+        IndexConfig {
+            k: 13,
+            w: 3,
+            bucket_cap: 64,
         },
-        250.0,
+    );
+    let cfg = MapperConfig {
+        min_anchors: 3,
+        ..MapperConfig::default()
+    };
+
+    let source = truth
+        .iter()
+        .map(|(id, bases, _, _)| Ok::<_, String>((id.clone(), bases.clone())));
+    let mut outcomes: Vec<MapOutcome> = Vec::new();
+    let report = map_streamed(
+        &index,
+        &genome,
+        source,
+        &cfg,
+        MapStreamConfig::default(),
+        |_, out| outcomes.push(out),
     );
 
-    let report =
-        run_batched::<SemiGlobal<i16>>(&device, &params, &workload).expect("mapping batch failed");
-
-    let mut mapped = 0usize;
-    let mut identities = Vec::new();
-    for ((read, window), out) in workload.iter().zip(report.outputs.iter()) {
-        let aln = out.alignment.as_ref().expect("semi-global path");
-        // A read "maps" when it aligns end-to-end with a positive score.
-        if out.best_score > 0 && aln.query_span() == read.len() {
-            mapped += 1;
-            if let Some(id) = aln.identity(read, window) {
-                identities.push(id);
+    let mut correct = 0usize;
+    let mut reverse_hits = 0usize;
+    for ((_, _, start, reverse), out) in truth.iter().zip(&outcomes) {
+        if let Some(m) = out.mapping() {
+            let strand_ok = (m.strand == Strand::Reverse) == *reverse;
+            if strand_ok && m.locus.abs_diff(*start) <= 32 {
+                correct += 1;
+                reverse_hits += usize::from(*reverse);
             }
         }
     }
     println!(
-        "mapped {}/{} reads across {} channels ({:?} reads/channel)",
-        mapped,
-        workload.len(),
-        report.per_channel.len(),
-        report.per_channel
+        "mapped {}/{} reads ({} on the reverse strand), {} DP cells total",
+        report.mapped, report.reads, reverse_hits, report.cells
     );
     println!(
-        "mean identity {:.1}%, modeled device throughput {:.3e} aln/s",
-        100.0 * dp_hls::util::mean(&identities),
-        report.throughput_aps
+        "index: {} buckets ({} repeat-masked), reorder high-water {}",
+        index.buckets(),
+        index.masked_buckets(),
+        report.reorder_high_water
     );
-    assert!(mapped == workload.len(), "all clean reads should map");
+    assert_eq!(
+        correct,
+        truth.len(),
+        "every clean read should map correctly"
+    );
 }

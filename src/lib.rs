@@ -28,6 +28,7 @@
 //! | [`seq`] | `dphls-seq` | alphabets, sequences, dataset generators |
 //! | [`baselines`] | `dphls-baselines` | CPU/RTL/HLS/GPU baselines + iso-cost |
 //! | [`host`] | `dphls-host` | batch scheduler, streaming pipeline, GACT-style long-read tiling |
+//! | [`mapper`] | `dphls-mapper` | seeded long-read mapping: minimizer index → chain → X-drop extend → stream |
 //! | [`serve`] | `dphls-serve` | alignment-as-a-service: TCP server, wire protocol, load generator |
 //! | [`fixed`] | `dphls-fixed` | `ap_fixed` / `ap_uint` stand-ins |
 //! | [`util`] | `dphls-util` | PRNG, stats, tables |
@@ -253,6 +254,36 @@
 //! # Ok::<(), StreamError<FastaError>>(())
 //! ```
 //!
+//! ## Read mapping
+//!
+//! [`mapper`] closes the loop from "align these two sequences" to "find
+//! where this read belongs": a minimizer index over the reference
+//! ([`mapper::KmerIndex`]), diagonal-banded colinear chaining, and banded
+//! X-drop extension on the engine ([`systolic::run_xdrop`]), streamed with
+//! in-order emission and per-read quarantine:
+//!
+//! ```
+//! use dp_hls::mapper::{map_batch, IndexConfig, KmerIndex, MapperConfig, Strand};
+//! use dp_hls::prelude::*;
+//! use dp_hls::seq::gen::ErrorModel;
+//!
+//! let mut sim = ReadSimulator::new(11).error_model(ErrorModel::PACBIO_CLR);
+//! let genome = sim.genome().clone();
+//! let read = sim.simulate_read(800, 0.05);
+//! // Map the reverse complement: the mapper must recover locus AND strand.
+//! let rc = dp_hls::mapper::reverse_complement(read.read.as_slice());
+//! let index = KmerIndex::build(&genome, IndexConfig::default());
+//! let outcomes = map_batch(
+//!     &index, &genome, &[("r0".into(), rc)], &MapperConfig::default());
+//! let m = outcomes[0].mapping().expect("high-identity read maps");
+//! assert_eq!(m.strand, Strand::Reverse);
+//! assert!(m.locus.abs_diff(read.start) < 64);
+//! ```
+//!
+//! `examples/read_mapping.rs` and `examples/long_read_mapping.rs` are the
+//! runnable versions; `docs/MAPPING.md` documents the dataflow, the X-drop
+//! semantic contract, and the tuning knobs.
+//!
 //! ## Serving
 //!
 //! [`serve`] turns the streaming engine into a long-running service: a
@@ -273,6 +304,7 @@ pub use dphls_fixed as fixed;
 pub use dphls_fpga as fpga;
 pub use dphls_host as host;
 pub use dphls_kernels as kernels;
+pub use dphls_mapper as mapper;
 pub use dphls_seq as seq;
 pub use dphls_serve as serve;
 pub use dphls_systolic as systolic;
@@ -291,6 +323,10 @@ pub mod prelude {
         GlobalAffine, GlobalLinear, GlobalTwoPiece, LinearParams, LocalAffine, LocalLinear,
         NoParams, Overlap, ProfileAlign, ProfileParams, ProteinLocal, ProteinParams, Sdtw,
         SemiGlobal, TwoPieceParams, Viterbi, ViterbiParams,
+    };
+    pub use dphls_mapper::{
+        map_batch, map_streamed, IndexConfig, KmerIndex, MapOutcome, MapStreamConfig, MapperConfig,
+        Mapping, Strand,
     };
     pub use dphls_seq::{
         gen::{
