@@ -13,7 +13,10 @@
 //! ISSUE 9 mapping point (long-read recall through the `dphls-mapper`
 //! seed-chain-extend pipeline, gated ≥ 0.99 recall and ≤ 0.3× full-band
 //! DP cells, plus the sDTW squiggle-separation sub-metric, gated > 1 —
-//! all three counting-derived and enforced at every scale).
+//! all three counting-derived and enforced at every scale), and the PR 10
+//! fleet point (modeled 4-device-vs-1 sharding ratio over the banded
+//! acceptance workload, gated ≥ 3.5× machine-independently at every scale;
+//! the wall-clock device ratio rides along under the 1-core caveat).
 //! Validate or diff a report with `bench_check`.
 //!
 //! ```text
@@ -101,6 +104,25 @@ fn main() {
             format!("PASS (>= {}x)", dphls_bench::check::NB_MODEL_GATE)
         } else {
             format!("FAIL (< {}x)", dphls_bench::check::NB_MODEL_GATE)
+        },
+    );
+    eprintln!(
+        "  fleet        {} x{:<6} NPE={} NB={} NK={} D={} | d1 {:>9.0} aln/s | d{} {:>9.0} ({:.2}x wall) | modeled Dx{:.2} {}",
+        report.fleet.workload,
+        report.fleet.pairs,
+        report.fleet.npe,
+        report.fleet.nb,
+        report.fleet.nk,
+        report.fleet.devices,
+        report.fleet.d1_aps,
+        report.fleet.devices,
+        report.fleet.d_aps,
+        report.fleet.d_wall_ratio,
+        report.fleet.d_ratio,
+        if report.fleet.pass {
+            format!("PASS (>= {}x)", dphls_bench::check::FLEET_MODEL_GATE)
+        } else {
+            format!("FAIL (< {}x)", dphls_bench::check::FLEET_MODEL_GATE)
         },
     );
     eprintln!(

@@ -18,7 +18,7 @@
 use serde::JsonValue;
 
 /// Report schema version this checker understands.
-pub const SCHEMA_VERSION: u64 = 8;
+pub const SCHEMA_VERSION: u64 = 9;
 
 /// Default relative tolerance of the regression gate (15 %).
 pub const DEFAULT_TOLERANCE: f64 = 0.15;
@@ -44,6 +44,17 @@ pub const STREAMING_GATE_MIN_PAIRS: f64 = 2_000.0;
 /// `BlockStats`, so unlike the wall-clock gates it is machine-independent
 /// and enforced at every scale.
 pub const NB_MODEL_GATE: f64 = 3.5;
+
+/// Minimum modeled fleet-vs-1 throughput ratio of the `fleet` point (the
+/// PR 10 gate): a 4-device fleet on the banded acceptance workload must
+/// model at least 3.5× one device after paying the PCIe-class transfer
+/// cost — the workload's transfer payload (packed sequences, 2-bit path,
+/// and a fixed record) is small next to its fill, so sharding is
+/// near-perfect. Like [`NB_MODEL_GATE`] the ratio is derived from
+/// `BlockStats`, machine-independent, and enforced at every scale; the
+/// wall-clock `d_wall_ratio` riding on the same point carries the 1-core
+/// `host_cores` caveat instead.
+pub const FLEET_MODEL_GATE: f64 = 3.5;
 
 /// Minimum resilient/disabled throughput ratio of the
 /// `resilience_overhead` point (the PR 6 gate): enabling the instrumented
@@ -148,6 +159,24 @@ const NB_SCALING_KEYS: [&str; 13] = [
     "modeled_nb1_aps",
     "modeled_nb_aps",
     "modeled_nb_ratio",
+    "pass",
+];
+
+/// Required fleet-object keys.
+const FLEET_KEYS: [&str; 14] = [
+    "workload",
+    "pairs",
+    "len",
+    "npe",
+    "nb",
+    "nk",
+    "devices",
+    "d1_aps",
+    "d_aps",
+    "d_wall_ratio",
+    "modeled_d1_aps",
+    "modeled_d_aps",
+    "d_ratio",
     "pass",
 ];
 
@@ -490,6 +519,64 @@ pub fn validate(report: &JsonValue) -> Vec<String> {
             }
         }
         None => problems.push("missing `nb_scaling` object".into()),
+    }
+
+    match get(report, "fleet") {
+        Some(fl) => {
+            for field in FLEET_KEYS {
+                if get(fl, field).is_none() {
+                    problems.push(format!("fleet: missing `{field}`"));
+                }
+            }
+            // The point must actually shard: a 1-device fleet cannot
+            // demonstrate cross-device scaling.
+            match num(fl, "devices") {
+                Some(v) if v >= 2.0 => {}
+                Some(v) => problems.push(format!("fleet: `devices` is {v}, expected >= 2")),
+                None => {}
+            }
+            // Stored ratios must be the aps ratios.
+            for (ratio_key, hi_key, lo_key) in [
+                ("d_wall_ratio", "d_aps", "d1_aps"),
+                ("d_ratio", "modeled_d_aps", "modeled_d1_aps"),
+            ] {
+                if let (Some(stored), Some(hi), Some(lo)) =
+                    (num(fl, ratio_key), num(fl, hi_key), num(fl, lo_key))
+                {
+                    if lo <= 0.0 || hi <= 0.0 {
+                        problems.push(format!("fleet: `{hi_key}`/`{lo_key}` must be positive"));
+                    } else {
+                        let derived = hi / lo;
+                        if (stored - derived).abs() > 1e-6 * derived.abs().max(1.0) {
+                            problems.push(format!(
+                                "fleet: `{ratio_key}` = {stored} but aps ratio is {derived}"
+                            ));
+                        }
+                    }
+                }
+            }
+            match (get(fl, "pass"), num(fl, "d_ratio")) {
+                (Some(JsonValue::Bool(stored)), Some(r)) => {
+                    if *stored != (r >= FLEET_MODEL_GATE) {
+                        problems.push(format!(
+                            "fleet: `pass` = {stored} disagrees with \
+                             `d_ratio` = {r} (threshold {FLEET_MODEL_GATE})"
+                        ));
+                    }
+                    // The gate itself. The modeled fleet ratio is
+                    // stats-derived (machine-independent), so like the
+                    // nb_scaling gate it is enforced at every pair count.
+                    if r < FLEET_MODEL_GATE {
+                        problems.push(format!(
+                            "fleet gate failed: modeled fleet ratio {r} < {FLEET_MODEL_GATE}"
+                        ));
+                    }
+                }
+                (Some(JsonValue::Bool(_)), None) | (None, _) => {}
+                (Some(_), _) => problems.push("fleet: `pass` not a bool".into()),
+            }
+        }
+        None => problems.push("missing `fleet` object".into()),
     }
 
     match get(report, "resilience_overhead") {
@@ -986,6 +1073,39 @@ pub fn compare(current: &JsonValue, baseline: &JsonValue, tolerance: f64) -> Com
         }
     }
 
+    // fleet: the modeled device-sharding ratio is machine-independent and
+    // always diffed; the wall-clock d_wall_ratio pits D host dispatchers
+    // against one, so it carries the same 1-core caveat as `slot_ratio`.
+    let fleet_field = |r, key: &str| get(r, "fleet").and_then(|fl| num(fl, key));
+    let mut fleet_ratio_keys: Vec<&str> = vec!["d_ratio"];
+    if multicore {
+        fleet_ratio_keys.push("d_wall_ratio");
+    } else if fleet_field(baseline, "d_wall_ratio").is_some() {
+        cmp.notes
+            .push("1-core caveat: fleet `d_wall_ratio` comparison skipped".into());
+    }
+    for key in fleet_ratio_keys {
+        match (fleet_field(baseline, key), fleet_field(current, key)) {
+            (Some(base), Some(cur)) => {
+                let floor = base * (1.0 - tolerance);
+                if cur < floor {
+                    cmp.regressions.push(format!(
+                        "fleet: `{key}` regressed {base:.3} -> {cur:.3} \
+                         (floor {floor:.3} at {:.0}% tolerance)",
+                        tolerance * 100.0
+                    ));
+                } else if cur > base * (1.0 + tolerance) {
+                    cmp.notes
+                        .push(format!("fleet: `{key}` improved {base:.3} -> {cur:.3}"));
+                }
+            }
+            (Some(_), None) => cmp
+                .regressions
+                .push(format!("fleet: `{key}` missing from current report")),
+            (None, _) => {}
+        }
+    }
+
     // The mapping figures are counting ratios over deterministic workloads
     // (machine-independent), so like `modeled_nb_ratio` they are compared
     // regardless of core count or scale. `cells_ratio` is lower-is-better,
@@ -1121,7 +1241,7 @@ mod tests {
         let laned = 2000.0 * lane_vs_scratch;
         format!(
             r#"{{
-              "version": 8,
+              "version": 9,
               "host_cores": {host_cores},
               "points": [
                 {{
@@ -1161,6 +1281,13 @@ mod tests {
                 "slot_ratio": 1.04,
                 "modeled_nb1_aps": 1000000.0, "modeled_nb_aps": {modeled_nb},
                 "modeled_nb_ratio": {nb_ratio}, "pass": {nb_pass}
+              }},
+              "fleet": {{
+                "workload": "banded_w16", "pairs": 10000, "len": 256,
+                "npe": 32, "nb": 4, "nk": 1, "devices": 4,
+                "d1_aps": 2500.0, "d_aps": 2400.0, "d_wall_ratio": 0.96,
+                "modeled_d1_aps": 1000000.0, "modeled_d_aps": 3890000.0,
+                "d_ratio": 3.89, "pass": true
               }},
               "resilience_overhead": {{
                 "workload": "banded_w16", "pairs": 10000, "nk": 4,
@@ -1259,6 +1386,7 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("host_cores")));
         assert!(problems.iter().any(|p| p.contains("streaming")));
         assert!(problems.iter().any(|p| p.contains("nb_scaling")));
+        assert!(problems.iter().any(|p| p.contains("fleet")));
         assert!(problems.iter().any(|p| p.contains("resilience_overhead")));
         assert!(problems.iter().any(|p| p.contains("serving")));
         assert!(problems.iter().any(|p| p.contains("adaptive_precision")));
@@ -1765,6 +1893,105 @@ mod tests {
         let cmp = compare(&cur_mc, &base_mc, DEFAULT_TOLERANCE);
         assert!(
             cmp.regressions.iter().any(|r| r.contains("slot_ratio")),
+            "{cmp:?}"
+        );
+    }
+
+    fn report_json_with_fleet(lane_vs_scratch: f64, host_cores: u64, d_ratio: f64) -> String {
+        report_json(lane_vs_scratch, host_cores)
+            .replace(
+                "\"modeled_d_aps\": 3890000.0",
+                &format!("\"modeled_d_aps\": {:.1}", 1_000_000.0 * d_ratio),
+            )
+            .replace(
+                "\"d_ratio\": 3.89, \"pass\": true",
+                &format!(
+                    "\"d_ratio\": {d_ratio}, \"pass\": {}",
+                    d_ratio >= FLEET_MODEL_GATE
+                ),
+            )
+    }
+
+    #[test]
+    fn fleet_gate_and_consistency_are_enforced() {
+        // A consistent but failing modeled fleet ratio is itself a problem,
+        // at any pair count (the ratio is machine-independent).
+        let problems = validate(&parse(&report_json_with_fleet(1.5, 1, 2.5)));
+        assert!(
+            problems.iter().any(|p| p.contains("fleet gate failed")),
+            "{problems:?}"
+        );
+        let small = report_json_with_fleet(1.5, 1, 2.5)
+            .replace("\"pairs\": 10000, \"len\"", "\"pairs\": 20, \"len\"");
+        let problems = validate(&parse(&small));
+        assert!(
+            problems.iter().any(|p| p.contains("fleet gate failed")),
+            "{problems:?}"
+        );
+
+        // A stored ratio that disagrees with the aps figures is caught.
+        let s = report_json(1.5, 1).replace("\"d_ratio\": 3.89", "\"d_ratio\": 3.6");
+        let problems = validate(&parse(&s));
+        assert!(
+            problems.iter().any(|p| p.contains("fleet: `d_ratio`")),
+            "{problems:?}"
+        );
+
+        // A pass flag that disagrees with the gate is caught.
+        let s = report_json_with_fleet(1.5, 1, 2.5).replace(
+            "\"d_ratio\": 2.5, \"pass\": false",
+            "\"d_ratio\": 2.5, \"pass\": true",
+        );
+        let problems = validate(&parse(&s));
+        assert!(
+            problems.iter().any(|p| p.contains("fleet: `pass`")),
+            "{problems:?}"
+        );
+
+        // A fleet that cannot demonstrate cross-device sharding is caught.
+        let s = report_json(1.5, 1).replace("\"devices\": 4", "\"devices\": 1");
+        let problems = validate(&parse(&s));
+        assert!(
+            problems.iter().any(|p| p.contains("`devices` is 1")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn fleet_modeled_regression_fails_compare_wall_caveated() {
+        let base = parse(&report_json_with_fleet(1.5, 1, 3.89));
+        // Modeled ratio drop beyond tolerance fails even on 1-core boxes.
+        let bad = parse(
+            &report_json_with_fleet(1.5, 1, 3.89)
+                .replace("\"d_ratio\": 3.89", "\"d_ratio\": 3.0")
+                .replace(
+                    "\"modeled_d_aps\": 3890000.0",
+                    "\"modeled_d_aps\": 3000000.0",
+                ),
+        );
+        let cmp = compare(&bad, &base, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions.iter().any(|r| r.contains("d_ratio")),
+            "{cmp:?}"
+        );
+        // A halved d_wall_ratio is skipped on a 1-core pair...
+        let wall_drop = |s: String| {
+            s.replace("\"d_aps\": 2400.0", "\"d_aps\": 1200.0")
+                .replace("\"d_wall_ratio\": 0.96", "\"d_wall_ratio\": 0.48")
+        };
+        let cur = parse(&wall_drop(report_json_with_fleet(1.5, 1, 3.89)));
+        let cmp = compare(&cur, &base, DEFAULT_TOLERANCE);
+        assert!(cmp.regressions.is_empty(), "{cmp:?}");
+        assert!(
+            cmp.notes.iter().any(|n| n.contains("d_wall_ratio")),
+            "{cmp:?}"
+        );
+        // ...and fails on a multi-core pair.
+        let base_mc = parse(&report_json_with_fleet(1.5, 4, 3.89));
+        let cur_mc = parse(&wall_drop(report_json_with_fleet(1.5, 4, 3.89)));
+        let cmp = compare(&cur_mc, &base_mc, DEFAULT_TOLERANCE);
+        assert!(
+            cmp.regressions.iter().any(|r| r.contains("d_wall_ratio")),
             "{cmp:?}"
         );
     }

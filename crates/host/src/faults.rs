@@ -46,6 +46,15 @@ pub enum FaultKind {
     /// instead of a sequence pair (see [`FaultPlan::wrap_source`]). The
     /// worker-side [`FaultPlan::worker_fault`] never reports this kind.
     SourceError,
+    /// The whole device that picks up this pair is lost: its workers stop
+    /// dispatching, its queued pairs migrate to surviving devices, and the
+    /// in-flight pair itself fails with
+    /// [`FaultCause::DeviceLost`](crate::resilience::FaultCause::DeviceLost)
+    /// and re-enters the normal retry/quarantine path. Ignored (the pair
+    /// runs normally) when no other live device remains — a fleet never
+    /// loses its last device. Not produced by [`FaultPlan::random`], whose
+    /// per-pair kinds stay device-local.
+    DeviceLoss,
 }
 
 /// One planned injection.

@@ -1,0 +1,100 @@
+//! Fleet topology: a simulated pool of `D` identical devices behind one
+//! host dispatcher (ROADMAP's "one level up" generalization of the paper's
+//! single NPE×NB×NK device).
+//!
+//! Following Chi et al.'s task-parallel HLS blueprint (PAPERS.md), the
+//! fleet is modeled as communicating tasks over bounded queues rather than
+//! a monolithic loop nest: the host deals the cost-ranked workload across
+//! `D` per-device queue groups, each device drains its own group with its
+//! full `NK × nb_slots` worker pool, and idle devices steal from busy ones.
+//! The cycle model composes per-device [`arbitrated_cycles`] with a modeled
+//! host↔device [`TransferModel`] cost and divides by `D`
+//! ([`fleet_cycles`]) — so the fleet is a **pure throughput/topology
+//! change**: outputs, ordering, and error behavior are bit-identical across
+//! every `D` (enforced by `crates/host/tests/fleet.rs`).
+//!
+//! [`arbitrated_cycles`]: dphls_systolic::arbitrated_cycles
+//! [`fleet_cycles`]: dphls_systolic::fleet_cycles
+
+use dphls_systolic::TransferModel;
+
+/// How many simulated devices the host shards work across, and what moving
+/// a pair to a device costs in the cycle model.
+///
+/// Each device is a full NPE×NB×NK pool (the [`Device`] the run was given,
+/// replicated `devices` times). [`FleetConfig::single`] — one device, free
+/// transfer — reproduces the pre-fleet engines exactly, cycle for cycle,
+/// and is the default.
+///
+/// [`Device`]: dphls_systolic::Device
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of simulated devices `D`. `0` is treated as `1` (see
+    /// [`FleetConfig::resolve_devices`]).
+    pub devices: usize,
+    /// Modeled host↔device transfer cost charged to every pair (see
+    /// [`TransferModel`]). [`TransferModel::zero`] makes the link free.
+    pub transfer: TransferModel,
+}
+
+impl FleetConfig {
+    /// One device with a free link — the exact pre-fleet behavior, and the
+    /// default.
+    pub fn single() -> Self {
+        Self {
+            devices: 1,
+            transfer: TransferModel::zero(),
+        }
+    }
+
+    /// A fleet of `devices` devices behind [`TransferModel::pcie`] links.
+    pub fn new(devices: usize) -> Self {
+        Self {
+            devices,
+            transfer: TransferModel::pcie(),
+        }
+    }
+
+    /// Replaces the transfer model, builder-style.
+    pub fn with_transfer(mut self, transfer: TransferModel) -> Self {
+        self.transfer = transfer;
+        self
+    }
+
+    /// The device count a run will actually use: `devices`, with `0`
+    /// clamped to `1` (a fleet always has at least one device).
+    pub fn resolve_devices(&self) -> usize {
+        self.devices.max(1)
+    }
+}
+
+impl Default for FleetConfig {
+    /// Defaults to [`FleetConfig::single`] so existing entry points keep
+    /// their exact pre-fleet semantics.
+    fn default() -> Self {
+        FleetConfig::single()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_default_and_free() {
+        assert_eq!(FleetConfig::default(), FleetConfig::single());
+        assert_eq!(FleetConfig::single().resolve_devices(), 1);
+        assert_eq!(FleetConfig::single().transfer, TransferModel::zero());
+        assert_eq!(FleetConfig::single().transfer.transfer_cycles(1 << 20), 0);
+    }
+
+    #[test]
+    fn new_uses_pcie_and_zero_devices_resolve_to_one() {
+        let f = FleetConfig::new(4);
+        assert_eq!(f.resolve_devices(), 4);
+        assert_eq!(f.transfer, TransferModel::pcie());
+        assert_eq!(FleetConfig { devices: 0, ..f }.resolve_devices(), 1);
+        let free = FleetConfig::new(2).with_transfer(TransferModel::zero());
+        assert_eq!(free.transfer.transfer_cycles(4096), 0);
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod engine;
 pub mod faults;
+pub mod fleet;
 pub mod resilience;
 pub mod scheduler;
 pub mod session;
@@ -35,6 +36,7 @@ pub mod tiling;
 
 pub use engine::{AdaptiveEngine, ExactEngine, PairEngine, PrecisionEngine, PrecisionScratch};
 pub use faults::{injected_kernel_error, injected_panic_message, FaultKind, FaultPlan, Injection};
+pub use fleet::FleetConfig;
 pub use resilience::{FailurePolicy, FaultCause, PairFault, ResilienceConfig};
 pub use scheduler::{
     run_batched, run_batched_adaptive, run_batched_engine, run_batched_resilient, run_batched_with,
@@ -43,6 +45,7 @@ pub use scheduler::{
 pub use session::{SessionClosed, StreamSession};
 pub use streaming::{
     run_streamed, run_streamed_adaptive, run_streamed_collect, run_streamed_engine,
+    run_streamed_fleet, run_streamed_fleet_collect, run_streamed_fleet_resilient,
     run_streamed_resilient, OrderedWriter, ReorderOverflow, StreamConfig, StreamError,
     StreamReport,
 };

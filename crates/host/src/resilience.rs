@@ -58,6 +58,14 @@ pub enum FaultCause {
     /// record instead of a sequence pair; carries the stringified source
     /// error.
     Source(String),
+    /// The fleet device holding the pair was lost (injected via
+    /// [`FaultKind::DeviceLoss`](crate::faults::FaultKind::DeviceLoss));
+    /// the pair is re-dealt to a surviving device or quarantined per
+    /// policy.
+    DeviceLost {
+        /// Zero-based index of the lost device within the fleet.
+        device: usize,
+    },
 }
 
 impl fmt::Display for FaultCause {
@@ -69,6 +77,9 @@ impl fmt::Display for FaultCause {
                 write!(f, "pair deadline exceeded ({deadline:?})")
             }
             FaultCause::Source(msg) => write!(f, "source error: {msg}"),
+            FaultCause::DeviceLost { device } => {
+                write!(f, "fleet device {device} lost")
+            }
         }
     }
 }

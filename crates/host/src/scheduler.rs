@@ -42,16 +42,27 @@
 //!   [`BatchReport::faults`] instead of tearing down the run. See
 //!   `crates/host/src/resilience.rs` and the chaos suite
 //!   (`crates/host/tests/chaos.rs`).
+//! * **Fleet sharding** — [`BatchConfig::fleet`] replicates the whole
+//!   `NK × nb_slots` pool across `D` simulated devices: the ranked queue is
+//!   dealt across `D × NK` per-device deques, idle devices steal from busy
+//!   ones, completions are folded through [`fleet_cycles`] (per-device
+//!   arbitration plus a modeled host↔device transfer cost, divided by
+//!   `D`), and a whole device can be injected as lost
+//!   ([`FaultKind::DeviceLoss`]) with its in-flight work re-dealt to
+//!   survivors. Outputs, order, and error behavior are bit-identical across
+//!   every `D` (enforced by `crates/host/tests/fleet.rs`); only the modeled
+//!   throughput and the wall-clock parallelism change.
 //!
 //! [`KernelConfig::nb`]: dphls_core::KernelConfig
 //! [`arbitrated_cycles`]: dphls_systolic::arbitrated_cycles
+//! [`fleet_cycles`]: dphls_systolic::fleet_cycles
 //! [`BlockStats`]: dphls_systolic::BlockStats
 //! [`Device::run`]: dphls_systolic::Device::run
 
 use dphls_core::{
     AdaptiveKernel, Banding, DpOutput, KernelConfig, KernelSpec, LaneKernel, LanePrecision,
 };
-use dphls_systolic::{alignment_cycles, arbitrated_cycles, throughput_aps, Device};
+use dphls_systolic::{alignment_cycles, fleet_cycles, throughput_aps, transfer_bytes, Device};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
@@ -61,6 +72,7 @@ use std::time::{Duration, Instant};
 
 use crate::engine::{ExactEngine, PairEngine, PrecisionEngine};
 use crate::faults::{injected_kernel_error, injected_panic_message, FaultKind, FaultPlan};
+use crate::fleet::FleetConfig;
 use crate::resilience::{
     abort_aware_sleep, panic_message, FailurePolicy, FaultCause, PairFault, ResilienceConfig,
 };
@@ -84,13 +96,24 @@ pub struct BatchConfig {
     /// every slot count (enforced by `crates/host/tests/nb_slots.rs`); the
     /// knob only changes host wall-clock parallelism.
     pub nb_slots: usize,
+    /// Fleet topology: how many simulated devices the workload is sharded
+    /// across, and the modeled host↔device transfer cost. The default
+    /// ([`FleetConfig::single`]) is one device with a free link — the exact
+    /// pre-fleet behavior. Outputs, ordering, and error behavior are
+    /// **bit-identical** for every device count (enforced by
+    /// `crates/host/tests/fleet.rs`); only modeled throughput and host
+    /// wall-clock parallelism change.
+    pub fleet: FleetConfig,
 }
 
 impl BatchConfig {
     /// Exactly one block slot per channel — the pre-NB host behavior
     /// (one thread per channel).
     pub fn single_slot() -> Self {
-        Self { nb_slots: 1 }
+        Self {
+            nb_slots: 1,
+            fleet: FleetConfig::single(),
+        }
     }
 
     /// An explicit slot count per channel, clamped to `1..=NB` at run
@@ -99,7 +122,16 @@ impl BatchConfig {
     /// [`BatchConfig::nb_slots`]); use [`BatchConfig::single_slot`] to pin
     /// one slot.
     pub fn slots(nb_slots: usize) -> Self {
-        Self { nb_slots }
+        Self {
+            nb_slots,
+            fleet: FleetConfig::single(),
+        }
+    }
+
+    /// Replaces the fleet topology, builder-style.
+    pub fn with_fleet(mut self, fleet: FleetConfig) -> Self {
+        self.fleet = fleet;
+        self
     }
 
     /// The slot count a run against `config` will actually use (see
@@ -161,13 +193,24 @@ pub struct BatchReport<S> {
     /// (a subset of the failures behind [`retries`](Self::retries) /
     /// [`faults`](Self::faults)).
     pub timeouts: usize,
-    /// Alignments each channel successfully executed.
+    /// Alignments each channel successfully executed, aggregated across
+    /// the fleet (channel `c` sums every device's channel `c`).
     pub per_channel: Vec<usize>,
-    /// Successful alignments per block slot, `per_slot[channel][slot]`.
+    /// Successful alignments per block slot, `per_slot[channel][slot]`,
+    /// aggregated across the fleet like
+    /// [`per_channel`](Self::per_channel).
     pub per_slot: Vec<Vec<usize>>,
     /// Block slots each channel ran with.
     pub nb_slots: usize,
-    /// Alignments stolen across channels.
+    /// Fleet devices the run sharded across (the resolved
+    /// [`BatchConfig::fleet`] device count).
+    pub devices: usize,
+    /// Successful alignments per fleet device, `per_device[device]`.
+    pub per_device: Vec<usize>,
+    /// Devices lost to [`FaultKind::DeviceLoss`] injections during the
+    /// run (0 without a fault plan).
+    pub device_losses: usize,
+    /// Alignments stolen across channels or devices.
     pub steals: usize,
     /// Modeled device throughput over the successful alignments.
     pub throughput_aps: f64,
@@ -201,7 +244,9 @@ pub struct ScheduleReport<S> {
     /// Outputs in input order.
     pub outputs: Vec<DpOutput<S>>,
     /// Alignments each channel **actually executed** (all of its block
-    /// slots, own share plus anything stolen), not the pre-computed split.
+    /// slots, own share plus anything stolen), not the pre-computed split;
+    /// aggregated across the fleet (channel `c` sums every device's
+    /// channel `c`).
     pub per_channel: Vec<usize>,
     /// Alignments per block slot, `per_slot[channel][slot]`; row sums equal
     /// [`per_channel`](Self::per_channel).
@@ -209,7 +254,13 @@ pub struct ScheduleReport<S> {
     /// Block slots each channel ran with (the resolved
     /// [`BatchConfig::nb_slots`]).
     pub nb_slots: usize,
-    /// Alignments that were stolen across channels (load-balancing events).
+    /// Fleet devices the run sharded across (the resolved
+    /// [`BatchConfig::fleet`] device count).
+    pub devices: usize,
+    /// Alignments each fleet device executed, `per_device[device]`.
+    pub per_device: Vec<usize>,
+    /// Alignments that were stolen across channels or devices
+    /// (load-balancing events).
     pub steals: usize,
     /// Modeled device throughput in alignments/second, derived from the
     /// cycle statistics of the functional runs.
@@ -308,6 +359,8 @@ where
         per_channel: report.per_channel,
         per_slot: report.per_slot,
         nb_slots: report.nb_slots,
+        devices: report.devices,
+        per_device: report.per_device,
         steals: report.steals,
         throughput_aps: report.throughput_aps,
         escalations: report.escalations,
@@ -406,28 +459,31 @@ where
     let config = device.config();
     let nk = config.nk.max(1);
     let slots = batch.resolve_slots(config);
+    let d = batch.fleet.resolve_devices();
+    let transfer = batch.fleet.transfer;
     let n = workload.len();
     // Instrumented = any resilience mechanism or injection active; the
     // alternative is the original zero-overhead slot loop.
     let instrumented = !res.is_disabled() || plan.is_some_and(|p| !p.is_empty());
 
-    // Rank by descending cost estimate, then deal round-robin so every
-    // channel starts with a balanced mix of expensive and cheap work.
-    // Queue entries carry the pair's attempt count so retries re-enter the
-    // same dispatch discipline.
+    // Rank by descending cost estimate, then deal round-robin across the
+    // fleet's `D × NK` per-device channel deques (queue `dev * nk + ch`)
+    // so every channel of every device starts with a balanced mix of
+    // expensive and cheap work. Queue entries carry the pair's attempt
+    // count so retries re-enter the same dispatch discipline.
     let mut ranked: Vec<usize> = (0..n).collect();
     ranked.sort_by_key(|&i| {
         let (q, r) = &workload[i];
         std::cmp::Reverse(cost_estimate(q.len(), r.len(), config.banding))
     });
-    let queues: Vec<Mutex<VecDeque<(usize, u32)>>> = (0..nk)
-        .map(|ch| {
+    let queues: Vec<Mutex<VecDeque<(usize, u32)>>> = (0..d * nk)
+        .map(|qi| {
             Mutex::new(
                 ranked
                     .iter()
                     .copied()
-                    .skip(ch)
-                    .step_by(nk)
+                    .skip(qi)
+                    .step_by(d * nk)
                     .map(|idx| (idx, 0))
                     .collect(),
             )
@@ -450,8 +506,18 @@ where
     let faults: Mutex<Vec<PairFault>> = Mutex::new(Vec::new());
     let retries = AtomicUsize::new(0);
     let timeouts = AtomicUsize::new(0);
-    // One result cell per block slot, indexed `ch * slots + slot`.
-    let results: Vec<Mutex<WorkerResult<K::Score>>> = (0..nk * slots)
+    let device_losses = AtomicUsize::new(0);
+    // Per-device loss flags: a lost device's workers stop dispatching and
+    // its queued pairs migrate to a survivor. The same lock guards the
+    // "never lose the last live device" invariant.
+    let lost: Mutex<Vec<bool>> = Mutex::new(vec![false; d]);
+    // Pairs that reached a terminal state (output or quarantine record).
+    // Instrumented workers idle-wait on this instead of exiting when the
+    // queues drain, because retries and device-loss migrations can re-fill
+    // a queue after its workers would otherwise have left.
+    let settled = AtomicUsize::new(0);
+    // One result cell per block slot, indexed `(dev * nk + ch) * slots + slot`.
+    let results: Vec<Mutex<WorkerResult<K::Score>>> = (0..d * nk * slots)
         .map(|_| {
             Mutex::new(WorkerResult {
                 outputs: Vec::new(),
@@ -463,16 +529,19 @@ where
         .collect();
 
     crossbeam::scope(|scope| {
-        for worker in 0..nk * slots {
-            let ch = worker / slots;
+        for worker in 0..d * nk * slots {
+            let qown = worker / slots;
+            let dev = qown / nk;
+            let ch = qown % nk;
             let (queues, abort, error, results) = (&queues, &abort, &error, &results);
             let (faults, retries, timeouts) = (&faults, &retries, &timeouts);
+            let (lost, settled, device_losses) = (&lost, &settled, &device_losses);
             scope.spawn(move |_| {
                 // Every block slot owns its scratch arena: the per-alignment
                 // hot path stays allocation-free at any slot count.
                 let mut scratch = engine.new_scratch();
                 let mut local = WorkerResult {
-                    outputs: Vec::with_capacity(n / (nk * slots) + 1),
+                    outputs: Vec::with_capacity(n / (d * nk * slots) + 1),
                     cycle_sum: 0,
                     stolen: 0,
                     escalations: 0,
@@ -481,21 +550,41 @@ where
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
+                    // A lost device dispatches nothing further; its queued
+                    // work was migrated when the loss fired.
+                    if instrumented && lost.lock()[dev] {
+                        break;
+                    }
                     // Own channel's queue first (expensive end), then steal
-                    // the cheapest remaining job from another channel. The
-                    // slots of one channel share its deque, so intra-channel
-                    // dispatch is not a steal.
-                    let mut job = queues[ch].lock().pop_front();
+                    // the cheapest remaining job: same-device channels
+                    // before other devices, always from the tail. The
+                    // slots of one channel share its deque, so
+                    // intra-channel dispatch is not a steal.
+                    let mut job = queues[qown].lock().pop_front();
                     if job.is_none() {
-                        for victim in 1..nk {
-                            job = queues[(ch + victim) % nk].lock().pop_back();
-                            if job.is_some() {
-                                local.stolen += 1;
-                                break;
+                        'steal: for du in 0..d {
+                            let dd = (dev + du) % d;
+                            let start = usize::from(du == 0);
+                            for cu in start..nk {
+                                let victim = dd * nk + (ch + cu) % nk;
+                                job = queues[victim].lock().pop_back();
+                                if job.is_some() {
+                                    local.stolen += 1;
+                                    break 'steal;
+                                }
                             }
                         }
                     }
-                    let Some((idx, attempts)) = job else { break };
+                    let Some((idx, attempts)) = job else {
+                        if !instrumented || settled.load(Ordering::Relaxed) >= n {
+                            break;
+                        }
+                        // Retries and device-loss migrations can re-fill a
+                        // queue after a drain: stay scheduled until every
+                        // pair has an output or a fault record.
+                        std::thread::sleep(Duration::from_micros(50));
+                        continue;
+                    };
                     let (q, r) = &workload[idx];
 
                     if !instrumented {
@@ -509,11 +598,18 @@ where
                                 );
                                 // Fold the completion through the channel
                                 // arbiter at full NB occupancy — the steady
-                                // state the throughput model assumes — so
-                                // the modeled figure is independent of how
-                                // many host slots happened to be
-                                // dispatching.
-                                local.cycle_sum += arbitrated_cycles(&b, config.nb);
+                                // state the throughput model assumes — plus
+                                // the modeled host↔device transfer, spread
+                                // across the fleet; the modeled figure is
+                                // independent of how many host slots
+                                // happened to be dispatching.
+                                local.cycle_sum += fleet_cycles(
+                                    &b,
+                                    config.nb,
+                                    d,
+                                    &transfer,
+                                    transfer_bytes(&run.stats, device.kernel_cycle_info()),
+                                );
                                 local.escalations += run.stats.escalations;
                                 local.outputs.push((idx, run.output));
                             }
@@ -539,16 +635,56 @@ where
                     let deadline =
                         res.deadline_for(cost_estimate(q.len(), r.len(), config.banding));
                     let started = Instant::now();
-                    let injected = plan.and_then(|p| p.worker_fault(idx, attempts));
-                    if let Some(FaultKind::Stall { millis }) = injected {
-                        abort_aware_sleep(Duration::from_millis(millis), abort);
-                        if abort.load(Ordering::Relaxed) {
-                            break;
+                    let mut injected = plan.and_then(|p| p.worker_fault(idx, attempts));
+                    if injected == Some(FaultKind::DeviceLoss) {
+                        // Take this device down — unless it is the last
+                        // live one, in which case the injection is ignored
+                        // and the pair runs normally (a fleet never loses
+                        // its final device).
+                        let took = {
+                            let mut l = lost.lock();
+                            let survives = !l[dev] && l.iter().filter(|&&x| !x).count() > 1;
+                            if survives {
+                                l[dev] = true;
+                            }
+                            survives
+                        };
+                        if took {
+                            device_losses.fetch_add(1, Ordering::Relaxed);
+                            // Migrate the dead device's queued pairs to the
+                            // next live device, channel to channel and in
+                            // order; the in-flight pair itself fails below
+                            // with a DeviceLost cause and re-enters the
+                            // normal retry/quarantine path.
+                            let target = {
+                                let l = lost.lock();
+                                (1..d)
+                                    .map(|v| (dev + v) % d)
+                                    .find(|&t| !l[t])
+                                    .expect("loss gate keeps one live device")
+                            };
+                            for c in 0..nk {
+                                let moved: Vec<(usize, u32)> =
+                                    queues[dev * nk + c].lock().drain(..).collect();
+                                if !moved.is_empty() {
+                                    queues[target * nk + c].lock().extend(moved);
+                                }
+                            }
+                        } else {
+                            injected = None;
                         }
                     }
-                    let outcome = if injected == Some(FaultKind::KernelError) {
+                    let outcome = if injected == Some(FaultKind::DeviceLoss) {
+                        Err(FaultCause::DeviceLost { device: dev })
+                    } else if injected == Some(FaultKind::KernelError) {
                         Err(FaultCause::Kernel(injected_kernel_error()))
                     } else {
+                        if let Some(FaultKind::Stall { millis }) = injected {
+                            abort_aware_sleep(Duration::from_millis(millis), abort);
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
                         let caught = catch_unwind(AssertUnwindSafe(|| {
                             if injected == Some(FaultKind::Panic) {
                                 panic!("{}", injected_panic_message(idx));
@@ -584,19 +720,34 @@ where
                                 device.kernel_cycle_info(),
                                 device.cycle_params(),
                             );
-                            local.cycle_sum += arbitrated_cycles(&b, config.nb);
+                            local.cycle_sum += fleet_cycles(
+                                &b,
+                                config.nb,
+                                d,
+                                &transfer,
+                                transfer_bytes(&run.stats, device.kernel_cycle_info()),
+                            );
                             local.escalations += run.stats.escalations;
                             local.outputs.push((idx, run.output));
+                            settled.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(cause) => {
                             if attempts < res.max_retries {
                                 retries.fetch_add(1, Ordering::Relaxed);
                                 abort_aware_sleep(res.backoff_for(attempts + 1), abort);
-                                // Re-deal to the *next* channel's queue: a
-                                // different slot picks it up when one
-                                // exists, and this worker still finds it by
-                                // stealing if it is the last one running.
-                                queues[(ch + 1) % nk].lock().push_back((idx, attempts + 1));
+                                // Re-deal to the next queue on a *live*
+                                // device: a different slot picks it up when
+                                // one exists, and idle workers stay
+                                // scheduled (the settled-count wait above)
+                                // until every pair lands somewhere.
+                                let target = {
+                                    let l = lost.lock();
+                                    (1..d * nk)
+                                        .map(|v| (qown + v) % (d * nk))
+                                        .find(|&qi| !l[qi / nk])
+                                        .unwrap_or(qown)
+                                };
+                                queues[target].lock().push_back((idx, attempts + 1));
                             } else {
                                 let fault = PairFault {
                                     idx,
@@ -604,7 +755,10 @@ where
                                     attempts: attempts + 1,
                                 };
                                 match res.failure_policy {
-                                    FailurePolicy::Quarantine => faults.lock().push(fault),
+                                    FailurePolicy::Quarantine => {
+                                        faults.lock().push(fault);
+                                        settled.fetch_add(1, Ordering::Relaxed);
+                                    }
                                     FailurePolicy::Abort => {
                                         let mut guard = error.lock();
                                         if guard.is_none() {
@@ -632,14 +786,17 @@ where
 
     let mut per_channel = vec![0usize; nk];
     let mut per_slot = vec![vec![0usize; slots]; nk];
+    let mut per_device = vec![0usize; d];
     let mut steals = 0usize;
     let mut cycle_sum = 0u64;
     let mut escalations = 0u64;
     let mut filled: Vec<Option<DpOutput<K::Score>>> = (0..n).map(|_| None).collect();
     for (worker, result) in results.into_iter().enumerate() {
         let done = result.into_inner();
-        per_channel[worker / slots] += done.outputs.len();
-        per_slot[worker / slots][worker % slots] = done.outputs.len();
+        let qown = worker / slots;
+        per_channel[qown % nk] += done.outputs.len();
+        per_slot[qown % nk][worker % slots] += done.outputs.len();
+        per_device[qown / nk] += done.outputs.len();
         steals += done.stolen;
         cycle_sum += done.cycle_sum;
         escalations += done.escalations;
@@ -676,6 +833,9 @@ where
         per_channel,
         per_slot,
         nb_slots: slots,
+        devices: d,
+        per_device,
+        device_losses: device_losses.into_inner(),
         steals,
         throughput_aps: throughput,
         escalations,
@@ -781,6 +941,43 @@ mod tests {
         assert_eq!(pooled.outputs, single.outputs);
         assert!((pooled.throughput_aps - single.throughput_aps).abs() < 1e-9);
         assert_eq!(pooled.per_channel.iter().sum::<usize>(), wl.len());
+    }
+
+    #[test]
+    fn fleet_is_bit_identical_and_speeds_the_model() {
+        // The in-crate smoke version of the `tests/fleet.rs` differential
+        // suite: outputs and order must not depend on the device count;
+        // only the modeled throughput scales.
+        use crate::fleet::FleetConfig;
+        use dphls_systolic::TransferModel;
+        let wl = workload(17);
+        let params = LinearParams::<i16>::dna();
+        let dev = device(2);
+        let single =
+            run_batched_with::<GlobalLinear>(&dev, &params, &wl, BatchConfig::single_slot())
+                .unwrap();
+        assert_eq!(single.devices, 1);
+        assert_eq!(single.per_device, vec![17]);
+        let cfg = BatchConfig::single_slot()
+            .with_fleet(FleetConfig::new(4).with_transfer(TransferModel::zero()));
+        let fleet = run_batched_with::<GlobalLinear>(&dev, &params, &wl, cfg).unwrap();
+        assert_eq!(fleet.devices, 4);
+        assert_eq!(fleet.outputs, single.outputs);
+        assert_eq!(fleet.per_device.len(), 4);
+        assert_eq!(fleet.per_device.iter().sum::<usize>(), wl.len());
+        assert_eq!(fleet.per_channel.iter().sum::<usize>(), wl.len());
+        // Four devices with a free link model ceil(cycles / 4) per pair.
+        assert!(
+            fleet.throughput_aps > single.throughput_aps * 3.0,
+            "fleet {} vs single {}",
+            fleet.throughput_aps,
+            single.throughput_aps
+        );
+        // A priced link slows the model back down, but never below 1 device.
+        let priced = BatchConfig::single_slot().with_fleet(FleetConfig::new(4));
+        let pr = run_batched_with::<GlobalLinear>(&dev, &params, &wl, priced).unwrap();
+        assert_eq!(pr.outputs, single.outputs);
+        assert!(pr.throughput_aps < fleet.throughput_aps);
     }
 
     #[test]

@@ -22,9 +22,10 @@
 //! [`submit`]: StreamSession::submit
 
 use crate::engine::PrecisionEngine;
+use crate::fleet::FleetConfig;
 use crate::resilience::{panic_message, PairFault, ResilienceConfig};
 use crate::streaming::{
-    run_streamed_engine, run_streamed_resilient, StreamConfig, StreamError, StreamReport,
+    run_streamed_engine, run_streamed_fleet_resilient, StreamConfig, StreamError, StreamReport,
 };
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dphls_core::{AdaptiveKernel, DpOutput, LaneKernel, LanePrecision};
@@ -64,7 +65,7 @@ struct SessionInner<K: LaneKernel> {
 }
 
 /// Join handle of the background engine thread: the pipeline's final
-/// verdict, exactly what [`run_streamed_resilient`] returns.
+/// verdict, exactly what [`run_streamed_resilient`](crate::run_streamed_resilient) returns.
 type EngineHandle = JoinHandle<Result<StreamReport, StreamError<Infallible>>>;
 
 /// The streaming pipeline as a long-lived service: spawned once, fed pair
@@ -74,7 +75,8 @@ type EngineHandle = JoinHandle<Result<StreamReport, StreamError<Infallible>>>;
 /// Submissions from concurrent callers are serialized internally; each
 /// receives the input index its outputs will carry. The sink runs on the
 /// engine's worker threads exactly as in
-/// [`run_streamed_resilient`] — hand off, don't compute.
+/// [`run_streamed_resilient`](crate::run_streamed_resilient) — hand
+/// off, don't compute.
 pub struct StreamSession<K: LaneKernel> {
     inner: Mutex<SessionInner<K>>,
     engine: Mutex<Option<EngineHandle>>,
@@ -88,7 +90,7 @@ where
 {
     /// Spawns the pipeline on a background thread and returns the live
     /// session. `device`, `params`, `config`, and `res` have exactly their
-    /// [`run_streamed_resilient`] meaning;
+    /// [`run_streamed_resilient`](crate::run_streamed_resilient) meaning;
     /// the sink receives `(input index, Ok(output) | Err(fault))` in
     /// strict index order.
     ///
@@ -106,13 +108,38 @@ where
     where
         F: FnMut(usize, Result<DpOutput<K::Score>, PairFault>) + Send + 'static,
     {
+        Self::spawn_fleet(device, params, config, FleetConfig::single(), res, sink)
+    }
+
+    /// [`spawn`](Self::spawn) sharded across a simulated fleet of
+    /// [`FleetConfig::devices`] devices: outputs, order, and error
+    /// behavior are bit-identical to the single-device session; only the
+    /// modeled throughput in the final [`StreamReport`] and the host
+    /// wall-clock parallelism change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.buffer` or `config.window` is zero (the engine's
+    /// own precondition, surfaced when the background thread starts).
+    pub fn spawn_fleet<F>(
+        device: Device,
+        params: K::Params,
+        config: StreamConfig,
+        fleet: FleetConfig,
+        res: ResilienceConfig,
+        sink: F,
+    ) -> Self
+    where
+        F: FnMut(usize, Result<DpOutput<K::Score>, PairFault>) + Send + 'static,
+    {
         let (tx, rx) = bounded::<dphls_core::SeqPair<K>>(config.buffer.max(1));
         let engine = std::thread::spawn(move || {
-            run_streamed_resilient::<K, _, Infallible, F>(
+            run_streamed_fleet_resilient::<K, _, Infallible, F>(
                 &device,
                 &params,
                 SessionSource(rx),
                 config,
+                fleet,
                 &res,
                 None,
                 sink,
@@ -150,6 +177,38 @@ where
         K: AdaptiveKernel,
         F: FnMut(usize, Result<DpOutput<i16>, PairFault>) + Send + 'static,
     {
+        Self::spawn_adaptive_fleet(
+            device,
+            params,
+            precision,
+            config,
+            FleetConfig::single(),
+            res,
+            sink,
+        )
+    }
+
+    /// [`spawn_adaptive`](Self::spawn_adaptive) sharded across a simulated
+    /// fleet — precision dispatch and fleet topology compose freely, and
+    /// outputs stay bit-identical across both knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.buffer` or `config.window` is zero (the engine's
+    /// own precondition, surfaced when the background thread starts).
+    pub fn spawn_adaptive_fleet<F>(
+        device: Device,
+        params: K::Params,
+        precision: LanePrecision,
+        config: StreamConfig,
+        fleet: FleetConfig,
+        res: ResilienceConfig,
+        sink: F,
+    ) -> Self
+    where
+        K: AdaptiveKernel,
+        F: FnMut(usize, Result<DpOutput<i16>, PairFault>) + Send + 'static,
+    {
         let (tx, rx) = bounded::<dphls_core::SeqPair<K>>(config.buffer.max(1));
         let engine = std::thread::spawn(move || {
             let engine = PrecisionEngine::<K>::new(params, precision);
@@ -158,6 +217,7 @@ where
                 &engine,
                 SessionSource(rx),
                 config,
+                fleet,
                 &res,
                 None,
                 sink,
@@ -241,7 +301,7 @@ where
     /// # Errors
     ///
     /// Whatever the underlying engine run returned — see
-    /// [`run_streamed_resilient`]. The
+    /// [`run_streamed_resilient`](crate::run_streamed_resilient). The
     /// source is infallible here, so `StreamError::Source` cannot occur.
     pub fn close(self) -> Result<StreamReport, StreamError<Infallible>> {
         self.shutdown()

@@ -35,13 +35,16 @@
 
 use crate::engine::{ExactEngine, PairEngine, PrecisionEngine};
 use crate::faults::{injected_kernel_error, injected_panic_message, FaultKind, FaultPlan};
+use crate::fleet::FleetConfig;
 use crate::resilience::{
     abort_aware_sleep, panic_message, FailurePolicy, FaultCause, PairFault, ResilienceConfig,
 };
 use crate::scheduler::{cost_estimate, BatchConfig};
 use crossbeam::channel::SendTimeoutError;
 use dphls_core::{AdaptiveKernel, DpOutput, KernelSpec, LaneKernel, LanePrecision};
-use dphls_systolic::{alignment_cycles, arbitrated_cycles, throughput_aps, Device, SystolicError};
+use dphls_systolic::{
+    alignment_cycles, fleet_cycles, throughput_aps, transfer_bytes, Device, SystolicError,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -88,7 +91,8 @@ pub struct StreamReport {
     /// Pairs aligned (and emitted, in input order, through the sink).
     pub pairs: usize,
     /// Alignments each channel actually executed (all of its block slots,
-    /// own + stolen).
+    /// own + stolen), aggregated across the fleet (channel `c` sums every
+    /// device's channel `c`).
     pub per_channel: Vec<usize>,
     /// Alignments per block slot, `per_slot[channel][slot]`; row sums equal
     /// [`per_channel`](Self::per_channel).
@@ -96,7 +100,15 @@ pub struct StreamReport {
     /// Block slots each channel ran with (the resolved
     /// [`StreamConfig::nb_slots`]).
     pub nb_slots: usize,
-    /// Alignments stolen across channels.
+    /// Fleet devices the run sharded across (the resolved
+    /// [`FleetConfig`] device count; 1 for the non-fleet entry points).
+    pub devices: usize,
+    /// Alignments each fleet device executed, `per_device[device]`.
+    pub per_device: Vec<usize>,
+    /// Devices lost to [`FaultKind::DeviceLoss`] injections during the run
+    /// (0 without a fault plan).
+    pub device_losses: usize,
+    /// Alignments stolen across channels or devices.
     pub steals: usize,
     /// Modeled device throughput in alignments/second, derived from the
     /// cycle statistics of the functional runs (no second pass).
@@ -305,12 +317,20 @@ struct Job<Sym> {
     attempts: u32,
 }
 
-/// Deque state shared by the dealer and the workers: the per-channel job
-/// queues plus the "producer still live" flag that turns steal-on-empty
-/// from an exit condition into a blocking wait.
+/// Deque state shared by the dealer and the workers: the per-device
+/// per-channel job queues (queue `dev * nk + ch`) plus the "producer still
+/// live" flag that turns steal-on-empty from an exit condition into a
+/// blocking wait, the fleet's per-device loss flags, and the count of jobs
+/// currently in a worker's hand (so survivors outwait a lost device's
+/// re-deals instead of exiting early).
 struct Sched<Sym> {
     queues: Vec<VecDeque<Job<Sym>>>,
     producer_live: bool,
+    /// One flag per fleet device; a lost device dispatches nothing more.
+    lost: Vec<bool>,
+    /// Jobs popped but not yet terminal (output, quarantine, or re-deal);
+    /// maintained on the instrumented path only.
+    busy: usize,
 }
 
 /// Writer-side shared state: the ordered sink plus admission accounting.
@@ -430,8 +450,98 @@ where
     E: Send + fmt::Display,
     F: FnMut(usize, Result<DpOutput<K::Score>, PairFault>) + Send,
 {
+    run_streamed_fleet_resilient::<K, I, E, F>(
+        device,
+        params,
+        source,
+        config,
+        FleetConfig::single(),
+        res,
+        plan,
+        sink,
+    )
+}
+
+/// [`run_streamed`] sharded across a simulated fleet of
+/// [`FleetConfig::devices`] devices: outputs, order, and error behavior
+/// are bit-identical to the single-device run (enforced by
+/// `crates/host/tests/fleet.rs`); only the modeled throughput (per-device
+/// arbitration plus transfer cost, spread across the fleet — see
+/// [`dphls_systolic::fleet_cycles`]) and the wall-clock parallelism
+/// change.
+///
+/// # Errors
+///
+/// Same as [`run_streamed`].
+///
+/// # Panics
+///
+/// Panics if `config.buffer` or `config.window` is zero.
+pub fn run_streamed_fleet<K, I, E, F>(
+    device: &Device,
+    params: &K::Params,
+    source: I,
+    config: StreamConfig,
+    fleet: FleetConfig,
+    mut sink: F,
+) -> Result<StreamReport, StreamError<E>>
+where
+    K: LaneKernel,
+    K::Score: Send,
+    K::Params: Sync,
+    K::Sym: Send,
+    I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
+    E: Send + fmt::Display,
+    F: FnMut(usize, DpOutput<K::Score>) + Send,
+{
+    run_streamed_fleet_resilient::<K, I, E, _>(
+        device,
+        params,
+        source,
+        config,
+        fleet,
+        &ResilienceConfig::disabled(),
+        None,
+        move |idx, slot| match slot {
+            Ok(out) => sink(idx, out),
+            Err(fault) => unreachable!("abort policy never emits quarantined slots: {fault}"),
+        },
+    )
+}
+
+/// [`run_streamed_resilient`] sharded across a simulated fleet — the full
+/// streaming surface (resilience policy, fault plan including
+/// [`FaultKind::DeviceLoss`], fleet topology) in one entry point.
+///
+/// # Errors
+///
+/// Exactly as [`run_streamed_resilient`].
+///
+/// # Panics
+///
+/// Panics if `config.buffer` or `config.window` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_streamed_fleet_resilient<K, I, E, F>(
+    device: &Device,
+    params: &K::Params,
+    source: I,
+    config: StreamConfig,
+    fleet: FleetConfig,
+    res: &ResilienceConfig,
+    plan: Option<&FaultPlan>,
+    sink: F,
+) -> Result<StreamReport, StreamError<E>>
+where
+    K: LaneKernel,
+    K::Score: Send,
+    K::Params: Sync,
+    K::Sym: Send,
+    I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
+    E: Send + fmt::Display,
+    F: FnMut(usize, Result<DpOutput<K::Score>, PairFault>) + Send,
+{
     let engine = ExactEngine::<K>::new(params.clone());
-    run_streamed_engine::<K, _, I, E, F>(device, &engine, source, config, res, plan, sink)
+    run_streamed_engine::<K, _, I, E, F>(device, &engine, source, config, fleet, res, plan, sink)
 }
 
 /// [`run_streamed_resilient`] with **runtime precision dispatch**: pairs
@@ -468,7 +578,16 @@ where
     F: FnMut(usize, Result<DpOutput<i16>, PairFault>) + Send,
 {
     let engine = PrecisionEngine::<K>::new(params.clone(), precision);
-    run_streamed_engine::<K, _, I, E, F>(device, &engine, source, config, res, plan, sink)
+    run_streamed_engine::<K, _, I, E, F>(
+        device,
+        &engine,
+        source,
+        config,
+        FleetConfig::single(),
+        res,
+        plan,
+        sink,
+    )
 }
 
 /// The streaming pipeline, generic over the per-pair execution strategy
@@ -483,12 +602,13 @@ where
 /// # Panics
 ///
 /// Panics if `config.buffer` or `config.window` is zero.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 pub fn run_streamed_engine<K, En, I, E, F>(
     device: &Device,
     engine: &En,
     source: I,
     config: StreamConfig,
+    fleet: FleetConfig,
     res: &ResilienceConfig,
     plan: Option<&FaultPlan>,
     sink: F,
@@ -507,14 +627,18 @@ where
     let kernel_config = device.config();
     let nk = kernel_config.nk.max(1);
     let slots = BatchConfig::slots(config.nb_slots).resolve_slots(kernel_config);
+    let d = fleet.resolve_devices();
+    let transfer = fleet.transfer;
     // Instrumented = any resilience mechanism or injection active; the
     // alternative is the original zero-overhead slot loop.
     let instrumented = !res.is_disabled() || plan.is_some_and(|p| !p.is_empty());
     let quarantine = res.failure_policy == FailurePolicy::Quarantine;
 
     let sched: Mutex<Sched<K::Sym>> = Mutex::new(Sched {
-        queues: (0..nk).map(|_| VecDeque::new()).collect(),
+        queues: (0..d * nk).map(|_| VecDeque::new()).collect(),
         producer_live: true,
+        lost: vec![false; d],
+        busy: 0,
     });
     // Wakes workers blocked on empty deques.
     let work_cv = Condvar::new();
@@ -533,8 +657,9 @@ where
     let faults: Mutex<Vec<PairFault>> = Mutex::new(Vec::new());
     let retries = AtomicUsize::new(0);
     let timeouts = AtomicUsize::new(0);
-    // One tally per block slot, indexed `ch * slots + slot`.
-    let stats: Vec<Mutex<WorkerStats>> = (0..nk * slots)
+    let device_losses = AtomicUsize::new(0);
+    // One tally per block slot, indexed `(dev * nk + ch) * slots + slot`.
+    let stats: Vec<Mutex<WorkerStats>> = (0..d * nk * slots)
         .map(|_| Mutex::new(WorkerStats::default()))
         .collect();
 
@@ -590,38 +715,65 @@ where
             });
         }
 
-        // Stage 2b: block-slot workers (`nb_slots` threads per NK channel;
-        // the slots of one channel share its deque, so dispatch within a
-        // channel is not a steal).
-        for worker in 0..nk * slots {
-            let ch = worker / slots;
+        // Stage 2b: block-slot workers (`nb_slots` threads per NK channel
+        // per fleet device; the slots of one channel share its deque, so
+        // dispatch within a channel is not a steal).
+        for worker in 0..d * nk * slots {
+            let qown = worker / slots;
+            let dev = qown / nk;
+            let ch = qown % nk;
             let (sched, work_cv, emit, space_cv) = (&sched, &work_cv, &emit, &space_cv);
             let (abort, pair_error, stats) = (&abort, &pair_error, &stats);
             let (faults, retries, timeouts) = (&faults, &retries, &timeouts);
+            let device_losses = &device_losses;
             scope.spawn(move |_| {
                 // Every block slot owns its scratch arena.
                 let mut scratch = engine.new_scratch();
                 let mut local = WorkerStats::default();
                 'work: loop {
                     // Own deque's expensive end first; then steal the
-                    // cheapest job from a neighbor; then block if the
-                    // producer may still deal more; exit otherwise.
+                    // cheapest job — same-device channels before other
+                    // devices, always from the tail; then block if the
+                    // producer may still deal more (or a busy peer may
+                    // still re-deal); exit otherwise.
                     let job = {
                         let mut guard = sched.lock().expect("sched mutex");
                         loop {
                             if abort.load(Ordering::Relaxed) {
                                 break None;
                             }
-                            if let Some(job) = guard.queues[ch].pop_front() {
+                            // A lost device dispatches nothing further.
+                            if guard.lost[dev] {
+                                break None;
+                            }
+                            if let Some(job) = guard.queues[qown].pop_front() {
+                                // Counted under the same guard as the pop so
+                                // peers never observe empty queues with the
+                                // job invisibly in a hand.
+                                if instrumented {
+                                    guard.busy += 1;
+                                }
                                 break Some(job);
                             }
-                            let stolen =
-                                (1..nk).find_map(|v| guard.queues[(ch + v) % nk].pop_back());
+                            let mut stolen = None;
+                            'steal: for du in 0..d {
+                                let dd = (dev + du) % d;
+                                for cu in usize::from(du == 0)..nk {
+                                    let victim = dd * nk + (ch + cu) % nk;
+                                    stolen = guard.queues[victim].pop_back();
+                                    if stolen.is_some() {
+                                        break 'steal;
+                                    }
+                                }
+                            }
                             if let Some(job) = stolen {
                                 local.stolen += 1;
+                                if instrumented {
+                                    guard.busy += 1;
+                                }
                                 break Some(job);
                             }
-                            if !guard.producer_live {
+                            if !guard.producer_live && (!instrumented || guard.busy == 0) {
                                 break None;
                             }
                             guard = work_cv.wait(guard).expect("sched mutex");
@@ -637,14 +789,55 @@ where
                     } else {
                         let deadline = res.deadline_for(job.cost);
                         let started = Instant::now();
-                        let injected = plan.and_then(|p| p.worker_fault(job.idx, job.attempts));
+                        let mut injected = plan.and_then(|p| p.worker_fault(job.idx, job.attempts));
+                        if injected == Some(FaultKind::DeviceLoss) {
+                            // Take this device down — unless it is the last
+                            // live one, in which case the injection is
+                            // ignored and the job runs normally.
+                            let took = {
+                                let mut guard = sched.lock().expect("sched mutex");
+                                let survives = !guard.lost[dev]
+                                    && guard.lost.iter().filter(|&&x| !x).count() > 1;
+                                if survives {
+                                    guard.lost[dev] = true;
+                                    // Migrate the dead device's queued jobs
+                                    // to the next live device, channel to
+                                    // channel, keeping each deque's cost
+                                    // order; the in-flight job itself fails
+                                    // below with a DeviceLost cause and
+                                    // re-enters the retry/quarantine path.
+                                    let target = (1..d)
+                                        .map(|v| (dev + v) % d)
+                                        .find(|&t| !guard.lost[t])
+                                        .expect("loss gate keeps one live device");
+                                    for c in 0..nk {
+                                        let moved: Vec<Job<K::Sym>> =
+                                            guard.queues[dev * nk + c].drain(..).collect();
+                                        for j in moved {
+                                            let queue = &mut guard.queues[target * nk + c];
+                                            let at = queue.partition_point(|x| x.cost >= j.cost);
+                                            queue.insert(at, j);
+                                        }
+                                    }
+                                }
+                                survives
+                            };
+                            if took {
+                                device_losses.fetch_add(1, Ordering::Relaxed);
+                                work_cv.notify_all();
+                            } else {
+                                injected = None;
+                            }
+                        }
                         if let Some(FaultKind::Stall { millis }) = injected {
                             abort_aware_sleep(Duration::from_millis(millis), abort);
                             if abort.load(Ordering::Relaxed) {
                                 break 'work;
                             }
                         }
-                        let outcome = if injected == Some(FaultKind::KernelError) {
+                        let outcome = if injected == Some(FaultKind::DeviceLoss) {
+                            Err(FaultCause::DeviceLost { device: dev })
+                        } else if injected == Some(FaultKind::KernelError) {
                             Err(FaultCause::Kernel(injected_kernel_error()))
                         } else {
                             let caught = catch_unwind(AssertUnwindSafe(|| {
@@ -683,10 +876,18 @@ where
                                 device.kernel_cycle_info(),
                                 device.cycle_params(),
                             );
-                            // Full-NB arbiter occupancy, exactly as the
-                            // batch engine folds it: the modeled figure is
-                            // independent of the host slot count.
-                            local.cycle_sum += arbitrated_cycles(&b, kernel_config.nb);
+                            // Full-NB arbiter occupancy plus the modeled
+                            // host↔device transfer, spread across the
+                            // fleet, exactly as the batch engine folds it:
+                            // the modeled figure is independent of the host
+                            // slot count.
+                            local.cycle_sum += fleet_cycles(
+                                &b,
+                                kernel_config.nb,
+                                d,
+                                &transfer,
+                                transfer_bytes(&run.stats, device.kernel_cycle_info()),
+                            );
                             local.escalations += run.stats.escalations;
                             local.executed += 1;
                             let mut e = emit.lock().expect("emit mutex");
@@ -698,18 +899,29 @@ where
                                 // Emission progress frees admission slots.
                                 space_cv.notify_all();
                             }
+                            drop(e);
+                            if instrumented {
+                                // Terminal: release the busy count so idle
+                                // peers can exit once everything settles.
+                                sched.lock().expect("sched mutex").busy -= 1;
+                                work_cv.notify_all();
+                            }
                         }
                         Err(cause) if job.attempts < res.max_retries => {
                             retries.fetch_add(1, Ordering::Relaxed);
                             let _ = cause;
                             abort_aware_sleep(res.backoff_for(job.attempts + 1), abort);
-                            // Re-deal to the *next* channel's deque (sorted
-                            // by cost like the dealer's inserts): a
+                            // Re-deal to the next queue on a *live* device
+                            // (sorted by cost like the dealer's inserts): a
                             // different slot picks it up when one exists,
-                            // and this worker still finds it by stealing if
-                            // it is the last one running.
+                            // and idle workers stay parked on the busy
+                            // count until every job lands somewhere.
                             let mut guard = sched.lock().expect("sched mutex");
-                            let queue = &mut guard.queues[(ch + 1) % nk];
+                            let target = (1..d * nk)
+                                .map(|v| (qown + v) % (d * nk))
+                                .find(|&qi| !guard.lost[qi / nk])
+                                .unwrap_or(qown);
+                            let queue = &mut guard.queues[target];
                             let at = queue.partition_point(|j| j.cost >= job.cost);
                             queue.insert(
                                 at,
@@ -718,6 +930,8 @@ where
                                     ..job
                                 },
                             );
+                            // The job left this worker's hand for a queue.
+                            guard.busy -= 1;
                             drop(guard);
                             work_cv.notify_all();
                         }
@@ -740,6 +954,9 @@ where
                                 if e.writer.next_emit() != before {
                                     space_cv.notify_all();
                                 }
+                                drop(e);
+                                sched.lock().expect("sched mutex").busy -= 1;
+                                work_cv.notify_all();
                             } else {
                                 let mut guard = pair_error.lock().expect("error mutex");
                                 if guard.is_none() {
@@ -835,7 +1052,13 @@ where
             };
             {
                 let mut guard = sched.lock().expect("sched mutex");
-                let queue = &mut guard.queues[next_idx % nk];
+                // Deal round-robin across the fleet's live devices; a lost
+                // device's deques receive nothing further.
+                let target = (0..d * nk)
+                    .map(|v| (next_idx + v) % (d * nk))
+                    .find(|&qi| !guard.lost[qi / nk])
+                    .unwrap_or(next_idx % (d * nk));
+                let queue = &mut guard.queues[target];
                 // Keep each deque sorted by descending cost: the owner pops
                 // expensive work from the front, thieves take the cheapest
                 // from the back — the batch engine's discipline, applied
@@ -877,13 +1100,16 @@ where
     faults.sort_by_key(|f| f.idx);
     let mut per_channel = vec![0usize; nk];
     let mut per_slot = vec![vec![0usize; slots]; nk];
+    let mut per_device = vec![0usize; d];
     let mut steals = 0usize;
     let mut cycle_sum = 0u64;
     let mut escalations = 0u64;
     for (worker, stat) in stats.into_iter().enumerate() {
         let s = stat.into_inner().expect("stats mutex");
-        per_channel[worker / slots] += s.executed;
-        per_slot[worker / slots][worker % slots] = s.executed;
+        let qown = worker / slots;
+        per_channel[qown % nk] += s.executed;
+        per_slot[qown % nk][worker % slots] += s.executed;
+        per_device[qown / nk] += s.executed;
         steals += s.stolen;
         cycle_sum += s.cycle_sum;
         escalations += s.escalations;
@@ -905,6 +1131,9 @@ where
         per_channel,
         per_slot,
         nb_slots: slots,
+        devices: d,
+        per_device,
+        device_losses: device_losses.into_inner(),
         steals,
         throughput_aps: throughput,
         reorder_high_water: emit.writer.high_water(),
@@ -939,18 +1168,46 @@ where
     I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
     E: Send + fmt::Display,
 {
+    run_streamed_fleet_collect::<K, I, E>(device, params, source, config, FleetConfig::single())
+}
+
+/// [`run_streamed_collect`] sharded across a simulated fleet: the collected
+/// outputs (and their order) are bit-identical to the single-device run for
+/// every device count — only the modeled throughput changes.
+///
+/// # Errors
+///
+/// Same as [`run_streamed`].
+pub fn run_streamed_fleet_collect<K, I, E>(
+    device: &Device,
+    params: &K::Params,
+    source: I,
+    config: StreamConfig,
+    fleet: FleetConfig,
+) -> Result<(crate::ScheduleReport<K::Score>, StreamReport), StreamError<E>>
+where
+    K: LaneKernel,
+    K::Score: Send,
+    K::Params: Sync,
+    K::Sym: Send,
+    I: Iterator<Item = Result<dphls_core::SeqPair<K>, E>> + Send,
+    E: Send + fmt::Display,
+{
     let outputs: Mutex<Vec<DpOutput<K::Score>>> = Mutex::new(Vec::new());
-    let report = run_streamed::<K, I, E, _>(device, params, source, config, |idx, out| {
-        let mut o = outputs.lock().expect("outputs mutex");
-        debug_assert_eq!(o.len(), idx, "sink indices are contiguous from 0");
-        o.push(out);
-    })?;
+    let report =
+        run_streamed_fleet::<K, I, E, _>(device, params, source, config, fleet, |idx, out| {
+            let mut o = outputs.lock().expect("outputs mutex");
+            debug_assert_eq!(o.len(), idx, "sink indices are contiguous from 0");
+            o.push(out);
+        })?;
     Ok((
         crate::ScheduleReport {
             outputs: outputs.into_inner().expect("outputs mutex"),
             per_channel: report.per_channel.clone(),
             per_slot: report.per_slot.clone(),
             nb_slots: report.nb_slots,
+            devices: report.devices,
+            per_device: report.per_device.clone(),
             steals: report.steals,
             throughput_aps: report.throughput_aps,
             escalations: report.escalations,
@@ -1064,6 +1321,41 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, StreamError::Systolic(_)));
+    }
+
+    #[test]
+    fn fleet_stream_is_bit_identical_and_speeds_the_model() {
+        use dphls_systolic::TransferModel;
+        let wl = workload(23);
+        let params = LinearParams::<i16>::dna();
+        let dev = device(2);
+        let (single, srep) = run_streamed_collect::<GlobalLinear, _, Infallible>(
+            &dev,
+            &params,
+            wl.iter().cloned().map(Ok),
+            StreamConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(srep.devices, 1);
+        assert_eq!(srep.per_device, vec![23]);
+        assert_eq!(srep.device_losses, 0);
+        let (fleet, frep) = run_streamed_fleet_collect::<GlobalLinear, _, Infallible>(
+            &dev,
+            &params,
+            wl.iter().cloned().map(Ok),
+            StreamConfig::default(),
+            FleetConfig::new(4).with_transfer(TransferModel::zero()),
+        )
+        .unwrap();
+        assert_eq!(frep.devices, 4);
+        assert_eq!(frep.per_device.iter().sum::<usize>(), wl.len());
+        assert_eq!(fleet.outputs, single.outputs);
+        assert!(
+            frep.throughput_aps > srep.throughput_aps * 3.0,
+            "fleet {} vs single {}",
+            frep.throughput_aps,
+            srep.throughput_aps
+        );
     }
 
     #[test]

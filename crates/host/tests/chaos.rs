@@ -23,8 +23,8 @@ use std::time::{Duration, Instant};
 use dphls_core::{DpOutput, KernelConfig};
 use dphls_host::{
     injected_kernel_error, injected_panic_message, run_batched, run_batched_resilient,
-    run_streamed_resilient, BatchError, FailurePolicy, FaultCause, FaultKind, FaultPlan, PairFault,
-    ResilienceConfig, StreamConfig, StreamError,
+    run_streamed_fleet_resilient, run_streamed_resilient, BatchError, FailurePolicy, FaultCause,
+    FaultKind, FaultPlan, FleetConfig, PairFault, ResilienceConfig, StreamConfig, StreamError,
 };
 use dphls_kernels::{GlobalLinear, LinearParams};
 use dphls_seq::Base;
@@ -525,6 +525,192 @@ fn adaptive_escalation_faults_reconcile_exactly() {
             Err(f) => {
                 assert_eq!(*idx, 5, "unplanned fault: {f}");
                 assert_eq!(f.attempts, 2);
+            }
+        }
+    }
+}
+
+/// Fleet analogue of [`stream_with_plan`]: the streamed engine sharded
+/// across `d` devices with a collecting sink.
+fn stream_with_plan_fleet(
+    nk: usize,
+    d: usize,
+    wl: &[(Vec<Base>, Vec<Base>)],
+    res: &ResilienceConfig,
+    plan: &FaultPlan,
+) -> (dphls_host::StreamReport, Vec<EmittedSlot>) {
+    let params = LinearParams::<i16>::dna();
+    let emitted = Mutex::new(Vec::new());
+    let report = run_streamed_fleet_resilient::<GlobalLinear, _, Infallible, _>(
+        &device(nk),
+        &params,
+        wl.iter().cloned().map(Ok),
+        StreamConfig {
+            buffer: 4,
+            window: 8,
+            nb_slots: 2,
+        },
+        FleetConfig::new(d),
+        res,
+        Some(plan),
+        |idx, slot| emitted.lock().unwrap().push((idx, slot)),
+    )
+    .unwrap();
+    (report, emitted.into_inner().unwrap())
+}
+
+#[test]
+fn device_loss_is_ignored_on_a_single_device_fleet() {
+    // With one device there is no survivor to fail over to: the loss
+    // injection downgrades to normal execution and the run is identical
+    // to a fault-free one.
+    let wl = workload(10);
+    let base = baseline(&wl);
+    let params = LinearParams::<i16>::dna();
+    let plan = FaultPlan::new().inject_sticky(3, FaultKind::DeviceLoss);
+    let rep = run_batched_resilient::<GlobalLinear>(
+        &device(2),
+        &params,
+        &wl,
+        dphls_host::BatchConfig::single_slot(),
+        &quarantine(1),
+        Some(&plan),
+    )
+    .unwrap();
+    assert!(rep.faults.is_empty());
+    assert_eq!(rep.retries, 0);
+    assert_eq!(rep.device_losses, 0);
+    let outs: Vec<_> = rep.outputs.into_iter().map(Option::unwrap).collect();
+    assert_eq!(outs, base);
+
+    let (report, emitted) = stream_with_plan_fleet(2, 1, &wl, &quarantine(1), &plan);
+    assert!(report.faults.is_empty());
+    assert_eq!(report.device_losses, 0);
+    for (idx, slot) in &emitted {
+        assert_eq!(slot.as_ref().unwrap(), &base[*idx], "pair {idx}");
+    }
+}
+
+#[test]
+fn batched_device_loss_redeals_to_survivors_bit_identically() {
+    let wl = workload(14);
+    let base = baseline(&wl);
+    let params = LinearParams::<i16>::dna();
+    for nk in [1, 3] {
+        // Transient loss at D = 4: the pair's first device dies, the pair
+        // is re-dealt to a survivor, and everything completes.
+        let plan = FaultPlan::new().inject(3, FaultKind::DeviceLoss);
+        let rep = run_batched_resilient::<GlobalLinear>(
+            &device(nk),
+            &params,
+            &wl,
+            dphls_host::BatchConfig::single_slot().with_fleet(FleetConfig::new(4)),
+            &quarantine(1),
+            Some(&plan),
+        )
+        .unwrap();
+        assert!(rep.faults.is_empty(), "nk {nk}: {:?}", rep.faults);
+        assert_eq!(
+            rep.retries, 1,
+            "nk {nk}: the loss costs exactly one re-deal"
+        );
+        assert_eq!(rep.device_losses, 1, "nk {nk}");
+        assert_eq!(rep.per_device.len(), 4);
+        assert_eq!(rep.per_device.iter().sum::<usize>(), wl.len());
+        let outs: Vec<_> = rep.outputs.into_iter().map(Option::unwrap).collect();
+        assert_eq!(outs, base, "nk {nk}: survivors are bit-identical");
+
+        // Sticky loss at D = 2: the second attempt runs on the last live
+        // device, where the injection downgrades (no survivor to take
+        // over), so the pair still completes.
+        let plan = FaultPlan::new().inject_sticky(5, FaultKind::DeviceLoss);
+        let rep = run_batched_resilient::<GlobalLinear>(
+            &device(nk),
+            &params,
+            &wl,
+            dphls_host::BatchConfig::single_slot().with_fleet(FleetConfig::new(2)),
+            &quarantine(1),
+            Some(&plan),
+        )
+        .unwrap();
+        assert!(rep.faults.is_empty(), "nk {nk}: {:?}", rep.faults);
+        assert_eq!(rep.retries, 1, "nk {nk}");
+        assert_eq!(rep.device_losses, 1, "nk {nk}");
+        let outs: Vec<_> = rep.outputs.into_iter().map(Option::unwrap).collect();
+        assert_eq!(outs, base, "nk {nk}");
+    }
+}
+
+#[test]
+fn batched_device_loss_quarantines_exactly_once_when_retries_exhaust() {
+    let wl = workload(14);
+    let base = baseline(&wl);
+    let params = LinearParams::<i16>::dna();
+    // Sticky loss at D = 4 with one retry: both attempts land on a device
+    // with live peers, so both kill their device; the pair quarantines
+    // with the loss as its cause, exactly once.
+    let plan = FaultPlan::new().inject_sticky(5, FaultKind::DeviceLoss);
+    let rep = run_batched_resilient::<GlobalLinear>(
+        &device(2),
+        &params,
+        &wl,
+        dphls_host::BatchConfig::single_slot().with_fleet(FleetConfig::new(4)),
+        &quarantine(1),
+        Some(&plan),
+    )
+    .unwrap();
+    let idxs: Vec<_> = rep.faults.iter().map(|f| f.idx).collect();
+    assert_eq!(idxs, vec![5], "exactly one quarantine entry");
+    assert_eq!(rep.faults[0].attempts, 2);
+    assert!(
+        matches!(rep.faults[0].cause, FaultCause::DeviceLost { .. }),
+        "got {:?}",
+        rep.faults[0].cause
+    );
+    assert_eq!(rep.retries, 1);
+    assert_eq!(rep.device_losses, 2, "each attempt killed one device");
+    assert_eq!(rep.completed(), wl.len() - 1);
+    assert_eq!(rep.per_device.iter().sum::<usize>(), wl.len() - 1);
+    for (i, out) in rep.outputs.iter().enumerate() {
+        if i == 5 {
+            assert!(out.is_none());
+        } else {
+            assert_eq!(out.as_ref(), Some(&base[i]), "pair {i}");
+        }
+    }
+}
+
+#[test]
+fn streamed_device_loss_reconciles_in_order_on_survivors() {
+    let wl = workload(16);
+    let base = baseline(&wl);
+    // Transient loss on pair 2 (recovers on a survivor) plus sticky loss
+    // on pair 7 (kills a device per attempt until retries exhaust): three
+    // devices die in total and one carries the rest of the stream.
+    let plan = FaultPlan::new()
+        .inject(2, FaultKind::DeviceLoss)
+        .inject_sticky(7, FaultKind::DeviceLoss);
+    for nk in [1, 3] {
+        let (report, emitted) = stream_with_plan_fleet(nk, 4, &wl, &quarantine(1), &plan);
+
+        // Every slot emitted exactly once, in input order.
+        let order: Vec<_> = emitted.iter().map(|(idx, _)| *idx).collect();
+        assert_eq!(order, (0..wl.len()).collect::<Vec<_>>(), "nk {nk}");
+        assert_eq!(report.devices, 4);
+        assert_eq!(report.device_losses, 3, "nk {nk}");
+        assert_eq!(report.retries, 2, "nk {nk}: one re-deal per injection");
+        let fault_idxs: Vec<_> = report.faults.iter().map(|f| f.idx).collect();
+        assert_eq!(fault_idxs, vec![7], "nk {nk}");
+        assert_eq!(report.per_device.iter().sum::<usize>(), wl.len() - 1);
+
+        for (idx, slot) in &emitted {
+            match slot {
+                Ok(out) => assert_eq!(out, &base[*idx], "nk {nk} pair {idx}"),
+                Err(f) => {
+                    assert_eq!(*idx, 7, "nk {nk} unplanned fault: {f}");
+                    assert_eq!(f.attempts, 2);
+                    assert!(matches!(f.cause, FaultCause::DeviceLost { .. }));
+                }
             }
         }
     }

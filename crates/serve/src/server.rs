@@ -31,7 +31,8 @@ use crate::protocol::{
 };
 use dphls_core::{AdaptiveKernel, DpOutput, KernelConfig, KernelSpec, LaneKernel, LanePrecision};
 use dphls_host::{
-    OrderedWriter, PairFault, ResilienceConfig, SessionClosed, StreamConfig, StreamSession,
+    FleetConfig, OrderedWriter, PairFault, ResilienceConfig, SessionClosed, StreamConfig,
+    StreamSession,
 };
 use dphls_kernels::{
     default_banding, dispatch_dna, dispatch_dna_adaptive, AdaptiveDnaRunner, DnaKernelRunner,
@@ -64,6 +65,12 @@ pub struct ServerConfig {
     /// Streaming engine knobs (`buffer` = producer channel depth,
     /// `window` = admission window; both are the backpressure budget).
     pub stream: StreamConfig,
+    /// Fleet shape every kernel session runs on: how many modeled devices
+    /// the engine shards across and the host↔device transfer cost. The
+    /// default ([`FleetConfig::single`]) is one device with a free link —
+    /// the classic single-device server. Responses are bit-identical
+    /// across fleet sizes; only the modeled throughput changes.
+    pub fleet: FleetConfig,
     /// Failure policy. The default is
     /// [`ResilienceConfig::standard`] with quarantine, so one poisoned
     /// request costs one error frame, not the server.
@@ -88,6 +95,7 @@ impl Default for ServerConfig {
             nk: 2,
             max_len: 512,
             stream: StreamConfig::default(),
+            fleet: FleetConfig::single(),
             resilience: ResilienceConfig::standard(),
             max_frame: DEFAULT_MAX_FRAME,
             precision: LanePrecision::Exact,
@@ -217,13 +225,14 @@ impl DnaKernelRunner for SpawnSession<'_> {
     where
         K: LaneKernel + KernelSpec<Sym = Base, Score = i16> + 'static,
     {
-        let (config, stream, res) = (
+        let (config, stream, fleet, res) = (
             self.config,
             self.config.stream,
+            self.config.fleet,
             self.config.resilience.clone(),
         );
         erase_session(config, self.band, move |device, sink| {
-            StreamSession::<K>::spawn(device, params, stream, res, sink)
+            StreamSession::<K>::spawn_fleet(device, params, stream, fleet, res, sink)
         })
     }
 }
@@ -243,14 +252,17 @@ impl AdaptiveDnaRunner for SpawnAdaptiveSession<'_> {
     where
         K: AdaptiveKernel + KernelSpec<Sym = Base, Score = i16> + 'static,
     {
-        let (config, stream, res) = (
+        let (config, stream, fleet, res) = (
             self.config,
             self.config.stream,
+            self.config.fleet,
             self.config.resilience.clone(),
         );
         let precision = self.precision;
         erase_session(config, self.band, move |device, sink| {
-            StreamSession::<K>::spawn_adaptive(device, params, precision, stream, res, sink)
+            StreamSession::<K>::spawn_adaptive_fleet(
+                device, params, precision, stream, fleet, res, sink,
+            )
         })
     }
 }

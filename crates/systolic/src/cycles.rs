@@ -182,6 +182,95 @@ pub fn throughput_aps(cycles_per_alignment: u64, freq_mhz: f64, config: &KernelC
     config.total_blocks() as f64 * freq_mhz * 1e6 / cycles_per_alignment as f64
 }
 
+/// Host↔device transfer cost model for a *fleet* of devices: every pair
+/// shipped to a device pays a fixed per-transfer latency (DMA descriptor
+/// setup, doorbell, completion interrupt) plus a bandwidth term
+/// proportional to the payload size. Parameterized like
+/// [`CycleModelParams`]: calibrated constructors, held fixed across
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferModel {
+    /// Fixed cycles per host↔device round trip, independent of size.
+    pub latency_cycles: u64,
+    /// Payload bytes moved per device clock cycle (`0` models an
+    /// infinitely fast link: the bandwidth term vanishes).
+    pub bytes_per_cycle: u64,
+}
+
+impl TransferModel {
+    /// A free link: zero latency, infinite bandwidth. The degenerate model
+    /// under which a 1-device fleet is cycle-identical to a bare device.
+    pub fn zero() -> Self {
+        Self {
+            latency_cycles: 0,
+            bytes_per_cycle: 0,
+        }
+    }
+
+    /// A PCIe-class link at the device clock: the F1 shell's 512-bit
+    /// (64-byte) data path, with a fixed descriptor/doorbell latency.
+    pub fn pcie() -> Self {
+        Self {
+            latency_cycles: 64,
+            bytes_per_cycle: 64,
+        }
+    }
+
+    /// Cycles to move a `bytes`-sized payload over this link: the fixed
+    /// latency plus the bandwidth term. Monotone in `bytes`.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        let bandwidth = if self.bytes_per_cycle == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.bytes_per_cycle)
+        };
+        self.latency_cycles + bandwidth
+    }
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+/// Host↔device payload of one alignment: both packed sequences out, the
+/// traceback path (2 bits per step) and a fixed score/cell record back.
+/// This is what the fleet transfer model charges per pair.
+pub fn transfer_bytes(stats: &BlockStats, kinfo: &KernelCycleInfo) -> u64 {
+    let seq = (stats.query_len * kinfo.sym_bits as u64).div_ceil(8)
+        + (stats.ref_len * kinfo.sym_bits as u64).div_ceil(8);
+    let path = if kinfo.has_walk {
+        (stats.tb_steps * 2).div_ceil(8)
+    } else {
+        0
+    };
+    seq + path + 16 // best score + best cell + lengths, fixed-size record
+}
+
+/// Fleet-level composition of the cycle model: `devices` full `NB × NK`
+/// devices complete alignments in parallel, each alignment paying its
+/// per-device [`arbitrated_cycles`] plus the modeled host↔device transfer
+/// of its payload. The effective per-alignment cost of the fleet as a
+/// whole is that sum amortized over the devices (ceiling division, so a
+/// fleet never rounds below one cycle of real work).
+///
+/// Degeneracies the property suite pins down: at `devices = 1` with
+/// [`TransferModel::zero`] this is exactly [`arbitrated_cycles`]; it is
+/// non-increasing in `devices` (adding devices never slows the fleet at
+/// fixed work) and non-decreasing in `payload_bytes`.
+pub fn fleet_cycles(
+    breakdown: &CycleBreakdown,
+    occupied: usize,
+    devices: usize,
+    transfer: &TransferModel,
+    payload_bytes: u64,
+) -> u64 {
+    let per_device =
+        arbitrated_cycles(breakdown, occupied) + transfer.transfer_cycles(payload_bytes);
+    per_device.div_ceil(devices.max(1) as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +406,68 @@ mod tests {
         let eff = effective_cycles_per_alignment(&b, &cfg);
         assert!(eff > b.total);
         assert_eq!(eff, (b.load + b.writeback) * 16);
+    }
+
+    #[test]
+    fn fleet_cycles_degenerates_to_arbitrated_at_one_device_zero_transfer() {
+        let b = alignment_cycles(&stats_256(32), &kinfo(), &CycleModelParams::dphls());
+        for occupied in [1usize, 2, 4, 16] {
+            assert_eq!(
+                fleet_cycles(&b, occupied, 1, &TransferModel::zero(), 12345),
+                arbitrated_cycles(&b, occupied)
+            );
+        }
+        // devices = 0 clamps to 1, like occupancy 0 clamps to one block.
+        assert_eq!(
+            fleet_cycles(&b, 4, 0, &TransferModel::zero(), 0),
+            fleet_cycles(&b, 4, 1, &TransferModel::zero(), 0)
+        );
+    }
+
+    #[test]
+    fn fleet_cycles_is_monotone_in_devices() {
+        let b = alignment_cycles(&stats_256(32), &kinfo(), &CycleModelParams::dphls());
+        let t = TransferModel::pcie();
+        let bytes = transfer_bytes(&stats_256(32), &kinfo());
+        let mut prev = u64::MAX;
+        for d in 1usize..=32 {
+            let c = fleet_cycles(&b, 4, d, &t, bytes);
+            assert!(c <= prev, "adding a device increased cycles at D={d}");
+            assert!(c >= 1, "a fleet never rounds below one cycle");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn transfer_cycles_is_monotone_in_payload() {
+        for t in [TransferModel::zero(), TransferModel::pcie()] {
+            let mut prev = 0;
+            for bytes in [0u64, 1, 63, 64, 65, 1024, 1 << 20] {
+                let c = t.transfer_cycles(bytes);
+                assert!(c >= prev, "larger payload got cheaper under {t:?}");
+                prev = c;
+            }
+        }
+        // The zero model really is free at any size.
+        assert_eq!(TransferModel::zero().transfer_cycles(u64::MAX / 8), 0);
+        // The PCIe model's bandwidth term packs the 64-byte bus exactly.
+        assert_eq!(TransferModel::pcie().transfer_cycles(0), 64);
+        assert_eq!(TransferModel::pcie().transfer_cycles(64), 65);
+        assert_eq!(TransferModel::pcie().transfer_cycles(65), 66);
+    }
+
+    #[test]
+    fn transfer_bytes_counts_sequences_path_and_record() {
+        let s = stats_256(32);
+        let k = kinfo();
+        // 256 x 2-bit bases each way = 64 + 64 bytes, 300 x 2-bit path
+        // ops = 75 bytes, plus the fixed 16-byte result record.
+        assert_eq!(transfer_bytes(&s, &k), 64 + 64 + 75 + 16);
+        let no_walk = KernelCycleInfo {
+            has_walk: false,
+            ..k
+        };
+        assert_eq!(transfer_bytes(&s, &no_walk), 64 + 64 + 16);
     }
 
     #[test]

@@ -52,8 +52,9 @@ pub use block::{
     SystolicRun, SystolicScratch,
 };
 pub use cycles::{
-    alignment_cycles, arbitrated_cycles, effective_cycles_per_alignment, throughput_aps,
-    CycleBreakdown, CycleModelParams, KernelCycleInfo,
+    alignment_cycles, arbitrated_cycles, effective_cycles_per_alignment, fleet_cycles,
+    throughput_aps, transfer_bytes, CycleBreakdown, CycleModelParams, KernelCycleInfo,
+    TransferModel,
 };
 pub use device::{Device, DeviceReport};
 pub use tbmem::TbMem;

@@ -144,6 +144,56 @@
 //! # Ok::<(), dp_hls::host::BatchError>(())
 //! ```
 //!
+//! ## Fleet: sharding one batch across D devices
+//!
+//! [`host::FleetConfig`] scales the host out instead of up: `D` identical
+//! devices, each a full `NB × NK` channel/slot pool, behind one dispatcher
+//! and a modeled host↔device transfer link
+//! ([`systolic::TransferModel`]). Sharding is scheduling-invisible —
+//! outputs, order, and error behavior are bit-identical for every fleet
+//! size; only wall-clock and the modeled `fleet_cycles` throughput change:
+//!
+//! ```
+//! use dp_hls::host::{run_batched_with, BatchConfig, FleetConfig};
+//! use dp_hls::prelude::*;
+//!
+//! let mut sim = ReadSimulator::new(7);
+//! let workload: Vec<_> = (0..12)
+//!     .map(|_| {
+//!         let (window, mut read) = sim.read_pair(96, 0.15);
+//!         read.truncate(80);
+//!         (read.into_vec(), window.into_vec())
+//!     })
+//!     .collect();
+//! let params = LinearParams::<i16>::dna();
+//! let device = Device::new(
+//!     KernelConfig::new(16, 4, 2).with_max_lengths(128, 128),
+//!     CycleModelParams::dphls(),
+//!     KernelCycleInfo { sym_bits: 2, has_walk: true, ii: 1 },
+//!     250.0,
+//! );
+//!
+//! let single = run_batched_with::<GlobalLinear>(
+//!     &device, &params, &workload, BatchConfig::single_slot())?;
+//! // 4 devices, PCIe-class transfer model, 4 x 2 channel queues.
+//! let fleet = run_batched_with::<GlobalLinear>(
+//!     &device, &params, &workload,
+//!     BatchConfig::single_slot().with_fleet(FleetConfig::new(4)))?;
+//!
+//! assert_eq!(fleet.outputs, single.outputs); // bit-identical shard
+//! assert_eq!(fleet.devices, 4);
+//! assert_eq!(fleet.per_device.iter().sum::<usize>(), 12);
+//! // The modeled cycles (arbitrated + transfer) divide across the fleet,
+//! // so modeled throughput rises even though the outputs don't move.
+//! assert!(fleet.throughput_aps > single.throughput_aps);
+//! # Ok::<(), dp_hls::host::BatchError>(())
+//! ```
+//!
+//! Each device is a failure domain: the chaos plans can lose a whole
+//! device mid-run and the survivors re-deal its pairs bit-identically
+//! (`examples/fleet_alignment.rs` is the runnable version; the topology
+//! diagram lives in docs/ARCHITECTURE.md).
+//!
 //! ## Resilience: quarantine instead of crash
 //!
 //! Both host engines take a [`host::ResilienceConfig`]
